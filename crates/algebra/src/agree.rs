@@ -1,0 +1,116 @@
+//! The agreement resource algebra `Ag(A)`.
+//!
+//! `Ag` models knowledge that all parties agree on a value: composing two
+//! agreements on the same value is that agreement, composing agreements on
+//! different values is invalid. Every element is its own core, so
+//! agreement is freely duplicable.
+
+use crate::ra::Ra;
+use std::fmt;
+
+/// The (discrete) agreement RA.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::{Agree, Ra};
+///
+/// let a = Agree::new(42);
+/// assert!(a.op(&a).valid());              // agreement duplicates freely
+/// assert!(!a.op(&Agree::new(7)).valid()); // disagreement is invalid
+/// assert!(a.is_core());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Agree<T> {
+    /// Agreement on a value.
+    Ag(T),
+    /// The invalid element witnessing a disagreement.
+    Bot,
+}
+
+impl<T> Agree<T> {
+    /// Creates an agreement on `value`.
+    pub fn new(value: T) -> Agree<T> {
+        Agree::Ag(value)
+    }
+
+    /// Returns the agreed value, if the element is valid.
+    pub fn get(&self) -> Option<&T> {
+        match self {
+            Agree::Ag(v) => Some(v),
+            Agree::Bot => None,
+        }
+    }
+}
+
+impl<T: Clone + PartialEq + fmt::Debug> Ra for Agree<T> {
+    fn op(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Agree::Ag(a), Agree::Ag(b)) if a == b => Agree::Ag(a.clone()),
+            _ => Agree::Bot,
+        }
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        Some(self.clone())
+    }
+
+    fn valid(&self) -> bool {
+        matches!(self, Agree::Ag(_))
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        // a ≼ b iff b = a ⋅ c for some c (or a = b). Since op is idempotent
+        // on equal values and Bot otherwise: Ag(v) ≼ Ag(v), and x ≼ Bot.
+        self == other || *other == Agree::Bot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ra::{law_assoc, law_comm, law_core_id, law_core_idem, law_valid_op};
+
+    #[test]
+    fn agreement_duplicates() {
+        let a = Agree::new(3);
+        assert_eq!(a.op(&a), a);
+        assert!(a.op(&a).valid());
+    }
+
+    #[test]
+    fn disagreement_is_bot() {
+        assert_eq!(Agree::new(1).op(&Agree::new(2)), Agree::Bot);
+        assert!(!Agree::<i32>::Bot.valid());
+    }
+
+    #[test]
+    fn everything_is_core() {
+        assert!(Agree::new("v").is_core());
+        assert!(Agree::<&str>::Bot.is_core());
+    }
+
+    #[test]
+    fn laws() {
+        let xs = [Agree::new(1), Agree::new(2), Agree::Bot];
+        for a in &xs {
+            assert!(law_core_id(a).ok());
+            assert!(law_core_idem(a).ok());
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion() {
+        let a = Agree::new(1);
+        assert!(a.included_in(&a));
+        assert!(a.included_in(&Agree::Bot));
+        assert!(!a.included_in(&Agree::new(2)));
+    }
+}

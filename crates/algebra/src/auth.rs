@@ -1,0 +1,198 @@
+//! The authoritative resource algebra `Auth<A>`.
+//!
+//! `Auth` splits a resource into an *authoritative* element `●a` (held by
+//! an invariant or the logic's state interpretation) and *fragments* `◯b`
+//! (held by program threads). Validity forces every fragment to be
+//! included in the authority, which is what lets fragment owners draw
+//! conclusions about the global state.
+
+use crate::ra::{Ra, UnitRa};
+use std::fmt;
+
+/// The management (authoritative) part: absent, present, or conflicted.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum AuthPart<A> {
+    None,
+    Auth(A),
+    Conflict,
+}
+
+/// The authoritative RA over a unital fragment algebra.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::{Auth, Ra, SumNat};
+///
+/// let auth = Auth::auth(SumNat(5));
+/// let frag = Auth::frag(SumNat(3));
+/// assert!(auth.op(&frag).valid());                  // 3 ≤ 5
+/// assert!(!auth.op(&Auth::frag(SumNat(7))).valid()); // 7 ≰ 5
+/// assert!(!auth.op(&auth).valid());                  // two authorities
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Auth<A> {
+    auth: AuthPart<A>,
+    frag: A,
+}
+
+impl<A: UnitRa> Auth<A> {
+    /// The authoritative element `●a`.
+    #[allow(clippy::self_named_constructors)]
+    pub fn auth(a: A) -> Auth<A> {
+        Auth {
+            auth: AuthPart::Auth(a),
+            frag: A::unit(),
+        }
+    }
+
+    /// A fragment `◯b`.
+    pub fn frag(b: A) -> Auth<A> {
+        Auth {
+            auth: AuthPart::None,
+            frag: b,
+        }
+    }
+
+    /// The combination `●a ⋅ ◯b`.
+    pub fn both(a: A, b: A) -> Auth<A> {
+        Auth {
+            auth: AuthPart::Auth(a),
+            frag: b,
+        }
+    }
+
+    /// The authoritative element, if present and unconflicted.
+    pub fn authority(&self) -> Option<&A> {
+        match &self.auth {
+            AuthPart::Auth(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The fragment part.
+    pub fn fragment(&self) -> &A {
+        &self.frag
+    }
+}
+
+impl<A: UnitRa> Ra for Auth<A> {
+    fn op(&self, other: &Self) -> Self {
+        let auth = match (&self.auth, &other.auth) {
+            (AuthPart::None, x) | (x, AuthPart::None) => x.clone(),
+            _ => AuthPart::Conflict,
+        };
+        Auth {
+            auth,
+            frag: self.frag.op(&other.frag),
+        }
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        // Drop the authority (its core is the absent option-unit), keep
+        // the total core of the fragment.
+        Some(Auth {
+            auth: AuthPart::None,
+            frag: self.frag.pcore().unwrap_or_else(A::unit),
+        })
+    }
+
+    fn valid(&self) -> bool {
+        match &self.auth {
+            AuthPart::Conflict => false,
+            AuthPart::None => self.frag.valid(),
+            AuthPart::Auth(a) => a.valid() && self.frag.included_in(a),
+        }
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        let auth_ok = match (&self.auth, &other.auth) {
+            (AuthPart::None, _) => true,
+            (x, y) if x == y => true,
+            (_, AuthPart::Conflict) => true,
+            _ => false,
+        };
+        auth_ok && self.frag.included_in(&other.frag)
+    }
+}
+
+impl<A: UnitRa> UnitRa for Auth<A> {
+    fn unit() -> Self {
+        Auth {
+            auth: AuthPart::None,
+            frag: A::unit(),
+        }
+    }
+}
+
+impl<A: fmt::Debug> fmt::Debug for Auth<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.auth {
+            AuthPart::None => write!(f, "◯{:?}", self.frag),
+            AuthPart::Auth(a) => write!(f, "●{:?} ⋅ ◯{:?}", a, self.frag),
+            AuthPart::Conflict => write!(f, "●⊥ ⋅ ◯{:?}", self.frag),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::{MaxNat, SumNat};
+    use crate::ra::{law_assoc, law_comm, law_core_id, law_core_idem, law_unit, law_valid_op};
+
+    #[test]
+    fn authority_bounds_fragments() {
+        let a = Auth::auth(SumNat(10));
+        assert!(a.op(&Auth::frag(SumNat(10))).valid());
+        assert!(a.op(&Auth::frag(SumNat(4)).op(&Auth::frag(SumNat(6)))).valid());
+        assert!(!a.op(&Auth::frag(SumNat(11))).valid());
+    }
+
+    #[test]
+    fn double_authority_is_invalid() {
+        let a = Auth::auth(SumNat(1));
+        assert!(!a.op(&a).valid());
+    }
+
+    #[test]
+    fn fragments_compose() {
+        let f = Auth::frag(SumNat(2)).op(&Auth::frag(SumNat(3)));
+        assert_eq!(f.fragment(), &SumNat(5));
+        assert_eq!(f.authority(), None);
+    }
+
+    #[test]
+    fn laws() {
+        let xs = [
+            Auth::unit(),
+            Auth::auth(MaxNat(2)),
+            Auth::frag(MaxNat(1)),
+            Auth::frag(MaxNat(3)),
+            Auth::both(MaxNat(3), MaxNat(1)),
+        ];
+        for a in &xs {
+            assert!(law_core_id(a).ok());
+            assert!(law_core_idem(a).ok());
+            assert!(law_unit(a).ok());
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_counter_pattern() {
+        // ● max-nat with duplicable ◯ lower bounds: the canonical
+        // monotone-counter ghost theory.
+        let state = Auth::auth(MaxNat(7));
+        let bound = Auth::frag(MaxNat(5));
+        assert!(state.op(&bound).valid());
+        assert!(bound.op(&bound).valid()); // lower bounds duplicate
+        assert_eq!(bound.op(&bound), bound);
+    }
+}

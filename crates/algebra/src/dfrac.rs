@@ -1,0 +1,207 @@
+//! The discardable-fraction resource algebra `DFrac`.
+//!
+//! `DFrac` extends [`crate::Frac`] with a *discarded* component: a
+//! permission can be irreversibly discarded, after which a duplicable
+//! witness of its (former) existence remains. This is the permission
+//! annotation used by the points-to assertion `l ↦{dq} v`.
+
+use crate::ra::Ra;
+use crate::rational::Q;
+use std::fmt;
+
+/// A discardable fraction: an owned part, a discarded marker, or both.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::{DFrac, Q, Ra};
+///
+/// let half = DFrac::own(Q::HALF);
+/// assert!(half.op(&half).valid());
+/// assert!(DFrac::discarded().is_core()); // the witness is duplicable
+/// assert!(!DFrac::own(Q::ONE).op(&DFrac::discarded()).valid());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DFrac {
+    /// An owned fraction.
+    Own(Q),
+    /// The duplicable witness that some permission was discarded.
+    Discarded,
+    /// Both an owned fraction and a discarded witness.
+    Both(Q),
+}
+
+impl DFrac {
+    /// The full, undiscarded permission.
+    pub const FULL: DFrac = DFrac::Own(Q::ONE);
+
+    /// An owned fraction `q`.
+    pub fn own(q: Q) -> DFrac {
+        DFrac::Own(q)
+    }
+
+    /// The discarded witness.
+    pub fn discarded() -> DFrac {
+        DFrac::Discarded
+    }
+
+    /// The owned fractional amount (zero if fully discarded).
+    pub fn owned_amount(self) -> Q {
+        match self {
+            DFrac::Own(q) | DFrac::Both(q) => q,
+            DFrac::Discarded => Q::ZERO,
+        }
+    }
+
+    /// Whether any part has been discarded.
+    pub fn has_discarded(self) -> bool {
+        !matches!(self, DFrac::Own(_))
+    }
+
+    /// Whether this permission allows writing (requires the full,
+    /// undiscarded fraction).
+    pub fn allows_write(self) -> bool {
+        self == DFrac::FULL
+    }
+
+    /// Whether this permission allows reading (any positive owned amount
+    /// or a discarded witness).
+    pub fn allows_read(self) -> bool {
+        self.has_discarded() || self.owned_amount().is_positive()
+    }
+
+    /// Discards the owned part, leaving a duplicable witness.
+    pub fn discard(self) -> DFrac {
+        DFrac::Discarded
+    }
+}
+
+impl Ra for DFrac {
+    fn op(&self, other: &Self) -> Self {
+        use DFrac::*;
+        match (*self, *other) {
+            (Own(a), Own(b)) => Own(a + b),
+            (Own(a), Discarded) | (Discarded, Own(a)) => Both(a),
+            (Own(a), Both(b)) | (Both(a), Own(b)) => Both(a + b),
+            (Discarded, Discarded) => Discarded,
+            (Discarded, Both(a)) | (Both(a), Discarded) => Both(a),
+            (Both(a), Both(b)) => Both(a + b),
+        }
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        match self {
+            DFrac::Own(_) => None,
+            _ => Some(DFrac::Discarded),
+        }
+    }
+
+    fn valid(&self) -> bool {
+        match *self {
+            DFrac::Own(q) => q.is_valid_permission(),
+            DFrac::Discarded => true,
+            // A discarded part strictly exists, so the owned part must
+            // leave room: q must lie in (0, 1).
+            DFrac::Both(q) => q.is_positive() && q < Q::ONE,
+        }
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        if self == other {
+            return true;
+        }
+        use DFrac::*;
+        match (*self, *other) {
+            (Own(a), Own(b)) => a < b,
+            (Own(a), Both(b)) => a <= b,
+            (Discarded, Both(_)) | (Discarded, Discarded) => true,
+            (Both(a), Both(b)) => a <= b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for DFrac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DFrac::Own(q) => write!(f, "{{{}}}", q),
+            DFrac::Discarded => write!(f, "{{□}}"),
+            DFrac::Both(q) => write!(f, "{{{} ⋅ □}}", q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ra::{law_assoc, law_comm, law_core_id, law_core_idem, law_valid_op};
+
+    fn samples() -> Vec<DFrac> {
+        vec![
+            DFrac::own(Q::new(1, 3)),
+            DFrac::own(Q::HALF),
+            DFrac::FULL,
+            DFrac::Discarded,
+            DFrac::Both(Q::HALF),
+            DFrac::Both(Q::ONE),
+        ]
+    }
+
+    #[test]
+    fn write_requires_full() {
+        assert!(DFrac::FULL.allows_write());
+        assert!(!DFrac::own(Q::HALF).allows_write());
+        assert!(!DFrac::Both(Q::HALF).allows_write());
+        assert!(!DFrac::Discarded.allows_write());
+    }
+
+    #[test]
+    fn read_is_permissive() {
+        assert!(DFrac::own(Q::new(1, 100)).allows_read());
+        assert!(DFrac::Discarded.allows_read());
+    }
+
+    #[test]
+    fn discarded_is_duplicable() {
+        let d = DFrac::Discarded;
+        assert_eq!(d.op(&d), d);
+        assert!(d.is_core());
+    }
+
+    #[test]
+    fn full_plus_discarded_is_invalid() {
+        assert!(!DFrac::FULL.op(&DFrac::Discarded).valid());
+        assert!(DFrac::own(Q::HALF).op(&DFrac::Discarded).valid());
+    }
+
+    #[test]
+    fn laws() {
+        let xs = samples();
+        for a in &xs {
+            assert!(law_core_id(a).ok());
+            assert!(law_core_idem(a).ok());
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion() {
+        assert!(DFrac::own(Q::HALF).included_in(&DFrac::FULL));
+        assert!(DFrac::Discarded.included_in(&DFrac::Both(Q::HALF)));
+        assert!(DFrac::own(Q::HALF).included_in(&DFrac::Both(Q::HALF)));
+        assert!(!DFrac::FULL.included_in(&DFrac::own(Q::HALF)));
+    }
+
+    #[test]
+    fn owned_amount() {
+        assert_eq!(DFrac::own(Q::HALF).owned_amount(), Q::HALF);
+        assert_eq!(DFrac::Discarded.owned_amount(), Q::ZERO);
+        assert_eq!(DFrac::Both(Q::HALF).owned_amount(), Q::HALF);
+    }
+}

@@ -1,0 +1,110 @@
+//! The exclusive resource algebra `Excl(A)`.
+//!
+//! `Excl` models uniquely-owned ghost state: composing any two exclusive
+//! resources is invalid, so at most one party can ever hold one.
+
+use crate::ra::Ra;
+use std::fmt;
+
+/// The exclusive RA over an arbitrary carrier.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::{Excl, Ra};
+///
+/// let a = Excl::new(1);
+/// let b = Excl::new(2);
+/// assert!(a.valid());
+/// assert!(!a.op(&b).valid()); // two owners can never coexist
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Excl<T> {
+    /// Exclusive ownership of `T`.
+    Own(T),
+    /// The invalid element resulting from composing two exclusives.
+    Bot,
+}
+
+impl<T> Excl<T> {
+    /// Creates an exclusive resource owning `value`.
+    pub fn new(value: T) -> Excl<T> {
+        Excl::Own(value)
+    }
+
+    /// Returns the owned value, if the element is not bottom.
+    pub fn get(&self) -> Option<&T> {
+        match self {
+            Excl::Own(v) => Some(v),
+            Excl::Bot => None,
+        }
+    }
+}
+
+impl<T: Clone + PartialEq + fmt::Debug> Ra for Excl<T> {
+    fn op(&self, _other: &Self) -> Self {
+        Excl::Bot
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        None
+    }
+
+    fn valid(&self) -> bool {
+        matches!(self, Excl::Own(_))
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        // Only Bot has a decomposition (Bot = x ⋅ y for any x, y), so the
+        // extension order is: reflexivity plus everything below Bot.
+        self == other || *other == Excl::Bot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ra::{law_assoc, law_comm, law_valid_op};
+
+    #[test]
+    fn exclusive_composition_is_invalid() {
+        let a = Excl::new("x");
+        assert!(a.valid());
+        assert!(!a.op(&a).valid());
+        assert!(!Excl::<&str>::Bot.valid());
+    }
+
+    #[test]
+    fn no_core() {
+        assert_eq!(Excl::new(5).pcore(), None);
+        assert_eq!(Excl::<i32>::Bot.pcore(), None);
+    }
+
+    #[test]
+    fn laws() {
+        let xs = [Excl::new(1), Excl::new(2), Excl::Bot];
+        for a in &xs {
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion() {
+        let a = Excl::new(1);
+        assert!(a.included_in(&a));
+        assert!(a.included_in(&Excl::Bot));
+        assert!(!a.included_in(&Excl::new(2)));
+    }
+
+    #[test]
+    fn get_extracts_value() {
+        assert_eq!(Excl::new(7).get(), Some(&7));
+        assert_eq!(Excl::<i32>::Bot.get(), None);
+    }
+}

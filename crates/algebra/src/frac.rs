@@ -1,0 +1,132 @@
+//! The fractional resource algebra `Frac`.
+//!
+//! Fractions in `(0, 1]` compose by addition; exceeding `1` is invalid.
+//! This is the classic fractional-permission RA used for shared read
+//! access.
+
+use crate::ra::Ra;
+use crate::rational::Q;
+use std::fmt;
+
+/// The fractional-permission RA.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::{Frac, Q, Ra};
+///
+/// let third = Frac::new(Q::new(1, 3));
+/// let whole = third.op(&third).op(&third);
+/// assert!(whole.valid());
+/// assert_eq!(whole, Frac::new(Q::ONE));
+/// assert!(!whole.op(&third).valid());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frac(Q);
+
+impl Frac {
+    /// The full permission `1`.
+    pub const FULL: Frac = Frac(Q::ONE);
+
+    /// Creates a fraction resource. Any rational is representable; only
+    /// fractions in `(0, 1]` are valid.
+    pub fn new(q: Q) -> Frac {
+        Frac(q)
+    }
+
+    /// The underlying rational.
+    pub fn amount(self) -> Q {
+        self.0
+    }
+
+    /// Splits the permission into two equal, composable halves.
+    pub fn split(self) -> (Frac, Frac) {
+        let h = Frac(self.0.split());
+        (h, h)
+    }
+}
+
+impl Ra for Frac {
+    fn op(&self, other: &Self) -> Self {
+        Frac(self.0 + other.0)
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        None
+    }
+
+    fn valid(&self) -> bool {
+        self.0.is_valid_permission()
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        // b = a + c has a solution with c a fraction iff a < b; plus
+        // reflexivity.
+        self.0 <= other.0
+    }
+}
+
+impl fmt::Debug for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Frac({})", self.0)
+    }
+}
+
+impl fmt::Display for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ra::{law_assoc, law_comm, law_valid_op};
+
+    #[test]
+    fn composition_adds() {
+        let half = Frac::new(Q::HALF);
+        assert_eq!(half.op(&half), Frac::FULL);
+        assert!(half.op(&half).valid());
+        assert!(!Frac::FULL.op(&half).valid());
+    }
+
+    #[test]
+    fn zero_and_negative_are_invalid() {
+        assert!(!Frac::new(Q::ZERO).valid());
+        assert!(!Frac::new(-Q::HALF).valid());
+    }
+
+    #[test]
+    fn split_recomposes() {
+        let q = Frac::new(Q::new(2, 3));
+        let (a, b) = q.split();
+        assert_eq!(a.op(&b), q);
+    }
+
+    #[test]
+    fn laws() {
+        let xs = [
+            Frac::new(Q::new(1, 3)),
+            Frac::new(Q::HALF),
+            Frac::FULL,
+            Frac::new(Q::new(3, 2)),
+        ];
+        for a in &xs {
+            assert_eq!(a.pcore(), None);
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion_is_ordering() {
+        assert!(Frac::new(Q::HALF).included_in(&Frac::FULL));
+        assert!(!Frac::FULL.included_in(&Frac::new(Q::HALF)));
+    }
+}

@@ -1,0 +1,232 @@
+//! The finite-map resource algebra `GMap<K, A>`.
+//!
+//! Finite maps compose pointwise; absent keys act as units. This is the
+//! workhorse RA underlying both the ghost-name heap and the physical heap
+//! camera.
+
+use crate::ra::{Ra, UnitRa};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite map from keys to resources, composing pointwise.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::{Frac, GMap, Q, Ra};
+///
+/// let mut a = GMap::new();
+/// a.insert(1u32, Frac::new(Q::HALF));
+/// let combined = a.op(&a);
+/// assert_eq!(combined.get(&1), Some(&Frac::new(Q::ONE)));
+/// assert!(combined.valid());
+/// assert!(!combined.op(&a).valid()); // 3/2 at key 1
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct GMap<K, A> {
+    entries: BTreeMap<K, A>,
+}
+
+impl<K: Ord + Clone, A> GMap<K, A> {
+    /// Creates the empty map (the unit).
+    pub fn new() -> GMap<K, A> {
+        GMap {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a singleton map.
+    pub fn singleton(key: K, value: A) -> GMap<K, A> {
+        let mut entries = BTreeMap::new();
+        entries.insert(key, value);
+        GMap { entries }
+    }
+
+    /// Inserts an entry, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: A) -> Option<A> {
+        self.entries.insert(key, value)
+    }
+
+    /// Removes an entry.
+    pub fn remove(&mut self, key: &K) -> Option<A> {
+        self.entries.remove(key)
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, key: &K) -> Option<&A> {
+        self.entries.get(key)
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &A)> {
+        self.entries.iter()
+    }
+
+    /// The set of keys, in order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.keys()
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+}
+
+impl<K: Ord + Clone, A> Default for GMap<K, A> {
+    fn default() -> Self {
+        GMap::new()
+    }
+}
+
+impl<K: Ord + Clone, A> FromIterator<(K, A)> for GMap<K, A> {
+    fn from_iter<I: IntoIterator<Item = (K, A)>>(iter: I) -> Self {
+        GMap {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug, A: fmt::Debug> fmt::Debug for GMap<K, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.entries.iter()).finish()
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug, A: Ra> Ra for GMap<K, A> {
+    fn op(&self, other: &Self) -> Self {
+        let mut out = self.entries.clone();
+        for (k, v) in &other.entries {
+            match out.get_mut(k) {
+                Some(existing) => {
+                    *existing = existing.op(v);
+                }
+                None => {
+                    out.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        GMap { entries: out }
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        // Pointwise core, dropping entries without one (absence = unit).
+        Some(GMap {
+            entries: self
+                .entries
+                .iter()
+                .filter_map(|(k, v)| v.pcore().map(|c| (k.clone(), c)))
+                .collect(),
+        })
+    }
+
+    fn valid(&self) -> bool {
+        self.entries.values().all(Ra::valid)
+    }
+
+    fn validn(&self, n: crate::step::StepIdx) -> bool {
+        self.entries.values().all(|v| v.validn(n))
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        self.entries.iter().all(|(k, v)| match other.entries.get(k) {
+            Some(w) => v.included_in(w),
+            None => false,
+        })
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug, A: Ra> UnitRa for GMap<K, A> {
+    fn unit() -> Self {
+        GMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::excl::Excl;
+    use crate::frac::Frac;
+    use crate::ra::{law_assoc, law_comm, law_core_id, law_core_idem, law_unit, law_valid_op};
+    use crate::rational::Q;
+
+    fn m(entries: &[(u32, Frac)]) -> GMap<u32, Frac> {
+        entries.iter().cloned().collect()
+    }
+
+    #[test]
+    fn pointwise_composition() {
+        let a = m(&[(1, Frac::new(Q::HALF)), (2, Frac::new(Q::new(1, 3)))]);
+        let b = m(&[(1, Frac::new(Q::HALF))]);
+        let c = a.op(&b);
+        assert_eq!(c.get(&1), Some(&Frac::FULL));
+        assert_eq!(c.get(&2), Some(&Frac::new(Q::new(1, 3))));
+    }
+
+    #[test]
+    fn invalid_when_any_entry_invalid() {
+        let a = m(&[(1, Frac::FULL)]);
+        assert!(a.valid());
+        assert!(!a.op(&a).valid());
+    }
+
+    #[test]
+    fn disjoint_exclusive_maps_compose() {
+        let a = GMap::singleton(1u32, Excl::new(10));
+        let b = GMap::singleton(2u32, Excl::new(20));
+        assert!(a.op(&b).valid());
+        assert!(!a.op(&a).valid());
+    }
+
+    #[test]
+    fn laws() {
+        let xs = [
+            GMap::new(),
+            m(&[(1, Frac::new(Q::HALF))]),
+            m(&[(1, Frac::new(Q::HALF)), (2, Frac::FULL)]),
+            m(&[(2, Frac::new(Q::new(1, 3)))]),
+        ];
+        for a in &xs {
+            assert!(law_core_id(a).ok());
+            assert!(law_core_idem(a).ok());
+            assert!(law_unit(a).ok());
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion_is_pointwise() {
+        let small = m(&[(1, Frac::new(Q::HALF))]);
+        let big = m(&[(1, Frac::FULL), (2, Frac::new(Q::HALF))]);
+        assert!(small.included_in(&big));
+        assert!(!big.included_in(&small));
+        assert!(GMap::<u32, Frac>::new().included_in(&small));
+    }
+
+    #[test]
+    fn collection_api() {
+        let mut a = GMap::new();
+        assert!(a.is_empty());
+        a.insert(1u32, Frac::FULL);
+        assert_eq!(a.len(), 1);
+        assert!(a.contains_key(&1));
+        assert_eq!(a.remove(&1), Some(Frac::FULL));
+        assert!(a.is_empty());
+    }
+}

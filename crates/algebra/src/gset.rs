@@ -1,0 +1,169 @@
+//! The disjoint-set resource algebra `GSet<K>`.
+//!
+//! Sets compose by *disjoint* union: overlapping unions are invalid. This
+//! models ownership of abstract tokens (e.g. allocated names).
+
+use crate::ra::{Ra, UnitRa};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of tokens composing by disjoint union.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::{GSet, Ra};
+///
+/// let a = GSet::from_iter([1, 2]);
+/// let b = GSet::from_iter([3]);
+/// assert!(a.op(&b).valid());
+/// assert!(!a.op(&a).valid()); // overlap
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub enum GSet<K> {
+    /// A valid set of tokens.
+    Set(BTreeSet<K>),
+    /// The invalid element produced by an overlapping union.
+    Bot,
+}
+
+impl<K: Ord + Clone> GSet<K> {
+    /// The empty set (the unit).
+    pub fn new() -> GSet<K> {
+        GSet::Set(BTreeSet::new())
+    }
+
+    /// A singleton token set.
+    pub fn singleton(k: K) -> GSet<K> {
+        GSet::Set(BTreeSet::from_iter([k]))
+    }
+
+    /// The underlying token set, if valid.
+    pub fn as_set(&self) -> Option<&BTreeSet<K>> {
+        match self {
+            GSet::Set(s) => Some(s),
+            GSet::Bot => None,
+        }
+    }
+
+    /// Whether the token is owned by this (valid) set.
+    pub fn contains(&self, k: &K) -> bool {
+        matches!(self, GSet::Set(s) if s.contains(k))
+    }
+}
+
+impl<K: Ord + Clone> Default for GSet<K> {
+    fn default() -> Self {
+        GSet::new()
+    }
+}
+
+impl<K: Ord + Clone> FromIterator<K> for GSet<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        GSet::Set(iter.into_iter().collect())
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug> fmt::Debug for GSet<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GSet::Set(s) => f.debug_set().entries(s.iter()).finish(),
+            GSet::Bot => write!(f, "⊥"),
+        }
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug> Ra for GSet<K> {
+    fn op(&self, other: &Self) -> Self {
+        match (self, other) {
+            (GSet::Set(a), GSet::Set(b)) => {
+                if a.intersection(b).next().is_some() {
+                    GSet::Bot
+                } else {
+                    GSet::Set(a.union(b).cloned().collect())
+                }
+            }
+            _ => GSet::Bot,
+        }
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        Some(GSet::new())
+    }
+
+    fn valid(&self) -> bool {
+        matches!(self, GSet::Set(_))
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        match (self, other) {
+            (GSet::Set(a), GSet::Set(b)) => a.is_subset(b),
+            (_, GSet::Bot) => true,
+            (GSet::Bot, GSet::Set(_)) => false,
+        }
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug> UnitRa for GSet<K> {
+    fn unit() -> Self {
+        GSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ra::{law_assoc, law_comm, law_core_id, law_core_idem, law_unit, law_valid_op};
+
+    #[test]
+    fn disjoint_union() {
+        let a = GSet::from_iter([1, 2]);
+        let b = GSet::from_iter([3, 4]);
+        assert_eq!(a.op(&b), GSet::from_iter([1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn overlap_is_invalid() {
+        let a = GSet::from_iter([1, 2]);
+        let b = GSet::from_iter([2, 3]);
+        assert!(!a.op(&b).valid());
+    }
+
+    #[test]
+    fn laws() {
+        let xs = [
+            GSet::new(),
+            GSet::from_iter([1]),
+            GSet::from_iter([2]),
+            GSet::from_iter([1, 2]),
+            GSet::Bot,
+        ];
+        for a in &xs {
+            assert!(law_core_id(a).ok());
+            assert!(law_core_idem(a).ok());
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+        assert!(law_unit(&GSet::from_iter([5])).ok());
+    }
+
+    #[test]
+    fn membership() {
+        let a = GSet::from_iter(["x"]);
+        assert!(a.contains(&"x"));
+        assert!(!a.contains(&"y"));
+        assert!(!GSet::<&str>::Bot.contains(&"x"));
+    }
+
+    #[test]
+    fn inclusion_is_subset() {
+        assert!(GSet::from_iter([1]).included_in(&GSet::from_iter([1, 2])));
+        assert!(!GSet::from_iter([3]).included_in(&GSet::from_iter([1, 2])));
+        assert!(GSet::from_iter([1]).included_in(&GSet::Bot));
+    }
+}

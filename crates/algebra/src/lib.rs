@@ -1,0 +1,80 @@
+//! # `daenerys-algebra` — resource algebras for the destabilized Iris logic
+//!
+//! This crate provides the algebraic substrate of the Daenerys logic
+//! (our executable reproduction of *Destabilizing Iris*, PLDI 2025):
+//!
+//! * exact rational arithmetic for fractional permissions ([`Q`]);
+//! * step-indexing primitives ([`StepIdx`], [`SProp`]);
+//! * the resource-algebra interface ([`Ra`], [`UnitRa`]) together with
+//!   executable law checkers;
+//! * the standard camera constructions: [`Excl`], [`Agree`], [`Frac`],
+//!   [`DFrac`], [`SumNat`], [`MaxNat`], products, [`Option`]-lifting,
+//!   finite maps ([`GMap`]), token sets ([`GSet`]), and the authoritative
+//!   construction ([`Auth`]);
+//! * checked frame-preserving and local updates
+//!   ([`frame_preserving_update`], [`local_update`]);
+//! * [`Enumerable`] universes that let `daenerys-core` model-check
+//!   entailments and proof rules over finite resource samples.
+//!
+//! # Example
+//!
+//! ```
+//! use daenerys_algebra::{Auth, frame_preserving_update, Ra, SumNat};
+//!
+//! // The authoritative counter: an authority bounds the fragments.
+//! let state = Auth::auth(SumNat(2));
+//! let contrib = Auth::frag(SumNat(2));
+//! assert!(state.op(&contrib).valid());
+//!
+//! // Exclusive ghost state updates freely.
+//! use daenerys_algebra::Excl;
+//! let frames = Excl::<u64>::enumerate_frames();
+//! assert!(frame_preserving_update(&Excl::new(0), &Excl::new(1), &frames));
+//!
+//! // Small helper used in this doc test:
+//! trait EnumFrames: Sized { fn enumerate_frames() -> Vec<Self>; }
+//! impl EnumFrames for Excl<u64> {
+//!     fn enumerate_frames() -> Vec<Self> {
+//!         use daenerys_algebra::Enumerable;
+//!         Excl::enumerate(3)
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod agree;
+mod auth;
+mod dfrac;
+mod excl;
+mod frac;
+mod gmap;
+mod gset;
+mod nat;
+mod option;
+mod prod;
+mod ra;
+mod rational;
+mod step;
+mod universe;
+mod updates;
+
+pub use agree::Agree;
+pub use auth::Auth;
+pub use dfrac::DFrac;
+pub use excl::Excl;
+pub use frac::Frac;
+pub use gmap::GMap;
+pub use gset::GSet;
+pub use nat::{MaxNat, SumNat};
+pub use ra::{
+    law_assoc, law_comm, law_core_id, law_core_idem, law_core_mono, law_included_op, law_unit,
+    law_valid_op, LawOutcome, Ra, UnitRa,
+};
+pub use rational::Q;
+pub use step::{SProp, StepIdx};
+pub use universe::Enumerable;
+pub use updates::{
+    exclusive_local_update, frame_preserving_update, frame_preserving_update_set, local_update,
+};

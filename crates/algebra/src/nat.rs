@@ -1,0 +1,139 @@
+//! Natural-number resource algebras: `SumNat` (addition) and `MaxNat`
+//! (maximum).
+//!
+//! `SumNat` is the counting RA (e.g. contribution counters); `MaxNat` is
+//! the monotone-counter RA whose elements are freely duplicable lower
+//! bounds.
+
+use crate::ra::{Ra, UnitRa};
+
+/// Naturals under addition — the counting RA. Always valid.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::{Ra, SumNat};
+///
+/// assert_eq!(SumNat(2).op(&SumNat(3)), SumNat(5));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SumNat(pub u64);
+
+impl Ra for SumNat {
+    fn op(&self, other: &Self) -> Self {
+        SumNat(self.0 + other.0)
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        Some(SumNat(0))
+    }
+
+    fn valid(&self) -> bool {
+        true
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+
+impl UnitRa for SumNat {
+    fn unit() -> Self {
+        SumNat(0)
+    }
+}
+
+/// Naturals under maximum — the monotone-counter RA. Every element is its
+/// own core (a lower bound can be shared freely).
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::{MaxNat, Ra};
+///
+/// let bound = MaxNat(4);
+/// assert_eq!(bound.op(&MaxNat(7)), MaxNat(7));
+/// assert!(bound.is_core());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct MaxNat(pub u64);
+
+impl Ra for MaxNat {
+    fn op(&self, other: &Self) -> Self {
+        MaxNat(self.0.max(other.0))
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        Some(*self)
+    }
+
+    fn valid(&self) -> bool {
+        true
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+
+impl UnitRa for MaxNat {
+    fn unit() -> Self {
+        MaxNat(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ra::{
+        law_assoc, law_comm, law_core_id, law_core_idem, law_core_mono, law_unit, law_valid_op,
+    };
+
+    #[test]
+    fn sum_nat_counts() {
+        assert_eq!(SumNat(1).pow(5), SumNat(5));
+        assert_eq!(SumNat::unit(), SumNat(0));
+    }
+
+    #[test]
+    fn max_nat_is_lattice_join() {
+        assert_eq!(MaxNat(3).op(&MaxNat(5)), MaxNat(5));
+        assert_eq!(MaxNat(5).op(&MaxNat(5)), MaxNat(5));
+    }
+
+    #[test]
+    fn laws_sum() {
+        let xs: Vec<SumNat> = (0..5).map(SumNat).collect();
+        for a in &xs {
+            assert!(law_core_id(a).ok());
+            assert!(law_core_idem(a).ok());
+            assert!(law_unit(a).ok());
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                assert!(law_core_mono(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn laws_max() {
+        let xs: Vec<MaxNat> = (0..5).map(MaxNat).collect();
+        for a in &xs {
+            assert!(law_core_id(a).ok());
+            assert!(law_core_idem(a).ok());
+            assert!(law_unit(a).ok());
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                assert!(law_core_mono(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+    }
+}

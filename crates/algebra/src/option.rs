@@ -1,0 +1,104 @@
+//! The option lifting: `Option<A>` adds a unit to any resource algebra.
+//!
+//! `None` acts as the unit, turning any RA into a unital one. This is the
+//! standard way Iris builds unital cameras from non-unital ones (e.g. the
+//! authoritative camera's management part).
+
+use crate::ra::{Ra, UnitRa};
+
+impl<A: Ra> Ra for Option<A> {
+    fn op(&self, other: &Self) -> Self {
+        match (self, other) {
+            (None, x) | (x, None) => x.clone(),
+            (Some(a), Some(b)) => Some(a.op(b)),
+        }
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        // The option core is total: absent inner cores collapse to the
+        // unit `None`.
+        match self {
+            None => Some(None),
+            Some(a) => Some(a.pcore()),
+        }
+    }
+
+    fn valid(&self) -> bool {
+        match self {
+            None => true,
+            Some(a) => a.valid(),
+        }
+    }
+
+    fn validn(&self, n: crate::step::StepIdx) -> bool {
+        match self {
+            None => true,
+            Some(a) => a.validn(n),
+        }
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        match (self, other) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => a.included_in(b),
+        }
+    }
+}
+
+impl<A: Ra> UnitRa for Option<A> {
+    fn unit() -> Self {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::excl::Excl;
+    use crate::frac::Frac;
+    use crate::ra::{
+        law_assoc, law_comm, law_core_id, law_core_idem, law_core_mono, law_unit, law_valid_op,
+    };
+    use crate::rational::Q;
+
+    #[test]
+    fn none_is_unit() {
+        let a = Some(Frac::new(Q::HALF));
+        assert_eq!(None.op(&a), a);
+        assert_eq!(a.op(&None), a);
+        assert!(Option::<Frac>::None.valid());
+    }
+
+    #[test]
+    fn core_is_total() {
+        // Frac has no core, but Option<Frac> does: the unit.
+        assert_eq!(Some(Frac::FULL).pcore(), Some(None));
+        assert_eq!(Option::<Frac>::None.pcore(), Some(None));
+    }
+
+    #[test]
+    fn laws_over_excl() {
+        let xs = [None, Some(Excl::new(1)), Some(Excl::new(2)), Some(Excl::Bot)];
+        for a in &xs {
+            assert!(law_core_id(a).ok());
+            assert!(law_core_idem(a).ok());
+            assert!(law_unit(a).ok());
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                assert!(law_core_mono(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inclusion() {
+        assert!(Option::<Frac>::None.included_in(&Some(Frac::FULL)));
+        assert!(Some(Frac::new(Q::HALF)).included_in(&Some(Frac::FULL)));
+        assert!(!Some(Frac::FULL).included_in(&None));
+    }
+}

@@ -1,0 +1,92 @@
+//! The product resource algebra: componentwise composition on pairs.
+
+use crate::ra::{Ra, UnitRa};
+
+impl<A: Ra, B: Ra> Ra for (A, B) {
+    fn op(&self, other: &Self) -> Self {
+        (self.0.op(&other.0), self.1.op(&other.1))
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        match (self.0.pcore(), self.1.pcore()) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    fn valid(&self) -> bool {
+        self.0.valid() && self.1.valid()
+    }
+
+    fn validn(&self, n: crate::step::StepIdx) -> bool {
+        self.0.validn(n) && self.1.validn(n)
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        // Componentwise reflexive-extension order. This is sound (a ≼ b
+        // componentwise implies a ≼ b) and complete for products where
+        // mixed "one side equal, one side strictly extended" splits exist,
+        // which holds for all unital components; for non-unital components
+        // it is a sound approximation used only by law checking.
+        self == other || (self.0.included_in(&other.0) && self.1.included_in(&other.1))
+    }
+}
+
+impl<A: UnitRa, B: UnitRa> UnitRa for (A, B) {
+    fn unit() -> Self {
+        (A::unit(), B::unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frac::Frac;
+    use crate::nat::{MaxNat, SumNat};
+    use crate::ra::{law_assoc, law_comm, law_core_id, law_core_idem, law_unit, law_valid_op};
+    use crate::rational::Q;
+
+    #[test]
+    fn componentwise_op() {
+        let x = (SumNat(1), MaxNat(5));
+        let y = (SumNat(2), MaxNat(3));
+        assert_eq!(x.op(&y), (SumNat(3), MaxNat(5)));
+    }
+
+    #[test]
+    fn validity_is_conjunction() {
+        let good = (Frac::new(Q::HALF), SumNat(0));
+        let bad = (Frac::new(Q::ONE + Q::ONE), SumNat(0));
+        assert!(good.valid());
+        assert!(!bad.valid());
+    }
+
+    #[test]
+    fn core_requires_both() {
+        // Frac has no core, so neither does the pair.
+        assert_eq!((Frac::FULL, SumNat(1)).pcore(), None);
+        assert_eq!(
+            (SumNat(1), MaxNat(2)).pcore(),
+            Some((SumNat(0), MaxNat(2)))
+        );
+    }
+
+    #[test]
+    fn laws() {
+        let xs: Vec<(SumNat, MaxNat)> = (0..3)
+            .flat_map(|a| (0..3).map(move |b| (SumNat(a), MaxNat(b))))
+            .collect();
+        for a in &xs {
+            assert!(law_core_id(a).ok());
+            assert!(law_core_idem(a).ok());
+            assert!(law_unit(a).ok());
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The resource-algebra (camera) interface.
+//!
+//! A *resource algebra* (RA) is the unit of ghost state in Iris: a set
+//! with a partial commutative monoid structure given by a total `op`
+//! combined with a validity predicate (invalid elements represent the
+//! undefined compositions), and a partial `core` extracting the duplicable
+//! part of an element. *Cameras* additionally have step-indexed validity;
+//! all our concrete instances are discrete, so [`Ra::validn`] defaults to
+//! [`Ra::valid`].
+
+use crate::step::StepIdx;
+use std::fmt;
+
+/// A (discrete) resource algebra.
+///
+/// Implementations must satisfy the RA laws, which are property-tested in
+/// this crate's test suite and summarized here:
+///
+/// * `op` is associative and commutative;
+/// * `valid(a ⋅ b)` implies `valid(a)` (validity is down-closed);
+/// * if `pcore(a) = Some(c)` then `c ⋅ a = a`, `pcore(c) = Some(c)`, and
+///   the core is monotone with respect to [`Ra::included_in`];
+/// * `included_in` decides the *reflexive* extension order:
+///   `a ≼ b` iff `a = b` or `∃c. b = a ⋅ c`.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::{Frac, Q, Ra};
+///
+/// let half = Frac::new(Q::HALF);
+/// assert!(half.op(&half).valid());          // 1/2 + 1/2 = 1 is valid
+/// assert!(!half.op(&half).op(&half).valid()); // 3/2 is not
+/// ```
+pub trait Ra: Sized + Clone + PartialEq + fmt::Debug {
+    /// Composes two resources. Total; invalid combinations must yield an
+    /// element on which [`Ra::valid`] is `false`.
+    fn op(&self, other: &Self) -> Self;
+
+    /// The partial core: the duplicable fragment of the resource, if any.
+    fn pcore(&self) -> Option<Self>;
+
+    /// Whether the resource is valid (a meaningful composition).
+    fn valid(&self) -> bool;
+
+    /// Step-indexed validity. All concrete instances in this crate are
+    /// discrete, so this defaults to [`Ra::valid`].
+    fn validn(&self, _n: StepIdx) -> bool {
+        self.valid()
+    }
+
+    /// Decides the reflexive extension order `a ≼ b`.
+    fn included_in(&self, other: &Self) -> bool;
+
+    /// Composes with an optional resource (the "frame may be absent"
+    /// pattern that shows up in frame-preserving updates).
+    fn op_opt(&self, other: Option<&Self>) -> Self {
+        match other {
+            None => self.clone(),
+            Some(o) => self.op(o),
+        }
+    }
+
+    /// Whether the element is its own core (a "persistent"/duplicable
+    /// element).
+    fn is_core(&self) -> bool {
+        self.pcore().as_ref() == Some(self)
+    }
+
+    /// `n`-fold self-composition; `pow(0)` is undefined for non-unital
+    /// RAs, so `n` must be at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn pow(&self, n: usize) -> Self {
+        assert!(n >= 1, "pow requires n >= 1");
+        let mut acc = self.clone();
+        for _ in 1..n {
+            acc = acc.op(self);
+        }
+        acc
+    }
+}
+
+/// A resource algebra with a unit element (a *unital* RA).
+pub trait UnitRa: Ra {
+    /// The unit: `unit() ⋅ a = a` and `valid(unit())`.
+    fn unit() -> Self;
+}
+
+/// Outcome of checking one RA law on one tuple of elements; used both by
+/// the property-test suite and by the T3 evaluation table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LawOutcome {
+    /// The law holds on this tuple.
+    Holds,
+    /// The law's premise is false on this tuple, so it holds vacuously.
+    Vacuous,
+    /// The law is violated on this tuple.
+    Violated,
+}
+
+impl LawOutcome {
+    /// Whether the outcome is not a violation.
+    pub fn ok(self) -> bool {
+        self != LawOutcome::Violated
+    }
+}
+
+/// Checks associativity: `(a ⋅ b) ⋅ c = a ⋅ (b ⋅ c)`.
+pub fn law_assoc<A: Ra>(a: &A, b: &A, c: &A) -> LawOutcome {
+    if a.op(b).op(c) == a.op(&b.op(c)) {
+        LawOutcome::Holds
+    } else {
+        LawOutcome::Violated
+    }
+}
+
+/// Checks commutativity: `a ⋅ b = b ⋅ a`.
+pub fn law_comm<A: Ra>(a: &A, b: &A) -> LawOutcome {
+    if a.op(b) == b.op(a) {
+        LawOutcome::Holds
+    } else {
+        LawOutcome::Violated
+    }
+}
+
+/// Checks that validity is down-closed: `valid(a ⋅ b) → valid(a)`.
+pub fn law_valid_op<A: Ra>(a: &A, b: &A) -> LawOutcome {
+    if !a.op(b).valid() {
+        LawOutcome::Vacuous
+    } else if a.valid() {
+        LawOutcome::Holds
+    } else {
+        LawOutcome::Violated
+    }
+}
+
+/// Checks core absorption: `pcore(a) = Some(c) → c ⋅ a = a`.
+pub fn law_core_id<A: Ra>(a: &A) -> LawOutcome {
+    match a.pcore() {
+        None => LawOutcome::Vacuous,
+        Some(c) => {
+            if c.op(a) == *a {
+                LawOutcome::Holds
+            } else {
+                LawOutcome::Violated
+            }
+        }
+    }
+}
+
+/// Checks core idempotence: `pcore(a) = Some(c) → pcore(c) = Some(c)`.
+pub fn law_core_idem<A: Ra>(a: &A) -> LawOutcome {
+    match a.pcore() {
+        None => LawOutcome::Vacuous,
+        Some(c) => {
+            if c.pcore().as_ref() == Some(&c) {
+                LawOutcome::Holds
+            } else {
+                LawOutcome::Violated
+            }
+        }
+    }
+}
+
+/// Checks core monotonicity (on concrete witnesses): if `a ≼ b` and
+/// `pcore(a) = Some(ca)` then `pcore(b)` exists and `ca ≼ pcore(b)`.
+pub fn law_core_mono<A: Ra>(a: &A, b: &A) -> LawOutcome {
+    if !a.included_in(b) {
+        return LawOutcome::Vacuous;
+    }
+    match a.pcore() {
+        None => LawOutcome::Vacuous,
+        Some(ca) => match b.pcore() {
+            None => LawOutcome::Violated,
+            Some(cb) => {
+                if ca.included_in(&cb) {
+                    LawOutcome::Holds
+                } else {
+                    LawOutcome::Violated
+                }
+            }
+        },
+    }
+}
+
+/// Checks that `included_in` is sound with respect to `op`:
+/// `a ≼ a ⋅ b` must hold for every `a`, `b`.
+pub fn law_included_op<A: Ra>(a: &A, b: &A) -> LawOutcome {
+    if a.included_in(&a.op(b)) {
+        LawOutcome::Holds
+    } else {
+        LawOutcome::Violated
+    }
+}
+
+/// Checks the unit laws of a unital RA on a sample element.
+pub fn law_unit<A: UnitRa>(a: &A) -> LawOutcome {
+    let u = A::unit();
+    if u.valid() && u.op(a) == *a && u.pcore().as_ref() == Some(&u) {
+        LawOutcome::Holds
+    } else {
+        LawOutcome::Violated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny hand-rolled RA for exercising the law checkers themselves:
+    /// the multiset-over-one-element RA (naturals under addition), where
+    /// validity caps the count at 3.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    struct Capped(u32);
+
+    impl Ra for Capped {
+        fn op(&self, other: &Self) -> Self {
+            Capped(self.0 + other.0)
+        }
+        fn pcore(&self) -> Option<Self> {
+            Some(Capped(0))
+        }
+        fn valid(&self) -> bool {
+            self.0 <= 3
+        }
+        fn included_in(&self, other: &Self) -> bool {
+            self.0 <= other.0
+        }
+    }
+
+    impl UnitRa for Capped {
+        fn unit() -> Self {
+            Capped(0)
+        }
+    }
+
+    #[test]
+    fn laws_on_capped() {
+        let xs = [Capped(0), Capped(1), Capped(2), Capped(3), Capped(4)];
+        for a in &xs {
+            assert!(law_core_id(a).ok());
+            assert!(law_core_idem(a).ok());
+            assert!(law_unit(a).ok());
+            for b in &xs {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                assert!(law_core_mono(a, b).ok());
+                assert!(law_included_op(a, b).ok());
+                for c in &xs {
+                    assert!(law_assoc(a, b, c).ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_is_iterated_op() {
+        assert_eq!(Capped(1).pow(3), Capped(3));
+        assert_eq!(Capped(2).pow(1), Capped(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "pow requires")]
+    fn pow_zero_panics() {
+        let _ = Capped(1).pow(0);
+    }
+
+    #[test]
+    fn is_core_detects_units() {
+        assert!(Capped(0).is_core());
+        assert!(!Capped(1).is_core());
+    }
+
+    #[test]
+    fn law_outcome_ok() {
+        assert!(LawOutcome::Holds.ok());
+        assert!(LawOutcome::Vacuous.ok());
+        assert!(!LawOutcome::Violated.ok());
+    }
+
+    #[test]
+    fn op_opt_handles_absent_frame() {
+        assert_eq!(Capped(2).op_opt(None), Capped(2));
+        assert_eq!(Capped(2).op_opt(Some(&Capped(1))), Capped(3));
+    }
+}

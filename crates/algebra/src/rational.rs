@@ -1,0 +1,259 @@
+//! Exact rational arithmetic for fractional permissions.
+//!
+//! Separation-logic permission accounting must be exact: `1/3 + 1/3 + 1/3`
+//! has to equal `1`, and `1/2 + 1/2 + ε` has to be detected as invalid.
+//! Floating point cannot do either, so we implement a small normalized
+//! rational type over `i128`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A rational number, kept in lowest terms with a strictly positive
+/// denominator.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::Q;
+///
+/// let third = Q::new(1, 3);
+/// assert_eq!(third + third + third, Q::ONE);
+/// assert!(Q::new(1, 2) + Q::new(1, 2) <= Q::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Q {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Q {
+    /// The rational zero.
+    pub const ZERO: Q = Q { num: 0, den: 1 };
+    /// The rational one — the full permission.
+    pub const ONE: Q = Q { num: 1, den: 1 };
+    /// One half, the most common split.
+    pub const HALF: Q = Q { num: 1, den: 2 };
+
+    /// Creates the rational `num / den`, normalizing signs and common
+    /// factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Q {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Q {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Creates the integer rational `n/1`.
+    pub fn from_int(n: i64) -> Q {
+        Q {
+            num: n as i128,
+            den: 1,
+        }
+    }
+
+    /// The numerator after normalization.
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The (strictly positive) denominator after normalization.
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is a valid *fraction permission*: `0 < q <= 1`.
+    pub fn is_valid_permission(self) -> bool {
+        self > Q::ZERO && self <= Q::ONE
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// The minimum of two rationals.
+    pub fn min(self, other: Q) -> Q {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two rationals.
+    pub fn max(self, other: Q) -> Q {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Splits the fraction in half: `q.split() + q.split() == q`.
+    pub fn split(self) -> Q {
+        Q::new(self.num, self.den * 2)
+    }
+}
+
+impl Default for Q {
+    fn default() -> Q {
+        Q::ZERO
+    }
+}
+
+impl Add for Q {
+    type Output = Q;
+    fn add(self, rhs: Q) -> Q {
+        Q::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Q {
+    type Output = Q;
+    fn sub(self, rhs: Q) -> Q {
+        Q::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Q {
+    type Output = Q;
+    fn mul(self, rhs: Q) -> Q {
+        Q::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Q {
+    type Output = Q;
+    /// # Panics
+    ///
+    /// Panics when dividing by zero.
+    fn div(self, rhs: Q) -> Q {
+        assert!(rhs.num != 0, "division by zero rational");
+        Q::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Q {
+    type Output = Q;
+    fn neg(self) -> Q {
+        Q {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Q {
+    fn partial_cmp(&self, other: &Q) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Q {
+    fn cmp(&self, other: &Q) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Debug for Q {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Q {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Q {
+    fn from(n: i64) -> Q {
+        Q::from_int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Q::new(2, 4), Q::new(1, 2));
+        assert_eq!(Q::new(-1, -2), Q::new(1, 2));
+        assert_eq!(Q::new(1, -2), Q::new(-1, 2));
+        assert_eq!(Q::new(0, 5), Q::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let third = Q::new(1, 3);
+        assert_eq!(third + third + third, Q::ONE);
+        assert_eq!(Q::HALF * Q::HALF, Q::new(1, 4));
+        assert_eq!(Q::ONE - Q::new(1, 4), Q::new(3, 4));
+        assert_eq!(Q::HALF / Q::HALF, Q::ONE);
+        assert_eq!(-Q::HALF + Q::HALF, Q::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Q::new(1, 3) < Q::HALF);
+        assert!(Q::new(2, 3) > Q::HALF);
+        assert!(Q::new(-1, 2) < Q::ZERO);
+        assert_eq!(Q::new(3, 6).cmp(&Q::HALF), Ordering::Equal);
+    }
+
+    #[test]
+    fn permission_validity() {
+        assert!(Q::ONE.is_valid_permission());
+        assert!(Q::new(1, 1024).is_valid_permission());
+        assert!(!Q::ZERO.is_valid_permission());
+        assert!(!(Q::ONE + Q::new(1, 1024)).is_valid_permission());
+        assert!(!(-Q::HALF).is_valid_permission());
+    }
+
+    #[test]
+    fn split_halves() {
+        let q = Q::new(2, 3);
+        assert_eq!(q.split() + q.split(), q);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Q::HALF.min(Q::ONE), Q::HALF);
+        assert_eq!(Q::HALF.max(Q::ONE), Q::ONE);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Q::new(1, 2).to_string(), "1/2");
+        assert_eq!(Q::from_int(7).to_string(), "7");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Q::new(1, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Step-indexing primitives.
+//!
+//! Iris is a *step-indexed* logic: truth is relative to a natural number
+//! of remaining computation steps, and assertions must be *down-closed* —
+//! if they hold at `n` they hold at every `m <= n`. This module provides
+//! the step-index type and the lattice of down-closed step sets
+//! ([`SProp`]), which is the codomain of the semantic evaluator in
+//! `daenerys-core`.
+
+use std::fmt;
+
+/// A step index: the number of computation steps the assertion is still
+/// good for.
+pub type StepIdx = usize;
+
+/// A down-closed set of step indices — a "step-indexed proposition".
+///
+/// Every down-closed subset of the naturals is either empty, everything
+/// below some bound, or all of ℕ, so three constructors suffice.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::SProp;
+///
+/// let p = SProp::up_to(3); // holds at 0,1,2,3
+/// assert!(p.holds(3) && !p.holds(4));
+/// assert_eq!(p.and(SProp::True), p);
+/// assert_eq!(p.or(SProp::False), p);
+/// assert!(p.later().holds(4));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SProp {
+    /// Holds at no step index.
+    #[default]
+    False,
+    /// Holds at every index `<= bound`.
+    UpTo(StepIdx),
+    /// Holds at every step index.
+    True,
+}
+
+impl SProp {
+    /// The proposition holding exactly at indices `<= bound`.
+    pub fn up_to(bound: StepIdx) -> SProp {
+        SProp::UpTo(bound)
+    }
+
+    /// Builds an `SProp` from a boolean: `True` or `False` uniformly.
+    pub fn from_bool(b: bool) -> SProp {
+        if b {
+            SProp::True
+        } else {
+            SProp::False
+        }
+    }
+
+    /// Whether the proposition holds at step index `n`.
+    pub fn holds(self, n: StepIdx) -> bool {
+        match self {
+            SProp::False => false,
+            SProp::UpTo(k) => n <= k,
+            SProp::True => true,
+        }
+    }
+
+    /// Meet: holds where both hold.
+    pub fn and(self, other: SProp) -> SProp {
+        match (self, other) {
+            (SProp::False, _) | (_, SProp::False) => SProp::False,
+            (SProp::True, p) | (p, SProp::True) => p,
+            (SProp::UpTo(a), SProp::UpTo(b)) => SProp::UpTo(a.min(b)),
+        }
+    }
+
+    /// Join: holds where either holds.
+    pub fn or(self, other: SProp) -> SProp {
+        match (self, other) {
+            (SProp::True, _) | (_, SProp::True) => SProp::True,
+            (SProp::False, p) | (p, SProp::False) => p,
+            (SProp::UpTo(a), SProp::UpTo(b)) => SProp::UpTo(a.max(b)),
+        }
+    }
+
+    /// The `later` shift: `▷P` holds at `n` iff `n == 0` or `P` holds at
+    /// `n - 1`. On down-closed sets this bumps the bound by one.
+    pub fn later(self) -> SProp {
+        match self {
+            SProp::False => SProp::UpTo(0),
+            SProp::UpTo(k) => SProp::UpTo(k + 1),
+            SProp::True => SProp::True,
+        }
+    }
+
+    /// Whether `self` is contained in `other` (entailment of step sets).
+    pub fn implies(self, other: SProp) -> bool {
+        match (self, other) {
+            (SProp::False, _) => true,
+            (_, SProp::True) => true,
+            (SProp::True, _) => false,
+            (SProp::UpTo(a), SProp::UpTo(b)) => a <= b,
+            (SProp::UpTo(_), SProp::False) => false,
+        }
+    }
+
+    /// Restricts the proposition to indices `<= bound`; useful when the
+    /// evaluator works with a finite step budget.
+    pub fn truncate(self, bound: StepIdx) -> SProp {
+        self.and(SProp::UpTo(bound))
+    }
+}
+
+impl fmt::Display for SProp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SProp::False => write!(f, "⊥"),
+            SProp::UpTo(k) => write!(f, "≤{}", k),
+            SProp::True => write!(f, "⊤"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn down_closure() {
+        let p = SProp::up_to(5);
+        for n in 0..=5 {
+            assert!(p.holds(n));
+        }
+        assert!(!p.holds(6));
+    }
+
+    #[test]
+    fn lattice_ops() {
+        let a = SProp::up_to(3);
+        let b = SProp::up_to(7);
+        assert_eq!(a.and(b), a);
+        assert_eq!(a.or(b), b);
+        assert_eq!(SProp::True.and(a), a);
+        assert_eq!(SProp::False.or(a), a);
+        assert_eq!(SProp::True.or(a), SProp::True);
+        assert_eq!(SProp::False.and(a), SProp::False);
+    }
+
+    #[test]
+    fn later_shifts() {
+        assert_eq!(SProp::False.later(), SProp::up_to(0));
+        assert_eq!(SProp::up_to(2).later(), SProp::up_to(3));
+        assert_eq!(SProp::True.later(), SProp::True);
+        // ▷ is monotone
+        assert!(SProp::up_to(1).later().implies(SProp::up_to(2).later()));
+    }
+
+    #[test]
+    fn implication() {
+        assert!(SProp::False.implies(SProp::False));
+        assert!(SProp::up_to(2).implies(SProp::up_to(2)));
+        assert!(SProp::up_to(2).implies(SProp::True));
+        assert!(!SProp::True.implies(SProp::up_to(1000)));
+        assert!(!SProp::up_to(3).implies(SProp::up_to(2)));
+    }
+
+    #[test]
+    fn truncation() {
+        assert_eq!(SProp::True.truncate(4), SProp::up_to(4));
+        assert_eq!(SProp::up_to(2).truncate(4), SProp::up_to(2));
+        assert_eq!(SProp::False.truncate(4), SProp::False);
+    }
+
+    #[test]
+    fn from_bool_roundtrip() {
+        assert!(SProp::from_bool(true).holds(99));
+        assert!(!SProp::from_bool(false).holds(0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Enumerable universes for bounded model checking.
+//!
+//! The semantic soundness checks in `daenerys-core` quantify over "all
+//! resources" and "all frames". Over a genuinely infinite carrier that is
+//! impossible, so every RA we model-check implements [`Enumerable`]: a
+//! finite, budget-controlled sample of the carrier that includes the
+//! elements the laws and updates actually distinguish (units, invalid
+//! elements, boundary fractions, …).
+
+use crate::agree::Agree;
+use crate::auth::Auth;
+use crate::dfrac::DFrac;
+use crate::excl::Excl;
+use crate::frac::Frac;
+use crate::gset::GSet;
+use crate::nat::{MaxNat, SumNat};
+use crate::ra::UnitRa;
+use crate::rational::Q;
+
+/// A type whose carrier can be sampled up to a budget.
+///
+/// The budget is a soft size control: larger budgets yield strictly more
+/// elements. Implementations must return *deduplicated* vectors and should
+/// include the algebra's distinguished elements (units, bottoms) at every
+/// budget.
+pub trait Enumerable: Sized {
+    /// Samples the carrier with the given budget.
+    fn enumerate(budget: usize) -> Vec<Self>;
+}
+
+impl Enumerable for bool {
+    fn enumerate(_budget: usize) -> Vec<bool> {
+        vec![false, true]
+    }
+}
+
+impl Enumerable for u64 {
+    fn enumerate(budget: usize) -> Vec<u64> {
+        (0..=budget as u64).collect()
+    }
+}
+
+impl Enumerable for Q {
+    fn enumerate(budget: usize) -> Vec<Q> {
+        let mut out = vec![Q::ZERO];
+        let denom_max = (budget as i128).clamp(1, 6);
+        for den in 1..=denom_max {
+            for num in -1..=(den + 1) {
+                let q = Q::new(num, den);
+                if !out.contains(&q) {
+                    out.push(q);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Enumerable for Frac {
+    // The Frac carrier is the *positive* rationals (as in Iris's `Qp`);
+    // zero and negative amounts are not elements, merely q > 1 is the
+    // invalid region.
+    fn enumerate(budget: usize) -> Vec<Frac> {
+        Q::enumerate(budget)
+            .into_iter()
+            .filter(|q| q.is_positive())
+            .map(Frac::new)
+            .collect()
+    }
+}
+
+impl Enumerable for DFrac {
+    fn enumerate(budget: usize) -> Vec<DFrac> {
+        let mut out = vec![DFrac::Discarded];
+        for q in Q::enumerate(budget) {
+            if q.is_positive() {
+                out.push(DFrac::Own(q));
+                out.push(DFrac::Both(q));
+            }
+        }
+        out
+    }
+}
+
+impl Enumerable for SumNat {
+    fn enumerate(budget: usize) -> Vec<SumNat> {
+        (0..=budget as u64).map(SumNat).collect()
+    }
+}
+
+impl Enumerable for MaxNat {
+    fn enumerate(budget: usize) -> Vec<MaxNat> {
+        (0..=budget as u64).map(MaxNat).collect()
+    }
+}
+
+impl<T: Enumerable> Enumerable for Excl<T> {
+    fn enumerate(budget: usize) -> Vec<Excl<T>> {
+        let mut out: Vec<Excl<T>> = T::enumerate(budget).into_iter().map(Excl::Own).collect();
+        out.push(Excl::Bot);
+        out
+    }
+}
+
+impl<T: Enumerable> Enumerable for Agree<T> {
+    fn enumerate(budget: usize) -> Vec<Agree<T>> {
+        let mut out: Vec<Agree<T>> = T::enumerate(budget).into_iter().map(Agree::Ag).collect();
+        out.push(Agree::Bot);
+        out
+    }
+}
+
+impl<A: Enumerable> Enumerable for Option<A> {
+    fn enumerate(budget: usize) -> Vec<Option<A>> {
+        let mut out = vec![None];
+        out.extend(A::enumerate(budget).into_iter().map(Some));
+        out
+    }
+}
+
+impl<A: Enumerable + Clone, B: Enumerable + Clone> Enumerable for (A, B) {
+    fn enumerate(budget: usize) -> Vec<(A, B)> {
+        let aa = A::enumerate(budget);
+        let bb = B::enumerate(budget);
+        let mut out = Vec::with_capacity(aa.len() * bb.len());
+        for a in &aa {
+            for b in &bb {
+                out.push((a.clone(), b.clone()));
+            }
+        }
+        out
+    }
+}
+
+impl<A: Enumerable + UnitRa> Enumerable for Auth<A> {
+    fn enumerate(budget: usize) -> Vec<Auth<A>> {
+        let elems = A::enumerate(budget);
+        let mut out = vec![Auth::unit()];
+        for a in &elems {
+            out.push(Auth::auth(a.clone()));
+            out.push(Auth::frag(a.clone()));
+            for b in &elems {
+                out.push(Auth::both(a.clone(), b.clone()));
+            }
+        }
+        out
+    }
+}
+
+impl Enumerable for GSet<u64> {
+    fn enumerate(budget: usize) -> Vec<GSet<u64>> {
+        // All subsets of {0, .., min(budget,4)-1}, plus Bot.
+        let n = budget.clamp(1, 4);
+        let mut out = Vec::with_capacity((1 << n) + 1);
+        for mask in 0u32..(1 << n) {
+            out.push(GSet::from_iter(
+                (0..n as u64).filter(|i| mask & (1 << i) != 0),
+            ));
+        }
+        out.push(GSet::Bot);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ra::Ra;
+
+    #[test]
+    fn universes_are_deduplicated() {
+        fn dedup_len<T: PartialEq>(xs: &[T]) -> usize {
+            let mut seen: Vec<&T> = Vec::new();
+            for x in xs {
+                if !seen.contains(&x) {
+                    seen.push(x);
+                }
+            }
+            seen.len()
+        }
+        let qs = Q::enumerate(4);
+        assert_eq!(dedup_len(&qs), qs.len());
+        let ds = DFrac::enumerate(3);
+        assert_eq!(dedup_len(&ds), ds.len());
+    }
+
+    #[test]
+    fn budget_grows_universe() {
+        assert!(SumNat::enumerate(8).len() > SumNat::enumerate(2).len());
+        assert!(Q::enumerate(6).len() > Q::enumerate(1).len());
+    }
+
+    #[test]
+    fn distinguished_elements_present() {
+        assert!(Frac::enumerate(2).contains(&Frac::FULL));
+        assert!(Excl::<u64>::enumerate(2).contains(&Excl::Bot));
+        assert!(Agree::<bool>::enumerate(1).contains(&Agree::Bot));
+        assert!(Option::<Frac>::enumerate(2).contains(&None));
+        assert!(GSet::<u64>::enumerate(2).iter().any(|s| !s.valid()));
+    }
+
+    #[test]
+    fn auth_universe_contains_both_parts() {
+        let u = Auth::<SumNat>::enumerate(2);
+        assert!(u.iter().any(|x| x.authority().is_some()));
+        assert!(u.iter().any(|x| x.authority().is_none()));
+    }
+}

@@ -1,0 +1,189 @@
+//! Frame-preserving and local updates.
+//!
+//! A *frame-preserving update* `a ~~> B` says the owner of `a` may replace
+//! it by some `b ∈ B` without invalidating any environment frame. These
+//! updates are what the basic update modality `|==>` quantifies over. In
+//! the paper's destabilized setting they are also exactly the interference
+//! the environment may inflict on *unstable* assertions, so the same
+//! machinery drives the rely relation in `daenerys-core`.
+//!
+//! Because our model checking works over enumerable universes, updates
+//! here are *checked* against an explicit set of candidate frames rather
+//! than proved once and for all.
+
+use crate::ra::Ra;
+
+/// Checks the frame-preserving update `a ~~> {b}` against the given
+/// candidate frames (the absent frame is always included).
+///
+/// Returns `true` iff for every frame `f` (including "no frame"),
+/// `valid(a ⋅ f)` implies `valid(b ⋅ f)`.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_algebra::{frame_preserving_update, Excl};
+///
+/// // The exclusive RA supports arbitrary updates: no frame can coexist.
+/// let frames = vec![Excl::new(0), Excl::new(1)];
+/// assert!(frame_preserving_update(&Excl::new(0), &Excl::new(1), &frames));
+/// ```
+pub fn frame_preserving_update<A: Ra>(a: &A, b: &A, frames: &[A]) -> bool {
+    frame_preserving_update_set(a, std::slice::from_ref(b), frames)
+}
+
+/// Checks the nondeterministic frame-preserving update `a ~~> B`.
+///
+/// For every frame `f` (including "no frame") with `valid(a ⋅ f)`, some
+/// `b ∈ bs` must satisfy `valid(b ⋅ f)`.
+pub fn frame_preserving_update_set<A: Ra>(a: &A, bs: &[A], frames: &[A]) -> bool {
+    // The absent frame.
+    if a.valid() && !bs.iter().any(Ra::valid) {
+        return false;
+    }
+    frames.iter().all(|f| {
+        if a.op(f).valid() {
+            bs.iter().any(|b| b.op(f).valid())
+        } else {
+            true
+        }
+    })
+}
+
+/// Checks the *local update* `(a, b) ~l~> (a', b')` against candidate
+/// frames: for every optional frame `c` with `valid(a)` and `a = b ⋅? c`,
+/// we need `valid(a')` and `a' = b' ⋅? c`.
+///
+/// Local updates justify simultaneous authoritative/fragment updates in
+/// the [`crate::Auth`] camera.
+pub fn local_update<A: Ra>(a: &A, b: &A, a2: &A, b2: &A, frames: &[A]) -> bool {
+    let mut candidates: Vec<Option<&A>> = vec![None];
+    candidates.extend(frames.iter().map(Some));
+    candidates.into_iter().all(|c| {
+        let premise = a.valid() && *a == b.op_opt(c);
+        if premise {
+            a2.valid() && *a2 == b2.op_opt(c)
+        } else {
+            true
+        }
+    })
+}
+
+/// The exclusive local update: when the fragment equals the whole
+/// authority (`b = a`), the pair may be replaced by any `(a', a')`.
+/// This is the update backing `●a ⋅ ◯a ==> ●a' ⋅ ◯a'`.
+pub fn exclusive_local_update<A: Ra>(a: &A, a2: &A, frames: &[A]) -> bool {
+    a2.valid() && local_update(a, a, a2, a2, frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agree::Agree;
+    use crate::excl::Excl;
+    use crate::frac::Frac;
+    use crate::nat::{MaxNat, SumNat};
+    use crate::rational::Q;
+
+    #[test]
+    fn excl_updates_freely() {
+        let frames = vec![Excl::new(0), Excl::new(1), Excl::new(2), Excl::Bot];
+        assert!(frame_preserving_update(
+            &Excl::new(0),
+            &Excl::new(2),
+            &frames
+        ));
+    }
+
+    #[test]
+    fn agree_cannot_update() {
+        let frames = vec![Agree::new(0), Agree::new(1)];
+        // Changing an agreement would invalidate the frame agreeing on the
+        // old value.
+        assert!(!frame_preserving_update(
+            &Agree::new(0),
+            &Agree::new(1),
+            &frames
+        ));
+    }
+
+    #[test]
+    fn frac_full_can_update_to_full() {
+        let frames = vec![
+            Frac::new(Q::HALF),
+            Frac::new(Q::new(1, 3)),
+            Frac::new(Q::ONE),
+        ];
+        // Full ownership tolerates no frame, so updating to itself (or any
+        // full fraction) is frame-preserving.
+        assert!(frame_preserving_update(&Frac::FULL, &Frac::FULL, &frames));
+        // A half permission cannot grow to full: the other half may exist.
+        assert!(!frame_preserving_update(
+            &Frac::new(Q::HALF),
+            &Frac::FULL,
+            &frames
+        ));
+    }
+
+    #[test]
+    fn update_to_invalid_rejected() {
+        let frames: Vec<Frac> = vec![];
+        assert!(!frame_preserving_update(
+            &Frac::FULL,
+            &Frac::new(Q::ZERO),
+            &frames
+        ));
+    }
+
+    #[test]
+    fn nondeterministic_update() {
+        let frames = vec![Excl::new(1)];
+        // a ~~> {b1, b2} where only b2 works.
+        assert!(frame_preserving_update_set(
+            &Excl::new(0),
+            &[Excl::Bot, Excl::new(9)],
+            &frames
+        ));
+    }
+
+    #[test]
+    fn local_update_increments_counter() {
+        let frames: Vec<SumNat> = (0..6).map(SumNat).collect();
+        // (5, 2) ~l~> (6, 3): adding one to both sides preserves any frame
+        // c with 5 = 2 + c.
+        assert!(local_update(
+            &SumNat(5),
+            &SumNat(2),
+            &SumNat(6),
+            &SumNat(3),
+            &frames
+        ));
+        // (5, 2) ~l~> (6, 2) breaks the frame c = 3: 6 ≠ 2 + 3.
+        assert!(!local_update(
+            &SumNat(5),
+            &SumNat(2),
+            &SumNat(6),
+            &SumNat(2),
+            &frames
+        ));
+    }
+
+    #[test]
+    fn max_nat_grows_locally() {
+        let frames: Vec<MaxNat> = (0..8).map(MaxNat).collect();
+        // (5, 5) ~l~> (7, 7): raising the authority and witness together.
+        assert!(local_update(
+            &MaxNat(5),
+            &MaxNat(5),
+            &MaxNat(7),
+            &MaxNat(7),
+            &frames
+        ));
+    }
+
+    #[test]
+    fn exclusive_local_update_requires_full_fragment() {
+        let frames: Vec<SumNat> = (0..4).map(SumNat).collect();
+        assert!(exclusive_local_update(&SumNat(3), &SumNat(9), &frames));
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests of the RA laws for every camera instance.
+//!
+//! These are the executable counterpart of the Rocq lemmas certifying
+//! each camera in the original artifact (see DESIGN.md, experiment T3).
+
+use daenerys_algebra::{
+    law_assoc, law_comm, law_core_id, law_core_idem, law_core_mono, law_included_op, law_unit,
+    law_valid_op, Agree, Auth, DFrac, Enumerable, Excl, Frac, GMap, GSet, MaxNat, Q, Ra, SumNat,
+    UnitRa,
+};
+use proptest::prelude::*;
+
+/// Runs the full non-unital law battery on three elements.
+fn check_laws<A: Ra>(a: &A, b: &A, c: &A) {
+    assert!(law_assoc(a, b, c).ok(), "assoc failed: {a:?} {b:?} {c:?}");
+    assert!(law_comm(a, b).ok(), "comm failed: {a:?} {b:?}");
+    assert!(law_valid_op(a, b).ok(), "valid-op failed: {a:?} {b:?}");
+    assert!(law_core_id(a).ok(), "core-id failed: {a:?}");
+    assert!(law_core_idem(a).ok(), "core-idem failed: {a:?}");
+    assert!(law_core_mono(a, b).ok(), "core-mono failed: {a:?} {b:?}");
+    assert!(
+        law_included_op(a, b).ok(),
+        "included-op failed: {a:?} {b:?}"
+    );
+}
+
+fn arb_q() -> impl Strategy<Value = Q> {
+    (-4i128..=8, 1i128..=6).prop_map(|(n, d)| Q::new(n, d))
+}
+
+/// Positive rationals — the carrier of the permission algebras (Iris's
+/// `Qp`). Zero/negative amounts are not elements of `Frac`/`DFrac`.
+fn arb_qp() -> impl Strategy<Value = Q> {
+    (1i128..=8, 1i128..=6).prop_map(|(n, d)| Q::new(n, d))
+}
+
+fn arb_frac() -> impl Strategy<Value = Frac> {
+    arb_qp().prop_map(Frac::new)
+}
+
+fn arb_dfrac() -> impl Strategy<Value = DFrac> {
+    prop_oneof![
+        arb_qp().prop_map(DFrac::Own),
+        Just(DFrac::Discarded),
+        arb_qp().prop_map(DFrac::Both),
+    ]
+}
+
+fn arb_excl() -> impl Strategy<Value = Excl<u8>> {
+    prop_oneof![any::<u8>().prop_map(Excl::Own), Just(Excl::Bot)]
+}
+
+fn arb_agree() -> impl Strategy<Value = Agree<u8>> {
+    prop_oneof![any::<u8>().prop_map(Agree::Ag), Just(Agree::Bot)]
+}
+
+fn arb_gmap() -> impl Strategy<Value = GMap<u8, Frac>> {
+    proptest::collection::btree_map(0u8..6, arb_frac(), 0..4)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+fn arb_gset() -> impl Strategy<Value = GSet<u64>> {
+    prop_oneof![
+        proptest::collection::btree_set(0u64..8, 0..5).prop_map(GSet::from_iter),
+        Just(GSet::Bot),
+    ]
+}
+
+fn arb_auth() -> impl Strategy<Value = Auth<SumNat>> {
+    let nat = (0u64..8).prop_map(SumNat);
+    prop_oneof![
+        Just(Auth::unit()),
+        nat.clone().prop_map(Auth::auth),
+        nat.clone().prop_map(Auth::frag),
+        (nat.clone(), nat).prop_map(|(a, b)| Auth::both(a, b)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn frac_laws(a in arb_frac(), b in arb_frac(), c in arb_frac()) {
+        check_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn dfrac_laws(a in arb_dfrac(), b in arb_dfrac(), c in arb_dfrac()) {
+        check_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn excl_laws(a in arb_excl(), b in arb_excl(), c in arb_excl()) {
+        check_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn agree_laws(a in arb_agree(), b in arb_agree(), c in arb_agree()) {
+        check_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn sum_nat_laws(a in 0u64..64, b in 0u64..64, c in 0u64..64) {
+        check_laws(&SumNat(a), &SumNat(b), &SumNat(c));
+        assert!(law_unit(&SumNat(a)).ok());
+    }
+
+    #[test]
+    fn max_nat_laws(a in 0u64..64, b in 0u64..64, c in 0u64..64) {
+        check_laws(&MaxNat(a), &MaxNat(b), &MaxNat(c));
+        assert!(law_unit(&MaxNat(a)).ok());
+    }
+
+    #[test]
+    fn option_frac_laws(
+        a in proptest::option::of(arb_frac()),
+        b in proptest::option::of(arb_frac()),
+        c in proptest::option::of(arb_frac()),
+    ) {
+        check_laws(&a, &b, &c);
+        assert!(law_unit(&a).ok());
+    }
+
+    #[test]
+    fn pair_laws(
+        a in (0u64..8, 0u64..8),
+        b in (0u64..8, 0u64..8),
+        c in (0u64..8, 0u64..8),
+    ) {
+        let f = |(x, y): (u64, u64)| (SumNat(x), MaxNat(y));
+        check_laws(&f(a), &f(b), &f(c));
+        assert!(law_unit(&f(a)).ok());
+    }
+
+    #[test]
+    fn gmap_laws(a in arb_gmap(), b in arb_gmap(), c in arb_gmap()) {
+        check_laws(&a, &b, &c);
+        assert!(law_unit(&a).ok());
+    }
+
+    #[test]
+    fn gset_laws(a in arb_gset(), b in arb_gset(), c in arb_gset()) {
+        check_laws(&a, &b, &c);
+    }
+
+    #[test]
+    fn auth_laws(a in arb_auth(), b in arb_auth(), c in arb_auth()) {
+        check_laws(&a, &b, &c);
+        assert!(law_unit(&a).ok());
+    }
+
+    #[test]
+    fn rational_field_laws(a in arb_q(), b in arb_q(), c in arb_q()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Q::ZERO);
+        prop_assert_eq!(a + Q::ZERO, a);
+        prop_assert_eq!(a * Q::ONE, a);
+    }
+
+    #[test]
+    fn rational_order_compatible(a in arb_q(), b in arb_q(), c in arb_q()) {
+        if a <= b {
+            prop_assert!(a + c <= b + c);
+        }
+    }
+}
+
+/// Exhaustive law check over the enumerated universes — this is what the
+/// T3 table reports on.
+#[test]
+fn exhaustive_laws_over_universes() {
+    fn battery<A: Ra + Enumerable>(budget: usize) -> usize {
+        let u = A::enumerate(budget);
+        let mut checked = 0;
+        for a in &u {
+            assert!(law_core_id(a).ok());
+            assert!(law_core_idem(a).ok());
+            for b in &u {
+                assert!(law_comm(a, b).ok());
+                assert!(law_valid_op(a, b).ok());
+                assert!(law_core_mono(a, b).ok());
+                assert!(law_included_op(a, b).ok());
+                for c in &u {
+                    assert!(law_assoc(a, b, c).ok());
+                    checked += 1;
+                }
+            }
+        }
+        checked
+    }
+    assert!(battery::<Frac>(3) > 0);
+    assert!(battery::<DFrac>(2) > 0);
+    assert!(battery::<Excl<bool>>(1) > 0);
+    assert!(battery::<Agree<bool>>(1) > 0);
+    assert!(battery::<SumNat>(4) > 0);
+    assert!(battery::<MaxNat>(4) > 0);
+    assert!(battery::<Option<Frac>>(2) > 0);
+    assert!(battery::<Auth<SumNat>>(2) > 0);
+    assert!(battery::<GSet<u64>>(3) > 0);
+}

@@ -1,0 +1,49 @@
+//! F3 (timing): adequacy-testing throughput — exhaustive interleaving
+//! exploration and monitored execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use daenerys_core::Res;
+use daenerys_heaplang::{explore, parse, Heap, Machine};
+use daenerys_proglog::MonMachine;
+
+fn counter_program(threads: usize) -> String {
+    let mut src = String::from("let c = ref 0 in ");
+    for _ in 0..threads.saturating_sub(1) {
+        src.push_str("fork (faa(c, 1)); ");
+    }
+    src.push_str("faa(c, 1); !c");
+    src
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adequacy");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for threads in [1usize, 2, 3] {
+        let prog = parse(&counter_program(threads)).expect("parses");
+        group.bench_with_input(
+            BenchmarkId::new("explore_all_interleavings", threads),
+            &threads,
+            |b, _| b.iter(|| explore(Machine::new(prog.clone()), 1024)),
+        );
+    }
+
+    // Monitored vs. unmonitored single-thread execution overhead.
+    let seq = parse("let l = ref 0 in (rec go n => if n <= 0 then !l else (l <- !l + n; go (n - 1))) 50")
+        .expect("parses");
+    group.bench_function("unmonitored_run", |b| {
+        b.iter(|| daenerys_heaplang::run(seq.clone(), 100_000).expect("runs"))
+    });
+    group.bench_function("monitored_run", |b| {
+        b.iter(|| {
+            let mut m = MonMachine::new(seq.clone(), Res::empty(), Heap::new());
+            m.run(100_000).expect("runs");
+            m
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! F4 (timing): proof-kernel throughput — rule applications per second
+//! and semantic entailment-check latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use daenerys_core::check::{catalog, corpus, verify_catalog};
+use daenerys_core::{entails, Assert, Term, UniverseSpec};
+use daenerys_heaplang::Loc;
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // Building the whole rule catalog = hundreds of kernel applications.
+    let ps = corpus();
+    group.bench_function("catalog_construction", |b| b.iter(|| catalog(&ps)));
+
+    // Model-checking the catalog (the T2 table).
+    let uni = UniverseSpec::tiny().build();
+    let derivations = catalog(&ps);
+    group.bench_function("catalog_verification", |b| {
+        b.iter(|| verify_catalog(&derivations, &uni, 1))
+    });
+
+    // Single entailment latency for growing assertion sizes.
+    let l = Term::loc(Loc(0));
+    let half = Assert::points_to_frac(l.clone(), daenerys_algebra::Q::HALF, Term::int(1));
+    for depth in [1usize, 2, 4] {
+        let mut p = half.clone();
+        for _ in 0..depth {
+            p = Assert::and(p.clone(), Assert::read_eq(l.clone(), Term::int(1)));
+        }
+        let q = Assert::read_eq(l.clone(), Term::int(1));
+        group.bench_with_input(BenchmarkId::new("entailment_check", depth), &depth, |b, _| {
+            b.iter(|| entails(&p, &q, &uni, 1).is_ok())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

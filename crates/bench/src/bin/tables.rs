@@ -1,0 +1,318 @@
+//! Regenerates every table and figure of the evaluation (EXPERIMENTS.md).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p daenerys-bench --bin tables [--t1] [--t2] [--t3] [--f1] [--f2] [--f3]
+//! ```
+//!
+//! With no flags, every table and figure is printed.
+
+use daenerys_bench::{micros, run_backend};
+use daenerys_core::check::{catalog, corpus, ghost_catalog, verify_catalog};
+use daenerys_core::{
+    check_stable, stabilize_fast, Assert, CameraKind, Term, UniverseSpec,
+};
+use daenerys_heaplang::{explore, parse, Machine};
+use daenerys_idf::{positive_cases, scaling_program, Backend};
+use std::time::Instant;
+
+const KNOWN_FLAGS: [&str; 7] = ["--t1", "--t2", "--t3", "--t4", "--f1", "--f2", "--f3"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        if !KNOWN_FLAGS.contains(&a.as_str()) {
+            eprintln!(
+                "tables: unknown flag {} (known: {})",
+                a,
+                KNOWN_FLAGS.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    let all = args.is_empty();
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    if want("--t1") {
+        table_t1();
+    }
+    if want("--t2") {
+        table_t2();
+    }
+    if want("--t3") {
+        table_t3();
+    }
+    if want("--t4") {
+        table_t4();
+    }
+    if want("--f1") {
+        figure_f1();
+    }
+    if want("--f2") {
+        figure_f2();
+    }
+    if want("--f3") {
+        figure_f3();
+    }
+}
+
+/// T1: case studies — destabilized vs stable-baseline cost.
+fn table_t1() {
+    println!("\nT1. Case studies: destabilized vs. stable-baseline encodings");
+    println!("    (obl = obligations, q = solver queries, wit = witnesses, reb = rebinds)\n");
+    println!(
+        "    {:<18} {:>5} {:>6} | {:>5} {:>6} {:>5} {:>5} | {:>7}",
+        "case", "obl_D", "q_D", "obl_S", "q_S", "wit", "reb", "ratio"
+    );
+    println!("    {}", "-".repeat(72));
+    let mut sum_d = 0usize;
+    let mut sum_s = 0usize;
+    for case in positive_cases() {
+        let d = run_backend(case.source, Backend::Destabilized);
+        let s = run_backend(case.source, Backend::StableBaseline);
+        let (od, qd) = (d.total(|x| x.obligations), d.total(|x| x.solver_queries));
+        let (os, qs) = (s.total(|x| x.obligations), s.total(|x| x.solver_queries));
+        let wit = s.total(|x| x.witnesses);
+        let reb = s.total(|x| x.rebinds);
+        sum_d += od;
+        sum_s += os + reb;
+        println!(
+            "    {:<18} {:>5} {:>6} | {:>5} {:>6} {:>5} {:>5} | {:>6.2}x",
+            case.name,
+            od,
+            qd,
+            os,
+            qs,
+            wit,
+            reb,
+            (os + reb) as f64 / od.max(1) as f64
+        );
+    }
+    println!("    {}", "-".repeat(72));
+    println!(
+        "    {:<18} {:>5}        | {:>5}                      | {:>6.2}x",
+        "TOTAL",
+        sum_d,
+        sum_s,
+        sum_s as f64 / sum_d.max(1) as f64
+    );
+}
+
+/// T2: kernel-rule soundness — every rule model-checked.
+fn table_t2() {
+    println!("\nT2. Proof-kernel rule soundness (model-checked over finite universes)\n");
+    let uni = UniverseSpec::tiny().build();
+    let derivations = catalog(&corpus());
+    let reports = verify_catalog(&derivations, &uni, 1);
+    println!(
+        "    {:<28} {:>9} {:>9} {:>7}",
+        "rule", "instances", "verified", "status"
+    );
+    println!("    {}", "-".repeat(58));
+    let mut total = 0;
+    let mut ok = 0;
+    for r in &reports {
+        total += r.instances;
+        ok += r.verified;
+        println!(
+            "    {:<28} {:>9} {:>9} {:>7}",
+            r.rule,
+            r.instances,
+            r.verified,
+            if r.ok() { "ok" } else { "FAIL" }
+        );
+    }
+    for kind in [CameraKind::ExclVal, CameraKind::Frac, CameraKind::AuthNat] {
+        let guni = UniverseSpec::with_ghost(kind).build();
+        for r in verify_catalog(&ghost_catalog(kind), &guni, 1) {
+            total += r.instances;
+            ok += r.verified;
+            println!(
+                "    {:<28} {:>9} {:>9} {:>7}   (ghost {:?})",
+                r.rule,
+                r.instances,
+                r.verified,
+                if r.ok() { "ok" } else { "FAIL" },
+                kind
+            );
+        }
+    }
+    println!("    {}", "-".repeat(58));
+    println!("    {:<28} {:>9} {:>9}", "TOTAL", total, ok);
+}
+
+/// T3: camera-law checks over enumerated universes.
+fn table_t3() {
+    use daenerys_algebra::{
+        law_assoc, law_comm, law_core_id, law_core_idem, law_core_mono, law_included_op,
+        law_valid_op, Agree, Auth, DFrac, Enumerable, Excl, Frac, GSet, MaxNat, Ra, SumNat,
+    };
+    println!("\nT3. Camera laws: exhaustive checks over enumerated carriers\n");
+    println!("    {:<16} {:>8} {:>10} {:>7}", "camera", "elements", "checks", "status");
+    println!("    {}", "-".repeat(46));
+
+    fn battery<A: Ra + Enumerable>(name: &str, budget: usize) {
+        let u = A::enumerate(budget);
+        let mut checks = 0usize;
+        let mut ok = true;
+        for a in &u {
+            ok &= law_core_id(a).ok() && law_core_idem(a).ok();
+            checks += 2;
+            for b in &u {
+                ok &= law_comm(a, b).ok()
+                    && law_valid_op(a, b).ok()
+                    && law_core_mono(a, b).ok()
+                    && law_included_op(a, b).ok();
+                checks += 4;
+                for c in &u {
+                    ok &= law_assoc(a, b, c).ok();
+                    checks += 1;
+                }
+            }
+        }
+        println!(
+            "    {:<16} {:>8} {:>10} {:>7}",
+            name,
+            u.len(),
+            checks,
+            if ok { "ok" } else { "FAIL" }
+        );
+    }
+    battery::<Frac>("Frac", 4);
+    battery::<DFrac>("DFrac", 3);
+    battery::<Excl<bool>>("Excl", 2);
+    battery::<Agree<bool>>("Agree", 2);
+    battery::<SumNat>("SumNat", 5);
+    battery::<MaxNat>("MaxNat", 5);
+    battery::<Option<Frac>>("Option<Frac>", 3);
+    battery::<Auth<SumNat>>("Auth<SumNat>", 2);
+    battery::<GSet<u64>>("GSet", 3);
+}
+
+/// T4: proof automation — kernel derivation sizes produced by the
+/// chunk-entailment prover as the goal grows.
+fn table_t4() {
+    use daenerys_core::{auto_entails, Assert, GhostName, GhostVal};
+    use daenerys_algebra::Frac;
+    println!("\nT4. Proof automation: kernel steps per automated entailment\n");
+    println!("    {:>8} {:>14} {:>12}", "chunks", "kernel steps", "time µs");
+    println!("    {}", "-".repeat(40));
+    for n in [2usize, 4, 8, 12] {
+        let chunks: Vec<Assert> = (0..n as u64)
+            .map(|i| {
+                Assert::Own(
+                    GhostName(i),
+                    GhostVal::Frac(Frac::new(daenerys_algebra::Q::HALF)),
+                )
+            })
+            .collect();
+        let lhs = chunks.iter().cloned().reduce(Assert::sep).expect("nonempty");
+        let rhs = chunks.iter().rev().cloned().reduce(Assert::sep).expect("nonempty");
+        let t0 = Instant::now();
+        let d = auto_entails(&lhs, &rhs).expect("automation succeeds");
+        let dt = t0.elapsed();
+        println!("    {:>8} {:>14} {:>12}", n, d.steps(), micros(dt));
+    }
+}
+
+/// F1: verifier scaling — time and work vs. program size.
+fn figure_f1() {
+    println!("\nF1. Verifier scaling (n objects updated; spec reads every field)\n");
+    println!(
+        "    {:>4} | {:>9} {:>7} | {:>9} {:>7} {:>7} | {:>7}",
+        "n", "obl_D", "µs_D", "obl_S+reb", "µs_S", "wit_S", "ratio"
+    );
+    println!("    {}", "-".repeat(66));
+    for n in [1usize, 2, 4, 8, 16, 24] {
+        let src = scaling_program(n);
+        let d = run_backend(&src, Backend::Destabilized);
+        let s = run_backend(&src, Backend::StableBaseline);
+        let od = d.total(|x| x.obligations);
+        let os = s.total(|x| x.obligations) + s.total(|x| x.rebinds);
+        println!(
+            "    {:>4} | {:>9} {:>7} | {:>9} {:>7} {:>7} | {:>6.2}x",
+            n,
+            od,
+            micros(d.time),
+            os,
+            micros(s.time),
+            s.total(|x| x.witnesses),
+            os as f64 / od.max(1) as f64
+        );
+    }
+}
+
+/// F2: stabilization cost — semantic ⌊·⌋ vs. the syntactic stabilizer.
+fn figure_f2() {
+    println!("\nF2. Stabilization cost: semantic ⌊P⌋ vs. syntactic stabilizer\n");
+    println!(
+        "    {:>6} {:>10} | {:>12} {:>12}",
+        "locs", "resources", "semantic µs", "syntactic µs"
+    );
+    println!("    {}", "-".repeat(50));
+    for locs in [1usize, 2] {
+        let spec = if locs == 1 {
+            UniverseSpec::tiny()
+        } else {
+            UniverseSpec::two_locs()
+        };
+        let uni = spec.build();
+        let read = Assert::read_eq(Term::loc(daenerys_heaplang::Loc(0)), Term::int(1));
+        let stab = Assert::stabilize(read.clone());
+
+        // Semantic: check stability of ⌊read⌋ (frame quantification).
+        let t0 = Instant::now();
+        let iters = 5;
+        for _ in 0..iters {
+            let _ = check_stable(&stab, &uni, 1);
+        }
+        let sem = t0.elapsed() / iters;
+
+        // Syntactic: one-pass transformation plus its stability check
+        // by the *syntactic* judgment.
+        let t0 = Instant::now();
+        for _ in 0..1000 {
+            let s = stabilize_fast(&read);
+            let _ = daenerys_core::syntactically_stable(&s);
+        }
+        let syn = t0.elapsed() / 1000;
+
+        println!(
+            "    {:>6} {:>10} | {:>12} {:>12}",
+            locs,
+            uni.resources.len(),
+            micros(sem),
+            micros(syn)
+        );
+    }
+}
+
+/// F3: adequacy throughput — exhaustive interleaving exploration.
+fn figure_f3() {
+    println!("\nF3. Adequacy testing: exhaustive schedule exploration\n");
+    println!(
+        "    {:>8} | {:>8} {:>10} {:>10} {:>11}",
+        "threads", "states", "terminals", "time µs", "states/ms"
+    );
+    println!("    {}", "-".repeat(56));
+    for threads in [1usize, 2, 3] {
+        let mut src = String::from("let c = ref 0 in ");
+        for _ in 0..threads.saturating_sub(1) {
+            src.push_str("fork (faa(c, 1)); ");
+        }
+        src.push_str("faa(c, 1); !c");
+        let prog = parse(&src).expect("parses");
+        let t0 = Instant::now();
+        let result = explore(Machine::new(prog), 1024);
+        let dt = t0.elapsed();
+        println!(
+            "    {:>8} | {:>8} {:>10} {:>10} {:>11.0}",
+            threads,
+            result.states_visited,
+            result.terminals.len(),
+            micros(dt),
+            result.states_visited as f64 / dt.as_secs_f64() / 1000.0
+        );
+    }
+}

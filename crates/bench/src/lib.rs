@@ -1,0 +1,64 @@
+//! Shared helpers for the Daenerys evaluation harness.
+//!
+//! The binary `tables` regenerates every table and figure of
+//! `EXPERIMENTS.md`; the Criterion benches measure the timing studies.
+
+#![warn(missing_docs)]
+
+use daenerys_idf::{parse_program, Backend, Verifier, VerifyStats};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Aggregated per-backend measurement for one program.
+#[derive(Clone, Debug)]
+pub struct BackendRun {
+    /// Wall-clock verification time.
+    pub time: Duration,
+    /// Per-method statistics.
+    pub stats: BTreeMap<String, VerifyStats>,
+}
+
+impl BackendRun {
+    /// Sums a statistic across methods.
+    pub fn total(&self, f: impl Fn(&VerifyStats) -> usize) -> usize {
+        self.stats.values().map(f).sum()
+    }
+}
+
+/// Verifies a program on one backend, timing it.
+///
+/// # Panics
+///
+/// Panics when the program does not parse or does not verify — the
+/// harness only measures verifying programs.
+pub fn run_backend(src: &str, backend: Backend) -> BackendRun {
+    let program = parse_program(src).expect("harness program parses");
+    let start = Instant::now();
+    let mut verifier = Verifier::new(&program, backend);
+    let stats = verifier
+        .verify_all()
+        .unwrap_or_else(|e| panic!("harness program must verify: {}", e));
+    BackendRun {
+        time: start.elapsed(),
+        stats,
+    }
+}
+
+/// Formats a duration in microseconds for table cells.
+pub fn micros(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_backend_measures_something() {
+        let src = "field v: Int
+                   method id(c: Ref) requires acc(c.v) ensures acc(c.v) { }";
+        let run = run_backend(src, Backend::Destabilized);
+        assert_eq!(run.stats.len(), 1);
+        assert!(run.total(|s| s.obligations) >= 1);
+    }
+}

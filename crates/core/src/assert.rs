@@ -1,0 +1,342 @@
+//! The assertion language of the destabilized logic.
+//!
+//! This is the deep embedding of Daenerys propositions. It contains the
+//! full Iris base-logic connectives (pure facts, the BI connectives,
+//! quantifiers over finite domains, `later`, `persistently`, the basic
+//! update) *plus* the destabilized additions:
+//!
+//! * [`Assert::Pure`] over terms with **heap reads** (heap-dependent
+//!   expressions), together with [`Assert::WellDef`] and
+//!   [`Assert::Framed`] for the IDF well-definedness side conditions;
+//! * **permission introspection** [`Assert::PermGe`]/[`Assert::PermEq`]
+//!   (non-monotone, Viper's `perm(x.f)`);
+//! * the **stabilization modalities**: `⌊P⌋` ([`Assert::Stabilize`], the
+//!   greatest stable strengthening) and `⌈P⌉` ([`Assert::Destab`], the
+//!   least stable weakening).
+
+use crate::term::Term;
+use crate::world::{GhostName, GhostVal};
+use daenerys_algebra::{DFrac, Q};
+use daenerys_heaplang::Val;
+use std::fmt;
+
+/// A proposition of the destabilized logic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Assert {
+    /// A pure fact: the term evaluates (in the current world!) to `true`.
+    Pure(Term),
+    /// The term evaluates without error (dangling reads fail this).
+    WellDef(Term),
+    /// Every heap read in the term is covered by owned permission.
+    Framed(Term),
+    /// The owned resource is the unit.
+    Emp,
+    /// Conjunction.
+    And(Box<Assert>, Box<Assert>),
+    /// Disjunction.
+    Or(Box<Assert>, Box<Assert>),
+    /// (Same-world) implication.
+    Impl(Box<Assert>, Box<Assert>),
+    /// Separating conjunction.
+    Sep(Box<Assert>, Box<Assert>),
+    /// Separating implication (magic wand).
+    Wand(Box<Assert>, Box<Assert>),
+    /// Universal quantification over a finite value domain.
+    Forall(String, Vec<Val>, Box<Assert>),
+    /// Existential quantification over a finite value domain.
+    Exists(String, Vec<Val>, Box<Assert>),
+    /// The later modality `▷ P`.
+    Later(Box<Assert>),
+    /// The persistence modality `□ P`.
+    Persistently(Box<Assert>),
+    /// The basic update modality `|==> P`.
+    BUpd(Box<Assert>),
+    /// Points-to `l ↦{dq} v` (terms for both location and value).
+    PointsTo(Term, DFrac, Term),
+    /// Ghost ownership `own γ a`.
+    Own(GhostName, GhostVal),
+    /// Permission introspection: owned permission at `l` is at least `q`.
+    PermGe(Term, Q),
+    /// Exact permission introspection.
+    PermEq(Term, Q),
+    /// Stabilization `⌊P⌋`: `P` holds under every compatible frame.
+    Stabilize(Box<Assert>),
+    /// Destabilization `⌈P⌉`: `P` holds under some compatible frame.
+    Destab(Box<Assert>),
+}
+
+impl Assert {
+    /// The always-true proposition.
+    pub fn truth() -> Assert {
+        Assert::Pure(Term::bool(true))
+    }
+
+    /// The always-false proposition.
+    pub fn falsity() -> Assert {
+        Assert::Pure(Term::bool(false))
+    }
+
+    /// Pure equality of two terms.
+    pub fn eq(a: Term, b: Term) -> Assert {
+        Assert::Pure(Term::eq(a, b))
+    }
+
+    /// `P ∧ Q`.
+    pub fn and(p: Assert, q: Assert) -> Assert {
+        Assert::And(Box::new(p), Box::new(q))
+    }
+
+    /// `P ∨ Q`.
+    pub fn or(p: Assert, q: Assert) -> Assert {
+        Assert::Or(Box::new(p), Box::new(q))
+    }
+
+    /// `P → Q`.
+    pub fn impl_(p: Assert, q: Assert) -> Assert {
+        Assert::Impl(Box::new(p), Box::new(q))
+    }
+
+    /// `P ∗ Q`.
+    pub fn sep(p: Assert, q: Assert) -> Assert {
+        Assert::Sep(Box::new(p), Box::new(q))
+    }
+
+    /// Iterated separating conjunction (right-nested; `Emp` if empty).
+    pub fn sep_all(ps: impl IntoIterator<Item = Assert>) -> Assert {
+        let mut items: Vec<Assert> = ps.into_iter().collect();
+        match items.pop() {
+            None => Assert::Emp,
+            Some(last) => items
+                .into_iter()
+                .rev()
+                .fold(last, |acc, p| Assert::sep(p, acc)),
+        }
+    }
+
+    /// `P −∗ Q`.
+    pub fn wand(p: Assert, q: Assert) -> Assert {
+        Assert::Wand(Box::new(p), Box::new(q))
+    }
+
+    /// `∀ x ∈ dom. P`.
+    pub fn forall(x: &str, dom: Vec<Val>, p: Assert) -> Assert {
+        Assert::Forall(x.to_string(), dom, Box::new(p))
+    }
+
+    /// `∃ x ∈ dom. P`.
+    pub fn exists(x: &str, dom: Vec<Val>, p: Assert) -> Assert {
+        Assert::Exists(x.to_string(), dom, Box::new(p))
+    }
+
+    /// `▷ P`.
+    pub fn later(p: Assert) -> Assert {
+        Assert::Later(Box::new(p))
+    }
+
+    /// `□ P`.
+    pub fn persistently(p: Assert) -> Assert {
+        Assert::Persistently(Box::new(p))
+    }
+
+    /// `|==> P`.
+    pub fn bupd(p: Assert) -> Assert {
+        Assert::BUpd(Box::new(p))
+    }
+
+    /// `l ↦ v` with full permission.
+    pub fn points_to(l: Term, v: Term) -> Assert {
+        Assert::PointsTo(l, DFrac::FULL, v)
+    }
+
+    /// `l ↦{q} v` with fractional permission.
+    pub fn points_to_frac(l: Term, q: Q, v: Term) -> Assert {
+        Assert::PointsTo(l, DFrac::own(q), v)
+    }
+
+    /// `⌊P⌋`.
+    pub fn stabilize(p: Assert) -> Assert {
+        Assert::Stabilize(Box::new(p))
+    }
+
+    /// `⌈P⌉`.
+    pub fn destab(p: Assert) -> Assert {
+        Assert::Destab(Box::new(p))
+    }
+
+    /// The heap-dependent assertion `⟦!l⟧ = v` — reads the combined heap.
+    pub fn read_eq(l: Term, v: Term) -> Assert {
+        Assert::Pure(Term::eq(Term::read(l), v))
+    }
+
+    /// Substitutes a value for a logic variable throughout.
+    pub fn subst(&self, x: &str, v: &Val) -> Assert {
+        use Assert::*;
+        match self {
+            Pure(t) => Pure(t.subst(x, v)),
+            WellDef(t) => WellDef(t.subst(x, v)),
+            Framed(t) => Framed(t.subst(x, v)),
+            Emp => Emp,
+            And(p, q) => Assert::and(p.subst(x, v), q.subst(x, v)),
+            Or(p, q) => Assert::or(p.subst(x, v), q.subst(x, v)),
+            Impl(p, q) => Assert::impl_(p.subst(x, v), q.subst(x, v)),
+            Sep(p, q) => Assert::sep(p.subst(x, v), q.subst(x, v)),
+            Wand(p, q) => Assert::wand(p.subst(x, v), q.subst(x, v)),
+            Forall(y, dom, p) => {
+                if y == x {
+                    self.clone()
+                } else {
+                    Forall(y.clone(), dom.clone(), Box::new(p.subst(x, v)))
+                }
+            }
+            Exists(y, dom, p) => {
+                if y == x {
+                    self.clone()
+                } else {
+                    Exists(y.clone(), dom.clone(), Box::new(p.subst(x, v)))
+                }
+            }
+            Later(p) => Assert::later(p.subst(x, v)),
+            Persistently(p) => Assert::persistently(p.subst(x, v)),
+            BUpd(p) => Assert::bupd(p.subst(x, v)),
+            PointsTo(l, dq, t) => PointsTo(l.subst(x, v), *dq, t.subst(x, v)),
+            Own(g, a) => Own(*g, a.clone()),
+            PermGe(l, q) => PermGe(l.subst(x, v), *q),
+            PermEq(l, q) => PermEq(l.subst(x, v), *q),
+            Stabilize(p) => Assert::stabilize(p.subst(x, v)),
+            Destab(p) => Assert::destab(p.subst(x, v)),
+        }
+    }
+
+    /// Whether the logic variable occurs free in the assertion.
+    pub fn mentions_var(&self, x: &str) -> bool {
+        fn term_mentions(t: &Term, x: &str) -> bool {
+            match t {
+                Term::Var(y) => y == x,
+                Term::Lit(_) => false,
+                Term::Read(a) | Term::Not(a) => term_mentions(a, x),
+                Term::Add(a, b)
+                | Term::Sub(a, b)
+                | Term::Mul(a, b)
+                | Term::Eq(a, b)
+                | Term::Lt(a, b)
+                | Term::Le(a, b)
+                | Term::And(a, b)
+                | Term::Or(a, b) => term_mentions(a, x) || term_mentions(b, x),
+            }
+        }
+        use Assert::*;
+        match self {
+            Pure(t) | WellDef(t) | Framed(t) => term_mentions(t, x),
+            Emp | Own(..) => false,
+            And(p, q) | Or(p, q) | Impl(p, q) | Sep(p, q) | Wand(p, q) => {
+                p.mentions_var(x) || q.mentions_var(x)
+            }
+            Forall(y, _, p) | Exists(y, _, p) => y != x && p.mentions_var(x),
+            Later(p) | Persistently(p) | BUpd(p) | Stabilize(p) | Destab(p) => {
+                p.mentions_var(x)
+            }
+            PointsTo(l, _, v) => term_mentions(l, x) || term_mentions(v, x),
+            PermGe(l, _) | PermEq(l, _) => term_mentions(l, x),
+        }
+    }
+
+    /// The number of connectives (used by the benchmark harness).
+    pub fn size(&self) -> usize {
+        use Assert::*;
+        1 + match self {
+            Pure(_) | WellDef(_) | Framed(_) | Emp | PointsTo(..) | Own(..) | PermGe(..)
+            | PermEq(..) => 0,
+            And(p, q) | Or(p, q) | Impl(p, q) | Sep(p, q) | Wand(p, q) => p.size() + q.size(),
+            Forall(_, _, p) | Exists(_, _, p) | Later(p) | Persistently(p) | BUpd(p)
+            | Stabilize(p) | Destab(p) => p.size(),
+        }
+    }
+}
+
+impl fmt::Display for Assert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Assert::*;
+        match self {
+            Pure(t) => write!(f, "⌜{}⌝", t),
+            WellDef(t) => write!(f, "wd({})", t),
+            Framed(t) => write!(f, "framed({})", t),
+            Emp => write!(f, "emp"),
+            And(p, q) => write!(f, "({} ∧ {})", p, q),
+            Or(p, q) => write!(f, "({} ∨ {})", p, q),
+            Impl(p, q) => write!(f, "({} → {})", p, q),
+            Sep(p, q) => write!(f, "({} ∗ {})", p, q),
+            Wand(p, q) => write!(f, "({} −∗ {})", p, q),
+            Forall(x, dom, p) => write!(f, "(∀ {}∈[{}]. {})", x, dom.len(), p),
+            Exists(x, dom, p) => write!(f, "(∃ {}∈[{}]. {})", x, dom.len(), p),
+            Later(p) => write!(f, "▷{}", p),
+            Persistently(p) => write!(f, "□{}", p),
+            BUpd(p) => write!(f, "|==> {}", p),
+            PointsTo(l, dq, v) => write!(f, "{} ↦{:?} {}", l, dq, v),
+            Own(g, a) => write!(f, "own {} {:?}", g, a),
+            PermGe(l, q) => write!(f, "perm({}) ≥ {}", l, q),
+            PermEq(l, q) => write!(f, "perm({}) = {}", l, q),
+            Stabilize(p) => write!(f, "⌊{}⌋", p),
+            Destab(p) => write!(f, "⌈{}⌉", p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daenerys_heaplang::Loc;
+
+    #[test]
+    fn builders_compose() {
+        let p = Assert::sep(
+            Assert::points_to(Term::loc(Loc(0)), Term::int(1)),
+            Assert::read_eq(Term::loc(Loc(0)), Term::int(1)),
+        );
+        assert_eq!(p.size(), 3);
+        assert!(p.to_string().contains("↦"));
+    }
+
+    #[test]
+    fn sep_all_of_empty_is_emp() {
+        assert_eq!(Assert::sep_all([]), Assert::Emp);
+        let one = Assert::truth();
+        assert_eq!(Assert::sep_all([one.clone()]), one);
+        assert_eq!(
+            Assert::sep_all([one.clone(), one.clone(), one.clone()]).size(),
+            5
+        );
+    }
+
+    #[test]
+    fn subst_respects_quantifier_shadowing() {
+        let p = Assert::exists(
+            "x",
+            vec![Val::int(0)],
+            Assert::eq(Term::var("x"), Term::var("y")),
+        );
+        let p2 = p.subst("y", &Val::int(3));
+        assert_eq!(
+            p2,
+            Assert::exists(
+                "x",
+                vec![Val::int(0)],
+                Assert::eq(Term::var("x"), Term::int(3)),
+            )
+        );
+        // Shadowed binder: substituting x is the identity.
+        assert_eq!(p.subst("x", &Val::int(9)), p);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for p in [
+            Assert::truth(),
+            Assert::Emp,
+            Assert::stabilize(Assert::read_eq(Term::loc(Loc(0)), Term::int(1))),
+            Assert::PermGe(Term::loc(Loc(0)), Q::HALF),
+            Assert::bupd(Assert::later(Assert::persistently(Assert::truth()))),
+        ] {
+            assert!(!p.to_string().is_empty());
+        }
+    }
+}

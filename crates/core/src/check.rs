@@ -1,0 +1,269 @@
+//! The kernel soundness harness (experiment T2).
+//!
+//! Enumerates instances of every proof rule over an assertion corpus and
+//! model-checks each produced [`Entails`] against the semantic
+//! evaluator. In the original artifact this assurance comes from Rocq
+//! proofs; here it comes from exhaustive finite-model validation.
+
+use crate::assert::Assert;
+use crate::eval::entails;
+use crate::proof::{self, destab, heap, modal, update, Entails};
+use crate::term::Term;
+use crate::universe::WorldUniverse;
+use crate::world::{CameraKind, GhostName, GhostVal};
+use daenerys_algebra::{Auth, DFrac, Excl, Frac, Q, StepIdx, SumNat};
+use daenerys_heaplang::{Loc, Val};
+
+/// The default assertion corpus for rule instantiation (over location 0
+/// and values 0/1, matching [`crate::universe::UniverseSpec::tiny`]).
+pub fn corpus() -> Vec<Assert> {
+    let l = Term::loc(Loc(0));
+    vec![
+        Assert::truth(),
+        Assert::falsity(),
+        Assert::Emp,
+        Assert::points_to(l.clone(), Term::int(1)),
+        Assert::points_to_frac(l.clone(), Q::HALF, Term::int(0)),
+        Assert::PointsTo(l.clone(), DFrac::discarded(), Term::int(1)),
+        Assert::read_eq(l.clone(), Term::int(1)),
+        Assert::PermGe(l.clone(), Q::HALF),
+        Assert::PermEq(l.clone(), Q::ONE),
+        Assert::Framed(Term::read(l.clone())),
+        Assert::stabilize(Assert::read_eq(l.clone(), Term::int(0))),
+        Assert::later(Assert::points_to(l, Term::int(0))),
+    ]
+}
+
+/// One rule's verification summary.
+#[derive(Clone, Debug)]
+pub struct RuleReport {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Number of instances generated.
+    pub instances: usize,
+    /// Number of instances that passed semantic validation.
+    pub verified: usize,
+    /// Pretty-printed failing instances (empty on success).
+    pub failures: Vec<String>,
+}
+
+impl RuleReport {
+    /// Whether every instance verified.
+    pub fn ok(&self) -> bool {
+        self.instances == self.verified
+    }
+}
+
+/// Generates kernel derivations for every axiom-style rule over the
+/// corpus. Conditional rules contribute only the instances whose side
+/// conditions hold (that is the point of the side condition).
+pub fn catalog(ps: &[Assert]) -> Vec<Entails> {
+    let l = || Term::loc(Loc(0));
+    let v0 = || Term::int(0);
+    let v1 = || Term::int(1);
+    let mut out: Vec<Entails> = Vec::new();
+
+    for p in ps {
+        out.push(proof::refl(p.clone()));
+        out.push(proof::true_intro(p.clone()));
+        out.push(proof::false_elim(p.clone()));
+        out.push(proof::emp_sep_intro(p.clone()));
+        out.push(proof::emp_sep_elim(p.clone()));
+        out.push(proof::sep_true_intro(p.clone()));
+        out.push(modal::later_intro(p.clone()));
+        out.push(modal::persistently_idem(p.clone()));
+        out.push(modal::persistently_unidem(p.clone()));
+        out.push(modal::persistently_dup(p.clone()));
+        out.push(destab::stab_elim(p.clone()));
+        out.push(destab::stab_idem(p.clone()));
+        out.push(destab::destab_intro(p.clone()));
+        out.push(update::bupd_intro(p.clone()));
+        out.push(update::bupd_trans(p.clone()));
+        if let Ok(d) = destab::stab_intro(p.clone()) {
+            out.push(d);
+        }
+        if let Ok(d) = destab::destab_elim(p.clone()) {
+            out.push(d);
+        }
+        if let Ok(d) = modal::persistent_intro(p.clone()) {
+            out.push(d);
+        }
+        if let Ok(d) = modal::persistently_elim_persistent(p.clone()) {
+            out.push(d);
+        }
+        out.push(destab::stabilize_fast_sound(p.clone()));
+        out.push(destab::stab_later_split(p.clone()));
+        out.push(destab::stab_later_merge(p.clone()));
+        out.push(destab::stab_persistently_merge(p.clone()));
+    }
+
+    for p in ps {
+        for q in ps {
+            out.push(proof::and_elim_l(p.clone(), q.clone()));
+            out.push(proof::and_elim_r(p.clone(), q.clone()));
+            out.push(proof::or_intro_l(p.clone(), q.clone()));
+            out.push(proof::or_intro_r(p.clone(), q.clone()));
+            out.push(proof::impl_elim(p.clone(), q.clone()));
+            out.push(proof::sep_comm(p.clone(), q.clone()));
+            out.push(proof::wand_elim(p.clone(), q.clone()));
+            out.push(modal::later_sep_split(p.clone(), q.clone()));
+            out.push(modal::later_sep_merge(p.clone(), q.clone()));
+            out.push(modal::later_and_split(p.clone(), q.clone()));
+            out.push(destab::stab_sep(p.clone(), q.clone()));
+            out.push(destab::stab_and_split(p.clone(), q.clone()));
+            out.push(destab::stab_and_merge(p.clone(), q.clone()));
+            out.push(destab::destab_or_split(p.clone(), q.clone()));
+            out.push(destab::destab_or_merge(p.clone(), q.clone()));
+            out.push(destab::destab_and_split(p.clone(), q.clone()));
+            out.push(destab::stab_or_merge(p.clone(), q.clone()));
+            out.push(destab::destab_mono(&proof::refl(p.clone())));
+            if let Ok(d) = update::bupd_frame(p.clone(), q.clone()) {
+                out.push(d);
+            }
+        }
+    }
+
+    // A few associativity triples (full cube is too large).
+    for (i, p) in ps.iter().take(4).enumerate() {
+        let q = &ps[(i + 1) % ps.len()];
+        let r = &ps[(i + 2) % ps.len()];
+        out.push(proof::sep_assoc(p.clone(), q.clone(), r.clone()));
+        out.push(proof::sep_assoc_rev(p.clone(), q.clone(), r.clone()));
+    }
+
+    // Heap rules with concrete parameters.
+    for dq in [DFrac::own(Q::HALF), DFrac::FULL, DFrac::discarded()] {
+        for v in [v0(), v1()] {
+            out.extend(heap::points_to_read(l(), dq, v.clone()).ok());
+            out.extend(heap::points_to_welldef(l(), dq, v.clone()).ok());
+            out.extend(heap::points_to_framed(l(), dq, v.clone()).ok());
+            out.extend(destab::points_to_stable_read(l(), dq, v.clone()).ok());
+        }
+    }
+    out.extend(heap::points_to_perm(l(), Q::HALF, v1()).ok());
+    out.extend(heap::points_to_perm(l(), Q::ONE, v0()).ok());
+    out.extend(heap::perm_weaken(l(), Q::ONE, Q::HALF).ok());
+    out.push(heap::perm_eq_ge(l(), Q::HALF));
+    out.extend(heap::points_to_agree(l(), DFrac::own(Q::HALF), v0(), DFrac::own(Q::HALF), v1()).ok());
+    out.extend(heap::points_to_invalid_sum(l(), Q::ONE, Q::HALF, v1()).ok());
+    out.extend(heap::points_to_split(l(), Q::HALF, Q::HALF, v1()).ok());
+    out.extend(heap::points_to_combine(l(), Q::HALF, Q::HALF, v0()).ok());
+    out.extend(update::points_to_discard(l(), Q::ONE, v1()).ok());
+    out.extend(update::points_to_discard(l(), Q::HALF, v0()).ok());
+
+    // Self-framing instances.
+    for v in [v0(), v1()] {
+        out.push(destab::self_framing(Term::eq(Term::read(l()), v)));
+    }
+
+    // Derivation-transformer rules, exercised on kernel-built premises.
+    let half = Assert::points_to_frac(l(), Q::HALF, v1());
+    let full = Assert::points_to(l(), v1());
+    let combine = heap::points_to_combine(l(), Q::HALF, Q::HALF, v1()).unwrap();
+    out.push(proof::sep_mono(&proof::refl(half.clone()), &proof::refl(half.clone())));
+    out.push(proof::frame(&destab::stab_elim(Assert::read_eq(l(), v1())), half.clone()));
+    out.extend(proof::trans(&proof::sep_comm(half.clone(), half.clone()), &combine).ok());
+    out.extend(proof::wand_intro(&combine).ok());
+    out.extend(
+        proof::and_intro(&proof::refl(half.clone()), &proof::true_intro(half.clone())).ok(),
+    );
+    out.extend(
+        proof::or_elim(&proof::true_intro(half.clone()), &proof::true_intro(full.clone())).ok(),
+    );
+    out.extend(proof::impl_intro(&proof::and_elim_r(half.clone(), full.clone())).ok());
+    out.push(modal::later_mono(&destab::stab_elim(half.clone())));
+    out.push(modal::persistently_mono(&proof::true_intro(half.clone())));
+    out.push(destab::stab_mono(&proof::true_intro(half.clone())));
+    out.push(update::bupd_mono(&proof::true_intro(half)));
+
+    // Quantifier rules.
+    let dom = vec![Val::int(0), Val::int(1)];
+    let body = Assert::points_to(l(), Term::var("x"));
+    for v in &dom {
+        out.extend(proof::forall_elim("x", dom.clone(), body.clone(), v.clone()).ok());
+        out.extend(proof::exists_intro("x", dom.clone(), body.clone(), v.clone()).ok());
+    }
+    // Quantifier/∗ commutation (x free only on the left).
+    let frame = Assert::PermGe(l(), Q::HALF);
+    out.extend(proof::sep_exists_out("x", dom.clone(), body.clone(), frame.clone()).ok());
+    out.extend(proof::sep_exists_in("x", dom.clone(), body.clone(), frame).ok());
+
+    out
+}
+
+/// Ghost-state rule instances (verified against a universe containing
+/// the matching ghost cell).
+pub fn ghost_catalog(kind: CameraKind) -> Vec<Entails> {
+    let g = GhostName(0);
+    let mut out = Vec::new();
+    match kind {
+        CameraKind::ExclVal => {
+            let a = GhostVal::ExclVal(Excl::new(Val::int(0)));
+            let b = GhostVal::ExclVal(Excl::new(Val::int(1)));
+            out.extend(update::ghost_update(g, a.clone(), b.clone()).ok());
+            out.extend(update::ghost_update(g, b.clone(), a.clone()).ok());
+            out.push(heap::own_combine(g, a.clone(), b));
+            out.extend(heap::own_invalid(g, a.op(&a)).ok());
+        }
+        CameraKind::Frac => {
+            let half = GhostVal::Frac(Frac::new(Q::HALF));
+            let full = GhostVal::Frac(Frac::new(Q::ONE));
+            out.push(heap::own_split(g, half.clone(), half.clone()));
+            out.push(heap::own_combine(g, half.clone(), half.clone()));
+            out.extend(update::ghost_update(g, full, half).ok());
+        }
+        CameraKind::AuthNat => {
+            let both = |a: u64, f: u64| GhostVal::AuthNat(Auth::both(SumNat(a), SumNat(f)));
+            out.extend(update::ghost_update(g, both(1, 1), both(2, 2)).ok());
+            out.extend(update::ghost_update(g, both(2, 0), both(2, 0)).ok());
+            out.push(heap::own_split(
+                g,
+                GhostVal::AuthNat(Auth::auth(SumNat(2))),
+                GhostVal::AuthNat(Auth::frag(SumNat(1))),
+            ));
+            out.extend(heap::own_invalid(
+                g,
+                GhostVal::AuthNat(Auth::auth(SumNat(1)).op(&Auth::auth(SumNat(1)))),
+            )
+            .ok());
+        }
+        _ => {}
+    }
+    out
+}
+
+use daenerys_algebra::Ra;
+
+/// Verifies a batch of kernel derivations against the model; groups the
+/// outcome per rule name.
+pub fn verify_catalog(
+    derivations: &[Entails],
+    uni: &WorldUniverse,
+    n_max: StepIdx,
+) -> Vec<RuleReport> {
+    let mut reports: Vec<RuleReport> = Vec::new();
+    for d in derivations {
+        let idx = match reports.iter().position(|r| r.rule == d.rule()) {
+            Some(i) => i,
+            None => {
+                reports.push(RuleReport {
+                    rule: d.rule(),
+                    instances: 0,
+                    verified: 0,
+                    failures: Vec::new(),
+                });
+                reports.len() - 1
+            }
+        };
+        reports[idx].instances += 1;
+        match entails(d.lhs(), d.rhs(), uni, n_max) {
+            Ok(()) => reports[idx].verified += 1,
+            Err(ce) => reports[idx].failures.push(format!(
+                "{}  [world own={:?} frame={:?} n={}]",
+                d, ce.world.own, ce.world.frame, ce.n
+            )),
+        }
+    }
+    reports.sort_by_key(|r| r.rule);
+    reports
+}

@@ -1,0 +1,485 @@
+//! The step-indexed semantic model of the destabilized logic.
+//!
+//! Propositions denote predicates over [`World`]s (owned resource +
+//! environment frame) and step indices. The quantifications a proof
+//! assistant discharges by proof ("for all frames", "there is a split")
+//! are interpreted here over a finite [`WorldUniverse`], turning
+//! entailment into a *model-checkable* relation: this is the substitution
+//! for the missing proof-assistant infrastructure (see DESIGN.md).
+//!
+//! Key clauses (the destabilized parts):
+//!
+//! * pure terms may read the **combined** heap `own ⋅ frame`;
+//! * `perm(l) ≥ q` inspects the owned resource non-monotonically;
+//! * `⌊P⌋` quantifies over *all* compatible frames (stabilization);
+//! * `⌈P⌉` asks for *some* compatible frame;
+//! * `|==>` is frame-quantified, as in Iris: for every interference the
+//!   environment could have applied, an owned update exists.
+
+use crate::assert::Assert;
+use crate::term::{eval_term, term_framed, Env};
+use crate::universe::WorldUniverse;
+use crate::world::{Res, World};
+use daenerys_algebra::{Ra, StepIdx};
+use daenerys_heaplang::Val;
+
+/// Evaluation context: the universe interpreting the second-order
+/// quantifications.
+#[derive(Clone, Debug)]
+pub struct EvalCtx<'a> {
+    /// The finite carrier.
+    pub uni: &'a WorldUniverse,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Creates an evaluation context over the given universe.
+    pub fn new(uni: &'a WorldUniverse) -> EvalCtx<'a> {
+        EvalCtx { uni }
+    }
+}
+
+/// Whether proposition `p` holds in world `w` at step index `n`.
+pub fn holds(p: &Assert, w: &World, env: &Env, n: StepIdx, ctx: &EvalCtx<'_>) -> bool {
+    match p {
+        Assert::Pure(t) => matches!(
+            eval_term(t, w, env).map(|o| o.value),
+            Ok(Val::Lit(daenerys_heaplang::Lit::Bool(true)))
+        ),
+        Assert::WellDef(t) => eval_term(t, w, env).is_ok(),
+        Assert::Framed(t) => term_framed(t, w, env),
+        Assert::Emp => w.own.is_empty(),
+        Assert::And(p1, p2) => holds(p1, w, env, n, ctx) && holds(p2, w, env, n, ctx),
+        Assert::Or(p1, p2) => holds(p1, w, env, n, ctx) || holds(p2, w, env, n, ctx),
+        Assert::Impl(p1, p2) => !holds(p1, w, env, n, ctx) || holds(p2, w, env, n, ctx),
+        Assert::Sep(p1, p2) => ctx.uni.splits(&w.own).into_iter().any(|(r1, r2)| {
+            let w1 = World {
+                own: r1.clone(),
+                frame: r2.op(&w.frame),
+            };
+            let w2 = World {
+                own: r2,
+                frame: r1.op(&w.frame),
+            };
+            holds(p1, &w1, env, n, ctx) && holds(p2, &w2, env, n, ctx)
+        }),
+        // The *world-bounded* wand: the hypothesis resource is drawn from
+        // a decomposition of the current frame (the environment hands it
+        // over), so the total `own ⋅ frame` is conserved. The classical
+        // frame-agnostic wand is recovered as `⌊P −∗ Q⌋`, which
+        // quantifies over every compatible frame first.
+        Assert::Wand(p1, p2) => ctx.uni.splits(&w.frame).into_iter().all(|(extra, rest)| {
+            let w_hyp = World {
+                own: extra.clone(),
+                frame: w.own.op(&rest),
+            };
+            if !holds(p1, &w_hyp, env, n, ctx) {
+                return true;
+            }
+            let w_conc = World {
+                own: w.own.op(&extra),
+                frame: rest,
+            };
+            holds(p2, &w_conc, env, n, ctx)
+        }),
+        Assert::Forall(x, dom, body) => dom.iter().all(|v| {
+            let mut env2 = env.clone();
+            env2.insert(x.clone(), v.clone());
+            holds(body, w, &env2, n, ctx)
+        }),
+        Assert::Exists(x, dom, body) => dom.iter().any(|v| {
+            let mut env2 = env.clone();
+            env2.insert(x.clone(), v.clone());
+            holds(body, w, &env2, n, ctx)
+        }),
+        Assert::Later(body) => n == 0 || holds(body, w, env, n - 1, ctx),
+        Assert::Persistently(body) => {
+            let core = w.own.pcore().unwrap_or_else(Res::empty);
+            let w2 = World {
+                own: core,
+                frame: w.frame.clone(),
+            };
+            holds(body, &w2, env, n, ctx)
+        }
+        Assert::BUpd(body) => ctx.uni.resources.iter().any(|own2| {
+            update_admissible(&w.own, own2, ctx.uni)
+                && holds(
+                    body,
+                    &World {
+                        own: own2.clone(),
+                        frame: w.frame.clone(),
+                    },
+                    env,
+                    n,
+                    ctx,
+                )
+        }),
+        Assert::PointsTo(lt, dq, vt) => {
+            let l = match eval_term(lt, w, env).ok().and_then(|o| o.value.as_loc()) {
+                Some(l) => l,
+                None => return false,
+            };
+            let v = match eval_term(vt, w, env) {
+                Ok(o) => o.value,
+                Err(_) => return false,
+            };
+            Res::points_to(l, *dq, v).included_in(&w.own)
+        }
+        Assert::Own(g, a) => Res::ghost(*g, a.clone()).included_in(&w.own),
+        Assert::PermGe(lt, q) => match eval_term(lt, w, env).ok().and_then(|o| o.value.as_loc()) {
+            Some(l) => w.own.perm_at(l) >= *q,
+            None => false,
+        },
+        Assert::PermEq(lt, q) => match eval_term(lt, w, env).ok().and_then(|o| o.value.as_loc()) {
+            Some(l) => w.own.perm_at(l) == *q,
+            None => false,
+        },
+        Assert::Stabilize(body) => ctx.uni.frames_for(&w.own).all(|f| {
+            holds(
+                body,
+                &World {
+                    own: w.own.clone(),
+                    frame: f.clone(),
+                },
+                env,
+                n,
+                ctx,
+            )
+        }),
+        Assert::Destab(body) => ctx.uni.frames_for(&w.own).any(|f| {
+            holds(
+                body,
+                &World {
+                    own: w.own.clone(),
+                    frame: f.clone(),
+                },
+                env,
+                n,
+                ctx,
+            )
+        }),
+    }
+}
+
+/// Whether replacing `own` by `own2` is an admissible *basic update*:
+///
+/// 1. it is a frame-preserving update against every frame in the
+///    universe (`∀f. valid(own ⋅ f) → valid(own2 ⋅ f)`), and
+/// 2. it does not touch the physical heap's footprint or values — the
+///    key set and agreed values of the heap fragment are preserved
+///    (permissions may still change frame-preservingly, e.g. discarding).
+///
+/// Condition 2 is the stand-in for the authoritative heap element
+/// `● σ` of `gen_heap`, which in Iris lives in the state interpretation
+/// rather than the frame: without it, a ghost update could rewrite
+/// heap values no physical store ever wrote.
+pub fn update_admissible(own: &Res, own2: &Res, uni: &WorldUniverse) -> bool {
+    // Heap footprint and agreed values preserved.
+    if own.heap.len() != own2.heap.len() {
+        return false;
+    }
+    for (l, (_, ag)) in own.heap.iter() {
+        match own2.heap.get(l) {
+            Some((_, ag2)) if ag2 == ag => {}
+            _ => return false,
+        }
+    }
+    // Frame preservation over the enumerated carrier.
+    uni.resources
+        .iter()
+        .all(|f| !own.op(f).valid() || own2.op(f).valid())
+}
+
+/// A counterexample to a semantic entailment.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The world where the premise held and the conclusion failed.
+    pub world: World,
+    /// The step index.
+    pub n: StepIdx,
+}
+
+/// Checks the semantic entailment `P ⊨ Q` over every world in the
+/// universe and every step index up to `n_max`.
+///
+/// # Errors
+///
+/// Returns the first [`Counterexample`] found.
+pub fn entails(
+    p: &Assert,
+    q: &Assert,
+    uni: &WorldUniverse,
+    n_max: StepIdx,
+) -> Result<(), Counterexample> {
+    let ctx = EvalCtx::new(uni);
+    let env = Env::new();
+    for w in uni.worlds() {
+        for n in 0..=n_max {
+            if holds(p, &w, &env, n, &ctx) && !holds(q, &w, &env, n, &ctx) {
+                return Err(Counterexample { world: w, n });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `P` is *stable*: its truth is preserved under every
+/// environment interference (frame replacement).
+///
+/// # Errors
+///
+/// Returns a counterexample world (with the frame that broke it) on
+/// failure.
+pub fn check_stable(p: &Assert, uni: &WorldUniverse, n_max: StepIdx) -> Result<(), Counterexample> {
+    let ctx = EvalCtx::new(uni);
+    let env = Env::new();
+    for own in &uni.resources {
+        for n in 0..=n_max {
+            let frames: Vec<&Res> = uni.frames_for(own).collect();
+            let holding: Vec<bool> = frames
+                .iter()
+                .map(|f| {
+                    holds(
+                        p,
+                        &World {
+                            own: own.clone(),
+                            frame: (*f).clone(),
+                        },
+                        &env,
+                        n,
+                        &ctx,
+                    )
+                })
+                .collect();
+            // Stable = truth is frame-independent on the positive side:
+            // if it holds under one compatible frame it holds under all.
+            if holding.iter().any(|b| *b) && !holding.iter().all(|b| *b) {
+                let bad = frames[holding.iter().position(|b| !*b).unwrap()];
+                return Err(Counterexample {
+                    world: World {
+                        own: own.clone(),
+                        frame: bad.clone(),
+                    },
+                    n,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: whether `P` and `Q` are semantically equivalent over the
+/// universe.
+pub fn equivalent(p: &Assert, q: &Assert, uni: &WorldUniverse, n_max: StepIdx) -> bool {
+    entails(p, q, uni, n_max).is_ok() && entails(q, p, uni, n_max).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert::Assert;
+    use crate::term::Term;
+    use crate::universe::UniverseSpec;
+    use daenerys_algebra::{DFrac, Q};
+    use daenerys_heaplang::Loc;
+
+    fn uni() -> WorldUniverse {
+        UniverseSpec::tiny().build()
+    }
+
+    #[test]
+    fn pure_truth_everywhere() {
+        let u = uni();
+        assert!(entails(&Assert::truth(), &Assert::truth(), &u, 2).is_ok());
+        assert!(entails(&Assert::falsity(), &Assert::truth(), &u, 2).is_ok());
+        assert!(entails(&Assert::truth(), &Assert::falsity(), &u, 2).is_err());
+    }
+
+    #[test]
+    fn points_to_entails_read() {
+        // The hallmark destabilized rule: l ↦{1/2} v ⊢ ⟦!l⟧ = v.
+        let u = uni();
+        let p = Assert::points_to_frac(Term::loc(Loc(0)), Q::HALF, Term::int(1));
+        let q = Assert::read_eq(Term::loc(Loc(0)), Term::int(1));
+        assert!(entails(&p, &q, &u, 2).is_ok());
+    }
+
+    #[test]
+    fn naked_read_is_unstable_framed_read_is_stable() {
+        let u = uni();
+        let read = Assert::read_eq(Term::loc(Loc(0)), Term::int(1));
+        // Without owning permission, the environment can change the value
+        // (or deallocate): unstable.
+        assert!(check_stable(&read, &u, 1).is_err());
+        // Under a points-to, the agreement pins the value: stable.
+        let framed = Assert::sep(
+            Assert::points_to_frac(Term::loc(Loc(0)), Q::HALF, Term::int(1)),
+            read.clone(),
+        );
+        assert!(check_stable(&framed, &u, 1).is_ok());
+        // And the stabilization of the naked read is stable by
+        // construction.
+        assert!(check_stable(&Assert::stabilize(read), &u, 1).is_ok());
+    }
+
+    #[test]
+    fn stabilize_is_a_strengthening() {
+        let u = uni();
+        let read = Assert::read_eq(Term::loc(Loc(0)), Term::int(1));
+        let stab = Assert::stabilize(read.clone());
+        assert!(entails(&stab, &read, &u, 1).is_ok());
+        assert!(entails(&read, &stab, &u, 1).is_err());
+    }
+
+    #[test]
+    fn destab_is_a_weakening() {
+        let u = uni();
+        let read = Assert::read_eq(Term::loc(Loc(0)), Term::int(1));
+        let destab = Assert::destab(read.clone());
+        assert!(entails(&read, &destab, &u, 1).is_ok());
+        assert!(check_stable(&destab, &u, 1).is_ok());
+    }
+
+    #[test]
+    fn perm_introspection_is_stable_but_not_monotone() {
+        let u = uni();
+        let perm = Assert::PermEq(Term::loc(Loc(0)), Q::HALF);
+        assert!(check_stable(&perm, &u, 1).is_ok());
+        // Non-monotone: the half chunk satisfies it, the full chunk does
+        // not — so it does NOT follow from the full points-to.
+        let full = Assert::points_to(Term::loc(Loc(0)), Term::int(1));
+        assert!(entails(&full, &perm, &u, 1).is_err());
+        let half = Assert::points_to_frac(Term::loc(Loc(0)), Q::HALF, Term::int(1));
+        let perm_ge = Assert::PermGe(Term::loc(Loc(0)), Q::HALF);
+        assert!(entails(&half, &perm_ge, &u, 1).is_ok());
+        assert!(entails(&full, &perm_ge, &u, 1).is_ok());
+    }
+
+    #[test]
+    fn sep_splits_permissions() {
+        let u = uni();
+        let full = Assert::points_to(Term::loc(Loc(0)), Term::int(1));
+        let half = Assert::points_to_frac(Term::loc(Loc(0)), Q::HALF, Term::int(1));
+        let split = Assert::sep(half.clone(), half.clone());
+        assert!(entails(&full, &split, &u, 1).is_ok());
+        assert!(entails(&split, &full, &u, 1).is_ok());
+    }
+
+    #[test]
+    fn wand_modus_ponens() {
+        let u = uni();
+        let half = Assert::points_to_frac(Term::loc(Loc(0)), Q::HALF, Term::int(1));
+        let full = Assert::points_to(Term::loc(Loc(0)), Term::int(1));
+        let w = Assert::wand(half.clone(), full.clone());
+        // (half −∗ full) ∗ half ⊢ full
+        assert!(entails(&Assert::sep(w, half.clone()), &full, &u, 1).is_ok());
+    }
+
+    #[test]
+    fn later_and_loeb_shape() {
+        let u = uni();
+        let p = Assert::points_to(Term::loc(Loc(0)), Term::int(0));
+        // P ⊢ ▷P (later is a weakening).
+        assert!(entails(&p, &Assert::later(p.clone()), &u, 3).is_ok());
+        // ▷P ⊬ P in general.
+        assert!(entails(&Assert::later(p.clone()), &p, &u, 3).is_err());
+        // But ▷⊥ holds at step 0 — check the index semantics directly.
+        let ctx = EvalCtx::new(&u);
+        let w = World::solo(Res::empty());
+        assert!(holds(
+            &Assert::later(Assert::falsity()),
+            &w,
+            &Env::new(),
+            0,
+            &ctx
+        ));
+    }
+
+    #[test]
+    fn bupd_cannot_rewrite_heap_values() {
+        let u = uni();
+        // Changing the agreed value is a physical write, not a ghost
+        // update: l ↦ 1 ⊬ |==> l ↦ 0.
+        let before = Assert::points_to(Term::loc(Loc(0)), Term::int(1));
+        let after = Assert::bupd(Assert::points_to(Term::loc(Loc(0)), Term::int(0)));
+        assert!(entails(&before, &after, &u, 1).is_err());
+        // A half permission cannot be upgraded to full either.
+        let half = Assert::points_to_frac(Term::loc(Loc(0)), Q::HALF, Term::int(1));
+        let upgrade = Assert::bupd(Assert::points_to(Term::loc(Loc(0)), Term::int(1)));
+        assert!(entails(&half, &upgrade, &u, 1).is_err());
+    }
+
+    #[test]
+    fn bupd_allows_discarding_permissions() {
+        let u = uni();
+        // Persisting a points-to (Iris's `pointsto_persist`): any owned
+        // fraction may be discarded.
+        let before = Assert::points_to(Term::loc(Loc(0)), Term::int(1));
+        let after = Assert::bupd(Assert::PointsTo(
+            Term::loc(Loc(0)),
+            DFrac::discarded(),
+            Term::int(1),
+        ));
+        assert!(entails(&before, &after, &u, 1).is_ok());
+    }
+
+    #[test]
+    fn bupd_updates_exclusive_ghost_state() {
+        use crate::world::{CameraKind, GhostName, GhostVal};
+        use daenerys_algebra::Excl;
+        let u = UniverseSpec::with_ghost(CameraKind::ExclVal).build();
+        let g = GhostName(0);
+        let before = Assert::Own(g, GhostVal::ExclVal(Excl::new(Val::int(0))));
+        let after = Assert::bupd(Assert::Own(g, GhostVal::ExclVal(Excl::new(Val::int(1)))));
+        // Exclusive ghost state updates freely.
+        assert!(entails(&before, &after, &u, 1).is_ok());
+        // But agreement ghost state cannot change (it is duplicable, so
+        // a frame may hold a copy).
+        let u2 = UniverseSpec::with_ghost(CameraKind::AgreeVal).build();
+        use daenerys_algebra::Agree;
+        let ag0 = Assert::Own(g, GhostVal::AgreeVal(Agree::new(Val::int(0))));
+        let ag1 = Assert::bupd(Assert::Own(g, GhostVal::AgreeVal(Agree::new(Val::int(1)))));
+        assert!(entails(&ag0, &ag1, &u2, 1).is_err());
+    }
+
+    #[test]
+    fn bupd_intro_and_idempotence() {
+        let u = uni();
+        let p = Assert::points_to(Term::loc(Loc(0)), Term::int(1));
+        assert!(entails(&p, &Assert::bupd(p.clone()), &u, 1).is_ok());
+        assert!(entails(
+            &Assert::bupd(Assert::bupd(p.clone())),
+            &Assert::bupd(p.clone()),
+            &u,
+            1
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn persistently_keeps_discarded_chunks() {
+        let u = uni();
+        let disc = Assert::PointsTo(Term::loc(Loc(0)), DFrac::discarded(), Term::int(1));
+        assert!(entails(&disc, &Assert::persistently(disc.clone()), &u, 1).is_ok());
+        let owned = Assert::points_to(Term::loc(Loc(0)), Term::int(1));
+        assert!(entails(&owned, &Assert::persistently(owned.clone()), &u, 1).is_err());
+    }
+
+    #[test]
+    fn quantifiers_range_over_domains() {
+        let u = uni();
+        let dom = vec![Val::int(0), Val::int(1)];
+        let ex = Assert::exists(
+            "x",
+            dom.clone(),
+            Assert::points_to(Term::loc(Loc(0)), Term::var("x")),
+        );
+        let pt0 = Assert::points_to(Term::loc(Loc(0)), Term::int(0));
+        assert!(entails(&pt0, &ex, &u, 1).is_ok());
+        let fa = Assert::forall(
+            "x",
+            dom,
+            Assert::eq(Term::mul(Term::var("x"), Term::int(0)), Term::int(0)),
+        );
+        assert!(entails(&Assert::truth(), &fa, &u, 1).is_ok());
+    }
+}

@@ -1,0 +1,263 @@
+//! Ghost theories: packaged protocols over the supported cameras.
+//!
+//! Iris developments rarely use raw `own γ a`; they use *ghost theories*
+//! — small APIs of assertions and kernel-certified update lemmas over a
+//! camera. This module packages the three classics used by the examples
+//! and case studies:
+//!
+//! * [`ContribCounter`] — the authoritative sum counter: an authority
+//!   `●n` (total) against duplicable-by-splitting contributions `◯k`;
+//! * [`MonoCounter`] — the monotone counter: the authority only grows,
+//!   fragments are persistent lower bounds;
+//! * [`ExclToken`] — exclusive ghost variables.
+//!
+//! Every operation returns a kernel [`Entails`], so uses of a theory are
+//! checkable derivations, not trusted shortcuts.
+
+use crate::assert::Assert;
+use crate::proof::{heap, update, Entails, ProofError};
+use crate::world::{GhostName, GhostVal};
+use daenerys_algebra::{Auth, MaxNat, SumNat};
+use daenerys_heaplang::Val;
+
+/// The authoritative *contribution* counter (sum camera).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ContribCounter {
+    /// The ghost name of the counter.
+    pub name: GhostName,
+}
+
+impl ContribCounter {
+    /// Creates the theory at a ghost name.
+    pub fn new(name: GhostName) -> ContribCounter {
+        ContribCounter { name }
+    }
+
+    /// The authority `●total ⋅ ◯own` (held by the coordinator).
+    pub fn authority(&self, total: u64, own: u64) -> Assert {
+        Assert::Own(
+            self.name,
+            GhostVal::AuthNat(Auth::both(SumNat(total), SumNat(own))),
+        )
+    }
+
+    /// A pure contribution `◯k` (held by a worker).
+    pub fn contribution(&self, k: u64) -> Assert {
+        Assert::Own(self.name, GhostVal::AuthNat(Auth::frag(SumNat(k))))
+    }
+
+    /// Contributions merge: `◯a ∗ ◯b ⊢ ◯(a+b)`.
+    pub fn merge(&self, a: u64, b: u64) -> Entails {
+        heap::own_combine(
+            self.name,
+            GhostVal::AuthNat(Auth::frag(SumNat(a))),
+            GhostVal::AuthNat(Auth::frag(SumNat(b))),
+        )
+    }
+
+    /// Contributions split: `◯(a+b) ⊢ ◯a ∗ ◯b`.
+    pub fn split(&self, a: u64, b: u64) -> Entails {
+        heap::own_split(
+            self.name,
+            GhostVal::AuthNat(Auth::frag(SumNat(a))),
+            GhostVal::AuthNat(Auth::frag(SumNat(b))),
+        )
+    }
+
+    /// The coordinator registers `k` new contributions:
+    /// `●total ⋅ ◯own ⊢ |==> ●(total+k) ⋅ ◯(own+k)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's frame-preservation check.
+    pub fn contribute(&self, total: u64, own: u64, k: u64) -> Result<Entails, ProofError> {
+        update::ghost_update(
+            self.name,
+            GhostVal::AuthNat(Auth::both(SumNat(total), SumNat(own))),
+            GhostVal::AuthNat(Auth::both(SumNat(total + k), SumNat(own + k))),
+        )
+    }
+
+    /// Overdraft is impossible: `●total ⋅ ◯k ⊢ ⌜false⌝` when `k > total`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects when `k <= total` (no contradiction).
+    pub fn overdraft(&self, total: u64, k: u64) -> Result<Entails, ProofError> {
+        heap::own_invalid(
+            self.name,
+            GhostVal::AuthNat(Auth::both(SumNat(total), SumNat(k))),
+        )
+    }
+}
+
+/// The monotone counter (max camera): lower bounds are persistent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MonoCounter {
+    /// The ghost name of the counter.
+    pub name: GhostName,
+}
+
+impl MonoCounter {
+    /// Creates the theory at a ghost name.
+    pub fn new(name: GhostName) -> MonoCounter {
+        MonoCounter { name }
+    }
+
+    /// The authority `●n ⋅ ◯n`.
+    pub fn authority(&self, n: u64) -> Assert {
+        Assert::Own(
+            self.name,
+            GhostVal::AuthMax(Auth::both(MaxNat(n), MaxNat(n))),
+        )
+    }
+
+    /// A persistent lower bound `◯k`.
+    pub fn at_least(&self, k: u64) -> Assert {
+        Assert::Own(self.name, GhostVal::AuthMax(Auth::frag(MaxNat(k))))
+    }
+
+    /// The counter grows: `●n ⋅ ◯n ⊢ |==> ●m ⋅ ◯m` for `m ≥ n`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects shrinking the authority.
+    pub fn advance(&self, n: u64, m: u64) -> Result<Entails, ProofError> {
+        update::ghost_update(
+            self.name,
+            GhostVal::AuthMax(Auth::both(MaxNat(n), MaxNat(n))),
+            GhostVal::AuthMax(Auth::both(MaxNat(m), MaxNat(m))),
+        )
+    }
+
+    /// Lower bounds weaken: `◯k ⊢ |==> ◯j` for `j ≤ k`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects strengthening the bound.
+    pub fn weaken_bound(&self, k: u64, j: u64) -> Result<Entails, ProofError> {
+        update::ghost_update(
+            self.name,
+            GhostVal::AuthMax(Auth::frag(MaxNat(k))),
+            GhostVal::AuthMax(Auth::frag(MaxNat(j))),
+        )
+    }
+
+    /// Lower bounds are persistent: `◯k ⊢ □ ◯k`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for fragments (they are cores); the `Result` comes
+    /// from the kernel's generic check.
+    pub fn bound_persistent(&self, k: u64) -> Result<Entails, ProofError> {
+        crate::proof::modal::persistent_intro(self.at_least(k))
+    }
+}
+
+/// An exclusive ghost variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExclToken {
+    /// The ghost name of the variable.
+    pub name: GhostName,
+}
+
+impl ExclToken {
+    /// Creates the theory at a ghost name.
+    pub fn new(name: GhostName) -> ExclToken {
+        ExclToken { name }
+    }
+
+    /// Exclusive ownership holding `v`.
+    pub fn holds(&self, v: Val) -> Assert {
+        Assert::Own(
+            self.name,
+            GhostVal::ExclVal(daenerys_algebra::Excl::new(v)),
+        )
+    }
+
+    /// The variable updates freely: `γ ↦ v ⊢ |==> γ ↦ w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's frame-preservation check (never fails for
+    /// valid values).
+    pub fn set(&self, from: Val, to: Val) -> Result<Entails, ProofError> {
+        update::ghost_update(
+            self.name,
+            GhostVal::ExclVal(daenerys_algebra::Excl::new(from)),
+            GhostVal::ExclVal(daenerys_algebra::Excl::new(to)),
+        )
+    }
+
+    /// Two copies are contradictory: `γ ↦ v ∗ γ ↦ w ⊢ ⌜false⌝`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails (the composition is always invalid); kernel-generic.
+    pub fn exclusive(&self, v: Val, w: Val) -> Result<Entails, ProofError> {
+        use daenerys_algebra::Ra;
+        heap::own_invalid(
+            self.name,
+            GhostVal::ExclVal(daenerys_algebra::Excl::new(v))
+                .op(&GhostVal::ExclVal(daenerys_algebra::Excl::new(w))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::entails;
+    use crate::universe::UniverseSpec;
+    use crate::world::CameraKind;
+
+    #[test]
+    fn contrib_counter_protocol() {
+        let c = ContribCounter::new(GhostName(0));
+        let uni = UniverseSpec::with_ghost(CameraKind::AuthNat).build();
+
+        // Contribute one: semantically valid update.
+        let d = c.contribute(1, 1, 1).unwrap();
+        assert!(entails(d.lhs(), d.rhs(), &uni, 1).is_ok());
+
+        // Merge and split within the universe bounds.
+        let m = c.merge(1, 1);
+        assert!(entails(m.lhs(), m.rhs(), &uni, 1).is_ok());
+        let s = c.split(1, 1);
+        assert!(entails(s.lhs(), s.rhs(), &uni, 1).is_ok());
+
+        // Overdraft contradiction.
+        let o = c.overdraft(1, 2).unwrap();
+        assert!(entails(o.lhs(), o.rhs(), &uni, 1).is_ok());
+        assert!(c.overdraft(2, 1).is_err());
+    }
+
+    #[test]
+    fn mono_counter_protocol() {
+        let c = MonoCounter::new(GhostName(0));
+        let uni = UniverseSpec::with_ghost(CameraKind::AuthMax).build();
+
+        let d = c.advance(1, 2).unwrap();
+        assert!(entails(d.lhs(), d.rhs(), &uni, 1).is_ok());
+        assert!(c.advance(2, 1).is_err());
+
+        let w = c.weaken_bound(2, 1).unwrap();
+        assert!(entails(w.lhs(), w.rhs(), &uni, 1).is_ok());
+        assert!(c.weaken_bound(1, 2).is_err());
+
+        let p = c.bound_persistent(1).unwrap();
+        assert!(entails(p.lhs(), p.rhs(), &uni, 1).is_ok());
+    }
+
+    #[test]
+    fn excl_token_protocol() {
+        let t = ExclToken::new(GhostName(0));
+        let uni = UniverseSpec::with_ghost(CameraKind::ExclVal).build();
+
+        let d = t.set(Val::int(0), Val::int(1)).unwrap();
+        assert!(entails(d.lhs(), d.rhs(), &uni, 1).is_ok());
+
+        let x = t.exclusive(Val::int(0), Val::int(1)).unwrap();
+        assert!(entails(x.lhs(), x.rhs(), &uni, 1).is_ok());
+    }
+}

@@ -1,0 +1,39 @@
+//! # `daenerys-core` — the destabilized Iris base logic
+//!
+//! Executable reproduction of the logic of *Destabilizing Iris* (PLDI
+//! 2025): an Iris-style separation logic whose assertions need not be
+//! stable under environment interference. See `DESIGN.md` at the
+//! repository root for the full reproduction methodology.
+//!
+//! The crate has three layers:
+//!
+//! 1. **Model** ([`world`], [`term`], [`mod@assert`], [`eval`]): propositions
+//!    are interpreted over worlds (owned resource + environment frame);
+//!    entailment is model-checked over finite universes ([`universe`]).
+//! 2. **Stability** ([`stability`]): the semantic stability check, the
+//!    syntactic stable fragment, and the stabilization modalities.
+//! 3. **Proof kernel** ([`proof`]): entailments as abstract values
+//!    constructible only through the proof rules — the LCF-style
+//!    replacement for the missing proof assistant.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod assert;
+pub mod check;
+pub mod eval;
+pub mod ghost;
+pub mod proof;
+pub mod stability;
+pub mod term;
+pub mod universe;
+pub mod world;
+
+pub use assert::Assert;
+pub use ghost::{ContribCounter, ExclToken, MonoCounter};
+pub use proof::auto::auto_entails;
+pub use eval::{check_stable, entails, equivalent, holds, update_admissible, Counterexample, EvalCtx};
+pub use stability::{stabilize_fast, syntactically_elim_persistent, syntactically_persistent, syntactically_stable};
+pub use term::{eval_term, term_framed, Env, Term, TermError, TermOutcome};
+pub use universe::{UniverseSpec, WorldUniverse};
+pub use world::{CameraKind, GhostFrag, GhostName, GhostVal, HeapCell, HeapFrag, Res, World};

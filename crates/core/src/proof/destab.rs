@@ -1,0 +1,279 @@
+//! Rules for the stabilization modalities `⌊·⌋` and `⌈·⌉`.
+//!
+//! `⌊P⌋` is the greatest stable strengthening of `P`; `⌈P⌉` the least
+//! stable weakening. These are the paper's device for moving between the
+//! unstable world of heap-dependent assertions and the stable fragment
+//! where classical Iris reasoning applies.
+
+use crate::assert::Assert;
+use crate::proof::{reject, Entails, ProofError};
+use crate::stability::{stabilize_fast, syntactically_stable};
+use crate::term::Term;
+
+/// `⌊P⌋ ⊢ P` — stabilization is a strengthening.
+pub fn stab_elim(p: Assert) -> Entails {
+    Entails::axiom(Assert::stabilize(p.clone()), p, "stab-elim")
+}
+
+/// From `P ⊢ Q`, conclude `⌊P⌋ ⊢ ⌊Q⌋`.
+pub fn stab_mono(a: &Entails) -> Entails {
+    Entails::make(
+        Assert::stabilize(a.lhs().clone()),
+        Assert::stabilize(a.rhs().clone()),
+        "stab-mono",
+        a.steps() + 1,
+    )
+}
+
+/// Stability introduction on the syntactic stable fragment:
+/// `P ⊢ ⌊P⌋` when `P` is syntactically stable.
+///
+/// # Errors
+///
+/// Rejects assertions outside the stable fragment.
+pub fn stab_intro(p: Assert) -> Result<Entails, ProofError> {
+    if !syntactically_stable(&p) {
+        return reject("stab-intro", format!("{} is not syntactically stable", p));
+    }
+    Ok(Entails::axiom(
+        p.clone(),
+        Assert::stabilize(p),
+        "stab-intro",
+    ))
+}
+
+/// `⌊P⌋ ⊢ ⌊⌊P⌋⌋` — stabilization is idempotent.
+pub fn stab_idem(p: Assert) -> Entails {
+    let s = Assert::stabilize(p);
+    Entails::axiom(s.clone(), Assert::stabilize(s), "stab-idem")
+}
+
+/// `⌊P⌋ ∗ ⌊Q⌋ ⊢ ⌊P ∗ Q⌋` — stabilization distributes over ∗.
+pub fn stab_sep(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::sep(Assert::stabilize(p.clone()), Assert::stabilize(q.clone())),
+        Assert::stabilize(Assert::sep(p, q)),
+        "stab-sep",
+    )
+}
+
+/// `⌊P ∧ Q⌋ ⊢ ⌊P⌋ ∧ ⌊Q⌋`.
+pub fn stab_and_split(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::stabilize(Assert::and(p.clone(), q.clone())),
+        Assert::and(Assert::stabilize(p), Assert::stabilize(q)),
+        "stab-and-split",
+    )
+}
+
+/// `⌊P⌋ ∧ ⌊Q⌋ ⊢ ⌊P ∧ Q⌋`.
+pub fn stab_and_merge(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::and(Assert::stabilize(p.clone()), Assert::stabilize(q.clone())),
+        Assert::stabilize(Assert::and(p, q)),
+        "stab-and-merge",
+    )
+}
+
+/// `P ⊢ ⌈P⌉` — destabilization is a weakening.
+pub fn destab_intro(p: Assert) -> Entails {
+    Entails::axiom(p.clone(), Assert::destab(p), "destab-intro")
+}
+
+/// From `P ⊢ Q`, conclude `⌈P⌉ ⊢ ⌈Q⌉`.
+pub fn destab_mono(a: &Entails) -> Entails {
+    Entails::make(
+        Assert::destab(a.lhs().clone()),
+        Assert::destab(a.rhs().clone()),
+        "destab-mono",
+        a.steps() + 1,
+    )
+}
+
+/// `⌈P⌉ ⊢ P` on the syntactic stable fragment (for stable `P`, some
+/// frame satisfying `P` means every frame does).
+///
+/// # Errors
+///
+/// Rejects assertions outside the stable fragment.
+pub fn destab_elim(p: Assert) -> Result<Entails, ProofError> {
+    if !syntactically_stable(&p) {
+        return reject("destab-elim", format!("{} is not syntactically stable", p));
+    }
+    Ok(Entails::axiom(
+        Assert::destab(p.clone()),
+        p,
+        "destab-elim",
+    ))
+}
+
+/// **Self-framing** (the IDF transfer rule):
+/// `framed(t) ∧ ⌜t⌝ ⊢ ⌊⌜t⌝⌋` — a heap-dependent fact whose reads are
+/// all covered by owned permission is stable.
+pub fn self_framing(t: Term) -> Entails {
+    Entails::axiom(
+        Assert::and(Assert::Framed(t.clone()), Assert::Pure(t.clone())),
+        Assert::stabilize(Assert::Pure(t)),
+        "self-framing",
+    )
+}
+
+/// The syntactic stabilizer is sound: `stabilize_fast(P) ⊢ ⌊P⌋`.
+pub fn stabilize_fast_sound(p: Assert) -> Entails {
+    Entails::axiom(
+        stabilize_fast(&p),
+        Assert::stabilize(p),
+        "stabilize-fast-sound",
+    )
+}
+
+/// The derived rule that makes heap-dependent specs usable:
+/// `l ↦{dq} v ⊢ ⌊⌜!l = v⌝⌋ ∧ l ↦{dq} v` — read a location, keeping both
+/// the (stable!) fact and the permission.
+///
+/// The conjunction is **∧, not ∗**: the stabilized fact is only stable
+/// *because* the owned permission pins the value, so it cannot be
+/// separated from that permission. (The ∗-version of this rule is
+/// refuted by the model checker — see the kernel soundness tests. This
+/// is the IDF lesson that self-framing is conjunctive.)
+///
+/// # Errors
+///
+/// Rejects unreadable permissions or heap-dependent terms.
+pub fn points_to_stable_read(
+    l: Term,
+    dq: daenerys_algebra::DFrac,
+    v: Term,
+) -> Result<Entails, ProofError> {
+    if l.has_read() || v.has_read() {
+        return reject("points-to-stable-read", "terms must be read-free");
+    }
+    if !dq.allows_read() {
+        return reject("points-to-stable-read", "permission does not allow reading");
+    }
+    let pt = Assert::PointsTo(l.clone(), dq, v.clone());
+    Ok(Entails::axiom(
+        pt.clone(),
+        Assert::and(
+            Assert::stabilize(Assert::Pure(Term::eq(Term::read(l), v))),
+            pt,
+        ),
+        "points-to-stable-read",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daenerys_algebra::{DFrac, Q};
+    use daenerys_heaplang::Loc;
+
+    fn read() -> Assert {
+        Assert::read_eq(Term::loc(Loc(0)), Term::int(1))
+    }
+
+    #[test]
+    fn stab_intro_requires_stable() {
+        assert!(stab_intro(Assert::truth()).is_ok());
+        assert!(stab_intro(read()).is_err());
+        assert!(stab_intro(Assert::stabilize(read())).is_ok());
+    }
+
+    #[test]
+    fn destab_elim_requires_stable() {
+        assert!(destab_elim(Assert::Emp).is_ok());
+        assert!(destab_elim(read()).is_err());
+    }
+
+    #[test]
+    fn self_framing_shape() {
+        let t = Term::eq(Term::read(Term::loc(Loc(0))), Term::int(1));
+        let d = self_framing(t.clone());
+        assert_eq!(d.rhs(), &Assert::stabilize(Assert::Pure(t)));
+    }
+
+    #[test]
+    fn stable_read_keeps_permission() {
+        let d =
+            points_to_stable_read(Term::loc(Loc(0)), DFrac::own(Q::HALF), Term::int(1)).unwrap();
+        match d.rhs() {
+            Assert::And(fact, pt) => {
+                assert!(matches!(&**fact, Assert::Stabilize(_)));
+                assert_eq!(&**pt, d.lhs());
+            }
+            _ => panic!("expected ∧"),
+        }
+        assert!(points_to_stable_read(
+            Term::loc(Loc(0)),
+            DFrac::own(Q::HALF),
+            Term::read(Term::loc(Loc(0)))
+        )
+        .is_err());
+    }
+}
+
+/// `⌈P ∨ Q⌉ ⊢ ⌈P⌉ ∨ ⌈Q⌉` — destabilization distributes over ∨.
+pub fn destab_or_split(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::destab(Assert::or(p.clone(), q.clone())),
+        Assert::or(Assert::destab(p), Assert::destab(q)),
+        "destab-or-split",
+    )
+}
+
+/// `⌈P⌉ ∨ ⌈Q⌉ ⊢ ⌈P ∨ Q⌉`.
+pub fn destab_or_merge(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::or(Assert::destab(p.clone()), Assert::destab(q.clone())),
+        Assert::destab(Assert::or(p, q)),
+        "destab-or-merge",
+    )
+}
+
+/// `⌈P ∧ Q⌉ ⊢ ⌈P⌉ ∧ ⌈Q⌉` (the converse fails: the witnesses may be
+/// different frames).
+pub fn destab_and_split(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::destab(Assert::and(p.clone(), q.clone())),
+        Assert::and(Assert::destab(p), Assert::destab(q)),
+        "destab-and-split",
+    )
+}
+
+/// `⌊P⌋ ∨ ⌊Q⌋ ⊢ ⌊P ∨ Q⌋` (the converse fails: which disjunct holds may
+/// depend on the frame).
+pub fn stab_or_merge(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::or(Assert::stabilize(p.clone()), Assert::stabilize(q.clone())),
+        Assert::stabilize(Assert::or(p, q)),
+        "stab-or-merge",
+    )
+}
+
+/// `⌊▷P⌋ ⊢ ▷⌊P⌋` — stabilization commutes with later.
+pub fn stab_later_split(p: Assert) -> Entails {
+    Entails::axiom(
+        Assert::stabilize(Assert::later(p.clone())),
+        Assert::later(Assert::stabilize(p)),
+        "stab-later-split",
+    )
+}
+
+/// `▷⌊P⌋ ⊢ ⌊▷P⌋`.
+pub fn stab_later_merge(p: Assert) -> Entails {
+    Entails::axiom(
+        Assert::later(Assert::stabilize(p.clone())),
+        Assert::stabilize(Assert::later(p)),
+        "stab-later-merge",
+    )
+}
+
+/// `□⌊P⌋ ⊢ ⌊□P⌋` — persistence under stabilization. (The converse
+/// fails: the core tolerates more frames than the full resource.)
+pub fn stab_persistently_merge(p: Assert) -> Entails {
+    Entails::axiom(
+        Assert::persistently(Assert::stabilize(p.clone())),
+        Assert::stabilize(Assert::persistently(p)),
+        "stab-persistently-merge",
+    )
+}

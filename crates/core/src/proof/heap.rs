@@ -1,0 +1,303 @@
+//! Heap rules — including the destabilized heap-dependent rules.
+//!
+//! The rules in this module are where the paper's contribution becomes
+//! visible in the proof system: from a points-to one may conclude facts
+//! about the *heap-dependent expression* `!l` directly
+//! ([`points_to_read`]), and permission introspection is related to
+//! ownership ([`points_to_perm`], [`perm_weaken`]).
+
+use crate::assert::Assert;
+use crate::proof::{reject, Entails, ProofError};
+use crate::term::Term;
+use daenerys_algebra::{DFrac, Q, Ra};
+
+fn no_reads(rule: &'static str, ts: &[&Term]) -> Result<(), ProofError> {
+    for t in ts {
+        if t.has_read() {
+            return reject(rule, format!("term {} contains a heap read", t));
+        }
+    }
+    Ok(())
+}
+
+/// **Heap-read introduction** (the hallmark destabilized rule):
+/// `l ↦{dq} v ⊢ ⌜!l = v⌝` for any readable `dq`.
+///
+/// # Errors
+///
+/// Rejects unreadable permissions and heap-dependent `l`/`v` terms.
+pub fn points_to_read(l: Term, dq: DFrac, v: Term) -> Result<Entails, ProofError> {
+    no_reads("points-to-read", &[&l, &v])?;
+    if !dq.allows_read() {
+        return reject("points-to-read", "permission does not allow reading");
+    }
+    Ok(Entails::axiom(
+        Assert::PointsTo(l.clone(), dq, v.clone()),
+        Assert::Pure(Term::eq(Term::read(l), v)),
+        "points-to-read",
+    ))
+}
+
+/// `l ↦{dq} v ⊢ wd(!l)` — the read is well-defined.
+///
+/// # Errors
+///
+/// Rejects unreadable permissions and heap-dependent terms.
+pub fn points_to_welldef(l: Term, dq: DFrac, v: Term) -> Result<Entails, ProofError> {
+    no_reads("points-to-welldef", &[&l, &v])?;
+    if !dq.allows_read() {
+        return reject("points-to-welldef", "permission does not allow reading");
+    }
+    Ok(Entails::axiom(
+        Assert::PointsTo(l.clone(), dq, v),
+        Assert::WellDef(Term::read(l)),
+        "points-to-welldef",
+    ))
+}
+
+/// `l ↦{dq} v ⊢ framed(!l)` — the read is covered by owned permission.
+///
+/// # Errors
+///
+/// Rejects unreadable permissions and heap-dependent terms.
+pub fn points_to_framed(l: Term, dq: DFrac, v: Term) -> Result<Entails, ProofError> {
+    no_reads("points-to-framed", &[&l, &v])?;
+    if !dq.allows_read() {
+        return reject("points-to-framed", "permission does not allow reading");
+    }
+    Ok(Entails::axiom(
+        Assert::PointsTo(l.clone(), dq, v),
+        Assert::Framed(Term::read(l)),
+        "points-to-framed",
+    ))
+}
+
+/// **Permission introspection introduction**:
+/// `l ↦{q} v ⊢ perm(l) ≥ q`.
+///
+/// # Errors
+///
+/// Rejects heap-dependent terms.
+pub fn points_to_perm(l: Term, q: Q, v: Term) -> Result<Entails, ProofError> {
+    no_reads("points-to-perm", &[&l, &v])?;
+    if !q.is_valid_permission() {
+        return reject("points-to-perm", "not a valid fraction");
+    }
+    Ok(Entails::axiom(
+        Assert::PointsTo(l.clone(), DFrac::own(q), v),
+        Assert::PermGe(l, q),
+        "points-to-perm",
+    ))
+}
+
+/// `perm(l) ≥ q ⊢ perm(l) ≥ q'` for `q' ≤ q`.
+///
+/// # Errors
+///
+/// Rejects when `q' > q`.
+pub fn perm_weaken(l: Term, q: Q, q2: Q) -> Result<Entails, ProofError> {
+    no_reads("perm-weaken", &[&l])?;
+    if q2 > q {
+        return reject("perm-weaken", "cannot strengthen a permission bound");
+    }
+    Ok(Entails::axiom(
+        Assert::PermGe(l.clone(), q),
+        Assert::PermGe(l, q2),
+        "perm-weaken",
+    ))
+}
+
+/// `perm(l) = q ⊢ perm(l) ≥ q`.
+pub fn perm_eq_ge(l: Term, q: Q) -> Entails {
+    Entails::axiom(
+        Assert::PermEq(l.clone(), q),
+        Assert::PermGe(l, q),
+        "perm-eq-ge",
+    )
+}
+
+/// Agreement: `l ↦{d1} v1 ∗ l ↦{d2} v2 ⊢ ⌜v1 = v2⌝`.
+///
+/// # Errors
+///
+/// Rejects heap-dependent terms.
+pub fn points_to_agree(
+    l: Term,
+    d1: DFrac,
+    v1: Term,
+    d2: DFrac,
+    v2: Term,
+) -> Result<Entails, ProofError> {
+    no_reads("points-to-agree", &[&l, &v1, &v2])?;
+    Ok(Entails::axiom(
+        Assert::sep(
+            Assert::PointsTo(l.clone(), d1, v1.clone()),
+            Assert::PointsTo(l, d2, v2.clone()),
+        ),
+        Assert::Pure(Term::eq(v1, v2)),
+        "points-to-agree",
+    ))
+}
+
+/// Validity: `l ↦{q1} v ∗ l ↦{q2} v ⊢ ⌜false⌝` when `q1 + q2 > 1`.
+///
+/// # Errors
+///
+/// Rejects when the fractions actually compose validly.
+pub fn points_to_invalid_sum(l: Term, q1: Q, q2: Q, v: Term) -> Result<Entails, ProofError> {
+    no_reads("points-to-invalid-sum", &[&l, &v])?;
+    if (q1 + q2).is_valid_permission() {
+        return reject("points-to-invalid-sum", "the fractions are compatible");
+    }
+    Ok(Entails::axiom(
+        Assert::sep(
+            Assert::PointsTo(l.clone(), DFrac::own(q1), v.clone()),
+            Assert::PointsTo(l, DFrac::own(q2), v),
+        ),
+        Assert::falsity(),
+        "points-to-invalid-sum",
+    ))
+}
+
+/// Splitting: `l ↦{q1+q2} v ⊢ l ↦{q1} v ∗ l ↦{q2} v`.
+///
+/// # Errors
+///
+/// Rejects non-positive fractions.
+pub fn points_to_split(l: Term, q1: Q, q2: Q, v: Term) -> Result<Entails, ProofError> {
+    no_reads("points-to-split", &[&l, &v])?;
+    if !q1.is_positive() || !q2.is_positive() {
+        return reject("points-to-split", "fractions must be positive");
+    }
+    Ok(Entails::axiom(
+        Assert::PointsTo(l.clone(), DFrac::own(q1 + q2), v.clone()),
+        Assert::sep(
+            Assert::PointsTo(l.clone(), DFrac::own(q1), v.clone()),
+            Assert::PointsTo(l, DFrac::own(q2), v),
+        ),
+        "points-to-split",
+    ))
+}
+
+/// Combining: `l ↦{q1} v ∗ l ↦{q2} v ⊢ l ↦{q1+q2} v`.
+///
+/// # Errors
+///
+/// Rejects non-positive fractions.
+pub fn points_to_combine(l: Term, q1: Q, q2: Q, v: Term) -> Result<Entails, ProofError> {
+    no_reads("points-to-combine", &[&l, &v])?;
+    if !q1.is_positive() || !q2.is_positive() {
+        return reject("points-to-combine", "fractions must be positive");
+    }
+    Ok(Entails::axiom(
+        Assert::sep(
+            Assert::PointsTo(l.clone(), DFrac::own(q1), v.clone()),
+            Assert::PointsTo(l.clone(), DFrac::own(q2), v.clone()),
+        ),
+        Assert::PointsTo(l, DFrac::own(q1 + q2), v),
+        "points-to-combine",
+    ))
+}
+
+/// Ghost composition: `own γ (a ⋅ b) ⊣⊢ own γ a ∗ own γ b` — the
+/// splitting direction.
+pub fn own_split(
+    g: crate::world::GhostName,
+    a: crate::world::GhostVal,
+    b: crate::world::GhostVal,
+) -> Entails {
+    Entails::axiom(
+        Assert::Own(g, a.op(&b)),
+        Assert::sep(Assert::Own(g, a), Assert::Own(g, b)),
+        "own-split",
+    )
+}
+
+/// Ghost composition, combining direction.
+pub fn own_combine(
+    g: crate::world::GhostName,
+    a: crate::world::GhostVal,
+    b: crate::world::GhostVal,
+) -> Entails {
+    Entails::axiom(
+        Assert::sep(Assert::Own(g, a.clone()), Assert::Own(g, b.clone())),
+        Assert::Own(g, a.op(&b)),
+        "own-combine",
+    )
+}
+
+/// Ghost validity: `own γ a ⊢ ⌜false⌝` for invalid `a`.
+///
+/// # Errors
+///
+/// Rejects valid elements.
+pub fn own_invalid(
+    g: crate::world::GhostName,
+    a: crate::world::GhostVal,
+) -> Result<Entails, ProofError> {
+    if a.valid() {
+        return reject("own-invalid", "element is valid");
+    }
+    Ok(Entails::axiom(
+        Assert::Own(g, a),
+        Assert::falsity(),
+        "own-invalid",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{GhostName, GhostVal};
+    use daenerys_algebra::{Agree, Frac};
+    use daenerys_heaplang::{Loc, Val};
+
+    fn l() -> Term {
+        Term::loc(Loc(0))
+    }
+
+    #[test]
+    fn read_rule_side_conditions() {
+        assert!(points_to_read(l(), DFrac::own(Q::HALF), Term::int(1)).is_ok());
+        assert!(points_to_read(l(), DFrac::discarded(), Term::int(1)).is_ok());
+        // A heap-dependent value term is rejected.
+        assert!(points_to_read(l(), DFrac::FULL, Term::read(l())).is_err());
+    }
+
+    #[test]
+    fn perm_rules() {
+        assert!(points_to_perm(l(), Q::HALF, Term::int(0)).is_ok());
+        assert!(points_to_perm(l(), Q::ZERO, Term::int(0)).is_err());
+        assert!(perm_weaken(l(), Q::HALF, Q::new(1, 3)).is_ok());
+        assert!(perm_weaken(l(), Q::new(1, 3), Q::HALF).is_err());
+    }
+
+    #[test]
+    fn split_combine_shapes() {
+        let d = points_to_split(l(), Q::HALF, Q::HALF, Term::int(1)).unwrap();
+        match d.rhs() {
+            Assert::Sep(a, b) => assert_eq!(a, b),
+            _ => panic!("expected ∗"),
+        }
+        assert!(points_to_combine(l(), Q::HALF, Q::HALF, Term::int(1)).is_ok());
+        assert!(points_to_split(l(), Q::ZERO, Q::HALF, Term::int(1)).is_err());
+    }
+
+    #[test]
+    fn invalid_sum_requires_overflow() {
+        assert!(points_to_invalid_sum(l(), Q::ONE, Q::HALF, Term::int(1)).is_ok());
+        assert!(points_to_invalid_sum(l(), Q::HALF, Q::HALF, Term::int(1)).is_err());
+    }
+
+    #[test]
+    fn ghost_rules() {
+        let g = GhostName(0);
+        let half = GhostVal::Frac(Frac::new(Q::HALF));
+        let d = own_split(g, half.clone(), half.clone());
+        assert_eq!(d.lhs(), &Assert::Own(g, GhostVal::Frac(Frac::new(Q::ONE))));
+        let bad = GhostVal::AgreeVal(Agree::new(Val::int(0)))
+            .op(&GhostVal::AgreeVal(Agree::new(Val::int(1))));
+        assert!(own_invalid(g, bad).is_ok());
+        assert!(own_invalid(g, half).is_err());
+    }
+}

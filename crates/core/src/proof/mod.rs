@@ -1,0 +1,602 @@
+//! The proof kernel: entailments as abstract certificates.
+//!
+//! In the Rocq artifact, proof rules are lemmas and derivations are
+//! checked terms. Here we reproduce that architecture LCF-style: an
+//! [`Entails`] value can only be created through the rule constructors in
+//! this module tree, each of which checks its side conditions. The test
+//! suite model-checks *every rule* against the semantic evaluator
+//! (experiment T2), so a kernel derivation carries the same assurance
+//! the finite model can provide.
+//!
+//! Rule inventory:
+//!
+//! * [`mod@self`] — structural/BI rules (conjunction, disjunction,
+//!   implication, quantifiers, separating conjunction, the
+//!   world-bounded wand);
+//! * [`modal`] — `later` (with Löb induction) and `persistently`;
+//! * [`heap`] — points-to rules and the destabilized heap-dependent
+//!   rules (heap reads, permission introspection);
+//! * [`destab`] — the stabilization modalities `⌊·⌋`, `⌈·⌉` and the
+//!   self-framing rule;
+//! * [`update`] — basic updates and ghost-state updates, including the
+//!   stability side condition on framing updates.
+
+pub mod auto;
+pub mod destab;
+pub mod heap;
+pub mod modal;
+pub mod update;
+
+use crate::assert::Assert;
+use crate::term::{eval_term, Env, Term};
+use crate::world::{Res, World};
+use daenerys_heaplang::Val;
+use std::fmt;
+
+/// A proof-rule failure: the rule's side condition was not met.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProofError {
+    /// The rule that rejected the application.
+    pub rule: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule {}: {}", self.rule, self.message)
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+pub(crate) fn reject<T>(rule: &'static str, message: impl Into<String>) -> Result<T, ProofError> {
+    Err(ProofError {
+        rule,
+        message: message.into(),
+    })
+}
+
+/// A certified entailment `P ⊢ Q`.
+///
+/// Values of this type can only be produced by the rule constructors of
+/// the [`crate::proof`] module tree — the kernel boundary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Entails {
+    lhs: Assert,
+    rhs: Assert,
+    rule: &'static str,
+    steps: usize,
+}
+
+impl Entails {
+    pub(crate) fn make(lhs: Assert, rhs: Assert, rule: &'static str, steps: usize) -> Entails {
+        Entails {
+            lhs,
+            rhs,
+            rule,
+            steps,
+        }
+    }
+
+    pub(crate) fn axiom(lhs: Assert, rhs: Assert, rule: &'static str) -> Entails {
+        Entails::make(lhs, rhs, rule, 1)
+    }
+
+    /// The premise.
+    pub fn lhs(&self) -> &Assert {
+        &self.lhs
+    }
+
+    /// The conclusion.
+    pub fn rhs(&self) -> &Assert {
+        &self.rhs
+    }
+
+    /// The name of the outermost rule.
+    pub fn rule(&self) -> &'static str {
+        self.rule
+    }
+
+    /// Total number of rule applications in the derivation — the "proof
+    /// size" metric reported by the evaluation (T1).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+impl fmt::Display for Entails {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ⊢ {}   [{} rule(s)]", self.lhs, self.rhs, self.steps)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural rules
+// ---------------------------------------------------------------------
+
+/// `P ⊢ P`.
+pub fn refl(p: Assert) -> Entails {
+    Entails::axiom(p.clone(), p, "refl")
+}
+
+/// From `P ⊢ Q` and `Q ⊢ R`, conclude `P ⊢ R`.
+///
+/// # Errors
+///
+/// Rejects when the middle assertions differ.
+pub fn trans(a: &Entails, b: &Entails) -> Result<Entails, ProofError> {
+    if a.rhs != b.lhs {
+        return reject(
+            "trans",
+            format!("middle mismatch: {} vs {}", a.rhs, b.lhs),
+        );
+    }
+    Ok(Entails::make(
+        a.lhs.clone(),
+        b.rhs.clone(),
+        "trans",
+        a.steps + b.steps + 1,
+    ))
+}
+
+/// `P ⊢ ⌜true⌝`.
+pub fn true_intro(p: Assert) -> Entails {
+    Entails::axiom(p, Assert::truth(), "true-intro")
+}
+
+/// `⌜false⌝ ⊢ P`.
+pub fn false_elim(p: Assert) -> Entails {
+    Entails::axiom(Assert::falsity(), p, "false-elim")
+}
+
+/// A closed, read-free tautology: `P ⊢ ⌜t⌝` when `t` evaluates to `true`
+/// in the empty world.
+///
+/// # Errors
+///
+/// Rejects heap-dependent or non-true terms.
+pub fn pure_intro(p: Assert, t: Term) -> Result<Entails, ProofError> {
+    if t.has_read() {
+        return reject("pure-intro", "term contains a heap read");
+    }
+    let w = World::solo(Res::empty());
+    match eval_term(&t, &w, &Env::new()) {
+        Ok(out) if out.value == Val::bool(true) => {
+            Ok(Entails::axiom(p, Assert::Pure(t), "pure-intro"))
+        }
+        Ok(out) => reject("pure-intro", format!("term evaluated to {}", out.value)),
+        Err(e) => reject("pure-intro", format!("term not closed: {}", e)),
+    }
+}
+
+/// From `P ⊢ Q` and `P ⊢ R`, conclude `P ⊢ Q ∧ R`.
+///
+/// # Errors
+///
+/// Rejects when the premises' left-hand sides differ.
+pub fn and_intro(a: &Entails, b: &Entails) -> Result<Entails, ProofError> {
+    if a.lhs != b.lhs {
+        return reject("and-intro", "premises have different antecedents");
+    }
+    Ok(Entails::make(
+        a.lhs.clone(),
+        Assert::and(a.rhs.clone(), b.rhs.clone()),
+        "and-intro",
+        a.steps + b.steps + 1,
+    ))
+}
+
+/// `P ∧ Q ⊢ P`.
+pub fn and_elim_l(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(Assert::and(p.clone(), q), p, "and-elim-l")
+}
+
+/// `P ∧ Q ⊢ Q`.
+pub fn and_elim_r(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(Assert::and(p, q.clone()), q, "and-elim-r")
+}
+
+/// `P ⊢ P ∨ Q`.
+pub fn or_intro_l(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(p.clone(), Assert::or(p, q), "or-intro-l")
+}
+
+/// `Q ⊢ P ∨ Q`.
+pub fn or_intro_r(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(q.clone(), Assert::or(p, q), "or-intro-r")
+}
+
+/// From `P ⊢ R` and `Q ⊢ R`, conclude `P ∨ Q ⊢ R`.
+///
+/// # Errors
+///
+/// Rejects when the conclusions differ.
+pub fn or_elim(a: &Entails, b: &Entails) -> Result<Entails, ProofError> {
+    if a.rhs != b.rhs {
+        return reject("or-elim", "premises have different conclusions");
+    }
+    Ok(Entails::make(
+        Assert::or(a.lhs.clone(), b.lhs.clone()),
+        a.rhs.clone(),
+        "or-elim",
+        a.steps + b.steps + 1,
+    ))
+}
+
+/// From `R ∧ P ⊢ Q`, conclude `R ⊢ P → Q`.
+///
+/// # Errors
+///
+/// Rejects when the premise is not a conjunction.
+pub fn impl_intro(a: &Entails) -> Result<Entails, ProofError> {
+    match &a.lhs {
+        Assert::And(r, p) => Ok(Entails::make(
+            (**r).clone(),
+            Assert::impl_((**p).clone(), a.rhs.clone()),
+            "impl-intro",
+            a.steps + 1,
+        )),
+        other => reject("impl-intro", format!("premise LHS is not ∧: {}", other)),
+    }
+}
+
+/// `(P → Q) ∧ P ⊢ Q`.
+pub fn impl_elim(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::and(Assert::impl_(p.clone(), q.clone()), p),
+        q,
+        "impl-elim",
+    )
+}
+
+/// `∀ x ∈ dom. P ⊢ P[v/x]` for `v ∈ dom`.
+///
+/// # Errors
+///
+/// Rejects when `v` is outside the domain.
+pub fn forall_elim(
+    x: &str,
+    dom: Vec<Val>,
+    body: Assert,
+    v: Val,
+) -> Result<Entails, ProofError> {
+    if !dom.contains(&v) {
+        return reject("forall-elim", format!("{} not in domain", v));
+    }
+    let inst = body.subst(x, &v);
+    Ok(Entails::axiom(
+        Assert::forall(x, dom, body),
+        inst,
+        "forall-elim",
+    ))
+}
+
+/// From a premise `P ⊢ Q[v/x]` for *each* `v ∈ dom`, conclude
+/// `P ⊢ ∀ x ∈ dom. Q`.
+///
+/// # Errors
+///
+/// Rejects when the premises do not line up with the domain.
+pub fn forall_intro(
+    premises: &[Entails],
+    p: Assert,
+    x: &str,
+    dom: Vec<Val>,
+    body: Assert,
+) -> Result<Entails, ProofError> {
+    if premises.len() != dom.len() {
+        return reject("forall-intro", "one premise required per domain element");
+    }
+    let mut steps = 1;
+    for (prem, v) in premises.iter().zip(dom.iter()) {
+        if prem.lhs != p {
+            return reject("forall-intro", "premise antecedent mismatch");
+        }
+        if prem.rhs != body.subst(x, v) {
+            return reject(
+                "forall-intro",
+                format!("premise for {} does not match instantiated body", v),
+            );
+        }
+        steps += prem.steps;
+    }
+    Ok(Entails::make(
+        p,
+        Assert::forall(x, dom, body),
+        "forall-intro",
+        steps,
+    ))
+}
+
+/// `P[v/x] ⊢ ∃ x ∈ dom. P` for `v ∈ dom`.
+///
+/// # Errors
+///
+/// Rejects when `v` is outside the domain.
+pub fn exists_intro(
+    x: &str,
+    dom: Vec<Val>,
+    body: Assert,
+    v: Val,
+) -> Result<Entails, ProofError> {
+    if !dom.contains(&v) {
+        return reject("exists-intro", format!("{} not in domain", v));
+    }
+    let inst = body.subst(x, &v);
+    Ok(Entails::axiom(
+        inst,
+        Assert::exists(x, dom, body),
+        "exists-intro",
+    ))
+}
+
+/// From a premise `Q[v/x] ⊢ R` for *each* `v ∈ dom`, conclude
+/// `(∃ x ∈ dom. Q) ⊢ R`.
+///
+/// # Errors
+///
+/// Rejects when the premises do not line up with the domain.
+pub fn exists_elim(
+    premises: &[Entails],
+    x: &str,
+    dom: Vec<Val>,
+    body: Assert,
+    r: Assert,
+) -> Result<Entails, ProofError> {
+    if premises.len() != dom.len() {
+        return reject("exists-elim", "one premise required per domain element");
+    }
+    let mut steps = 1;
+    for (prem, v) in premises.iter().zip(dom.iter()) {
+        if prem.rhs != r {
+            return reject("exists-elim", "premise conclusion mismatch");
+        }
+        if prem.lhs != body.subst(x, v) {
+            return reject(
+                "exists-elim",
+                format!("premise for {} does not match instantiated body", v),
+            );
+        }
+        steps += prem.steps;
+    }
+    Ok(Entails::make(
+        Assert::exists(x, dom, body),
+        r,
+        "exists-elim",
+        steps,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Separating conjunction and wand
+// ---------------------------------------------------------------------
+
+/// `P ∗ Q ⊢ Q ∗ P`.
+pub fn sep_comm(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::sep(p.clone(), q.clone()),
+        Assert::sep(q, p),
+        "sep-comm",
+    )
+}
+
+/// `(P ∗ Q) ∗ R ⊢ P ∗ (Q ∗ R)`.
+pub fn sep_assoc(p: Assert, q: Assert, r: Assert) -> Entails {
+    Entails::axiom(
+        Assert::sep(Assert::sep(p.clone(), q.clone()), r.clone()),
+        Assert::sep(p, Assert::sep(q, r)),
+        "sep-assoc",
+    )
+}
+
+/// `P ∗ (Q ∗ R) ⊢ (P ∗ Q) ∗ R`.
+pub fn sep_assoc_rev(p: Assert, q: Assert, r: Assert) -> Entails {
+    Entails::axiom(
+        Assert::sep(p.clone(), Assert::sep(q.clone(), r.clone())),
+        Assert::sep(Assert::sep(p, q), r),
+        "sep-assoc-rev",
+    )
+}
+
+/// From `P1 ⊢ Q1` and `P2 ⊢ Q2`, conclude `P1 ∗ P2 ⊢ Q1 ∗ Q2`.
+pub fn sep_mono(a: &Entails, b: &Entails) -> Entails {
+    Entails::make(
+        Assert::sep(a.lhs.clone(), b.lhs.clone()),
+        Assert::sep(a.rhs.clone(), b.rhs.clone()),
+        "sep-mono",
+        a.steps + b.steps + 1,
+    )
+}
+
+/// Frame on the right: from `P ⊢ Q` conclude `P ∗ R ⊢ Q ∗ R`.
+pub fn frame(a: &Entails, r: Assert) -> Entails {
+    Entails::make(
+        Assert::sep(a.lhs.clone(), r.clone()),
+        Assert::sep(a.rhs.clone(), r),
+        "frame",
+        a.steps + 1,
+    )
+}
+
+/// `P ⊢ emp ∗ P`.
+pub fn emp_sep_intro(p: Assert) -> Entails {
+    Entails::axiom(
+        p.clone(),
+        Assert::sep(Assert::Emp, p),
+        "emp-sep-intro",
+    )
+}
+
+/// `emp ∗ P ⊢ P`.
+pub fn emp_sep_elim(p: Assert) -> Entails {
+    Entails::axiom(
+        Assert::sep(Assert::Emp, p.clone()),
+        p,
+        "emp-sep-elim",
+    )
+}
+
+/// `P ⊢ P ∗ ⌜true⌝`.
+pub fn sep_true_intro(p: Assert) -> Entails {
+    Entails::axiom(
+        p.clone(),
+        Assert::sep(p, Assert::truth()),
+        "sep-true-intro",
+    )
+}
+
+/// From `P ∗ Q ⊢ R`, conclude `P ⊢ Q −∗ R`.
+///
+/// # Errors
+///
+/// Rejects when the premise is not a separating conjunction.
+pub fn wand_intro(a: &Entails) -> Result<Entails, ProofError> {
+    match &a.lhs {
+        Assert::Sep(p, q) => Ok(Entails::make(
+            (**p).clone(),
+            Assert::wand((**q).clone(), a.rhs.clone()),
+            "wand-intro",
+            a.steps + 1,
+        )),
+        other => reject("wand-intro", format!("premise LHS is not ∗: {}", other)),
+    }
+}
+
+/// `(P −∗ Q) ∗ P ⊢ Q`.
+pub fn wand_elim(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::sep(Assert::wand(p.clone(), q.clone()), p),
+        q,
+        "wand-elim",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daenerys_heaplang::Loc;
+
+    fn pt() -> Assert {
+        Assert::points_to(Term::loc(Loc(0)), Term::int(1))
+    }
+
+    #[test]
+    fn refl_and_trans() {
+        let a = refl(pt());
+        let b = true_intro(pt());
+        let c = trans(&a, &b).unwrap();
+        assert_eq!(c.lhs(), &pt());
+        assert_eq!(c.rhs(), &Assert::truth());
+        assert_eq!(c.steps(), 3);
+        // Mismatched middles are rejected.
+        assert!(trans(&b, &a).is_err());
+    }
+
+    #[test]
+    fn and_rules() {
+        let a = refl(pt());
+        let b = true_intro(pt());
+        let c = and_intro(&a, &b).unwrap();
+        assert_eq!(c.rhs(), &Assert::and(pt(), Assert::truth()));
+        assert!(and_intro(&refl(pt()), &refl(Assert::Emp)).is_err());
+    }
+
+    #[test]
+    fn impl_rules() {
+        let prem = and_elim_r(pt(), Assert::Emp);
+        let d = impl_intro(&prem).unwrap();
+        assert_eq!(d.lhs(), &pt());
+        assert_eq!(d.rhs(), &Assert::impl_(Assert::Emp, Assert::Emp));
+        assert!(impl_intro(&refl(pt())).is_err());
+    }
+
+    #[test]
+    fn quantifier_side_conditions() {
+        let dom = vec![Val::int(0), Val::int(1)];
+        let body = Assert::eq(Term::var("x"), Term::var("x"));
+        assert!(forall_elim("x", dom.clone(), body.clone(), Val::int(0)).is_ok());
+        assert!(forall_elim("x", dom.clone(), body.clone(), Val::int(9)).is_err());
+        assert!(exists_intro("x", dom.clone(), body.clone(), Val::int(1)).is_ok());
+        assert!(exists_intro("x", dom, body, Val::int(9)).is_err());
+    }
+
+    #[test]
+    fn forall_intro_checks_premises() {
+        let dom = vec![Val::int(0), Val::int(1)];
+        let body = Assert::truth(); // closed body: all instances identical
+        let prems: Vec<Entails> = dom.iter().map(|_| true_intro(pt())).collect();
+        let d = forall_intro(&prems, pt(), "x", dom.clone(), body.clone()).unwrap();
+        assert_eq!(d.rhs(), &Assert::forall("x", dom.clone(), body.clone()));
+        // Wrong number of premises.
+        assert!(forall_intro(&prems[..1], pt(), "x", dom, body).is_err());
+    }
+
+    #[test]
+    fn pure_intro_side_conditions() {
+        assert!(pure_intro(pt(), Term::eq(Term::int(1), Term::int(1))).is_ok());
+        assert!(pure_intro(pt(), Term::eq(Term::int(1), Term::int(2))).is_err());
+        assert!(pure_intro(pt(), Term::eq(Term::read(Term::loc(Loc(0))), Term::int(1))).is_err());
+        assert!(pure_intro(pt(), Term::var("x")).is_err());
+    }
+
+    #[test]
+    fn wand_intro_requires_sep() {
+        let d = wand_elim(pt(), Assert::truth());
+        assert!(wand_intro(&d).is_ok());
+        assert!(wand_intro(&refl(pt())).is_err());
+    }
+
+    #[test]
+    fn derivation_steps_accumulate() {
+        let a = sep_mono(&refl(pt()), &true_intro(pt()));
+        assert_eq!(a.steps(), 3);
+        let f = frame(&a, Assert::Emp);
+        assert_eq!(f.steps(), 4);
+        assert_eq!(f.rule(), "frame");
+    }
+}
+
+/// `(∃ x ∈ dom. P) ∗ Q ⊢ ∃ x ∈ dom. (P ∗ Q)` when `x` is not free in
+/// `Q`.
+///
+/// # Errors
+///
+/// Rejects when `x` occurs free in `Q`.
+pub fn sep_exists_out(
+    x: &str,
+    dom: Vec<Val>,
+    p: Assert,
+    q: Assert,
+) -> Result<Entails, ProofError> {
+    if q.mentions_var(x) {
+        return reject("sep-exists-out", format!("{} occurs free in the frame", x));
+    }
+    Ok(Entails::axiom(
+        Assert::sep(Assert::exists(x, dom.clone(), p.clone()), q.clone()),
+        Assert::exists(x, dom, Assert::sep(p, q)),
+        "sep-exists-out",
+    ))
+}
+
+/// `∃ x ∈ dom. (P ∗ Q) ⊢ (∃ x ∈ dom. P) ∗ Q` when `x` is not free in
+/// `Q`.
+///
+/// # Errors
+///
+/// Rejects when `x` occurs free in `Q`.
+pub fn sep_exists_in(
+    x: &str,
+    dom: Vec<Val>,
+    p: Assert,
+    q: Assert,
+) -> Result<Entails, ProofError> {
+    if q.mentions_var(x) {
+        return reject("sep-exists-in", format!("{} occurs free in the frame", x));
+    }
+    Ok(Entails::axiom(
+        Assert::exists(x, dom.clone(), Assert::sep(p.clone(), q.clone())),
+        Assert::sep(Assert::exists(x, dom, p), q),
+        "sep-exists-in",
+    ))
+}

@@ -1,0 +1,217 @@
+//! Rules for the `later` and `persistently` modalities.
+//!
+//! Notable deviations from stable Iris, both consequences of dropping
+//! monotonicity:
+//!
+//! * `□ P ⊢ P` is **unsound** here (the core of the owned resource may
+//!   satisfy `P` while the resource itself — e.g. under exact
+//!   permission introspection — does not); persistence elimination is
+//!   only available through [`persistently_elim_persistent`] on the
+//!   syntactically persistent fragment.
+
+use crate::assert::Assert;
+use crate::proof::{reject, Entails, ProofError};
+use crate::stability::{syntactically_elim_persistent, syntactically_persistent};
+
+/// `P ⊢ ▷ P`.
+pub fn later_intro(p: Assert) -> Entails {
+    Entails::axiom(p.clone(), Assert::later(p), "later-intro")
+}
+
+/// From `P ⊢ Q`, conclude `▷ P ⊢ ▷ Q`.
+pub fn later_mono(a: &Entails) -> Entails {
+    Entails::make(
+        Assert::later(a.lhs().clone()),
+        Assert::later(a.rhs().clone()),
+        "later-mono",
+        a.steps() + 1,
+    )
+}
+
+/// `▷(P ∗ Q) ⊢ ▷P ∗ ▷Q`.
+pub fn later_sep_split(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::later(Assert::sep(p.clone(), q.clone())),
+        Assert::sep(Assert::later(p), Assert::later(q)),
+        "later-sep-split",
+    )
+}
+
+/// `▷P ∗ ▷Q ⊢ ▷(P ∗ Q)`.
+pub fn later_sep_merge(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::sep(Assert::later(p.clone()), Assert::later(q.clone())),
+        Assert::later(Assert::sep(p, q)),
+        "later-sep-merge",
+    )
+}
+
+/// `▷(P ∧ Q) ⊢ ▷P ∧ ▷Q`.
+pub fn later_and_split(p: Assert, q: Assert) -> Entails {
+    Entails::axiom(
+        Assert::later(Assert::and(p.clone(), q.clone())),
+        Assert::and(Assert::later(p), Assert::later(q)),
+        "later-and-split",
+    )
+}
+
+/// Löb induction: from `Q ∧ ▷P ⊢ P`, conclude `Q ⊢ P`.
+///
+/// # Errors
+///
+/// Rejects when the premise does not have the shape `Q ∧ ▷P ⊢ P`.
+pub fn loeb(a: &Entails) -> Result<Entails, ProofError> {
+    match a.lhs() {
+        Assert::And(q, lat) => match &**lat {
+            Assert::Later(p) if **p == *a.rhs() => Ok(Entails::make(
+                (**q).clone(),
+                a.rhs().clone(),
+                "loeb",
+                a.steps() + 1,
+            )),
+            _ => reject("loeb", "premise must be Q ∧ ▷P ⊢ P"),
+        },
+        _ => reject("loeb", "premise must be Q ∧ ▷P ⊢ P"),
+    }
+}
+
+/// From `P ⊢ Q`, conclude `□ P ⊢ □ Q`.
+pub fn persistently_mono(a: &Entails) -> Entails {
+    Entails::make(
+        Assert::persistently(a.lhs().clone()),
+        Assert::persistently(a.rhs().clone()),
+        "persistently-mono",
+        a.steps() + 1,
+    )
+}
+
+/// `□ P ⊢ □ □ P`.
+pub fn persistently_idem(p: Assert) -> Entails {
+    Entails::axiom(
+        Assert::persistently(p.clone()),
+        Assert::persistently(Assert::persistently(p)),
+        "persistently-idem",
+    )
+}
+
+/// `□ □ P ⊢ □ P`.
+pub fn persistently_unidem(p: Assert) -> Entails {
+    Entails::axiom(
+        Assert::persistently(Assert::persistently(p.clone())),
+        Assert::persistently(p),
+        "persistently-unidem",
+    )
+}
+
+/// `□ P ⊢ □ P ∗ □ P` — persistent assertions duplicate.
+pub fn persistently_dup(p: Assert) -> Entails {
+    let bp = Assert::persistently(p);
+    Entails::axiom(
+        bp.clone(),
+        Assert::sep(bp.clone(), bp),
+        "persistently-dup",
+    )
+}
+
+/// Persistence introduction on the syntactically persistent fragment:
+/// `P ⊢ □ P` when `P` describes only core resources.
+///
+/// # Errors
+///
+/// Rejects assertions outside the persistent fragment.
+pub fn persistent_intro(p: Assert) -> Result<Entails, ProofError> {
+    if !syntactically_persistent(&p) {
+        return reject(
+            "persistent-intro",
+            format!("{} is not syntactically persistent", p),
+        );
+    }
+    Ok(Entails::axiom(
+        p.clone(),
+        Assert::persistently(p),
+        "persistent-intro",
+    ))
+}
+
+/// Persistence elimination on the *elim-persistent* fragment:
+/// `□ P ⊢ P` when `P` is syntactically elim-persistent. (The
+/// unrestricted rule is unsound in the destabilized, non-monotone,
+/// non-affine logic — e.g. `□ emp ⊬ emp`.)
+///
+/// # Errors
+///
+/// Rejects assertions outside the elim-persistent fragment.
+pub fn persistently_elim_persistent(p: Assert) -> Result<Entails, ProofError> {
+    if !syntactically_elim_persistent(&p) {
+        return reject(
+            "persistently-elim-persistent",
+            format!("{} is not syntactically persistent", p),
+        );
+    }
+    Ok(Entails::axiom(
+        Assert::persistently(p.clone()),
+        p,
+        "persistently-elim-persistent",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proof::{and_elim_r, refl};
+    use crate::term::Term;
+    use daenerys_algebra::DFrac;
+    use daenerys_heaplang::Loc;
+
+    fn pt() -> Assert {
+        Assert::points_to(Term::loc(Loc(0)), Term::int(1))
+    }
+
+    fn disc() -> Assert {
+        Assert::PointsTo(Term::loc(Loc(0)), DFrac::discarded(), Term::int(1))
+    }
+
+    #[test]
+    fn loeb_shape_checking() {
+        // Q ∧ ▷P ⊢ P with P = Q-independent truth: use and-elim shape.
+        let p = Assert::later(Assert::truth());
+        // Build Q ∧ ▷(▷⊤) ⊢ ▷⊤ via and_elim_r then later-elim shape:
+        // simplest: and_elim_r gives (Q ∧ ▷P) ⊢ ▷P — wrong conclusion.
+        // Construct a premise with the right shape directly:
+        let prem = and_elim_r(pt(), Assert::later(p.clone()));
+        // prem : pt ∧ ▷▷⊤ ⊢ ▷▷⊤ — not Löb shape (conclusion is ▷P, not P).
+        assert!(loeb(&prem).is_err());
+        // A correct Löb shape: (Q ∧ ▷P) ⊢ P where P = ⊤... use true_intro.
+        let prem2 = crate::proof::true_intro(Assert::and(
+            pt(),
+            Assert::later(Assert::truth()),
+        ));
+        let d = loeb(&prem2).unwrap();
+        assert_eq!(d.lhs(), &pt());
+        assert_eq!(d.rhs(), &Assert::truth());
+    }
+
+    #[test]
+    fn persistence_side_conditions() {
+        assert!(persistent_intro(disc()).is_ok());
+        assert!(persistent_intro(pt()).is_err());
+        assert!(persistently_elim_persistent(disc()).is_ok());
+        assert!(persistently_elim_persistent(pt()).is_err());
+    }
+
+    #[test]
+    fn later_mono_composes() {
+        let d = later_mono(&refl(pt()));
+        assert_eq!(d.lhs(), &Assert::later(pt()));
+        assert_eq!(d.steps(), 2);
+    }
+
+    #[test]
+    fn dup_shape() {
+        let d = persistently_dup(disc());
+        match d.rhs() {
+            Assert::Sep(a, b) => assert_eq!(a, b),
+            _ => panic!("expected ∗"),
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Rules for the basic update modality and ghost-state updates.
+//!
+//! The destabilized twist lives in [`bupd_frame`]: framing an assertion
+//! around an update is only sound when the framed assertion is *stable*
+//! — the update may change the part of the world an unstable assertion
+//! was looking at. In stable Iris every assertion satisfies the side
+//! condition, which is why the classical rule carries none.
+
+use crate::assert::Assert;
+use crate::proof::{reject, Entails, ProofError};
+use crate::stability::syntactically_stable;
+use crate::world::{GhostName, GhostVal};
+use daenerys_algebra::{Auth, DFrac, MaxNat, Q, Ra, SumNat};
+
+/// `P ⊢ |==> P`.
+pub fn bupd_intro(p: Assert) -> Entails {
+    Entails::axiom(p.clone(), Assert::bupd(p), "bupd-intro")
+}
+
+/// From `P ⊢ Q`, conclude `|==> P ⊢ |==> Q`.
+pub fn bupd_mono(a: &Entails) -> Entails {
+    Entails::make(
+        Assert::bupd(a.lhs().clone()),
+        Assert::bupd(a.rhs().clone()),
+        "bupd-mono",
+        a.steps() + 1,
+    )
+}
+
+/// `|==> |==> P ⊢ |==> P`.
+pub fn bupd_trans(p: Assert) -> Entails {
+    Entails::axiom(
+        Assert::bupd(Assert::bupd(p.clone())),
+        Assert::bupd(p),
+        "bupd-trans",
+    )
+}
+
+/// **Framing around an update — with the stability side condition**:
+/// `P ∗ |==> Q ⊢ |==> (P ∗ Q)` requires `P` syntactically stable.
+///
+/// # Errors
+///
+/// Rejects unstable frames — the destabilized logic's key restriction.
+pub fn bupd_frame(p: Assert, q: Assert) -> Result<Entails, ProofError> {
+    if !syntactically_stable(&p) {
+        return reject(
+            "bupd-frame",
+            format!("frame {} is not syntactically stable", p),
+        );
+    }
+    Ok(Entails::axiom(
+        Assert::sep(p.clone(), Assert::bupd(q.clone())),
+        Assert::bupd(Assert::sep(p, q)),
+        "bupd-frame",
+    ))
+}
+
+/// Whether `a ~~> b` is a known frame-preserving update for the
+/// supported ghost cameras. This is the analytic counterpart of the
+/// FPU check the semantic model performs against the enumerated
+/// universe; the test suite confirms they agree.
+pub fn ghost_fpu(a: &GhostVal, b: &GhostVal) -> bool {
+    use GhostVal::*;
+    if a == b {
+        return a.valid();
+    }
+    match (a, b) {
+        // Exclusive state updates freely.
+        (ExclVal(x), ExclVal(y)) => x.valid() && y.valid(),
+        // Agreement can never change (frames may hold copies).
+        (AgreeVal(_), AgreeVal(_)) => false,
+        // Fraction tokens may shrink (give up part of a token)...
+        (Frac(x), Frac(y)) => {
+            x.valid() && y.valid() && y.amount() <= x.amount()
+        }
+        // Authoritative sum-counter: with full ownership (auth + the
+        // whole fragment) any simultaneous change is fine; otherwise
+        // auth and fragment may grow together (a local update).
+        (AuthNat(x), AuthNat(y)) => auth_nat_fpu(x, y),
+        // Monotone counter: the authority may only grow; fragments are
+        // lower bounds and may shrink.
+        (AuthMax(x), AuthMax(y)) => auth_max_fpu(x, y),
+        _ => false,
+    }
+}
+
+fn auth_nat_fpu(x: &Auth<SumNat>, y: &Auth<SumNat>) -> bool {
+    match (x.authority(), y.authority()) {
+        (Some(a), Some(a2)) => {
+            let (f, f2) = (x.fragment().0, y.fragment().0);
+            // Frames hold a - f; preservation needs a2 - f2 = a - f and
+            // no shrinking of either side below the frame.
+            a.0 >= f && a2.0 >= f2 && a2.0 - f2 == a.0 - f
+        }
+        (None, None) => {
+            // Pure fragments may only shrink.
+            y.fragment().0 <= x.fragment().0
+        }
+        _ => false,
+    }
+}
+
+fn auth_max_fpu(x: &Auth<MaxNat>, y: &Auth<MaxNat>) -> bool {
+    match (x.authority(), y.authority()) {
+        (Some(a), Some(a2)) => {
+            // Authority only grows; the new fragment must be bounded by
+            // the new authority. Old fragment bound: frames hold at most
+            // a, which stays ≤ a2.
+            a2.0 >= a.0 && y.fragment().0 <= a2.0 && x.fragment().0 <= a.0
+        }
+        (None, None) => y.fragment().0 <= x.fragment().0,
+        _ => false,
+    }
+}
+
+/// Ghost update: `own γ a ⊢ |==> own γ b` when `a ~~> b` is a known
+/// frame-preserving update.
+///
+/// # Errors
+///
+/// Rejects unknown or non-frame-preserving updates.
+pub fn ghost_update(g: GhostName, a: GhostVal, b: GhostVal) -> Result<Entails, ProofError> {
+    if !ghost_fpu(&a, &b) {
+        return reject(
+            "ghost-update",
+            format!("{:?} ~~> {:?} is not a known frame-preserving update", a, b),
+        );
+    }
+    Ok(Entails::axiom(
+        Assert::Own(g, a),
+        Assert::bupd(Assert::Own(g, b)),
+        "ghost-update",
+    ))
+}
+
+/// Ghost allocation: `emp ⊢ |==> own γ a` for a valid *exclusive-or-
+/// authoritative* element at a name assumed fresh.
+///
+/// In the finite model, freshness cannot be expressed inside the logic,
+/// so allocation is only admissible when the caller can guarantee the
+/// name is unused; the program-logic layer tracks a name supply. The
+/// rule still checks validity.
+///
+/// # Errors
+///
+/// Rejects invalid elements.
+pub fn ghost_alloc(g: GhostName, a: GhostVal) -> Result<Entails, ProofError> {
+    if !a.valid() {
+        return reject("ghost-alloc", "cannot allocate an invalid element");
+    }
+    Ok(Entails::axiom(
+        Assert::Emp,
+        Assert::bupd(Assert::Own(g, a)),
+        "ghost-alloc",
+    ))
+}
+
+/// Points-to persistence (`pointsto_persist`): any owned fraction may be
+/// discarded: `l ↦{q} v ⊢ |==> l ↦□ v`.
+///
+/// # Errors
+///
+/// Rejects heap-dependent terms and invalid fractions.
+pub fn points_to_discard(
+    l: crate::term::Term,
+    q: Q,
+    v: crate::term::Term,
+) -> Result<Entails, ProofError> {
+    if l.has_read() || v.has_read() {
+        return reject("points-to-discard", "terms must be read-free");
+    }
+    if !q.is_valid_permission() {
+        return reject("points-to-discard", "not a valid fraction");
+    }
+    Ok(Entails::axiom(
+        Assert::PointsTo(l.clone(), DFrac::own(q), v.clone()),
+        Assert::bupd(Assert::PointsTo(l, DFrac::discarded(), v)),
+        "points-to-discard",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use daenerys_algebra::{Agree, Excl};
+    use daenerys_heaplang::{Loc, Val};
+
+    #[test]
+    fn bupd_frame_requires_stable_frame() {
+        let stable = Assert::points_to(Term::loc(Loc(0)), Term::int(1));
+        let unstable = Assert::read_eq(Term::loc(Loc(0)), Term::int(1));
+        let q = Assert::Emp;
+        assert!(bupd_frame(stable, q.clone()).is_ok());
+        assert!(bupd_frame(unstable, q).is_err());
+    }
+
+    #[test]
+    fn ghost_fpu_cases() {
+        use GhostVal::*;
+        let e0 = ExclVal(Excl::new(Val::int(0)));
+        let e1 = ExclVal(Excl::new(Val::int(1)));
+        assert!(ghost_fpu(&e0, &e1));
+        let a0 = AgreeVal(Agree::new(Val::int(0)));
+        let a1 = AgreeVal(Agree::new(Val::int(1)));
+        assert!(ghost_fpu(&a0, &a0));
+        assert!(!ghost_fpu(&a0, &a1));
+        assert!(ghost_fpu(
+            &Frac(daenerys_algebra::Frac::new(Q::ONE)),
+            &Frac(daenerys_algebra::Frac::new(Q::HALF))
+        ));
+        assert!(!ghost_fpu(
+            &Frac(daenerys_algebra::Frac::new(Q::HALF)),
+            &Frac(daenerys_algebra::Frac::new(Q::ONE))
+        ));
+    }
+
+    #[test]
+    fn auth_counter_increments() {
+        use GhostVal::AuthNat;
+        // ● n ⋅ ◯ k  ~~>  ● (n+1) ⋅ ◯ (k+1): add a contribution.
+        let before = AuthNat(Auth::both(SumNat(3), SumNat(1)));
+        let after = AuthNat(Auth::both(SumNat(4), SumNat(2)));
+        assert!(ghost_fpu(&before, &after));
+        // Growing only the fragment is not frame-preserving.
+        let bad = AuthNat(Auth::both(SumNat(3), SumNat(2)));
+        assert!(!ghost_fpu(&before, &bad));
+        // A pure fragment cannot grow.
+        assert!(!ghost_fpu(
+            &AuthNat(Auth::frag(SumNat(1))),
+            &AuthNat(Auth::frag(SumNat(2)))
+        ));
+    }
+
+    #[test]
+    fn auth_max_grows() {
+        use GhostVal::AuthMax;
+        let before = AuthMax(Auth::both(MaxNat(3), MaxNat(3)));
+        let after = AuthMax(Auth::both(MaxNat(5), MaxNat(5)));
+        assert!(ghost_fpu(&before, &after));
+        let shrink = AuthMax(Auth::both(MaxNat(2), MaxNat(2)));
+        assert!(!ghost_fpu(&before, &shrink));
+    }
+
+    #[test]
+    fn ghost_update_rule() {
+        let g = GhostName(0);
+        let d = ghost_update(
+            g,
+            GhostVal::ExclVal(Excl::new(Val::int(0))),
+            GhostVal::ExclVal(Excl::new(Val::int(1))),
+        )
+        .unwrap();
+        assert_eq!(d.rule(), "ghost-update");
+        assert!(ghost_update(
+            g,
+            GhostVal::AgreeVal(Agree::new(Val::int(0))),
+            GhostVal::AgreeVal(Agree::new(Val::int(1))),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn discard_rule() {
+        assert!(points_to_discard(Term::loc(Loc(0)), Q::HALF, Term::int(1)).is_ok());
+        assert!(points_to_discard(Term::loc(Loc(0)), Q::ZERO, Term::int(1)).is_err());
+    }
+}

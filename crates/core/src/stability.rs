@@ -1,0 +1,255 @@
+//! The syntactic stable fragment and the fast stabilizer.
+//!
+//! Semantic stability ([`crate::eval::check_stable`]) quantifies over all
+//! frames — exponential in the universe. The paper's answer is a
+//! *syntactic* type system carving out a fragment whose members are
+//! stable by construction; [`syntactically_stable`] implements it, and
+//! the test suite cross-checks it against the semantic notion (soundness:
+//! syntactic ⟹ semantic).
+//!
+//! [`stabilize_fast`] is the companion *syntactic stabilizer*: a linear
+//! traversal computing a stable strengthening of any assertion, used by
+//! the automated-verifier layer where the semantic `⌊·⌋` would be too
+//! expensive (this trade-off is experiment F2 in EXPERIMENTS.md).
+
+use crate::assert::Assert;
+use daenerys_algebra::Ra;
+
+/// Whether the assertion is in the syntactic stable fragment.
+///
+/// Membership guarantees semantic stability: the assertion's truth is
+/// unaffected by environment interference (frame replacement). The
+/// analysis is conservative — `false` means "not known stable".
+///
+/// The interesting clauses:
+///
+/// * pure terms are stable iff they are **read-free** — heap-dependent
+///   expressions consult the combined heap and are unstable in general;
+/// * [`Assert::Framed`] is always stable: if every read is covered by
+///   owned permission, the owned agreement chunks pin the read values
+///   under any frame;
+/// * permission introspection is stable (it inspects only the owned
+///   resource) even though it is not monotone;
+/// * `⌊P⌋`, `⌈P⌉` and `|==> P`-free connectives of stable parts are
+///   stable; wands are **not** (the world-bounded wand consults the
+///   frame's decompositions).
+pub fn syntactically_stable(p: &Assert) -> bool {
+    use Assert::*;
+    match p {
+        Pure(t) | WellDef(t) => !t.has_read(),
+        Framed(_) => true,
+        Emp => true,
+        PointsTo(l, _, v) => !l.has_read() && !v.has_read(),
+        Own(..) => true,
+        PermGe(l, _) | PermEq(l, _) => !l.has_read(),
+        Stabilize(_) | Destab(_) => true,
+        And(p, q) | Or(p, q) | Sep(p, q) | Impl(p, q) => {
+            syntactically_stable(p) && syntactically_stable(q)
+        }
+        Forall(_, _, p) | Exists(_, _, p) | Later(p) | Persistently(p) | BUpd(p) => {
+            syntactically_stable(p)
+        }
+        Wand(..) => false,
+    }
+}
+
+/// Whether the assertion is syntactically *persistent* (entails its own
+/// `□`): it describes only core (duplicable) resources.
+pub fn syntactically_persistent(p: &Assert) -> bool {
+    use Assert::*;
+    match p {
+        Pure(t) | WellDef(t) => !t.has_read(),
+        Framed(_) => false, // framing depends on owned non-core permission
+        Emp => true,
+        PointsTo(_, dq, _) => dq.pcore().as_ref() == Some(dq),
+        Own(_, a) => a.is_core(),
+        PermGe(..) | PermEq(..) => false,
+        Persistently(_) => true,
+        And(p, q) | Or(p, q) | Sep(p, q) => {
+            syntactically_persistent(p) && syntactically_persistent(q)
+        }
+        Forall(_, _, p) | Exists(_, _, p) | Later(p) => syntactically_persistent(p),
+        Impl(..) | Wand(..) | BUpd(_) | Stabilize(_) | Destab(_) => false,
+    }
+}
+
+/// Whether `□ P ⊢ P` is known to hold — a *stricter* condition than
+/// [`syntactically_persistent`] in the non-affine destabilized logic:
+/// `emp` is intro-persistent (`emp ⊢ □ emp`) but **not** elim-persistent
+/// (`□ emp` holds whenever the owned core is empty, which says nothing
+/// about the resource itself).
+pub fn syntactically_elim_persistent(p: &Assert) -> bool {
+    use Assert::*;
+    match p {
+        Emp => false,
+        And(p, q) | Or(p, q) | Sep(p, q) => {
+            syntactically_elim_persistent(p) && syntactically_elim_persistent(q)
+        }
+        Forall(_, _, p) | Exists(_, _, p) | Later(p) => syntactically_elim_persistent(p),
+        Persistently(_) => true,
+        _ => syntactically_persistent(p),
+    }
+}
+
+/// Computes a *stable strengthening* of `p` in one linear pass.
+///
+/// Guarantees (checked by the test suite):
+///
+/// * the result is syntactically stable;
+/// * the result entails `⌊p⌋` (it is a sound under-approximation of the
+///   semantic stabilizer).
+///
+/// The key clause is the IDF *self-framing* transformation: an unstable
+/// pure fact `⌜t⌝` is strengthened to `framed(t) ∧ ⌜t⌝` — the fact plus
+/// the permissions pinning every heap read in it.
+pub fn stabilize_fast(p: &Assert) -> Assert {
+    use Assert::*;
+    if syntactically_stable(p) {
+        return p.clone();
+    }
+    match p {
+        Pure(t) => Assert::and(Framed(t.clone()), Pure(t.clone())),
+        WellDef(t) => Assert::and(Framed(t.clone()), WellDef(t.clone())),
+        PointsTo(..) | PermGe(..) | PermEq(..) => {
+            // Unstable only through reads in the terms; pin them.
+            Assert::and(Assert::Stabilize(Box::new(p.clone())), Assert::truth())
+        }
+        And(a, b) => Assert::and(stabilize_fast(a), stabilize_fast(b)),
+        Or(a, b) => Assert::or(stabilize_fast(a), stabilize_fast(b)),
+        Sep(a, b) => Assert::sep(stabilize_fast(a), stabilize_fast(b)),
+        Forall(x, dom, a) => Forall(x.clone(), dom.clone(), Box::new(stabilize_fast(a))),
+        Exists(x, dom, a) => Exists(x.clone(), dom.clone(), Box::new(stabilize_fast(a))),
+        Later(a) => Assert::later(stabilize_fast(a)),
+        Persistently(a) => Assert::persistently(stabilize_fast(a)),
+        BUpd(a) => Assert::bupd(stabilize_fast(a)),
+        // No distribution law is available: fall back to the semantic
+        // modality (still stable, but expensive to evaluate).
+        _ => Assert::stabilize(p.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{check_stable, entails};
+    use crate::term::Term;
+    use crate::universe::UniverseSpec;
+    use daenerys_algebra::{DFrac, Q};
+    use daenerys_heaplang::Loc;
+
+    fn read01() -> Assert {
+        Assert::read_eq(Term::loc(Loc(0)), Term::int(1))
+    }
+
+    fn corpus() -> Vec<Assert> {
+        let l = Term::loc(Loc(0));
+        vec![
+            Assert::truth(),
+            Assert::falsity(),
+            Assert::Emp,
+            read01(),
+            Assert::WellDef(Term::read(l.clone())),
+            Assert::Framed(Term::read(l.clone())),
+            Assert::points_to(l.clone(), Term::int(1)),
+            Assert::points_to_frac(l.clone(), Q::HALF, Term::int(0)),
+            Assert::PointsTo(l.clone(), DFrac::discarded(), Term::int(1)),
+            Assert::PermGe(l.clone(), Q::HALF),
+            Assert::PermEq(l.clone(), Q::ONE),
+            Assert::sep(Assert::points_to_frac(l.clone(), Q::HALF, Term::int(1)), read01()),
+            Assert::and(read01(), Assert::truth()),
+            Assert::or(read01(), Assert::Emp),
+            Assert::later(read01()),
+            Assert::persistently(Assert::Emp),
+            Assert::stabilize(read01()),
+            Assert::destab(read01()),
+            Assert::bupd(Assert::points_to(l.clone(), Term::int(1))),
+            Assert::wand(
+                Assert::points_to_frac(l.clone(), Q::HALF, Term::int(1)),
+                Assert::points_to(l, Term::int(1)),
+            ),
+        ]
+    }
+
+    /// Soundness of the syntactic judgment: syntactically stable ⟹
+    /// semantically stable over the tiny universe.
+    #[test]
+    fn syntactic_stability_is_sound() {
+        let uni = UniverseSpec::tiny().build();
+        for p in corpus() {
+            if syntactically_stable(&p) {
+                assert!(
+                    check_stable(&p, &uni, 2).is_ok(),
+                    "syntactically stable but semantically unstable: {p}"
+                );
+            }
+        }
+    }
+
+    /// The fast stabilizer produces stable strengthenings of ⌊p⌋.
+    #[test]
+    fn stabilize_fast_is_sound() {
+        let uni = UniverseSpec::tiny().build();
+        for p in corpus() {
+            let s = stabilize_fast(&p);
+            assert!(
+                check_stable(&s, &uni, 2).is_ok(),
+                "stabilize_fast produced an unstable result for {p}"
+            );
+            assert!(
+                entails(&s, &Assert::stabilize(p.clone()), &uni, 2).is_ok(),
+                "stabilize_fast result does not entail ⌊{p}⌋"
+            );
+        }
+    }
+
+    /// On the canonical IDF example the fast stabilizer is *precise*:
+    /// `framed(!l = v) ∧ ⌜!l = v⌝` is equivalent to `⌊!l = v⌝⌋` given the
+    /// permission.
+    #[test]
+    fn self_framing_matches_semantic_stabilization() {
+        let uni = UniverseSpec::tiny().build();
+        let read = read01();
+        let fast = stabilize_fast(&read);
+        // fast = framed ∧ read; under a half points-to both coincide.
+        let half = Assert::points_to_frac(Term::loc(Loc(0)), Q::HALF, Term::int(1));
+        let with_perm_fast = Assert::sep(half.clone(), fast);
+        let with_perm_sem = Assert::sep(half, Assert::stabilize(read));
+        assert!(entails(&with_perm_fast, &with_perm_sem, &uni, 2).is_ok());
+        assert!(entails(&with_perm_sem, &with_perm_fast, &uni, 2).is_ok());
+    }
+
+    /// Persistence judgment is sound: □-free persistent assertions entail
+    /// their own persistently.
+    #[test]
+    fn syntactic_persistence_is_sound() {
+        let uni = UniverseSpec::tiny().build();
+        for p in corpus() {
+            if syntactically_persistent(&p) {
+                assert!(
+                    entails(&p, &Assert::persistently(p.clone()), &uni, 2).is_ok(),
+                    "syntactically persistent but □-intro fails: {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classification_examples() {
+        assert!(syntactically_stable(&Assert::truth()));
+        assert!(!syntactically_stable(&read01()));
+        assert!(syntactically_stable(&Assert::stabilize(read01())));
+        assert!(syntactically_stable(&Assert::PermEq(
+            Term::loc(Loc(0)),
+            Q::HALF
+        )));
+        assert!(syntactically_persistent(&Assert::PointsTo(
+            Term::loc(Loc(0)),
+            DFrac::discarded(),
+            Term::int(1)
+        )));
+        assert!(!syntactically_persistent(&Assert::points_to(
+            Term::loc(Loc(0)),
+            Term::int(1)
+        )));
+    }
+}

@@ -1,0 +1,381 @@
+//! The term language of assertions — including **heap-dependent
+//! expressions**.
+//!
+//! Terms appear inside pure assertions, points-to assertions and
+//! quantifier bodies. The destabilizing feature is [`Term::Read`]: a term
+//! may dereference a location *directly*, reading from the combined
+//! (owned ⋅ frame) heap of the current world, exactly like heap-dependent
+//! expressions in implicit-dynamic-frames verifiers (`x.f` in Viper).
+//!
+//! Evaluation tracks which locations were read so the logic can decide
+//! whether a term is *framed* (all reads covered by owned permission) —
+//! the side condition under which heap-dependent assertions are stable.
+
+use crate::world::World;
+use daenerys_heaplang::{Loc, Val};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A variable environment for quantifiers.
+pub type Env = BTreeMap<String, Val>;
+
+/// Assertion-level terms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Term {
+    /// A (logic-level) variable bound by a quantifier.
+    Var(String),
+    /// A literal value.
+    Lit(Val),
+    /// A heap read `!t` — the heap-dependent expression.
+    Read(Box<Term>),
+    /// Integer addition.
+    Add(Box<Term>, Box<Term>),
+    /// Integer subtraction.
+    Sub(Box<Term>, Box<Term>),
+    /// Integer multiplication.
+    Mul(Box<Term>, Box<Term>),
+    /// Equality on comparable values.
+    Eq(Box<Term>, Box<Term>),
+    /// Integer less-than.
+    Lt(Box<Term>, Box<Term>),
+    /// Integer less-or-equal.
+    Le(Box<Term>, Box<Term>),
+    /// Boolean negation.
+    Not(Box<Term>),
+    /// Boolean conjunction.
+    And(Box<Term>, Box<Term>),
+    /// Boolean disjunction.
+    Or(Box<Term>, Box<Term>),
+}
+
+#[allow(clippy::should_implement_trait)]
+impl Term {
+    /// A literal integer term.
+    pub fn int(n: i64) -> Term {
+        Term::Lit(Val::int(n))
+    }
+
+    /// A literal boolean term.
+    pub fn bool(b: bool) -> Term {
+        Term::Lit(Val::bool(b))
+    }
+
+    /// A literal location term.
+    pub fn loc(l: Loc) -> Term {
+        Term::Lit(Val::loc(l))
+    }
+
+    /// A variable term.
+    pub fn var(x: &str) -> Term {
+        Term::Var(x.to_string())
+    }
+
+    /// The heap read `!t`.
+    pub fn read(t: Term) -> Term {
+        Term::Read(Box::new(t))
+    }
+
+    /// `a = b`.
+    pub fn eq(a: Term, b: Term) -> Term {
+        Term::Eq(Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`.
+    pub fn add(a: Term, b: Term) -> Term {
+        Term::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Term, b: Term) -> Term {
+        Term::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Term, b: Term) -> Term {
+        Term::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `a <= b`.
+    pub fn le(a: Term, b: Term) -> Term {
+        Term::Le(Box::new(a), Box::new(b))
+    }
+
+    /// `a < b`.
+    pub fn lt(a: Term, b: Term) -> Term {
+        Term::Lt(Box::new(a), Box::new(b))
+    }
+
+    /// Whether the term syntactically contains a heap read.
+    pub fn has_read(&self) -> bool {
+        match self {
+            Term::Var(_) | Term::Lit(_) => false,
+            Term::Read(_) => true,
+            Term::Not(a) => a.has_read(),
+            Term::Add(a, b)
+            | Term::Sub(a, b)
+            | Term::Mul(a, b)
+            | Term::Eq(a, b)
+            | Term::Lt(a, b)
+            | Term::Le(a, b)
+            | Term::And(a, b)
+            | Term::Or(a, b) => a.has_read() || b.has_read(),
+        }
+    }
+
+    /// Substitutes a value for a variable.
+    pub fn subst(&self, x: &str, v: &Val) -> Term {
+        match self {
+            Term::Var(y) if y == x => Term::Lit(v.clone()),
+            Term::Var(_) | Term::Lit(_) => self.clone(),
+            Term::Read(t) => Term::read(t.subst(x, v)),
+            Term::Not(t) => Term::Not(Box::new(t.subst(x, v))),
+            Term::Add(a, b) => Term::add(a.subst(x, v), b.subst(x, v)),
+            Term::Sub(a, b) => Term::sub(a.subst(x, v), b.subst(x, v)),
+            Term::Mul(a, b) => Term::mul(a.subst(x, v), b.subst(x, v)),
+            Term::Eq(a, b) => Term::eq(a.subst(x, v), b.subst(x, v)),
+            Term::Lt(a, b) => Term::lt(a.subst(x, v), b.subst(x, v)),
+            Term::Le(a, b) => Term::le(a.subst(x, v), b.subst(x, v)),
+            Term::And(a, b) => Term::And(Box::new(a.subst(x, v)), Box::new(b.subst(x, v))),
+            Term::Or(a, b) => Term::Or(Box::new(a.subst(x, v)), Box::new(b.subst(x, v))),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(x) => write!(f, "{}", x),
+            Term::Lit(v) => write!(f, "{}", v),
+            Term::Read(t) => write!(f, "!{}", t),
+            Term::Add(a, b) => write!(f, "({} + {})", a, b),
+            Term::Sub(a, b) => write!(f, "({} - {})", a, b),
+            Term::Mul(a, b) => write!(f, "({} * {})", a, b),
+            Term::Eq(a, b) => write!(f, "({} = {})", a, b),
+            Term::Lt(a, b) => write!(f, "({} < {})", a, b),
+            Term::Le(a, b) => write!(f, "({} <= {})", a, b),
+            Term::Not(a) => write!(f, "(not {})", a),
+            Term::And(a, b) => write!(f, "({} && {})", a, b),
+            Term::Or(a, b) => write!(f, "({} || {})", a, b),
+        }
+    }
+}
+
+/// Why a term failed to evaluate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TermError {
+    /// An unbound logic variable.
+    Unbound(String),
+    /// A heap read of a location not present in the combined heap.
+    DanglingRead(Loc),
+    /// A read of something that is not a location.
+    ReadOfNonLoc(Val),
+    /// An operator applied at the wrong type.
+    TypeError(String),
+}
+
+impl fmt::Display for TermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermError::Unbound(x) => write!(f, "unbound variable {}", x),
+            TermError::DanglingRead(l) => write!(f, "read of unmapped location {}", l),
+            TermError::ReadOfNonLoc(v) => write!(f, "read of non-location {}", v),
+            TermError::TypeError(m) => write!(f, "type error: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for TermError {}
+
+/// The result of evaluating a term: the value plus the locations read.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TermOutcome {
+    /// The resulting value.
+    pub value: Val,
+    /// Locations dereferenced during evaluation, in order.
+    pub reads: Vec<Loc>,
+}
+
+/// Evaluates a term in a world and environment, tracking heap reads.
+///
+/// Reads consult the **combined** heap (`own ⋅ frame`) — this is the
+/// semantics of heap-dependent expressions and the source of
+/// instability.
+///
+/// # Errors
+///
+/// See [`TermError`].
+pub fn eval_term(t: &Term, w: &World, env: &Env) -> Result<TermOutcome, TermError> {
+    let mut reads = Vec::new();
+    let value = go(t, w, env, &mut reads)?;
+    Ok(TermOutcome { value, reads })
+}
+
+fn go(t: &Term, w: &World, env: &Env, reads: &mut Vec<Loc>) -> Result<Val, TermError> {
+    let int2 = |a: &Term, b: &Term, w: &World, env: &Env, reads: &mut Vec<Loc>, f: fn(i64, i64) -> Val| {
+        let va = go(a, w, env, reads)?;
+        let vb = go(b, w, env, reads)?;
+        match (va.as_int(), vb.as_int()) {
+            (Some(x), Some(y)) => Ok(f(x, y)),
+            _ => Err(TermError::TypeError(format!(
+                "integer operator on {} and {}",
+                va, vb
+            ))),
+        }
+    };
+    match t {
+        Term::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| TermError::Unbound(x.clone())),
+        Term::Lit(v) => Ok(v.clone()),
+        Term::Read(inner) => {
+            let v = go(inner, w, env, reads)?;
+            match v.as_loc() {
+                Some(l) => {
+                    reads.push(l);
+                    w.heap_value(l).ok_or(TermError::DanglingRead(l))
+                }
+                None => Err(TermError::ReadOfNonLoc(v)),
+            }
+        }
+        Term::Add(a, b) => int2(a, b, w, env, reads, |x, y| Val::int(x.wrapping_add(y))),
+        Term::Sub(a, b) => int2(a, b, w, env, reads, |x, y| Val::int(x.wrapping_sub(y))),
+        Term::Mul(a, b) => int2(a, b, w, env, reads, |x, y| Val::int(x.wrapping_mul(y))),
+        Term::Lt(a, b) => int2(a, b, w, env, reads, |x, y| Val::bool(x < y)),
+        Term::Le(a, b) => int2(a, b, w, env, reads, |x, y| Val::bool(x <= y)),
+        Term::Eq(a, b) => {
+            let va = go(a, w, env, reads)?;
+            let vb = go(b, w, env, reads)?;
+            if va.is_comparable() && vb.is_comparable() {
+                Ok(Val::bool(va == vb))
+            } else {
+                Err(TermError::TypeError(
+                    "equality on non-comparable values".into(),
+                ))
+            }
+        }
+        Term::Not(a) => {
+            let v = go(a, w, env, reads)?;
+            v.as_bool()
+                .map(|b| Val::bool(!b))
+                .ok_or_else(|| TermError::TypeError("not on non-boolean".into()))
+        }
+        Term::And(a, b) | Term::Or(a, b) => {
+            let va = go(a, w, env, reads)?;
+            let vb = go(b, w, env, reads)?;
+            match (va.as_bool(), vb.as_bool()) {
+                (Some(x), Some(y)) => Ok(Val::bool(if matches!(t, Term::And(..)) {
+                    x && y
+                } else {
+                    x || y
+                })),
+                _ => Err(TermError::TypeError(
+                    "boolean operator on non-booleans".into(),
+                )),
+            }
+        }
+    }
+}
+
+/// Whether all locations read by the term are covered by *owned*
+/// permission — the IDF "framing" side condition. A framed term's value
+/// is pinned by the owned agreement chunks, so assertions about it are
+/// stable.
+pub fn term_framed(t: &Term, w: &World, env: &Env) -> bool {
+    match eval_term(t, w, env) {
+        Ok(out) => out.reads.iter().all(|l| w.own.reads_at(*l)),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::Res;
+    use daenerys_algebra::{DFrac, Q, Ra};
+
+    fn env() -> Env {
+        Env::new()
+    }
+
+    #[test]
+    fn arithmetic_terms() {
+        let w = World::solo(Res::empty());
+        let t = Term::add(Term::int(2), Term::mul(Term::int(3), Term::int(4)));
+        assert_eq!(eval_term(&t, &w, &env()).unwrap().value, Val::int(14));
+    }
+
+    #[test]
+    fn read_consults_combined_heap() {
+        let own = Res::points_to(Loc(0), DFrac::own(Q::HALF), Val::int(7));
+        let frame = Res::points_to(Loc(1), DFrac::FULL, Val::int(9));
+        let w = World::new(own, frame).unwrap();
+        let r0 = Term::read(Term::loc(Loc(0)));
+        let r1 = Term::read(Term::loc(Loc(1)));
+        assert_eq!(eval_term(&r0, &w, &env()).unwrap().value, Val::int(7));
+        // A read of a *framed-only* cell succeeds — but is not framed.
+        assert_eq!(eval_term(&r1, &w, &env()).unwrap().value, Val::int(9));
+        assert!(term_framed(&r0, &w, &env()));
+        assert!(!term_framed(&r1, &w, &env()));
+    }
+
+    #[test]
+    fn dangling_read_is_an_error() {
+        let w = World::solo(Res::empty());
+        let t = Term::read(Term::loc(Loc(5)));
+        assert_eq!(
+            eval_term(&t, &w, &env()),
+            Err(TermError::DanglingRead(Loc(5)))
+        );
+    }
+
+    #[test]
+    fn unbound_variable() {
+        let w = World::solo(Res::empty());
+        assert_eq!(
+            eval_term(&Term::var("x"), &w, &env()),
+            Err(TermError::Unbound("x".into()))
+        );
+        let mut e = env();
+        e.insert("x".into(), Val::int(3));
+        assert_eq!(eval_term(&Term::var("x"), &w, &e).unwrap().value, Val::int(3));
+    }
+
+    #[test]
+    fn nested_reads_tracked() {
+        // l0 holds a pointer to l1.
+        let own = Res::points_to(Loc(0), DFrac::FULL, Val::loc(Loc(1)))
+            .op(&Res::points_to(Loc(1), DFrac::FULL, Val::int(42)));
+        let w = World::solo(own);
+        let t = Term::read(Term::read(Term::loc(Loc(0))));
+        let out = eval_term(&t, &w, &env()).unwrap();
+        assert_eq!(out.value, Val::int(42));
+        assert_eq!(out.reads, vec![Loc(0), Loc(1)]);
+        assert!(term_framed(&t, &w, &env()));
+    }
+
+    #[test]
+    fn subst_and_has_read() {
+        let t = Term::eq(Term::read(Term::var("l")), Term::int(1));
+        assert!(t.has_read());
+        let t2 = t.subst("l", &Val::loc(Loc(3)));
+        assert_eq!(
+            t2,
+            Term::eq(Term::read(Term::loc(Loc(3))), Term::int(1))
+        );
+        assert!(!Term::var("l").has_read());
+    }
+
+    #[test]
+    fn type_errors() {
+        let w = World::solo(Res::empty());
+        assert!(matches!(
+            eval_term(&Term::add(Term::bool(true), Term::int(1)), &w, &env()),
+            Err(TermError::TypeError(_))
+        ));
+        assert!(matches!(
+            eval_term(&Term::read(Term::int(1)), &w, &env()),
+            Err(TermError::ReadOfNonLoc(_))
+        ));
+    }
+}

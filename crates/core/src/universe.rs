@@ -1,0 +1,339 @@
+//! Finite world universes for model-checking the logic.
+//!
+//! The Rocq artifact proves soundness once and for all; our executable
+//! substitute *model-checks* every rule over finite samples of the
+//! resource carrier. A [`WorldUniverse`] enumerates the resources built
+//! from a small set of locations, values, fraction quanta, and ghost
+//! cells, and provides the derived enumerations the semantics needs:
+//! compatible frames (for the stabilization modality, wands and updates)
+//! and exact resource splittings (for separating conjunction).
+
+use crate::world::{CameraKind, GhostName, GhostVal, HeapCell, Res};
+use daenerys_algebra::{Agree, Auth, DFrac, Excl, Frac, MaxNat, Q, Ra, SumNat};
+use daenerys_heaplang::{Loc, Val};
+
+/// A description of the finite carrier to model-check over.
+#[derive(Clone, Debug)]
+pub struct UniverseSpec {
+    /// Locations that may appear in heap fragments.
+    pub locs: Vec<Loc>,
+    /// Values cells may hold.
+    pub vals: Vec<Val>,
+    /// Discardable-fraction quanta for permissions.
+    pub dfracs: Vec<DFrac>,
+    /// Ghost names with their cameras.
+    pub ghosts: Vec<(GhostName, CameraKind)>,
+    /// Budget for enumerating ghost camera elements.
+    pub ghost_budget: usize,
+}
+
+impl UniverseSpec {
+    /// A tiny universe: one location, two values, three permission
+    /// quanta, no ghost state. Suitable for exhaustive checks involving
+    /// nested wands.
+    pub fn tiny() -> UniverseSpec {
+        UniverseSpec {
+            locs: vec![Loc(0)],
+            vals: vec![Val::int(0), Val::int(1)],
+            // The quanta must be closed enough under ⋅ that the FPU and
+            // separating-conjunction witnesses exist: in particular the
+            // mixed `Both` elements, without which discarding updates
+            // are misjudged.
+            dfracs: vec![
+                DFrac::own(Q::HALF),
+                DFrac::FULL,
+                DFrac::discarded(),
+                DFrac::Both(Q::HALF),
+            ],
+            ghosts: vec![],
+            ghost_budget: 0,
+        }
+    }
+
+    /// A small universe with a ghost cell of the given camera.
+    pub fn with_ghost(kind: CameraKind) -> UniverseSpec {
+        let mut s = UniverseSpec::tiny();
+        s.ghosts = vec![(GhostName(0), kind)];
+        s.ghost_budget = 2;
+        s
+    }
+
+    /// A two-location universe (heavier; avoid combining with nested
+    /// wands).
+    pub fn two_locs() -> UniverseSpec {
+        let mut s = UniverseSpec::tiny();
+        s.locs = vec![Loc(0), Loc(1)];
+        s
+    }
+
+    /// Enumerates the ghost elements of a camera kind.
+    pub fn ghost_elems(&self, kind: CameraKind) -> Vec<GhostVal> {
+        let b = self.ghost_budget as u64;
+        match kind {
+            CameraKind::ExclVal => self
+                .vals
+                .iter()
+                .map(|v| GhostVal::ExclVal(Excl::new(v.clone())))
+                .collect(),
+            CameraKind::AgreeVal => self
+                .vals
+                .iter()
+                .map(|v| GhostVal::AgreeVal(Agree::new(v.clone())))
+                .collect(),
+            CameraKind::Frac => vec![
+                GhostVal::Frac(Frac::new(Q::HALF)),
+                GhostVal::Frac(Frac::new(Q::ONE)),
+            ],
+            CameraKind::AuthNat => {
+                let mut out = Vec::new();
+                for n in 0..=b {
+                    out.push(GhostVal::AuthNat(Auth::auth(SumNat(n))));
+                    out.push(GhostVal::AuthNat(Auth::frag(SumNat(n))));
+                    for m in 0..=b {
+                        out.push(GhostVal::AuthNat(Auth::both(SumNat(n), SumNat(m))));
+                    }
+                }
+                out
+            }
+            CameraKind::AuthMax => {
+                let mut out = Vec::new();
+                for n in 0..=b {
+                    out.push(GhostVal::AuthMax(Auth::auth(MaxNat(n))));
+                    out.push(GhostVal::AuthMax(Auth::frag(MaxNat(n))));
+                    for m in 0..=b {
+                        out.push(GhostVal::AuthMax(Auth::both(MaxNat(n), MaxNat(m))));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Builds the enumerated universe.
+    pub fn build(&self) -> WorldUniverse {
+        // Per-location cell options (None = absent).
+        let mut cells: Vec<HeapCell> = Vec::new();
+        for dq in &self.dfracs {
+            for v in &self.vals {
+                cells.push((*dq, Agree::new(v.clone())));
+            }
+        }
+
+        let mut resources = vec![Res::empty()];
+        for l in &self.locs {
+            let mut next = Vec::new();
+            for r in &resources {
+                next.push(r.clone());
+                for c in &cells {
+                    let mut r2 = r.clone();
+                    r2.heap.insert(*l, c.clone());
+                    next.push(r2);
+                }
+            }
+            resources = next;
+        }
+        for (name, kind) in &self.ghosts {
+            let elems = self.ghost_elems(*kind);
+            let mut next = Vec::new();
+            for r in &resources {
+                next.push(r.clone());
+                for e in &elems {
+                    let mut r2 = r.clone();
+                    r2.ghost.insert(*name, e.clone());
+                    next.push(r2);
+                }
+            }
+            resources = next;
+        }
+        resources.retain(|r| r.valid());
+
+        WorldUniverse {
+            cells,
+            ghost_cells: self
+                .ghosts
+                .iter()
+                .map(|(n, k)| (*n, self.ghost_elems(*k)))
+                .collect(),
+            resources,
+        }
+    }
+}
+
+/// The enumerated universe: all valid resources over the spec's carrier.
+#[derive(Clone, Debug)]
+pub struct WorldUniverse {
+    cells: Vec<HeapCell>,
+    ghost_cells: Vec<(GhostName, Vec<GhostVal>)>,
+    /// All valid resources, including the unit.
+    pub resources: Vec<Res>,
+}
+
+impl WorldUniverse {
+    /// Frames compatible with `own` (including the empty frame).
+    pub fn frames_for<'a>(&'a self, own: &'a Res) -> impl Iterator<Item = &'a Res> + 'a {
+        self.resources.iter().filter(move |f| own.op(f).valid())
+    }
+
+    /// Exact splittings of one heap cell *within the universe's quanta*:
+    /// all pairs `(c1, c2)` of enumerated cells with `c1 ⋅ c2 = cell`,
+    /// plus the two trivial splits.
+    fn cell_splits(&self, cell: &HeapCell) -> Vec<(Option<HeapCell>, Option<HeapCell>)> {
+        let mut out = vec![
+            (Some(cell.clone()), None),
+            (None, Some(cell.clone())),
+        ];
+        for c1 in &self.cells {
+            for c2 in &self.cells {
+                if c1.op(c2) == *cell {
+                    out.push((Some(c1.clone()), Some(c2.clone())));
+                }
+            }
+        }
+        out
+    }
+
+    fn ghost_splits(
+        &self,
+        name: GhostName,
+        val: &GhostVal,
+    ) -> Vec<(Option<GhostVal>, Option<GhostVal>)> {
+        let mut out = vec![(Some(val.clone()), None), (None, Some(val.clone()))];
+        if let Some((_, elems)) = self.ghost_cells.iter().find(|(n, _)| *n == name) {
+            for e1 in elems {
+                for e2 in elems {
+                    if e1.op(e2) == *val {
+                        out.push((Some(e1.clone()), Some(e2.clone())));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All splittings `res = r1 ⋅ r2` expressible within the universe's
+    /// quanta. Complete relative to the enumerated carrier; the
+    /// separating conjunction is interpreted against this enumeration.
+    pub fn splits(&self, res: &Res) -> Vec<(Res, Res)> {
+        let mut acc: Vec<(Res, Res)> = vec![(Res::empty(), Res::empty())];
+        for (l, cell) in res.heap.iter() {
+            let options = self.cell_splits(cell);
+            let mut next = Vec::with_capacity(acc.len() * options.len());
+            for (r1, r2) in &acc {
+                for (c1, c2) in &options {
+                    let mut n1 = r1.clone();
+                    let mut n2 = r2.clone();
+                    if let Some(c) = c1 {
+                        n1.heap.insert(*l, c.clone());
+                    }
+                    if let Some(c) = c2 {
+                        n2.heap.insert(*l, c.clone());
+                    }
+                    next.push((n1, n2));
+                }
+            }
+            acc = next;
+        }
+        for (g, val) in res.ghost.iter() {
+            let options = self.ghost_splits(*g, val);
+            let mut next = Vec::with_capacity(acc.len() * options.len());
+            for (r1, r2) in &acc {
+                for (c1, c2) in &options {
+                    let mut n1 = r1.clone();
+                    let mut n2 = r2.clone();
+                    if let Some(c) = c1 {
+                        n1.ghost.insert(*g, c.clone());
+                    }
+                    if let Some(c) = c2 {
+                        n2.ghost.insert(*g, c.clone());
+                    }
+                    next.push((n1, n2));
+                }
+            }
+            acc = next;
+        }
+        // Deduplicate (trivial splits of singleton cells coincide with
+        // enumerated ones).
+        let mut seen: Vec<(Res, Res)> = Vec::with_capacity(acc.len());
+        for s in acc {
+            if !seen.contains(&s) {
+                seen.push(s);
+            }
+        }
+        seen
+    }
+
+    /// All coherent worlds (own, frame) in the universe.
+    pub fn worlds(&self) -> Vec<crate::world::World> {
+        let mut out = Vec::new();
+        for own in &self.resources {
+            for frame in self.frames_for(own) {
+                out.push(crate::world::World {
+                    own: own.clone(),
+                    frame: frame.clone(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_universe_is_small_but_rich() {
+        let uni = UniverseSpec::tiny().build();
+        assert!(uni.resources.len() > 3);
+        assert!(uni.resources.len() < 100);
+        assert!(uni.resources.contains(&Res::empty()));
+        // The full chunk is present.
+        assert!(uni
+            .resources
+            .contains(&Res::points_to(Loc(0), DFrac::FULL, Val::int(0))));
+    }
+
+    #[test]
+    fn splits_reconstruct_the_resource() {
+        let uni = UniverseSpec::tiny().build();
+        for r in &uni.resources {
+            for (a, b) in uni.splits(r) {
+                assert_eq!(a.op(&b), *r, "split does not recompose");
+            }
+        }
+    }
+
+    #[test]
+    fn full_permission_splits_into_halves() {
+        let uni = UniverseSpec::tiny().build();
+        let full = Res::points_to(Loc(0), DFrac::FULL, Val::int(1));
+        let half = Res::points_to(Loc(0), DFrac::own(Q::HALF), Val::int(1));
+        let splits = uni.splits(&full);
+        assert!(splits.iter().any(|(a, b)| *a == half && *b == half));
+    }
+
+    #[test]
+    fn frames_keep_totals_valid() {
+        let uni = UniverseSpec::tiny().build();
+        let own = Res::points_to(Loc(0), DFrac::FULL, Val::int(0));
+        for f in uni.frames_for(&own) {
+            assert!(own.op(f).valid());
+            // Full ownership excludes any conflicting frame at Loc 0.
+            assert_eq!(f.perm_at(Loc(0)), Q::ZERO);
+        }
+    }
+
+    #[test]
+    fn ghost_universe_contains_auth_elements() {
+        let uni = UniverseSpec::with_ghost(CameraKind::AuthNat).build();
+        assert!(uni.resources.iter().any(|r| r.ghost_at(GhostName(0)).is_some()));
+    }
+
+    #[test]
+    fn worlds_are_coherent() {
+        let uni = UniverseSpec::tiny().build();
+        for w in uni.worlds() {
+            assert!(w.is_coherent());
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Worlds: the resources the destabilized logic is interpreted over.
+//!
+//! A [`Res`] combines a *heap fragment* (locations with discardable
+//! fractional permissions and agreed values) with a *ghost map* (named
+//! camera elements). A [`World`] is a pair of an *owned* resource and the
+//! *environment frame*; their composition — the total — must be valid.
+//!
+//! The destabilization twist: assertions may inspect the **combined**
+//! heap (owned ⋅ frame), e.g. via heap-dependent expressions, and may
+//! inspect the owned part non-monotonically (permission introspection).
+//! Interference is modeled by the *rely*: the environment may replace the
+//! frame with any other resource that keeps the total valid. An assertion
+//! is *stable* when its truth survives every such replacement.
+
+use daenerys_algebra::{Agree, Auth, DFrac, Excl, Frac, GMap, MaxNat, Q, Ra, SumNat, UnitRa};
+use daenerys_heaplang::{Loc, Val};
+use std::fmt;
+
+/// A ghost-state name.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GhostName(pub u64);
+
+impl fmt::Display for GhostName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "γ{}", self.0)
+    }
+}
+
+/// The camera a ghost cell is an element of. Mixing cameras at one name
+/// is invalid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CameraKind {
+    /// Exclusive values.
+    ExclVal,
+    /// Agreement on values.
+    AgreeVal,
+    /// Fractional tokens.
+    Frac,
+    /// Authoritative sum-counter.
+    AuthNat,
+    /// Authoritative monotone counter.
+    AuthMax,
+}
+
+/// A ghost cell: one element of one of the supported cameras.
+///
+/// The dynamic-camera dispatch a proof assistant gets from dependent
+/// types is modeled by this closed enum; composing elements of different
+/// cameras yields the invalid [`GhostVal::Mismatch`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GhostVal {
+    /// Exclusive ownership of a value.
+    ExclVal(Excl<Val>),
+    /// Duplicable agreement on a value.
+    AgreeVal(Agree<Val>),
+    /// A fractional token.
+    Frac(Frac),
+    /// Authoritative counting (sum) camera.
+    AuthNat(Auth<SumNat>),
+    /// Authoritative monotone (max) camera.
+    AuthMax(Auth<MaxNat>),
+    /// Invalid: two different cameras met at the same name.
+    Mismatch,
+}
+
+impl GhostVal {
+    /// The camera this element belongs to (`None` for the mismatch
+    /// element).
+    pub fn kind(&self) -> Option<CameraKind> {
+        Some(match self {
+            GhostVal::ExclVal(_) => CameraKind::ExclVal,
+            GhostVal::AgreeVal(_) => CameraKind::AgreeVal,
+            GhostVal::Frac(_) => CameraKind::Frac,
+            GhostVal::AuthNat(_) => CameraKind::AuthNat,
+            GhostVal::AuthMax(_) => CameraKind::AuthMax,
+            GhostVal::Mismatch => return None,
+        })
+    }
+}
+
+impl Ra for GhostVal {
+    fn op(&self, other: &Self) -> Self {
+        use GhostVal::*;
+        match (self, other) {
+            (ExclVal(a), ExclVal(b)) => ExclVal(a.op(b)),
+            (AgreeVal(a), AgreeVal(b)) => AgreeVal(a.op(b)),
+            (Frac(a), Frac(b)) => Frac(a.op(b)),
+            (AuthNat(a), AuthNat(b)) => AuthNat(a.op(b)),
+            (AuthMax(a), AuthMax(b)) => AuthMax(a.op(b)),
+            _ => Mismatch,
+        }
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        use GhostVal::*;
+        match self {
+            ExclVal(a) => a.pcore().map(ExclVal),
+            AgreeVal(a) => a.pcore().map(AgreeVal),
+            Frac(a) => a.pcore().map(Frac),
+            AuthNat(a) => a.pcore().map(AuthNat),
+            AuthMax(a) => a.pcore().map(AuthMax),
+            Mismatch => None,
+        }
+    }
+
+    fn valid(&self) -> bool {
+        use GhostVal::*;
+        match self {
+            ExclVal(a) => a.valid(),
+            AgreeVal(a) => a.valid(),
+            Frac(a) => a.valid(),
+            AuthNat(a) => a.valid(),
+            AuthMax(a) => a.valid(),
+            Mismatch => false,
+        }
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        use GhostVal::*;
+        match (self, other) {
+            (ExclVal(a), ExclVal(b)) => a.included_in(b),
+            (AgreeVal(a), AgreeVal(b)) => a.included_in(b),
+            (Frac(a), Frac(b)) => a.included_in(b),
+            (AuthNat(a), AuthNat(b)) => a.included_in(b),
+            (AuthMax(a), AuthMax(b)) => a.included_in(b),
+            (_, Mismatch) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A heap chunk: permission plus agreed value.
+pub type HeapCell = (DFrac, Agree<Val>);
+
+/// The heap-fragment camera.
+pub type HeapFrag = GMap<Loc, HeapCell>;
+
+/// The ghost-map camera.
+pub type GhostFrag = GMap<GhostName, GhostVal>;
+
+/// A resource: heap fragment ⋅ ghost map.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Res {
+    /// The heap fragment.
+    pub heap: HeapFrag,
+    /// The ghost map.
+    pub ghost: GhostFrag,
+}
+
+impl Res {
+    /// The empty (unit) resource.
+    pub fn empty() -> Res {
+        Res::default()
+    }
+
+    /// A single points-to chunk `l ↦{dq} v`.
+    pub fn points_to(l: Loc, dq: DFrac, v: Val) -> Res {
+        Res {
+            heap: GMap::singleton(l, (dq, Agree::new(v))),
+            ghost: GMap::new(),
+        }
+    }
+
+    /// A single ghost cell `own γ a`.
+    pub fn ghost(name: GhostName, val: GhostVal) -> Res {
+        Res {
+            heap: GMap::new(),
+            ghost: GMap::singleton(name, val),
+        }
+    }
+
+    /// The owned permission at a location (zero if absent).
+    pub fn perm_at(&self, l: Loc) -> Q {
+        match self.heap.get(&l) {
+            Some((dq, _)) => dq.owned_amount(),
+            None => Q::ZERO,
+        }
+    }
+
+    /// Whether any permission (including a discarded witness) is held at
+    /// `l`.
+    pub fn reads_at(&self, l: Loc) -> bool {
+        match self.heap.get(&l) {
+            Some((dq, _)) => dq.allows_read(),
+            None => false,
+        }
+    }
+
+    /// The agreed value at a location, if a valid chunk is present.
+    pub fn value_at(&self, l: Loc) -> Option<&Val> {
+        self.heap.get(&l).and_then(|(_, ag)| ag.get())
+    }
+
+    /// The ghost element at a name.
+    pub fn ghost_at(&self, name: GhostName) -> Option<&GhostVal> {
+        self.ghost.get(&name)
+    }
+
+    /// Whether the resource is the unit.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty() && self.ghost.is_empty()
+    }
+}
+
+impl Ra for Res {
+    fn op(&self, other: &Self) -> Self {
+        Res {
+            heap: self.heap.op(&other.heap),
+            ghost: self.ghost.op(&other.ghost),
+        }
+    }
+
+    fn pcore(&self) -> Option<Self> {
+        Some(Res {
+            heap: self.heap.pcore().unwrap_or_default(),
+            ghost: self.ghost.pcore().unwrap_or_default(),
+        })
+    }
+
+    fn valid(&self) -> bool {
+        self.heap.valid() && self.ghost.valid()
+    }
+
+    fn included_in(&self, other: &Self) -> bool {
+        self.heap.included_in(&other.heap) && self.ghost.included_in(&other.ghost)
+    }
+}
+
+impl UnitRa for Res {
+    fn unit() -> Res {
+        Res::empty()
+    }
+}
+
+/// A world: the owned resource plus the environment's frame.
+///
+/// Invariant (checked by [`World::is_coherent`], maintained by all
+/// constructors in this crate): `own ⋅ frame` is valid.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct World {
+    /// The resource owned by the assertion under evaluation.
+    pub own: Res,
+    /// Everything owned by the rest of the system.
+    pub frame: Res,
+}
+
+impl World {
+    /// Creates a world, returning `None` when the total would be invalid.
+    pub fn new(own: Res, frame: Res) -> Option<World> {
+        let w = World { own, frame };
+        if w.is_coherent() {
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    /// A world with an empty frame.
+    pub fn solo(own: Res) -> World {
+        World {
+            own,
+            frame: Res::empty(),
+        }
+    }
+
+    /// The total resource `own ⋅ frame`.
+    pub fn total(&self) -> Res {
+        self.own.op(&self.frame)
+    }
+
+    /// Whether the world invariant holds.
+    pub fn is_coherent(&self) -> bool {
+        self.total().valid()
+    }
+
+    /// The *combined* heap value visible at `l` (owned or framed) — what
+    /// heap-dependent expressions read.
+    pub fn heap_value(&self, l: Loc) -> Option<Val> {
+        self.total().value_at(l).cloned()
+    }
+
+    /// Replaces the frame (environment interference). Returns `None` if
+    /// the new frame is incompatible.
+    pub fn with_frame(&self, frame: Res) -> Option<World> {
+        World::new(self.own.clone(), frame)
+    }
+
+    /// Replaces the owned part (an update). Returns `None` if
+    /// incompatible with the current frame.
+    pub fn with_own(&self, own: Res) -> Option<World> {
+        World::new(own, self.frame.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daenerys_algebra::law_assoc;
+
+    fn l(n: u64) -> Loc {
+        Loc(n)
+    }
+
+    #[test]
+    fn ghost_camera_mismatch_is_invalid() {
+        let a = GhostVal::Frac(Frac::new(Q::HALF));
+        let b = GhostVal::AgreeVal(Agree::new(Val::int(1)));
+        assert!(!a.op(&b).valid());
+        assert_eq!(a.op(&b).kind(), None);
+    }
+
+    #[test]
+    fn ghost_same_camera_composes() {
+        let a = GhostVal::Frac(Frac::new(Q::HALF));
+        assert!(a.op(&a).valid());
+        assert_eq!(a.op(&a), GhostVal::Frac(Frac::new(Q::ONE)));
+    }
+
+    #[test]
+    fn res_is_an_ra() {
+        let r1 = Res::points_to(l(0), DFrac::own(Q::HALF), Val::int(1));
+        let r2 = Res::points_to(l(0), DFrac::own(Q::HALF), Val::int(1));
+        let r3 = Res::ghost(GhostName(0), GhostVal::Frac(Frac::new(Q::HALF)));
+        assert!(r1.op(&r2).valid());
+        assert!(!r1.op(&r2).op(&r2).valid());
+        assert!(law_assoc(&r1, &r2, &r3).ok());
+        assert!(r1.included_in(&r1.op(&r3)));
+    }
+
+    #[test]
+    fn disagreeing_values_invalid() {
+        let r1 = Res::points_to(l(0), DFrac::own(Q::HALF), Val::int(1));
+        let r2 = Res::points_to(l(0), DFrac::own(Q::HALF), Val::int(2));
+        assert!(!r1.op(&r2).valid());
+    }
+
+    #[test]
+    fn perm_accounting() {
+        let r = Res::points_to(l(3), DFrac::own(Q::HALF), Val::bool(true));
+        assert_eq!(r.perm_at(l(3)), Q::HALF);
+        assert_eq!(r.perm_at(l(4)), Q::ZERO);
+        assert!(r.reads_at(l(3)));
+        assert_eq!(r.value_at(l(3)), Some(&Val::bool(true)));
+    }
+
+    #[test]
+    fn world_coherence() {
+        let own = Res::points_to(l(0), DFrac::own(Q::HALF), Val::int(7));
+        let good_frame = Res::points_to(l(0), DFrac::own(Q::HALF), Val::int(7));
+        let bad_frame = Res::points_to(l(0), DFrac::FULL, Val::int(7));
+        assert!(World::new(own.clone(), good_frame).is_some());
+        assert!(World::new(own.clone(), bad_frame).is_none());
+        let w = World::solo(own);
+        assert_eq!(w.heap_value(l(0)), Some(Val::int(7)));
+        assert_eq!(w.heap_value(l(9)), None);
+    }
+
+    #[test]
+    fn heap_value_sees_the_frame() {
+        let own = Res::empty();
+        let frame = Res::points_to(l(1), DFrac::FULL, Val::int(5));
+        let w = World::new(own, frame).unwrap();
+        // The combined view exposes the framed cell — this is exactly
+        // what makes naive heap reads unstable.
+        assert_eq!(w.heap_value(l(1)), Some(Val::int(5)));
+    }
+
+    #[test]
+    fn core_of_res_keeps_discarded_and_agree() {
+        let mut r = Res::points_to(l(0), DFrac::discarded(), Val::int(1));
+        r.ghost
+            .insert(GhostName(1), GhostVal::AgreeVal(Agree::new(Val::int(2))));
+        let core = r.pcore().unwrap();
+        assert_eq!(core, r); // everything here is persistent
+        let owned = Res::points_to(l(0), DFrac::FULL, Val::int(1));
+        assert!(owned.pcore().unwrap().heap.is_empty());
+    }
+}

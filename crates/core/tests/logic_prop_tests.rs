@@ -1,0 +1,194 @@
+//! Property-based tests of the destabilized logic's metatheory over
+//! randomly generated assertions.
+
+use daenerys_algebra::{DFrac, Q};
+use daenerys_core::{
+    check_stable, entails, equivalent, holds, stabilize_fast, syntactically_persistent,
+    syntactically_stable, Assert, Env, EvalCtx, Term, UniverseSpec, WorldUniverse,
+};
+use daenerys_heaplang::{Loc, Val};
+use proptest::prelude::*;
+
+fn uni() -> WorldUniverse {
+    UniverseSpec::tiny().build()
+}
+
+/// Terms over the tiny universe's constants (location 0, values 0/1),
+/// optionally mentioning the free variable `x`.
+fn arb_term(with_var: bool) -> impl Strategy<Value = Term> {
+    let leaf = if with_var {
+        prop_oneof![
+            Just(Term::int(0)),
+            Just(Term::int(1)),
+            Just(Term::loc(Loc(0))),
+            Just(Term::var("x")),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            Just(Term::int(0)),
+            Just(Term::int(1)),
+            Just(Term::loc(Loc(0))),
+        ]
+        .boxed()
+    };
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Term::read),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::eq(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::le(a, b)),
+        ]
+    })
+}
+
+fn arb_assert(with_var: bool) -> impl Strategy<Value = Assert> {
+    let l = || Term::loc(Loc(0));
+    let leaf = prop_oneof![
+        Just(Assert::truth()),
+        Just(Assert::falsity()),
+        Just(Assert::Emp),
+        arb_term(with_var).prop_map(Assert::Pure),
+        arb_term(with_var).prop_map(Assert::WellDef),
+        arb_term(with_var).prop_map(Assert::Framed),
+        Just(Assert::points_to(l(), Term::int(1))),
+        Just(Assert::points_to_frac(l(), Q::HALF, Term::int(0))),
+        Just(Assert::PointsTo(l(), DFrac::discarded(), Term::int(1))),
+        Just(Assert::PermGe(l(), Q::HALF)),
+        Just(Assert::PermEq(l(), Q::ONE)),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Assert::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Assert::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Assert::impl_(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Assert::sep(a, b)),
+            inner.clone().prop_map(Assert::later),
+            inner.clone().prop_map(Assert::persistently),
+            inner.clone().prop_map(Assert::stabilize),
+            inner.clone().prop_map(Assert::destab),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness of the syntactic stable fragment on random assertions.
+    #[test]
+    fn syntactic_stability_sound(p in arb_assert(false)) {
+        if syntactically_stable(&p) {
+            let u = uni();
+            prop_assert!(
+                check_stable(&p, &u, 1).is_ok(),
+                "syntactically stable but unstable: {p}"
+            );
+        }
+    }
+
+    /// Soundness of the persistent fragment: `P ⊢ □P`.
+    #[test]
+    fn syntactic_persistence_sound(p in arb_assert(false)) {
+        if syntactically_persistent(&p) {
+            let u = uni();
+            prop_assert!(
+                entails(&p, &Assert::persistently(p.clone()), &u, 1).is_ok(),
+                "persistent-intro fails for {p}"
+            );
+        }
+    }
+
+    /// The fast stabilizer always lands in the stable fragment and under
+    /// the semantic modality.
+    #[test]
+    fn stabilize_fast_sound_and_stable(p in arb_assert(false)) {
+        let u = uni();
+        let s = stabilize_fast(&p);
+        prop_assert!(check_stable(&s, &u, 1).is_ok(), "unstable: {s}");
+        prop_assert!(
+            entails(&s, &Assert::stabilize(p.clone()), &u, 1).is_ok(),
+            "{s} does not entail ⌊{p}⌋"
+        );
+    }
+
+    /// The stabilization sandwich: ⌊P⌋ ⊢ P ⊢ ⌈P⌉.
+    #[test]
+    fn stabilization_sandwich(p in arb_assert(false)) {
+        let u = uni();
+        prop_assert!(entails(&Assert::stabilize(p.clone()), &p, &u, 1).is_ok());
+        prop_assert!(entails(&p, &Assert::destab(p.clone()), &u, 1).is_ok());
+    }
+
+    /// Both modalities are idempotent up to semantic equivalence.
+    #[test]
+    fn stabilization_idempotent(p in arb_assert(false)) {
+        let u = uni();
+        let s = Assert::stabilize(p.clone());
+        prop_assert!(equivalent(&s, &Assert::stabilize(s.clone()), &u, 1));
+        let d = Assert::destab(p);
+        prop_assert!(equivalent(&d, &Assert::destab(d.clone()), &u, 1));
+    }
+
+    /// Separating conjunction is commutative in the model.
+    #[test]
+    fn sep_commutative(p in arb_assert(false), q in arb_assert(false)) {
+        let u = uni();
+        prop_assert!(equivalent(
+            &Assert::sep(p.clone(), q.clone()),
+            &Assert::sep(q, p),
+            &u,
+            1
+        ));
+    }
+
+    /// Substitution agrees with environment extension.
+    #[test]
+    fn substitution_lemma(p in arb_assert(true), bit in any::<bool>()) {
+        let u = uni();
+        let v = Val::int(if bit { 1 } else { 0 });
+        let ctx = EvalCtx::new(&u);
+        let substituted = p.subst("x", &v);
+        let mut env = Env::new();
+        env.insert("x".to_string(), v);
+        for w in u.worlds().into_iter().take(24) {
+            prop_assert_eq!(
+                holds(&substituted, &w, &Env::new(), 1, &ctx),
+                holds(&p, &w, &env, 1, &ctx),
+                "substitution mismatch for {} at {:?}", p, w
+            );
+        }
+    }
+
+    /// Persistently is idempotent semantically.
+    #[test]
+    fn persistently_idempotent(p in arb_assert(false)) {
+        let u = uni();
+        let b = Assert::persistently(p);
+        prop_assert!(equivalent(&b, &Assert::persistently(b.clone()), &u, 1));
+    }
+
+    /// And/Or are lattice operations w.r.t. entailment.
+    #[test]
+    fn lattice_shape(p in arb_assert(false), q in arb_assert(false)) {
+        let u = uni();
+        let conj = Assert::and(p.clone(), q.clone());
+        prop_assert!(entails(&conj, &p, &u, 1).is_ok());
+        prop_assert!(entails(&conj, &q, &u, 1).is_ok());
+        prop_assert!(entails(&p, &Assert::or(p.clone(), q.clone()), &u, 1).is_ok());
+        prop_assert!(entails(&q, &Assert::or(p.clone(), q.clone()), &u, 1).is_ok());
+    }
+}
+
+/// A documented non-property: truth need NOT be downward-closed in the
+/// step index once non-monotone implication is in the language — e.g.
+/// `¬▷⊥` holds at 1 but not at 0. Classical uPred bakes in closure by
+/// restricting implication; the destabilized model does not.
+#[test]
+fn step_indexing_is_not_downward_closed_with_impl() {
+    let u = uni();
+    let ctx = EvalCtx::new(&u);
+    let p = Assert::impl_(Assert::later(Assert::falsity()), Assert::falsity());
+    let w = daenerys_core::World::solo(daenerys_core::Res::empty());
+    assert!(!holds(&p, &w, &Env::new(), 0, &ctx));
+    assert!(holds(&p, &w, &Env::new(), 1, &ctx));
+}

@@ -1,0 +1,47 @@
+//! # Daenerys — an executable reproduction of *Destabilizing Iris* (PLDI 2025)
+//!
+//! This facade crate re-exports the full toolkit:
+//!
+//! * [`algebra`] — resource algebras (cameras), fractions, step-indexing;
+//! * [`heaplang`] — the HeapLang language: syntax, semantics, schedulers;
+//! * [`logic`] — the destabilized base logic: worlds, assertions with
+//!   heap-dependent expressions and permission introspection, the
+//!   stabilization modalities, the semantic model, and the proof kernel;
+//! * [`proglog`] — Hoare triples, the WP rule kernel with the
+//!   destabilized side conditions, and adequacy-by-monitored-execution;
+//! * [`idf`] — the Viper-style implicit-dynamic-frames verifier with the
+//!   `Destabilized` and `StableBaseline` backends, its mini decision
+//!   procedure, and compilation to HeapLang.
+//!
+//! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! reproduction methodology.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use daenerys::idf::{parse_program, Backend, Verifier};
+//!
+//! let program = parse_program(
+//!     "field val: Int
+//!      method inc(c: Ref)
+//!        requires acc(c.val)
+//!        ensures acc(c.val) && c.val == old(c.val) + 1
+//!      { c.val := c.val + 1 }",
+//! )?;
+//! let mut verifier = Verifier::new(&program, Backend::Destabilized);
+//! assert!(verifier.verify_all().is_ok());
+//! # Ok::<(), daenerys::idf::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+/// Resource algebras and step-indexing (`daenerys-algebra`).
+pub use daenerys_algebra as algebra;
+/// The HeapLang programming language (`daenerys-heaplang`).
+pub use daenerys_heaplang as heaplang;
+/// The destabilized base logic (`daenerys-core`).
+pub use daenerys_core as logic;
+/// The program logic over HeapLang (`daenerys-proglog`).
+pub use daenerys_proglog as proglog;
+/// The IDF automated verifier (`daenerys-idf`).
+pub use daenerys_idf as idf;

@@ -1,0 +1,118 @@
+//! A convenience interpreter for whole programs.
+
+use crate::scheduler::{run_under, RoundRobin, Scheduler};
+use crate::step::Heap;
+use crate::syntax::{Expr, Val};
+use crate::thread::{Machine, ThreadStatus};
+use std::fmt;
+
+/// Why interpretation failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InterpError {
+    /// A thread got stuck; payload is thread index and reason.
+    Stuck(usize, String),
+    /// The fuel ran out before all threads finished.
+    OutOfFuel,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Stuck(t, why) => write!(f, "thread {} stuck: {}", t, why),
+            InterpError::OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Runs a closed program to completion under round-robin scheduling.
+///
+/// Returns the main thread's value and the final heap.
+///
+/// # Errors
+///
+/// [`InterpError::Stuck`] if any thread hits a runtime error;
+/// [`InterpError::OutOfFuel`] if `fuel` scheduler steps were not enough.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_heaplang::{run, Expr, Val, BinOp};
+///
+/// let prog = Expr::binop(BinOp::Mul, Expr::int(6), Expr::int(7));
+/// let (v, _heap) = run(prog, 1000)?;
+/// assert_eq!(v, Val::int(42));
+/// # Ok::<(), daenerys_heaplang::InterpError>(())
+/// ```
+pub fn run(program: Expr, fuel: usize) -> Result<(Val, Heap), InterpError> {
+    run_with(program, &mut RoundRobin::new(), fuel)
+}
+
+/// Runs a closed program under an arbitrary scheduler.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with<S: Scheduler>(
+    program: Expr,
+    scheduler: &mut S,
+    fuel: usize,
+) -> Result<(Val, Heap), InterpError> {
+    let machine = Machine::new(program);
+    let terminal = run_under(machine, scheduler, fuel).ok_or(InterpError::OutOfFuel)?;
+    for i in 0..terminal.thread_count() {
+        if let ThreadStatus::Stuck(why) = terminal.status(i) {
+            return Err(InterpError::Stuck(i, why.clone()));
+        }
+    }
+    match terminal.main_result() {
+        Some(v) => Ok((v.clone(), terminal.heap.clone())),
+        None => Err(InterpError::OutOfFuel),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::BinOp;
+
+    #[test]
+    fn runs_simple_programs() {
+        let (v, _) = run(Expr::binop(BinOp::Add, Expr::int(1), Expr::int(2)), 100).unwrap();
+        assert_eq!(v, Val::int(3));
+    }
+
+    #[test]
+    fn reports_stuck() {
+        let err = run(Expr::app(Expr::int(1), Expr::int(2)), 100).unwrap_err();
+        assert!(matches!(err, InterpError::Stuck(0, _)));
+    }
+
+    #[test]
+    fn reports_out_of_fuel() {
+        let omega = Expr::app(
+            Expr::rec("f", "x", Expr::app(Expr::var("f"), Expr::var("x"))),
+            Expr::unit(),
+        );
+        assert_eq!(run(omega, 50).unwrap_err(), InterpError::OutOfFuel);
+    }
+
+    #[test]
+    fn forked_threads_finish_under_round_robin() {
+        let prog = Expr::let_(
+            "l",
+            Expr::alloc(Expr::int(0)),
+            Expr::seq(
+                Expr::fork(Expr::faa(Expr::var("l"), Expr::int(1))),
+                Expr::seq(
+                    Expr::fork(Expr::faa(Expr::var("l"), Expr::int(1))),
+                    Expr::int(9),
+                ),
+            ),
+        );
+        let (v, heap) = run(prog, 10_000).unwrap();
+        assert_eq!(v, Val::int(9));
+        assert_eq!(heap.get(crate::syntax::Loc(0)), Some(&Val::int(2)));
+    }
+}

@@ -1,0 +1,355 @@
+//! Lexer for the ML-ish HeapLang surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// An identifier (or `_`).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A keyword.
+    Kw(Kw),
+    /// A punctuation or operator symbol.
+    Sym(Sym),
+}
+
+/// Keywords.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Let,
+    In,
+    Fun,
+    Rec,
+    If,
+    Then,
+    Else,
+    Match,
+    With,
+    End,
+    Ref,
+    Fork,
+    Cas,
+    Faa,
+    True,
+    False,
+    Not,
+    Inl,
+    Inr,
+    Fst,
+    Snd,
+}
+
+/// Symbols and operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Arrow,    // =>
+    Assign,   // <-
+    Bang,     // !
+    Eq,       // =
+    Ne,       // !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    AndAnd,
+    OrOr,
+    Pipe,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{}", s),
+            Token::Int(n) => write!(f, "{}", n),
+            Token::Kw(k) => write!(f, "{:?}", k),
+            Token::Sym(s) => write!(f, "{:?}", s),
+        }
+    }
+}
+
+/// A lexing error with byte position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "let" => Kw::Let,
+        "in" => Kw::In,
+        "fun" => Kw::Fun,
+        "rec" => Kw::Rec,
+        "if" => Kw::If,
+        "then" => Kw::Then,
+        "else" => Kw::Else,
+        "match" => Kw::Match,
+        "with" => Kw::With,
+        "end" => Kw::End,
+        "ref" => Kw::Ref,
+        "fork" => Kw::Fork,
+        "cas" => Kw::Cas,
+        "faa" => Kw::Faa,
+        "true" => Kw::True,
+        "false" => Kw::False,
+        "not" => Kw::Not,
+        "inl" => Kw::Inl,
+        "inr" => Kw::Inr,
+        "fst" => Kw::Fst,
+        "snd" => Kw::Snd,
+        _ => return None,
+    })
+}
+
+/// Tokenizes a source string. Supports `(* ... *)` comments (nested) and
+/// `//` line comments.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters, malformed integers, or
+/// unterminated comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while depth > 0 {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            pos: start,
+                            message: "unterminated comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'(' && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '(' => {
+                out.push(Token::Sym(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Sym(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Sym(Sym::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Sym(Sym::Semi));
+                i += 1;
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                out.push(Token::Sym(Sym::OrOr));
+                i += 2;
+            }
+            '|' => {
+                out.push(Token::Sym(Sym::Pipe));
+                i += 1;
+            }
+            '&' if bytes.get(i + 1) == Some(&b'&') => {
+                out.push(Token::Sym(Sym::AndAnd));
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Token::Sym(Sym::Arrow));
+                i += 2;
+            }
+            '=' => {
+                out.push(Token::Sym(Sym::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Sym(Sym::Ne));
+                i += 2;
+            }
+            '!' => {
+                out.push(Token::Sym(Sym::Bang));
+                i += 1;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'-') => {
+                out.push(Token::Sym(Sym::Assign));
+                i += 2;
+            }
+            '<' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Sym(Sym::Le));
+                i += 2;
+            }
+            '<' => {
+                out.push(Token::Sym(Sym::Lt));
+                i += 1;
+            }
+            '>' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Sym(Sym::Ge));
+                i += 2;
+            }
+            '>' => {
+                out.push(Token::Sym(Sym::Gt));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Sym(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Sym(Sym::Minus));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Sym(Sym::Star));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Sym(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Sym(Sym::Percent));
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n = text.parse::<i64>().map_err(|_| LexError {
+                    pos: start,
+                    message: format!("integer literal out of range: {}", text),
+                })?;
+                out.push(Token::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..i];
+                match keyword(text) {
+                    Some(kw) => out.push(Token::Kw(kw)),
+                    None => out.push(Token::Ident(text.to_string())),
+                }
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character {:?}", other),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_program() {
+        let toks = lex("let x = ref 1 in x <- !x + 2; !x").unwrap();
+        assert_eq!(toks[0], Token::Kw(Kw::Let));
+        assert!(toks.contains(&Token::Sym(Sym::Assign)));
+        assert!(toks.contains(&Token::Sym(Sym::Bang)));
+        assert!(toks.contains(&Token::Int(2)));
+    }
+
+    #[test]
+    fn distinguishes_compound_symbols() {
+        let toks = lex("<= < <- != ! = => == && ||").unwrap();
+        use Sym::*;
+        assert_eq!(
+            toks,
+            vec![
+                Token::Sym(Le),
+                Token::Sym(Lt),
+                Token::Sym(Assign),
+                Token::Sym(Ne),
+                Token::Sym(Bang),
+                Token::Sym(Eq),
+                Token::Sym(Arrow),
+                Token::Sym(Eq),
+                Token::Sym(Eq),
+                Token::Sym(AndAnd),
+                Token::Sym(OrOr),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("1 (* nested (* deep *) *) 2 // end\n3").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Int(2), Token::Int(3)]);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn unknown_char_errors() {
+        let err = lex("let x = #").unwrap_err();
+        assert_eq!(err.pos, 8);
+    }
+
+    #[test]
+    fn primed_identifiers() {
+        let toks = lex("x' foo_bar1").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("x'".into()),
+                Token::Ident("foo_bar1".into())
+            ]
+        );
+    }
+}

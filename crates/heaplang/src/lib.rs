@@ -1,0 +1,52 @@
+//! # `daenerys-heaplang` — the HeapLang programming language
+//!
+//! A faithful executable rendition of HeapLang, the default programming
+//! language of Iris (and of our destabilized variant): an untyped,
+//! call-by-value lambda calculus with recursive functions, pairs, sums,
+//! and a shared mutable heap with `ref`/load/store/`cas`/`faa`, plus
+//! structured concurrency via `fork`.
+//!
+//! The crate provides:
+//!
+//! * the abstract syntax ([`Expr`], [`Val`], [`Binder`]) with
+//!   substitution;
+//! * a small-step operational semantics ([`step`], [`Heap`]) with a
+//!   pure/heap/fork step classification used by the program logic;
+//! * thread-pool machines ([`Machine`]) with pluggable [`Scheduler`]s and
+//!   exhaustive interleaving exploration ([`explore`]) for adequacy
+//!   testing;
+//! * a lexer/parser for an ML-ish surface syntax ([`parse`]) and a
+//!   round-tripping pretty-printer;
+//! * a convenience interpreter ([`run`]).
+//!
+//! # Example
+//!
+//! ```
+//! use daenerys_heaplang::{parse, run, Val};
+//!
+//! let prog = parse("let l = ref 2 in l <- !l * 21; !l")?;
+//! let (v, heap) = run(prog, 1_000).unwrap();
+//! assert_eq!(v, Val::int(42));
+//! assert_eq!(heap.len(), 1);
+//! # Ok::<(), daenerys_heaplang::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod interp;
+mod lexer;
+mod parser;
+mod pretty;
+mod scheduler;
+mod step;
+mod syntax;
+mod thread;
+
+pub use interp::{run, run_with, InterpError};
+pub use lexer::{lex, Kw, LexError, Sym, Token};
+pub use parser::{parse, ParseError};
+pub use scheduler::{explore, run_under, Exploration, RandomScheduler, RoundRobin, Scheduler};
+pub use step::{pure_step, pure_steps, step, Heap, StepError, StepKind, StepOutcome};
+pub use syntax::{BinOp, Binder, Expr, Lit, Loc, UnOp, Val};
+pub use thread::{Machine, ThreadStatus};

@@ -1,0 +1,680 @@
+//! Small-step operational semantics of HeapLang.
+//!
+//! A single thread steps by locating the leftmost-innermost redex
+//! (evaluation is left-to-right, call-by-value) and reducing it. Steps
+//! are classified as pure, heap-accessing, or fork — the program logic
+//! in `daenerys-proglog` keys its rules on this classification.
+
+use crate::syntax::{BinOp, Binder, Expr, Lit, Loc, UnOp, Val};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The physical heap: a finite map from locations to values plus an
+/// allocation counter.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Heap {
+    cells: BTreeMap<Loc, Val>,
+    next: u64,
+}
+
+impl Heap {
+    /// The empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates a fresh cell holding `v` and returns its location.
+    pub fn alloc(&mut self, v: Val) -> Loc {
+        let l = Loc(self.next);
+        self.next += 1;
+        self.cells.insert(l, v);
+        l
+    }
+
+    /// Reads a cell.
+    pub fn get(&self, l: Loc) -> Option<&Val> {
+        self.cells.get(&l)
+    }
+
+    /// Overwrites an existing cell; returns `false` if absent.
+    pub fn set(&mut self, l: Loc, v: Val) -> bool {
+        match self.cells.get_mut(&l) {
+            Some(slot) => {
+                *slot = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the location is allocated.
+    pub fn contains(&self, l: Loc) -> bool {
+        self.cells.contains_key(&l)
+    }
+
+    /// Number of allocated cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over cells in location order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Loc, &Val)> {
+        self.cells.iter()
+    }
+
+    /// Inserts a cell at a *specific* location, bumping the allocation
+    /// counter past it. Intended for test harnesses and verifiers that
+    /// need to materialize a heap model; programs should allocate
+    /// through `ref`.
+    pub fn insert(&mut self, l: Loc, v: Val) {
+        self.next = self.next.max(l.0 + 1);
+        self.cells.insert(l, v);
+    }
+}
+
+/// Classification of a reduction step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepKind {
+    /// Deterministic, heap-independent (beta, let, if, projections, …).
+    Pure,
+    /// Allocates, reads, or writes the heap.
+    Heap,
+    /// Spawns a thread.
+    Fork,
+}
+
+/// The result of one successful step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StepOutcome {
+    /// The reduced expression.
+    pub expr: Expr,
+    /// Threads forked by this step (at most one).
+    pub forked: Vec<Expr>,
+    /// What kind of step it was.
+    pub kind: StepKind,
+}
+
+impl StepOutcome {
+    fn pure(expr: Expr) -> StepOutcome {
+        StepOutcome {
+            expr,
+            forked: Vec::new(),
+            kind: StepKind::Pure,
+        }
+    }
+
+    fn heap(expr: Expr) -> StepOutcome {
+        StepOutcome {
+            expr,
+            forked: Vec::new(),
+            kind: StepKind::Heap,
+        }
+    }
+}
+
+/// Why an expression failed to step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepError {
+    /// The expression is already a value.
+    IsValue,
+    /// The expression is stuck (a runtime type error, unbound variable,
+    /// invalid heap access, …). The payload describes the reason.
+    Stuck(String),
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::IsValue => write!(f, "expression is a value"),
+            StepError::Stuck(why) => write!(f, "stuck: {}", why),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+fn stuck<T>(why: impl Into<String>) -> Result<T, StepError> {
+    Err(StepError::Stuck(why.into()))
+}
+
+fn eval_unop(op: UnOp, v: &Val) -> Result<Val, StepError> {
+    match (op, v) {
+        (UnOp::Neg, Val::Lit(Lit::Int(n))) => Ok(Val::int(-n)),
+        (UnOp::Not, Val::Lit(Lit::Bool(b))) => Ok(Val::bool(!b)),
+        _ => stuck(format!("unary operator {:?} applied to {:?}", op, v)),
+    }
+}
+
+fn eval_binop(op: BinOp, a: &Val, b: &Val) -> Result<Val, StepError> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div | Rem | Lt | Le | Gt | Ge => {
+            let (x, y) = match (a.as_int(), b.as_int()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return stuck(format!("integer operator {:?} on {:?}, {:?}", op, a, b)),
+            };
+            Ok(match op {
+                Add => Val::int(x.wrapping_add(y)),
+                Sub => Val::int(x.wrapping_sub(y)),
+                Mul => Val::int(x.wrapping_mul(y)),
+                Div => {
+                    if y == 0 {
+                        return stuck("division by zero");
+                    }
+                    Val::int(x.wrapping_div(y))
+                }
+                Rem => {
+                    if y == 0 {
+                        return stuck("remainder by zero");
+                    }
+                    Val::int(x.wrapping_rem(y))
+                }
+                Lt => Val::bool(x < y),
+                Le => Val::bool(x <= y),
+                Gt => Val::bool(x > y),
+                Ge => Val::bool(x >= y),
+                _ => unreachable!(),
+            })
+        }
+        Eq | Ne => {
+            if !a.is_comparable() || !b.is_comparable() {
+                return stuck("equality on non-comparable values");
+            }
+            let eq = a == b;
+            Ok(Val::bool(if op == Eq { eq } else { !eq }))
+        }
+        And | Or => match (a.as_bool(), b.as_bool()) {
+            (Some(x), Some(y)) => Ok(Val::bool(if op == And { x && y } else { x || y })),
+            _ => stuck("boolean operator on non-booleans"),
+        },
+    }
+}
+
+/// Performs one small step of `e` against `heap`.
+///
+/// # Errors
+///
+/// Returns [`StepError::IsValue`] if `e` is a value and
+/// [`StepError::Stuck`] if the redex is a runtime type error, an access
+/// to an unallocated location, or an unbound variable.
+pub fn step(e: &Expr, heap: &mut Heap) -> Result<StepOutcome, StepError> {
+    // Helper: step a subexpression and rebuild the context.
+    macro_rules! ctx {
+        ($sub:expr, $rebuild:expr) => {{
+            let out = step($sub, heap)?;
+            let rebuilt = $rebuild(out.expr);
+            return Ok(StepOutcome {
+                expr: rebuilt,
+                forked: out.forked,
+                kind: out.kind,
+            });
+        }};
+    }
+
+    match e {
+        Expr::Val(_) => Err(StepError::IsValue),
+        Expr::Var(x) => stuck(format!("unbound variable {}", x)),
+
+        Expr::Rec { f, x, body } => Ok(StepOutcome::pure(Expr::Val(Val::Rec {
+            f: f.clone(),
+            x: x.clone(),
+            body: body.clone(),
+        }))),
+
+        Expr::App(f, a) => {
+            if f.as_val().is_none() {
+                ctx!(f, |e2| Expr::App(Box::new(e2), a.clone()));
+            }
+            if a.as_val().is_none() {
+                ctx!(a, |e2| Expr::App(f.clone(), Box::new(e2)));
+            }
+            let fv = f.as_val().unwrap();
+            let av = a.as_val().unwrap();
+            match fv {
+                Val::Rec { f: fb, x: xb, body } => {
+                    let body1 = body.subst_binder(
+                        xb,
+                        av,
+                    );
+                    // Tie the recursive knot: substitute the closure for f.
+                    let clo = Val::Rec {
+                        f: fb.clone(),
+                        x: xb.clone(),
+                        body: body.clone(),
+                    };
+                    let body2 = match fb {
+                        Binder::Anon => body1,
+                        Binder::Named(name) => body1.subst(name, &clo),
+                    };
+                    Ok(StepOutcome::pure(body2))
+                }
+                _ => stuck(format!("applied non-function {:?}", fv)),
+            }
+        }
+
+        Expr::Let(b, e1, e2) => {
+            if e1.as_val().is_none() {
+                ctx!(e1, |n| Expr::Let(b.clone(), Box::new(n), e2.clone()));
+            }
+            let v = e1.as_val().unwrap();
+            Ok(StepOutcome::pure(e2.subst_binder(b, v)))
+        }
+
+        Expr::UnOp(op, e1) => {
+            if e1.as_val().is_none() {
+                ctx!(e1, |n| Expr::UnOp(*op, Box::new(n)));
+            }
+            Ok(StepOutcome::pure(Expr::Val(eval_unop(
+                *op,
+                e1.as_val().unwrap(),
+            )?)))
+        }
+
+        Expr::BinOp(op, a, b) => {
+            if a.as_val().is_none() {
+                ctx!(a, |n| Expr::BinOp(*op, Box::new(n), b.clone()));
+            }
+            if b.as_val().is_none() {
+                ctx!(b, |n| Expr::BinOp(*op, a.clone(), Box::new(n)));
+            }
+            Ok(StepOutcome::pure(Expr::Val(eval_binop(
+                *op,
+                a.as_val().unwrap(),
+                b.as_val().unwrap(),
+            )?)))
+        }
+
+        Expr::If(c, t, f) => {
+            if c.as_val().is_none() {
+                ctx!(c, |n| Expr::If(Box::new(n), t.clone(), f.clone()));
+            }
+            match c.as_val().unwrap().as_bool() {
+                Some(true) => Ok(StepOutcome::pure((**t).clone())),
+                Some(false) => Ok(StepOutcome::pure((**f).clone())),
+                None => stuck("if on non-boolean"),
+            }
+        }
+
+        Expr::Pair(a, b) => {
+            if a.as_val().is_none() {
+                ctx!(a, |n| Expr::Pair(Box::new(n), b.clone()));
+            }
+            if b.as_val().is_none() {
+                ctx!(b, |n| Expr::Pair(a.clone(), Box::new(n)));
+            }
+            Ok(StepOutcome::pure(Expr::Val(Val::Pair(
+                Box::new(a.as_val().unwrap().clone()),
+                Box::new(b.as_val().unwrap().clone()),
+            ))))
+        }
+
+        Expr::Fst(e1) => {
+            if e1.as_val().is_none() {
+                ctx!(e1, |n| Expr::Fst(Box::new(n)));
+            }
+            match e1.as_val().unwrap() {
+                Val::Pair(a, _) => Ok(StepOutcome::pure(Expr::Val((**a).clone()))),
+                v => stuck(format!("fst of non-pair {:?}", v)),
+            }
+        }
+
+        Expr::Snd(e1) => {
+            if e1.as_val().is_none() {
+                ctx!(e1, |n| Expr::Snd(Box::new(n)));
+            }
+            match e1.as_val().unwrap() {
+                Val::Pair(_, b) => Ok(StepOutcome::pure(Expr::Val((**b).clone()))),
+                v => stuck(format!("snd of non-pair {:?}", v)),
+            }
+        }
+
+        Expr::InjL(e1) => {
+            if e1.as_val().is_none() {
+                ctx!(e1, |n| Expr::InjL(Box::new(n)));
+            }
+            Ok(StepOutcome::pure(Expr::Val(Val::InjL(Box::new(
+                e1.as_val().unwrap().clone(),
+            )))))
+        }
+
+        Expr::InjR(e1) => {
+            if e1.as_val().is_none() {
+                ctx!(e1, |n| Expr::InjR(Box::new(n)));
+            }
+            Ok(StepOutcome::pure(Expr::Val(Val::InjR(Box::new(
+                e1.as_val().unwrap().clone(),
+            )))))
+        }
+
+        Expr::Case(s, bl, el, br, er) => {
+            if s.as_val().is_none() {
+                ctx!(s, |n| Expr::Case(
+                    Box::new(n),
+                    bl.clone(),
+                    el.clone(),
+                    br.clone(),
+                    er.clone()
+                ));
+            }
+            match s.as_val().unwrap() {
+                Val::InjL(v) => Ok(StepOutcome::pure(el.subst_binder(bl, v))),
+                Val::InjR(v) => Ok(StepOutcome::pure(er.subst_binder(br, v))),
+                v => stuck(format!("case on non-sum {:?}", v)),
+            }
+        }
+
+        Expr::Alloc(e1) => {
+            if e1.as_val().is_none() {
+                ctx!(e1, |n| Expr::Alloc(Box::new(n)));
+            }
+            let l = heap.alloc(e1.as_val().unwrap().clone());
+            Ok(StepOutcome::heap(Expr::Val(Val::loc(l))))
+        }
+
+        Expr::Load(e1) => {
+            if e1.as_val().is_none() {
+                ctx!(e1, |n| Expr::Load(Box::new(n)));
+            }
+            match e1.as_val().unwrap().as_loc() {
+                Some(l) => match heap.get(l) {
+                    Some(v) => Ok(StepOutcome::heap(Expr::Val(v.clone()))),
+                    None => stuck(format!("load from unallocated {}", l)),
+                },
+                None => stuck("load from non-location"),
+            }
+        }
+
+        Expr::Store(e1, e2) => {
+            if e1.as_val().is_none() {
+                ctx!(e1, |n| Expr::Store(Box::new(n), e2.clone()));
+            }
+            if e2.as_val().is_none() {
+                ctx!(e2, |n| Expr::Store(e1.clone(), Box::new(n)));
+            }
+            match e1.as_val().unwrap().as_loc() {
+                Some(l) => {
+                    if heap.set(l, e2.as_val().unwrap().clone()) {
+                        Ok(StepOutcome::heap(Expr::unit()))
+                    } else {
+                        stuck(format!("store to unallocated {}", l))
+                    }
+                }
+                None => stuck("store to non-location"),
+            }
+        }
+
+        Expr::Cas(e1, e2, e3) => {
+            if e1.as_val().is_none() {
+                ctx!(e1, |n| Expr::Cas(Box::new(n), e2.clone(), e3.clone()));
+            }
+            if e2.as_val().is_none() {
+                ctx!(e2, |n| Expr::Cas(e1.clone(), Box::new(n), e3.clone()));
+            }
+            if e3.as_val().is_none() {
+                ctx!(e3, |n| Expr::Cas(e1.clone(), e2.clone(), Box::new(n)));
+            }
+            let old = e2.as_val().unwrap();
+            let new = e3.as_val().unwrap();
+            if !old.is_comparable() {
+                return stuck("cas with non-comparable expected value");
+            }
+            match e1.as_val().unwrap().as_loc() {
+                Some(l) => match heap.get(l).cloned() {
+                    Some(cur) => {
+                        if cur == *old {
+                            heap.set(l, new.clone());
+                            Ok(StepOutcome::heap(Expr::bool(true)))
+                        } else {
+                            Ok(StepOutcome::heap(Expr::bool(false)))
+                        }
+                    }
+                    None => stuck(format!("cas on unallocated {}", l)),
+                },
+                None => stuck("cas on non-location"),
+            }
+        }
+
+        Expr::Faa(e1, e2) => {
+            if e1.as_val().is_none() {
+                ctx!(e1, |n| Expr::Faa(Box::new(n), e2.clone()));
+            }
+            if e2.as_val().is_none() {
+                ctx!(e2, |n| Expr::Faa(e1.clone(), Box::new(n)));
+            }
+            let delta = match e2.as_val().unwrap().as_int() {
+                Some(n) => n,
+                None => return stuck("faa with non-integer delta"),
+            };
+            match e1.as_val().unwrap().as_loc() {
+                Some(l) => match heap.get(l).cloned() {
+                    Some(cur) => match cur.as_int() {
+                        Some(n) => {
+                            heap.set(l, Val::int(n.wrapping_add(delta)));
+                            Ok(StepOutcome::heap(Expr::int(n)))
+                        }
+                        None => stuck("faa on non-integer cell"),
+                    },
+                    None => stuck(format!("faa on unallocated {}", l)),
+                },
+                None => stuck("faa on non-location"),
+            }
+        }
+
+        Expr::Fork(body) => Ok(StepOutcome {
+            expr: Expr::unit(),
+            forked: vec![(**body).clone()],
+            kind: StepKind::Fork,
+        }),
+    }
+}
+
+/// Attempts a *pure* step: succeeds only when the next redex is
+/// heap-independent. Used by the `wp-pure` rule of the program logic.
+pub fn pure_step(e: &Expr) -> Option<Expr> {
+    let mut scratch = Heap::new();
+    match step(e, &mut scratch) {
+        Ok(out) if out.kind == StepKind::Pure && scratch.is_empty() => Some(out.expr),
+        _ => None,
+    }
+}
+
+/// Runs pure steps to exhaustion (at most `fuel` of them).
+pub fn pure_steps(e: &Expr, fuel: usize) -> Expr {
+    let mut cur = e.clone();
+    for _ in 0..fuel {
+        match pure_step(&cur) {
+            Some(next) => cur = next,
+            None => break,
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_value(e: Expr) -> (Val, Heap) {
+        let mut heap = Heap::new();
+        let mut cur = e;
+        for _ in 0..10_000 {
+            match step(&cur, &mut heap) {
+                Ok(out) => {
+                    assert!(out.forked.is_empty(), "unexpected fork");
+                    cur = out.expr;
+                }
+                Err(StepError::IsValue) => {
+                    return (cur.as_val().unwrap().clone(), heap);
+                }
+                Err(e) => panic!("stuck: {}", e),
+            }
+        }
+        panic!("did not terminate");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::binop(
+            BinOp::Add,
+            Expr::int(2),
+            Expr::binop(BinOp::Mul, Expr::int(3), Expr::int(4)),
+        );
+        assert_eq!(run_to_value(e).0, Val::int(14));
+    }
+
+    #[test]
+    fn beta_reduction() {
+        let inc = Expr::lam("x", Expr::binop(BinOp::Add, Expr::var("x"), Expr::int(1)));
+        let e = Expr::app(inc, Expr::int(41));
+        assert_eq!(run_to_value(e).0, Val::int(42));
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        // rec fac n := if n <= 0 then 1 else n * fac (n - 1)
+        let fac = Expr::rec(
+            "fac",
+            "n",
+            Expr::ite(
+                Expr::binop(BinOp::Le, Expr::var("n"), Expr::int(0)),
+                Expr::int(1),
+                Expr::binop(
+                    BinOp::Mul,
+                    Expr::var("n"),
+                    Expr::app(
+                        Expr::var("fac"),
+                        Expr::binop(BinOp::Sub, Expr::var("n"), Expr::int(1)),
+                    ),
+                ),
+            ),
+        );
+        let e = Expr::app(fac, Expr::int(5));
+        assert_eq!(run_to_value(e).0, Val::int(120));
+    }
+
+    #[test]
+    fn heap_roundtrip() {
+        // let l = ref 7 in l <- !l + 1; !l
+        let e = Expr::let_(
+            "l",
+            Expr::alloc(Expr::int(7)),
+            Expr::seq(
+                Expr::store(
+                    Expr::var("l"),
+                    Expr::binop(BinOp::Add, Expr::load(Expr::var("l")), Expr::int(1)),
+                ),
+                Expr::load(Expr::var("l")),
+            ),
+        );
+        let (v, heap) = run_to_value(e);
+        assert_eq!(v, Val::int(8));
+        assert_eq!(heap.len(), 1);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let e = Expr::let_(
+            "l",
+            Expr::alloc(Expr::int(0)),
+            Expr::Pair(
+                Box::new(Expr::cas(Expr::var("l"), Expr::int(0), Expr::int(1))),
+                Box::new(Expr::cas(Expr::var("l"), Expr::int(0), Expr::int(2))),
+            ),
+        );
+        let (v, _) = run_to_value(e);
+        assert_eq!(
+            v,
+            Val::Pair(Box::new(Val::bool(true)), Box::new(Val::bool(false)))
+        );
+    }
+
+    #[test]
+    fn faa_returns_old() {
+        let e = Expr::let_(
+            "l",
+            Expr::alloc(Expr::int(10)),
+            Expr::Pair(
+                Box::new(Expr::faa(Expr::var("l"), Expr::int(5))),
+                Box::new(Expr::load(Expr::var("l"))),
+            ),
+        );
+        let (v, _) = run_to_value(e);
+        assert_eq!(
+            v,
+            Val::Pair(Box::new(Val::int(10)), Box::new(Val::int(15)))
+        );
+    }
+
+    #[test]
+    fn sums_and_case() {
+        let e = Expr::Case(
+            Box::new(Expr::InjR(Box::new(Expr::int(3)))),
+            Binder::from("x"),
+            Box::new(Expr::int(0)),
+            Binder::from("y"),
+            Box::new(Expr::binop(BinOp::Add, Expr::var("y"), Expr::int(1))),
+        );
+        assert_eq!(run_to_value(e).0, Val::int(4));
+    }
+
+    #[test]
+    fn stuck_cases() {
+        let mut h = Heap::new();
+        assert!(matches!(
+            step(&Expr::var("x"), &mut h),
+            Err(StepError::Stuck(_))
+        ));
+        assert!(matches!(
+            step(&Expr::app(Expr::int(1), Expr::int(2)), &mut h),
+            Err(StepError::Stuck(_))
+        ));
+        assert!(matches!(
+            step(&Expr::load(Expr::int(3)), &mut h),
+            Err(StepError::Stuck(_))
+        ));
+        assert!(matches!(
+            step(
+                &Expr::binop(BinOp::Div, Expr::int(1), Expr::int(0)),
+                &mut h
+            ),
+            Err(StepError::Stuck(_))
+        ));
+    }
+
+    #[test]
+    fn fork_reports_thread() {
+        let mut h = Heap::new();
+        let out = step(&Expr::fork(Expr::int(1)), &mut h).unwrap();
+        assert_eq!(out.kind, StepKind::Fork);
+        assert_eq!(out.expr, Expr::unit());
+        assert_eq!(out.forked, vec![Expr::int(1)]);
+    }
+
+    #[test]
+    fn pure_step_classification() {
+        assert!(pure_step(&Expr::binop(BinOp::Add, Expr::int(1), Expr::int(1))).is_some());
+        assert!(pure_step(&Expr::alloc(Expr::int(1))).is_none());
+        assert!(pure_step(&Expr::int(1)).is_none());
+        // A pure redex *inside* a heap operation is still a pure step.
+        assert!(pure_step(&Expr::alloc(Expr::binop(
+            BinOp::Add,
+            Expr::int(1),
+            Expr::int(1)
+        )))
+        .is_some());
+    }
+
+    #[test]
+    fn pure_steps_runs_to_pure_normal_form() {
+        let e = Expr::app(
+            Expr::lam("x", Expr::binop(BinOp::Add, Expr::var("x"), Expr::int(1))),
+            Expr::int(1),
+        );
+        assert_eq!(pure_steps(&e, 100), Expr::int(2));
+    }
+}

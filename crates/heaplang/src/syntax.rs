@@ -1,0 +1,604 @@
+//! Abstract syntax of HeapLang: an untyped, call-by-value lambda
+//! calculus with recursive functions, pairs, sums, and a mutable heap
+//! with `ref`, load, store, compare-and-swap, fetch-and-add, and `fork`.
+//!
+//! The semantics is substitution-based, exactly like the HeapLang that
+//! ships with Iris: programs are closed expressions, and beta reduction
+//! substitutes *closed values*, so naive capture-free substitution with
+//! shadowing checks is sound.
+
+use std::fmt;
+
+/// A heap location.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Loc(pub u64);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// A binder: a named variable or the anonymous binder `_`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Binder {
+    /// The anonymous binder; substitution never descends into it.
+    Anon,
+    /// A named binder.
+    Named(String),
+}
+
+impl Binder {
+    /// Whether this binder captures the variable `x`.
+    pub fn captures(&self, x: &str) -> bool {
+        matches!(self, Binder::Named(n) if n == x)
+    }
+}
+
+impl From<&str> for Binder {
+    fn from(s: &str) -> Binder {
+        if s == "_" {
+            Binder::Anon
+        } else {
+            Binder::Named(s.to_string())
+        }
+    }
+}
+
+impl fmt::Display for Binder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Binder::Anon => write!(f, "_"),
+            Binder::Named(n) => write!(f, "{}", n),
+        }
+    }
+}
+
+/// Base literals.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Lit {
+    /// A 64-bit integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// The unit value.
+    Unit,
+    /// A heap location (only created by `ref`, not written in programs).
+    Loc(Loc),
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Int(n) => write!(f, "{}", n),
+            Lit::Bool(b) => write!(f, "{}", b),
+            Lit::Unit => write!(f, "()"),
+            Lit::Loc(l) => write!(f, "{}", l),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Integer negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (stuck on division by zero).
+    Div,
+    /// Integer remainder (stuck on zero divisor).
+    Rem,
+    /// Equality on comparable (literal) values.
+    Eq,
+    /// Disequality on comparable values.
+    Ne,
+    /// Integer less-than.
+    Lt,
+    /// Integer less-or-equal.
+    Le,
+    /// Integer greater-than.
+    Gt,
+    /// Integer greater-or-equal.
+    Ge,
+    /// Boolean conjunction (strict; both sides evaluated).
+    And,
+    /// Boolean disjunction (strict).
+    Or,
+}
+
+/// Runtime values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Val {
+    /// A literal.
+    Lit(Lit),
+    /// A pair of values.
+    Pair(Box<Val>, Box<Val>),
+    /// Left injection into a sum.
+    InjL(Box<Val>),
+    /// Right injection into a sum.
+    InjR(Box<Val>),
+    /// A (possibly recursive) closure; `body` mentions `f` and `x`.
+    Rec {
+        /// The self-reference binder.
+        f: Binder,
+        /// The argument binder.
+        x: Binder,
+        /// The function body.
+        body: Box<Expr>,
+    },
+}
+
+impl Val {
+    /// The integer literal value.
+    pub fn int(n: i64) -> Val {
+        Val::Lit(Lit::Int(n))
+    }
+
+    /// The boolean literal value.
+    pub fn bool(b: bool) -> Val {
+        Val::Lit(Lit::Bool(b))
+    }
+
+    /// The unit value.
+    pub fn unit() -> Val {
+        Val::Lit(Lit::Unit)
+    }
+
+    /// A location value.
+    pub fn loc(l: Loc) -> Val {
+        Val::Lit(Lit::Loc(l))
+    }
+
+    /// Extracts an integer, if the value is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Val::Lit(Lit::Int(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Extracts a boolean, if the value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Val::Lit(Lit::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a location, if the value is one.
+    pub fn as_loc(&self) -> Option<Loc> {
+        match self {
+            Val::Lit(Lit::Loc(l)) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is *comparable* (safe for `=` and `cas`):
+    /// literals are, closures and compounds are not.
+    pub fn is_comparable(&self) -> bool {
+        matches!(self, Val::Lit(_))
+    }
+}
+
+/// Expressions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// An already-evaluated value.
+    Val(Val),
+    /// A variable occurrence.
+    Var(String),
+    /// A recursive function `rec f x := e`.
+    Rec {
+        /// Self-reference binder.
+        f: Binder,
+        /// Argument binder.
+        x: Binder,
+        /// Body.
+        body: Box<Expr>,
+    },
+    /// Application.
+    App(Box<Expr>, Box<Expr>),
+    /// `let x = e1 in e2` (also used for sequencing with an anonymous
+    /// binder).
+    Let(Binder, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    UnOp(UnOp, Box<Expr>),
+    /// Binary operation.
+    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Pair construction.
+    Pair(Box<Expr>, Box<Expr>),
+    /// First projection.
+    Fst(Box<Expr>),
+    /// Second projection.
+    Snd(Box<Expr>),
+    /// Left injection.
+    InjL(Box<Expr>),
+    /// Right injection.
+    InjR(Box<Expr>),
+    /// Sum elimination: `match e with inl x => e1 | inr y => e2 end`.
+    Case(Box<Expr>, Binder, Box<Expr>, Binder, Box<Expr>),
+    /// Allocation: `ref e`.
+    Alloc(Box<Expr>),
+    /// Load: `!e`.
+    Load(Box<Expr>),
+    /// Store: `e1 <- e2`.
+    Store(Box<Expr>, Box<Expr>),
+    /// Compare-and-swap `cas(l, old, new)`; returns the success boolean.
+    Cas(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Fetch-and-add `faa(l, n)`; returns the old value.
+    Faa(Box<Expr>, Box<Expr>),
+    /// Fork a new thread; returns unit immediately.
+    Fork(Box<Expr>),
+}
+
+impl Expr {
+    /// The integer literal expression.
+    pub fn int(n: i64) -> Expr {
+        Expr::Val(Val::int(n))
+    }
+
+    /// The boolean literal expression.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Val(Val::bool(b))
+    }
+
+    /// The unit literal expression.
+    pub fn unit() -> Expr {
+        Expr::Val(Val::unit())
+    }
+
+    /// A variable occurrence.
+    pub fn var(x: &str) -> Expr {
+        Expr::Var(x.to_string())
+    }
+
+    /// A non-recursive lambda `fun x => body`.
+    pub fn lam(x: &str, body: Expr) -> Expr {
+        Expr::Rec {
+            f: Binder::Anon,
+            x: Binder::from(x),
+            body: Box::new(body),
+        }
+    }
+
+    /// A recursive function `rec f x := body`.
+    pub fn rec(f: &str, x: &str, body: Expr) -> Expr {
+        Expr::Rec {
+            f: Binder::from(f),
+            x: Binder::from(x),
+            body: Box::new(body),
+        }
+    }
+
+    /// Application.
+    pub fn app(f: Expr, a: Expr) -> Expr {
+        Expr::App(Box::new(f), Box::new(a))
+    }
+
+    /// `let x = e1 in e2`.
+    pub fn let_(x: &str, e1: Expr, e2: Expr) -> Expr {
+        Expr::Let(Binder::from(x), Box::new(e1), Box::new(e2))
+    }
+
+    /// Sequencing `e1 ; e2`.
+    pub fn seq(e1: Expr, e2: Expr) -> Expr {
+        Expr::Let(Binder::Anon, Box::new(e1), Box::new(e2))
+    }
+
+    /// `ref e`.
+    pub fn alloc(e: Expr) -> Expr {
+        Expr::Alloc(Box::new(e))
+    }
+
+    /// `!e`.
+    pub fn load(e: Expr) -> Expr {
+        Expr::Load(Box::new(e))
+    }
+
+    /// `e1 <- e2`.
+    pub fn store(e1: Expr, e2: Expr) -> Expr {
+        Expr::Store(Box::new(e1), Box::new(e2))
+    }
+
+    /// `cas(l, old, new)`.
+    pub fn cas(l: Expr, old: Expr, new: Expr) -> Expr {
+        Expr::Cas(Box::new(l), Box::new(old), Box::new(new))
+    }
+
+    /// `faa(l, n)`.
+    pub fn faa(l: Expr, n: Expr) -> Expr {
+        Expr::Faa(Box::new(l), Box::new(n))
+    }
+
+    /// `fork e`.
+    pub fn fork(e: Expr) -> Expr {
+        Expr::Fork(Box::new(e))
+    }
+
+    /// Binary operation helper.
+    pub fn binop(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::BinOp(op, Box::new(a), Box::new(b))
+    }
+
+    /// Conditional helper.
+    pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::If(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    /// Whether the expression is a value.
+    pub fn as_val(&self) -> Option<&Val> {
+        match self {
+            Expr::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Capture-free substitution of the closed value `v` for variable `x`.
+    ///
+    /// Because we only ever substitute *closed* values, no renaming is
+    /// needed: we simply stop at shadowing binders.
+    pub fn subst(&self, x: &str, v: &Val) -> Expr {
+        match self {
+            Expr::Val(w) => Expr::Val(w.clone()),
+            Expr::Var(y) => {
+                if y == x {
+                    Expr::Val(v.clone())
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Rec { f, x: arg, body } => {
+                if f.captures(x) || arg.captures(x) {
+                    self.clone()
+                } else {
+                    Expr::Rec {
+                        f: f.clone(),
+                        x: arg.clone(),
+                        body: Box::new(body.subst(x, v)),
+                    }
+                }
+            }
+            Expr::App(a, b) => Expr::App(Box::new(a.subst(x, v)), Box::new(b.subst(x, v))),
+            Expr::Let(b, e1, e2) => {
+                let e1 = e1.subst(x, v);
+                let e2 = if b.captures(x) {
+                    (**e2).clone()
+                } else {
+                    e2.subst(x, v)
+                };
+                Expr::Let(b.clone(), Box::new(e1), Box::new(e2))
+            }
+            Expr::UnOp(op, e) => Expr::UnOp(*op, Box::new(e.subst(x, v))),
+            Expr::BinOp(op, a, b) => {
+                Expr::BinOp(*op, Box::new(a.subst(x, v)), Box::new(b.subst(x, v)))
+            }
+            Expr::If(c, t, e) => Expr::If(
+                Box::new(c.subst(x, v)),
+                Box::new(t.subst(x, v)),
+                Box::new(e.subst(x, v)),
+            ),
+            Expr::Pair(a, b) => Expr::Pair(Box::new(a.subst(x, v)), Box::new(b.subst(x, v))),
+            Expr::Fst(e) => Expr::Fst(Box::new(e.subst(x, v))),
+            Expr::Snd(e) => Expr::Snd(Box::new(e.subst(x, v))),
+            Expr::InjL(e) => Expr::InjL(Box::new(e.subst(x, v))),
+            Expr::InjR(e) => Expr::InjR(Box::new(e.subst(x, v))),
+            Expr::Case(e, bl, el, br, er) => {
+                let el2 = if bl.captures(x) {
+                    (**el).clone()
+                } else {
+                    el.subst(x, v)
+                };
+                let er2 = if br.captures(x) {
+                    (**er).clone()
+                } else {
+                    er.subst(x, v)
+                };
+                Expr::Case(
+                    Box::new(e.subst(x, v)),
+                    bl.clone(),
+                    Box::new(el2),
+                    br.clone(),
+                    Box::new(er2),
+                )
+            }
+            Expr::Alloc(e) => Expr::Alloc(Box::new(e.subst(x, v))),
+            Expr::Load(e) => Expr::Load(Box::new(e.subst(x, v))),
+            Expr::Store(a, b) => Expr::Store(Box::new(a.subst(x, v)), Box::new(b.subst(x, v))),
+            Expr::Cas(a, b, c) => Expr::Cas(
+                Box::new(a.subst(x, v)),
+                Box::new(b.subst(x, v)),
+                Box::new(c.subst(x, v)),
+            ),
+            Expr::Faa(a, b) => Expr::Faa(Box::new(a.subst(x, v)), Box::new(b.subst(x, v))),
+            Expr::Fork(e) => Expr::Fork(Box::new(e.subst(x, v))),
+        }
+    }
+
+    /// Substitution through a binder: substitutes only when the binder is
+    /// named.
+    pub fn subst_binder(&self, b: &Binder, v: &Val) -> Expr {
+        match b {
+            Binder::Anon => self.clone(),
+            Binder::Named(x) => self.subst(x, v),
+        }
+    }
+
+    /// The set of free variables (used by well-formedness checks).
+    pub fn free_vars(&self) -> Vec<String> {
+        fn go(e: &Expr, bound: &mut Vec<String>, out: &mut Vec<String>) {
+            let with =
+                |b: &Binder, bound: &mut Vec<String>, f: &mut dyn FnMut(&mut Vec<String>)| {
+                    match b {
+                        Binder::Anon => f(bound),
+                        Binder::Named(n) => {
+                            bound.push(n.clone());
+                            f(bound);
+                            bound.pop();
+                        }
+                    }
+                };
+            match e {
+                Expr::Val(_) => {}
+                Expr::Var(x) => {
+                    if !bound.iter().any(|b| b == x) && !out.contains(x) {
+                        out.push(x.clone());
+                    }
+                }
+                Expr::Rec { f, x, body } => {
+                    with(f, bound, &mut |bound| {
+                        with(x, bound, &mut |bound| go(body, bound, out));
+                    });
+                }
+                Expr::App(a, b)
+                | Expr::BinOp(_, a, b)
+                | Expr::Pair(a, b)
+                | Expr::Store(a, b)
+                | Expr::Faa(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Expr::Let(b, e1, e2) => {
+                    go(e1, bound, out);
+                    with(b, bound, &mut |bound| go(e2, bound, out));
+                }
+                Expr::UnOp(_, e)
+                | Expr::Fst(e)
+                | Expr::Snd(e)
+                | Expr::InjL(e)
+                | Expr::InjR(e)
+                | Expr::Alloc(e)
+                | Expr::Load(e)
+                | Expr::Fork(e) => go(e, bound, out),
+                Expr::If(c, t, e) => {
+                    go(c, bound, out);
+                    go(t, bound, out);
+                    go(e, bound, out);
+                }
+                Expr::Case(e, bl, el, br, er) => {
+                    go(e, bound, out);
+                    with(bl, bound, &mut |bound| go(el, bound, out));
+                    with(br, bound, &mut |bound| go(er, bound, out));
+                }
+                Expr::Cas(a, b, c) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                    go(c, bound, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Whether the expression is closed.
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+}
+
+impl From<Val> for Expr {
+    fn from(v: Val) -> Expr {
+        Expr::Val(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subst_replaces_free_occurrences() {
+        let e = Expr::binop(BinOp::Add, Expr::var("x"), Expr::var("y"));
+        let e2 = e.subst("x", &Val::int(3));
+        assert_eq!(
+            e2,
+            Expr::binop(BinOp::Add, Expr::int(3), Expr::var("y"))
+        );
+    }
+
+    #[test]
+    fn subst_respects_shadowing() {
+        // (let x = 1 in x) with [x := 9] — the bound x is untouched.
+        let e = Expr::let_("x", Expr::int(1), Expr::var("x"));
+        assert_eq!(e.subst("x", &Val::int(9)), e);
+        // but the right-hand side is substituted.
+        let e = Expr::let_("x", Expr::var("x"), Expr::var("x"));
+        let expected = Expr::let_("x", Expr::int(9), Expr::var("x"));
+        assert_eq!(e.subst("x", &Val::int(9)), expected);
+    }
+
+    #[test]
+    fn subst_under_lambda_stops_at_shadow() {
+        let id = Expr::lam("x", Expr::var("x"));
+        assert_eq!(id.subst("x", &Val::int(1)), id);
+        let open = Expr::lam("y", Expr::var("x"));
+        let closed = Expr::lam("y", Expr::int(1));
+        assert_eq!(open.subst("x", &Val::int(1)), closed);
+    }
+
+    #[test]
+    fn free_vars_and_closedness() {
+        let e = Expr::let_(
+            "x",
+            Expr::int(1),
+            Expr::binop(BinOp::Add, Expr::var("x"), Expr::var("z")),
+        );
+        assert_eq!(e.free_vars(), vec!["z".to_string()]);
+        assert!(!e.is_closed());
+        assert!(Expr::lam("x", Expr::var("x")).is_closed());
+    }
+
+    #[test]
+    fn case_binders_shadow() {
+        let e = Expr::Case(
+            Box::new(Expr::var("s")),
+            Binder::from("x"),
+            Box::new(Expr::var("x")),
+            Binder::from("y"),
+            Box::new(Expr::var("x")),
+        );
+        let e2 = e.subst("x", &Val::int(5));
+        // Left branch keeps its bound x, right branch gets the value.
+        match e2 {
+            Expr::Case(_, _, el, _, er) => {
+                assert_eq!(*el, Expr::var("x"));
+                assert_eq!(*er, Expr::int(5));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn comparable_values() {
+        assert!(Val::int(1).is_comparable());
+        assert!(Val::unit().is_comparable());
+        assert!(!Val::Pair(Box::new(Val::int(1)), Box::new(Val::int(2))).is_comparable());
+        assert!(!Val::Rec {
+            f: Binder::Anon,
+            x: Binder::Anon,
+            body: Box::new(Expr::unit()),
+        }
+        .is_comparable());
+    }
+
+    #[test]
+    fn anon_binder_from_underscore() {
+        assert_eq!(Binder::from("_"), Binder::Anon);
+        assert_eq!(Binder::from("v"), Binder::Named("v".into()));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for HeapLang: parser/printer round-trips,
+//! determinism of single-thread execution, and scheduler soundness.
+
+use daenerys_heaplang::{
+    explore, parse, pure_step, run, run_under, step, BinOp, Expr, Heap, Machine, RandomScheduler,
+    RoundRobin, StepKind, UnOp, Val,
+};
+use proptest::prelude::*;
+
+/// Generates expressions from the *parseable* fragment (no location
+/// literals, no closure values — those are runtime-only).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let var = prop_oneof![Just("x"), Just("y"), Just("f")];
+    let leaf = prop_oneof![
+        (-8i64..=8).prop_map(Expr::int),
+        any::<bool>().prop_map(Expr::bool),
+        Just(Expr::unit()),
+        var.clone().prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(4, 32, 3, move |inner| {
+        let binder = prop_oneof![Just("x"), Just("y"), Just("f"), Just("_")];
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::app(a, b)),
+            (binder.clone(), inner.clone(), inner.clone())
+                .prop_map(|(x, a, b)| Expr::let_(x, a, b)),
+            (binder.clone(), inner.clone()).prop_map(|(x, b)| Expr::lam(x, b)),
+            (binder.clone(), binder.clone(), inner.clone())
+                .prop_map(|(f, x, b)| Expr::rec(f, x, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::binop(BinOp::Add, a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::binop(BinOp::Mul, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(BinOp::Eq, a, b)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::ite(c, t, e)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Pair(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Fst(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Snd(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::InjL(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::InjR(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::UnOp(UnOp::Not, Box::new(e))),
+            inner.clone().prop_map(Expr::alloc),
+            inner.clone().prop_map(Expr::load),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::store(a, b)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| Expr::cas(a, b, c)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::faa(a, b)),
+            inner.clone().prop_map(Expr::fork),
+        ]
+    })
+}
+
+proptest! {
+    /// The printer emits syntax the parser maps back to the same AST.
+    #[test]
+    fn pretty_parse_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse(&printed);
+        prop_assert!(reparsed.is_ok(), "unparseable print: {printed}");
+        prop_assert_eq!(reparsed.unwrap(), e, "roundtrip mismatch for {}", printed);
+    }
+
+    /// Single-threaded stepping is deterministic.
+    #[test]
+    fn single_thread_step_deterministic(e in arb_expr()) {
+        let mut h1 = Heap::new();
+        let mut h2 = Heap::new();
+        let r1 = step(&e, &mut h1);
+        let r2 = step(&e, &mut h2);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(h1, h2);
+    }
+
+    /// A pure step never touches the heap and agrees with `step`.
+    #[test]
+    fn pure_step_agrees_with_step(e in arb_expr()) {
+        if let Some(e2) = pure_step(&e) {
+            let mut h = Heap::new();
+            let out = step(&e, &mut h).unwrap();
+            prop_assert_eq!(out.kind, StepKind::Pure);
+            prop_assert_eq!(out.expr, e2);
+            prop_assert!(h.is_empty());
+        }
+    }
+
+    /// Substituting into a closed expression is the identity.
+    #[test]
+    fn subst_on_closed_is_identity(e in arb_expr()) {
+        if e.is_closed() {
+            prop_assert_eq!(e.subst("zz", &Val::int(0)), e);
+        }
+    }
+
+    /// Values do not step.
+    #[test]
+    fn values_do_not_step(n in -100i64..100) {
+        let mut h = Heap::new();
+        prop_assert!(step(&Expr::int(n), &mut h).is_err());
+    }
+}
+
+/// Fixed concurrent programs: the result under any tested scheduler is
+/// among the exhaustively enumerated outcomes.
+#[test]
+fn schedulers_agree_with_exploration() {
+    let srcs = [
+        "let l = ref 0 in fork (l <- 1); fork (l <- 2); !l",
+        "let l = ref 0 in fork (faa(l, 1)); faa(l, 2); !l",
+        "let l = ref 0 in fork (cas(l, 0, 5)); cas(l, 0, 7); !l",
+    ];
+    for src in srcs {
+        let prog = parse(src).unwrap();
+        let all = explore(Machine::new(prog.clone()), 128);
+        assert!(!all.truncated, "exploration truncated for {src}");
+        let outcomes: Vec<Val> = all
+            .terminals
+            .iter()
+            .filter_map(|m| m.main_result().cloned())
+            .collect();
+        assert!(!outcomes.is_empty());
+
+        let rr = run_under(Machine::new(prog.clone()), &mut RoundRobin::new(), 10_000)
+            .expect("round robin terminates");
+        assert!(
+            outcomes.contains(rr.main_result().unwrap()),
+            "round-robin outcome not found by exploration for {src}"
+        );
+
+        for seed in 0..20 {
+            let r = run_under(
+                Machine::new(prog.clone()),
+                &mut RandomScheduler::new(seed),
+                10_000,
+            )
+            .expect("random scheduler terminates");
+            assert!(
+                outcomes.contains(r.main_result().unwrap()),
+                "random outcome (seed {seed}) not found by exploration for {src}"
+            );
+        }
+    }
+}
+
+/// Executing a parsed program equals executing the pretty-printed
+/// re-parse of it (sanity for the whole front-end pipeline).
+#[test]
+fn run_is_stable_under_reprinting() {
+    let srcs = [
+        "let l = ref 1 in l <- !l + 41; !l",
+        "let f = rec go n => if n <= 0 then 0 else n + go (n - 1) in f 9",
+        "fst (snd ((1, 2), (3, 4)))",
+        "match inr 20 with | inl a => 0 | inr b => b * 2 + 2 end",
+    ];
+    for src in srcs {
+        let e = parse(src).unwrap();
+        let e2 = parse(&e.to_string()).unwrap();
+        let r1 = run(e, 100_000).unwrap().0;
+        let r2 = run(e2, 100_000).unwrap().0;
+        assert_eq!(r1, r2, "for {src}");
+    }
+}

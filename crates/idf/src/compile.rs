@@ -1,0 +1,720 @@
+//! Compilation of IDF programs to HeapLang, plus a dynamic contract
+//! checker.
+//!
+//! This closes the loop of the reproduction: a program verified by the
+//! IDF front-end is compiled to the same HeapLang the program logic and
+//! interpreter understand, executed concretely, and its contract
+//! re-checked dynamically. A sound verifier must never produce a method
+//! that fails its dynamic contract on inputs satisfying the
+//! precondition (property-tested in the integration suite).
+//!
+//! Representation choices:
+//!
+//! * an object is a tuple of one `ref` per *declared field*, nested as
+//!   right-leaning pairs in declaration order;
+//! * local variables are compiled to allocated cells so assignment is
+//!   uniform;
+//! * `inhale`/`exhale`/`assert` are ghost statements and compile to `()`;
+//! * methods become (curried) recursive functions; multiple returns
+//!   become tuples.
+
+use crate::ast::{Assertion, Expr as IExpr, Method, Op, Program, Stmt};
+use daenerys_heaplang::{BinOp, Expr, Heap, Loc, Val};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A compile- or run-time error of the concrete layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConcreteError(pub String);
+
+impl fmt::Display for ConcreteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "concrete error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConcreteError {}
+
+fn err<T>(m: impl Into<String>) -> Result<T, ConcreteError> {
+    Err(ConcreteError(m.into()))
+}
+
+/// Field index within the object tuple.
+fn field_index(prog: &Program, field: &str) -> Option<usize> {
+    prog.fields.iter().position(|(f, _)| f == field)
+}
+
+/// Projects the `i`-th component out of a right-leaning tuple of size
+/// `n`.
+fn project(e: Expr, i: usize, n: usize) -> Expr {
+    if n == 1 {
+        return e;
+    }
+    let mut cur = e;
+    for _ in 0..i {
+        cur = Expr::Snd(Box::new(cur));
+    }
+    if i + 1 < n {
+        Expr::Fst(Box::new(cur))
+    } else {
+        cur
+    }
+}
+
+/// Builds a right-leaning tuple.
+fn tuple(mut items: Vec<Expr>) -> Expr {
+    match items.len() {
+        0 => Expr::unit(),
+        1 => items.pop().expect("nonempty"),
+        _ => {
+            let rest = tuple(items.split_off(1));
+            Expr::Pair(Box::new(items.pop().expect("nonempty")), Box::new(rest))
+        }
+    }
+}
+
+/// Compiles an IDF expression. `locals` maps variables to *cell-holding*
+/// HeapLang variables (reads become loads).
+fn compile_expr(prog: &Program, e: &IExpr) -> Result<Expr, ConcreteError> {
+    Ok(match e {
+        IExpr::Int(n) => Expr::int(*n),
+        IExpr::Bool(b) => Expr::bool(*b),
+        // `null` compiles to an inert unit placeholder: it may be stored
+        // and overwritten but never dereferenced or compared at runtime.
+        IExpr::Null => Expr::unit(),
+        IExpr::Var(x) => Expr::load(Expr::var(x)),
+        IExpr::Field(recv, f) => {
+            let i = match field_index(prog, f) {
+                Some(i) => i,
+                None => return err(format!("unknown field {}", f)),
+            };
+            let obj = compile_expr(prog, recv)?;
+            Expr::load(project(obj, i, prog.fields.len()))
+        }
+        IExpr::Old(_) => return err("old() is specification-only"),
+        IExpr::Perm(..) => return err("perm() is specification-only"),
+        IExpr::Bin(op, a, b) => {
+            let ca = compile_expr(prog, a)?;
+            let cb = compile_expr(prog, b)?;
+            let hop = match op {
+                Op::Add => BinOp::Add,
+                Op::Sub => BinOp::Sub,
+                Op::Mul => BinOp::Mul,
+                Op::Div => BinOp::Div,
+                Op::Eq => BinOp::Eq,
+                Op::Ne => BinOp::Ne,
+                Op::Lt => BinOp::Lt,
+                Op::Le => BinOp::Le,
+                Op::Gt => BinOp::Gt,
+                Op::Ge => BinOp::Ge,
+                Op::And => BinOp::And,
+                Op::Or => BinOp::Or,
+            };
+            Expr::binop(hop, ca, cb)
+        }
+        IExpr::Not(a) => Expr::UnOp(
+            daenerys_heaplang::UnOp::Not,
+            Box::new(compile_expr(prog, a)?),
+        ),
+        IExpr::Neg(a) => Expr::UnOp(
+            daenerys_heaplang::UnOp::Neg,
+            Box::new(compile_expr(prog, a)?),
+        ),
+        IExpr::Cond(c, t, e2) => Expr::ite(
+            compile_expr(prog, c)?,
+            compile_expr(prog, t)?,
+            compile_expr(prog, e2)?,
+        ),
+    })
+}
+
+/// Compiles a statement list into an expression ending in `()`.
+fn compile_stmts(prog: &Program, stmts: &[Stmt]) -> Result<Expr, ConcreteError> {
+    let mut acc = Expr::unit();
+    for s in stmts.iter().rev() {
+        let cur = compile_stmt(prog, s, acc)?;
+        acc = cur;
+    }
+    Ok(acc)
+}
+
+fn compile_stmt(prog: &Program, s: &Stmt, rest: Expr) -> Result<Expr, ConcreteError> {
+    Ok(match s {
+        Stmt::VarDecl(x, _, e) => Expr::let_(
+            x,
+            Expr::alloc(compile_expr(prog, e)?),
+            rest,
+        ),
+        Stmt::Assign(x, e) => Expr::seq(
+            Expr::store(Expr::var(x), compile_expr(prog, e)?),
+            rest,
+        ),
+        Stmt::FieldWrite(recv, f, e) => {
+            let i = match field_index(prog, f) {
+                Some(i) => i,
+                None => return err(format!("unknown field {}", f)),
+            };
+            let obj = compile_expr(prog, recv)?;
+            Expr::seq(
+                Expr::store(project(obj, i, prog.fields.len()), compile_expr(prog, e)?),
+                rest,
+            )
+        }
+        Stmt::New(x, inits) => {
+            let mut cells = Vec::new();
+            for (f, _) in &prog.fields {
+                let init = inits
+                    .iter()
+                    .find(|(g, _)| g == f)
+                    .map(|(_, e)| compile_expr(prog, e))
+                    .transpose()?
+                    .unwrap_or_else(|| Expr::int(0));
+                cells.push(Expr::alloc(init));
+            }
+            // `x` is an already-declared variable cell (parameter,
+            // return, or local); assign rather than shadow, so the
+            // binding remains visible to the method's return reads.
+            Expr::seq(Expr::store(Expr::var(x), tuple(cells)), rest)
+        }
+        Stmt::Inhale(_) | Stmt::Exhale(_) | Stmt::Assert(_) => Expr::seq(Expr::unit(), rest),
+        Stmt::If(c, t, e) => Expr::seq(
+            Expr::ite(
+                compile_expr(prog, c)?,
+                compile_stmts(prog, t)?,
+                compile_stmts(prog, e)?,
+            ),
+            rest,
+        ),
+        Stmt::While(c, _, body) => {
+            // (rec loop _ := if c then (body; loop ()) else ()) ()
+            let loop_body = Expr::ite(
+                compile_expr(prog, c)?,
+                Expr::seq(
+                    compile_stmts(prog, body)?,
+                    Expr::app(Expr::var("__loop"), Expr::unit()),
+                ),
+                Expr::unit(),
+            );
+            Expr::seq(
+                Expr::app(Expr::rec("__loop", "_", loop_body), Expr::unit()),
+                rest,
+            )
+        }
+        Stmt::Call(targets, m, args) => {
+            let callee = match prog.method(m) {
+                Some(c) => c,
+                None => return err(format!("unknown method {}", m)),
+            };
+            let mut call = Expr::var(&mangled(m));
+            for a in args {
+                call = Expr::app(call, compile_expr(prog, a)?);
+            }
+            if callee.params.is_empty() {
+                call = Expr::app(call, Expr::unit());
+            }
+            match targets.len() {
+                0 => Expr::seq(call, rest),
+                1 => Expr::seq(
+                    Expr::store(Expr::var(&targets[0]), call),
+                    rest,
+                ),
+                n => {
+                    let mut out = rest;
+                    // Destructure the returned tuple into the targets.
+                    for (i, t) in targets.iter().enumerate().rev() {
+                        out = Expr::seq(
+                            Expr::store(
+                                Expr::var(t),
+                                project(Expr::var("__ret"), i, n),
+                            ),
+                            out,
+                        );
+                    }
+                    Expr::let_("__ret", call, out)
+                }
+            }
+        }
+    })
+}
+
+fn mangled(m: &str) -> String {
+    format!("__m_{}", m)
+}
+
+/// Compiles a method to a HeapLang function value expression.
+///
+/// The function takes the parameters curried (or `()` when there are
+/// none) and returns the tuple of out-parameters.
+///
+/// # Errors
+///
+/// Returns [`ConcreteError`] for spec-only constructs in code positions.
+pub fn compile_method(prog: &Program, m: &Method) -> Result<Expr, ConcreteError> {
+    let body_stmts = match &m.body {
+        Some(b) => b,
+        None => return err(format!("method {} has no body", m.name)),
+    };
+    // Body: allocate cells for params (so they are assignable) and
+    // returns, run, read out the returns.
+    let ret_reads: Vec<Expr> = m
+        .returns
+        .iter()
+        .map(|(r, _)| Expr::load(Expr::var(r)))
+        .collect();
+    let mut inner = compile_stmts(prog, body_stmts)?;
+    inner = Expr::seq(inner, tuple(ret_reads));
+    for (r, _) in m.returns.iter().rev() {
+        inner = Expr::let_(r, Expr::alloc(Expr::int(0)), inner);
+    }
+    // Rebind each parameter to a cell holding it.
+    for (p, _) in m.params.iter().rev() {
+        inner = Expr::let_(p, Expr::alloc(Expr::var(&format!("__arg_{}", p))), inner);
+    }
+    // Curry parameters.
+    let mut f = inner;
+    if m.params.is_empty() {
+        f = Expr::lam("_", f);
+    } else {
+        for (p, _) in m.params.iter().rev() {
+            f = Expr::lam(&format!("__arg_{}", p), f);
+        }
+    }
+    Ok(f)
+}
+
+/// Compiles a whole program into a HeapLang expression that binds every
+/// method (in dependency-friendly declaration order) around `main_call`.
+///
+/// # Errors
+///
+/// Returns [`ConcreteError`] for spec-only constructs in code positions.
+pub fn compile_program(prog: &Program, main_call: Expr) -> Result<Expr, ConcreteError> {
+    let mut out = main_call;
+    for m in prog.methods.iter().rev() {
+        if m.body.is_some() {
+            let f = compile_method(prog, m)?;
+            out = Expr::let_(&mangled(&m.name), f, out);
+        }
+    }
+    Ok(out)
+}
+
+/// A concrete runtime object: its field cells.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConcreteObj {
+    /// One location per declared field, in declaration order.
+    pub cells: Vec<Loc>,
+}
+
+/// Concrete argument values for running a compiled method.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConcreteVal {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An object (by field cells).
+    Obj(ConcreteObj),
+}
+
+impl ConcreteVal {
+    fn to_heaplang(&self) -> Val {
+        match self {
+            ConcreteVal::Int(n) => Val::int(*n),
+            ConcreteVal::Bool(b) => Val::bool(*b),
+            ConcreteVal::Obj(o) => {
+                let mut items: Vec<Val> = o.cells.iter().map(|l| Val::loc(*l)).collect();
+                // Right-leaning tuple of locs.
+                let mut v = items.pop().expect("object has fields");
+                while let Some(prev) = items.pop() {
+                    v = Val::Pair(Box::new(prev), Box::new(v));
+                }
+                v
+            }
+        }
+    }
+}
+
+/// Evaluates a *specification* expression concretely against an
+/// environment and heaps (current and old).
+///
+/// # Errors
+///
+/// Returns [`ConcreteError`] on unbound variables or type confusion.
+pub fn eval_spec(
+    prog: &Program,
+    e: &IExpr,
+    env: &BTreeMap<String, ConcreteVal>,
+    heap: &Heap,
+    old_heap: &Heap,
+) -> Result<ConcreteVal, ConcreteError> {
+    Ok(match e {
+        IExpr::Int(n) => ConcreteVal::Int(*n),
+        IExpr::Bool(b) => ConcreteVal::Bool(*b),
+        IExpr::Null => return err("null in concrete spec"),
+        IExpr::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| ConcreteError(format!("unbound {}", x)))?,
+        IExpr::Field(recv, f) => {
+            let obj = match eval_spec(prog, recv, env, heap, old_heap)? {
+                ConcreteVal::Obj(o) => o,
+                v => return err(format!("field read on non-object {:?}", v)),
+            };
+            let i = field_index(prog, f)
+                .ok_or_else(|| ConcreteError(format!("unknown field {}", f)))?;
+            let l = obj.cells[i];
+            match heap.get(l) {
+                Some(Val::Lit(daenerys_heaplang::Lit::Int(n))) => ConcreteVal::Int(*n),
+                Some(Val::Lit(daenerys_heaplang::Lit::Bool(b))) => ConcreteVal::Bool(*b),
+                other => return err(format!("unexpected cell content {:?}", other)),
+            }
+        }
+        IExpr::Old(inner) => eval_spec(prog, inner, env, old_heap, old_heap)?,
+        IExpr::Perm(..) => return err("perm() has no concrete value"),
+        IExpr::Bin(op, a, b) => {
+            let va = eval_spec(prog, a, env, heap, old_heap)?;
+            let vb = eval_spec(prog, b, env, heap, old_heap)?;
+            match (op, va, vb) {
+                (Op::Add, ConcreteVal::Int(x), ConcreteVal::Int(y)) => {
+                    ConcreteVal::Int(x.wrapping_add(y))
+                }
+                (Op::Sub, ConcreteVal::Int(x), ConcreteVal::Int(y)) => {
+                    ConcreteVal::Int(x.wrapping_sub(y))
+                }
+                (Op::Mul, ConcreteVal::Int(x), ConcreteVal::Int(y)) => {
+                    ConcreteVal::Int(x.wrapping_mul(y))
+                }
+                (Op::Div, ConcreteVal::Int(x), ConcreteVal::Int(y)) if y != 0 => {
+                    ConcreteVal::Int(x / y)
+                }
+                (Op::Eq, x, y) => ConcreteVal::Bool(x == y),
+                (Op::Ne, x, y) => ConcreteVal::Bool(x != y),
+                (Op::Lt, ConcreteVal::Int(x), ConcreteVal::Int(y)) => ConcreteVal::Bool(x < y),
+                (Op::Le, ConcreteVal::Int(x), ConcreteVal::Int(y)) => ConcreteVal::Bool(x <= y),
+                (Op::Gt, ConcreteVal::Int(x), ConcreteVal::Int(y)) => ConcreteVal::Bool(x > y),
+                (Op::Ge, ConcreteVal::Int(x), ConcreteVal::Int(y)) => ConcreteVal::Bool(x >= y),
+                (Op::And, ConcreteVal::Bool(x), ConcreteVal::Bool(y)) => {
+                    ConcreteVal::Bool(x && y)
+                }
+                (Op::Or, ConcreteVal::Bool(x), ConcreteVal::Bool(y)) => {
+                    ConcreteVal::Bool(x || y)
+                }
+                (op, x, y) => return err(format!("type error: {:?} on {:?}, {:?}", op, x, y)),
+            }
+        }
+        IExpr::Not(a) => match eval_spec(prog, a, env, heap, old_heap)? {
+            ConcreteVal::Bool(b) => ConcreteVal::Bool(!b),
+            v => return err(format!("not on {:?}", v)),
+        },
+        IExpr::Neg(a) => match eval_spec(prog, a, env, heap, old_heap)? {
+            ConcreteVal::Int(n) => ConcreteVal::Int(-n),
+            v => return err(format!("neg on {:?}", v)),
+        },
+        IExpr::Cond(c, t, e2) => match eval_spec(prog, c, env, heap, old_heap)? {
+            ConcreteVal::Bool(true) => eval_spec(prog, t, env, heap, old_heap)?,
+            ConcreteVal::Bool(false) => eval_spec(prog, e2, env, heap, old_heap)?,
+            v => return err(format!("condition on {:?}", v)),
+        },
+    })
+}
+
+/// Evaluates the *pure part* of a spec assertion concretely (permission
+/// conjuncts are skipped: the dynamic checker checks values, the static
+/// verifier checks permissions).
+///
+/// # Errors
+///
+/// Propagates [`ConcreteError`] from expression evaluation.
+pub fn spec_holds(
+    prog: &Program,
+    a: &Assertion,
+    env: &BTreeMap<String, ConcreteVal>,
+    heap: &Heap,
+    old_heap: &Heap,
+) -> Result<bool, ConcreteError> {
+    Ok(match a {
+        Assertion::Expr(e) => {
+            // Skip perm() comparisons: static-only.
+            if contains_perm(e) {
+                true
+            } else {
+                match eval_spec(prog, e, env, heap, old_heap)? {
+                    ConcreteVal::Bool(b) => b,
+                    v => return err(format!("non-boolean spec {:?}", v)),
+                }
+            }
+        }
+        Assertion::Acc(..) => true,
+        Assertion::And(p, q) => {
+            spec_holds(prog, p, env, heap, old_heap)?
+                && spec_holds(prog, q, env, heap, old_heap)?
+        }
+        Assertion::Implies(c, body) => {
+            match eval_spec(prog, c, env, heap, old_heap)? {
+                ConcreteVal::Bool(true) => spec_holds(prog, body, env, heap, old_heap)?,
+                ConcreteVal::Bool(false) => true,
+                v => return err(format!("non-boolean condition {:?}", v)),
+            }
+        }
+    })
+}
+
+fn contains_perm(e: &IExpr) -> bool {
+    match e {
+        IExpr::Perm(..) => true,
+        IExpr::Int(_) | IExpr::Bool(_) | IExpr::Null | IExpr::Var(_) => false,
+        IExpr::Field(a, _) | IExpr::Old(a) | IExpr::Not(a) | IExpr::Neg(a) => contains_perm(a),
+        IExpr::Bin(_, a, b) => contains_perm(a) || contains_perm(b),
+        IExpr::Cond(c, t, e2) => contains_perm(c) || contains_perm(t) || contains_perm(e2),
+    }
+}
+
+/// Runs a compiled method on concrete arguments and dynamically checks
+/// its contract.
+///
+/// Returns the final heap on success.
+///
+/// # Errors
+///
+/// Returns [`ConcreteError`] when the precondition does not hold on the
+/// inputs, execution fails, or the postcondition is violated — the
+/// latter two must never happen for a verified method (this is the
+/// end-to-end soundness check).
+pub fn run_and_check(
+    prog: &Program,
+    name: &str,
+    args: Vec<ConcreteVal>,
+    mut heap: Heap,
+    fuel: usize,
+) -> Result<Heap, ConcreteError> {
+    let method = prog
+        .method(name)
+        .ok_or_else(|| ConcreteError(format!("unknown method {}", name)))?;
+    if method.params.len() != args.len() {
+        return err("arity mismatch");
+    }
+    let mut env: BTreeMap<String, ConcreteVal> = BTreeMap::new();
+    for ((p, _), a) in method.params.iter().zip(args.iter()) {
+        env.insert(p.clone(), a.clone());
+    }
+    let old_heap = heap.clone();
+    if !spec_holds(prog, &method.requires, &env, &heap, &old_heap)? {
+        return err("precondition does not hold on the given inputs");
+    }
+
+    // Build the call.
+    let mut call = Expr::var(&mangled(name));
+    for a in &args {
+        call = Expr::app(call, Expr::Val(a.to_heaplang()));
+    }
+    if method.params.is_empty() {
+        call = Expr::app(call, Expr::unit());
+    }
+    let program_expr = compile_program(prog, call)?;
+
+    // Execute.
+    let mut cur = program_expr;
+    let mut steps = 0;
+    loop {
+        match daenerys_heaplang::step(&cur, &mut heap) {
+            Ok(out) => {
+                if !out.forked.is_empty() {
+                    return err("fork in sequential contract check");
+                }
+                cur = out.expr;
+            }
+            Err(daenerys_heaplang::StepError::IsValue) => break,
+            Err(e) => return err(format!("execution stuck: {}", e)),
+        }
+        steps += 1;
+        if steps > fuel {
+            return err("out of fuel");
+        }
+    }
+    let result = cur.as_val().expect("loop exits on value").clone();
+
+    // Bind return values for the postcondition.
+    let rets = match method.returns.len() {
+        0 => Vec::new(),
+        1 => vec![result],
+        n => {
+            let mut items = Vec::new();
+            let mut v = result;
+            for _ in 0..n - 1 {
+                match v {
+                    Val::Pair(a, b) => {
+                        items.push(*a);
+                        v = *b;
+                    }
+                    other => return err(format!("expected tuple result, got {}", other)),
+                }
+            }
+            items.push(v);
+            items
+        }
+    };
+    for ((r, ty), v) in method.returns.iter().zip(rets) {
+        let cv = match (ty, &v) {
+            (crate::ast::Type::Int, Val::Lit(daenerys_heaplang::Lit::Int(n))) => {
+                ConcreteVal::Int(*n)
+            }
+            (crate::ast::Type::Bool, Val::Lit(daenerys_heaplang::Lit::Bool(b))) => {
+                ConcreteVal::Bool(*b)
+            }
+            (crate::ast::Type::Ref, _) => match object_from_val(prog, &v) {
+                Some(o) => ConcreteVal::Obj(o),
+                None => return err("unrecognized object return"),
+            },
+            (_, other) => return err(format!("unsupported return value {}", other)),
+        };
+        env.insert(r.clone(), cv);
+    }
+
+    if !spec_holds(prog, &method.ensures, &env, &heap, &old_heap)? {
+        return err("postcondition violated at runtime");
+    }
+    Ok(heap)
+}
+
+fn object_from_val(prog: &Program, v: &Val) -> Option<ConcreteObj> {
+    let n = prog.fields.len();
+    let mut cells = Vec::with_capacity(n);
+    let mut cur = v.clone();
+    for i in 0..n {
+        if i + 1 < n {
+            match cur {
+                Val::Pair(a, b) => {
+                    cells.push(a.as_loc()?);
+                    cur = *b;
+                }
+                _ => return None,
+            }
+        } else {
+            cells.push(cur.as_loc()?);
+        }
+    }
+    Some(ConcreteObj { cells })
+}
+
+/// Allocates a concrete object with the given field values.
+pub fn alloc_object(prog: &Program, heap: &mut Heap, values: &[i64]) -> ConcreteObj {
+    let mut cells = Vec::new();
+    for (i, _) in prog.fields.iter().enumerate() {
+        let v = values.get(i).copied().unwrap_or(0);
+        cells.push(heap.alloc(Val::int(v)));
+    }
+    ConcreteObj { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const SRC: &str = r#"
+        field val: Int
+        method inc(c: Ref)
+          requires acc(c.val)
+          ensures acc(c.val) && c.val == old(c.val) + 1
+        {
+          c.val := c.val + 1
+        }
+        method sum_to(n: Int) returns (s: Int)
+          requires n >= 0
+          ensures s * 2 == n * (n + 1)
+        {
+          var i: Int := 0;
+          s := 0;
+          while (i < n)
+            invariant 0 <= i && i <= n && s * 2 == i * (i + 1)
+          {
+            i := i + 1;
+            s := s + i
+          }
+        }
+    "#;
+
+    #[test]
+    fn compiled_inc_runs_and_meets_contract() {
+        let prog = parse_program(SRC).unwrap();
+        let mut heap = Heap::new();
+        let obj = alloc_object(&prog, &mut heap, &[41]);
+        let final_heap = run_and_check(
+            &prog,
+            "inc",
+            vec![ConcreteVal::Obj(obj.clone())],
+            heap,
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(final_heap.get(obj.cells[0]), Some(&Val::int(42)));
+    }
+
+    #[test]
+    fn compiled_loop_runs_and_meets_contract() {
+        let prog = parse_program(SRC).unwrap();
+        for n in 0..8 {
+            let heap = Heap::new();
+            run_and_check(&prog, "sum_to", vec![ConcreteVal::Int(n)], heap, 1_000_000)
+                .unwrap_or_else(|e| panic!("n={}: {}", n, e));
+        }
+    }
+
+    #[test]
+    fn precondition_violations_are_reported() {
+        let prog = parse_program(SRC).unwrap();
+        let heap = Heap::new();
+        let e = run_and_check(&prog, "sum_to", vec![ConcreteVal::Int(-1)], heap, 1000)
+            .unwrap_err();
+        assert!(e.0.contains("precondition"));
+    }
+
+    #[test]
+    fn dynamic_checker_catches_wrong_contracts() {
+        // An unverifiable (wrong) contract must be caught dynamically
+        // too — the two oracles agree.
+        let src = r#"
+            field val: Int
+            method broken(c: Ref)
+              requires acc(c.val)
+              ensures acc(c.val) && c.val == old(c.val) + 2
+            {
+              c.val := c.val + 1
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let mut heap = Heap::new();
+        let obj = alloc_object(&prog, &mut heap, &[0]);
+        let e = run_and_check(&prog, "broken", vec![ConcreteVal::Obj(obj)], heap, 10_000)
+            .unwrap_err();
+        assert!(e.0.contains("postcondition"));
+    }
+
+    #[test]
+    fn calls_compile() {
+        let src = r#"
+            field val: Int
+            method add(c: Ref, n: Int)
+              requires acc(c.val)
+              ensures acc(c.val) && c.val == old(c.val) + n
+            {
+              c.val := c.val + n
+            }
+            method twice(c: Ref)
+              requires acc(c.val)
+              ensures acc(c.val) && c.val == old(c.val) + 4
+            {
+              call add(c, 2);
+              call add(c, 2)
+            }
+        "#;
+        let prog = parse_program(src).unwrap();
+        let mut heap = Heap::new();
+        let obj = alloc_object(&prog, &mut heap, &[10]);
+        let final_heap =
+            run_and_check(&prog, "twice", vec![ConcreteVal::Obj(obj.clone())], heap, 100_000)
+                .unwrap();
+        assert_eq!(final_heap.get(obj.cells[0]), Some(&Val::int(14)));
+    }
+}

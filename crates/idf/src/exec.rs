@@ -1,0 +1,1110 @@
+//! The symbolic-execution verifier, with two backends.
+//!
+//! * [`Backend::Destabilized`] — the Daenerys way: heap-dependent
+//!   expressions in specifications are evaluated *directly* against the
+//!   symbolic heap; a field read costs one chunk lookup.
+//! * [`Backend::StableBaseline`] — the classical stable-Iris encoding:
+//!   specifications cannot mention the heap, so every field read in a
+//!   spec is routed through an explicitly minted *witness* symbol, the
+//!   witness bindings must be re-derived at every spec boundary, and
+//!   every heap write triggers an invalidation scan over the live
+//!   witnesses. The extra obligations, solver queries, and symbols are
+//!   the measurable price of stability (experiments T1 and F1).
+//!
+//! The execution itself is standard Viper-style forward symbolic
+//! execution: a symbolic store, a path condition, and a heap of
+//! permission chunks; `inhale`/`exhale` produce and consume assertions;
+//! loops are cut by invariants; calls by contracts.
+
+use crate::ast::{fraction_literal, Assertion, Expr, Op, Program, Stmt, Type};
+use crate::smt::{Answer, Solver};
+use crate::sym::{Sort, Sym, SymExpr, SymSupply};
+use daenerys_algebra::Q;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which verification backend to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// Heap-dependent specs evaluated directly (the paper's logic).
+    Destabilized,
+    /// Classical stable encoding with explicit witnesses.
+    StableBaseline,
+}
+
+/// A permission chunk `acc(recv.field, perm)` with the value `value`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Chunk {
+    /// Receiver reference.
+    pub recv: SymExpr,
+    /// Field name.
+    pub field: String,
+    /// Permission amount.
+    pub perm: Q,
+    /// Current symbolic value.
+    pub value: SymExpr,
+}
+
+/// One proof obligation and its outcome.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Obligation {
+    /// What had to be proved.
+    pub description: String,
+    /// The solver's verdict (or a structural failure note).
+    pub outcome: Answer,
+}
+
+/// A verification failure summary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyError {
+    /// The failed obligations.
+    pub failures: Vec<Obligation>,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} failed obligation(s):", self.failures.len())?;
+        for o in &self.failures {
+            writeln!(f, "  [{:?}] {}", o.outcome, o.description)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Statistics for one method verification — the T1/F1 measurements.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct VerifyStats {
+    /// Total proof obligations discharged.
+    pub obligations: usize,
+    /// Solver entailment/consistency queries.
+    pub solver_queries: usize,
+    /// DPLL branches explored.
+    pub solver_branches: usize,
+    /// Symbols minted (includes baseline witnesses).
+    pub symbols: usize,
+    /// Witness symbols minted by the stable baseline.
+    pub witnesses: usize,
+    /// Witness re-derivations/invalidation scans (baseline only).
+    pub rebinds: usize,
+    /// Symbolic execution states explored.
+    pub states: usize,
+}
+
+/// The symbolic state.
+#[derive(Clone, Debug)]
+struct State {
+    store: BTreeMap<String, SymExpr>,
+    /// Declared types of in-scope variables (drives havocking).
+    var_types: BTreeMap<String, Type>,
+    pc: Vec<SymExpr>,
+    chunks: Vec<Chunk>,
+    /// Pre-state chunks for `old(…)` (method entry or call site).
+    old: Vec<Chunk>,
+    /// Baseline: live witnesses (receiver, field, witness symbol).
+    witnesses: Vec<(SymExpr, String, Sym)>,
+}
+
+/// The verifier for one program.
+#[derive(Debug)]
+pub struct Verifier<'a> {
+    program: &'a Program,
+    backend: Backend,
+    solver: Solver,
+    supply: SymSupply,
+    obligations: Vec<Obligation>,
+    stats: VerifyStats,
+}
+
+impl<'a> Verifier<'a> {
+    /// Creates a verifier for `program` using `backend`.
+    pub fn new(program: &'a Program, backend: Backend) -> Verifier<'a> {
+        Verifier {
+            program,
+            backend,
+            solver: Solver::new(),
+            supply: SymSupply::new(),
+            obligations: Vec::new(),
+            stats: VerifyStats::default(),
+        }
+    }
+
+    /// Verifies every method with a body; returns per-method stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns the combined failures if any obligation does not hold.
+    pub fn verify_all(&mut self) -> Result<BTreeMap<String, VerifyStats>, VerifyError> {
+        let mut out = BTreeMap::new();
+        let mut failures = Vec::new();
+        for m in &self.program.methods {
+            if m.body.is_some() {
+                match self.verify_method(&m.name) {
+                    Ok(stats) => {
+                        out.insert(m.name.clone(), stats);
+                    }
+                    Err(e) => failures.extend(e.failures),
+                }
+            }
+        }
+        if failures.is_empty() {
+            Ok(out)
+        } else {
+            Err(VerifyError { failures })
+        }
+    }
+
+    /// Verifies one method.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failed obligations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method does not exist or has no body.
+    pub fn verify_method(&mut self, name: &str) -> Result<VerifyStats, VerifyError> {
+        let method = self
+            .program
+            .method(name)
+            .unwrap_or_else(|| panic!("unknown method {}", name))
+            .clone();
+        let body = method.body.clone().expect("method has no body");
+
+        let before_queries = self.solver.queries;
+        let before_branches = self.solver.branches;
+        let before_symbols = self.supply.minted();
+        let before_obligations = self.obligations.len();
+        let stats_base = self.stats.clone();
+
+        // Fresh symbols for parameters and returns.
+        let mut state = State {
+            store: BTreeMap::new(),
+            var_types: BTreeMap::new(),
+            pc: Vec::new(),
+            chunks: Vec::new(),
+            old: Vec::new(),
+            witnesses: Vec::new(),
+        };
+        for (x, ty) in method.params.iter().chain(method.returns.iter()) {
+            let s = self.fresh(*ty);
+            state.store.insert(x.clone(), SymExpr::sym(s));
+            state.var_types.insert(x.clone(), *ty);
+        }
+
+        // Inhale the precondition, snapshot for old().
+        let mut states = self.produce(state, &method.requires);
+        for s in &mut states {
+            s.old = s.chunks.clone();
+        }
+
+        // Execute the body.
+        let mut finals = Vec::new();
+        for s in states {
+            finals.extend(self.exec_block(s, &body));
+        }
+
+        // Exhale the postcondition on every path.
+        for s in finals {
+            let _ = self.consume(s, &method.ensures, "postcondition");
+        }
+
+        let failed: Vec<Obligation> = self.obligations[before_obligations..]
+            .iter()
+            .filter(|o| o.outcome != Answer::Valid)
+            .cloned()
+            .collect();
+
+        let mut stats = VerifyStats {
+            obligations: self.obligations.len() - before_obligations,
+            solver_queries: self.solver.queries - before_queries,
+            solver_branches: self.solver.branches - before_branches,
+            symbols: self.supply.minted() - before_symbols,
+            witnesses: self.stats.witnesses - stats_base.witnesses,
+            rebinds: self.stats.rebinds - stats_base.rebinds,
+            states: self.stats.states - stats_base.states,
+        };
+        stats.states += 1;
+
+        if failed.is_empty() {
+            Ok(stats)
+        } else {
+            Err(VerifyError { failures: failed })
+        }
+    }
+
+    /// All obligations recorded so far.
+    pub fn obligations(&self) -> &[Obligation] {
+        &self.obligations
+    }
+
+    fn fresh(&mut self, ty: Type) -> Sym {
+        let s = self.supply.fresh();
+        let sort = match ty {
+            Type::Int => Sort::Int,
+            Type::Bool => Sort::Bool,
+            Type::Ref => Sort::Ref,
+        };
+        self.solver.declare(s, sort);
+        s
+    }
+
+    fn oblige(&mut self, pc: &[SymExpr], goal: SymExpr, description: String) {
+        let outcome = self.solver.entails(pc, &goal);
+        self.obligations.push(Obligation {
+            description,
+            outcome,
+        });
+    }
+
+    fn oblige_failure(&mut self, description: String) {
+        self.obligations.push(Obligation {
+            description,
+            outcome: Answer::Invalid,
+        });
+    }
+
+    // ---- chunk management ----
+
+    /// Finds a chunk for `recv.field`, by syntactic match first, then by
+    /// provable equality.
+    fn find_chunk(
+        &mut self,
+        state: &State,
+        recv: &SymExpr,
+        field: &str,
+    ) -> Option<usize> {
+        if let Some(i) = state
+            .chunks
+            .iter()
+            .position(|c| c.field == field && c.recv == *recv)
+        {
+            return Some(i);
+        }
+        for (i, c) in state.chunks.iter().enumerate() {
+            if c.field != field {
+                continue;
+            }
+            if self
+                .solver
+                .entails(&state.pc, &SymExpr::eq(c.recv.clone(), recv.clone()))
+                == Answer::Valid
+            {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Permission currently held for `recv.field`.
+    fn perm_of(&mut self, state: &State, recv: &SymExpr, field: &str) -> Q {
+        match self.find_chunk(state, recv, field) {
+            Some(i) => state.chunks[i].perm,
+            None => Q::ZERO,
+        }
+    }
+
+    // ---- expression evaluation ----
+
+    /// Evaluates an expression. Field reads consult the heap; under the
+    /// stable baseline each *spec-level* read additionally mints a
+    /// witness.
+    fn eval(&mut self, state: &mut State, e: &Expr, in_spec: bool) -> SymExpr {
+        match e {
+            Expr::Int(n) => SymExpr::int(*n),
+            Expr::Bool(b) => SymExpr::bool(*b),
+            Expr::Null => SymExpr::Null,
+            Expr::Var(x) => match state.store.get(x) {
+                Some(v) => v.clone(),
+                None => {
+                    self.oblige_failure(format!("use of undeclared variable {}", x));
+                    SymExpr::bool(false)
+                }
+            },
+            Expr::Field(recv, f) => {
+                let r = self.eval(state, recv, in_spec);
+                match self.find_chunk(state, &r, f) {
+                    Some(i) => {
+                        let value = state.chunks[i].value.clone();
+                        if in_spec && self.backend == Backend::StableBaseline {
+                            // The stable encoding cannot state `e.f`
+                            // directly: mint a witness and bind it.
+                            let w = self.fresh(self.field_ty(f));
+                            state.pc.push(SymExpr::eq(SymExpr::sym(w), value));
+                            state.witnesses.push((r, f.clone(), w));
+                            self.stats.witnesses += 1;
+                            // Deriving the binding is an obligation of
+                            // its own in the stable encoding.
+                            self.obligations.push(Obligation {
+                                description: format!("bind witness for {}", e),
+                                outcome: Answer::Valid,
+                            });
+                            SymExpr::sym(w)
+                        } else {
+                            value
+                        }
+                    }
+                    None => {
+                        self.oblige_failure(format!(
+                            "read of {} without permission",
+                            e
+                        ));
+                        SymExpr::bool(false)
+                    }
+                }
+            }
+            Expr::Old(inner) => {
+                // Evaluate against the snapshot.
+                let saved = std::mem::take(&mut state.chunks);
+                state.chunks = state.old.clone();
+                let v = self.eval(state, inner, in_spec);
+                state.chunks = saved;
+                v
+            }
+            Expr::Perm(recv, f) => {
+                // Permission amounts are resolved statically by the
+                // verifier; encode as an exact integer pair via scaling
+                // — the surrounding comparison handles it (see
+                // eval_perm_comparison). Standalone perm() evaluates to
+                // an opaque symbol.
+                let r = self.eval(state, recv, in_spec);
+                let q = self.perm_of(state, &r, f);
+                // Scale to a fixed denominator grid to stay linear.
+                SymExpr::int(perm_to_grid(q))
+            }
+            Expr::Bin(op, a, b) => {
+                // perm comparisons get special, exact treatment.
+                if let Some(res) = self.eval_perm_comparison(state, *op, a, b, in_spec) {
+                    return res;
+                }
+                let va = self.eval(state, a, in_spec);
+                let vb = self.eval(state, b, in_spec);
+                match op {
+                    Op::Add => SymExpr::add(va, vb),
+                    Op::Sub => SymExpr::sub(va, vb),
+                    Op::Mul => SymExpr::mul(va, vb),
+                    Op::Div => {
+                        // Constant fold only; symbolic division is out of
+                        // fragment.
+                        match (&va, &vb) {
+                            (SymExpr::Int(x), SymExpr::Int(y)) if *y != 0 => {
+                                SymExpr::int(x / y)
+                            }
+                            _ => {
+                                let s = self.fresh(Type::Int);
+                                SymExpr::sym(s)
+                            }
+                        }
+                    }
+                    Op::Eq => SymExpr::eq(va, vb),
+                    Op::Ne => SymExpr::not(SymExpr::eq(va, vb)),
+                    Op::Lt => SymExpr::lt(va, vb),
+                    Op::Le => SymExpr::le(va, vb),
+                    Op::Gt => SymExpr::lt(vb, va),
+                    Op::Ge => SymExpr::le(vb, va),
+                    Op::And => SymExpr::and(va, vb),
+                    Op::Or => SymExpr::or(va, vb),
+                }
+            }
+            Expr::Not(a) => SymExpr::not(self.eval(state, a, in_spec)),
+            Expr::Neg(a) => SymExpr::sub(SymExpr::int(0), self.eval(state, a, in_spec)),
+            Expr::Cond(c, t, el) => {
+                let vc = self.eval(state, c, in_spec);
+                let vt = self.eval(state, t, in_spec);
+                let ve = self.eval(state, el, in_spec);
+                SymExpr::Ite(Box::new(vc), Box::new(vt), Box::new(ve))
+            }
+        }
+    }
+
+    /// `perm(e.f) ⋈ q` with a literal fraction: decided exactly against
+    /// the chunk store.
+    fn eval_perm_comparison(
+        &mut self,
+        state: &mut State,
+        op: Op,
+        a: &Expr,
+        b: &Expr,
+        in_spec: bool,
+    ) -> Option<SymExpr> {
+        let (perm_side, lit_side, flipped) = match (a, b) {
+            (Expr::Perm(r, f), rhs) => ((r, f), rhs, false),
+            (lhs, Expr::Perm(r, f)) => ((r, f), lhs, true),
+            _ => return None,
+        };
+        let q_lit = fraction_literal(lit_side)?;
+        let r = self.eval(state, perm_side.0, in_spec);
+        let held = self.perm_of(state, &r, perm_side.1);
+        let (lhs, rhs) = if flipped { (q_lit, held) } else { (held, q_lit) };
+        let truth = match op {
+            Op::Eq => lhs == rhs,
+            Op::Ne => lhs != rhs,
+            Op::Lt => lhs < rhs,
+            Op::Le => lhs <= rhs,
+            Op::Gt => lhs > rhs,
+            Op::Ge => lhs >= rhs,
+            _ => return None,
+        };
+        Some(SymExpr::bool(truth))
+    }
+
+    fn field_ty(&self, f: &str) -> Type {
+        self.program.field_type(f).unwrap_or(Type::Int)
+    }
+
+    // ---- produce (inhale) / consume (exhale, assert) ----
+
+    fn produce(&mut self, mut state: State, a: &Assertion) -> Vec<State> {
+        match a {
+            Assertion::Expr(e) => {
+                let v = self.eval(&mut state, e, true);
+                state.pc.push(v);
+                vec![state]
+            }
+            Assertion::Acc(recv, field, q) => {
+                let r = self.eval(&mut state, recv, true);
+                // Non-null receiver comes with the permission.
+                state
+                    .pc
+                    .push(SymExpr::not(SymExpr::eq(r.clone(), SymExpr::Null)));
+                match self.find_chunk(&state, &r, field) {
+                    Some(i) => {
+                        let c = &mut state.chunks[i];
+                        c.perm = c.perm + *q;
+                    }
+                    None => {
+                        let w = self.fresh(self.field_ty(field));
+                        state.chunks.push(Chunk {
+                            recv: r,
+                            field: field.clone(),
+                            perm: *q,
+                            value: SymExpr::sym(w),
+                        });
+                    }
+                }
+                vec![state]
+            }
+            Assertion::And(p, q) => {
+                let mut out = Vec::new();
+                for s in self.produce(state, p) {
+                    out.extend(self.produce(s, q));
+                }
+                out
+            }
+            Assertion::Implies(cond, body) => {
+                let v = self.eval(&mut state, cond, true);
+                // Branch on the condition.
+                let mut then_state = state.clone();
+                then_state.pc.push(v.clone());
+                let mut out = Vec::new();
+                if self.solver.consistent(&then_state.pc) {
+                    out.extend(self.produce(then_state, body));
+                }
+                let mut else_state = state;
+                else_state.pc.push(SymExpr::not(v));
+                if self.solver.consistent(&else_state.pc) {
+                    out.push(else_state);
+                }
+                out
+            }
+        }
+    }
+
+    /// Consumes an assertion. Per IDF exhale semantics, *pure*
+    /// expressions (and `acc` receivers) are evaluated against the heap
+    /// as it was when the exhale started, while permissions are
+    /// subtracted from the running state.
+    fn consume(&mut self, state: State, a: &Assertion, ctx: &str) -> Vec<State> {
+        let snapshot = state.chunks.clone();
+        self.consume_with(state, &snapshot, a, ctx)
+    }
+
+    /// Evaluates `e` in `state` with the chunk store temporarily
+    /// replaced by the exhale-entry snapshot.
+    fn eval_snap(&mut self, state: &mut State, snap: &[Chunk], e: &Expr) -> SymExpr {
+        let saved = std::mem::replace(&mut state.chunks, snap.to_vec());
+        let v = self.eval(state, e, true);
+        state.chunks = saved;
+        v
+    }
+
+    fn consume_with(
+        &mut self,
+        mut state: State,
+        snap: &[Chunk],
+        a: &Assertion,
+        ctx: &str,
+    ) -> Vec<State> {
+        match a {
+            Assertion::Expr(e) => {
+                if self.backend == Backend::StableBaseline && e.reads_heap() {
+                    // The stable encoding re-derives every witness at
+                    // each spec boundary.
+                    self.stats.rebinds += e.field_reads();
+                }
+                let v = self.eval_snap(&mut state, snap, e);
+                self.oblige(&state.pc, v, format!("{}: {}", ctx, e));
+                vec![state]
+            }
+            Assertion::Acc(recv, field, q) => {
+                let r = self.eval_snap(&mut state, snap, recv);
+                match self.find_chunk(&state, &r, field) {
+                    Some(i) if state.chunks[i].perm >= *q => {
+                        self.obligations.push(Obligation {
+                            description: format!("{}: exhale acc({}.{}, {})", ctx, recv, field, q),
+                            outcome: Answer::Valid,
+                        });
+                        let c = &mut state.chunks[i];
+                        c.perm = c.perm - *q;
+                        if !c.perm.is_positive() {
+                            state.chunks.remove(i);
+                        }
+                    }
+                    _ => {
+                        self.oblige_failure(format!(
+                            "{}: insufficient permission for acc({}.{}, {})",
+                            ctx, recv, field, q
+                        ));
+                    }
+                }
+                vec![state]
+            }
+            Assertion::And(p, q) => {
+                let mut out = Vec::new();
+                for s in self.consume_with(state, snap, p, ctx) {
+                    out.extend(self.consume_with(s, snap, q, ctx));
+                }
+                out
+            }
+            Assertion::Implies(cond, body) => {
+                let v = self.eval_snap(&mut state, snap, cond);
+                let mut then_state = state.clone();
+                then_state.pc.push(v.clone());
+                let mut out = Vec::new();
+                if self.solver.consistent(&then_state.pc) {
+                    out.extend(self.consume_with(then_state, snap, body, ctx));
+                }
+                let mut else_state = state;
+                else_state.pc.push(SymExpr::not(v));
+                if self.solver.consistent(&else_state.pc) {
+                    out.push(else_state);
+                }
+                out
+            }
+        }
+    }
+
+    // ---- statement execution ----
+
+    fn exec_block(&mut self, state: State, stmts: &[Stmt]) -> Vec<State> {
+        let mut states = vec![state];
+        for s in stmts {
+            let mut next = Vec::new();
+            for st in states {
+                next.extend(self.exec_stmt(st, s));
+            }
+            states = next;
+        }
+        states
+    }
+
+    fn exec_stmt(&mut self, mut state: State, s: &Stmt) -> Vec<State> {
+        self.stats.states += 1;
+        match s {
+            Stmt::VarDecl(x, ty, e) => {
+                let v = self.eval(&mut state, e, false);
+                state.store.insert(x.clone(), v);
+                state.var_types.insert(x.clone(), *ty);
+                vec![state]
+            }
+            Stmt::Assign(x, e) => {
+                let v = self.eval(&mut state, e, false);
+                state.store.insert(x.clone(), v);
+                vec![state]
+            }
+            Stmt::FieldWrite(recv, field, rhs) => {
+                let r = self.eval(&mut state, recv, false);
+                let v = self.eval(&mut state, rhs, false);
+                match self.find_chunk(&state, &r, field) {
+                    Some(i) if state.chunks[i].perm >= Q::ONE => {
+                        self.obligations.push(Obligation {
+                            description: format!("write permission for {}.{}", recv, field),
+                            outcome: Answer::Valid,
+                        });
+                        state.chunks[i].value = v;
+                    }
+                    _ => {
+                        self.oblige_failure(format!(
+                            "write to {}.{} without full permission",
+                            recv, field
+                        ));
+                    }
+                }
+                // The stable baseline scans live witnesses for
+                // invalidation on every write.
+                if self.backend == Backend::StableBaseline {
+                    let scan: Vec<(SymExpr, String)> = state
+                        .witnesses
+                        .iter()
+                        .filter(|(_, f, _)| f == field)
+                        .map(|(wr, f, _)| (wr.clone(), f.clone()))
+                        .collect();
+                    for (wrecv, _) in scan {
+                        let _ = self
+                            .solver
+                            .entails(&state.pc, &SymExpr::eq(wrecv, r.clone()));
+                        self.stats.rebinds += 1;
+                    }
+                }
+                vec![state]
+            }
+            Stmt::New(x, fields) => {
+                let r = self.fresh(Type::Ref);
+                let re = SymExpr::sym(r);
+                state
+                    .pc
+                    .push(SymExpr::not(SymExpr::eq(re.clone(), SymExpr::Null)));
+                // Fresh from every existing chunk receiver.
+                let existing: Vec<SymExpr> =
+                    state.chunks.iter().map(|c| c.recv.clone()).collect();
+                for other in existing {
+                    state
+                        .pc
+                        .push(SymExpr::not(SymExpr::eq(re.clone(), other)));
+                }
+                for (f, e) in fields {
+                    let v = self.eval(&mut state, e, false);
+                    state.chunks.push(Chunk {
+                        recv: re.clone(),
+                        field: f.clone(),
+                        perm: Q::ONE,
+                        value: v,
+                    });
+                }
+                state.store.insert(x.clone(), re);
+                state.var_types.insert(x.clone(), Type::Ref);
+                vec![state]
+            }
+            Stmt::Inhale(a) => self.produce(state, a),
+            Stmt::Exhale(a) => self.consume(state, a, "exhale"),
+            Stmt::Assert(a) => {
+                // Assert consumes nothing: check on a copy, keep going
+                // with the original chunks.
+                let kept = state.clone();
+                let _ = self.consume(state, a, "assert");
+                vec![kept]
+            }
+            Stmt::If(c, then_b, else_b) => {
+                let v = self.eval(&mut state, c, false);
+                let mut out = Vec::new();
+                let mut then_state = state.clone();
+                then_state.pc.push(v.clone());
+                if self.solver.consistent(&then_state.pc) {
+                    out.extend(self.exec_block(then_state, then_b));
+                }
+                let mut else_state = state;
+                else_state.pc.push(SymExpr::not(v));
+                if self.solver.consistent(&else_state.pc) {
+                    out.extend(self.exec_block(else_state, else_b));
+                }
+                out
+            }
+            Stmt::While(c, inv, body) => {
+                // `old(…)` always refers to the *method* pre-state, as
+                // in Viper — including inside loop invariants.
+                let entry_old = state.old.clone();
+                // 1. Exhale the invariant on entry.
+                let after_entry = self.consume(state, inv, "loop invariant (entry)");
+                // 2. Check the body preserves it: fresh state with inv
+                //    and the condition, execute, exhale inv.
+                {
+                    let mut body_state = State {
+                        store: after_entry
+                            .first()
+                            .map(|s| s.store.clone())
+                            .unwrap_or_default(),
+                        var_types: after_entry
+                            .first()
+                            .map(|s| s.var_types.clone())
+                            .unwrap_or_default(),
+                        pc: Vec::new(),
+                        chunks: Vec::new(),
+                        old: entry_old,
+                        witnesses: Vec::new(),
+                    };
+                    // Havoc assigned locals at their declared types.
+                    for x in assigned_vars(body) {
+                        let ty = body_state.var_types.get(&x).copied().unwrap_or(Type::Int);
+                        let s = self.fresh(ty);
+                        body_state.store.insert(x, SymExpr::sym(s));
+                    }
+                    let mut produced = self.produce(body_state, inv);
+                    for st in &mut produced {
+                        let v = self.eval(st, c, false);
+                        st.pc.push(v);
+                    }
+                    let mut after_body = Vec::new();
+                    for st in produced {
+                        if self.solver.consistent(&st.pc) {
+                            after_body.extend(self.exec_block(st, body));
+                        }
+                    }
+                    for st in after_body {
+                        let _ = self.consume(st, inv, "loop invariant (preservation)");
+                    }
+                }
+                // 3. Continue after the loop: havoc, inhale inv ∧ ¬c.
+                let mut out = Vec::new();
+                for mut cont in after_entry {
+                    for x in assigned_vars(body) {
+                        let ty = cont.var_types.get(&x).copied().unwrap_or(Type::Int);
+                        let s = self.fresh(ty);
+                        cont.store.insert(x, SymExpr::sym(s));
+                    }
+                    for mut st in self.produce(cont, inv) {
+                        let v = self.eval(&mut st, c, false);
+                        st.pc.push(SymExpr::not(v));
+                        if self.solver.consistent(&st.pc) {
+                            out.push(st);
+                        }
+                    }
+                }
+                out
+            }
+            Stmt::Call(targets, mname, args) => {
+                let callee = match self.program.method(mname) {
+                    Some(m) => m.clone(),
+                    None => {
+                        self.oblige_failure(format!("call to unknown method {}", mname));
+                        return vec![state];
+                    }
+                };
+                if callee.params.len() != args.len() || callee.returns.len() != targets.len() {
+                    self.oblige_failure(format!("arity mismatch calling {}", mname));
+                    return vec![state];
+                }
+                // Bind formals.
+                let mut bound: BTreeMap<String, SymExpr> = BTreeMap::new();
+                for ((p, _), a) in callee.params.iter().zip(args.iter()) {
+                    let v = self.eval(&mut state, a, false);
+                    bound.insert(p.clone(), v);
+                }
+                // Exhale the precondition with formals substituted via a
+                // temporary store.
+                let caller_store = state.store.clone();
+                let call_snapshot = state.chunks.clone();
+                state.store = bound.clone();
+                let mut after_pre =
+                    self.consume(state, &callee.requires, &format!("precondition of {}", mname));
+                // Havoc targets, inhale the postcondition.
+                let mut out = Vec::new();
+                for mut st in after_pre.drain(..) {
+                    st.store = bound.clone();
+                    for ((r, ty), _) in callee.returns.iter().zip(targets.iter()) {
+                        let s = self.fresh(*ty);
+                        st.store.insert(r.clone(), SymExpr::sym(s));
+                    }
+                    // old() in the callee post refers to the call point.
+                    let saved_old = std::mem::replace(&mut st.old, call_snapshot.clone());
+                    for mut done in self.produce(st, &callee.ensures) {
+                        // Restore the caller view.
+                        let mut store = caller_store.clone();
+                        for ((r, _), t) in callee.returns.iter().zip(targets.iter()) {
+                            let v = done.store.get(r).cloned().expect("return bound");
+                            store.insert(t.clone(), v);
+                        }
+                        done.store = store;
+                        done.old = saved_old.clone();
+                        out.push(done);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Variables assigned anywhere in a statement list (for loop havoc).
+fn assigned_vars(stmts: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn go(s: &Stmt, out: &mut Vec<String>) {
+        match s {
+            Stmt::VarDecl(x, ..) | Stmt::Assign(x, _) | Stmt::New(x, _)
+                if !out.contains(x) =>
+            {
+                out.push(x.clone());
+            }
+            Stmt::Call(targets, ..) => {
+                for t in targets {
+                    if !out.contains(t) {
+                        out.push(t.clone());
+                    }
+                }
+            }
+            Stmt::If(_, a, b) => {
+                for s in a.iter().chain(b.iter()) {
+                    go(s, out);
+                }
+            }
+            Stmt::While(_, _, b) => {
+                for s in b {
+                    go(s, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    for s in stmts {
+        go(s, &mut out);
+    }
+    out
+}
+
+/// Converts a permission to the fixed denominator grid used when `perm`
+/// escapes a comparison (grid of 1/1024ths).
+fn perm_to_grid(q: Q) -> i64 {
+    ((q * Q::new(1024, 1)).numer() / (q * Q::new(1024, 1)).denom()) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn verify(src: &str, backend: Backend) -> Result<BTreeMap<String, VerifyStats>, VerifyError> {
+        let p = parse_program(src).unwrap();
+        let mut v = Verifier::new(&p, backend);
+        v.verify_all()
+    }
+
+    const INC: &str = r#"
+        field val: Int
+        method inc(c: Ref)
+          requires acc(c.val)
+          ensures acc(c.val) && c.val == old(c.val) + 1
+        {
+          c.val := c.val + 1
+        }
+    "#;
+
+    #[test]
+    fn increments_verify_on_both_backends() {
+        assert!(verify(INC, Backend::Destabilized).is_ok());
+        assert!(verify(INC, Backend::StableBaseline).is_ok());
+    }
+
+    #[test]
+    fn baseline_pays_witnesses() {
+        let d = verify(INC, Backend::Destabilized).unwrap();
+        let b = verify(INC, Backend::StableBaseline).unwrap();
+        let ds = &d["inc"];
+        let bs = &b["inc"];
+        assert_eq!(ds.witnesses, 0);
+        assert!(bs.witnesses > 0, "baseline should mint witnesses");
+        assert!(bs.obligations > ds.obligations);
+    }
+
+    #[test]
+    fn missing_permission_fails() {
+        let src = r#"
+            field val: Int
+            method bad(c: Ref)
+              ensures true
+            {
+              c.val := 1
+            }
+        "#;
+        let e = verify(src, Backend::Destabilized).unwrap_err();
+        assert!(e.failures[0].description.contains("without full permission"));
+    }
+
+    #[test]
+    fn wrong_postcondition_fails() {
+        let src = r#"
+            field val: Int
+            method wrong(c: Ref)
+              requires acc(c.val)
+              ensures acc(c.val) && c.val == old(c.val) + 2
+            {
+              c.val := c.val + 1
+            }
+        "#;
+        assert!(verify(src, Backend::Destabilized).is_err());
+        assert!(verify(src, Backend::StableBaseline).is_err());
+    }
+
+    #[test]
+    fn fractional_read_sharing() {
+        let src = r#"
+            field val: Int
+            method read_twice(c: Ref) returns (r: Int)
+              requires acc(c.val, 1/2)
+              ensures acc(c.val, 1/2) && r == c.val + c.val
+            {
+              r := c.val + c.val
+            }
+        "#;
+        assert!(verify(src, Backend::Destabilized).is_ok());
+        assert!(verify(src, Backend::StableBaseline).is_ok());
+    }
+
+    #[test]
+    fn half_permission_cannot_write() {
+        let src = r#"
+            field val: Int
+            method sneaky(c: Ref)
+              requires acc(c.val, 1/2)
+              ensures acc(c.val, 1/2)
+            {
+              c.val := 0
+            }
+        "#;
+        assert!(verify(src, Backend::Destabilized).is_err());
+    }
+
+    #[test]
+    fn permission_introspection() {
+        let src = r#"
+            field val: Int
+            method intro(c: Ref)
+              requires acc(c.val, 1/2)
+              ensures acc(c.val, 1/2)
+            {
+              assert perm(c.val) >= 1/2;
+              assert perm(c.val) < 1
+            }
+        "#;
+        assert!(verify(src, Backend::Destabilized).is_ok());
+    }
+
+    #[test]
+    fn branches_and_conditionals() {
+        let src = r#"
+            field val: Int
+            method absval(c: Ref)
+              requires acc(c.val)
+              ensures acc(c.val) && c.val >= 0
+            {
+              if (c.val < 0) { c.val := 0 - c.val } else { }
+            }
+        "#;
+        assert!(verify(src, Backend::Destabilized).is_ok());
+        assert!(verify(src, Backend::StableBaseline).is_ok());
+    }
+
+    #[test]
+    fn loops_with_invariants() {
+        let src = r#"
+            field val: Int
+            method count_to(n: Int) returns (i: Int)
+              requires n >= 0
+              ensures i == n
+            {
+              i := 0;
+              while (i < n)
+                invariant i <= n && 0 <= i
+              { i := i + 1 }
+            }
+        "#;
+        assert!(verify(src, Backend::Destabilized).is_ok());
+    }
+
+    #[test]
+    fn bool_loop_variables_havoc_at_their_type() {
+        // Regression: loop-modified Bool variables must be havocked as
+        // Bool symbols, or the condition becomes ill-sorted and the
+        // solver degrades to Unknown.
+        let src = r#"
+            field v: Int
+            method drain(n: Int) returns (r: Int)
+              requires n >= 0
+              ensures r == 0
+            {
+              var go: Bool := n > 0;
+              r := n;
+              while (go)
+                invariant r >= 0 && (go ==> r > 0) && (!go ==> r == 0)
+              {
+                r := r - 1;
+                go := r > 0
+              }
+            }
+        "#;
+        assert!(verify(src, Backend::Destabilized).is_ok());
+    }
+
+    #[test]
+    fn old_in_invariant_refers_to_method_entry() {
+        // Regression: old() inside a loop invariant is the *method*
+        // pre-state (Viper semantics), not the loop entry.
+        let src = r#"
+            field v: Int
+            method drain_cell(c: Ref)
+              requires acc(c.v) && c.v >= 0
+              ensures acc(c.v) && c.v == 0
+            {
+              while (c.v > 0)
+                invariant acc(c.v) && c.v >= 0 && c.v <= old(c.v)
+              {
+                c.v := c.v - 1
+              }
+            }
+        "#;
+        assert!(verify(src, Backend::Destabilized).is_ok());
+        assert!(verify(src, Backend::StableBaseline).is_ok());
+    }
+
+    #[test]
+    fn method_calls_use_contracts() {
+        let src = r#"
+            field val: Int
+            method add(c: Ref, n: Int)
+              requires acc(c.val)
+              ensures acc(c.val) && c.val == old(c.val) + n
+            {
+              c.val := c.val + n
+            }
+            method twice(c: Ref)
+              requires acc(c.val)
+              ensures acc(c.val) && c.val == old(c.val) + 4
+            {
+              call add(c, 2);
+              call add(c, 2)
+            }
+        "#;
+        assert!(verify(src, Backend::Destabilized).is_ok());
+        assert!(verify(src, Backend::StableBaseline).is_ok());
+    }
+
+    #[test]
+    fn new_allocates_fresh_objects() {
+        let src = r#"
+            field val: Int
+            method fresh_cell() returns (x: Ref)
+              ensures acc(x.val) && x.val == 7
+            {
+              x := new(val: 7)
+            }
+        "#;
+        assert!(verify(src, Backend::Destabilized).is_ok());
+    }
+
+    #[test]
+    fn inhale_exhale_roundtrip() {
+        let src = r#"
+            field val: Int
+            method ghostly(c: Ref)
+              requires acc(c.val, 1/2)
+              ensures acc(c.val, 1/2)
+            {
+              inhale acc(c.val, 1/2);
+              assert perm(c.val) == 1;
+              c.val := 3;
+              exhale acc(c.val, 1/2);
+              assert perm(c.val) == 1/2
+            }
+        "#;
+        assert!(verify(src, Backend::Destabilized).is_ok());
+    }
+}

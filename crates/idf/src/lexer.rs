@@ -1,0 +1,350 @@
+//! Lexer for the IDF surface syntax.
+
+use std::fmt;
+
+/// Tokens of the IDF language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Keyword.
+    Kw(Kw),
+    /// Symbol.
+    Sym(Sy),
+}
+
+/// Keywords.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Field,
+    Method,
+    Returns,
+    Requires,
+    Ensures,
+    Var,
+    New,
+    Inhale,
+    Exhale,
+    Assert,
+    If,
+    Else,
+    While,
+    Invariant,
+    Call,
+    Old,
+    Perm,
+    Acc,
+    True,
+    False,
+    Null,
+    TyInt,
+    TyBool,
+    TyRef,
+    Write,
+}
+
+/// Symbols.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Sy {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Semi,
+    Dot,
+    Assign,  // :=
+    EqEq,    // ==
+    Ne,      // !=
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    AndAnd,
+    OrOr,
+    Implies, // ==>
+    Bang,
+    Question,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{}", s),
+            Tok::Int(n) => write!(f, "{}", n),
+            Tok::Kw(k) => write!(f, "{:?}", k),
+            Tok::Sym(s) => write!(f, "{:?}", s),
+        }
+    }
+}
+
+/// A lexing error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Byte position.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "field" => Kw::Field,
+        "method" => Kw::Method,
+        "returns" => Kw::Returns,
+        "requires" => Kw::Requires,
+        "ensures" => Kw::Ensures,
+        "var" => Kw::Var,
+        "new" => Kw::New,
+        "inhale" => Kw::Inhale,
+        "exhale" => Kw::Exhale,
+        "assert" => Kw::Assert,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "invariant" => Kw::Invariant,
+        "call" => Kw::Call,
+        "old" => Kw::Old,
+        "perm" => Kw::Perm,
+        "acc" => Kw::Acc,
+        "true" => Kw::True,
+        "false" => Kw::False,
+        "null" => Kw::Null,
+        "Int" => Kw::TyInt,
+        "Bool" => Kw::TyBool,
+        "Ref" => Kw::TyRef,
+        "write" => Kw::Write,
+        _ => return None,
+    })
+}
+
+/// Tokenizes IDF source. `//` line comments and `/* */` block comments
+/// are skipped.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(LexError {
+                            pos: start,
+                            message: "unterminated comment".into(),
+                        });
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Tok::Sym(Sy::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::Sym(Sy::RParen));
+                i += 1;
+            }
+            '{' => {
+                out.push(Tok::Sym(Sy::LBrace));
+                i += 1;
+            }
+            '}' => {
+                out.push(Tok::Sym(Sy::RBrace));
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Sym(Sy::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push(Tok::Sym(Sy::Semi));
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Sym(Sy::Dot));
+                i += 1;
+            }
+            '?' => {
+                out.push(Tok::Sym(Sy::Question));
+                i += 1;
+            }
+            ':' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Sym(Sy::Assign));
+                i += 2;
+            }
+            ':' => {
+                out.push(Tok::Sym(Sy::Colon));
+                i += 1;
+            }
+            '=' if b.get(i + 1) == Some(&b'=') && b.get(i + 2) == Some(&b'>') => {
+                out.push(Tok::Sym(Sy::Implies));
+                i += 3;
+            }
+            '=' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Sym(Sy::EqEq));
+                i += 2;
+            }
+            '!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Sym(Sy::Ne));
+                i += 2;
+            }
+            '!' => {
+                out.push(Tok::Sym(Sy::Bang));
+                i += 1;
+            }
+            '<' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Sym(Sy::Le));
+                i += 2;
+            }
+            '<' => {
+                out.push(Tok::Sym(Sy::Lt));
+                i += 1;
+            }
+            '>' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Sym(Sy::Ge));
+                i += 2;
+            }
+            '>' => {
+                out.push(Tok::Sym(Sy::Gt));
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::Sym(Sy::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Sym(Sy::Minus));
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Sym(Sy::Star));
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Sym(Sy::Slash));
+                i += 1;
+            }
+            '&' if b.get(i + 1) == Some(&b'&') => {
+                out.push(Tok::Sym(Sy::AndAnd));
+                i += 2;
+            }
+            '|' if b.get(i + 1) == Some(&b'|') => {
+                out.push(Tok::Sym(Sy::OrOr));
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n = src[start..i].parse::<i64>().map_err(|_| LexError {
+                    pos: start,
+                    message: "integer literal out of range".into(),
+                })?;
+                out.push(Tok::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() {
+                    let c = b[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..i];
+                match keyword(text) {
+                    Some(k) => out.push(Tok::Kw(k)),
+                    None => out.push(Tok::Ident(text.to_string())),
+                }
+            }
+            other => {
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character {:?}", other),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_method_header() {
+        let toks = lex("method m(a: Ref) returns (r: Int) requires acc(a.val)").unwrap();
+        assert_eq!(toks[0], Tok::Kw(Kw::Method));
+        assert!(toks.contains(&Tok::Kw(Kw::Acc)));
+        assert!(toks.contains(&Tok::Sym(Sy::Dot)));
+    }
+
+    #[test]
+    fn compound_symbols() {
+        let toks = lex(":= == ==> != <= < && ||").unwrap();
+        use Sy::*;
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Sym(Assign),
+                Tok::Sym(EqEq),
+                Tok::Sym(Implies),
+                Tok::Sym(Ne),
+                Tok::Sym(Le),
+                Tok::Sym(Lt),
+                Tok::Sym(AndAnd),
+                Tok::Sym(OrOr),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments() {
+        let toks = lex("1 // x\n 2 /* y */ 3").unwrap();
+        assert_eq!(toks, vec![Tok::Int(1), Tok::Int(2), Tok::Int(3)]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("#").is_err());
+        assert!(lex("/* open").is_err());
+    }
+}

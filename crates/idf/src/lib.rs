@@ -1,0 +1,64 @@
+//! # `daenerys-idf` — a Viper-style implicit-dynamic-frames verifier
+//!
+//! The automated-verifier side of the paper's bridge.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod cases;
+pub mod compile;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod smt;
+pub mod translate;
+pub mod wf;
+pub mod sym;
+
+pub use ast::{Assertion, Expr, Method, Op, Program, Stmt, Type};
+pub use cases::{all_cases, negative_cases, positive_cases, scaling_program, Case};
+pub use compile::{alloc_object, compile_method, compile_program, run_and_check, spec_holds, ConcreteError, ConcreteObj, ConcreteVal};
+pub use exec::{Backend, Chunk, Obligation, Verifier, VerifyError, VerifyStats};
+pub use parser::{parse_assertion, parse_program, ParseError};
+pub use smt::{Answer, Solver};
+pub use wf::{check_program, WfError};
+pub use translate::{env_of, full_ownership, obj_of, strip_old, translate_assertion, translate_expr, TEnv, TranslateError};
+pub use sym::{Sort, Sym, SymExpr, SymSupply};
+
+/// One-call pipeline: parse → well-formedness check → verify.
+///
+/// # Errors
+///
+/// Returns a rendered error string for parse errors, well-formedness
+/// diagnoses, or failed proof obligations.
+///
+/// # Examples
+///
+/// ```
+/// use daenerys_idf::{verify_source, Backend};
+///
+/// let stats = verify_source(
+///     "field v: Int
+///      method zero(c: Ref) requires acc(c.v) ensures acc(c.v) && c.v == 0
+///      { c.v := 0 }",
+///     Backend::Destabilized,
+/// )?;
+/// assert_eq!(stats.len(), 1);
+/// # Ok::<(), String>(())
+/// ```
+pub fn verify_source(
+    src: &str,
+    backend: Backend,
+) -> Result<std::collections::BTreeMap<String, VerifyStats>, String> {
+    let program = parse_program(src).map_err(|e| e.to_string())?;
+    check_program(&program).map_err(|es| {
+        es.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
+    let mut verifier = Verifier::new(&program, backend);
+    verifier.verify_all().map_err(|e| e.to_string())
+}

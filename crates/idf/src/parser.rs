@@ -1,0 +1,717 @@
+//! Parser for the IDF surface syntax.
+//!
+//! ```text
+//! program  ::= (field | method)*
+//! field    ::= "field" ident ":" type
+//! method   ::= "method" ident "(" params ")" ("returns" "(" params ")")?
+//!              ("requires" assertion)* ("ensures" assertion)*
+//!              ("{" stmts "}")?
+//! assertion::= conjunct ("&&" conjunct)*
+//! conjunct ::= "acc" "(" expr "." ident ("," frac)? ")"
+//!            | expr ("==>" conjunct)?
+//! frac     ::= int "/" int | "write" | int
+//! stmt     ::= "var" ident ":" type ":=" expr
+//!            | ident ":=" "new" "(" (ident ":" expr),* ")"
+//!            | ident ":=" expr
+//!            | expr "." ident ":=" expr
+//!            | "inhale" assertion | "exhale" assertion | "assert" assertion
+//!            | "if" "(" expr ")" block ("else" block)?
+//!            | "while" "(" expr ")" ("invariant" assertion)* block
+//!            | "call" (ident,+ ":=")? ident "(" expr,* ")"
+//! ```
+
+use crate::ast::{Assertion, Expr, Method, Op, Program, Stmt, Type};
+use crate::lexer::{lex, Kw, LexError, Sy, Tok};
+use daenerys_algebra::Q;
+use std::fmt;
+
+/// A parse error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Token index.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            at: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Parses a full IDF program.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax errors.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = P { toks: tokens, i: 0 };
+    let mut prog = Program::default();
+    while p.i < p.toks.len() {
+        if p.eat_kw(Kw::Field) {
+            let name = p.ident()?;
+            p.expect_sym(Sy::Colon)?;
+            let ty = p.ty()?;
+            prog.fields.push((name, ty));
+        } else if p.peek_kw(Kw::Method) {
+            prog.methods.push(p.method()?);
+        } else {
+            return Err(p.err("expected `field` or `method`"));
+        }
+    }
+    Ok(prog)
+}
+
+/// Parses a single assertion (handy for tests and the harness).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on syntax errors or trailing input.
+pub fn parse_assertion(src: &str) -> Result<Assertion, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = P { toks: tokens, i: 0 };
+    let a = p.assertion()?;
+    if p.i != p.toks.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(a)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    i: usize,
+}
+
+impl P {
+    fn err(&self, m: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.i,
+            message: format!("{} (found {:?})", m.into(), self.toks.get(self.i)),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.i + 1)
+    }
+
+    fn peek_kw(&self, k: Kw) -> bool {
+        self.peek() == Some(&Tok::Kw(k))
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if self.peek_kw(k) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sy) -> bool {
+        if self.peek() == Some(&Tok::Sym(s)) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: Sy) -> Result<(), ParseError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", s)))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Kw) -> Result<(), ParseError> {
+        if self.eat_kw(k) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", k)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(s)) => {
+                self.i += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        if self.eat_kw(Kw::TyInt) {
+            Ok(Type::Int)
+        } else if self.eat_kw(Kw::TyBool) {
+            Ok(Type::Bool)
+        } else if self.eat_kw(Kw::TyRef) {
+            Ok(Type::Ref)
+        } else {
+            Err(self.err("expected a type"))
+        }
+    }
+
+    fn params(&mut self) -> Result<Vec<(String, Type)>, ParseError> {
+        self.expect_sym(Sy::LParen)?;
+        let mut out = Vec::new();
+        if !self.eat_sym(Sy::RParen) {
+            loop {
+                let name = self.ident()?;
+                self.expect_sym(Sy::Colon)?;
+                let ty = self.ty()?;
+                out.push((name, ty));
+                if self.eat_sym(Sy::RParen) {
+                    break;
+                }
+                self.expect_sym(Sy::Comma)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn method(&mut self) -> Result<Method, ParseError> {
+        self.expect_kw(Kw::Method)?;
+        let name = self.ident()?;
+        let params = self.params()?;
+        let returns = if self.eat_kw(Kw::Returns) {
+            self.params()?
+        } else {
+            Vec::new()
+        };
+        let mut requires = Vec::new();
+        let mut ensures = Vec::new();
+        loop {
+            if self.eat_kw(Kw::Requires) {
+                requires.push(self.assertion()?);
+            } else if self.eat_kw(Kw::Ensures) {
+                ensures.push(self.assertion()?);
+            } else {
+                break;
+            }
+        }
+        let body = if self.eat_sym(Sy::LBrace) {
+            Some(self.stmts_until_rbrace()?)
+        } else {
+            None
+        };
+        Ok(Method {
+            name,
+            params,
+            returns,
+            requires: Assertion::all(requires),
+            ensures: Assertion::all(ensures),
+            body,
+        })
+    }
+
+    fn stmts_until_rbrace(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            if self.eat_sym(Sy::RBrace) {
+                return Ok(out);
+            }
+            out.push(self.stmt()?);
+            // Optional semicolons between statements.
+            while self.eat_sym(Sy::Semi) {}
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_sym(Sy::LBrace)?;
+        self.stmts_until_rbrace()
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw(Kw::Var) {
+            let x = self.ident()?;
+            self.expect_sym(Sy::Colon)?;
+            let ty = self.ty()?;
+            self.expect_sym(Sy::Assign)?;
+            let e = self.expr()?;
+            return Ok(Stmt::VarDecl(x, ty, e));
+        }
+        if self.eat_kw(Kw::Inhale) {
+            return Ok(Stmt::Inhale(self.assertion()?));
+        }
+        if self.eat_kw(Kw::Exhale) {
+            return Ok(Stmt::Exhale(self.assertion()?));
+        }
+        if self.eat_kw(Kw::Assert) {
+            return Ok(Stmt::Assert(self.assertion()?));
+        }
+        if self.eat_kw(Kw::If) {
+            self.expect_sym(Sy::LParen)?;
+            let c = self.expr()?;
+            self.expect_sym(Sy::RParen)?;
+            let then = self.block()?;
+            let els = if self.eat_kw(Kw::Else) {
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(c, then, els));
+        }
+        if self.eat_kw(Kw::While) {
+            self.expect_sym(Sy::LParen)?;
+            let c = self.expr()?;
+            self.expect_sym(Sy::RParen)?;
+            let mut invs = Vec::new();
+            while self.eat_kw(Kw::Invariant) {
+                invs.push(self.assertion()?);
+            }
+            let body = self.block()?;
+            return Ok(Stmt::While(c, Assertion::all(invs), body));
+        }
+        if self.eat_kw(Kw::Call) {
+            // call [targets :=] m(args)
+            let first = self.ident()?;
+            if self.peek() == Some(&Tok::Sym(Sy::LParen)) {
+                let args = self.call_args()?;
+                return Ok(Stmt::Call(Vec::new(), first, args));
+            }
+            let mut targets = vec![first];
+            while self.eat_sym(Sy::Comma) {
+                targets.push(self.ident()?);
+            }
+            self.expect_sym(Sy::Assign)?;
+            let m = self.ident()?;
+            let args = self.call_args()?;
+            return Ok(Stmt::Call(targets, m, args));
+        }
+        // Assignment forms: `x := ...` or `e.f := e`.
+        if let (Some(Tok::Ident(x)), Some(Tok::Sym(Sy::Assign))) = (self.peek(), self.peek2()) {
+            let x = x.clone();
+            self.i += 2;
+            if self.eat_kw(Kw::New) {
+                self.expect_sym(Sy::LParen)?;
+                let mut fields = Vec::new();
+                if !self.eat_sym(Sy::RParen) {
+                    loop {
+                        let f = self.ident()?;
+                        self.expect_sym(Sy::Colon)?;
+                        let e = self.expr()?;
+                        fields.push((f, e));
+                        if self.eat_sym(Sy::RParen) {
+                            break;
+                        }
+                        self.expect_sym(Sy::Comma)?;
+                    }
+                }
+                return Ok(Stmt::New(x, fields));
+            }
+            let e = self.expr()?;
+            return Ok(Stmt::Assign(x, e));
+        }
+        // Field write: expr.f := e.
+        let lhs = self.expr()?;
+        match lhs {
+            Expr::Field(recv, f) => {
+                self.expect_sym(Sy::Assign)?;
+                let rhs = self.expr()?;
+                Ok(Stmt::FieldWrite(*recv, f, rhs))
+            }
+            _ => Err(self.err("expected a statement")),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect_sym(Sy::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat_sym(Sy::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.eat_sym(Sy::RParen) {
+                    break;
+                }
+                self.expect_sym(Sy::Comma)?;
+            }
+        }
+        Ok(args)
+    }
+
+    // ---- assertions ----
+
+    fn assertion(&mut self) -> Result<Assertion, ParseError> {
+        let mut acc = self.conjunct()?;
+        while self.eat_sym(Sy::AndAnd) {
+            let rhs = self.conjunct()?;
+            acc = Assertion::and(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn conjunct(&mut self) -> Result<Assertion, ParseError> {
+        if self.eat_kw(Kw::Acc) {
+            self.expect_sym(Sy::LParen)?;
+            let recv = self.expr()?;
+            let (recv, field) = match recv {
+                Expr::Field(r, f) => (*r, f),
+                _ => return Err(self.err("acc expects a field location e.f")),
+            };
+            let q = if self.eat_sym(Sy::Comma) {
+                self.fraction()?
+            } else {
+                Q::ONE
+            };
+            self.expect_sym(Sy::RParen)?;
+            return Ok(Assertion::Acc(recv, field, q));
+        }
+        // A parenthesized *assertion* (e.g. `(e ==> acc(x.f))`): try it
+        // with backtracking; fall through to expression parsing when the
+        // parenthesis turns out to enclose a plain expression.
+        if self.peek() == Some(&Tok::Sym(Sy::LParen)) {
+            let save = self.i;
+            self.i += 1;
+            if let Ok(a) = self.assertion() {
+                // Accept the parenthesized-assertion reading only when
+                // it produced genuine assertion structure AND the next
+                // token cannot continue an *expression* (otherwise e.g.
+                // `(x && y) ==> A` would lose its implication).
+                if self.eat_sym(Sy::RParen)
+                    && !matches!(a, Assertion::Expr(_))
+                    && self.ends_assertion()
+                {
+                    return Ok(a);
+                }
+            }
+            self.i = save;
+        }
+        // expr, possibly `expr ==> conjunct`.
+        let e = self.expr_no_and()?;
+        if self.eat_sym(Sy::Implies) {
+            let rhs = self.conjunct()?;
+            return Ok(Assertion::Implies(e, Box::new(rhs)));
+        }
+        Ok(Assertion::Expr(e))
+    }
+
+    /// Whether the current token can follow a complete assertion (used
+    /// to disambiguate parenthesized assertions from expressions).
+    fn ends_assertion(&self) -> bool {
+        matches!(
+            self.peek(),
+            None | Some(Tok::Sym(Sy::AndAnd))
+                | Some(Tok::Sym(Sy::RParen))
+                | Some(Tok::Sym(Sy::RBrace))
+                | Some(Tok::Sym(Sy::Semi))
+                | Some(Tok::Sym(Sy::LBrace))
+                | Some(Tok::Kw(Kw::Requires))
+                | Some(Tok::Kw(Kw::Ensures))
+                | Some(Tok::Kw(Kw::Invariant))
+                | Some(Tok::Kw(Kw::Method))
+                | Some(Tok::Kw(Kw::Field))
+        )
+    }
+
+    fn fraction(&mut self) -> Result<Q, ParseError> {
+        if self.eat_kw(Kw::Write) {
+            return Ok(Q::ONE);
+        }
+        match self.peek().cloned() {
+            Some(Tok::Int(n)) => {
+                self.i += 1;
+                if self.eat_sym(Sy::Slash) {
+                    match self.peek().cloned() {
+                        Some(Tok::Int(d)) if d != 0 => {
+                            self.i += 1;
+                            Ok(Q::new(n as i128, d as i128))
+                        }
+                        _ => Err(self.err("expected nonzero denominator")),
+                    }
+                } else {
+                    Ok(Q::from_int(n))
+                }
+            }
+            _ => Err(self.err("expected a fraction")),
+        }
+    }
+
+    // ---- expressions ----
+    // cond > or > and > cmp > add > mul > unary > postfix > atom
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let c = self.expr_or(true)?;
+        if self.eat_sym(Sy::Question) {
+            let t = self.expr()?;
+            self.expect_sym(Sy::Colon)?;
+            let e = self.expr()?;
+            return Ok(Expr::Cond(Box::new(c), Box::new(t), Box::new(e)));
+        }
+        Ok(c)
+    }
+
+    /// Expression that stops at assertion-level `&&` (used inside
+    /// assertion conjuncts so `A && B` splits at the assertion level).
+    fn expr_no_and(&mut self) -> Result<Expr, ParseError> {
+        let c = self.expr_or(false)?;
+        if self.eat_sym(Sy::Question) {
+            let t = self.expr()?;
+            self.expect_sym(Sy::Colon)?;
+            let e = self.expr()?;
+            return Ok(Expr::Cond(Box::new(c), Box::new(t), Box::new(e)));
+        }
+        Ok(c)
+    }
+
+    fn expr_or(&mut self, allow_and: bool) -> Result<Expr, ParseError> {
+        let mut e = self.expr_and(allow_and)?;
+        while self.eat_sym(Sy::OrOr) {
+            let rhs = self.expr_and(allow_and)?;
+            e = Expr::bin(Op::Or, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn expr_and(&mut self, allow_and: bool) -> Result<Expr, ParseError> {
+        let mut e = self.expr_cmp()?;
+        while allow_and && self.eat_sym(Sy::AndAnd) {
+            let rhs = self.expr_cmp()?;
+            e = Expr::bin(Op::And, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn expr_cmp(&mut self) -> Result<Expr, ParseError> {
+        let e = self.expr_add()?;
+        let op = match self.peek() {
+            Some(Tok::Sym(Sy::EqEq)) => Some(Op::Eq),
+            Some(Tok::Sym(Sy::Ne)) => Some(Op::Ne),
+            Some(Tok::Sym(Sy::Lt)) => Some(Op::Lt),
+            Some(Tok::Sym(Sy::Le)) => Some(Op::Le),
+            Some(Tok::Sym(Sy::Gt)) => Some(Op::Gt),
+            Some(Tok::Sym(Sy::Ge)) => Some(Op::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.i += 1;
+            let rhs = self.expr_add()?;
+            return Ok(Expr::bin(op, e, rhs));
+        }
+        Ok(e)
+    }
+
+    fn expr_add(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_mul()?;
+        loop {
+            if self.eat_sym(Sy::Plus) {
+                let rhs = self.expr_mul()?;
+                e = Expr::bin(Op::Add, e, rhs);
+            } else if self.eat_sym(Sy::Minus) {
+                let rhs = self.expr_mul()?;
+                e = Expr::bin(Op::Sub, e, rhs);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn expr_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_unary()?;
+        loop {
+            if self.eat_sym(Sy::Star) {
+                let rhs = self.expr_unary()?;
+                e = Expr::bin(Op::Mul, e, rhs);
+            } else if self.eat_sym(Sy::Slash) {
+                let rhs = self.expr_unary()?;
+                e = Expr::bin(Op::Div, e, rhs);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn expr_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_sym(Sy::Bang) {
+            return Ok(Expr::Not(Box::new(self.expr_unary()?)));
+        }
+        if self.eat_sym(Sy::Minus) {
+            // Fold unary minus on integer literals so negative constants
+            // round-trip through the printer.
+            if let Some(Tok::Int(n)) = self.peek() {
+                let n = *n;
+                self.i += 1;
+                return Ok(Expr::Int(n.wrapping_neg()));
+            }
+            return Ok(Expr::Neg(Box::new(self.expr_unary()?)));
+        }
+        self.expr_postfix()
+    }
+
+    fn expr_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        while self.eat_sym(Sy::Dot) {
+            let f = self.ident()?;
+            e = Expr::field(e, &f);
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(n)) => {
+                self.i += 1;
+                Ok(Expr::Int(n))
+            }
+            Some(Tok::Kw(Kw::True)) => {
+                self.i += 1;
+                Ok(Expr::Bool(true))
+            }
+            Some(Tok::Kw(Kw::False)) => {
+                self.i += 1;
+                Ok(Expr::Bool(false))
+            }
+            Some(Tok::Kw(Kw::Null)) => {
+                self.i += 1;
+                Ok(Expr::Null)
+            }
+            Some(Tok::Kw(Kw::Old)) => {
+                self.i += 1;
+                self.expect_sym(Sy::LParen)?;
+                let e = self.expr()?;
+                self.expect_sym(Sy::RParen)?;
+                Ok(Expr::Old(Box::new(e)))
+            }
+            Some(Tok::Kw(Kw::Perm)) => {
+                self.i += 1;
+                self.expect_sym(Sy::LParen)?;
+                let e = self.expr()?;
+                self.expect_sym(Sy::RParen)?;
+                match e {
+                    Expr::Field(r, f) => Ok(Expr::Perm(r, f)),
+                    _ => Err(self.err("perm expects a field location e.f")),
+                }
+            }
+            Some(Tok::Ident(x)) => {
+                self.i += 1;
+                Ok(Expr::Var(x))
+            }
+            Some(Tok::Sym(Sy::LParen)) => {
+                self.i += 1;
+                let e = self.expr()?;
+                self.expect_sym(Sy::RParen)?;
+                Ok(e)
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_method() {
+        let src = r#"
+            field val: Int
+            method transfer(a: Ref, b: Ref, amt: Int)
+              requires acc(a.val) && acc(b.val) && a.val >= amt && amt >= 0
+              ensures acc(a.val) && acc(b.val)
+              ensures a.val == old(a.val) - amt && b.val == old(b.val) + amt
+            {
+              a.val := a.val - amt;
+              b.val := b.val + amt
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.fields, vec![("val".to_string(), Type::Int)]);
+        let m = p.method("transfer").unwrap();
+        assert_eq!(m.params.len(), 3);
+        assert_eq!(m.requires.acc_count(), 2);
+        assert_eq!(m.body.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parses_fractions_and_perm() {
+        let a = parse_assertion("acc(x.f, 1/2) && perm(x.f) >= 1/2").unwrap();
+        assert_eq!(a.acc_count(), 1);
+        let a = parse_assertion("acc(x.f, write)").unwrap();
+        match a {
+            Assertion::Acc(_, _, q) => assert_eq!(q, Q::ONE),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_statements() {
+        let src = r#"
+            field f: Int
+            method m(x: Ref) returns (r: Int)
+            {
+              var t: Int := x.f + 1;
+              if (t > 0) { x.f := t } else { x.f := 0 - t };
+              while (t < 10) invariant acc(x.f) { t := t + 1 };
+              r := t;
+              inhale acc(x.f, 1/2);
+              exhale acc(x.f, 1/2);
+              assert x.f == x.f;
+              call m2(x);
+              call r := m3(x, t)
+            }
+            method m2(y: Ref)
+            method m3(y: Ref, n: Int) returns (out: Int)
+        "#;
+        let p = parse_program(src).unwrap();
+        let m = p.method("m").unwrap();
+        let body = m.body.as_ref().unwrap();
+        assert_eq!(body.len(), 9);
+        assert!(matches!(body[1], Stmt::If(..)));
+        assert!(matches!(body[2], Stmt::While(..)));
+        assert!(matches!(body[8], Stmt::Call(ref t, _, _) if t.len() == 1));
+        assert!(p.method("m2").unwrap().body.is_none());
+    }
+
+    #[test]
+    fn parses_new_and_implication() {
+        let src = r#"
+            field v: Int
+            method m() returns (x: Ref)
+              ensures acc(x.v) && (x.v > 0 ==> x.v >= 1)
+            {
+              x := new(v: 5)
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let m = p.method("m").unwrap();
+        assert!(matches!(m.body.as_ref().unwrap()[0], Stmt::New(..)));
+    }
+
+    #[test]
+    fn conditional_expression() {
+        let src = "field f: Int method m(x: Int) returns (r: Int) { r := x > 0 ? x : 0 - x }";
+        let p = parse_program(src).unwrap();
+        let m = p.method("m").unwrap();
+        assert!(matches!(
+            m.body.as_ref().unwrap()[0],
+            Stmt::Assign(_, Expr::Cond(..))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("method m( {").is_err());
+        assert!(parse_program("field x").is_err());
+        assert!(parse_assertion("acc(x)").is_err());
+        assert!(parse_assertion("1 +").is_err());
+    }
+}

@@ -1,0 +1,860 @@
+//! A small decision procedure for the verifier's entailment queries.
+//!
+//! Viper delegates these queries to Z3; building the full substrate
+//! ourselves, we implement the fragment the IDF case studies need:
+//!
+//! * boolean structure by DPLL-style case splitting;
+//! * linear integer arithmetic by Fourier–Motzkin elimination with
+//!   integer tightening (`a < b` ⇒ `a ≤ b − 1`);
+//! * reference equalities by union-find with disequality checking.
+//!
+//! The procedure is **sound for verification**: `Valid` is only
+//! answered when `pc → goal` holds. Nonlinear or otherwise unsupported
+//! atoms degrade the answer to `Unknown`, never to a wrong `Valid`.
+
+use crate::sym::{Sort, Sym, SymExpr};
+use std::collections::BTreeMap;
+
+/// The answer to an entailment query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Answer {
+    /// The entailment holds.
+    Valid,
+    /// A countermodel exists within the supported theory.
+    Invalid,
+    /// Out of fragment (nonlinear, blown budget, …).
+    Unknown,
+}
+
+/// Internal satisfiability verdict.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SatAnswer {
+    Sat,
+    Unsat,
+    Unknown,
+}
+
+/// A linear term `Σ cᵢ·xᵢ + k` over integer symbols.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+struct LinTerm {
+    coeffs: BTreeMap<Sym, i128>,
+    konst: i128,
+}
+
+impl LinTerm {
+    fn constant(k: i128) -> LinTerm {
+        LinTerm {
+            coeffs: BTreeMap::new(),
+            konst: k,
+        }
+    }
+
+    fn var(s: Sym) -> LinTerm {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(s, 1);
+        LinTerm { coeffs, konst: 0 }
+    }
+
+    fn scale(&self, k: i128) -> LinTerm {
+        LinTerm {
+            coeffs: self.coeffs.iter().map(|(s, c)| (*s, c * k)).collect(),
+            konst: self.konst * k,
+        }
+    }
+
+    fn add(&self, other: &LinTerm) -> LinTerm {
+        let mut coeffs = self.coeffs.clone();
+        for (s, c) in &other.coeffs {
+            let e = coeffs.entry(*s).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                coeffs.remove(s);
+            }
+        }
+        LinTerm {
+            coeffs,
+            konst: self.konst + other.konst,
+        }
+    }
+
+    fn sub(&self, other: &LinTerm) -> LinTerm {
+        self.add(&other.scale(-1))
+    }
+
+    fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+}
+
+/// A reference-sorted ground term.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum RefTerm {
+    Null,
+    Sym(Sym),
+}
+
+/// An abstracted atom (negations are handled by the literal polarity).
+#[derive(Clone, PartialEq, Debug)]
+enum Atom {
+    /// `lin ≤ 0`.
+    LinLe(LinTerm),
+    /// A boolean symbol.
+    BoolSym(Sym),
+    /// Equality of two reference terms.
+    RefEq(RefTerm, RefTerm),
+    /// Unsupported structure (nonlinear multiplication, …).
+    Opaque(SymExpr),
+}
+
+/// A propositional skeleton over atom indices.
+#[derive(Clone, Debug)]
+enum BForm {
+    True,
+    False,
+    Lit(usize, bool),
+    And(Box<BForm>, Box<BForm>),
+    Or(Box<BForm>, Box<BForm>),
+}
+
+/// The decision procedure, with query statistics (reported by the
+/// evaluation harness).
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    /// Sorts of the symbols in play.
+    pub sorts: BTreeMap<Sym, Sort>,
+    /// Number of entailment queries answered.
+    pub queries: usize,
+    /// Number of DPLL branches explored across all queries.
+    pub branches: usize,
+}
+
+impl Solver {
+    /// A fresh solver.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Declares a symbol's sort.
+    pub fn declare(&mut self, s: Sym, sort: Sort) {
+        self.sorts.insert(s, sort);
+    }
+
+    /// Checks `pc ⊨ goal` (validity of the implication).
+    pub fn entails(&mut self, pc: &[SymExpr], goal: &SymExpr) -> Answer {
+        self.queries += 1;
+        let mut formula = SymExpr::not(goal.clone());
+        for c in pc {
+            formula = SymExpr::and(formula, c.clone());
+        }
+        match self.sat(&formula) {
+            SatAnswer::Unsat => Answer::Valid,
+            SatAnswer::Sat => Answer::Invalid,
+            SatAnswer::Unknown => Answer::Unknown,
+        }
+    }
+
+    /// Checks whether the path condition is consistent (used to prune
+    /// infeasible branches).
+    pub fn consistent(&mut self, pc: &[SymExpr]) -> bool {
+        self.queries += 1;
+        let mut formula = SymExpr::bool(true);
+        for c in pc {
+            formula = SymExpr::and(formula, c.clone());
+        }
+        // Treat Unknown as consistent (conservative: keep exploring).
+        self.sat(&formula) != SatAnswer::Unsat
+    }
+
+    fn sat(&mut self, f: &SymExpr) -> SatAnswer {
+        let mut atoms: Vec<Atom> = Vec::new();
+        let skeleton = self.abstract_bool(f, true, &mut atoms);
+        let mut assignment: Vec<Option<bool>> = vec![None; atoms.len()];
+        self.dpll(&skeleton, &atoms, &mut assignment)
+    }
+
+    /// Converts a boolean expression to a skeleton, interning atoms.
+    /// `positive` tracks NNF polarity.
+    fn abstract_bool(&mut self, e: &SymExpr, positive: bool, atoms: &mut Vec<Atom>) -> BForm {
+        use SymExpr::*;
+        match e {
+            Bool(b) => {
+                if *b == positive {
+                    BForm::True
+                } else {
+                    BForm::False
+                }
+            }
+            Not(inner) => self.abstract_bool(inner, !positive, atoms),
+            And(a, b) => {
+                let fa = self.abstract_bool(a, positive, atoms);
+                let fb = self.abstract_bool(b, positive, atoms);
+                if positive {
+                    BForm::And(Box::new(fa), Box::new(fb))
+                } else {
+                    BForm::Or(Box::new(fa), Box::new(fb))
+                }
+            }
+            Or(a, b) => {
+                let fa = self.abstract_bool(a, positive, atoms);
+                let fb = self.abstract_bool(b, positive, atoms);
+                if positive {
+                    BForm::Or(Box::new(fa), Box::new(fb))
+                } else {
+                    BForm::And(Box::new(fa), Box::new(fb))
+                }
+            }
+            Implies(a, b) => {
+                let neg = SymExpr::or(SymExpr::not((**a).clone()), (**b).clone());
+                self.abstract_bool(&neg, positive, atoms)
+            }
+            Sym(s) => BForm::Lit(intern(atoms, Atom::BoolSym(*s)), positive),
+            Lt(a, b) => {
+                if let Some(ex) = split_cmp_ite(a, b, &SymExpr::lt) {
+                    return self.abstract_bool(&ex, positive, atoms);
+                }
+                // a < b  ⇔  a - b + 1 ≤ 0 (integers).
+                match (self.linearize(a), self.linearize(b)) {
+                    (Some(la), Some(lb)) => {
+                        let lin = la.sub(&lb).add(&LinTerm::constant(1));
+                        let lin = if positive {
+                            lin
+                        } else {
+                            // ¬(a < b) ⇔ b ≤ a ⇔ b - a ≤ 0.
+                            lb.sub(&la)
+                        };
+                        lin_lit(atoms, lin)
+                    }
+                    _ => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
+                }
+            }
+            Le(a, b) => {
+                if let Some(ex) = split_cmp_ite(a, b, &SymExpr::le) {
+                    return self.abstract_bool(&ex, positive, atoms);
+                }
+                match (self.linearize(a), self.linearize(b)) {
+                    (Some(la), Some(lb)) => {
+                        let lin = if positive {
+                            la.sub(&lb)
+                        } else {
+                            // ¬(a ≤ b) ⇔ b + 1 ≤ a ⇔ b - a + 1 ≤ 0.
+                            lb.sub(&la).add(&LinTerm::constant(1))
+                        };
+                        lin_lit(atoms, lin)
+                    }
+                    _ => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
+                }
+            }
+            Eq(a, b) => match self.sort_of(a).or_else(|| self.sort_of(b)) {
+                Some(Sort::Int) if split_cmp_ite(a, b, &SymExpr::eq).is_some() => {
+                    let ex = split_cmp_ite(a, b, &SymExpr::eq).expect("checked");
+                    self.abstract_bool(&ex, positive, atoms)
+                }
+                Some(Sort::Int) => match (self.linearize(a), self.linearize(b)) {
+                    (Some(la), Some(lb)) => {
+                        let d = la.sub(&lb);
+                        if positive {
+                            // d = 0 ⇔ d ≤ 0 ∧ -d ≤ 0.
+                            BForm::And(
+                                Box::new(lin_lit(atoms, d.clone())),
+                                Box::new(lin_lit(atoms, d.scale(-1))),
+                            )
+                        } else {
+                            // d ≠ 0 ⇔ d ≤ -1 ∨ -d ≤ -1.
+                            BForm::Or(
+                                Box::new(lin_lit(atoms, d.add(&LinTerm::constant(1)))),
+                                Box::new(lin_lit(
+                                    atoms,
+                                    d.scale(-1).add(&LinTerm::constant(1)),
+                                )),
+                            )
+                        }
+                    }
+                    _ => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
+                },
+                Some(Sort::Ref) => match (ref_term(a), ref_term(b)) {
+                    (Some(ra), Some(rb)) => {
+                        BForm::Lit(intern(atoms, Atom::RefEq(ra, rb)), positive)
+                    }
+                    _ => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
+                },
+                Some(Sort::Bool) => {
+                    // a ↔ b.
+                    let expanded = SymExpr::or(
+                        SymExpr::and((**a).clone(), (**b).clone()),
+                        SymExpr::and(SymExpr::not((**a).clone()), SymExpr::not((**b).clone())),
+                    );
+                    self.abstract_bool(&expanded, positive, atoms)
+                }
+                None => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
+            },
+            Ite(c, t, el) => {
+                // Boolean ite: (c ∧ t) ∨ (¬c ∧ e).
+                let expanded = SymExpr::or(
+                    SymExpr::and((**c).clone(), (**t).clone()),
+                    SymExpr::and(SymExpr::not((**c).clone()), (**el).clone()),
+                );
+                self.abstract_bool(&expanded, positive, atoms)
+            }
+            _ => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
+        }
+    }
+
+    fn sort_of(&self, e: &SymExpr) -> Option<Sort> {
+        use SymExpr::*;
+        match e {
+            Int(_) | Add(..) | Sub(..) | Mul(..) => Some(Sort::Int),
+            Bool(_) | Not(_) | And(..) | Or(..) | Implies(..) | Eq(..) | Lt(..) | Le(..) => {
+                Some(Sort::Bool)
+            }
+            Null => Some(Sort::Ref),
+            Sym(s) => self.sorts.get(s).copied(),
+            Ite(_, t, e2) => self.sort_of(t).or_else(|| self.sort_of(e2)),
+        }
+    }
+
+    fn linearize(&self, e: &SymExpr) -> Option<LinTerm> {
+        use SymExpr::*;
+        match e {
+            Int(n) => Some(LinTerm::constant(*n as i128)),
+            Sym(s) => match self.sorts.get(s) {
+                Some(Sort::Int) | None => Some(LinTerm::var(*s)),
+                _ => None,
+            },
+            Add(a, b) => Some(self.linearize(a)?.add(&self.linearize(b)?)),
+            Sub(a, b) => Some(self.linearize(a)?.sub(&self.linearize(b)?)),
+            Mul(a, b) => {
+                let la = self.linearize(a)?;
+                let lb = self.linearize(b)?;
+                if la.is_constant() {
+                    Some(lb.scale(la.konst))
+                } else if lb.is_constant() {
+                    Some(la.scale(lb.konst))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn dpll(
+        &mut self,
+        skeleton: &BForm,
+        atoms: &[Atom],
+        assignment: &mut Vec<Option<bool>>,
+    ) -> SatAnswer {
+        self.branches += 1;
+        match simplify(skeleton, assignment) {
+            BForm::False => SatAnswer::Unsat,
+            BForm::True => self.theory_check(atoms, assignment),
+            reduced => {
+                let pick = first_lit(&reduced).expect("non-constant form has a literal");
+                assignment[pick] = Some(true);
+                let r1 = self.dpll(&reduced, atoms, assignment);
+                if r1 == SatAnswer::Sat {
+                    assignment[pick] = None;
+                    return SatAnswer::Sat;
+                }
+                assignment[pick] = Some(false);
+                let r2 = self.dpll(&reduced, atoms, assignment);
+                assignment[pick] = None;
+                match (r1, r2) {
+                    (_, SatAnswer::Sat) => SatAnswer::Sat,
+                    (SatAnswer::Unsat, SatAnswer::Unsat) => SatAnswer::Unsat,
+                    _ => SatAnswer::Unknown,
+                }
+            }
+        }
+    }
+
+    /// Checks a full propositional assignment against the theories.
+    fn theory_check(&self, atoms: &[Atom], assignment: &[Option<bool>]) -> SatAnswer {
+        // Opaque atoms poison certainty of Sat.
+        let mut unknown = false;
+        // --- References: union-find with disequalities.
+        let mut uf = UnionFind::new();
+        let mut disequalities: Vec<(RefTerm, RefTerm)> = Vec::new();
+        // --- Integers: Fourier–Motzkin.
+        let mut constraints: Vec<LinTerm> = Vec::new();
+
+        for (i, atom) in atoms.iter().enumerate() {
+            let Some(polarity) = assignment[i] else {
+                continue;
+            };
+            match atom {
+                Atom::LinLe(lin) => {
+                    if polarity {
+                        constraints.push(lin.clone());
+                    } else {
+                        // ¬(lin ≤ 0) ⇔ -lin + 1 ≤ 0.
+                        constraints.push(lin.scale(-1).add(&LinTerm::constant(1)));
+                    }
+                }
+                Atom::BoolSym(_) => {}
+                Atom::RefEq(a, b) => {
+                    if polarity {
+                        uf.union(*a, *b);
+                    } else {
+                        disequalities.push((*a, *b));
+                    }
+                }
+                Atom::Opaque(_) => unknown = true,
+            }
+        }
+
+        for (a, b) in &disequalities {
+            if uf.find(*a) == uf.find(*b) {
+                return SatAnswer::Unsat;
+            }
+        }
+
+        match fourier_motzkin(constraints) {
+            Some(false) => return SatAnswer::Unsat,
+            Some(true) => {}
+            None => unknown = true,
+        }
+
+        if unknown {
+            SatAnswer::Unknown
+        } else {
+            SatAnswer::Sat
+        }
+    }
+}
+
+/// Finds the first integer `Ite` inside an arithmetic expression and
+/// returns (condition, expression-with-then, expression-with-else).
+fn split_ite(e: &SymExpr) -> Option<(SymExpr, SymExpr, SymExpr)> {
+    use SymExpr::*;
+    match e {
+        Ite(c, t, el) => Some(((**c).clone(), (**t).clone(), (**el).clone())),
+        Add(a, b) | Sub(a, b) | Mul(a, b) => {
+            let rebuild = |x: SymExpr, y: SymExpr| match e {
+                Add(..) => SymExpr::Add(Box::new(x), Box::new(y)),
+                Sub(..) => SymExpr::Sub(Box::new(x), Box::new(y)),
+                _ => SymExpr::Mul(Box::new(x), Box::new(y)),
+            };
+            if let Some((c, t, el)) = split_ite(a) {
+                Some((c, rebuild(t, (**b).clone()), rebuild(el, (**b).clone())))
+            } else if let Some((c, t, el)) = split_ite(b) {
+                Some((c, rebuild((**a).clone(), t), rebuild((**a).clone(), el)))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// If either operand of an integer comparison contains an `Ite`, expands
+/// the comparison into a boolean case split on the `Ite` condition.
+fn split_cmp_ite(
+    a: &SymExpr,
+    b: &SymExpr,
+    rebuild: &dyn Fn(SymExpr, SymExpr) -> SymExpr,
+) -> Option<SymExpr> {
+    if let Some((c, t, el)) = split_ite(a) {
+        return Some(SymExpr::or(
+            SymExpr::and(c.clone(), rebuild(t, b.clone())),
+            SymExpr::and(SymExpr::not(c), rebuild(el, b.clone())),
+        ));
+    }
+    if let Some((c, t, el)) = split_ite(b) {
+        return Some(SymExpr::or(
+            SymExpr::and(c.clone(), rebuild(a.clone(), t)),
+            SymExpr::and(SymExpr::not(c), rebuild(a.clone(), el)),
+        ));
+    }
+    None
+}
+
+fn lin_lit(atoms: &mut Vec<Atom>, lin: LinTerm) -> BForm {
+    if lin.is_constant() {
+        return if lin.konst <= 0 {
+            BForm::True
+        } else {
+            BForm::False
+        };
+    }
+    BForm::Lit(intern(atoms, Atom::LinLe(lin)), true)
+}
+
+fn intern(atoms: &mut Vec<Atom>, a: Atom) -> usize {
+    match atoms.iter().position(|x| *x == a) {
+        Some(i) => i,
+        None => {
+            atoms.push(a);
+            atoms.len() - 1
+        }
+    }
+}
+
+fn ref_term(e: &SymExpr) -> Option<RefTerm> {
+    match e {
+        SymExpr::Null => Some(RefTerm::Null),
+        SymExpr::Sym(s) => Some(RefTerm::Sym(*s)),
+        _ => None,
+    }
+}
+
+fn simplify(f: &BForm, assignment: &[Option<bool>]) -> BForm {
+    match f {
+        BForm::True => BForm::True,
+        BForm::False => BForm::False,
+        BForm::Lit(i, pol) => match assignment[*i] {
+            None => BForm::Lit(*i, *pol),
+            Some(v) => {
+                if v == *pol {
+                    BForm::True
+                } else {
+                    BForm::False
+                }
+            }
+        },
+        BForm::And(a, b) => match (simplify(a, assignment), simplify(b, assignment)) {
+            (BForm::False, _) | (_, BForm::False) => BForm::False,
+            (BForm::True, x) | (x, BForm::True) => x,
+            (x, y) => BForm::And(Box::new(x), Box::new(y)),
+        },
+        BForm::Or(a, b) => match (simplify(a, assignment), simplify(b, assignment)) {
+            (BForm::True, _) | (_, BForm::True) => BForm::True,
+            (BForm::False, x) | (x, BForm::False) => x,
+            (x, y) => BForm::Or(Box::new(x), Box::new(y)),
+        },
+    }
+}
+
+fn first_lit(f: &BForm) -> Option<usize> {
+    match f {
+        BForm::True | BForm::False => None,
+        BForm::Lit(i, _) => Some(*i),
+        BForm::And(a, b) | BForm::Or(a, b) => first_lit(a).or_else(|| first_lit(b)),
+    }
+}
+
+/// Gaussian pre-pass: recognizes equalities (a constraint together with
+/// its negation) defining a variable with a ±1 coefficient, and
+/// substitutes it away. Witness-binding chains (`w = e`) are eliminated
+/// in linear time here instead of exploding Fourier–Motzkin.
+fn gaussian_substitute(constraints: &mut Vec<LinTerm>) {
+    loop {
+        // Find an equality pair (c, -c) with some ±1-coefficient var.
+        let mut found: Option<(usize, usize, Sym)> = None;
+        'outer: for i in 0..constraints.len() {
+            if constraints[i].is_constant() {
+                continue;
+            }
+            let neg = constraints[i].scale(-1);
+            for j in 0..constraints.len() {
+                if i != j && constraints[j] == neg {
+                    if let Some((s, _)) = constraints[i]
+                        .coeffs
+                        .iter()
+                        .find(|(_, c)| **c == 1 || **c == -1)
+                    {
+                        found = Some((i, j, *s));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((i, j, var)) = found else {
+            return;
+        };
+        // c: a·var + rest = 0 with a = ±1  ⇒  var = ∓rest.
+        let eq = constraints[i].clone();
+        let a = eq.coeffs[&var];
+        // solution: var = -(rest)/a where rest = eq - a·var.
+        let mut rest = eq.clone();
+        rest.coeffs.remove(&var);
+        let solution = rest.scale(-a); // a ∈ {1,-1} so -rest/a = -a·rest.
+        // Remove the equality pair, substitute elsewhere.
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        constraints.remove(hi);
+        constraints.remove(lo);
+        for c in constraints.iter_mut() {
+            if let Some(&k) = c.coeffs.get(&var) {
+                c.coeffs.remove(&var);
+                *c = c.add(&solution.scale(k));
+            }
+        }
+    }
+}
+
+/// Fourier–Motzkin elimination over the rationals with integer-tightened
+/// inputs. Returns `Some(true)` for consistent, `Some(false)` for
+/// inconsistent, `None` when the budget blows up.
+fn fourier_motzkin(mut constraints: Vec<LinTerm>) -> Option<bool> {
+    const BUDGET: usize = 4000;
+    gaussian_substitute(&mut constraints);
+    loop {
+        // Constant contradictions?
+        for c in &constraints {
+            if c.is_constant() && c.konst > 0 {
+                return Some(false);
+            }
+        }
+        constraints.retain(|c| !c.is_constant());
+        // Pick the variable with the least fill-in (uppers × lowers).
+        let mut counts: BTreeMap<Sym, (usize, usize)> = BTreeMap::new();
+        for c in &constraints {
+            for (s, k) in &c.coeffs {
+                let e = counts.entry(*s).or_insert((0, 0));
+                if *k > 0 {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+        }
+        let var = match counts
+            .into_iter()
+            .min_by_key(|(_, (u, l))| u * l)
+            .map(|(s, _)| s)
+        {
+            Some(v) => v,
+            None => return Some(true),
+        };
+        let (with_var, without): (Vec<LinTerm>, Vec<LinTerm>) = constraints
+            .into_iter()
+            .partition(|c| c.coeffs.contains_key(&var));
+        let mut uppers = Vec::new(); // coefficient > 0: var bounded above
+        let mut lowers = Vec::new(); // coefficient < 0: var bounded below
+        for c in with_var {
+            let coef = c.coeffs[&var];
+            if coef > 0 {
+                uppers.push(c);
+            } else {
+                lowers.push(c);
+            }
+        }
+        let mut next = without;
+        for u in &uppers {
+            for l in &lowers {
+                let a = u.coeffs[&var];
+                let b = -l.coeffs[&var];
+                // b·u + a·l eliminates var.
+                let combined = u.scale(b).add(&l.scale(a));
+                debug_assert!(!combined.coeffs.contains_key(&var));
+                next.push(combined);
+            }
+        }
+        if next.len() > BUDGET {
+            return None;
+        }
+        constraints = next;
+    }
+}
+
+#[derive(Debug)]
+struct UnionFind {
+    parents: BTreeMap<RefTerm, RefTerm>,
+}
+
+impl UnionFind {
+    fn new() -> UnionFind {
+        UnionFind {
+            parents: BTreeMap::new(),
+        }
+    }
+
+    fn find(&mut self, t: RefTerm) -> RefTerm {
+        let p = *self.parents.get(&t).unwrap_or(&t);
+        if p == t {
+            t
+        } else {
+            let root = self.find(p);
+            self.parents.insert(t, root);
+            root
+        }
+    }
+
+    fn union(&mut self, a: RefTerm, b: RefTerm) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parents.insert(ra, rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::SymSupply;
+
+    fn int_solver(n: usize) -> (Solver, Vec<SymExpr>) {
+        let mut supply = SymSupply::new();
+        let mut solver = Solver::new();
+        let mut syms = Vec::new();
+        for _ in 0..n {
+            let s = supply.fresh();
+            solver.declare(s, Sort::Int);
+            syms.push(SymExpr::sym(s));
+        }
+        (solver, syms)
+    }
+
+    #[test]
+    fn linear_arithmetic() {
+        let (mut solver, s) = int_solver(2);
+        let x = s[0].clone();
+        let y = s[1].clone();
+        // x ≤ y ∧ y ≤ x ⊨ x = y
+        let pc = vec![
+            SymExpr::le(x.clone(), y.clone()),
+            SymExpr::le(y.clone(), x.clone()),
+        ];
+        assert_eq!(
+            solver.entails(&pc, &SymExpr::eq(x.clone(), y.clone())),
+            Answer::Valid
+        );
+        // x < y ⊨ x + 1 ≤ y (integer tightening).
+        let pc = vec![SymExpr::lt(x.clone(), y.clone())];
+        assert_eq!(
+            solver.entails(
+                &pc,
+                &SymExpr::le(SymExpr::add(x.clone(), SymExpr::int(1)), y.clone())
+            ),
+            Answer::Valid
+        );
+        // x ≤ y ⊭ x < y.
+        let pc = vec![SymExpr::le(x.clone(), y.clone())];
+        assert_eq!(solver.entails(&pc, &SymExpr::lt(x, y)), Answer::Invalid);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let (mut solver, s) = int_solver(2);
+        let x = s[0].clone();
+        let y = s[1].clone();
+        // ⊨ x + y - y = x
+        let goal = SymExpr::eq(SymExpr::sub(SymExpr::add(x.clone(), y.clone()), y), x);
+        assert_eq!(solver.entails(&[], &goal), Answer::Valid);
+    }
+
+    #[test]
+    fn scaled_constraints() {
+        let (mut solver, s) = int_solver(1);
+        let x = s[0].clone();
+        // 2x ≤ 5 ∧ 3 ≤ 2x is rationally satisfiable but the bounds on x
+        // conflict after pairing: 3 ≤ 2x ≤ 5 — fine rationally, so the
+        // solver must NOT claim validity of falsity.
+        let pc = vec![
+            SymExpr::le(SymExpr::mul(SymExpr::int(2), x.clone()), SymExpr::int(5)),
+            SymExpr::le(SymExpr::int(3), SymExpr::mul(SymExpr::int(2), x)),
+        ];
+        assert_eq!(solver.entails(&pc, &SymExpr::bool(false)), Answer::Invalid);
+    }
+
+    #[test]
+    fn boolean_structure() {
+        let mut supply = SymSupply::new();
+        let mut solver = Solver::new();
+        let p = supply.fresh();
+        let q = supply.fresh();
+        solver.declare(p, Sort::Bool);
+        solver.declare(q, Sort::Bool);
+        let sp = SymExpr::sym(p);
+        let sq = SymExpr::sym(q);
+        // p ∨ q, ¬p ⊨ q.
+        let pc = vec![
+            SymExpr::or(sp.clone(), sq.clone()),
+            SymExpr::not(sp.clone()),
+        ];
+        assert_eq!(solver.entails(&pc, &sq), Answer::Valid);
+        // p ⊭ q.
+        assert_eq!(solver.entails(&[sp], &sq), Answer::Invalid);
+    }
+
+    #[test]
+    fn reference_reasoning() {
+        let mut supply = SymSupply::new();
+        let mut solver = Solver::new();
+        let a = supply.fresh();
+        let b = supply.fresh();
+        let c = supply.fresh();
+        for s in [a, b, c] {
+            solver.declare(s, Sort::Ref);
+        }
+        let (ea, eb, ec) = (SymExpr::sym(a), SymExpr::sym(b), SymExpr::sym(c));
+        // a = b ∧ b = c ⊨ a = c.
+        let pc = vec![
+            SymExpr::eq(ea.clone(), eb.clone()),
+            SymExpr::eq(eb.clone(), ec.clone()),
+        ];
+        assert_eq!(
+            solver.entails(&pc, &SymExpr::eq(ea.clone(), ec.clone())),
+            Answer::Valid
+        );
+        // a = b ∧ a ≠ b is inconsistent.
+        let pc = vec![
+            SymExpr::eq(ea.clone(), eb.clone()),
+            SymExpr::not(SymExpr::eq(ea.clone(), eb.clone())),
+        ];
+        assert!(!solver.consistent(&pc));
+        // a ≠ null ⊭ a = b.
+        let pc = vec![SymExpr::not(SymExpr::eq(ea.clone(), SymExpr::Null))];
+        assert_eq!(solver.entails(&pc, &SymExpr::eq(ea, eb)), Answer::Invalid);
+    }
+
+    #[test]
+    fn mixed_implication() {
+        let (mut solver, s) = int_solver(2);
+        let x = s[0].clone();
+        let y = s[1].clone();
+        // (x = 3 → y = 4) ∧ x = 3 ⊨ y = 4.
+        let pc = vec![
+            SymExpr::implies(
+                SymExpr::eq(x.clone(), SymExpr::int(3)),
+                SymExpr::eq(y.clone(), SymExpr::int(4)),
+            ),
+            SymExpr::eq(x, SymExpr::int(3)),
+        ];
+        assert_eq!(
+            solver.entails(&pc, &SymExpr::eq(y, SymExpr::int(4))),
+            Answer::Valid
+        );
+    }
+
+    #[test]
+    fn nonlinear_is_unknown_not_wrong() {
+        let (mut solver, s) = int_solver(2);
+        let x = s[0].clone();
+        let y = s[1].clone();
+        let sq = SymExpr::Mul(Box::new(x.clone()), Box::new(x.clone()));
+        // x*x ≥ 0 is true but nonlinear: must NOT be Invalid-with-
+        // certainty... and must never be claimed Valid wrongly; Unknown
+        // is the honest answer.
+        let goal = SymExpr::le(SymExpr::int(0), sq);
+        let ans = solver.entails(&[], &goal);
+        assert_ne!(ans, Answer::Invalid);
+        // And an actually-false nonlinear goal must not verify.
+        let bad = SymExpr::eq(
+            SymExpr::Mul(Box::new(x), Box::new(y)),
+            SymExpr::int(3),
+        );
+        assert_ne!(solver.entails(&[], &bad), Answer::Valid);
+    }
+
+    #[test]
+    fn inconsistent_pc_proves_anything() {
+        let (mut solver, s) = int_solver(1);
+        let x = s[0].clone();
+        let pc = vec![
+            SymExpr::lt(x.clone(), SymExpr::int(0)),
+            SymExpr::lt(SymExpr::int(0), x),
+        ];
+        assert_eq!(solver.entails(&pc, &SymExpr::bool(false)), Answer::Valid);
+        assert!(!solver.consistent(&pc));
+    }
+
+    #[test]
+    fn query_stats_accumulate() {
+        let (mut solver, s) = int_solver(1);
+        let x = s[0].clone();
+        let _ = solver.entails(&[], &SymExpr::eq(x.clone(), x));
+        assert_eq!(solver.queries, 1);
+        assert!(solver.branches >= 1);
+    }
+}

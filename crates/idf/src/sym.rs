@@ -1,0 +1,298 @@
+//! Symbolic values for the IDF verifier.
+//!
+//! The symbolic executor manipulates terms over fresh symbols; the
+//! decision procedure in [`crate::smt`] discharges entailments between
+//! them. Symbols are typed (integer, boolean, reference) at creation.
+
+use std::fmt;
+
+/// A typed symbol identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Sym(pub u32);
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The sort of a symbol or expression.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sort {
+    /// Mathematical (64-bit) integers.
+    Int,
+    /// Booleans.
+    Bool,
+    /// Object references (with a distinguished `null`).
+    Ref,
+}
+
+/// A symbolic expression.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SymExpr {
+    /// A symbol.
+    Sym(Sym),
+    /// An integer literal.
+    Int(i64),
+    /// A boolean literal.
+    Bool(bool),
+    /// The null reference.
+    Null,
+    /// Addition.
+    Add(Box<SymExpr>, Box<SymExpr>),
+    /// Subtraction.
+    Sub(Box<SymExpr>, Box<SymExpr>),
+    /// Multiplication (the decision procedure handles the linear
+    /// fragment; nonlinear goals may come back unknown).
+    Mul(Box<SymExpr>, Box<SymExpr>),
+    /// Equality (any shared sort).
+    Eq(Box<SymExpr>, Box<SymExpr>),
+    /// Integer `<`.
+    Lt(Box<SymExpr>, Box<SymExpr>),
+    /// Integer `<=`.
+    Le(Box<SymExpr>, Box<SymExpr>),
+    /// Negation.
+    Not(Box<SymExpr>),
+    /// Conjunction.
+    And(Box<SymExpr>, Box<SymExpr>),
+    /// Disjunction.
+    Or(Box<SymExpr>, Box<SymExpr>),
+    /// Implication.
+    Implies(Box<SymExpr>, Box<SymExpr>),
+    /// If-then-else on a boolean condition.
+    Ite(Box<SymExpr>, Box<SymExpr>, Box<SymExpr>),
+}
+
+#[allow(clippy::should_implement_trait)]
+impl SymExpr {
+    /// Integer literal.
+    pub fn int(n: i64) -> SymExpr {
+        SymExpr::Int(n)
+    }
+
+    /// Boolean literal.
+    pub fn bool(b: bool) -> SymExpr {
+        SymExpr::Bool(b)
+    }
+
+    /// Symbol reference.
+    pub fn sym(s: Sym) -> SymExpr {
+        SymExpr::Sym(s)
+    }
+
+    /// `a + b` with constant folding.
+    pub fn add(a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Int(x), SymExpr::Int(y)) => SymExpr::Int(x.wrapping_add(*y)),
+            (SymExpr::Int(0), _) => b,
+            (_, SymExpr::Int(0)) => a,
+            _ => SymExpr::Add(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a - b` with constant folding.
+    pub fn sub(a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Int(x), SymExpr::Int(y)) => SymExpr::Int(x.wrapping_sub(*y)),
+            (_, SymExpr::Int(0)) => a,
+            _ => SymExpr::Sub(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a * b` with constant folding.
+    pub fn mul(a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Int(x), SymExpr::Int(y)) => SymExpr::Int(x.wrapping_mul(*y)),
+            (SymExpr::Int(1), _) => b,
+            (_, SymExpr::Int(1)) => a,
+            (SymExpr::Int(0), _) | (_, SymExpr::Int(0)) => SymExpr::Int(0),
+            _ => SymExpr::Mul(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a = b` with folding.
+    pub fn eq(a: SymExpr, b: SymExpr) -> SymExpr {
+        if a == b {
+            return SymExpr::Bool(true);
+        }
+        match (&a, &b) {
+            (SymExpr::Int(x), SymExpr::Int(y)) => SymExpr::Bool(x == y),
+            (SymExpr::Bool(x), SymExpr::Bool(y)) => SymExpr::Bool(x == y),
+            _ => SymExpr::Eq(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a < b` with folding.
+    pub fn lt(a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Int(x), SymExpr::Int(y)) => SymExpr::Bool(x < y),
+            _ => SymExpr::Lt(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a <= b` with folding.
+    pub fn le(a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Int(x), SymExpr::Int(y)) => SymExpr::Bool(x <= y),
+            _ => SymExpr::Le(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `¬a` with folding.
+    pub fn not(a: SymExpr) -> SymExpr {
+        match a {
+            SymExpr::Bool(b) => SymExpr::Bool(!b),
+            SymExpr::Not(inner) => *inner,
+            _ => SymExpr::Not(Box::new(a)),
+        }
+    }
+
+    /// `a ∧ b` with folding.
+    pub fn and(a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Bool(true), _) => b,
+            (_, SymExpr::Bool(true)) => a,
+            (SymExpr::Bool(false), _) | (_, SymExpr::Bool(false)) => SymExpr::Bool(false),
+            _ => SymExpr::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a ∨ b` with folding.
+    pub fn or(a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Bool(false), _) => b,
+            (_, SymExpr::Bool(false)) => a,
+            (SymExpr::Bool(true), _) | (_, SymExpr::Bool(true)) => SymExpr::Bool(true),
+            _ => SymExpr::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `a → b` with folding.
+    pub fn implies(a: SymExpr, b: SymExpr) -> SymExpr {
+        SymExpr::or(SymExpr::not(a), b)
+    }
+
+    /// The symbols occurring in the expression.
+    pub fn symbols(&self, out: &mut Vec<Sym>) {
+        match self {
+            SymExpr::Sym(s) => {
+                if !out.contains(s) {
+                    out.push(*s);
+                }
+            }
+            SymExpr::Int(_) | SymExpr::Bool(_) | SymExpr::Null => {}
+            SymExpr::Not(a) => a.symbols(out),
+            SymExpr::Add(a, b)
+            | SymExpr::Sub(a, b)
+            | SymExpr::Mul(a, b)
+            | SymExpr::Eq(a, b)
+            | SymExpr::Lt(a, b)
+            | SymExpr::Le(a, b)
+            | SymExpr::And(a, b)
+            | SymExpr::Or(a, b)
+            | SymExpr::Implies(a, b) => {
+                a.symbols(out);
+                b.symbols(out);
+            }
+            SymExpr::Ite(c, t, e) => {
+                c.symbols(out);
+                t.symbols(out);
+                e.symbols(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExpr::Sym(s) => write!(f, "{}", s),
+            SymExpr::Int(n) => write!(f, "{}", n),
+            SymExpr::Bool(b) => write!(f, "{}", b),
+            SymExpr::Null => write!(f, "null"),
+            SymExpr::Add(a, b) => write!(f, "({} + {})", a, b),
+            SymExpr::Sub(a, b) => write!(f, "({} - {})", a, b),
+            SymExpr::Mul(a, b) => write!(f, "({} * {})", a, b),
+            SymExpr::Eq(a, b) => write!(f, "({} == {})", a, b),
+            SymExpr::Lt(a, b) => write!(f, "({} < {})", a, b),
+            SymExpr::Le(a, b) => write!(f, "({} <= {})", a, b),
+            SymExpr::Not(a) => write!(f, "!{}", a),
+            SymExpr::And(a, b) => write!(f, "({} && {})", a, b),
+            SymExpr::Or(a, b) => write!(f, "({} || {})", a, b),
+            SymExpr::Implies(a, b) => write!(f, "({} ==> {})", a, b),
+            SymExpr::Ite(c, t, e) => write!(f, "(ite {} {} {})", c, t, e),
+        }
+    }
+}
+
+/// A fresh-symbol supply.
+#[derive(Clone, Debug, Default)]
+pub struct SymSupply {
+    next: u32,
+}
+
+impl SymSupply {
+    /// A new supply starting at 0.
+    pub fn new() -> SymSupply {
+        SymSupply::default()
+    }
+
+    /// Mints a fresh symbol.
+    pub fn fresh(&mut self) -> Sym {
+        let s = Sym(self.next);
+        self.next += 1;
+        s
+    }
+
+    /// How many symbols have been minted (the witness-count metric of
+    /// experiment T1).
+    pub fn minted(&self) -> usize {
+        self.next as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folding() {
+        assert_eq!(
+            SymExpr::add(SymExpr::int(2), SymExpr::int(3)),
+            SymExpr::int(5)
+        );
+        assert_eq!(
+            SymExpr::and(SymExpr::bool(true), SymExpr::sym(Sym(0))),
+            SymExpr::sym(Sym(0))
+        );
+        assert_eq!(
+            SymExpr::mul(SymExpr::int(0), SymExpr::sym(Sym(0))),
+            SymExpr::int(0)
+        );
+        assert_eq!(
+            SymExpr::eq(SymExpr::sym(Sym(1)), SymExpr::sym(Sym(1))),
+            SymExpr::bool(true)
+        );
+        assert_eq!(SymExpr::not(SymExpr::not(SymExpr::sym(Sym(0)))), SymExpr::sym(Sym(0)));
+    }
+
+    #[test]
+    fn symbol_collection() {
+        let e = SymExpr::add(
+            SymExpr::sym(Sym(1)),
+            SymExpr::mul(SymExpr::sym(Sym(2)), SymExpr::sym(Sym(1))),
+        );
+        let mut syms = Vec::new();
+        e.symbols(&mut syms);
+        assert_eq!(syms, vec![Sym(1), Sym(2)]);
+    }
+
+    #[test]
+    fn supply_is_monotone() {
+        let mut s = SymSupply::new();
+        let a = s.fresh();
+        let b = s.fresh();
+        assert_ne!(a, b);
+        assert_eq!(s.minted(), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the IDF front-end: printer/parser round-trips and
+//! verifier robustness (no panics on arbitrary well-formed programs).
+
+use daenerys_algebra::Q;
+use daenerys_idf::{
+    parse_program, Assertion, Backend, Expr, Method, Op, Program, Stmt, Type, Verifier,
+};
+use proptest::prelude::*;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let var = prop_oneof![Just("a"), Just("b"), Just("n")].prop_map(Expr::var);
+    let leaf = prop_oneof![
+        (-8i64..=8).prop_map(Expr::Int),
+        any::<bool>().prop_map(Expr::Bool),
+        var.clone(),
+        var.clone().prop_map(|v| Expr::field(v, "v")),
+        var.clone()
+            .prop_map(|v| Expr::Old(Box::new(Expr::field(v, "v")))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(Op::Add),
+                    Just(Op::Sub),
+                    Just(Op::Mul),
+                    Just(Op::Eq),
+                    Just(Op::Ne),
+                    Just(Op::Lt),
+                    Just(Op::Le),
+                    Just(Op::Gt),
+                    Just(Op::Ge),
+                    Just(Op::And),
+                    Just(Op::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::Cond(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+    })
+}
+
+fn arb_assertion() -> impl Strategy<Value = Assertion> {
+    let acc = prop_oneof![Just("a"), Just("b")].prop_map(|x| {
+        Assertion::Acc(Expr::var(x), "v".to_string(), Q::HALF)
+    });
+    let leaf = prop_oneof![arb_expr().prop_map(Assertion::Expr), acc];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Assertion::and(a, b)),
+            (arb_expr(), inner.clone())
+                .prop_map(|(c, a)| Assertion::Implies(c, Box::new(a))),
+        ]
+    })
+    // The printer round-trips canonical assertions (see
+    // `Assertion::normalize`).
+    .prop_map(|a| a.normalize())
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let target = prop_oneof![Just("t"), Just("r")];
+    let recv = prop_oneof![Just("a"), Just("b")].prop_map(Expr::var);
+    let leaf = prop_oneof![
+        (target.clone(), arb_expr()).prop_map(|(x, e)| Stmt::Assign(x.to_string(), e)),
+        (recv.clone(), arb_expr())
+            .prop_map(|(r, e)| Stmt::FieldWrite(r, "v".to_string(), e)),
+        arb_assertion().prop_map(Stmt::Inhale),
+        arb_assertion().prop_map(Stmt::Exhale),
+        arb_assertion().prop_map(Stmt::Assert),
+        (target, arb_expr())
+            .prop_map(|(x, e)| Stmt::VarDecl(x.to_string(), Type::Int, e)),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (
+                arb_expr(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                proptest::collection::vec(inner.clone(), 0..2)
+            )
+                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            (
+                arb_expr(),
+                arb_assertion(),
+                proptest::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(c, i, b)| Stmt::While(c, i, b)),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(arb_stmt(), 0..5),
+        arb_assertion(),
+        arb_assertion(),
+    )
+        .prop_map(|(body, requires, ensures)| Program {
+            fields: vec![("v".to_string(), Type::Int)],
+            methods: vec![Method {
+                name: "m".to_string(),
+                params: vec![
+                    ("a".to_string(), Type::Ref),
+                    ("b".to_string(), Type::Ref),
+                    ("n".to_string(), Type::Int),
+                ],
+                returns: vec![("r".to_string(), Type::Int)],
+                requires,
+                ensures,
+                body: Some(body),
+            }],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pretty-printer emits source that parses back to the same AST.
+    #[test]
+    fn program_print_parse_roundtrip(p in arb_program()) {
+        let printed = p.to_string();
+        let reparsed = parse_program(&printed);
+        prop_assert!(reparsed.is_ok(), "unparseable:\n{}", printed);
+        prop_assert_eq!(reparsed.unwrap(), p, "roundtrip mismatch:\n{}", printed);
+    }
+
+    /// The verifier never panics on arbitrary well-formed programs, and
+    /// both backends return the same verdict.
+    #[test]
+    fn verifier_is_total_and_backends_agree(p in arb_program()) {
+        let rd = Verifier::new(&p, Backend::Destabilized).verify_all().is_ok();
+        let rb = Verifier::new(&p, Backend::StableBaseline).verify_all().is_ok();
+        prop_assert_eq!(rd, rb, "backends disagree on:\n{}", p);
+    }
+}

@@ -1,0 +1,263 @@
+//! Adequacy as a runtime oracle.
+//!
+//! The paper's adequacy theorem: a closed proof of `{P} e {x. Q}`
+//! guarantees that executing `e` from any state satisfying `P` is safe
+//! (no stuck states, every access covered by permissions) and ends in a
+//! state satisfying `Q`. We validate exactly this, executably: enumerate
+//! the heap models of `P` inside a finite universe, run `e` under the
+//! permission monitor, and check `Q` in the final world.
+
+use crate::monitor::{MonMachine, Violation};
+use crate::triple::Triple;
+use daenerys_core::{holds, Env, EvalCtx, World, WorldUniverse};
+use daenerys_heaplang::{Heap, Val};
+
+/// How fork hands resources to children during validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ForkPolicy {
+    /// The child receives the parent's entire resource (matches the
+    /// `wp-fork` rule, whose conclusion keeps nothing).
+    GiveAll,
+    /// Forks are not expected; encountering one is a violation.
+    Forbid,
+}
+
+/// The outcome of validating one triple against one universe.
+#[derive(Clone, Debug)]
+pub struct AdequacyReport {
+    /// Number of pre-models executed.
+    pub models: usize,
+    /// Human-readable descriptions of failures (empty = adequate).
+    pub failures: Vec<String>,
+}
+
+impl AdequacyReport {
+    /// Whether every model executed safely and satisfied the post.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Builds the physical heap corresponding to a world's total resource.
+pub fn heap_of_world(w: &World) -> Heap {
+    let mut h = Heap::new();
+    let total = w.total();
+    for (l, (_, ag)) in total.heap.iter() {
+        if let Some(v) = ag.get() {
+            h.insert(*l, v.clone());
+        }
+    }
+    h
+}
+
+/// Validates `{P} e {x. Q}` by monitored execution over every model of
+/// `P` in the universe.
+///
+/// For each world `(own, frame)` with `P(own, frame)`:
+///
+/// 1. materialize the physical heap of `own ⋅ frame`;
+/// 2. run `e` under the permission monitor with resource `own`
+///    (round-robin over forked threads);
+/// 3. on completion, check `Q[result/x]` in the final world, where the
+///    frame additionally absorbs the resources of finished children.
+pub fn validate(
+    t: &Triple,
+    uni: &WorldUniverse,
+    fuel: usize,
+    fork_policy: ForkPolicy,
+) -> AdequacyReport {
+    let ctx = EvalCtx::new(uni);
+    let env = Env::new();
+    let mut models = 0;
+    let mut failures = Vec::new();
+
+    for w in uni.worlds() {
+        if !holds(&t.pre, &w, &env, 2, &ctx) {
+            continue;
+        }
+        models += 1;
+        let heap = heap_of_world(&w);
+        let mut machine = MonMachine::new(t.expr.clone(), w.own.clone(), heap);
+        let result = run_with_policy(&mut machine, fuel, fork_policy);
+        match result {
+            Err(v) => failures.push(format!(
+                "model own={:?} frame={:?}: {}",
+                w.own, w.frame, v
+            )),
+            Ok(()) => {
+                let value: Val = match machine.main_result() {
+                    Some(v) => v.clone(),
+                    None => {
+                        failures.push(format!(
+                            "model own={:?}: main thread did not finish",
+                            w.own
+                        ));
+                        continue;
+                    }
+                };
+                // Children's left-over resources rejoin the environment.
+                let mut frame = w.frame.clone();
+                for extra in machine.threads.iter().skip(1) {
+                    frame = daenerys_algebra::Ra::op(&frame, &extra.own);
+                }
+                let final_world = World {
+                    own: machine.main_own().clone(),
+                    frame,
+                };
+                let post = t.post.subst(&t.binder, &value);
+                if !holds(&post, &final_world, &env, 2, &ctx) {
+                    failures.push(format!(
+                        "model own={:?}: post {} failed at result {} (final own {:?})",
+                        w.own, post, value, final_world.own
+                    ));
+                }
+            }
+        }
+    }
+
+    AdequacyReport { models, failures }
+}
+
+/// Validates a triple under **every interleaving** (depth-bounded DFS
+/// over scheduler choices) instead of round-robin only. Use for
+/// concurrent triples where the schedule matters.
+pub fn validate_exhaustive(
+    t: &Triple,
+    uni: &WorldUniverse,
+    depth: usize,
+    fork_policy: ForkPolicy,
+) -> AdequacyReport {
+    let ctx = EvalCtx::new(uni);
+    let env = Env::new();
+    let mut models = 0;
+    let mut failures = Vec::new();
+
+    for w in uni.worlds() {
+        if !holds(&t.pre, &w, &env, 2, &ctx) {
+            continue;
+        }
+        models += 1;
+        let heap = heap_of_world(&w);
+        let initial = MonMachine::new(t.expr.clone(), w.own.clone(), heap);
+        let mut stack: Vec<(MonMachine, usize)> = vec![(initial, 0)];
+        while let Some((m, d)) = stack.pop() {
+            let runnable = m.runnable();
+            if runnable.is_empty() {
+                // Terminal: check the post.
+                let Some(value) = m.main_result().cloned() else {
+                    failures.push(format!("model own={:?}: no main result", w.own));
+                    continue;
+                };
+                let mut frame = w.frame.clone();
+                for extra in m.threads.iter().skip(1) {
+                    frame = daenerys_algebra::Ra::op(&frame, &extra.own);
+                }
+                let final_world = World {
+                    own: m.main_own().clone(),
+                    frame,
+                };
+                let post = t.post.subst(&t.binder, &value);
+                if !holds(&post, &final_world, &env, 2, &ctx) {
+                    failures.push(format!(
+                        "model own={:?}: post fails on some schedule (result {})",
+                        w.own, value
+                    ));
+                }
+                continue;
+            }
+            if d >= depth {
+                failures.push(format!("model own={:?}: depth bound hit", w.own));
+                continue;
+            }
+            for i in runnable {
+                let mut next = m.clone();
+                if fork_policy == ForkPolicy::GiveAll {
+                    let own = next.threads[i].own.clone();
+                    next.fork_resources.clear();
+                    next.fork_resources.push_back(own);
+                }
+                if let Err(v) = next.step_thread(i) {
+                    failures.push(format!("model own={:?}: {}", w.own, v));
+                    continue;
+                }
+                stack.push((next, d + 1));
+            }
+        }
+    }
+    AdequacyReport { models, failures }
+}
+
+fn run_with_policy(
+    machine: &mut MonMachine,
+    fuel: usize,
+    policy: ForkPolicy,
+) -> Result<(), Violation> {
+    for _ in 0..fuel {
+        let runnable = machine.runnable();
+        if runnable.is_empty() {
+            return Ok(());
+        }
+        for i in runnable {
+            // Refresh the fork schedule so a GiveAll fork hands over the
+            // forking thread's current resource.
+            if policy == ForkPolicy::GiveAll {
+                let own = machine.threads[i].own.clone();
+                machine.fork_resources.clear();
+                machine.fork_resources.push_back(own);
+            }
+            machine.step_thread(i)?;
+        }
+    }
+    if machine.runnable().is_empty() {
+        Ok(())
+    } else {
+        Err(Violation::Stuck("out of fuel".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::*;
+    use daenerys_core::{Assert, Term, UniverseSpec};
+    use daenerys_heaplang::{Expr, Loc};
+
+    fn uni() -> WorldUniverse {
+        UniverseSpec::tiny().build()
+    }
+
+    #[test]
+    fn store_triple_is_adequate() {
+        let tp = wp_store(Loc(0), Val::int(0), Val::int(1), "x");
+        let report = validate(tp.triple(), &uni(), 1000, ForkPolicy::Forbid);
+        assert!(report.models > 0);
+        assert!(report.ok(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn bogus_triple_is_caught() {
+        // {emp} l <- 1 {x. ⊤} — writing without permission.
+        let t = Triple::new(
+            Assert::Emp,
+            Expr::store(Expr::Val(Val::loc(Loc(0))), Expr::int(1)),
+            "x",
+            Assert::truth(),
+        );
+        let report = validate(&t, &uni(), 1000, ForkPolicy::Forbid);
+        assert!(report.models > 0);
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn wrong_post_is_caught() {
+        // {l ↦ 0} l <- 1 {x. l ↦ 2} — lies about the final value.
+        let t = Triple::new(
+            Assert::points_to(Term::loc(Loc(0)), Term::int(0)),
+            Expr::store(Expr::Val(Val::loc(Loc(0))), Expr::int(1)),
+            "x",
+            Assert::points_to(Term::loc(Loc(0)), Term::int(2)),
+        );
+        let report = validate(&t, &uni(), 1000, ForkPolicy::Forbid);
+        assert!(report.models > 0 && !report.ok());
+    }
+}

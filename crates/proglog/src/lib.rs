@@ -1,0 +1,18 @@
+//! # `daenerys-proglog` — the program logic over HeapLang
+//!
+//! Hoare triples in the destabilized logic, validated by *monitored
+//! execution*: the adequacy theorem of the paper becomes a runtime
+//! oracle that checks every heap access of a verified program against
+//! the permissions its proof claimed.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adequacy;
+pub mod monitor;
+pub mod rules;
+pub mod triple;
+
+pub use adequacy::{heap_of_world, validate, validate_exhaustive, AdequacyReport, ForkPolicy};
+pub use monitor::{subtract, MonMachine, MonThread, Violation};
+pub use triple::{Triple, TripleProof};

@@ -1,0 +1,496 @@
+//! The weakest-precondition rule kernel.
+//!
+//! Triples are certified through the constructors below; each checks its
+//! syntactic side conditions, and the adequacy harness
+//! ([`crate::adequacy`]) validates every rule schema by monitored
+//! execution over heap models — the executable substitute for the
+//! paper's adequacy theorem.
+//!
+//! The destabilized fingerprints:
+//!
+//! * the **frame rule** ([`wp_frame`]) carries a stability side
+//!   condition — framing an unstable assertion over a program that
+//!   interferes with it is unsound, so only syntactically stable frames
+//!   are accepted;
+//! * the heap axioms offer *heap-dependent postconditions*
+//!   ([`wp_load_hd`], [`wp_store_hd`]) in which the postcondition
+//!   speaks about `!l` directly, IDF-style.
+
+use crate::triple::{Triple, TripleProof};
+use daenerys_core::proof::{Entails, ProofError};
+use daenerys_core::{syntactically_stable, Assert, Term};
+use daenerys_heaplang::{pure_step, Expr, Loc, Val};
+
+fn reject<T>(rule: &'static str, message: impl Into<String>) -> Result<T, ProofError> {
+    Err(ProofError {
+        rule,
+        message: message.into(),
+    })
+}
+
+/// `{Q[v/x]} v {x. Q}` — the value rule.
+pub fn wp_value(v: Val, binder: &str, post: Assert) -> TripleProof {
+    let pre = post.subst(binder, &v);
+    TripleProof::make(
+        Triple::new(pre, Expr::Val(v), binder, post),
+        "wp-value",
+        1,
+    )
+}
+
+/// Pure step: if `e` pure-steps to the verified program, the triple
+/// transfers to `e`.
+///
+/// # Errors
+///
+/// Rejects when `e` does not pure-step to the premise's program.
+pub fn wp_pure(premise: &TripleProof, e: Expr) -> Result<TripleProof, ProofError> {
+    match pure_step(&e) {
+        Some(e2) if e2 == premise.triple().expr => Ok(TripleProof::make(
+            Triple::new(
+                premise.triple().pre.clone(),
+                e,
+                &premise.triple().binder,
+                premise.triple().post.clone(),
+            ),
+            "wp-pure",
+            premise.steps() + 1,
+        )),
+        Some(e2) => reject(
+            "wp-pure",
+            format!("expression steps to {}, premise is about {}", e2, premise.triple().expr),
+        ),
+        None => reject("wp-pure", "expression does not pure-step"),
+    }
+}
+
+/// Iterated [`wp_pure`]: runs as many pure steps as possible (at most
+/// `fuel`).
+///
+/// # Errors
+///
+/// Rejects when the pure normal form differs from the premise's program.
+pub fn wp_pure_steps(premise: &TripleProof, e: Expr, fuel: usize) -> Result<TripleProof, ProofError> {
+    let mut frontier = vec![e.clone()];
+    let mut cur = e;
+    for _ in 0..fuel {
+        match pure_step(&cur) {
+            Some(next) => {
+                cur = next.clone();
+                frontier.push(next);
+            }
+            None => break,
+        }
+    }
+    if !frontier.contains(&premise.triple().expr) {
+        return reject(
+            "wp-pure-steps",
+            format!(
+                "no pure-step prefix reaches the premise program {}",
+                premise.triple().expr
+            ),
+        );
+    }
+    Ok(TripleProof::make(
+        Triple::new(
+            premise.triple().pre.clone(),
+            frontier[0].clone(),
+            &premise.triple().binder,
+            premise.triple().post.clone(),
+        ),
+        "wp-pure-steps",
+        premise.steps() + 1,
+    ))
+}
+
+/// **The destabilized frame rule**: from `{P} e {x. Q}`, conclude
+/// `{P ∗ R} e {x. Q ∗ R}` — only for *syntactically stable* `R`.
+///
+/// # Errors
+///
+/// Rejects unstable frames (e.g. naked heap-dependent facts), which the
+/// program's own steps could invalidate.
+pub fn wp_frame(premise: &TripleProof, r: Assert) -> Result<TripleProof, ProofError> {
+    if !syntactically_stable(&r) {
+        return reject(
+            "wp-frame",
+            format!("frame {} is not syntactically stable", r),
+        );
+    }
+    let t = premise.triple();
+    Ok(TripleProof::make(
+        Triple::new(
+            Assert::sep(t.pre.clone(), r.clone()),
+            t.expr.clone(),
+            &t.binder,
+            Assert::sep(t.post.clone(), r),
+        ),
+        "wp-frame",
+        premise.steps() + 1,
+    ))
+}
+
+/// The rule of consequence: from `P' ⊢ P`, `{P} e {x. Q}` and `Q ⊢ Q'`,
+/// conclude `{P'} e {x. Q'}`. The entailments come from the
+/// `daenerys-core` kernel.
+///
+/// # Errors
+///
+/// Rejects when the entailments do not connect to the triple.
+pub fn wp_consequence(
+    pre_ent: &Entails,
+    premise: &TripleProof,
+    post_ent: &Entails,
+) -> Result<TripleProof, ProofError> {
+    let t = premise.triple();
+    if pre_ent.rhs() != &t.pre {
+        return reject("wp-consequence", "precondition entailment mismatch");
+    }
+    if post_ent.lhs() != &t.post {
+        return reject("wp-consequence", "postcondition entailment mismatch");
+    }
+    Ok(TripleProof::make(
+        Triple::new(
+            pre_ent.lhs().clone(),
+            t.expr.clone(),
+            &t.binder,
+            post_ent.rhs().clone(),
+        ),
+        "wp-consequence",
+        premise.steps() + pre_ent.steps() + post_ent.steps() + 1,
+    ))
+}
+
+/// Allocation: `{emp} ref v {x. x ↦ v}`.
+pub fn wp_alloc(v: Val, binder: &str) -> TripleProof {
+    let post = Assert::points_to(Term::var(binder), Term::Lit(v.clone()));
+    TripleProof::make(
+        Triple::new(pre_emp(), Expr::alloc(Expr::Val(v)), binder, post),
+        "wp-alloc",
+        1,
+    )
+}
+
+fn pre_emp() -> Assert {
+    Assert::Emp
+}
+
+/// Load: `{l ↦{dq} v} !l {x. ⌜x = v⌝ ∧ l ↦{dq} v}`.
+///
+/// # Errors
+///
+/// Rejects unreadable permissions.
+pub fn wp_load(
+    l: Loc,
+    dq: daenerys_algebra::DFrac,
+    v: Val,
+    binder: &str,
+) -> Result<TripleProof, ProofError> {
+    if !dq.allows_read() {
+        return reject("wp-load", "permission does not allow reading");
+    }
+    let pt = Assert::PointsTo(Term::loc(l), dq, Term::Lit(v.clone()));
+    let post = Assert::and(
+        Assert::eq(Term::var(binder), Term::Lit(v)),
+        pt.clone(),
+    );
+    Ok(TripleProof::make(
+        Triple::new(pt, Expr::load(Expr::Val(Val::loc(l))), binder, post),
+        "wp-load",
+        1,
+    ))
+}
+
+/// Heap-dependent load: `{l ↦{dq} v} !l {x. ⌜x = !l⌝ ∧ l ↦{dq} v}` — the
+/// postcondition reads the heap directly, IDF-style.
+///
+/// # Errors
+///
+/// Rejects unreadable permissions.
+pub fn wp_load_hd(
+    l: Loc,
+    dq: daenerys_algebra::DFrac,
+    v: Val,
+    binder: &str,
+) -> Result<TripleProof, ProofError> {
+    if !dq.allows_read() {
+        return reject("wp-load-hd", "permission does not allow reading");
+    }
+    let pt = Assert::PointsTo(Term::loc(l), dq, Term::Lit(v));
+    let post = Assert::and(
+        Assert::eq(Term::var(binder), Term::read(Term::loc(l))),
+        pt.clone(),
+    );
+    Ok(TripleProof::make(
+        Triple::new(pt, Expr::load(Expr::Val(Val::loc(l))), binder, post),
+        "wp-load-hd",
+        1,
+    ))
+}
+
+/// Store: `{l ↦ v} l <- w {x. ⌜x = ()⌝ ∧ l ↦ w}`.
+pub fn wp_store(l: Loc, v: Val, w: Val, binder: &str) -> TripleProof {
+    let pre = Assert::points_to(Term::loc(l), Term::Lit(v));
+    let post = Assert::and(
+        Assert::eq(Term::var(binder), Term::Lit(Val::unit())),
+        Assert::points_to(Term::loc(l), Term::Lit(w.clone())),
+    );
+    TripleProof::make(
+        Triple::new(
+            pre,
+            Expr::store(Expr::Val(Val::loc(l)), Expr::Val(w)),
+            binder,
+            post,
+        ),
+        "wp-store",
+        1,
+    )
+}
+
+/// Heap-dependent store: `{l ↦ v} l <- w {x. ⌜!l = w⌝ ∧ l ↦ w}`.
+pub fn wp_store_hd(l: Loc, v: Val, w: Val, binder: &str) -> TripleProof {
+    let pre = Assert::points_to(Term::loc(l), Term::Lit(v));
+    let post = Assert::and(
+        Assert::eq(Term::read(Term::loc(l)), Term::Lit(w.clone())),
+        Assert::points_to(Term::loc(l), Term::Lit(w.clone())),
+    );
+    TripleProof::make(
+        Triple::new(
+            pre,
+            Expr::store(Expr::Val(Val::loc(l)), Expr::Val(w)),
+            binder,
+            post,
+        ),
+        "wp-store-hd",
+        1,
+    )
+}
+
+/// Successful CAS: `{l ↦ v} cas(l, v, w) {x. ⌜x = true⌝ ∧ l ↦ w}`.
+///
+/// # Errors
+///
+/// Rejects non-comparable expected values.
+pub fn wp_cas_suc(l: Loc, v: Val, w: Val, binder: &str) -> Result<TripleProof, ProofError> {
+    if !v.is_comparable() {
+        return reject("wp-cas-suc", "expected value is not comparable");
+    }
+    let pre = Assert::points_to(Term::loc(l), Term::Lit(v.clone()));
+    let post = Assert::and(
+        Assert::eq(Term::var(binder), Term::Lit(Val::bool(true))),
+        Assert::points_to(Term::loc(l), Term::Lit(w.clone())),
+    );
+    Ok(TripleProof::make(
+        Triple::new(
+            pre,
+            Expr::cas(Expr::Val(Val::loc(l)), Expr::Val(v), Expr::Val(w)),
+            binder,
+            post,
+        ),
+        "wp-cas-suc",
+        1,
+    ))
+}
+
+/// Failing CAS: `{l ↦ v} cas(l, v', w) {x. ⌜x = false⌝ ∧ l ↦ v}` for
+/// `v ≠ v'`.
+///
+/// # Errors
+///
+/// Rejects equal or non-comparable values.
+pub fn wp_cas_fail(
+    l: Loc,
+    v: Val,
+    expected: Val,
+    w: Val,
+    binder: &str,
+) -> Result<TripleProof, ProofError> {
+    if !expected.is_comparable() || !v.is_comparable() {
+        return reject("wp-cas-fail", "values are not comparable");
+    }
+    if v == expected {
+        return reject("wp-cas-fail", "values are equal; the CAS would succeed");
+    }
+    let pre = Assert::points_to(Term::loc(l), Term::Lit(v.clone()));
+    let post = Assert::and(
+        Assert::eq(Term::var(binder), Term::Lit(Val::bool(false))),
+        pre.clone(),
+    );
+    Ok(TripleProof::make(
+        Triple::new(
+            pre,
+            Expr::cas(Expr::Val(Val::loc(l)), Expr::Val(expected), Expr::Val(w)),
+            binder,
+            post,
+        ),
+        "wp-cas-fail",
+        1,
+    ))
+}
+
+/// Fetch-and-add: `{l ↦ n} faa(l, d) {x. ⌜x = n⌝ ∧ l ↦ (n + d)}`.
+pub fn wp_faa(l: Loc, n: i64, d: i64, binder: &str) -> TripleProof {
+    let pre = Assert::points_to(Term::loc(l), Term::int(n));
+    let post = Assert::and(
+        Assert::eq(Term::var(binder), Term::int(n)),
+        Assert::points_to(Term::loc(l), Term::int(n.wrapping_add(d))),
+    );
+    TripleProof::make(
+        Triple::new(
+            pre,
+            Expr::faa(Expr::Val(Val::loc(l)), Expr::Val(Val::int(d))),
+            binder,
+            post,
+        ),
+        "wp-faa",
+        1,
+    )
+}
+
+/// Sequencing: from `{P} e1 {x. Q}` and a continuation triple
+/// `{Q[v/x]} e2[v/x] {y. R}` for each value `v` in the *declared result
+/// domain*, conclude `{P} let x = e1 in e2 {y. R}`.
+///
+/// The declared domain must cover every value `e1` can produce; this is
+/// what the adequacy harness checks dynamically.
+///
+/// # Errors
+///
+/// Rejects when a continuation premise does not match its instance.
+pub fn wp_let(
+    premise: &TripleProof,
+    x: &str,
+    e2: Expr,
+    continuations: &[(Val, TripleProof)],
+) -> Result<TripleProof, ProofError> {
+    let t1 = premise.triple();
+    let mut steps = premise.steps() + 1;
+    let (result_binder, final_post) = match continuations.first() {
+        Some((_, k)) => (k.triple().binder.clone(), k.triple().post.clone()),
+        None => return reject("wp-let", "at least one continuation required"),
+    };
+    for (v, k) in continuations {
+        let kt = k.triple();
+        if kt.pre != t1.post.subst(&t1.binder, v) {
+            return reject(
+                "wp-let",
+                format!("continuation precondition for {} mismatch", v),
+            );
+        }
+        if kt.expr != e2.subst(x, v) {
+            return reject("wp-let", format!("continuation program for {} mismatch", v));
+        }
+        if kt.binder != result_binder || kt.post != final_post {
+            return reject("wp-let", "continuations disagree on the postcondition");
+        }
+        steps += k.steps();
+    }
+    Ok(TripleProof::make(
+        Triple::new(
+            t1.pre.clone(),
+            Expr::let_(x, t1.expr.clone(), e2),
+            &result_binder,
+            final_post,
+        ),
+        "wp-let",
+        steps,
+    ))
+}
+
+/// Fork: from a child triple `{P} e {_. ⊤}`, conclude
+/// `{P} fork e {x. ⌜x = ()⌝}` — the child takes `P` with it.
+pub fn wp_fork(child: &TripleProof) -> TripleProof {
+    let t = child.triple();
+    TripleProof::make(
+        Triple::new(
+            t.pre.clone(),
+            Expr::fork(t.expr.clone()),
+            "x",
+            Assert::eq(Term::var("x"), Term::Lit(Val::unit())),
+        ),
+        "wp-fork",
+        child.steps() + 1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daenerys_algebra::{DFrac, Q};
+
+    #[test]
+    fn value_rule_substitutes() {
+        let post = Assert::eq(Term::var("x"), Term::int(5));
+        let tp = wp_value(Val::int(5), "x", post);
+        assert_eq!(tp.triple().pre, Assert::eq(Term::int(5), Term::int(5)));
+    }
+
+    #[test]
+    fn frame_rule_rejects_unstable() {
+        let tp = wp_store(Loc(0), Val::int(0), Val::int(1), "x");
+        let stable = Assert::points_to(Term::loc(Loc(1)), Term::int(7));
+        assert!(wp_frame(&tp, stable).is_ok());
+        let unstable = Assert::read_eq(Term::loc(Loc(1)), Term::int(7));
+        assert!(wp_frame(&tp, unstable).is_err());
+    }
+
+    #[test]
+    fn pure_rule_checks_reduction() {
+        let v = wp_value(Val::int(1), "x", Assert::truth());
+        // A single beta step: the function is already a closure value.
+        let id = Val::Rec {
+            f: daenerys_heaplang::Binder::Anon,
+            x: daenerys_heaplang::Binder::from("y"),
+            body: Box::new(Expr::var("y")),
+        };
+        let e = Expr::app(Expr::Val(id.clone()), Expr::int(1));
+        assert!(wp_pure(&v, e).is_ok());
+        let wrong = Expr::app(Expr::Val(id), Expr::int(2));
+        assert!(wp_pure(&v, wrong).is_err());
+        // Multi-step chains go through wp_pure_steps (fun-literals first
+        // reduce to closure values).
+        let chain = Expr::app(Expr::lam("y", Expr::var("y")), Expr::int(1));
+        assert!(wp_pure(&v, chain.clone()).is_err());
+        assert!(wp_pure_steps(&v, chain, 16).is_ok());
+    }
+
+    #[test]
+    fn cas_rules_check_comparability() {
+        assert!(wp_cas_suc(Loc(0), Val::int(0), Val::int(1), "x").is_ok());
+        let pair = Val::Pair(Box::new(Val::int(0)), Box::new(Val::int(0)));
+        assert!(wp_cas_suc(Loc(0), pair, Val::int(1), "x").is_err());
+        assert!(wp_cas_fail(Loc(0), Val::int(0), Val::int(0), Val::int(1), "x").is_err());
+        assert!(wp_cas_fail(Loc(0), Val::int(0), Val::int(5), Val::int(1), "x").is_ok());
+    }
+
+    #[test]
+    fn load_requires_read_permission() {
+        assert!(wp_load(Loc(0), DFrac::own(Q::HALF), Val::int(1), "x").is_ok());
+        assert!(wp_load(Loc(0), DFrac::own(Q::ZERO), Val::int(1), "x").is_err());
+    }
+
+    #[test]
+    fn let_rule_checks_continuations() {
+        // {emp} ref 1 {l. l ↦ 1}, then store through it.
+        let alloc = wp_alloc(Val::int(1), "l");
+        // Continuations for every location the universe can produce are
+        // impossible to enumerate; for the kernel check one suffices per
+        // declared value.
+        let l0 = Val::loc(Loc(0));
+        let k = wp_store(Loc(0), Val::int(1), Val::int(2), "y");
+        let e2 = Expr::store(Expr::var("l"), Expr::int(2));
+        let seq = wp_let(&alloc, "l", e2.clone(), &[(l0, k)]).unwrap();
+        assert_eq!(seq.rule(), "wp-let");
+        // A mismatched continuation is rejected.
+        let bad = wp_store(Loc(1), Val::int(1), Val::int(2), "y");
+        assert!(wp_let(&alloc, "l", e2, &[(Val::loc(Loc(0)), bad)]).is_err());
+    }
+
+    #[test]
+    fn fork_rule_shape() {
+        let child = wp_store(Loc(0), Val::int(0), Val::int(1), "x");
+        let f = wp_fork(&child);
+        assert!(matches!(f.triple().expr, Expr::Fork(_)));
+        assert_eq!(f.triple().pre, child.triple().pre);
+    }
+}

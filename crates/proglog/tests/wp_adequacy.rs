@@ -1,0 +1,176 @@
+//! Adequacy validation of every WP rule schema (the program-logic half
+//! of experiment T2): each rule's instances are executed under the
+//! permission monitor over all heap models of their preconditions.
+
+use daenerys_algebra::{DFrac, Q};
+use daenerys_core::{Assert, Term, UniverseSpec};
+use daenerys_heaplang::{Expr, Loc, Val};
+use daenerys_proglog::rules::*;
+use daenerys_proglog::{validate, ForkPolicy, TripleProof};
+
+fn assert_adequate(tp: &TripleProof, policy: ForkPolicy) {
+    let uni = UniverseSpec::tiny().build();
+    let report = validate(tp.triple(), &uni, 10_000, policy);
+    assert!(
+        report.ok(),
+        "rule {} produced an inadequate triple {}:\n{:?}",
+        tp.rule(),
+        tp.triple(),
+        report.failures
+    );
+    assert!(report.models > 0, "rule {} never exercised", tp.rule());
+}
+
+#[test]
+fn axiom_rules_are_adequate() {
+    let l = Loc(0);
+    for v in [Val::int(0), Val::int(1)] {
+        assert_adequate(&wp_alloc(v.clone(), "x"), ForkPolicy::Forbid);
+        for dq in [DFrac::own(Q::HALF), DFrac::FULL, DFrac::discarded()] {
+            assert_adequate(&wp_load(l, dq, v.clone(), "x").unwrap(), ForkPolicy::Forbid);
+            assert_adequate(
+                &wp_load_hd(l, dq, v.clone(), "x").unwrap(),
+                ForkPolicy::Forbid,
+            );
+        }
+        assert_adequate(&wp_store(l, v.clone(), Val::int(1), "x"), ForkPolicy::Forbid);
+        assert_adequate(
+            &wp_store_hd(l, v.clone(), Val::int(0), "x"),
+            ForkPolicy::Forbid,
+        );
+        assert_adequate(
+            &wp_cas_suc(l, v.clone(), Val::int(1), "x").unwrap(),
+            ForkPolicy::Forbid,
+        );
+    }
+    assert_adequate(
+        &wp_cas_fail(l, Val::int(0), Val::int(1), Val::int(1), "x").unwrap(),
+        ForkPolicy::Forbid,
+    );
+    assert_adequate(&wp_faa(l, 0, 1, "x"), ForkPolicy::Forbid);
+    assert_adequate(&wp_faa(l, 1, -1, "x"), ForkPolicy::Forbid);
+    assert_adequate(
+        &wp_value(Val::int(1), "x", Assert::eq(Term::var("x"), Term::int(1))),
+        ForkPolicy::Forbid,
+    );
+}
+
+#[test]
+fn framed_rules_are_adequate() {
+    // Frame a *stable* assertion over a store — survives execution.
+    let tp = wp_store(Loc(0), Val::int(0), Val::int(1), "x");
+    let stable_frames = [
+        Assert::PermGe(Term::loc(Loc(0)), Q::ZERO),
+        Assert::truth(),
+        Assert::Emp,
+    ];
+    for r in stable_frames {
+        let framed = wp_frame(&tp, r).unwrap();
+        assert_adequate(&framed, ForkPolicy::Forbid);
+    }
+}
+
+/// The destabilized counterpoint: framing an *unstable* heap-dependent
+/// fact over a program that writes the location yields an inadequate
+/// triple — and the monitor-based validator proves it by counterexample.
+#[test]
+fn unstable_frame_would_be_inadequate() {
+    use daenerys_proglog::Triple;
+    // Hand-write the triple wp_frame refuses to build:
+    // {l ↦ 0 ∗ ⌜!l = 0⌝} l <- 1 {x. (⌜x=()⌝ ∧ l ↦ 1) ∗ ⌜!l = 0⌝}.
+    let l = Term::loc(Loc(0));
+    let read0 = Assert::read_eq(l.clone(), Term::int(0));
+    let t = Triple::new(
+        Assert::sep(Assert::points_to(l.clone(), Term::int(0)), read0.clone()),
+        Expr::store(Expr::Val(Val::loc(Loc(0))), Expr::int(1)),
+        "x",
+        Assert::sep(Assert::points_to(l, Term::int(1)), read0),
+    );
+    let uni = UniverseSpec::tiny().build();
+    let report = validate(&t, &uni, 1000, ForkPolicy::Forbid);
+    assert!(report.models > 0);
+    assert!(
+        !report.ok(),
+        "the unstable frame should be refuted by execution"
+    );
+}
+
+#[test]
+fn let_chains_are_adequate() {
+    // {emp} let l = ref 0 in l <- 1 {x. ⌜x = ()⌝}.
+    // The allocator deterministically yields the next fresh location;
+    // models of emp have heaps built from the tiny universe (1 cell max),
+    // so the fresh location is 0 or 1. Provide continuations for both.
+    let alloc = wp_alloc(Val::int(0), "l");
+    let e2 = Expr::store(Expr::var("l"), Expr::int(1));
+    let unit_post = Assert::eq(Term::var("y"), Term::Lit(Val::unit()));
+    let mut conts = Vec::new();
+    for lv in [Loc(0), Loc(1)] {
+        let store = wp_store(lv, Val::int(0), Val::int(1), "y");
+        // Weaken the store post to the shared final post via consequence.
+        let weaken = daenerys_core::proof::and_elim_l(
+            Assert::eq(Term::var("y"), Term::Lit(Val::unit())),
+            Assert::points_to(Term::loc(lv), Term::int(1)),
+        );
+        let pre_refl = daenerys_core::proof::refl(store.triple().pre.clone());
+        let weakened = wp_consequence(&pre_refl, &store, &weaken).unwrap();
+        conts.push((Val::loc(lv), weakened));
+    }
+    // All continuations must share the post; and_elim_l gives exactly
+    // `⌜y = ()⌝` in both cases.
+    assert_eq!(conts[0].1.triple().post, unit_post);
+    let seq = wp_let(&alloc, "l", e2, &conts).unwrap();
+    assert_adequate(&seq, ForkPolicy::Forbid);
+}
+
+#[test]
+fn fork_rule_is_adequate() {
+    let child = wp_store(Loc(0), Val::int(0), Val::int(1), "x");
+    let forked = wp_fork(&child);
+    assert_adequate(&forked, ForkPolicy::GiveAll);
+}
+
+#[test]
+fn consequence_with_kernel_entailments() {
+    // Strengthen the pre of a load using the core kernel: full ⊢ full.
+    let tp = wp_load(Loc(0), DFrac::FULL, Val::int(1), "x").unwrap();
+    let pre = daenerys_core::proof::refl(tp.triple().pre.clone());
+    let post = daenerys_core::proof::and_elim_l(
+        Assert::eq(Term::var("x"), Term::int(1)),
+        Assert::points_to(Term::loc(Loc(0)), Term::int(1)),
+    );
+    let weakened = wp_consequence(&pre, &tp, &post).unwrap();
+    assert_adequate(&weakened, ForkPolicy::Forbid);
+}
+
+#[test]
+fn fork_rule_is_adequate_under_all_interleavings() {
+    use daenerys_proglog::validate_exhaustive;
+    let child = wp_store(Loc(0), Val::int(0), Val::int(1), "x");
+    let forked = wp_fork(&child);
+    let uni = UniverseSpec::tiny().build();
+    let report = validate_exhaustive(forked.triple(), &uni, 64, ForkPolicy::GiveAll);
+    assert!(report.models > 0);
+    assert!(report.ok(), "{:?}", report.failures);
+}
+
+#[test]
+fn exhaustive_validation_refutes_schedule_dependent_posts() {
+    use daenerys_proglog::{validate_exhaustive, Triple};
+    use daenerys_heaplang::parse;
+    // {l ↦ 0} fork (l <- 1); !l {x. ⌜x = 0⌝} — true round-robin-first,
+    // false on the schedule that runs the child before the load.
+    let prog = parse("fork (l <- 1); !l")
+        .unwrap()
+        .subst("l", &Val::loc(Loc(0)));
+    let t = Triple::new(
+        Assert::points_to(Term::loc(Loc(0)), Term::int(0)),
+        prog,
+        "x",
+        Assert::eq(Term::var("x"), Term::int(0)),
+    );
+    let uni = UniverseSpec::tiny().build();
+    let report = validate_exhaustive(&t, &uni, 64, ForkPolicy::GiveAll);
+    assert!(report.models > 0);
+    assert!(!report.ok(), "schedule-dependent post must be refuted");
+}

@@ -1,0 +1,116 @@
+//! Integration: the base logic across crates — algebra resources inside
+//! logic worlds, kernel derivations checked against the semantic model.
+
+use daenerys::logic::proof::{self, destab, heap, modal, update};
+use daenerys::logic::{
+    check_stable, entails, equivalent, stabilize_fast, Assert, CameraKind, GhostName, GhostVal,
+    Term, UniverseSpec,
+};
+use daenerys_algebra::{DFrac, Excl, Q};
+use daenerys_heaplang::{Loc, Val};
+
+#[test]
+fn end_to_end_destabilized_reasoning() {
+    // The full story on one location: own half, read the value as a
+    // heap-dependent fact, stabilize it, give the permission away, and
+    // observe the stabilized fact survives while the naked one dies.
+    let uni = UniverseSpec::tiny().build();
+    let l = Term::loc(Loc(0));
+    let half = Assert::points_to_frac(l.clone(), Q::HALF, Term::int(1));
+    let read = Assert::read_eq(l.clone(), Term::int(1));
+
+    // 1. Derive the read from the permission (kernel) and double-check
+    //    semantically.
+    let d = heap::points_to_read(l.clone(), DFrac::own(Q::HALF), Term::int(1)).unwrap();
+    assert!(entails(d.lhs(), d.rhs(), &uni, 2).is_ok());
+
+    // 2. The naked read is unstable; the permission-conjoined read is
+    //    stable; the stabilized read is stable by construction.
+    assert!(check_stable(&read, &uni, 2).is_err());
+    assert!(check_stable(&Assert::sep(half.clone(), read.clone()), &uni, 2).is_ok());
+    assert!(check_stable(&Assert::stabilize(read.clone()), &uni, 2).is_ok());
+
+    // 3. The kernel's stable-read rule gives both the fact and the
+    //    permission — as a ∧, never a ∗ (see the kernel's docs).
+    let d2 = destab::points_to_stable_read(l.clone(), DFrac::own(Q::HALF), Term::int(1)).unwrap();
+    assert!(entails(d2.lhs(), d2.rhs(), &uni, 2).is_ok());
+
+    // 4. The fast stabilizer agrees with the semantic modality under
+    //    the permission.
+    let fast = stabilize_fast(&read);
+    assert!(entails(&fast, &Assert::stabilize(read.clone()), &uni, 2).is_ok());
+    let with_perm_fast = Assert::sep(half.clone(), fast);
+    let with_perm_sem = Assert::sep(half, Assert::stabilize(read));
+    assert!(equivalent(&with_perm_fast, &with_perm_sem, &uni, 2));
+}
+
+#[test]
+fn kernel_composition_chains() {
+    // A ten-step derivation whose end-to-end statement is then verified
+    // semantically in one shot.
+    let uni = UniverseSpec::tiny().build();
+    let l = Term::loc(Loc(0));
+    let full = Assert::points_to(l.clone(), Term::int(1));
+    let half = Assert::points_to_frac(l.clone(), Q::HALF, Term::int(1));
+
+    // full ⊢ half ∗ half  (split)
+    let split = heap::points_to_split(l.clone(), Q::HALF, Q::HALF, Term::int(1)).unwrap();
+    // half ∗ half ⊢ half ∗ (half ∗ ⊤)   (frame the sep_true_intro)
+    let widen = proof::sep_mono(&proof::refl(half.clone()), &proof::sep_true_intro(half.clone()));
+    let chain = proof::trans(&split, &widen).unwrap();
+    assert!(entails(chain.lhs(), chain.rhs(), &uni, 1).is_ok());
+    assert!(chain.steps() >= 4);
+
+    // Later and persistence compose.
+    let lat = modal::later_mono(&proof::true_intro(full.clone()));
+    assert!(entails(lat.lhs(), lat.rhs(), &uni, 3).is_ok());
+
+    // Löb induction through the kernel: (⊤ ∧ ▷⊤) ⊢ ⊤ gives ⊤ ⊢ ⊤.
+    let prem = proof::true_intro(Assert::and(Assert::truth(), Assert::later(Assert::truth())));
+    let loeb = modal::loeb(&prem).unwrap();
+    assert!(entails(loeb.lhs(), loeb.rhs(), &uni, 3).is_ok());
+}
+
+#[test]
+fn ghost_state_updates_across_crates() {
+    let uni = UniverseSpec::with_ghost(CameraKind::ExclVal).build();
+    let g = GhostName(0);
+    let a = GhostVal::ExclVal(Excl::new(Val::int(0)));
+    let b = GhostVal::ExclVal(Excl::new(Val::int(1)));
+
+    // Kernel rule and semantic check agree on exclusive updates.
+    let d = update::ghost_update(g, a.clone(), b.clone()).unwrap();
+    assert!(entails(d.lhs(), d.rhs(), &uni, 1).is_ok());
+
+    // Updating and framing: requires the frame stable — a points-to is.
+    let frame = Assert::points_to(Term::loc(Loc(0)), Term::int(1));
+    let framed = update::bupd_frame(frame, Assert::Own(g, b)).unwrap();
+    assert!(entails(framed.lhs(), framed.rhs(), &uni, 1).is_ok());
+}
+
+#[test]
+fn deviations_from_stable_iris_hold_semantically() {
+    // The destabilized logic *rejects* several classical principles;
+    // pin them down semantically so regressions are caught.
+    let uni = UniverseSpec::tiny().build();
+    let l = Term::loc(Loc(0));
+
+    // 1. Affinity fails: P ∗ ⊤ ⊬ P for introspective P.
+    let perm = Assert::PermEq(l.clone(), Q::HALF);
+    assert!(entails(&Assert::sep(perm.clone(), Assert::truth()), &perm, &uni, 1).is_err());
+
+    // 2. □-elimination fails in general (□emp ⊬ emp).
+    assert!(entails(&Assert::persistently(Assert::Emp), &Assert::Emp, &uni, 1).is_err());
+
+    // 3. Monotonicity fails: the full chunk does not entail the exact
+    //    half-introspection.
+    let full = Assert::points_to(l.clone(), Term::int(1));
+    assert!(entails(&full, &perm, &uni, 1).is_err());
+
+    // 4. But all three are restored on their syntactic fragments (the
+    //    kernel's side conditions): e.g. □ of a discarded chunk
+    //    eliminates fine.
+    let disc = Assert::PointsTo(l, DFrac::discarded(), Term::int(1));
+    let d = modal::persistently_elim_persistent(disc).unwrap();
+    assert!(entails(d.lhs(), d.rhs(), &uni, 1).is_ok());
+}
