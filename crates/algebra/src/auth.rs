@@ -145,7 +145,9 @@ mod tests {
     fn authority_bounds_fragments() {
         let a = Auth::auth(SumNat(10));
         assert!(a.op(&Auth::frag(SumNat(10))).valid());
-        assert!(a.op(&Auth::frag(SumNat(4)).op(&Auth::frag(SumNat(6)))).valid());
+        assert!(a
+            .op(&Auth::frag(SumNat(4)).op(&Auth::frag(SumNat(6))))
+            .valid());
         assert!(!a.op(&Auth::frag(SumNat(11))).valid());
     }
 

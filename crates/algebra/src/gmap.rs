@@ -139,10 +139,12 @@ impl<K: Ord + Clone + fmt::Debug, A: Ra> Ra for GMap<K, A> {
     }
 
     fn included_in(&self, other: &Self) -> bool {
-        self.entries.iter().all(|(k, v)| match other.entries.get(k) {
-            Some(w) => v.included_in(w),
-            None => false,
-        })
+        self.entries
+            .iter()
+            .all(|(k, v)| match other.entries.get(k) {
+                Some(w) => v.included_in(w),
+                None => false,
+            })
     }
 }
 

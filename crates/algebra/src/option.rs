@@ -79,7 +79,12 @@ mod tests {
 
     #[test]
     fn laws_over_excl() {
-        let xs = [None, Some(Excl::new(1)), Some(Excl::new(2)), Some(Excl::Bot)];
+        let xs = [
+            None,
+            Some(Excl::new(1)),
+            Some(Excl::new(2)),
+            Some(Excl::Bot),
+        ];
         for a in &xs {
             assert!(law_core_id(a).ok());
             assert!(law_core_idem(a).ok());

@@ -65,10 +65,7 @@ mod tests {
     fn core_requires_both() {
         // Frac has no core, so neither does the pair.
         assert_eq!((Frac::FULL, SumNat(1)).pcore(), None);
-        assert_eq!(
-            (SumNat(1), MaxNat(2)).pcore(),
-            Some((SumNat(0), MaxNat(2)))
-        );
+        assert_eq!((SumNat(1), MaxNat(2)).pcore(), Some((SumNat(0), MaxNat(2))));
     }
 
     #[test]

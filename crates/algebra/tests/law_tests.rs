@@ -5,8 +5,8 @@
 
 use daenerys_algebra::{
     law_assoc, law_comm, law_core_id, law_core_idem, law_core_mono, law_included_op, law_unit,
-    law_valid_op, Agree, Auth, DFrac, Enumerable, Excl, Frac, GMap, GSet, MaxNat, Q, Ra, SumNat,
-    UnitRa,
+    law_valid_op, Agree, Auth, DFrac, Enumerable, Excl, Frac, GMap, GSet, MaxNat, Ra, SumNat,
+    UnitRa, Q,
 };
 use proptest::prelude::*;
 
@@ -55,8 +55,7 @@ fn arb_agree() -> impl Strategy<Value = Agree<u8>> {
 }
 
 fn arb_gmap() -> impl Strategy<Value = GMap<u8, Frac>> {
-    proptest::collection::btree_map(0u8..6, arb_frac(), 0..4)
-        .prop_map(|m| m.into_iter().collect())
+    proptest::collection::btree_map(0u8..6, arb_frac(), 0..4).prop_map(|m| m.into_iter().collect())
 }
 
 fn arb_gset() -> impl Strategy<Value = GSet<u64>> {

@@ -30,8 +30,9 @@ fn bench_exploration(c: &mut Criterion) {
     }
 
     // Monitored vs. unmonitored single-thread execution overhead.
-    let seq = parse("let l = ref 0 in (rec go n => if n <= 0 then !l else (l <- !l + n; go (n - 1))) 50")
-        .expect("parses");
+    let seq =
+        parse("let l = ref 0 in (rec go n => if n <= 0 then !l else (l <- !l + n; go (n - 1))) 50")
+            .expect("parses");
     group.bench_function("unmonitored_run", |b| {
         b.iter(|| daenerys_heaplang::run(seq.clone(), 100_000).expect("runs"))
     });

@@ -32,9 +32,11 @@ fn bench_kernel(c: &mut Criterion) {
             p = Assert::and(p.clone(), Assert::read_eq(l.clone(), Term::int(1)));
         }
         let q = Assert::read_eq(l.clone(), Term::int(1));
-        group.bench_with_input(BenchmarkId::new("entailment_check", depth), &depth, |b, _| {
-            b.iter(|| entails(&p, &q, &uni, 1).is_ok())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("entailment_check", depth),
+            &depth,
+            |b, _| b.iter(|| entails(&p, &q, &uni, 1).is_ok()),
+        );
     }
     group.finish();
 }

@@ -4,11 +4,11 @@
 //! paper's motivation for a syntactic stable fragment.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use daenerys_core::Res;
 use daenerys_core::{
     check_stable, holds, stabilize_fast, syntactically_stable, Assert, Env, EvalCtx, Term,
     UniverseSpec, World,
 };
-use daenerys_core::Res;
 use daenerys_heaplang::Loc;
 
 fn bench_stabilize(c: &mut Criterion) {
@@ -18,20 +18,19 @@ fn bench_stabilize(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     let read = Assert::read_eq(Term::loc(Loc(0)), Term::int(1));
 
-    for (label, spec) in [("tiny", UniverseSpec::tiny()), ("two_locs", UniverseSpec::two_locs())] {
+    for (label, spec) in [
+        ("tiny", UniverseSpec::tiny()),
+        ("two_locs", UniverseSpec::two_locs()),
+    ] {
         let uni = spec.build();
         let stab = Assert::stabilize(read.clone());
         let w = World::solo(Res::empty());
         let env = Env::new();
 
-        group.bench_with_input(
-            BenchmarkId::new("semantic_eval", label),
-            &label,
-            |b, _| {
-                let ctx = EvalCtx::new(&uni);
-                b.iter(|| holds(&stab, &w, &env, 1, &ctx))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("semantic_eval", label), &label, |b, _| {
+            let ctx = EvalCtx::new(&uni);
+            b.iter(|| holds(&stab, &w, &env, 1, &ctx))
+        });
         group.bench_with_input(
             BenchmarkId::new("semantic_stability_check", label),
             &label,

@@ -3,39 +3,92 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p daenerys-bench --bin tables [--t1] [--t2] [--t3] [--f1] [--f2] [--f3]
+//! cargo run -p daenerys-bench --bin tables [--t1] [--t2] [--t3] [--t4] \
+//!     [--f1] [--f2] [--f3] [--json] [--no-cache] [--threads N]
 //! ```
 //!
-//! With no flags, every table and figure is printed.
+//! With no table/figure flags, every table and figure is printed.
+//!
+//! * `--no-cache` disables the solver's memo layers (the pre-cache
+//!   pipeline) and `--threads N` pins the verification fan-out — both
+//!   change cost only, never answers.
+//! * `--json` additionally writes `BENCH_verifier.json` (machine-readable
+//!   F1 data: per-case wall time, solver queries, and cache hit rate for
+//!   both backends, plus the cached-vs-uncached chain sweep).
 
-use daenerys_bench::{micros, run_backend};
+use daenerys_bench::{micros, run_backend_with, BackendRun};
 use daenerys_core::check::{catalog, corpus, ghost_catalog, verify_catalog};
-use daenerys_core::{
-    check_stable, stabilize_fast, Assert, CameraKind, Term, UniverseSpec,
-};
+use daenerys_core::{check_stable, stabilize_fast, Assert, CameraKind, Term, UniverseSpec};
 use daenerys_heaplang::{explore, parse, Machine};
-use daenerys_idf::{positive_cases, scaling_program, Backend};
+use daenerys_idf::{chain_program, positive_cases, scaling_program, Backend, VerifierConfig};
 use std::time::Instant;
 
-const KNOWN_FLAGS: [&str; 7] = ["--t1", "--t2", "--t3", "--t4", "--f1", "--f2", "--f3"];
+const KNOWN_FLAGS: [&str; 10] = [
+    "--t1",
+    "--t2",
+    "--t3",
+    "--t4",
+    "--f1",
+    "--f2",
+    "--f3",
+    "--json",
+    "--no-cache",
+    "--threads",
+];
+
+/// Parsed command line.
+struct Opts {
+    selected: Vec<String>,
+    json: bool,
+    config: VerifierConfig,
+}
+
+fn parse_args() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts {
+        selected: Vec::new(),
+        json: false,
+        config: VerifierConfig::default(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "--json" => opts.json = true,
+            "--no-cache" => opts.config.cache = false,
+            "--threads" => {
+                i += 1;
+                let n = args.get(i).and_then(|v| v.parse::<usize>().ok());
+                match n {
+                    Some(n) if n > 0 => opts.config.threads = n,
+                    _ => {
+                        eprintln!("tables: --threads needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ if KNOWN_FLAGS.contains(&a) => opts.selected.push(a.to_string()),
+            _ => {
+                eprintln!(
+                    "tables: unknown flag {} (known: {})",
+                    a,
+                    KNOWN_FLAGS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    for a in &args {
-        if !KNOWN_FLAGS.contains(&a.as_str()) {
-            eprintln!(
-                "tables: unknown flag {} (known: {})",
-                a,
-                KNOWN_FLAGS.join(", ")
-            );
-            std::process::exit(2);
-        }
-    }
-    let all = args.is_empty();
-    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    let opts = parse_args();
+    let all = opts.selected.is_empty();
+    let want = |flag: &str| all || opts.selected.iter().any(|a| a == flag);
 
     if want("--t1") {
-        table_t1();
+        table_t1(&opts);
     }
     if want("--t2") {
         table_t2();
@@ -47,7 +100,7 @@ fn main() {
         table_t4();
     }
     if want("--f1") {
-        figure_f1();
+        figure_f1(&opts);
     }
     if want("--f2") {
         figure_f2();
@@ -58,7 +111,7 @@ fn main() {
 }
 
 /// T1: case studies — destabilized vs stable-baseline cost.
-fn table_t1() {
+fn table_t1(opts: &Opts) {
     println!("\nT1. Case studies: destabilized vs. stable-baseline encodings");
     println!("    (obl = obligations, q = solver queries, wit = witnesses, reb = rebinds)\n");
     println!(
@@ -69,8 +122,8 @@ fn table_t1() {
     let mut sum_d = 0usize;
     let mut sum_s = 0usize;
     for case in positive_cases() {
-        let d = run_backend(case.source, Backend::Destabilized);
-        let s = run_backend(case.source, Backend::StableBaseline);
+        let d = run_backend_with(case.source, Backend::Destabilized, opts.config);
+        let s = run_backend_with(case.source, Backend::StableBaseline, opts.config);
         let (od, qd) = (d.total(|x| x.obligations), d.total(|x| x.solver_queries));
         let (os, qs) = (s.total(|x| x.obligations), s.total(|x| x.solver_queries));
         let wit = s.total(|x| x.witnesses);
@@ -149,7 +202,10 @@ fn table_t3() {
         law_valid_op, Agree, Auth, DFrac, Enumerable, Excl, Frac, GSet, MaxNat, Ra, SumNat,
     };
     println!("\nT3. Camera laws: exhaustive checks over enumerated carriers\n");
-    println!("    {:<16} {:>8} {:>10} {:>7}", "camera", "elements", "checks", "status");
+    println!(
+        "    {:<16} {:>8} {:>10} {:>7}",
+        "camera", "elements", "checks", "status"
+    );
     println!("    {}", "-".repeat(46));
 
     fn battery<A: Ra + Enumerable>(name: &str, budget: usize) {
@@ -193,10 +249,13 @@ fn table_t3() {
 /// T4: proof automation — kernel derivation sizes produced by the
 /// chunk-entailment prover as the goal grows.
 fn table_t4() {
-    use daenerys_core::{auto_entails, Assert, GhostName, GhostVal};
     use daenerys_algebra::Frac;
+    use daenerys_core::{auto_entails, Assert, GhostName, GhostVal};
     println!("\nT4. Proof automation: kernel steps per automated entailment\n");
-    println!("    {:>8} {:>14} {:>12}", "chunks", "kernel steps", "time µs");
+    println!(
+        "    {:>8} {:>14} {:>12}",
+        "chunks", "kernel steps", "time µs"
+    );
     println!("    {}", "-".repeat(40));
     for n in [2usize, 4, 8, 12] {
         let chunks: Vec<Assert> = (0..n as u64)
@@ -207,8 +266,17 @@ fn table_t4() {
                 )
             })
             .collect();
-        let lhs = chunks.iter().cloned().reduce(Assert::sep).expect("nonempty");
-        let rhs = chunks.iter().rev().cloned().reduce(Assert::sep).expect("nonempty");
+        let lhs = chunks
+            .iter()
+            .cloned()
+            .reduce(Assert::sep)
+            .expect("nonempty");
+        let rhs = chunks
+            .iter()
+            .rev()
+            .cloned()
+            .reduce(Assert::sep)
+            .expect("nonempty");
         let t0 = Instant::now();
         let d = auto_entails(&lhs, &rhs).expect("automation succeeds");
         let dt = t0.elapsed();
@@ -216,8 +284,13 @@ fn table_t4() {
     }
 }
 
-/// F1: verifier scaling — time and work vs. program size.
-fn figure_f1() {
+/// Sizes of the F1 chain sweep.
+const CHAIN_SIZES: [usize; 7] = [2, 4, 8, 16, 32, 64, 128];
+
+/// F1: verifier scaling — time and work vs. program size, plus the
+/// chain sweep measuring the fast pipeline (hash-consing + solver
+/// cache) against the pre-cache path (`--no-cache --threads 1`).
+fn figure_f1(opts: &Opts) {
     println!("\nF1. Verifier scaling (n objects updated; spec reads every field)\n");
     println!(
         "    {:>4} | {:>9} {:>7} | {:>9} {:>7} {:>7} | {:>7}",
@@ -226,8 +299,8 @@ fn figure_f1() {
     println!("    {}", "-".repeat(66));
     for n in [1usize, 2, 4, 8, 16, 24] {
         let src = scaling_program(n);
-        let d = run_backend(&src, Backend::Destabilized);
-        let s = run_backend(&src, Backend::StableBaseline);
+        let d = run_backend_with(&src, Backend::Destabilized, opts.config);
+        let s = run_backend_with(&src, Backend::StableBaseline, opts.config);
         let od = d.total(|x| x.obligations);
         let os = s.total(|x| x.obligations) + s.total(|x| x.rebinds);
         println!(
@@ -240,6 +313,113 @@ fn figure_f1() {
             s.total(|x| x.witnesses),
             os as f64 / od.max(1) as f64
         );
+    }
+
+    let cached = VerifierConfig {
+        threads: opts.config.threads,
+        cache: true,
+    };
+    let uncached = VerifierConfig {
+        threads: 1,
+        cache: false,
+    };
+    println!("\nF1b. Chain sweep: memoized pipeline vs. pre-cache path (destabilized)\n");
+    println!(
+        "    {:>4} | {:>8} {:>8} | {:>6} {:>6} {:>6} | {:>8}",
+        "n", "µs_memo", "µs_cold", "q", "hits", "miss", "speedup"
+    );
+    println!("    {}", "-".repeat(62));
+    let mut chain_rows = Vec::new();
+    for n in CHAIN_SIZES {
+        let src = chain_program(n);
+        let dm = run_backend_with(&src, Backend::Destabilized, cached);
+        let dc = run_backend_with(&src, Backend::Destabilized, uncached);
+        let sm = run_backend_with(&src, Backend::StableBaseline, cached);
+        let sc = run_backend_with(&src, Backend::StableBaseline, uncached);
+        let speedup = dc.time.as_secs_f64() / dm.time.as_secs_f64().max(1e-9);
+        println!(
+            "    {:>4} | {:>8} {:>8} | {:>6} {:>6} {:>6} | {:>7.2}x",
+            n,
+            micros(dm.time),
+            micros(dc.time),
+            dm.total(|x| x.solver_queries),
+            dm.total(|x| x.cache_hits),
+            dm.total(|x| x.cache_misses),
+            speedup,
+        );
+        chain_rows.push((n, dm, dc, sm, sc));
+    }
+
+    if opts.json {
+        write_bench_json(opts, &chain_rows);
+    }
+}
+
+/// One measurement as a JSON object.
+fn run_json(run: &BackendRun) -> String {
+    let hits = run.total(|x| x.cache_hits);
+    let misses = run.total(|x| x.cache_misses);
+    let rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    format!(
+        "{{\"wall_micros\": {:.1}, \"solver_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"obligations\": {}, \"interned_terms\": {}}}",
+        run.time.as_secs_f64() * 1e6,
+        run.total(|x| x.solver_queries),
+        hits,
+        misses,
+        rate,
+        run.total(|x| x.obligations),
+        run.total(|x| x.interned_terms),
+    )
+}
+
+/// Emits `BENCH_verifier.json`: the positive case studies and the chain
+/// sweep, measured on both backends.
+fn write_bench_json(
+    opts: &Opts,
+    chain_rows: &[(usize, BackendRun, BackendRun, BackendRun, BackendRun)],
+) {
+    let mut cases = Vec::new();
+    for case in positive_cases() {
+        let d = run_backend_with(case.source, Backend::Destabilized, opts.config);
+        let s = run_backend_with(case.source, Backend::StableBaseline, opts.config);
+        cases.push(format!(
+            "    {{\"name\": \"{}\", \"destabilized\": {}, \"stable_baseline\": {}}}",
+            case.name,
+            run_json(&d),
+            run_json(&s)
+        ));
+    }
+    let mut chain = Vec::new();
+    for (n, dm, dc, sm, sc) in chain_rows {
+        let speedup = dc.time.as_secs_f64() / dm.time.as_secs_f64().max(1e-9);
+        chain.push(format!(
+            "    {{\"n\": {}, \"destabilized\": {{\"memoized\": {}, \"uncached\": {}, \"speedup\": {:.2}}}, \"stable_baseline\": {{\"memoized\": {}, \"uncached\": {}}}}}",
+            n,
+            run_json(dm),
+            run_json(dc),
+            speedup,
+            run_json(sm),
+            run_json(sc)
+        ));
+    }
+    let json = format!
+        (
+        "{{\n  \"experiment\": \"F1 verifier pipeline\",\n  \"command\": \"cargo run -p daenerys-bench --bin tables -- --f1 --json\",\n  \"config\": {{\"cache\": {}, \"threads\": {}}},\n  \"cases\": [\n{}\n  ],\n  \"chain\": [\n{}\n  ]\n}}\n",
+        opts.config.cache,
+        opts.config.threads,
+        cases.join(",\n"),
+        chain.join(",\n"),
+    );
+    match std::fs::write("BENCH_verifier.json", &json) {
+        Ok(()) => println!("\n    wrote BENCH_verifier.json"),
+        Err(e) => {
+            eprintln!("tables: cannot write BENCH_verifier.json: {}", e);
+            std::process::exit(1);
+        }
     }
 }
 

@@ -5,7 +5,7 @@
 
 #![warn(missing_docs)]
 
-use daenerys_idf::{parse_program, Backend, Verifier, VerifyStats};
+use daenerys_idf::{parse_program, Backend, Verifier, VerifierConfig, VerifyStats};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -32,9 +32,19 @@ impl BackendRun {
 /// Panics when the program does not parse or does not verify — the
 /// harness only measures verifying programs.
 pub fn run_backend(src: &str, backend: Backend) -> BackendRun {
+    run_backend_with(src, backend, VerifierConfig::default())
+}
+
+/// As [`run_backend`], with an explicit pipeline configuration
+/// (caching on/off, worker-thread count).
+///
+/// # Panics
+///
+/// Panics when the program does not parse or does not verify.
+pub fn run_backend_with(src: &str, backend: Backend, config: VerifierConfig) -> BackendRun {
     let program = parse_program(src).expect("harness program parses");
     let start = Instant::now();
-    let mut verifier = Verifier::new(&program, backend);
+    let mut verifier = Verifier::with_config(&program, backend, config);
     let stats = verifier
         .verify_all()
         .unwrap_or_else(|e| panic!("harness program must verify: {}", e));

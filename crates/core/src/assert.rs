@@ -232,9 +232,7 @@ impl Assert {
                 p.mentions_var(x) || q.mentions_var(x)
             }
             Forall(y, _, p) | Exists(y, _, p) => y != x && p.mentions_var(x),
-            Later(p) | Persistently(p) | BUpd(p) | Stabilize(p) | Destab(p) => {
-                p.mentions_var(x)
-            }
+            Later(p) | Persistently(p) | BUpd(p) | Stabilize(p) | Destab(p) => p.mentions_var(x),
             PointsTo(l, _, v) => term_mentions(l, x) || term_mentions(v, x),
             PermGe(l, _) | PermEq(l, _) => term_mentions(l, x),
         }
@@ -247,8 +245,13 @@ impl Assert {
             Pure(_) | WellDef(_) | Framed(_) | Emp | PointsTo(..) | Own(..) | PermGe(..)
             | PermEq(..) => 0,
             And(p, q) | Or(p, q) | Impl(p, q) | Sep(p, q) | Wand(p, q) => p.size() + q.size(),
-            Forall(_, _, p) | Exists(_, _, p) | Later(p) | Persistently(p) | BUpd(p)
-            | Stabilize(p) | Destab(p) => p.size(),
+            Forall(_, _, p)
+            | Exists(_, _, p)
+            | Later(p)
+            | Persistently(p)
+            | BUpd(p)
+            | Stabilize(p)
+            | Destab(p) => p.size(),
         }
     }
 }

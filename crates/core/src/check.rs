@@ -11,7 +11,7 @@ use crate::proof::{self, destab, heap, modal, update, Entails};
 use crate::term::Term;
 use crate::universe::WorldUniverse;
 use crate::world::{CameraKind, GhostName, GhostVal};
-use daenerys_algebra::{Auth, DFrac, Excl, Frac, Q, StepIdx, SumNat};
+use daenerys_algebra::{Auth, DFrac, Excl, Frac, StepIdx, SumNat, Q};
 use daenerys_heaplang::{Loc, Val};
 
 /// The default assertion corpus for rule instantiation (over location 0
@@ -144,7 +144,9 @@ pub fn catalog(ps: &[Assert]) -> Vec<Entails> {
     out.extend(heap::points_to_perm(l(), Q::ONE, v0()).ok());
     out.extend(heap::perm_weaken(l(), Q::ONE, Q::HALF).ok());
     out.push(heap::perm_eq_ge(l(), Q::HALF));
-    out.extend(heap::points_to_agree(l(), DFrac::own(Q::HALF), v0(), DFrac::own(Q::HALF), v1()).ok());
+    out.extend(
+        heap::points_to_agree(l(), DFrac::own(Q::HALF), v0(), DFrac::own(Q::HALF), v1()).ok(),
+    );
     out.extend(heap::points_to_invalid_sum(l(), Q::ONE, Q::HALF, v1()).ok());
     out.extend(heap::points_to_split(l(), Q::HALF, Q::HALF, v1()).ok());
     out.extend(heap::points_to_combine(l(), Q::HALF, Q::HALF, v0()).ok());
@@ -160,15 +162,23 @@ pub fn catalog(ps: &[Assert]) -> Vec<Entails> {
     let half = Assert::points_to_frac(l(), Q::HALF, v1());
     let full = Assert::points_to(l(), v1());
     let combine = heap::points_to_combine(l(), Q::HALF, Q::HALF, v1()).unwrap();
-    out.push(proof::sep_mono(&proof::refl(half.clone()), &proof::refl(half.clone())));
-    out.push(proof::frame(&destab::stab_elim(Assert::read_eq(l(), v1())), half.clone()));
+    out.push(proof::sep_mono(
+        &proof::refl(half.clone()),
+        &proof::refl(half.clone()),
+    ));
+    out.push(proof::frame(
+        &destab::stab_elim(Assert::read_eq(l(), v1())),
+        half.clone(),
+    ));
     out.extend(proof::trans(&proof::sep_comm(half.clone(), half.clone()), &combine).ok());
     out.extend(proof::wand_intro(&combine).ok());
+    out.extend(proof::and_intro(&proof::refl(half.clone()), &proof::true_intro(half.clone())).ok());
     out.extend(
-        proof::and_intro(&proof::refl(half.clone()), &proof::true_intro(half.clone())).ok(),
-    );
-    out.extend(
-        proof::or_elim(&proof::true_intro(half.clone()), &proof::true_intro(full.clone())).ok(),
+        proof::or_elim(
+            &proof::true_intro(half.clone()),
+            &proof::true_intro(full.clone()),
+        )
+        .ok(),
     );
     out.extend(proof::impl_intro(&proof::and_elim_r(half.clone(), full.clone())).ok());
     out.push(modal::later_mono(&destab::stab_elim(half.clone())));
@@ -221,11 +231,13 @@ pub fn ghost_catalog(kind: CameraKind) -> Vec<Entails> {
                 GhostVal::AuthNat(Auth::auth(SumNat(2))),
                 GhostVal::AuthNat(Auth::frag(SumNat(1))),
             ));
-            out.extend(heap::own_invalid(
-                g,
-                GhostVal::AuthNat(Auth::auth(SumNat(1)).op(&Auth::auth(SumNat(1)))),
-            )
-            .ok());
+            out.extend(
+                heap::own_invalid(
+                    g,
+                    GhostVal::AuthNat(Auth::auth(SumNat(1)).op(&Auth::auth(SumNat(1)))),
+                )
+                .ok(),
+            );
         }
         _ => {}
     }

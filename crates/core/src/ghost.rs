@@ -169,10 +169,7 @@ impl ExclToken {
 
     /// Exclusive ownership holding `v`.
     pub fn holds(&self, v: Val) -> Assert {
-        Assert::Own(
-            self.name,
-            GhostVal::ExclVal(daenerys_algebra::Excl::new(v)),
-        )
+        Assert::Own(self.name, GhostVal::ExclVal(daenerys_algebra::Excl::new(v)))
     }
 
     /// The variable updates freely: `γ ↦ v ⊢ |==> γ ↦ w`.

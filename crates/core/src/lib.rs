@@ -30,10 +30,14 @@ pub mod universe;
 pub mod world;
 
 pub use assert::Assert;
+pub use eval::{
+    check_stable, entails, equivalent, holds, update_admissible, Counterexample, EvalCtx,
+};
 pub use ghost::{ContribCounter, ExclToken, MonoCounter};
 pub use proof::auto::auto_entails;
-pub use eval::{check_stable, entails, equivalent, holds, update_admissible, Counterexample, EvalCtx};
-pub use stability::{stabilize_fast, syntactically_elim_persistent, syntactically_persistent, syntactically_stable};
+pub use stability::{
+    stabilize_fast, syntactically_elim_persistent, syntactically_persistent, syntactically_stable,
+};
 pub use term::{eval_term, term_framed, Env, Term, TermError, TermOutcome};
 pub use universe::{UniverseSpec, WorldUniverse};
 pub use world::{CameraKind, GhostFrag, GhostName, GhostVal, HeapCell, HeapFrag, Res, World};

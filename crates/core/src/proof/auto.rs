@@ -248,7 +248,10 @@ pub fn auto_entails(lhs: &Assert, rhs: &Assert) -> Result<Entails, ProofError> {
     if !leftovers.is_empty() && !has_sink {
         return reject(
             "auto-entails",
-            format!("{} unconsumed resource(s) and no ⌜true⌝ sink", leftovers.len()),
+            format!(
+                "{} unconsumed resource(s) and no ⌜true⌝ sink",
+                leftovers.len()
+            ),
         );
     }
 
@@ -267,8 +270,9 @@ pub fn auto_entails(lhs: &Assert, rhs: &Assert) -> Result<Entails, ProofError> {
                 current = trans(&current, &d).expect("auto chain");
             }
             MatchPlan::Split(_, want, rest) => {
-                let (l, _, v) =
-                    pointsto_parts(&goal).map(|(l, d, v)| (l.clone(), d, v.clone())).expect("pt");
+                let (l, _, v) = pointsto_parts(&goal)
+                    .map(|(l, d, v)| (l.clone(), d, v.clone()))
+                    .expect("pt");
                 let source = Assert::PointsTo(l.clone(), DFrac::Own(want + rest), v.clone());
                 let idx = cur_leaves
                     .iter()
@@ -358,8 +362,10 @@ pub fn auto_entails(lhs: &Assert, rhs: &Assert) -> Result<Entails, ProofError> {
         if ls2.len() > 2 {
             let a = sep_assoc_rev(ls2[0].clone(), ls2[1].clone(), rest.clone());
             current = trans(&current, &a).expect("auto chain");
-            let collapse =
-                proof::frame(&true_intro(Assert::sep(ls2[0].clone(), ls2[1].clone())), rest);
+            let collapse = proof::frame(
+                &true_intro(Assert::sep(ls2[0].clone(), ls2[1].clone())),
+                rest,
+            );
             current = trans(&current, &collapse).expect("auto chain");
         } else {
             let collapse = true_intro(Assert::sep(ls2[0].clone(), ls2[1].clone()));
@@ -404,7 +410,10 @@ pub fn auto_entails(lhs: &Assert, rhs: &Assert) -> Result<Entails, ProofError> {
 // --- small helpers over derivation endpoints ---
 
 fn leaves_no_emp(a: &Assert) -> Vec<Assert> {
-    leaves(a).into_iter().filter(|l| *l != Assert::Emp).collect()
+    leaves(a)
+        .into_iter()
+        .filter(|l| *l != Assert::Emp)
+        .collect()
 }
 
 /// Builds `RN(ls) ⊢ RN(ls without emp leaves)` together with the cleaned
@@ -560,13 +569,16 @@ mod tests {
         // Unknown pure goal.
         assert!(auto_entails(
             &pt(Q::HALF, 1),
-            &Assert::sep(pt(Q::HALF, 1), Assert::read_eq(Term::loc(Loc(0)), Term::int(1)))
+            &Assert::sep(
+                pt(Q::HALF, 1),
+                Assert::read_eq(Term::loc(Loc(0)), Term::int(1))
+            )
         )
         .is_err());
     }
 
     #[test]
-    fn big_permutation(){
+    fn big_permutation() {
         // Five chunks, reversed.
         let locs: Vec<Assert> = (0..5)
             .map(|i| {
@@ -576,11 +588,7 @@ mod tests {
                 )
             })
             .collect();
-        let lhs = locs
-            .iter()
-            .cloned()
-            .reduce(Assert::sep)
-            .expect("nonempty");
+        let lhs = locs.iter().cloned().reduce(Assert::sep).expect("nonempty");
         let rhs = locs
             .iter()
             .rev()

@@ -100,11 +100,7 @@ pub fn destab_elim(p: Assert) -> Result<Entails, ProofError> {
     if !syntactically_stable(&p) {
         return reject("destab-elim", format!("{} is not syntactically stable", p));
     }
-    Ok(Entails::axiom(
-        Assert::destab(p.clone()),
-        p,
-        "destab-elim",
-    ))
+    Ok(Entails::axiom(Assert::destab(p.clone()), p, "destab-elim"))
 }
 
 /// **Self-framing** (the IDF transfer rule):
@@ -160,56 +156,6 @@ pub fn points_to_stable_read(
         ),
         "points-to-stable-read",
     ))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use daenerys_algebra::{DFrac, Q};
-    use daenerys_heaplang::Loc;
-
-    fn read() -> Assert {
-        Assert::read_eq(Term::loc(Loc(0)), Term::int(1))
-    }
-
-    #[test]
-    fn stab_intro_requires_stable() {
-        assert!(stab_intro(Assert::truth()).is_ok());
-        assert!(stab_intro(read()).is_err());
-        assert!(stab_intro(Assert::stabilize(read())).is_ok());
-    }
-
-    #[test]
-    fn destab_elim_requires_stable() {
-        assert!(destab_elim(Assert::Emp).is_ok());
-        assert!(destab_elim(read()).is_err());
-    }
-
-    #[test]
-    fn self_framing_shape() {
-        let t = Term::eq(Term::read(Term::loc(Loc(0))), Term::int(1));
-        let d = self_framing(t.clone());
-        assert_eq!(d.rhs(), &Assert::stabilize(Assert::Pure(t)));
-    }
-
-    #[test]
-    fn stable_read_keeps_permission() {
-        let d =
-            points_to_stable_read(Term::loc(Loc(0)), DFrac::own(Q::HALF), Term::int(1)).unwrap();
-        match d.rhs() {
-            Assert::And(fact, pt) => {
-                assert!(matches!(&**fact, Assert::Stabilize(_)));
-                assert_eq!(&**pt, d.lhs());
-            }
-            _ => panic!("expected ∧"),
-        }
-        assert!(points_to_stable_read(
-            Term::loc(Loc(0)),
-            DFrac::own(Q::HALF),
-            Term::read(Term::loc(Loc(0)))
-        )
-        .is_err());
-    }
 }
 
 /// `⌈P ∨ Q⌉ ⊢ ⌈P⌉ ∨ ⌈Q⌉` — destabilization distributes over ∨.
@@ -276,4 +222,54 @@ pub fn stab_persistently_merge(p: Assert) -> Entails {
         Assert::stabilize(Assert::persistently(p)),
         "stab-persistently-merge",
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daenerys_algebra::{DFrac, Q};
+    use daenerys_heaplang::Loc;
+
+    fn read() -> Assert {
+        Assert::read_eq(Term::loc(Loc(0)), Term::int(1))
+    }
+
+    #[test]
+    fn stab_intro_requires_stable() {
+        assert!(stab_intro(Assert::truth()).is_ok());
+        assert!(stab_intro(read()).is_err());
+        assert!(stab_intro(Assert::stabilize(read())).is_ok());
+    }
+
+    #[test]
+    fn destab_elim_requires_stable() {
+        assert!(destab_elim(Assert::Emp).is_ok());
+        assert!(destab_elim(read()).is_err());
+    }
+
+    #[test]
+    fn self_framing_shape() {
+        let t = Term::eq(Term::read(Term::loc(Loc(0))), Term::int(1));
+        let d = self_framing(t.clone());
+        assert_eq!(d.rhs(), &Assert::stabilize(Assert::Pure(t)));
+    }
+
+    #[test]
+    fn stable_read_keeps_permission() {
+        let d =
+            points_to_stable_read(Term::loc(Loc(0)), DFrac::own(Q::HALF), Term::int(1)).unwrap();
+        match d.rhs() {
+            Assert::And(fact, pt) => {
+                assert!(matches!(&**fact, Assert::Stabilize(_)));
+                assert_eq!(&**pt, d.lhs());
+            }
+            _ => panic!("expected ∧"),
+        }
+        assert!(points_to_stable_read(
+            Term::loc(Loc(0)),
+            DFrac::own(Q::HALF),
+            Term::read(Term::loc(Loc(0)))
+        )
+        .is_err());
+    }
 }

@@ -9,7 +9,7 @@
 use crate::assert::Assert;
 use crate::proof::{reject, Entails, ProofError};
 use crate::term::Term;
-use daenerys_algebra::{DFrac, Q, Ra};
+use daenerys_algebra::{DFrac, Ra, Q};
 
 fn no_reads(rule: &'static str, ts: &[&Term]) -> Result<(), ProofError> {
     for t in ts {

@@ -127,10 +127,7 @@ pub fn refl(p: Assert) -> Entails {
 /// Rejects when the middle assertions differ.
 pub fn trans(a: &Entails, b: &Entails) -> Result<Entails, ProofError> {
     if a.rhs != b.lhs {
-        return reject(
-            "trans",
-            format!("middle mismatch: {} vs {}", a.rhs, b.lhs),
-        );
+        return reject("trans", format!("middle mismatch: {} vs {}", a.rhs, b.lhs));
     }
     Ok(Entails::make(
         a.lhs.clone(),
@@ -255,12 +252,7 @@ pub fn impl_elim(p: Assert, q: Assert) -> Entails {
 /// # Errors
 ///
 /// Rejects when `v` is outside the domain.
-pub fn forall_elim(
-    x: &str,
-    dom: Vec<Val>,
-    body: Assert,
-    v: Val,
-) -> Result<Entails, ProofError> {
+pub fn forall_elim(x: &str, dom: Vec<Val>, body: Assert, v: Val) -> Result<Entails, ProofError> {
     if !dom.contains(&v) {
         return reject("forall-elim", format!("{} not in domain", v));
     }
@@ -314,12 +306,7 @@ pub fn forall_intro(
 /// # Errors
 ///
 /// Rejects when `v` is outside the domain.
-pub fn exists_intro(
-    x: &str,
-    dom: Vec<Val>,
-    body: Assert,
-    v: Val,
-) -> Result<Entails, ProofError> {
+pub fn exists_intro(x: &str, dom: Vec<Val>, body: Assert, v: Val) -> Result<Entails, ProofError> {
     if !dom.contains(&v) {
         return reject("exists-intro", format!("{} not in domain", v));
     }
@@ -421,29 +408,17 @@ pub fn frame(a: &Entails, r: Assert) -> Entails {
 
 /// `P ⊢ emp ∗ P`.
 pub fn emp_sep_intro(p: Assert) -> Entails {
-    Entails::axiom(
-        p.clone(),
-        Assert::sep(Assert::Emp, p),
-        "emp-sep-intro",
-    )
+    Entails::axiom(p.clone(), Assert::sep(Assert::Emp, p), "emp-sep-intro")
 }
 
 /// `emp ∗ P ⊢ P`.
 pub fn emp_sep_elim(p: Assert) -> Entails {
-    Entails::axiom(
-        Assert::sep(Assert::Emp, p.clone()),
-        p,
-        "emp-sep-elim",
-    )
+    Entails::axiom(Assert::sep(Assert::Emp, p.clone()), p, "emp-sep-elim")
 }
 
 /// `P ⊢ P ∗ ⌜true⌝`.
 pub fn sep_true_intro(p: Assert) -> Entails {
-    Entails::axiom(
-        p.clone(),
-        Assert::sep(p, Assert::truth()),
-        "sep-true-intro",
-    )
+    Entails::axiom(p.clone(), Assert::sep(p, Assert::truth()), "sep-true-intro")
 }
 
 /// From `P ∗ Q ⊢ R`, conclude `P ⊢ Q −∗ R`.
@@ -470,6 +445,40 @@ pub fn wand_elim(p: Assert, q: Assert) -> Entails {
         q,
         "wand-elim",
     )
+}
+
+/// `(∃ x ∈ dom. P) ∗ Q ⊢ ∃ x ∈ dom. (P ∗ Q)` when `x` is not free in
+/// `Q`.
+///
+/// # Errors
+///
+/// Rejects when `x` occurs free in `Q`.
+pub fn sep_exists_out(x: &str, dom: Vec<Val>, p: Assert, q: Assert) -> Result<Entails, ProofError> {
+    if q.mentions_var(x) {
+        return reject("sep-exists-out", format!("{} occurs free in the frame", x));
+    }
+    Ok(Entails::axiom(
+        Assert::sep(Assert::exists(x, dom.clone(), p.clone()), q.clone()),
+        Assert::exists(x, dom, Assert::sep(p, q)),
+        "sep-exists-out",
+    ))
+}
+
+/// `∃ x ∈ dom. (P ∗ Q) ⊢ (∃ x ∈ dom. P) ∗ Q` when `x` is not free in
+/// `Q`.
+///
+/// # Errors
+///
+/// Rejects when `x` occurs free in `Q`.
+pub fn sep_exists_in(x: &str, dom: Vec<Val>, p: Assert, q: Assert) -> Result<Entails, ProofError> {
+    if q.mentions_var(x) {
+        return reject("sep-exists-in", format!("{} occurs free in the frame", x));
+    }
+    Ok(Entails::axiom(
+        Assert::exists(x, dom.clone(), Assert::sep(p.clone(), q.clone())),
+        Assert::sep(Assert::exists(x, dom, p), q),
+        "sep-exists-in",
+    ))
 }
 
 #[cfg(test)]
@@ -555,48 +564,4 @@ mod tests {
         assert_eq!(f.steps(), 4);
         assert_eq!(f.rule(), "frame");
     }
-}
-
-/// `(∃ x ∈ dom. P) ∗ Q ⊢ ∃ x ∈ dom. (P ∗ Q)` when `x` is not free in
-/// `Q`.
-///
-/// # Errors
-///
-/// Rejects when `x` occurs free in `Q`.
-pub fn sep_exists_out(
-    x: &str,
-    dom: Vec<Val>,
-    p: Assert,
-    q: Assert,
-) -> Result<Entails, ProofError> {
-    if q.mentions_var(x) {
-        return reject("sep-exists-out", format!("{} occurs free in the frame", x));
-    }
-    Ok(Entails::axiom(
-        Assert::sep(Assert::exists(x, dom.clone(), p.clone()), q.clone()),
-        Assert::exists(x, dom, Assert::sep(p, q)),
-        "sep-exists-out",
-    ))
-}
-
-/// `∃ x ∈ dom. (P ∗ Q) ⊢ (∃ x ∈ dom. P) ∗ Q` when `x` is not free in
-/// `Q`.
-///
-/// # Errors
-///
-/// Rejects when `x` occurs free in `Q`.
-pub fn sep_exists_in(
-    x: &str,
-    dom: Vec<Val>,
-    p: Assert,
-    q: Assert,
-) -> Result<Entails, ProofError> {
-    if q.mentions_var(x) {
-        return reject("sep-exists-in", format!("{} occurs free in the frame", x));
-    }
-    Ok(Entails::axiom(
-        Assert::exists(x, dom.clone(), Assert::sep(p.clone(), q.clone())),
-        Assert::sep(Assert::exists(x, dom, p), q),
-        "sep-exists-in",
-    ))
 }

@@ -106,11 +106,7 @@ pub fn persistently_unidem(p: Assert) -> Entails {
 /// `□ P ⊢ □ P ∗ □ P` — persistent assertions duplicate.
 pub fn persistently_dup(p: Assert) -> Entails {
     let bp = Assert::persistently(p);
-    Entails::axiom(
-        bp.clone(),
-        Assert::sep(bp.clone(), bp),
-        "persistently-dup",
-    )
+    Entails::axiom(bp.clone(), Assert::sep(bp.clone(), bp), "persistently-dup")
 }
 
 /// Persistence introduction on the syntactically persistent fragment:
@@ -182,10 +178,7 @@ mod tests {
         // prem : pt ∧ ▷▷⊤ ⊢ ▷▷⊤ — not Löb shape (conclusion is ▷P, not P).
         assert!(loeb(&prem).is_err());
         // A correct Löb shape: (Q ∧ ▷P) ⊢ P where P = ⊤... use true_intro.
-        let prem2 = crate::proof::true_intro(Assert::and(
-            pt(),
-            Assert::later(Assert::truth()),
-        ));
+        let prem2 = crate::proof::true_intro(Assert::and(pt(), Assert::later(Assert::truth())));
         let d = loeb(&prem2).unwrap();
         assert_eq!(d.lhs(), &pt());
         assert_eq!(d.rhs(), &Assert::truth());

@@ -10,7 +10,7 @@ use crate::assert::Assert;
 use crate::proof::{reject, Entails, ProofError};
 use crate::stability::syntactically_stable;
 use crate::world::{GhostName, GhostVal};
-use daenerys_algebra::{Auth, DFrac, MaxNat, Q, Ra, SumNat};
+use daenerys_algebra::{Auth, DFrac, MaxNat, Ra, SumNat, Q};
 
 /// `P ⊢ |==> P`.
 pub fn bupd_intro(p: Assert) -> Entails {
@@ -71,9 +71,7 @@ pub fn ghost_fpu(a: &GhostVal, b: &GhostVal) -> bool {
         // Agreement can never change (frames may hold copies).
         (AgreeVal(_), AgreeVal(_)) => false,
         // Fraction tokens may shrink (give up part of a token)...
-        (Frac(x), Frac(y)) => {
-            x.valid() && y.valid() && y.amount() <= x.amount()
-        }
+        (Frac(x), Frac(y)) => x.valid() && y.valid() && y.amount() <= x.amount(),
         // Authoritative sum-counter: with full ownership (auth + the
         // whole fragment) any simultaneous change is fine; otherwise
         // auth and fragment may grow together (a local update).

@@ -155,7 +155,10 @@ mod tests {
             Assert::PointsTo(l.clone(), DFrac::discarded(), Term::int(1)),
             Assert::PermGe(l.clone(), Q::HALF),
             Assert::PermEq(l.clone(), Q::ONE),
-            Assert::sep(Assert::points_to_frac(l.clone(), Q::HALF, Term::int(1)), read01()),
+            Assert::sep(
+                Assert::points_to_frac(l.clone(), Q::HALF, Term::int(1)),
+                read01(),
+            ),
             Assert::and(read01(), Assert::truth()),
             Assert::or(read01(), Assert::Emp),
             Assert::later(read01()),

@@ -211,17 +211,18 @@ pub fn eval_term(t: &Term, w: &World, env: &Env) -> Result<TermOutcome, TermErro
 }
 
 fn go(t: &Term, w: &World, env: &Env, reads: &mut Vec<Loc>) -> Result<Val, TermError> {
-    let int2 = |a: &Term, b: &Term, w: &World, env: &Env, reads: &mut Vec<Loc>, f: fn(i64, i64) -> Val| {
-        let va = go(a, w, env, reads)?;
-        let vb = go(b, w, env, reads)?;
-        match (va.as_int(), vb.as_int()) {
-            (Some(x), Some(y)) => Ok(f(x, y)),
-            _ => Err(TermError::TypeError(format!(
-                "integer operator on {} and {}",
-                va, vb
-            ))),
-        }
-    };
+    let int2 =
+        |a: &Term, b: &Term, w: &World, env: &Env, reads: &mut Vec<Loc>, f: fn(i64, i64) -> Val| {
+            let va = go(a, w, env, reads)?;
+            let vb = go(b, w, env, reads)?;
+            match (va.as_int(), vb.as_int()) {
+                (Some(x), Some(y)) => Ok(f(x, y)),
+                _ => Err(TermError::TypeError(format!(
+                    "integer operator on {} and {}",
+                    va, vb
+                ))),
+            }
+        };
     match t {
         Term::Var(x) => env
             .get(x)
@@ -292,7 +293,7 @@ pub fn term_framed(t: &Term, w: &World, env: &Env) -> bool {
 mod tests {
     use super::*;
     use crate::world::Res;
-    use daenerys_algebra::{DFrac, Q, Ra};
+    use daenerys_algebra::{DFrac, Ra, Q};
 
     fn env() -> Env {
         Env::new()
@@ -338,14 +339,20 @@ mod tests {
         );
         let mut e = env();
         e.insert("x".into(), Val::int(3));
-        assert_eq!(eval_term(&Term::var("x"), &w, &e).unwrap().value, Val::int(3));
+        assert_eq!(
+            eval_term(&Term::var("x"), &w, &e).unwrap().value,
+            Val::int(3)
+        );
     }
 
     #[test]
     fn nested_reads_tracked() {
         // l0 holds a pointer to l1.
-        let own = Res::points_to(Loc(0), DFrac::FULL, Val::loc(Loc(1)))
-            .op(&Res::points_to(Loc(1), DFrac::FULL, Val::int(42)));
+        let own = Res::points_to(Loc(0), DFrac::FULL, Val::loc(Loc(1))).op(&Res::points_to(
+            Loc(1),
+            DFrac::FULL,
+            Val::int(42),
+        ));
         let w = World::solo(own);
         let t = Term::read(Term::read(Term::loc(Loc(0))));
         let out = eval_term(&t, &w, &env()).unwrap();
@@ -359,10 +366,7 @@ mod tests {
         let t = Term::eq(Term::read(Term::var("l")), Term::int(1));
         assert!(t.has_read());
         let t2 = t.subst("l", &Val::loc(Loc(3)));
-        assert_eq!(
-            t2,
-            Term::eq(Term::read(Term::loc(Loc(3))), Term::int(1))
-        );
+        assert_eq!(t2, Term::eq(Term::read(Term::loc(Loc(3))), Term::int(1)));
         assert!(!Term::var("l").has_read());
     }
 

@@ -9,7 +9,7 @@
 //! and exact resource splittings (for separating conjunction).
 
 use crate::world::{CameraKind, GhostName, GhostVal, HeapCell, Res};
-use daenerys_algebra::{Agree, Auth, DFrac, Excl, Frac, MaxNat, Q, Ra, SumNat};
+use daenerys_algebra::{Agree, Auth, DFrac, Excl, Frac, MaxNat, Ra, SumNat, Q};
 use daenerys_heaplang::{Loc, Val};
 
 /// A description of the finite carrier to model-check over.
@@ -178,10 +178,7 @@ impl WorldUniverse {
     /// all pairs `(c1, c2)` of enumerated cells with `c1 ⋅ c2 = cell`,
     /// plus the two trivial splits.
     fn cell_splits(&self, cell: &HeapCell) -> Vec<(Option<HeapCell>, Option<HeapCell>)> {
-        let mut out = vec![
-            (Some(cell.clone()), None),
-            (None, Some(cell.clone())),
-        ];
+        let mut out = vec![(Some(cell.clone()), None), (None, Some(cell.clone()))];
         for c1 in &self.cells {
             for c2 in &self.cells {
                 if c1.op(c2) == *cell {
@@ -326,7 +323,10 @@ mod tests {
     #[test]
     fn ghost_universe_contains_auth_elements() {
         let uni = UniverseSpec::with_ghost(CameraKind::AuthNat).build();
-        assert!(uni.resources.iter().any(|r| r.ghost_at(GhostName(0)).is_some()));
+        assert!(uni
+            .resources
+            .iter()
+            .any(|r| r.ghost_at(GhostName(0)).is_some()));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! frame with any other resource that keeps the total valid. An assertion
 //! is *stable* when its truth survives every such replacement.
 
-use daenerys_algebra::{Agree, Auth, DFrac, Excl, Frac, GMap, MaxNat, Q, Ra, SumNat, UnitRa};
+use daenerys_algebra::{Agree, Auth, DFrac, Excl, Frac, GMap, MaxNat, Ra, SumNat, UnitRa, Q};
 use daenerys_heaplang::{Loc, Val};
 use std::fmt;
 

@@ -8,7 +8,11 @@ use daenerys_core::{CameraKind, UniverseSpec};
 fn all_structural_and_heap_rules_are_sound() {
     let uni = UniverseSpec::tiny().build();
     let derivations = catalog(&corpus());
-    assert!(derivations.len() > 300, "catalog too small: {}", derivations.len());
+    assert!(
+        derivations.len() > 300,
+        "catalog too small: {}",
+        derivations.len()
+    );
     let reports = verify_catalog(&derivations, &uni, 1);
     let mut all_ok = true;
     for r in &reports {
@@ -27,7 +31,11 @@ fn all_structural_and_heap_rules_are_sound() {
     }
     assert!(all_ok, "unsound kernel rules detected");
     // Sanity: a healthy number of distinct rules was exercised.
-    assert!(reports.len() >= 40, "only {} rules exercised", reports.len());
+    assert!(
+        reports.len() >= 40,
+        "only {} rules exercised",
+        reports.len()
+    );
 }
 
 #[test]
@@ -70,24 +78,12 @@ fn classical_rules_fail_without_side_conditions() {
 
     // □P ⊢ P fails for P = emp: the core of a nonempty resource is
     // empty, so □emp holds while emp does not (the logic is not affine).
-    assert!(entails(
-        &Assert::persistently(Assert::Emp),
-        &Assert::Emp,
-        &uni,
-        1
-    )
-    .is_err());
+    assert!(entails(&Assert::persistently(Assert::Emp), &Assert::Emp, &uni, 1).is_err());
 
     // P ∗ ⊤ ⊢ P fails for introspective P: owning 1 splits into a half
     // satisfying perm(l) = 1/2 plus a ⊤-absorbed remainder.
     let perm = Assert::PermEq(l.clone(), Q::HALF);
-    assert!(entails(
-        &Assert::sep(perm.clone(), Assert::truth()),
-        &perm,
-        &uni,
-        1
-    )
-    .is_err());
+    assert!(entails(&Assert::sep(perm.clone(), Assert::truth()), &perm, &uni, 1).is_err());
 
     // Framing an *unstable* assertion around an update is unsound:
     // read ∗ |==> pt(0) ⊬ |==> (read ∗ pt(0)) — where the update
@@ -100,9 +96,7 @@ fn classical_rules_fail_without_side_conditions() {
     // (This particular instance may or may not have a counterexample in
     // the tiny universe; the *rule schema* is rejected by the kernel.)
     let _ = entails(&lhs, &rhs, &uni, 1);
-    assert!(daenerys_core::proof::update::bupd_frame(
-        Assert::read_eq(l, Term::int(1)),
-        pt
-    )
-    .is_err());
+    assert!(
+        daenerys_core::proof::update::bupd_frame(Assert::read_eq(l, Term::int(1)), pt).is_err()
+    );
 }

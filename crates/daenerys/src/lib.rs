@@ -37,11 +37,11 @@
 
 /// Resource algebras and step-indexing (`daenerys-algebra`).
 pub use daenerys_algebra as algebra;
-/// The HeapLang programming language (`daenerys-heaplang`).
-pub use daenerys_heaplang as heaplang;
 /// The destabilized base logic (`daenerys-core`).
 pub use daenerys_core as logic;
-/// The program logic over HeapLang (`daenerys-proglog`).
-pub use daenerys_proglog as proglog;
+/// The HeapLang programming language (`daenerys-heaplang`).
+pub use daenerys_heaplang as heaplang;
 /// The IDF automated verifier (`daenerys-idf`).
 pub use daenerys_idf as idf;
+/// The program logic over HeapLang (`daenerys-proglog`).
+pub use daenerys_proglog as proglog;

@@ -50,11 +50,11 @@ pub enum Sym {
     RParen,
     Comma,
     Semi,
-    Arrow,    // =>
-    Assign,   // <-
-    Bang,     // !
-    Eq,       // =
-    Ne,       // !=
+    Arrow,  // =>
+    Assign, // <-
+    Bang,   // !
+    Eq,     // =
+    Ne,     // !=
     Lt,
     Le,
     Gt,
@@ -346,10 +346,7 @@ mod tests {
         let toks = lex("x' foo_bar1").unwrap();
         assert_eq!(
             toks,
-            vec![
-                Token::Ident("x'".into()),
-                Token::Ident("foo_bar1".into())
-            ]
+            vec![Token::Ident("x'".into()), Token::Ident("foo_bar1".into())]
         );
     }
 }

@@ -158,7 +158,11 @@ impl Parser {
                 let e1 = self.expr()?;
                 self.expect_kw(Kw::In)?;
                 let e2 = self.expr()?;
-                Ok(Expr::Let(Binder::from(x.as_str()), Box::new(e1), Box::new(e2)))
+                Ok(Expr::Let(
+                    Binder::from(x.as_str()),
+                    Box::new(e1),
+                    Box::new(e2),
+                ))
             }
             Some(Token::Kw(Kw::Fun)) => {
                 self.pos += 1;
@@ -412,7 +416,9 @@ mod tests {
 
     fn eval(src: &str) -> Val {
         let e = parse(src).unwrap_or_else(|err| panic!("parse {:?}: {}", src, err));
-        run(e, 100_000).unwrap_or_else(|err| panic!("run {:?}: {}", src, err)).0
+        run(e, 100_000)
+            .unwrap_or_else(|err| panic!("run {:?}: {}", src, err))
+            .0
     }
 
     #[test]
@@ -440,7 +446,10 @@ mod tests {
             Val::int(55)
         );
         // Application is left-associative, juxtaposition-based.
-        assert_eq!(eval("(fun f => fun x => f (f x)) (fun y => y * 2) 3"), Val::int(12));
+        assert_eq!(
+            eval("(fun f => fun x => f (f x)) (fun y => y * 2) 3"),
+            Val::int(12)
+        );
     }
 
     #[test]

@@ -34,10 +34,7 @@ fn prec(e: &Expr) -> u8 {
         Expr::Store(..) => 2,
         Expr::BinOp(BinOp::Or, ..) => 3,
         Expr::BinOp(BinOp::And, ..) => 4,
-        Expr::BinOp(
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge,
-            ..,
-        ) => 5,
+        Expr::BinOp(BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, ..) => 5,
         Expr::BinOp(BinOp::Add | BinOp::Sub, ..) => 6,
         Expr::BinOp(BinOp::Mul | BinOp::Div | BinOp::Rem, ..) => 7,
         Expr::UnOp(..) => 8,

@@ -237,10 +237,7 @@ pub fn step(e: &Expr, heap: &mut Heap) -> Result<StepOutcome, StepError> {
             let av = a.as_val().unwrap();
             match fv {
                 Val::Rec { f: fb, x: xb, body } => {
-                    let body1 = body.subst_binder(
-                        xb,
-                        av,
-                    );
+                    let body1 = body.subst_binder(xb, av);
                     // Tie the recursive knot: substitute the closure for f.
                     let clo = Val::Rec {
                         f: fb.clone(),
@@ -604,10 +601,7 @@ mod tests {
             ),
         );
         let (v, _) = run_to_value(e);
-        assert_eq!(
-            v,
-            Val::Pair(Box::new(Val::int(10)), Box::new(Val::int(15)))
-        );
+        assert_eq!(v, Val::Pair(Box::new(Val::int(10)), Box::new(Val::int(15))));
     }
 
     #[test]
@@ -638,10 +632,7 @@ mod tests {
             Err(StepError::Stuck(_))
         ));
         assert!(matches!(
-            step(
-                &Expr::binop(BinOp::Div, Expr::int(1), Expr::int(0)),
-                &mut h
-            ),
+            step(&Expr::binop(BinOp::Div, Expr::int(1), Expr::int(0)), &mut h),
             Err(StepError::Stuck(_))
         ));
     }

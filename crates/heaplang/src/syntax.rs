@@ -440,17 +440,18 @@ impl Expr {
     /// The set of free variables (used by well-formedness checks).
     pub fn free_vars(&self) -> Vec<String> {
         fn go(e: &Expr, bound: &mut Vec<String>, out: &mut Vec<String>) {
-            let with =
-                |b: &Binder, bound: &mut Vec<String>, f: &mut dyn FnMut(&mut Vec<String>)| {
-                    match b {
-                        Binder::Anon => f(bound),
-                        Binder::Named(n) => {
-                            bound.push(n.clone());
-                            f(bound);
-                            bound.pop();
-                        }
+            let with = |b: &Binder,
+                        bound: &mut Vec<String>,
+                        f: &mut dyn FnMut(&mut Vec<String>)| {
+                match b {
+                    Binder::Anon => f(bound),
+                    Binder::Named(n) => {
+                        bound.push(n.clone());
+                        f(bound);
+                        bound.pop();
                     }
-                };
+                }
+            };
             match e {
                 Expr::Val(_) => {}
                 Expr::Var(x) => {
@@ -525,10 +526,7 @@ mod tests {
     fn subst_replaces_free_occurrences() {
         let e = Expr::binop(BinOp::Add, Expr::var("x"), Expr::var("y"));
         let e2 = e.subst("x", &Val::int(3));
-        assert_eq!(
-            e2,
-            Expr::binop(BinOp::Add, Expr::int(3), Expr::var("y"))
-        );
+        assert_eq!(e2, Expr::binop(BinOp::Add, Expr::int(3), Expr::var("y")));
     }
 
     #[test]

@@ -26,25 +26,22 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (binder.clone(), inner.clone()).prop_map(|(x, b)| Expr::lam(x, b)),
             (binder.clone(), binder.clone(), inner.clone())
                 .prop_map(|(f, x, b)| Expr::rec(f, x, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::binop(BinOp::Add, a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::binop(BinOp::Mul, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(BinOp::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(BinOp::Mul, a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(BinOp::Eq, a, b)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| Expr::ite(c, t, e)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Pair(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::ite(c, t, e)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Pair(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|e| Expr::Fst(Box::new(e))),
             inner.clone().prop_map(|e| Expr::Snd(Box::new(e))),
             inner.clone().prop_map(|e| Expr::InjL(Box::new(e))),
             inner.clone().prop_map(|e| Expr::InjR(Box::new(e))),
-            inner.clone().prop_map(|e| Expr::UnOp(UnOp::Not, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::UnOp(UnOp::Not, Box::new(e))),
             inner.clone().prop_map(Expr::alloc),
             inner.clone().prop_map(Expr::load),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::store(a, b)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(a, b, c)| Expr::cas(a, b, c)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| Expr::cas(a, b, c)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::faa(a, b)),
             inner.clone().prop_map(Expr::fork),
         ]

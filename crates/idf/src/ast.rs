@@ -278,10 +278,7 @@ impl Program {
 
     /// Looks up a field's type.
     pub fn field_type(&self, name: &str) -> Option<Type> {
-        self.fields
-            .iter()
-            .find(|(f, _)| f == name)
-            .map(|(_, t)| *t)
+        self.fields.iter().find(|(f, _)| f == name).map(|(_, t)| *t)
     }
 }
 
@@ -313,11 +310,7 @@ mod tests {
 
     #[test]
     fn display_round() {
-        let e = Expr::bin(
-            Op::Add,
-            Expr::field(Expr::var("a"), "val"),
-            Expr::Int(1),
-        );
+        let e = Expr::bin(Op::Add, Expr::field(Expr::var("a"), "val"), Expr::Int(1));
         assert_eq!(e.to_string(), "a.val + 1");
         let a = Assertion::Acc(Expr::var("a"), "val".into(), Q::HALF);
         assert_eq!(a.to_string(), "acc(a.val, 1/2)");

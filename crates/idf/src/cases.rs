@@ -393,6 +393,33 @@ pub fn scaling_program(n: usize) -> String {
     )
 }
 
+/// The F1 chain workload: `n` sequential branches on the *same*
+/// transitive-chain condition. Every branch re-poses the same two
+/// path-consistency questions — whose answers need a Fourier–Motzkin
+/// pass over the whole `x0 < … < x7` chain — so the memoizing solver
+/// answers all but the first pair from cache, while the uncached path
+/// pays the full theory cost `2n` times.
+pub fn chain_program(n: usize) -> String {
+    const VARS: usize = 8;
+    let params: Vec<String> = (0..VARS).map(|i| format!("x{}: Int", i)).collect();
+    let mut req = vec!["acc(c.v)".to_string(), "c.v == 0".to_string()];
+    for i in 0..VARS - 1 {
+        req.push(format!("x{} < x{}", i, i + 1));
+    }
+    let block = format!(
+        "if (x0 < x{last}) {{ c.v := c.v + 1 }} else {{ c.v := 0 - 1 }}",
+        last = VARS - 1
+    );
+    let body = vec![block; n.max(1)];
+    format!(
+        "field v: Int\nmethod chain(c: Ref, {params})\n  requires {req}\n  ensures acc(c.v) && c.v == {n}\n{{\n  {body}\n}}\n",
+        params = params.join(", "),
+        req = req.join(" && "),
+        n = n.max(1),
+        body = body.join(";\n  "),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +476,39 @@ mod tests {
             let mut v = Verifier::new(&p, Backend::StableBaseline);
             assert!(v.verify_all().is_ok(), "scaling n={} failed (baseline)", n);
         }
+    }
+
+    #[test]
+    fn chain_program_parses_and_verifies() {
+        use crate::exec::VerifierConfig;
+        for n in [1, 2, 8] {
+            let src = chain_program(n);
+            let p = parse_program(&src).unwrap();
+            let mut v = Verifier::new(&p, Backend::Destabilized);
+            assert!(v.verify_all().is_ok(), "chain n={} failed", n);
+            let mut v = Verifier::new(&p, Backend::StableBaseline);
+            assert!(v.verify_all().is_ok(), "chain n={} failed (baseline)", n);
+        }
+        // The chain re-asks the same branch questions, so the cache
+        // should absorb almost all of them.
+        let src = chain_program(16);
+        let p = parse_program(&src).unwrap();
+        let mut v = Verifier::with_config(
+            &p,
+            Backend::Destabilized,
+            VerifierConfig {
+                threads: 1,
+                cache: true,
+            },
+        );
+        let stats = v.verify_all().unwrap();
+        let s = &stats["chain"];
+        assert!(
+            s.cache_hits > s.cache_misses,
+            "chain should be cache-dominated: {} hits / {} misses",
+            s.cache_hits,
+            s.cache_misses
+        );
     }
 
     #[test]

@@ -140,15 +140,8 @@ fn compile_stmts(prog: &Program, stmts: &[Stmt]) -> Result<Expr, ConcreteError> 
 
 fn compile_stmt(prog: &Program, s: &Stmt, rest: Expr) -> Result<Expr, ConcreteError> {
     Ok(match s {
-        Stmt::VarDecl(x, _, e) => Expr::let_(
-            x,
-            Expr::alloc(compile_expr(prog, e)?),
-            rest,
-        ),
-        Stmt::Assign(x, e) => Expr::seq(
-            Expr::store(Expr::var(x), compile_expr(prog, e)?),
-            rest,
-        ),
+        Stmt::VarDecl(x, _, e) => Expr::let_(x, Expr::alloc(compile_expr(prog, e)?), rest),
+        Stmt::Assign(x, e) => Expr::seq(Expr::store(Expr::var(x), compile_expr(prog, e)?), rest),
         Stmt::FieldWrite(recv, f, e) => {
             let i = match field_index(prog, f) {
                 Some(i) => i,
@@ -214,19 +207,13 @@ fn compile_stmt(prog: &Program, s: &Stmt, rest: Expr) -> Result<Expr, ConcreteEr
             }
             match targets.len() {
                 0 => Expr::seq(call, rest),
-                1 => Expr::seq(
-                    Expr::store(Expr::var(&targets[0]), call),
-                    rest,
-                ),
+                1 => Expr::seq(Expr::store(Expr::var(&targets[0]), call), rest),
                 n => {
                     let mut out = rest;
                     // Destructure the returned tuple into the targets.
                     for (i, t) in targets.iter().enumerate().rev() {
                         out = Expr::seq(
-                            Expr::store(
-                                Expr::var(t),
-                                project(Expr::var("__ret"), i, n),
-                            ),
+                            Expr::store(Expr::var(t), project(Expr::var("__ret"), i, n)),
                             out,
                         );
                     }
@@ -394,12 +381,8 @@ pub fn eval_spec(
                 (Op::Le, ConcreteVal::Int(x), ConcreteVal::Int(y)) => ConcreteVal::Bool(x <= y),
                 (Op::Gt, ConcreteVal::Int(x), ConcreteVal::Int(y)) => ConcreteVal::Bool(x > y),
                 (Op::Ge, ConcreteVal::Int(x), ConcreteVal::Int(y)) => ConcreteVal::Bool(x >= y),
-                (Op::And, ConcreteVal::Bool(x), ConcreteVal::Bool(y)) => {
-                    ConcreteVal::Bool(x && y)
-                }
-                (Op::Or, ConcreteVal::Bool(x), ConcreteVal::Bool(y)) => {
-                    ConcreteVal::Bool(x || y)
-                }
+                (Op::And, ConcreteVal::Bool(x), ConcreteVal::Bool(y)) => ConcreteVal::Bool(x && y),
+                (Op::Or, ConcreteVal::Bool(x), ConcreteVal::Bool(y)) => ConcreteVal::Bool(x || y),
                 (op, x, y) => return err(format!("type error: {:?} on {:?}, {:?}", op, x, y)),
             }
         }
@@ -447,16 +430,13 @@ pub fn spec_holds(
         }
         Assertion::Acc(..) => true,
         Assertion::And(p, q) => {
-            spec_holds(prog, p, env, heap, old_heap)?
-                && spec_holds(prog, q, env, heap, old_heap)?
+            spec_holds(prog, p, env, heap, old_heap)? && spec_holds(prog, q, env, heap, old_heap)?
         }
-        Assertion::Implies(c, body) => {
-            match eval_spec(prog, c, env, heap, old_heap)? {
-                ConcreteVal::Bool(true) => spec_holds(prog, body, env, heap, old_heap)?,
-                ConcreteVal::Bool(false) => true,
-                v => return err(format!("non-boolean condition {:?}", v)),
-            }
-        }
+        Assertion::Implies(c, body) => match eval_spec(prog, c, env, heap, old_heap)? {
+            ConcreteVal::Bool(true) => spec_holds(prog, body, env, heap, old_heap)?,
+            ConcreteVal::Bool(false) => true,
+            v => return err(format!("non-boolean condition {:?}", v)),
+        },
     })
 }
 
@@ -665,8 +645,7 @@ mod tests {
     fn precondition_violations_are_reported() {
         let prog = parse_program(SRC).unwrap();
         let heap = Heap::new();
-        let e = run_and_check(&prog, "sum_to", vec![ConcreteVal::Int(-1)], heap, 1000)
-            .unwrap_err();
+        let e = run_and_check(&prog, "sum_to", vec![ConcreteVal::Int(-1)], heap, 1000).unwrap_err();
         assert!(e.0.contains("precondition"));
     }
 
@@ -686,8 +665,8 @@ mod tests {
         let prog = parse_program(src).unwrap();
         let mut heap = Heap::new();
         let obj = alloc_object(&prog, &mut heap, &[0]);
-        let e = run_and_check(&prog, "broken", vec![ConcreteVal::Obj(obj)], heap, 10_000)
-            .unwrap_err();
+        let e =
+            run_and_check(&prog, "broken", vec![ConcreteVal::Obj(obj)], heap, 10_000).unwrap_err();
         assert!(e.0.contains("postcondition"));
     }
 
@@ -712,9 +691,14 @@ mod tests {
         let prog = parse_program(src).unwrap();
         let mut heap = Heap::new();
         let obj = alloc_object(&prog, &mut heap, &[10]);
-        let final_heap =
-            run_and_check(&prog, "twice", vec![ConcreteVal::Obj(obj.clone())], heap, 100_000)
-                .unwrap();
+        let final_heap = run_and_check(
+            &prog,
+            "twice",
+            vec![ConcreteVal::Obj(obj.clone())],
+            heap,
+            100_000,
+        )
+        .unwrap();
         assert_eq!(final_heap.get(obj.cells[0]), Some(&Val::int(14)));
     }
 }

@@ -15,13 +15,22 @@
 //! execution: a symbolic store, a path condition, and a heap of
 //! permission chunks; `inhale`/`exhale` produce and consume assertions;
 //! loops are cut by invariants; calls by contracts.
+//!
+//! Performance architecture (see DESIGN.md): symbolic values are
+//! hash-consed [`TermId`]s into a per-verifier [`TermArena`]; chunk
+//! stores are `Rc`-shared so exhale/`old` snapshots are O(1); and
+//! [`Verifier::verify_all`] fans methods out across OS threads, each
+//! method verified in an isolated arena + solver so results and
+//! statistics are bit-identical at any thread count.
 
 use crate::ast::{fraction_literal, Assertion, Expr, Op, Program, Stmt, Type};
 use crate::smt::{Answer, Solver};
-use crate::sym::{Sort, Sym, SymExpr, SymSupply};
+use crate::sym::{Sort, Sym, SymSupply, Term, TermArena, TermId};
 use daenerys_algebra::Q;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::rc::Rc;
+use std::time::Instant;
 
 /// Which verification backend to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -32,17 +41,52 @@ pub enum Backend {
     StableBaseline,
 }
 
+/// Tuning knobs for the verifier pipeline. The knobs change *cost*,
+/// never *answers*: verification outcomes and (normalized) statistics
+/// are identical for every setting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VerifierConfig {
+    /// Worker threads for [`Verifier::verify_all`]; `0` means one per
+    /// available CPU.
+    pub threads: usize,
+    /// Whether the solver's memo layers (query + theory cache) are
+    /// consulted.
+    pub cache: bool,
+}
+
+impl Default for VerifierConfig {
+    fn default() -> VerifierConfig {
+        VerifierConfig {
+            threads: 0,
+            cache: true,
+        }
+    }
+}
+
+impl VerifierConfig {
+    /// The actual fan-out width `threads == 0` resolves to.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
 /// A permission chunk `acc(recv.field, perm)` with the value `value`.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Chunk {
-    /// Receiver reference.
-    pub recv: SymExpr,
+    /// Receiver reference (interned).
+    pub recv: TermId,
     /// Field name.
     pub field: String,
     /// Permission amount.
     pub perm: Q,
-    /// Current symbolic value.
-    pub value: SymExpr,
+    /// Current symbolic value (interned).
+    pub value: TermId,
 }
 
 /// One proof obligation and its outcome.
@@ -82,6 +126,12 @@ pub struct VerifyStats {
     pub solver_queries: usize,
     /// DPLL branches explored.
     pub solver_branches: usize,
+    /// Solver query-cache hits (whole queries answered from memory).
+    pub cache_hits: usize,
+    /// Solver query-cache misses.
+    pub cache_misses: usize,
+    /// Distinct terms interned while verifying the method.
+    pub interned_terms: usize,
     /// Symbols minted (includes baseline witnesses).
     pub symbols: usize,
     /// Witness symbols minted by the stable baseline.
@@ -90,20 +140,77 @@ pub struct VerifyStats {
     pub rebinds: usize,
     /// Symbolic execution states explored.
     pub states: usize,
+    /// Wall-clock verification time in nanoseconds.
+    pub wall_nanos: u64,
+    /// Fan-out width of the `verify_all` run that produced the stats
+    /// (1 when the method was verified directly).
+    pub threads: usize,
+}
+
+impl VerifyStats {
+    /// Query-cache hit rate in `[0, 1]` (0 when no query missed or
+    /// hit the cache).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The stats with environment-dependent fields (wall time, thread
+    /// count) zeroed — the form compared for determinism: two runs of
+    /// the same program must agree on `normalized()` regardless of
+    /// thread count or machine speed.
+    pub fn normalized(&self) -> VerifyStats {
+        VerifyStats {
+            wall_nanos: 0,
+            threads: 0,
+            ..self.clone()
+        }
+    }
+
+    /// Accumulates another method's counters (wall times add; the
+    /// thread field keeps `self`'s value).
+    pub fn merge(&mut self, other: &VerifyStats) {
+        self.obligations += other.obligations;
+        self.solver_queries += other.solver_queries;
+        self.solver_branches += other.solver_branches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.interned_terms += other.interned_terms;
+        self.symbols += other.symbols;
+        self.witnesses += other.witnesses;
+        self.rebinds += other.rebinds;
+        self.states += other.states;
+        self.wall_nanos += other.wall_nanos;
+    }
 }
 
 /// The symbolic state.
+///
+/// The chunk store is `Rc`-shared: taking the exhale/`old` snapshot a
+/// state needs is an `Rc::clone`, and the store is only deep-copied
+/// (`Rc::make_mut`) when a path actually writes through it. States
+/// never leave the thread that created them, so `Rc` suffices.
 #[derive(Clone, Debug)]
 struct State {
-    store: BTreeMap<String, SymExpr>,
+    store: BTreeMap<String, TermId>,
     /// Declared types of in-scope variables (drives havocking).
     var_types: BTreeMap<String, Type>,
-    pc: Vec<SymExpr>,
-    chunks: Vec<Chunk>,
+    pc: Vec<TermId>,
+    chunks: Rc<Vec<Chunk>>,
     /// Pre-state chunks for `old(…)` (method entry or call site).
-    old: Vec<Chunk>,
+    old: Rc<Vec<Chunk>>,
     /// Baseline: live witnesses (receiver, field, witness symbol).
-    witnesses: Vec<(SymExpr, String, Sym)>,
+    witnesses: Vec<(TermId, String, Sym)>,
+}
+
+/// The outcome of verifying one method in isolation.
+struct MethodOutcome {
+    result: Result<VerifyStats, VerifyError>,
+    obligations: Vec<Obligation>,
 }
 
 /// The verifier for one program.
@@ -111,20 +218,36 @@ struct State {
 pub struct Verifier<'a> {
     program: &'a Program,
     backend: Backend,
+    config: VerifierConfig,
     solver: Solver,
     supply: SymSupply,
+    arena: TermArena,
     obligations: Vec<Obligation>,
     stats: VerifyStats,
 }
 
 impl<'a> Verifier<'a> {
-    /// Creates a verifier for `program` using `backend`.
+    /// Creates a verifier for `program` using `backend` and the default
+    /// configuration (caching on, one thread per CPU).
     pub fn new(program: &'a Program, backend: Backend) -> Verifier<'a> {
+        Verifier::with_config(program, backend, VerifierConfig::default())
+    }
+
+    /// Creates a verifier with an explicit [`VerifierConfig`].
+    pub fn with_config(
+        program: &'a Program,
+        backend: Backend,
+        config: VerifierConfig,
+    ) -> Verifier<'a> {
+        let mut solver = Solver::new();
+        solver.cache_enabled = config.cache;
         Verifier {
             program,
             backend,
-            solver: Solver::new(),
+            config,
+            solver,
             supply: SymSupply::new(),
+            arena: TermArena::new(),
             obligations: Vec::new(),
             stats: VerifyStats::default(),
         }
@@ -132,20 +255,73 @@ impl<'a> Verifier<'a> {
 
     /// Verifies every method with a body; returns per-method stats.
     ///
+    /// Methods are verified concurrently across
+    /// [`VerifierConfig::effective_threads`] workers. Each method gets
+    /// its own arena, solver, and symbol supply, and results are merged
+    /// in program order, so obligations, outcomes, and normalized
+    /// statistics are byte-identical at any thread count.
+    ///
     /// # Errors
     ///
     /// Returns the combined failures if any obligation does not hold.
     pub fn verify_all(&mut self) -> Result<BTreeMap<String, VerifyStats>, VerifyError> {
+        let names: Vec<String> = self
+            .program
+            .methods
+            .iter()
+            .filter(|m| m.body.is_some())
+            .map(|m| m.name.clone())
+            .collect();
+        let threads = self.config.effective_threads().min(names.len()).max(1);
+        let mut slots: Vec<Option<MethodOutcome>> = Vec::new();
+        slots.resize_with(names.len(), || None);
+
+        if threads <= 1 {
+            for (i, name) in names.iter().enumerate() {
+                slots[i] = Some(run_isolated(self.program, self.backend, self.config, name));
+            }
+        } else {
+            let program = self.program;
+            let backend = self.backend;
+            let config = self.config;
+            let names_ref = &names;
+            let outcomes = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            let mut partial = Vec::new();
+                            for (i, name) in names_ref.iter().enumerate() {
+                                if i % threads == t {
+                                    partial.push((i, run_isolated(program, backend, config, name)));
+                                }
+                            }
+                            partial
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("verifier worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (i, outcome) in outcomes {
+                slots[i] = Some(outcome);
+            }
+        }
+
+        // Deterministic merge in program (method-declaration) order.
         let mut out = BTreeMap::new();
         let mut failures = Vec::new();
-        for m in &self.program.methods {
-            if m.body.is_some() {
-                match self.verify_method(&m.name) {
-                    Ok(stats) => {
-                        out.insert(m.name.clone(), stats);
-                    }
-                    Err(e) => failures.extend(e.failures),
+        for (i, slot) in slots.into_iter().enumerate() {
+            let outcome = slot.expect("every scheduled method produced an outcome");
+            self.obligations.extend(outcome.obligations);
+            match outcome.result {
+                Ok(mut stats) => {
+                    stats.threads = threads;
+                    self.stats.merge(&stats);
+                    out.insert(names[i].clone(), stats);
                 }
+                Err(e) => failures.extend(e.failures),
             }
         }
         if failures.is_empty() {
@@ -159,21 +335,31 @@ impl<'a> Verifier<'a> {
     ///
     /// # Errors
     ///
-    /// Returns the failed obligations.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the method does not exist or has no body.
+    /// Returns the failed obligations; an unknown or bodyless (abstract)
+    /// method is reported as a structural failure, not a panic.
     pub fn verify_method(&mut self, name: &str) -> Result<VerifyStats, VerifyError> {
-        let method = self
-            .program
-            .method(name)
-            .unwrap_or_else(|| panic!("unknown method {}", name))
-            .clone();
-        let body = method.body.clone().expect("method has no body");
+        let started = Instant::now();
+        let Some(method) = self.program.method(name).cloned() else {
+            let failure = self.oblige_failure(format!("cannot verify unknown method {}", name));
+            return Err(VerifyError {
+                failures: vec![failure],
+            });
+        };
+        let Some(body) = method.body.clone() else {
+            let failure = self.oblige_failure(format!(
+                "method {} is abstract (no body) and cannot be verified",
+                name
+            ));
+            return Err(VerifyError {
+                failures: vec![failure],
+            });
+        };
 
         let before_queries = self.solver.queries;
         let before_branches = self.solver.branches;
+        let before_hits = self.solver.cache_hits;
+        let before_misses = self.solver.cache_misses;
+        let before_terms = self.arena.len();
         let before_symbols = self.supply.minted();
         let before_obligations = self.obligations.len();
         let stats_base = self.stats.clone();
@@ -183,20 +369,21 @@ impl<'a> Verifier<'a> {
             store: BTreeMap::new(),
             var_types: BTreeMap::new(),
             pc: Vec::new(),
-            chunks: Vec::new(),
-            old: Vec::new(),
+            chunks: Rc::new(Vec::new()),
+            old: Rc::new(Vec::new()),
             witnesses: Vec::new(),
         };
         for (x, ty) in method.params.iter().chain(method.returns.iter()) {
             let s = self.fresh(*ty);
-            state.store.insert(x.clone(), SymExpr::sym(s));
+            let v = self.arena.sym(s);
+            state.store.insert(x.clone(), v);
             state.var_types.insert(x.clone(), *ty);
         }
 
         // Inhale the precondition, snapshot for old().
         let mut states = self.produce(state, &method.requires);
         for s in &mut states {
-            s.old = s.chunks.clone();
+            s.old = Rc::clone(&s.chunks);
         }
 
         // Execute the body.
@@ -220,12 +407,18 @@ impl<'a> Verifier<'a> {
             obligations: self.obligations.len() - before_obligations,
             solver_queries: self.solver.queries - before_queries,
             solver_branches: self.solver.branches - before_branches,
+            cache_hits: self.solver.cache_hits - before_hits,
+            cache_misses: self.solver.cache_misses - before_misses,
+            interned_terms: self.arena.len() - before_terms,
             symbols: self.supply.minted() - before_symbols,
             witnesses: self.stats.witnesses - stats_base.witnesses,
             rebinds: self.stats.rebinds - stats_base.rebinds,
             states: self.stats.states - stats_base.states,
+            wall_nanos: 0,
+            threads: 1,
         };
         stats.states += 1;
+        stats.wall_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
         if failed.is_empty() {
             Ok(stats)
@@ -250,47 +443,41 @@ impl<'a> Verifier<'a> {
         s
     }
 
-    fn oblige(&mut self, pc: &[SymExpr], goal: SymExpr, description: String) {
-        let outcome = self.solver.entails(pc, &goal);
+    fn oblige(&mut self, pc: &[TermId], goal: TermId, description: String) {
+        let outcome = self.solver.entails(&mut self.arena, pc, goal);
         self.obligations.push(Obligation {
             description,
             outcome,
         });
     }
 
-    fn oblige_failure(&mut self, description: String) {
-        self.obligations.push(Obligation {
+    fn oblige_failure(&mut self, description: String) -> Obligation {
+        let o = Obligation {
             description,
             outcome: Answer::Invalid,
-        });
+        };
+        self.obligations.push(o.clone());
+        o
     }
 
     // ---- chunk management ----
 
-    /// Finds a chunk for `recv.field`, by syntactic match first, then by
-    /// provable equality.
-    fn find_chunk(
-        &mut self,
-        state: &State,
-        recv: &SymExpr,
-        field: &str,
-    ) -> Option<usize> {
+    /// Finds a chunk for `recv.field`, by syntactic match first (an id
+    /// comparison, thanks to hash-consing), then by provable equality.
+    fn find_chunk(&mut self, state: &State, recv: TermId, field: &str) -> Option<usize> {
         if let Some(i) = state
             .chunks
             .iter()
-            .position(|c| c.field == field && c.recv == *recv)
+            .position(|c| c.field == field && c.recv == recv)
         {
             return Some(i);
         }
-        for (i, c) in state.chunks.iter().enumerate() {
-            if c.field != field {
+        for i in 0..state.chunks.len() {
+            if state.chunks[i].field != field {
                 continue;
             }
-            if self
-                .solver
-                .entails(&state.pc, &SymExpr::eq(c.recv.clone(), recv.clone()))
-                == Answer::Valid
-            {
+            let goal = self.arena.eq(state.chunks[i].recv, recv);
+            if self.solver.entails(&mut self.arena, &state.pc, goal) == Answer::Valid {
                 return Some(i);
             }
         }
@@ -298,7 +485,7 @@ impl<'a> Verifier<'a> {
     }
 
     /// Permission currently held for `recv.field`.
-    fn perm_of(&mut self, state: &State, recv: &SymExpr, field: &str) -> Q {
+    fn perm_of(&mut self, state: &State, recv: TermId, field: &str) -> Q {
         match self.find_chunk(state, recv, field) {
             Some(i) => state.chunks[i].perm,
             None => Q::ZERO,
@@ -310,28 +497,30 @@ impl<'a> Verifier<'a> {
     /// Evaluates an expression. Field reads consult the heap; under the
     /// stable baseline each *spec-level* read additionally mints a
     /// witness.
-    fn eval(&mut self, state: &mut State, e: &Expr, in_spec: bool) -> SymExpr {
+    fn eval(&mut self, state: &mut State, e: &Expr, in_spec: bool) -> TermId {
         match e {
-            Expr::Int(n) => SymExpr::int(*n),
-            Expr::Bool(b) => SymExpr::bool(*b),
-            Expr::Null => SymExpr::Null,
+            Expr::Int(n) => self.arena.int(*n),
+            Expr::Bool(b) => self.arena.bool(*b),
+            Expr::Null => self.arena.null(),
             Expr::Var(x) => match state.store.get(x) {
-                Some(v) => v.clone(),
+                Some(v) => *v,
                 None => {
                     self.oblige_failure(format!("use of undeclared variable {}", x));
-                    SymExpr::bool(false)
+                    self.arena.bool(false)
                 }
             },
             Expr::Field(recv, f) => {
                 let r = self.eval(state, recv, in_spec);
-                match self.find_chunk(state, &r, f) {
+                match self.find_chunk(state, r, f) {
                     Some(i) => {
-                        let value = state.chunks[i].value.clone();
+                        let value = state.chunks[i].value;
                         if in_spec && self.backend == Backend::StableBaseline {
                             // The stable encoding cannot state `e.f`
                             // directly: mint a witness and bind it.
                             let w = self.fresh(self.field_ty(f));
-                            state.pc.push(SymExpr::eq(SymExpr::sym(w), value));
+                            let ws = self.arena.sym(w);
+                            let bind = self.arena.eq(ws, value);
+                            state.pc.push(bind);
                             state.witnesses.push((r, f.clone(), w));
                             self.stats.witnesses += 1;
                             // Deriving the binding is an obligation of
@@ -340,24 +529,20 @@ impl<'a> Verifier<'a> {
                                 description: format!("bind witness for {}", e),
                                 outcome: Answer::Valid,
                             });
-                            SymExpr::sym(w)
+                            ws
                         } else {
                             value
                         }
                     }
                     None => {
-                        self.oblige_failure(format!(
-                            "read of {} without permission",
-                            e
-                        ));
-                        SymExpr::bool(false)
+                        self.oblige_failure(format!("read of {} without permission", e));
+                        self.arena.bool(false)
                     }
                 }
             }
             Expr::Old(inner) => {
-                // Evaluate against the snapshot.
-                let saved = std::mem::take(&mut state.chunks);
-                state.chunks = state.old.clone();
+                // Evaluate against the snapshot (an Rc swap, not a copy).
+                let saved = std::mem::replace(&mut state.chunks, Rc::clone(&state.old));
                 let v = self.eval(state, inner, in_spec);
                 state.chunks = saved;
                 v
@@ -369,9 +554,9 @@ impl<'a> Verifier<'a> {
                 // eval_perm_comparison). Standalone perm() evaluates to
                 // an opaque symbol.
                 let r = self.eval(state, recv, in_spec);
-                let q = self.perm_of(state, &r, f);
+                let q = self.perm_of(state, r, f);
                 // Scale to a fixed denominator grid to stay linear.
-                SymExpr::int(perm_to_grid(q))
+                self.arena.int(perm_to_grid(q))
             }
             Expr::Bin(op, a, b) => {
                 // perm comparisons get special, exact treatment.
@@ -381,39 +566,47 @@ impl<'a> Verifier<'a> {
                 let va = self.eval(state, a, in_spec);
                 let vb = self.eval(state, b, in_spec);
                 match op {
-                    Op::Add => SymExpr::add(va, vb),
-                    Op::Sub => SymExpr::sub(va, vb),
-                    Op::Mul => SymExpr::mul(va, vb),
+                    Op::Add => self.arena.add(va, vb),
+                    Op::Sub => self.arena.sub(va, vb),
+                    Op::Mul => self.arena.mul(va, vb),
                     Op::Div => {
                         // Constant fold only; symbolic division is out of
                         // fragment.
-                        match (&va, &vb) {
-                            (SymExpr::Int(x), SymExpr::Int(y)) if *y != 0 => {
-                                SymExpr::int(x / y)
-                            }
+                        match (self.arena.node(va), self.arena.node(vb)) {
+                            (Term::Int(x), Term::Int(y)) if y != 0 => self.arena.int(x / y),
                             _ => {
                                 let s = self.fresh(Type::Int);
-                                SymExpr::sym(s)
+                                self.arena.sym(s)
                             }
                         }
                     }
-                    Op::Eq => SymExpr::eq(va, vb),
-                    Op::Ne => SymExpr::not(SymExpr::eq(va, vb)),
-                    Op::Lt => SymExpr::lt(va, vb),
-                    Op::Le => SymExpr::le(va, vb),
-                    Op::Gt => SymExpr::lt(vb, va),
-                    Op::Ge => SymExpr::le(vb, va),
-                    Op::And => SymExpr::and(va, vb),
-                    Op::Or => SymExpr::or(va, vb),
+                    Op::Eq => self.arena.eq(va, vb),
+                    Op::Ne => {
+                        let eq = self.arena.eq(va, vb);
+                        self.arena.not(eq)
+                    }
+                    Op::Lt => self.arena.lt(va, vb),
+                    Op::Le => self.arena.le(va, vb),
+                    Op::Gt => self.arena.lt(vb, va),
+                    Op::Ge => self.arena.le(vb, va),
+                    Op::And => self.arena.and(va, vb),
+                    Op::Or => self.arena.or(va, vb),
                 }
             }
-            Expr::Not(a) => SymExpr::not(self.eval(state, a, in_spec)),
-            Expr::Neg(a) => SymExpr::sub(SymExpr::int(0), self.eval(state, a, in_spec)),
+            Expr::Not(a) => {
+                let v = self.eval(state, a, in_spec);
+                self.arena.not(v)
+            }
+            Expr::Neg(a) => {
+                let v = self.eval(state, a, in_spec);
+                let zero = self.arena.int(0);
+                self.arena.sub(zero, v)
+            }
             Expr::Cond(c, t, el) => {
                 let vc = self.eval(state, c, in_spec);
                 let vt = self.eval(state, t, in_spec);
                 let ve = self.eval(state, el, in_spec);
-                SymExpr::Ite(Box::new(vc), Box::new(vt), Box::new(ve))
+                self.arena.ite(vc, vt, ve)
             }
         }
     }
@@ -427,7 +620,7 @@ impl<'a> Verifier<'a> {
         a: &Expr,
         b: &Expr,
         in_spec: bool,
-    ) -> Option<SymExpr> {
+    ) -> Option<TermId> {
         let (perm_side, lit_side, flipped) = match (a, b) {
             (Expr::Perm(r, f), rhs) => ((r, f), rhs, false),
             (lhs, Expr::Perm(r, f)) => ((r, f), lhs, true),
@@ -435,8 +628,12 @@ impl<'a> Verifier<'a> {
         };
         let q_lit = fraction_literal(lit_side)?;
         let r = self.eval(state, perm_side.0, in_spec);
-        let held = self.perm_of(state, &r, perm_side.1);
-        let (lhs, rhs) = if flipped { (q_lit, held) } else { (held, q_lit) };
+        let held = self.perm_of(state, r, perm_side.1);
+        let (lhs, rhs) = if flipped {
+            (q_lit, held)
+        } else {
+            (held, q_lit)
+        };
         let truth = match op {
             Op::Eq => lhs == rhs,
             Op::Ne => lhs != rhs,
@@ -446,7 +643,7 @@ impl<'a> Verifier<'a> {
             Op::Ge => lhs >= rhs,
             _ => return None,
         };
-        Some(SymExpr::bool(truth))
+        Some(self.arena.bool(truth))
     }
 
     fn field_ty(&self, f: &str) -> Type {
@@ -465,21 +662,23 @@ impl<'a> Verifier<'a> {
             Assertion::Acc(recv, field, q) => {
                 let r = self.eval(&mut state, recv, true);
                 // Non-null receiver comes with the permission.
-                state
-                    .pc
-                    .push(SymExpr::not(SymExpr::eq(r.clone(), SymExpr::Null)));
-                match self.find_chunk(&state, &r, field) {
+                let null = self.arena.null();
+                let eq_null = self.arena.eq(r, null);
+                let non_null = self.arena.not(eq_null);
+                state.pc.push(non_null);
+                match self.find_chunk(&state, r, field) {
                     Some(i) => {
-                        let c = &mut state.chunks[i];
+                        let c = &mut Rc::make_mut(&mut state.chunks)[i];
                         c.perm = c.perm + *q;
                     }
                     None => {
                         let w = self.fresh(self.field_ty(field));
-                        state.chunks.push(Chunk {
+                        let value = self.arena.sym(w);
+                        Rc::make_mut(&mut state.chunks).push(Chunk {
                             recv: r,
                             field: field.clone(),
                             perm: *q,
-                            value: SymExpr::sym(w),
+                            value,
                         });
                     }
                 }
@@ -496,14 +695,15 @@ impl<'a> Verifier<'a> {
                 let v = self.eval(&mut state, cond, true);
                 // Branch on the condition.
                 let mut then_state = state.clone();
-                then_state.pc.push(v.clone());
+                then_state.pc.push(v);
                 let mut out = Vec::new();
-                if self.solver.consistent(&then_state.pc) {
+                if self.solver.consistent(&mut self.arena, &then_state.pc) {
                     out.extend(self.produce(then_state, body));
                 }
                 let mut else_state = state;
-                else_state.pc.push(SymExpr::not(v));
-                if self.solver.consistent(&else_state.pc) {
+                let nv = self.arena.not(v);
+                else_state.pc.push(nv);
+                if self.solver.consistent(&mut self.arena, &else_state.pc) {
                     out.push(else_state);
                 }
                 out
@@ -514,16 +714,17 @@ impl<'a> Verifier<'a> {
     /// Consumes an assertion. Per IDF exhale semantics, *pure*
     /// expressions (and `acc` receivers) are evaluated against the heap
     /// as it was when the exhale started, while permissions are
-    /// subtracted from the running state.
+    /// subtracted from the running state. The snapshot is an `Rc`
+    /// clone: O(1), no chunk copying.
     fn consume(&mut self, state: State, a: &Assertion, ctx: &str) -> Vec<State> {
-        let snapshot = state.chunks.clone();
+        let snapshot = Rc::clone(&state.chunks);
         self.consume_with(state, &snapshot, a, ctx)
     }
 
     /// Evaluates `e` in `state` with the chunk store temporarily
     /// replaced by the exhale-entry snapshot.
-    fn eval_snap(&mut self, state: &mut State, snap: &[Chunk], e: &Expr) -> SymExpr {
-        let saved = std::mem::replace(&mut state.chunks, snap.to_vec());
+    fn eval_snap(&mut self, state: &mut State, snap: &Rc<Vec<Chunk>>, e: &Expr) -> TermId {
+        let saved = std::mem::replace(&mut state.chunks, Rc::clone(snap));
         let v = self.eval(state, e, true);
         state.chunks = saved;
         v
@@ -532,7 +733,7 @@ impl<'a> Verifier<'a> {
     fn consume_with(
         &mut self,
         mut state: State,
-        snap: &[Chunk],
+        snap: &Rc<Vec<Chunk>>,
         a: &Assertion,
         ctx: &str,
     ) -> Vec<State> {
@@ -544,21 +745,22 @@ impl<'a> Verifier<'a> {
                     self.stats.rebinds += e.field_reads();
                 }
                 let v = self.eval_snap(&mut state, snap, e);
-                self.oblige(&state.pc, v, format!("{}: {}", ctx, e));
+                self.oblige(&state.pc.clone(), v, format!("{}: {}", ctx, e));
                 vec![state]
             }
             Assertion::Acc(recv, field, q) => {
                 let r = self.eval_snap(&mut state, snap, recv);
-                match self.find_chunk(&state, &r, field) {
+                match self.find_chunk(&state, r, field) {
                     Some(i) if state.chunks[i].perm >= *q => {
                         self.obligations.push(Obligation {
                             description: format!("{}: exhale acc({}.{}, {})", ctx, recv, field, q),
                             outcome: Answer::Valid,
                         });
-                        let c = &mut state.chunks[i];
+                        let chunks = Rc::make_mut(&mut state.chunks);
+                        let c = &mut chunks[i];
                         c.perm = c.perm - *q;
                         if !c.perm.is_positive() {
-                            state.chunks.remove(i);
+                            chunks.remove(i);
                         }
                     }
                     _ => {
@@ -580,14 +782,15 @@ impl<'a> Verifier<'a> {
             Assertion::Implies(cond, body) => {
                 let v = self.eval_snap(&mut state, snap, cond);
                 let mut then_state = state.clone();
-                then_state.pc.push(v.clone());
+                then_state.pc.push(v);
                 let mut out = Vec::new();
-                if self.solver.consistent(&then_state.pc) {
+                if self.solver.consistent(&mut self.arena, &then_state.pc) {
                     out.extend(self.consume_with(then_state, snap, body, ctx));
                 }
                 let mut else_state = state;
-                else_state.pc.push(SymExpr::not(v));
-                if self.solver.consistent(&else_state.pc) {
+                let nv = self.arena.not(v);
+                else_state.pc.push(nv);
+                if self.solver.consistent(&mut self.arena, &else_state.pc) {
                     out.push(else_state);
                 }
                 out
@@ -626,13 +829,13 @@ impl<'a> Verifier<'a> {
             Stmt::FieldWrite(recv, field, rhs) => {
                 let r = self.eval(&mut state, recv, false);
                 let v = self.eval(&mut state, rhs, false);
-                match self.find_chunk(&state, &r, field) {
+                match self.find_chunk(&state, r, field) {
                     Some(i) if state.chunks[i].perm >= Q::ONE => {
                         self.obligations.push(Obligation {
                             description: format!("write permission for {}.{}", recv, field),
                             outcome: Answer::Valid,
                         });
-                        state.chunks[i].value = v;
+                        Rc::make_mut(&mut state.chunks)[i].value = v;
                     }
                     _ => {
                         self.oblige_failure(format!(
@@ -644,16 +847,15 @@ impl<'a> Verifier<'a> {
                 // The stable baseline scans live witnesses for
                 // invalidation on every write.
                 if self.backend == Backend::StableBaseline {
-                    let scan: Vec<(SymExpr, String)> = state
+                    let scan: Vec<TermId> = state
                         .witnesses
                         .iter()
                         .filter(|(_, f, _)| f == field)
-                        .map(|(wr, f, _)| (wr.clone(), f.clone()))
+                        .map(|(wr, _, _)| *wr)
                         .collect();
-                    for (wrecv, _) in scan {
-                        let _ = self
-                            .solver
-                            .entails(&state.pc, &SymExpr::eq(wrecv, r.clone()));
+                    for wrecv in scan {
+                        let goal = self.arena.eq(wrecv, r);
+                        let _ = self.solver.entails(&mut self.arena, &state.pc, goal);
                         self.stats.rebinds += 1;
                     }
                 }
@@ -661,22 +863,22 @@ impl<'a> Verifier<'a> {
             }
             Stmt::New(x, fields) => {
                 let r = self.fresh(Type::Ref);
-                let re = SymExpr::sym(r);
-                state
-                    .pc
-                    .push(SymExpr::not(SymExpr::eq(re.clone(), SymExpr::Null)));
+                let re = self.arena.sym(r);
+                let null = self.arena.null();
+                let eq_null = self.arena.eq(re, null);
+                let non_null = self.arena.not(eq_null);
+                state.pc.push(non_null);
                 // Fresh from every existing chunk receiver.
-                let existing: Vec<SymExpr> =
-                    state.chunks.iter().map(|c| c.recv.clone()).collect();
+                let existing: Vec<TermId> = state.chunks.iter().map(|c| c.recv).collect();
                 for other in existing {
-                    state
-                        .pc
-                        .push(SymExpr::not(SymExpr::eq(re.clone(), other)));
+                    let eq_other = self.arena.eq(re, other);
+                    let fresh = self.arena.not(eq_other);
+                    state.pc.push(fresh);
                 }
                 for (f, e) in fields {
                     let v = self.eval(&mut state, e, false);
-                    state.chunks.push(Chunk {
-                        recv: re.clone(),
+                    Rc::make_mut(&mut state.chunks).push(Chunk {
+                        recv: re,
                         field: f.clone(),
                         perm: Q::ONE,
                         value: v,
@@ -699,13 +901,14 @@ impl<'a> Verifier<'a> {
                 let v = self.eval(&mut state, c, false);
                 let mut out = Vec::new();
                 let mut then_state = state.clone();
-                then_state.pc.push(v.clone());
-                if self.solver.consistent(&then_state.pc) {
+                then_state.pc.push(v);
+                if self.solver.consistent(&mut self.arena, &then_state.pc) {
                     out.extend(self.exec_block(then_state, then_b));
                 }
                 let mut else_state = state;
-                else_state.pc.push(SymExpr::not(v));
-                if self.solver.consistent(&else_state.pc) {
+                let nv = self.arena.not(v);
+                else_state.pc.push(nv);
+                if self.solver.consistent(&mut self.arena, &else_state.pc) {
                     out.extend(self.exec_block(else_state, else_b));
                 }
                 out
@@ -713,7 +916,7 @@ impl<'a> Verifier<'a> {
             Stmt::While(c, inv, body) => {
                 // `old(…)` always refers to the *method* pre-state, as
                 // in Viper — including inside loop invariants.
-                let entry_old = state.old.clone();
+                let entry_old = Rc::clone(&state.old);
                 // 1. Exhale the invariant on entry.
                 let after_entry = self.consume(state, inv, "loop invariant (entry)");
                 // 2. Check the body preserves it: fresh state with inv
@@ -729,7 +932,7 @@ impl<'a> Verifier<'a> {
                             .map(|s| s.var_types.clone())
                             .unwrap_or_default(),
                         pc: Vec::new(),
-                        chunks: Vec::new(),
+                        chunks: Rc::new(Vec::new()),
                         old: entry_old,
                         witnesses: Vec::new(),
                     };
@@ -737,7 +940,8 @@ impl<'a> Verifier<'a> {
                     for x in assigned_vars(body) {
                         let ty = body_state.var_types.get(&x).copied().unwrap_or(Type::Int);
                         let s = self.fresh(ty);
-                        body_state.store.insert(x, SymExpr::sym(s));
+                        let v = self.arena.sym(s);
+                        body_state.store.insert(x, v);
                     }
                     let mut produced = self.produce(body_state, inv);
                     for st in &mut produced {
@@ -746,7 +950,7 @@ impl<'a> Verifier<'a> {
                     }
                     let mut after_body = Vec::new();
                     for st in produced {
-                        if self.solver.consistent(&st.pc) {
+                        if self.solver.consistent(&mut self.arena, &st.pc) {
                             after_body.extend(self.exec_block(st, body));
                         }
                     }
@@ -760,12 +964,14 @@ impl<'a> Verifier<'a> {
                     for x in assigned_vars(body) {
                         let ty = cont.var_types.get(&x).copied().unwrap_or(Type::Int);
                         let s = self.fresh(ty);
-                        cont.store.insert(x, SymExpr::sym(s));
+                        let v = self.arena.sym(s);
+                        cont.store.insert(x, v);
                     }
                     for mut st in self.produce(cont, inv) {
                         let v = self.eval(&mut st, c, false);
-                        st.pc.push(SymExpr::not(v));
-                        if self.solver.consistent(&st.pc) {
+                        let nv = self.arena.not(v);
+                        st.pc.push(nv);
+                        if self.solver.consistent(&mut self.arena, &st.pc) {
                             out.push(st);
                         }
                     }
@@ -785,7 +991,7 @@ impl<'a> Verifier<'a> {
                     return vec![state];
                 }
                 // Bind formals.
-                let mut bound: BTreeMap<String, SymExpr> = BTreeMap::new();
+                let mut bound: BTreeMap<String, TermId> = BTreeMap::new();
                 for ((p, _), a) in callee.params.iter().zip(args.iter()) {
                     let v = self.eval(&mut state, a, false);
                     bound.insert(p.clone(), v);
@@ -793,29 +999,33 @@ impl<'a> Verifier<'a> {
                 // Exhale the precondition with formals substituted via a
                 // temporary store.
                 let caller_store = state.store.clone();
-                let call_snapshot = state.chunks.clone();
+                let call_snapshot = Rc::clone(&state.chunks);
                 state.store = bound.clone();
-                let mut after_pre =
-                    self.consume(state, &callee.requires, &format!("precondition of {}", mname));
+                let mut after_pre = self.consume(
+                    state,
+                    &callee.requires,
+                    &format!("precondition of {}", mname),
+                );
                 // Havoc targets, inhale the postcondition.
                 let mut out = Vec::new();
                 for mut st in after_pre.drain(..) {
                     st.store = bound.clone();
                     for ((r, ty), _) in callee.returns.iter().zip(targets.iter()) {
                         let s = self.fresh(*ty);
-                        st.store.insert(r.clone(), SymExpr::sym(s));
+                        let v = self.arena.sym(s);
+                        st.store.insert(r.clone(), v);
                     }
                     // old() in the callee post refers to the call point.
-                    let saved_old = std::mem::replace(&mut st.old, call_snapshot.clone());
+                    let saved_old = std::mem::replace(&mut st.old, Rc::clone(&call_snapshot));
                     for mut done in self.produce(st, &callee.ensures) {
                         // Restore the caller view.
                         let mut store = caller_store.clone();
                         for ((r, _), t) in callee.returns.iter().zip(targets.iter()) {
-                            let v = done.store.get(r).cloned().expect("return bound");
+                            let v = *done.store.get(r).expect("return bound");
                             store.insert(t.clone(), v);
                         }
                         done.store = store;
-                        done.old = saved_old.clone();
+                        done.old = Rc::clone(&saved_old);
                         out.push(done);
                     }
                 }
@@ -825,14 +1035,29 @@ impl<'a> Verifier<'a> {
     }
 }
 
+/// Verifies one method in a verifier of its own — fresh arena, solver,
+/// and symbol supply — so outcomes and statistics do not depend on
+/// which worker (or how many) ran it.
+fn run_isolated(
+    program: &Program,
+    backend: Backend,
+    config: VerifierConfig,
+    name: &str,
+) -> MethodOutcome {
+    let mut v = Verifier::with_config(program, backend, config);
+    let result = v.verify_method(name);
+    MethodOutcome {
+        result,
+        obligations: v.obligations,
+    }
+}
+
 /// Variables assigned anywhere in a statement list (for loop havoc).
 fn assigned_vars(stmts: &[Stmt]) -> Vec<String> {
     let mut out = Vec::new();
     fn go(s: &Stmt, out: &mut Vec<String>) {
         match s {
-            Stmt::VarDecl(x, ..) | Stmt::Assign(x, _) | Stmt::New(x, _)
-                if !out.contains(x) =>
-            {
+            Stmt::VarDecl(x, ..) | Stmt::Assign(x, _) | Stmt::New(x, _) if !out.contains(x) => {
                 out.push(x.clone());
             }
             Stmt::Call(targets, ..) => {
@@ -916,7 +1141,9 @@ mod tests {
             }
         "#;
         let e = verify(src, Backend::Destabilized).unwrap_err();
-        assert!(e.failures[0].description.contains("without full permission"));
+        assert!(e.failures[0]
+            .description
+            .contains("without full permission"));
     }
 
     #[test]
@@ -1106,5 +1333,59 @@ mod tests {
             }
         "#;
         assert!(verify(src, Backend::Destabilized).is_ok());
+    }
+
+    #[test]
+    fn abstract_method_reports_instead_of_panicking() {
+        let src = r#"
+            field val: Int
+            method spec_only(c: Ref)
+              requires acc(c.val)
+              ensures acc(c.val)
+        "#;
+        let p = parse_program(src).unwrap();
+        let mut v = Verifier::new(&p, Backend::Destabilized);
+        // verify_all skips bodyless methods entirely…
+        assert!(v.verify_all().unwrap().is_empty());
+        // …and targeting one directly is a structural failure, not a
+        // panic.
+        let err = v.verify_method("spec_only").unwrap_err();
+        assert!(err.failures[0].description.contains("abstract"));
+        let err = v.verify_method("no_such_method").unwrap_err();
+        assert!(err.failures[0].description.contains("unknown method"));
+    }
+
+    #[test]
+    fn verify_all_is_thread_count_invariant() {
+        let src = r#"
+            field val: Int
+            method a(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == old(c.val) + 1
+            { c.val := c.val + 1 }
+            method b(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 0
+            { c.val := 0 }
+            method c(n: Int) returns (i: Int) requires n >= 0 ensures i == n
+            { i := 0; while (i < n) invariant i <= n && 0 <= i { i := i + 1 } }
+        "#;
+        let p = parse_program(src).unwrap();
+        let run = |threads: usize| {
+            let mut v = Verifier::with_config(
+                &p,
+                Backend::Destabilized,
+                VerifierConfig {
+                    threads,
+                    cache: true,
+                },
+            );
+            let stats = v.verify_all().unwrap();
+            let obligations = v.obligations().to_vec();
+            let normalized: BTreeMap<String, VerifyStats> = stats
+                .into_iter()
+                .map(|(k, s)| (k, s.normalized()))
+                .collect();
+            (normalized, obligations)
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
     }
 }

@@ -58,9 +58,9 @@ pub enum Sy {
     Colon,
     Semi,
     Dot,
-    Assign,  // :=
-    EqEq,    // ==
-    Ne,      // !=
+    Assign, // :=
+    EqEq,   // ==
+    Ne,     // !=
     Le,
     Ge,
     Lt,

@@ -13,19 +13,25 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 pub mod smt;
+pub mod sym;
 pub mod translate;
 pub mod wf;
-pub mod sym;
 
 pub use ast::{Assertion, Expr, Method, Op, Program, Stmt, Type};
-pub use cases::{all_cases, negative_cases, positive_cases, scaling_program, Case};
-pub use compile::{alloc_object, compile_method, compile_program, run_and_check, spec_holds, ConcreteError, ConcreteObj, ConcreteVal};
-pub use exec::{Backend, Chunk, Obligation, Verifier, VerifyError, VerifyStats};
+pub use cases::{all_cases, chain_program, negative_cases, positive_cases, scaling_program, Case};
+pub use compile::{
+    alloc_object, compile_method, compile_program, run_and_check, spec_holds, ConcreteError,
+    ConcreteObj, ConcreteVal,
+};
+pub use exec::{Backend, Chunk, Obligation, Verifier, VerifierConfig, VerifyError, VerifyStats};
 pub use parser::{parse_assertion, parse_program, ParseError};
 pub use smt::{Answer, Solver};
+pub use sym::{Sort, Sym, SymExpr, SymSupply, Term, TermArena, TermId};
+pub use translate::{
+    env_of, full_ownership, obj_of, strip_old, translate_assertion, translate_expr, TEnv,
+    TranslateError,
+};
 pub use wf::{check_program, WfError};
-pub use translate::{env_of, full_ownership, obj_of, strip_old, translate_assertion, translate_expr, TEnv, TranslateError};
-pub use sym::{Sort, Sym, SymExpr, SymSupply};
 
 /// One-call pipeline: parse → well-formedness check → verify.
 ///

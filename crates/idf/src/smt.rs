@@ -11,9 +11,28 @@
 //! The procedure is **sound for verification**: `Valid` is only
 //! answered when `pc → goal` holds. Nonlinear or otherwise unsupported
 //! atoms degrade the answer to `Unknown`, never to a wrong `Valid`.
+//!
+//! Queries are posed over hash-consed [`TermId`]s, and two memo layers
+//! exploit the O(1) equality that interning buys:
+//!
+//! * a **query cache** keyed on the *normalized* path condition (sorted,
+//!   deduplicated ids) plus the goal id — symbolic execution re-poses
+//!   the same consistency/entailment queries constantly (branch joins,
+//!   repeated spec boundaries), and a repeat is answered without any
+//!   solving;
+//! * a **theory cache** keyed on the set of theory literals of a full
+//!   DPLL assignment — union-find construction, Gaussian substitution,
+//!   and Fourier–Motzkin elimination are all functions of that set
+//!   alone, so queries whose path conditions share a prefix reuse the
+//!   ground-theory work of their common branches instead of repeating
+//!   it.
+//!
+//! Both caches are exact (keys are complete inputs of the computation
+//! they index), so answers are bit-identical with caching on or off;
+//! `cache_enabled` exists to measure the difference, not to change it.
 
-use crate::sym::{Sort, Sym, SymExpr};
-use std::collections::BTreeMap;
+use crate::sym::{Sort, Sym, SymExpr, Term, TermArena, TermId};
+use std::collections::{BTreeMap, HashMap};
 
 /// The answer to an entailment query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,7 +54,7 @@ enum SatAnswer {
 }
 
 /// A linear term `Σ cᵢ·xᵢ + k` over integer symbols.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 struct LinTerm {
     coeffs: BTreeMap<Sym, i128>,
     konst: i128,
@@ -87,14 +106,14 @@ impl LinTerm {
 }
 
 /// A reference-sorted ground term.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 enum RefTerm {
     Null,
     Sym(Sym),
 }
 
 /// An abstracted atom (negations are handled by the literal polarity).
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 enum Atom {
     /// `lin ≤ 0`.
     LinLe(LinTerm),
@@ -103,7 +122,27 @@ enum Atom {
     /// Equality of two reference terms.
     RefEq(RefTerm, RefTerm),
     /// Unsupported structure (nonlinear multiplication, …).
-    Opaque(SymExpr),
+    Opaque(TermId),
+}
+
+/// Interned atoms of one `sat` call: index lookup is a hash probe, not
+/// a linear scan over previously seen atoms.
+#[derive(Default)]
+struct AtomTable {
+    list: Vec<Atom>,
+    index: HashMap<Atom, usize>,
+}
+
+impl AtomTable {
+    fn intern(&mut self, a: Atom) -> usize {
+        if let Some(&i) = self.index.get(&a) {
+            return i;
+        }
+        let i = self.list.len();
+        self.list.push(a.clone());
+        self.index.insert(a, i);
+        i
+    }
 }
 
 /// A propositional skeleton over atom indices.
@@ -116,9 +155,17 @@ enum BForm {
     Or(Box<BForm>, Box<BForm>),
 }
 
+/// The integer-comparison shapes shared by the ite-splitting helpers.
+#[derive(Clone, Copy)]
+enum Cmp {
+    Lt,
+    Le,
+    Eq,
+}
+
 /// The decision procedure, with query statistics (reported by the
 /// evaluation harness).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Solver {
     /// Sorts of the symbols in play.
     pub sorts: BTreeMap<Sym, Sort>,
@@ -126,10 +173,41 @@ pub struct Solver {
     pub queries: usize,
     /// Number of DPLL branches explored across all queries.
     pub branches: usize,
+    /// Whether the memo layers are consulted (answers are identical
+    /// either way; off = measure the uncached cost).
+    pub cache_enabled: bool,
+    /// Query-cache hits (whole entailments answered from memory).
+    pub cache_hits: usize,
+    /// Query-cache misses (entailments actually solved).
+    pub cache_misses: usize,
+    /// Theory-cache hits (ground-theory checks reused across branches
+    /// and across queries sharing a path-condition prefix).
+    pub theory_hits: usize,
+    /// Theory-cache misses.
+    pub theory_misses: usize,
+    query_cache: HashMap<(Vec<TermId>, TermId), Answer>,
+    theory_cache: HashMap<Vec<(Atom, bool)>, SatAnswer>,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver {
+            sorts: BTreeMap::new(),
+            queries: 0,
+            branches: 0,
+            cache_enabled: true,
+            cache_hits: 0,
+            cache_misses: 0,
+            theory_hits: 0,
+            theory_misses: 0,
+            query_cache: HashMap::new(),
+            theory_cache: HashMap::new(),
+        }
+    }
 }
 
 impl Solver {
-    /// A fresh solver.
+    /// A fresh solver (caching on).
     pub fn new() -> Solver {
         Solver::default()
     }
@@ -140,98 +218,127 @@ impl Solver {
     }
 
     /// Checks `pc ⊨ goal` (validity of the implication).
-    pub fn entails(&mut self, pc: &[SymExpr], goal: &SymExpr) -> Answer {
+    ///
+    /// The path condition is normalized (sorted, deduplicated) before
+    /// solving — conjunction is commutative and idempotent — so queries
+    /// that differ only in condition order share one cache entry and
+    /// one canonical answer.
+    pub fn entails(&mut self, arena: &mut TermArena, pc: &[TermId], goal: TermId) -> Answer {
         self.queries += 1;
-        let mut formula = SymExpr::not(goal.clone());
-        for c in pc {
-            formula = SymExpr::and(formula, c.clone());
+        let mut key: Vec<TermId> = pc.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if self.cache_enabled {
+            if let Some(&cached) = self.query_cache.get(&(key.clone(), goal)) {
+                self.cache_hits += 1;
+                return cached;
+            }
+            self.cache_misses += 1;
         }
-        match self.sat(&formula) {
+        let mut formula = arena.not(goal);
+        for &c in &key {
+            formula = arena.and(formula, c);
+        }
+        let answer = match self.sat(arena, formula) {
             SatAnswer::Unsat => Answer::Valid,
             SatAnswer::Sat => Answer::Invalid,
             SatAnswer::Unknown => Answer::Unknown,
+        };
+        if self.cache_enabled {
+            self.query_cache.insert((key, goal), answer);
         }
+        answer
     }
 
     /// Checks whether the path condition is consistent (used to prune
-    /// infeasible branches).
-    pub fn consistent(&mut self, pc: &[SymExpr]) -> bool {
-        self.queries += 1;
-        let mut formula = SymExpr::bool(true);
-        for c in pc {
-            formula = SymExpr::and(formula, c.clone());
-        }
-        // Treat Unknown as consistent (conservative: keep exploring).
-        self.sat(&formula) != SatAnswer::Unsat
+    /// infeasible branches). `consistent(pc)` is `pc ⊭ false` with
+    /// Unknown treated as consistent (conservative: keep exploring), so
+    /// it shares the entailment query cache.
+    pub fn consistent(&mut self, arena: &mut TermArena, pc: &[TermId]) -> bool {
+        let falsum = arena.bool(false);
+        self.entails(arena, pc, falsum) != Answer::Valid
     }
 
-    fn sat(&mut self, f: &SymExpr) -> SatAnswer {
-        let mut atoms: Vec<Atom> = Vec::new();
-        let skeleton = self.abstract_bool(f, true, &mut atoms);
-        let mut assignment: Vec<Option<bool>> = vec![None; atoms.len()];
-        self.dpll(&skeleton, &atoms, &mut assignment)
+    /// Tree-facade variant of [`Solver::entails`] for callers holding
+    /// owned [`SymExpr`]s (tests, one-off queries).
+    pub fn entails_exprs(
+        &mut self,
+        arena: &mut TermArena,
+        pc: &[SymExpr],
+        goal: &SymExpr,
+    ) -> Answer {
+        let pc_ids: Vec<TermId> = pc.iter().map(|e| arena.intern_expr(e)).collect();
+        let g = arena.intern_expr(goal);
+        self.entails(arena, &pc_ids, g)
     }
 
-    /// Converts a boolean expression to a skeleton, interning atoms.
+    fn sat(&mut self, arena: &mut TermArena, f: TermId) -> SatAnswer {
+        let mut atoms = AtomTable::default();
+        let skeleton = self.abstract_bool(arena, f, true, &mut atoms);
+        let mut assignment: Vec<Option<bool>> = vec![None; atoms.list.len()];
+        self.dpll(&skeleton, &atoms.list, &mut assignment)
+    }
+
+    /// Converts a boolean term to a skeleton, interning atoms.
     /// `positive` tracks NNF polarity.
-    fn abstract_bool(&mut self, e: &SymExpr, positive: bool, atoms: &mut Vec<Atom>) -> BForm {
-        use SymExpr::*;
-        match e {
-            Bool(b) => {
-                if *b == positive {
+    fn abstract_bool(
+        &mut self,
+        arena: &mut TermArena,
+        id: TermId,
+        positive: bool,
+        atoms: &mut AtomTable,
+    ) -> BForm {
+        match arena.node(id) {
+            Term::Bool(b) => {
+                if b == positive {
                     BForm::True
                 } else {
                     BForm::False
                 }
             }
-            Not(inner) => self.abstract_bool(inner, !positive, atoms),
-            And(a, b) => {
-                let fa = self.abstract_bool(a, positive, atoms);
-                let fb = self.abstract_bool(b, positive, atoms);
+            Term::Not(inner) => self.abstract_bool(arena, inner, !positive, atoms),
+            Term::And(a, b) => {
+                let fa = self.abstract_bool(arena, a, positive, atoms);
+                let fb = self.abstract_bool(arena, b, positive, atoms);
                 if positive {
                     BForm::And(Box::new(fa), Box::new(fb))
                 } else {
                     BForm::Or(Box::new(fa), Box::new(fb))
                 }
             }
-            Or(a, b) => {
-                let fa = self.abstract_bool(a, positive, atoms);
-                let fb = self.abstract_bool(b, positive, atoms);
+            Term::Or(a, b) => {
+                let fa = self.abstract_bool(arena, a, positive, atoms);
+                let fb = self.abstract_bool(arena, b, positive, atoms);
                 if positive {
                     BForm::Or(Box::new(fa), Box::new(fb))
                 } else {
                     BForm::And(Box::new(fa), Box::new(fb))
                 }
             }
-            Implies(a, b) => {
-                let neg = SymExpr::or(SymExpr::not((**a).clone()), (**b).clone());
-                self.abstract_bool(&neg, positive, atoms)
-            }
-            Sym(s) => BForm::Lit(intern(atoms, Atom::BoolSym(*s)), positive),
-            Lt(a, b) => {
-                if let Some(ex) = split_cmp_ite(a, b, &SymExpr::lt) {
-                    return self.abstract_bool(&ex, positive, atoms);
+            Term::Sym(s) => BForm::Lit(atoms.intern(Atom::BoolSym(s)), positive),
+            Term::Lt(a, b) => {
+                if let Some(ex) = split_cmp_ite(arena, a, b, Cmp::Lt) {
+                    return self.abstract_bool(arena, ex, positive, atoms);
                 }
                 // a < b  ⇔  a - b + 1 ≤ 0 (integers).
-                match (self.linearize(a), self.linearize(b)) {
+                match (self.linearize(arena, a), self.linearize(arena, b)) {
                     (Some(la), Some(lb)) => {
-                        let lin = la.sub(&lb).add(&LinTerm::constant(1));
                         let lin = if positive {
-                            lin
+                            la.sub(&lb).add(&LinTerm::constant(1))
                         } else {
                             // ¬(a < b) ⇔ b ≤ a ⇔ b - a ≤ 0.
                             lb.sub(&la)
                         };
                         lin_lit(atoms, lin)
                     }
-                    _ => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
+                    _ => BForm::Lit(atoms.intern(Atom::Opaque(id)), positive),
                 }
             }
-            Le(a, b) => {
-                if let Some(ex) = split_cmp_ite(a, b, &SymExpr::le) {
-                    return self.abstract_bool(&ex, positive, atoms);
+            Term::Le(a, b) => {
+                if let Some(ex) = split_cmp_ite(arena, a, b, Cmp::Le) {
+                    return self.abstract_bool(arena, ex, positive, atoms);
                 }
-                match (self.linearize(a), self.linearize(b)) {
+                match (self.linearize(arena, a), self.linearize(arena, b)) {
                     (Some(la), Some(lb)) => {
                         let lin = if positive {
                             la.sub(&lb)
@@ -241,90 +348,92 @@ impl Solver {
                         };
                         lin_lit(atoms, lin)
                     }
-                    _ => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
+                    _ => BForm::Lit(atoms.intern(Atom::Opaque(id)), positive),
                 }
             }
-            Eq(a, b) => match self.sort_of(a).or_else(|| self.sort_of(b)) {
-                Some(Sort::Int) if split_cmp_ite(a, b, &SymExpr::eq).is_some() => {
-                    let ex = split_cmp_ite(a, b, &SymExpr::eq).expect("checked");
-                    self.abstract_bool(&ex, positive, atoms)
-                }
-                Some(Sort::Int) => match (self.linearize(a), self.linearize(b)) {
-                    (Some(la), Some(lb)) => {
-                        let d = la.sub(&lb);
-                        if positive {
-                            // d = 0 ⇔ d ≤ 0 ∧ -d ≤ 0.
-                            BForm::And(
-                                Box::new(lin_lit(atoms, d.clone())),
-                                Box::new(lin_lit(atoms, d.scale(-1))),
-                            )
-                        } else {
-                            // d ≠ 0 ⇔ d ≤ -1 ∨ -d ≤ -1.
-                            BForm::Or(
-                                Box::new(lin_lit(atoms, d.add(&LinTerm::constant(1)))),
-                                Box::new(lin_lit(
-                                    atoms,
-                                    d.scale(-1).add(&LinTerm::constant(1)),
-                                )),
-                            )
+            Term::Eq(a, b) => match self.sort_of(arena, a).or_else(|| self.sort_of(arena, b)) {
+                Some(Sort::Int) => {
+                    if let Some(ex) = split_cmp_ite(arena, a, b, Cmp::Eq) {
+                        return self.abstract_bool(arena, ex, positive, atoms);
+                    }
+                    match (self.linearize(arena, a), self.linearize(arena, b)) {
+                        (Some(la), Some(lb)) => {
+                            let d = la.sub(&lb);
+                            if positive {
+                                // d = 0 ⇔ d ≤ 0 ∧ -d ≤ 0.
+                                BForm::And(
+                                    Box::new(lin_lit(atoms, d.clone())),
+                                    Box::new(lin_lit(atoms, d.scale(-1))),
+                                )
+                            } else {
+                                // d ≠ 0 ⇔ d ≤ -1 ∨ -d ≤ -1.
+                                BForm::Or(
+                                    Box::new(lin_lit(atoms, d.add(&LinTerm::constant(1)))),
+                                    Box::new(lin_lit(
+                                        atoms,
+                                        d.scale(-1).add(&LinTerm::constant(1)),
+                                    )),
+                                )
+                            }
                         }
+                        _ => BForm::Lit(atoms.intern(Atom::Opaque(id)), positive),
                     }
-                    _ => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
-                },
-                Some(Sort::Ref) => match (ref_term(a), ref_term(b)) {
-                    (Some(ra), Some(rb)) => {
-                        BForm::Lit(intern(atoms, Atom::RefEq(ra, rb)), positive)
-                    }
-                    _ => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
+                }
+                Some(Sort::Ref) => match (ref_term(arena, a), ref_term(arena, b)) {
+                    (Some(ra), Some(rb)) => BForm::Lit(atoms.intern(Atom::RefEq(ra, rb)), positive),
+                    _ => BForm::Lit(atoms.intern(Atom::Opaque(id)), positive),
                 },
                 Some(Sort::Bool) => {
                     // a ↔ b.
-                    let expanded = SymExpr::or(
-                        SymExpr::and((**a).clone(), (**b).clone()),
-                        SymExpr::and(SymExpr::not((**a).clone()), SymExpr::not((**b).clone())),
-                    );
-                    self.abstract_bool(&expanded, positive, atoms)
+                    let both = arena.and(a, b);
+                    let na = arena.not(a);
+                    let nb = arena.not(b);
+                    let neither = arena.and(na, nb);
+                    let expanded = arena.or(both, neither);
+                    self.abstract_bool(arena, expanded, positive, atoms)
                 }
-                None => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
+                None => BForm::Lit(atoms.intern(Atom::Opaque(id)), positive),
             },
-            Ite(c, t, el) => {
+            Term::Ite(c, t, el) => {
                 // Boolean ite: (c ∧ t) ∨ (¬c ∧ e).
-                let expanded = SymExpr::or(
-                    SymExpr::and((**c).clone(), (**t).clone()),
-                    SymExpr::and(SymExpr::not((**c).clone()), (**el).clone()),
-                );
-                self.abstract_bool(&expanded, positive, atoms)
+                let then_arm = arena.and(c, t);
+                let nc = arena.not(c);
+                let else_arm = arena.and(nc, el);
+                let expanded = arena.or(then_arm, else_arm);
+                self.abstract_bool(arena, expanded, positive, atoms)
             }
-            _ => BForm::Lit(intern(atoms, Atom::Opaque(e.clone())), positive),
+            _ => BForm::Lit(atoms.intern(Atom::Opaque(id)), positive),
         }
     }
 
-    fn sort_of(&self, e: &SymExpr) -> Option<Sort> {
-        use SymExpr::*;
-        match e {
-            Int(_) | Add(..) | Sub(..) | Mul(..) => Some(Sort::Int),
-            Bool(_) | Not(_) | And(..) | Or(..) | Implies(..) | Eq(..) | Lt(..) | Le(..) => {
-                Some(Sort::Bool)
-            }
-            Null => Some(Sort::Ref),
-            Sym(s) => self.sorts.get(s).copied(),
-            Ite(_, t, e2) => self.sort_of(t).or_else(|| self.sort_of(e2)),
+    fn sort_of(&self, arena: &TermArena, id: TermId) -> Option<Sort> {
+        match arena.node(id) {
+            Term::Int(_) | Term::Add(..) | Term::Sub(..) | Term::Mul(..) => Some(Sort::Int),
+            Term::Bool(_)
+            | Term::Not(_)
+            | Term::And(..)
+            | Term::Or(..)
+            | Term::Eq(..)
+            | Term::Lt(..)
+            | Term::Le(..) => Some(Sort::Bool),
+            Term::Null => Some(Sort::Ref),
+            Term::Sym(s) => self.sorts.get(&s).copied(),
+            Term::Ite(_, t, e2) => self.sort_of(arena, t).or_else(|| self.sort_of(arena, e2)),
         }
     }
 
-    fn linearize(&self, e: &SymExpr) -> Option<LinTerm> {
-        use SymExpr::*;
-        match e {
-            Int(n) => Some(LinTerm::constant(*n as i128)),
-            Sym(s) => match self.sorts.get(s) {
-                Some(Sort::Int) | None => Some(LinTerm::var(*s)),
+    fn linearize(&self, arena: &TermArena, id: TermId) -> Option<LinTerm> {
+        match arena.node(id) {
+            Term::Int(n) => Some(LinTerm::constant(n as i128)),
+            Term::Sym(s) => match self.sorts.get(&s) {
+                Some(Sort::Int) | None => Some(LinTerm::var(s)),
                 _ => None,
             },
-            Add(a, b) => Some(self.linearize(a)?.add(&self.linearize(b)?)),
-            Sub(a, b) => Some(self.linearize(a)?.sub(&self.linearize(b)?)),
-            Mul(a, b) => {
-                let la = self.linearize(a)?;
-                let lb = self.linearize(b)?;
+            Term::Add(a, b) => Some(self.linearize(arena, a)?.add(&self.linearize(arena, b)?)),
+            Term::Sub(a, b) => Some(self.linearize(arena, a)?.sub(&self.linearize(arena, b)?)),
+            Term::Mul(a, b) => {
+                let la = self.linearize(arena, a)?;
+                let lb = self.linearize(arena, b)?;
                 if la.is_constant() {
                     Some(lb.scale(la.konst))
                 } else if lb.is_constant() {
@@ -368,7 +477,28 @@ impl Solver {
     }
 
     /// Checks a full propositional assignment against the theories.
-    fn theory_check(&self, atoms: &[Atom], assignment: &[Option<bool>]) -> SatAnswer {
+    ///
+    /// The verdict is a function of the *set* of assigned theory
+    /// literals alone (union-find connectivity and Fourier–Motzkin are
+    /// order-independent), so it is memoized on the sorted literal set:
+    /// DPLL leaves within one query, and across queries whose path
+    /// conditions share a prefix, reuse each other's ground work.
+    fn theory_check(&mut self, atoms: &[Atom], assignment: &[Option<bool>]) -> SatAnswer {
+        let mut key: Vec<(Atom, bool)> = atoms
+            .iter()
+            .zip(assignment.iter())
+            .filter_map(|(a, v)| v.map(|pol| (a.clone(), pol)))
+            .collect();
+        key.sort_unstable();
+        key.dedup();
+        if self.cache_enabled {
+            if let Some(&cached) = self.theory_cache.get(&key) {
+                self.theory_hits += 1;
+                return cached;
+            }
+            self.theory_misses += 1;
+        }
+
         // Opaque atoms poison certainty of Sat.
         let mut unknown = false;
         // --- References: union-find with disequalities.
@@ -377,13 +507,10 @@ impl Solver {
         // --- Integers: Fourier–Motzkin.
         let mut constraints: Vec<LinTerm> = Vec::new();
 
-        for (i, atom) in atoms.iter().enumerate() {
-            let Some(polarity) = assignment[i] else {
-                continue;
-            };
+        for (atom, polarity) in &key {
             match atom {
                 Atom::LinLe(lin) => {
-                    if polarity {
+                    if *polarity {
                         constraints.push(lin.clone());
                     } else {
                         // ¬(lin ≤ 0) ⇔ -lin + 1 ≤ 0.
@@ -392,7 +519,7 @@ impl Solver {
                 }
                 Atom::BoolSym(_) => {}
                 Atom::RefEq(a, b) => {
-                    if polarity {
+                    if *polarity {
                         uf.union(*a, *b);
                     } else {
                         disequalities.push((*a, *b));
@@ -402,73 +529,89 @@ impl Solver {
             }
         }
 
+        let mut result = SatAnswer::Sat;
         for (a, b) in &disequalities {
             if uf.find(*a) == uf.find(*b) {
-                return SatAnswer::Unsat;
+                result = SatAnswer::Unsat;
             }
         }
 
-        match fourier_motzkin(constraints) {
-            Some(false) => return SatAnswer::Unsat,
-            Some(true) => {}
-            None => unknown = true,
+        if result != SatAnswer::Unsat {
+            match fourier_motzkin(constraints) {
+                Some(false) => result = SatAnswer::Unsat,
+                Some(true) => {}
+                None => unknown = true,
+            }
         }
 
-        if unknown {
-            SatAnswer::Unknown
-        } else {
-            SatAnswer::Sat
+        if result != SatAnswer::Unsat && unknown {
+            result = SatAnswer::Unknown;
         }
+
+        if self.cache_enabled {
+            self.theory_cache.insert(key, result);
+        }
+        result
     }
 }
 
-/// Finds the first integer `Ite` inside an arithmetic expression and
-/// returns (condition, expression-with-then, expression-with-else).
-fn split_ite(e: &SymExpr) -> Option<(SymExpr, SymExpr, SymExpr)> {
-    use SymExpr::*;
-    match e {
-        Ite(c, t, el) => Some(((**c).clone(), (**t).clone(), (**el).clone())),
-        Add(a, b) | Sub(a, b) | Mul(a, b) => {
-            let rebuild = |x: SymExpr, y: SymExpr| match e {
-                Add(..) => SymExpr::Add(Box::new(x), Box::new(y)),
-                Sub(..) => SymExpr::Sub(Box::new(x), Box::new(y)),
-                _ => SymExpr::Mul(Box::new(x), Box::new(y)),
-            };
-            if let Some((c, t, el)) = split_ite(a) {
-                Some((c, rebuild(t, (**b).clone()), rebuild(el, (**b).clone())))
-            } else if let Some((c, t, el)) = split_ite(b) {
-                Some((c, rebuild((**a).clone(), t), rebuild((**a).clone(), el)))
-            } else {
-                None
-            }
-        }
-        _ => None,
+/// Finds the first integer `Ite` inside an arithmetic term and returns
+/// (condition, term-with-then, term-with-else).
+fn split_ite(arena: &mut TermArena, id: TermId) -> Option<(TermId, TermId, TermId)> {
+    enum Kind {
+        Add,
+        Sub,
+        Mul,
+    }
+    let (kind, a, b) = match arena.node(id) {
+        Term::Ite(c, t, el) => return Some((c, t, el)),
+        Term::Add(a, b) => (Kind::Add, a, b),
+        Term::Sub(a, b) => (Kind::Sub, a, b),
+        Term::Mul(a, b) => (Kind::Mul, a, b),
+        _ => return None,
+    };
+    let rebuild = |arena: &mut TermArena, x: TermId, y: TermId| match kind {
+        Kind::Add => arena.add(x, y),
+        Kind::Sub => arena.sub(x, y),
+        Kind::Mul => arena.mul(x, y),
+    };
+    if let Some((c, t, el)) = split_ite(arena, a) {
+        let rt = rebuild(arena, t, b);
+        let re = rebuild(arena, el, b);
+        Some((c, rt, re))
+    } else if let Some((c, t, el)) = split_ite(arena, b) {
+        let rt = rebuild(arena, a, t);
+        let re = rebuild(arena, a, el);
+        Some((c, rt, re))
+    } else {
+        None
     }
 }
 
 /// If either operand of an integer comparison contains an `Ite`, expands
 /// the comparison into a boolean case split on the `Ite` condition.
-fn split_cmp_ite(
-    a: &SymExpr,
-    b: &SymExpr,
-    rebuild: &dyn Fn(SymExpr, SymExpr) -> SymExpr,
-) -> Option<SymExpr> {
-    if let Some((c, t, el)) = split_ite(a) {
-        return Some(SymExpr::or(
-            SymExpr::and(c.clone(), rebuild(t, b.clone())),
-            SymExpr::and(SymExpr::not(c), rebuild(el, b.clone())),
-        ));
-    }
-    if let Some((c, t, el)) = split_ite(b) {
-        return Some(SymExpr::or(
-            SymExpr::and(c.clone(), rebuild(a.clone(), t)),
-            SymExpr::and(SymExpr::not(c), rebuild(a.clone(), el)),
-        ));
-    }
-    None
+fn split_cmp_ite(arena: &mut TermArena, a: TermId, b: TermId, cmp: Cmp) -> Option<TermId> {
+    let rebuild = |arena: &mut TermArena, x: TermId, y: TermId| match cmp {
+        Cmp::Lt => arena.lt(x, y),
+        Cmp::Le => arena.le(x, y),
+        Cmp::Eq => arena.eq(x, y),
+    };
+    let (c, lhs_t, lhs_e, rhs_t, rhs_e) = if let Some((c, t, el)) = split_ite(arena, a) {
+        (c, t, el, b, b)
+    } else if let Some((c, t, el)) = split_ite(arena, b) {
+        (c, a, a, t, el)
+    } else {
+        return None;
+    };
+    let then_cmp = rebuild(arena, lhs_t, rhs_t);
+    let else_cmp = rebuild(arena, lhs_e, rhs_e);
+    let then_arm = arena.and(c, then_cmp);
+    let nc = arena.not(c);
+    let else_arm = arena.and(nc, else_cmp);
+    Some(arena.or(then_arm, else_arm))
 }
 
-fn lin_lit(atoms: &mut Vec<Atom>, lin: LinTerm) -> BForm {
+fn lin_lit(atoms: &mut AtomTable, lin: LinTerm) -> BForm {
     if lin.is_constant() {
         return if lin.konst <= 0 {
             BForm::True
@@ -476,23 +619,13 @@ fn lin_lit(atoms: &mut Vec<Atom>, lin: LinTerm) -> BForm {
             BForm::False
         };
     }
-    BForm::Lit(intern(atoms, Atom::LinLe(lin)), true)
+    BForm::Lit(atoms.intern(Atom::LinLe(lin)), true)
 }
 
-fn intern(atoms: &mut Vec<Atom>, a: Atom) -> usize {
-    match atoms.iter().position(|x| *x == a) {
-        Some(i) => i,
-        None => {
-            atoms.push(a);
-            atoms.len() - 1
-        }
-    }
-}
-
-fn ref_term(e: &SymExpr) -> Option<RefTerm> {
-    match e {
-        SymExpr::Null => Some(RefTerm::Null),
-        SymExpr::Sym(s) => Some(RefTerm::Sym(*s)),
+fn ref_term(arena: &TermArena, id: TermId) -> Option<RefTerm> {
+    match arena.node(id) {
+        Term::Null => Some(RefTerm::Null),
+        Term::Sym(s) => Some(RefTerm::Sym(s)),
         _ => None,
     }
 }
@@ -568,7 +701,7 @@ fn gaussian_substitute(constraints: &mut Vec<LinTerm>) {
         let mut rest = eq.clone();
         rest.coeffs.remove(&var);
         let solution = rest.scale(-a); // a ∈ {1,-1} so -rest/a = -a·rest.
-        // Remove the equality pair, substitute elsewhere.
+                                       // Remove the equality pair, substitute elsewhere.
         let (hi, lo) = if i > j { (i, j) } else { (j, i) };
         constraints.remove(hi);
         constraints.remove(lo);
@@ -683,7 +816,23 @@ mod tests {
     use super::*;
     use crate::sym::SymSupply;
 
-    fn int_solver(n: usize) -> (Solver, Vec<SymExpr>) {
+    struct Ctx {
+        solver: Solver,
+        arena: TermArena,
+    }
+
+    impl Ctx {
+        fn entails(&mut self, pc: &[SymExpr], goal: &SymExpr) -> Answer {
+            self.solver.entails_exprs(&mut self.arena, pc, goal)
+        }
+
+        fn consistent(&mut self, pc: &[SymExpr]) -> bool {
+            let ids: Vec<TermId> = pc.iter().map(|e| self.arena.intern_expr(e)).collect();
+            self.solver.consistent(&mut self.arena, &ids)
+        }
+    }
+
+    fn int_solver(n: usize) -> (Ctx, Vec<SymExpr>) {
         let mut supply = SymSupply::new();
         let mut solver = Solver::new();
         let mut syms = Vec::new();
@@ -692,12 +841,18 @@ mod tests {
             solver.declare(s, Sort::Int);
             syms.push(SymExpr::sym(s));
         }
-        (solver, syms)
+        (
+            Ctx {
+                solver,
+                arena: TermArena::new(),
+            },
+            syms,
+        )
     }
 
     #[test]
     fn linear_arithmetic() {
-        let (mut solver, s) = int_solver(2);
+        let (mut cx, s) = int_solver(2);
         let x = s[0].clone();
         let y = s[1].clone();
         // x ≤ y ∧ y ≤ x ⊨ x = y
@@ -706,13 +861,13 @@ mod tests {
             SymExpr::le(y.clone(), x.clone()),
         ];
         assert_eq!(
-            solver.entails(&pc, &SymExpr::eq(x.clone(), y.clone())),
+            cx.entails(&pc, &SymExpr::eq(x.clone(), y.clone())),
             Answer::Valid
         );
         // x < y ⊨ x + 1 ≤ y (integer tightening).
         let pc = vec![SymExpr::lt(x.clone(), y.clone())];
         assert_eq!(
-            solver.entails(
+            cx.entails(
                 &pc,
                 &SymExpr::le(SymExpr::add(x.clone(), SymExpr::int(1)), y.clone())
             ),
@@ -720,22 +875,22 @@ mod tests {
         );
         // x ≤ y ⊭ x < y.
         let pc = vec![SymExpr::le(x.clone(), y.clone())];
-        assert_eq!(solver.entails(&pc, &SymExpr::lt(x, y)), Answer::Invalid);
+        assert_eq!(cx.entails(&pc, &SymExpr::lt(x, y)), Answer::Invalid);
     }
 
     #[test]
     fn arithmetic_identities() {
-        let (mut solver, s) = int_solver(2);
+        let (mut cx, s) = int_solver(2);
         let x = s[0].clone();
         let y = s[1].clone();
         // ⊨ x + y - y = x
         let goal = SymExpr::eq(SymExpr::sub(SymExpr::add(x.clone(), y.clone()), y), x);
-        assert_eq!(solver.entails(&[], &goal), Answer::Valid);
+        assert_eq!(cx.entails(&[], &goal), Answer::Valid);
     }
 
     #[test]
     fn scaled_constraints() {
-        let (mut solver, s) = int_solver(1);
+        let (mut cx, s) = int_solver(1);
         let x = s[0].clone();
         // 2x ≤ 5 ∧ 3 ≤ 2x is rationally satisfiable but the bounds on x
         // conflict after pairing: 3 ≤ 2x ≤ 5 — fine rationally, so the
@@ -744,7 +899,7 @@ mod tests {
             SymExpr::le(SymExpr::mul(SymExpr::int(2), x.clone()), SymExpr::int(5)),
             SymExpr::le(SymExpr::int(3), SymExpr::mul(SymExpr::int(2), x)),
         ];
-        assert_eq!(solver.entails(&pc, &SymExpr::bool(false)), Answer::Invalid);
+        assert_eq!(cx.entails(&pc, &SymExpr::bool(false)), Answer::Invalid);
     }
 
     #[test]
@@ -755,6 +910,10 @@ mod tests {
         let q = supply.fresh();
         solver.declare(p, Sort::Bool);
         solver.declare(q, Sort::Bool);
+        let mut cx = Ctx {
+            solver,
+            arena: TermArena::new(),
+        };
         let sp = SymExpr::sym(p);
         let sq = SymExpr::sym(q);
         // p ∨ q, ¬p ⊨ q.
@@ -762,9 +921,9 @@ mod tests {
             SymExpr::or(sp.clone(), sq.clone()),
             SymExpr::not(sp.clone()),
         ];
-        assert_eq!(solver.entails(&pc, &sq), Answer::Valid);
+        assert_eq!(cx.entails(&pc, &sq), Answer::Valid);
         // p ⊭ q.
-        assert_eq!(solver.entails(&[sp], &sq), Answer::Invalid);
+        assert_eq!(cx.entails(&[sp], &sq), Answer::Invalid);
     }
 
     #[test]
@@ -777,6 +936,10 @@ mod tests {
         for s in [a, b, c] {
             solver.declare(s, Sort::Ref);
         }
+        let mut cx = Ctx {
+            solver,
+            arena: TermArena::new(),
+        };
         let (ea, eb, ec) = (SymExpr::sym(a), SymExpr::sym(b), SymExpr::sym(c));
         // a = b ∧ b = c ⊨ a = c.
         let pc = vec![
@@ -784,7 +947,7 @@ mod tests {
             SymExpr::eq(eb.clone(), ec.clone()),
         ];
         assert_eq!(
-            solver.entails(&pc, &SymExpr::eq(ea.clone(), ec.clone())),
+            cx.entails(&pc, &SymExpr::eq(ea.clone(), ec.clone())),
             Answer::Valid
         );
         // a = b ∧ a ≠ b is inconsistent.
@@ -792,15 +955,15 @@ mod tests {
             SymExpr::eq(ea.clone(), eb.clone()),
             SymExpr::not(SymExpr::eq(ea.clone(), eb.clone())),
         ];
-        assert!(!solver.consistent(&pc));
+        assert!(!cx.consistent(&pc));
         // a ≠ null ⊭ a = b.
         let pc = vec![SymExpr::not(SymExpr::eq(ea.clone(), SymExpr::Null))];
-        assert_eq!(solver.entails(&pc, &SymExpr::eq(ea, eb)), Answer::Invalid);
+        assert_eq!(cx.entails(&pc, &SymExpr::eq(ea, eb)), Answer::Invalid);
     }
 
     #[test]
     fn mixed_implication() {
-        let (mut solver, s) = int_solver(2);
+        let (mut cx, s) = int_solver(2);
         let x = s[0].clone();
         let y = s[1].clone();
         // (x = 3 → y = 4) ∧ x = 3 ⊨ y = 4.
@@ -812,14 +975,14 @@ mod tests {
             SymExpr::eq(x, SymExpr::int(3)),
         ];
         assert_eq!(
-            solver.entails(&pc, &SymExpr::eq(y, SymExpr::int(4))),
+            cx.entails(&pc, &SymExpr::eq(y, SymExpr::int(4))),
             Answer::Valid
         );
     }
 
     #[test]
     fn nonlinear_is_unknown_not_wrong() {
-        let (mut solver, s) = int_solver(2);
+        let (mut cx, s) = int_solver(2);
         let x = s[0].clone();
         let y = s[1].clone();
         let sq = SymExpr::Mul(Box::new(x.clone()), Box::new(x.clone()));
@@ -827,34 +990,94 @@ mod tests {
         // certainty... and must never be claimed Valid wrongly; Unknown
         // is the honest answer.
         let goal = SymExpr::le(SymExpr::int(0), sq);
-        let ans = solver.entails(&[], &goal);
+        let ans = cx.entails(&[], &goal);
         assert_ne!(ans, Answer::Invalid);
         // And an actually-false nonlinear goal must not verify.
-        let bad = SymExpr::eq(
-            SymExpr::Mul(Box::new(x), Box::new(y)),
-            SymExpr::int(3),
-        );
-        assert_ne!(solver.entails(&[], &bad), Answer::Valid);
+        let bad = SymExpr::eq(SymExpr::Mul(Box::new(x), Box::new(y)), SymExpr::int(3));
+        assert_ne!(cx.entails(&[], &bad), Answer::Valid);
     }
 
     #[test]
     fn inconsistent_pc_proves_anything() {
-        let (mut solver, s) = int_solver(1);
+        let (mut cx, s) = int_solver(1);
         let x = s[0].clone();
         let pc = vec![
             SymExpr::lt(x.clone(), SymExpr::int(0)),
             SymExpr::lt(SymExpr::int(0), x),
         ];
-        assert_eq!(solver.entails(&pc, &SymExpr::bool(false)), Answer::Valid);
-        assert!(!solver.consistent(&pc));
+        assert_eq!(cx.entails(&pc, &SymExpr::bool(false)), Answer::Valid);
+        assert!(!cx.consistent(&pc));
     }
 
     #[test]
     fn query_stats_accumulate() {
-        let (mut solver, s) = int_solver(1);
+        let (mut cx, s) = int_solver(1);
         let x = s[0].clone();
-        let _ = solver.entails(&[], &SymExpr::eq(x.clone(), x));
-        assert_eq!(solver.queries, 1);
-        assert!(solver.branches >= 1);
+        let _ = cx.entails(&[], &SymExpr::eq(x.clone(), x));
+        assert_eq!(cx.solver.queries, 1);
+        assert!(cx.solver.branches >= 1);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let (mut cx, s) = int_solver(2);
+        let x = s[0].clone();
+        let y = s[1].clone();
+        let pc = vec![SymExpr::lt(x.clone(), y.clone())];
+        let goal = SymExpr::le(x.clone(), y.clone());
+        let first = cx.entails(&pc, &goal);
+        let branches_after_first = cx.solver.branches;
+        let second = cx.entails(&pc, &goal);
+        assert_eq!(first, second);
+        assert_eq!(cx.solver.cache_hits, 1);
+        assert_eq!(
+            cx.solver.branches, branches_after_first,
+            "a cache hit must not re-run DPLL"
+        );
+        // Same conditions in a different order share the entry.
+        let pc2 = vec![
+            SymExpr::lt(x.clone(), y.clone()),
+            SymExpr::lt(x.clone(), y.clone()),
+        ];
+        let third = cx.entails(&pc2, &goal);
+        assert_eq!(first, third);
+        assert_eq!(cx.solver.cache_hits, 2);
+    }
+
+    #[test]
+    fn cache_off_gives_identical_answers() {
+        let build = |enabled: bool| {
+            let (mut cx, s) = int_solver(2);
+            cx.solver.cache_enabled = enabled;
+            let x = s[0].clone();
+            let y = s[1].clone();
+            let queries: Vec<(Vec<SymExpr>, SymExpr)> = vec![
+                (
+                    vec![SymExpr::le(x.clone(), y.clone())],
+                    SymExpr::lt(x.clone(), y.clone()),
+                ),
+                (
+                    vec![SymExpr::lt(x.clone(), y.clone())],
+                    SymExpr::le(x.clone(), y.clone()),
+                ),
+                (
+                    vec![SymExpr::lt(x.clone(), y.clone())],
+                    SymExpr::le(x.clone(), y.clone()),
+                ),
+                (vec![], SymExpr::eq(x.clone(), x.clone())),
+                (
+                    vec![
+                        SymExpr::lt(x.clone(), SymExpr::int(0)),
+                        SymExpr::lt(SymExpr::int(0), x.clone()),
+                    ],
+                    SymExpr::bool(false),
+                ),
+            ];
+            queries
+                .into_iter()
+                .map(|(pc, g)| cx.entails(&pc, &g))
+                .collect::<Vec<Answer>>()
+        };
+        assert_eq!(build(true), build(false));
     }
 }

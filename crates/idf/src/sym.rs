@@ -3,7 +3,17 @@
 //! The symbolic executor manipulates terms over fresh symbols; the
 //! decision procedure in [`crate::smt`] discharges entailments between
 //! them. Symbols are typed (integer, boolean, reference) at creation.
+//!
+//! Terms come in two representations:
+//!
+//! * [`SymExpr`] — a plain owned tree, convenient for tests and for
+//!   building formulas by hand;
+//! * [`TermId`] into a [`TermArena`] — the hash-consed form the
+//!   verifier and solver use internally. Every structurally distinct
+//!   term is stored exactly once, so equality and hashing are O(1) id
+//!   comparisons and sub-term sharing is free.
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// A typed symbol identifier.
@@ -225,6 +235,308 @@ impl fmt::Display for SymExpr {
     }
 }
 
+/// An interned term: an index into a [`TermArena`].
+///
+/// Two ids from the *same* arena are equal iff the terms they denote
+/// are structurally equal, so `==` on ids replaces deep tree
+/// comparison.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TermId(u32);
+
+/// One hash-consed term node. Children are [`TermId`]s, so the node is
+/// small and `Copy`; `Implies` is desugared to `¬a ∨ b` at interning
+/// time and has no node of its own.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A symbol.
+    Sym(Sym),
+    /// An integer literal.
+    Int(i64),
+    /// A boolean literal.
+    Bool(bool),
+    /// The null reference.
+    Null,
+    /// Addition.
+    Add(TermId, TermId),
+    /// Subtraction.
+    Sub(TermId, TermId),
+    /// Multiplication.
+    Mul(TermId, TermId),
+    /// Equality (any shared sort).
+    Eq(TermId, TermId),
+    /// Integer `<`.
+    Lt(TermId, TermId),
+    /// Integer `<=`.
+    Le(TermId, TermId),
+    /// Negation.
+    Not(TermId),
+    /// Conjunction.
+    And(TermId, TermId),
+    /// Disjunction.
+    Or(TermId, TermId),
+    /// If-then-else on a boolean condition.
+    Ite(TermId, TermId, TermId),
+}
+
+/// Interns both children of a binary [`SymExpr`] node, then applies the
+/// arena constructor (keeps `intern_expr` readable).
+macro_rules! bin {
+    ($arena:expr, $ctor:ident, $a:expr, $b:expr) => {{
+        let ia = $arena.intern_expr($a);
+        let ib = $arena.intern_expr($b);
+        $arena.$ctor(ia, ib)
+    }};
+}
+
+/// A hash-consing arena for [`Term`]s.
+///
+/// The constructors perform the same constant folding as the
+/// [`SymExpr`] smart constructors, then intern: structurally equal
+/// terms always receive the same [`TermId`]. The arena only ever
+/// grows; [`TermArena::len`] is the interned-term metric reported by
+/// the evaluation harness.
+#[derive(Clone, Debug, Default)]
+pub struct TermArena {
+    nodes: Vec<Term>,
+    index: HashMap<Term, TermId>,
+}
+
+impl TermArena {
+    /// An empty arena.
+    pub fn new() -> TermArena {
+        TermArena::default()
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node a [`TermId`] denotes.
+    pub fn node(&self, id: TermId) -> Term {
+        self.nodes[id.0 as usize]
+    }
+
+    fn intern(&mut self, t: Term) -> TermId {
+        if let Some(&id) = self.index.get(&t) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.nodes.len()).expect("arena overflow"));
+        self.nodes.push(t);
+        self.index.insert(t, id);
+        id
+    }
+
+    /// Integer literal.
+    pub fn int(&mut self, n: i64) -> TermId {
+        self.intern(Term::Int(n))
+    }
+
+    /// Boolean literal.
+    pub fn bool(&mut self, b: bool) -> TermId {
+        self.intern(Term::Bool(b))
+    }
+
+    /// Symbol reference.
+    pub fn sym(&mut self, s: Sym) -> TermId {
+        self.intern(Term::Sym(s))
+    }
+
+    /// The null reference.
+    pub fn null(&mut self) -> TermId {
+        self.intern(Term::Null)
+    }
+
+    /// `a + b` with constant folding.
+    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (Term::Int(x), Term::Int(y)) => self.int(x.wrapping_add(y)),
+            (Term::Int(0), _) => b,
+            (_, Term::Int(0)) => a,
+            _ => self.intern(Term::Add(a, b)),
+        }
+    }
+
+    /// `a - b` with constant folding.
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (Term::Int(x), Term::Int(y)) => self.int(x.wrapping_sub(y)),
+            (_, Term::Int(0)) => a,
+            _ => self.intern(Term::Sub(a, b)),
+        }
+    }
+
+    /// `a * b` with constant folding.
+    pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (Term::Int(x), Term::Int(y)) => self.int(x.wrapping_mul(y)),
+            (Term::Int(1), _) => b,
+            (_, Term::Int(1)) => a,
+            (Term::Int(0), _) | (_, Term::Int(0)) => self.int(0),
+            _ => self.intern(Term::Mul(a, b)),
+        }
+    }
+
+    /// `a = b` with folding; structural equality is the id check.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.bool(true);
+        }
+        match (self.node(a), self.node(b)) {
+            (Term::Int(x), Term::Int(y)) => self.bool(x == y),
+            (Term::Bool(x), Term::Bool(y)) => self.bool(x == y),
+            _ => self.intern(Term::Eq(a, b)),
+        }
+    }
+
+    /// `a < b` with folding.
+    pub fn lt(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (Term::Int(x), Term::Int(y)) => self.bool(x < y),
+            _ => self.intern(Term::Lt(a, b)),
+        }
+    }
+
+    /// `a <= b` with folding.
+    pub fn le(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (Term::Int(x), Term::Int(y)) => self.bool(x <= y),
+            _ => self.intern(Term::Le(a, b)),
+        }
+    }
+
+    /// `¬a` with folding.
+    pub fn not(&mut self, a: TermId) -> TermId {
+        match self.node(a) {
+            Term::Bool(b) => self.bool(!b),
+            Term::Not(inner) => inner,
+            _ => self.intern(Term::Not(a)),
+        }
+    }
+
+    /// `a ∧ b` with folding.
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (Term::Bool(true), _) => b,
+            (_, Term::Bool(true)) => a,
+            (Term::Bool(false), _) | (_, Term::Bool(false)) => self.bool(false),
+            _ => self.intern(Term::And(a, b)),
+        }
+    }
+
+    /// `a ∨ b` with folding.
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (Term::Bool(false), _) => b,
+            (_, Term::Bool(false)) => a,
+            (Term::Bool(true), _) | (_, Term::Bool(true)) => self.bool(true),
+            _ => self.intern(Term::Or(a, b)),
+        }
+    }
+
+    /// `a → b`, desugared to `¬a ∨ b`.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// `ite(c, t, e)` with folding on a literal condition.
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        if t == e {
+            return t;
+        }
+        match self.node(c) {
+            Term::Bool(true) => t,
+            Term::Bool(false) => e,
+            _ => self.intern(Term::Ite(c, t, e)),
+        }
+    }
+
+    /// Interns an owned [`SymExpr`] tree.
+    pub fn intern_expr(&mut self, e: &SymExpr) -> TermId {
+        match e {
+            SymExpr::Sym(s) => self.sym(*s),
+            SymExpr::Int(n) => self.int(*n),
+            SymExpr::Bool(b) => self.bool(*b),
+            SymExpr::Null => self.null(),
+            SymExpr::Add(a, b) => bin!(self, add, a, b),
+            SymExpr::Sub(a, b) => bin!(self, sub, a, b),
+            SymExpr::Mul(a, b) => bin!(self, mul, a, b),
+            SymExpr::Eq(a, b) => bin!(self, eq, a, b),
+            SymExpr::Lt(a, b) => bin!(self, lt, a, b),
+            SymExpr::Le(a, b) => bin!(self, le, a, b),
+            SymExpr::Not(a) => {
+                let ia = self.intern_expr(a);
+                self.not(ia)
+            }
+            SymExpr::And(a, b) => bin!(self, and, a, b),
+            SymExpr::Or(a, b) => bin!(self, or, a, b),
+            SymExpr::Implies(a, b) => bin!(self, implies, a, b),
+            SymExpr::Ite(c, t, el) => {
+                let ic = self.intern_expr(c);
+                let it = self.intern_expr(t);
+                let ie = self.intern_expr(el);
+                self.ite(ic, it, ie)
+            }
+        }
+    }
+
+    /// Reconstructs an owned tree (display, diagnostics, tests).
+    pub fn to_expr(&self, id: TermId) -> SymExpr {
+        let b = |x: &TermId| Box::new(self.to_expr(*x));
+        match &self.nodes[id.0 as usize] {
+            Term::Sym(s) => SymExpr::Sym(*s),
+            Term::Int(n) => SymExpr::Int(*n),
+            Term::Bool(v) => SymExpr::Bool(*v),
+            Term::Null => SymExpr::Null,
+            Term::Add(x, y) => SymExpr::Add(b(x), b(y)),
+            Term::Sub(x, y) => SymExpr::Sub(b(x), b(y)),
+            Term::Mul(x, y) => SymExpr::Mul(b(x), b(y)),
+            Term::Eq(x, y) => SymExpr::Eq(b(x), b(y)),
+            Term::Lt(x, y) => SymExpr::Lt(b(x), b(y)),
+            Term::Le(x, y) => SymExpr::Le(b(x), b(y)),
+            Term::Not(x) => SymExpr::Not(b(x)),
+            Term::And(x, y) => SymExpr::And(b(x), b(y)),
+            Term::Or(x, y) => SymExpr::Or(b(x), b(y)),
+            Term::Ite(c, t, e) => SymExpr::Ite(b(c), b(t), b(e)),
+        }
+    }
+
+    /// The symbols occurring in the term.
+    pub fn symbols(&self, id: TermId, out: &mut Vec<Sym>) {
+        match self.node(id) {
+            Term::Sym(s) => {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+            Term::Int(_) | Term::Bool(_) | Term::Null => {}
+            Term::Not(a) => self.symbols(a, out),
+            Term::Add(a, b)
+            | Term::Sub(a, b)
+            | Term::Mul(a, b)
+            | Term::Eq(a, b)
+            | Term::Lt(a, b)
+            | Term::Le(a, b)
+            | Term::And(a, b)
+            | Term::Or(a, b) => {
+                self.symbols(a, out);
+                self.symbols(b, out);
+            }
+            Term::Ite(c, t, e) => {
+                self.symbols(c, out);
+                self.symbols(t, out);
+                self.symbols(e, out);
+            }
+        }
+    }
+}
+
 /// A fresh-symbol supply.
 #[derive(Clone, Debug, Default)]
 pub struct SymSupply {
@@ -273,7 +585,10 @@ mod tests {
             SymExpr::eq(SymExpr::sym(Sym(1)), SymExpr::sym(Sym(1))),
             SymExpr::bool(true)
         );
-        assert_eq!(SymExpr::not(SymExpr::not(SymExpr::sym(Sym(0)))), SymExpr::sym(Sym(0)));
+        assert_eq!(
+            SymExpr::not(SymExpr::not(SymExpr::sym(Sym(0)))),
+            SymExpr::sym(Sym(0))
+        );
     }
 
     #[test]
@@ -285,6 +600,50 @@ mod tests {
         let mut syms = Vec::new();
         e.symbols(&mut syms);
         assert_eq!(syms, vec![Sym(1), Sym(2)]);
+    }
+
+    #[test]
+    fn arena_hash_consing_dedups() {
+        let mut a = TermArena::new();
+        let x = a.sym(Sym(0));
+        let y = a.sym(Sym(1));
+        let t1 = a.add(x, y);
+        let t2 = a.add(x, y);
+        assert_eq!(t1, t2, "structurally equal terms share an id");
+        let before = a.len();
+        let _ = a.add(x, y);
+        assert_eq!(a.len(), before, "re-interning allocates nothing");
+    }
+
+    #[test]
+    fn arena_folds_like_symexpr() {
+        let mut a = TermArena::new();
+        let two = a.int(2);
+        let three = a.int(3);
+        let five = a.int(5);
+        assert_eq!(a.add(two, three), five);
+        let x = a.sym(Sym(0));
+        let t = a.bool(true);
+        assert_eq!(a.and(t, x), x);
+        let zero = a.int(0);
+        assert_eq!(a.mul(zero, x), zero);
+        assert_eq!(a.eq(x, x), t);
+        let nx = a.not(x);
+        assert_eq!(a.not(nx), x);
+    }
+
+    #[test]
+    fn arena_roundtrips_symexpr() {
+        let mut a = TermArena::new();
+        let e = SymExpr::implies(
+            SymExpr::lt(SymExpr::sym(Sym(0)), SymExpr::int(4)),
+            SymExpr::eq(SymExpr::sym(Sym(1)), SymExpr::int(0)),
+        );
+        let id = a.intern_expr(&e);
+        assert_eq!(a.to_expr(id), e);
+        let mut syms = Vec::new();
+        a.symbols(id, &mut syms);
+        assert_eq!(syms, vec![Sym(0), Sym(1)]);
     }
 
     #[test]

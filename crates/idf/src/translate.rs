@@ -43,12 +43,7 @@ fn err<T>(m: impl Into<String>) -> Result<T, TranslateError> {
 pub type TEnv = BTreeMap<String, ConcreteVal>;
 
 /// Resolves the cell location of `recv.field` in the environment.
-fn field_loc(
-    prog: &Program,
-    env: &TEnv,
-    recv: &Expr,
-    field: &str,
-) -> Result<Loc, TranslateError> {
+fn field_loc(prog: &Program, env: &TEnv, recv: &Expr, field: &str) -> Result<Loc, TranslateError> {
     let obj = match eval_ref(env, recv)? {
         ConcreteVal::Obj(o) => o,
         v => return err(format!("receiver {} is not an object ({:?})", recv, v)),
@@ -262,10 +257,9 @@ fn strip_old_expr(
                 ConcreteVal::Obj(_) => return err("old(…) of an object"),
             }
         }
-        Expr::Field(r, f) => Expr::Field(
-            Box::new(strip_old_expr(prog, env, old_heap, r)?),
-            f.clone(),
-        ),
+        Expr::Field(r, f) => {
+            Expr::Field(Box::new(strip_old_expr(prog, env, old_heap, r)?), f.clone())
+        }
         Expr::Bin(op, a, b) => Expr::Bin(
             *op,
             Box::new(strip_old_expr(prog, env, old_heap, a)?),
@@ -341,16 +335,9 @@ mod tests {
     #[test]
     fn field_reads_become_heap_reads() {
         let (prog, _, env) = setup();
-        let e = Expr::bin(
-            Op::Eq,
-            Expr::field(Expr::var("c"), "val"),
-            Expr::Int(7),
-        );
+        let e = Expr::bin(Op::Eq, Expr::field(Expr::var("c"), "val"), Expr::Int(7));
         let t = translate_expr(&prog, &env, &e).unwrap();
-        assert_eq!(
-            t,
-            Term::eq(Term::read(Term::loc(Loc(0))), Term::int(7))
-        );
+        assert_eq!(t, Term::eq(Term::read(Term::loc(Loc(0))), Term::int(7)));
     }
 
     #[test]
@@ -440,9 +427,7 @@ mod tests {
     fn untranslatable_constructs_are_reported() {
         let (prog, _, env) = setup();
         assert!(translate_expr(&prog, &env, &Expr::Null).is_err());
-        assert!(
-            translate_expr(&prog, &env, &Expr::Old(Box::new(Expr::Int(1)))).is_err()
-        );
+        assert!(translate_expr(&prog, &env, &Expr::Old(Box::new(Expr::Int(1)))).is_err());
         assert!(translate_expr(&prog, &env, &Expr::var("zz")).is_err());
     }
 }

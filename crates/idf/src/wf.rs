@@ -404,9 +404,7 @@ mod tests {
 
     #[test]
     fn unknown_fields_are_caught() {
-        let es = errors_of(
-            "field v: Int method m(c: Ref) requires acc(c.w) { }",
-        );
+        let es = errors_of("field v: Int method m(c: Ref) requires acc(c.w) { }");
         assert!(es.iter().any(|e| e.contains("unknown field w")));
     }
 
@@ -426,9 +424,8 @@ mod tests {
 
     #[test]
     fn old_in_precondition_is_caught() {
-        let es = errors_of(
-            "field v: Int method m(c: Ref) requires acc(c.v) && c.v == old(c.v) { }",
-        );
+        let es =
+            errors_of("field v: Int method m(c: Ref) requires acc(c.v) && c.v == old(c.v) { }");
         assert!(es.iter().any(|e| e.contains("old(")));
     }
 

@@ -3,7 +3,8 @@
 
 use daenerys_algebra::Q;
 use daenerys_idf::{
-    parse_program, Assertion, Backend, Expr, Method, Op, Program, Stmt, Type, Verifier,
+    parse_program, Assertion, Backend, Expr, Method, Op, Program, Solver, Sort, Stmt, Sym, SymExpr,
+    TermArena, Type, Verifier, VerifierConfig,
 };
 use proptest::prelude::*;
 
@@ -39,23 +40,23 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
             inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| Expr::Cond(Box::new(c), Box::new(t), Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Cond(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
         ]
     })
 }
 
 fn arb_assertion() -> impl Strategy<Value = Assertion> {
-    let acc = prop_oneof![Just("a"), Just("b")].prop_map(|x| {
-        Assertion::Acc(Expr::var(x), "v".to_string(), Q::HALF)
-    });
+    let acc = prop_oneof![Just("a"), Just("b")]
+        .prop_map(|x| Assertion::Acc(Expr::var(x), "v".to_string(), Q::HALF));
     let leaf = prop_oneof![arb_expr().prop_map(Assertion::Expr), acc];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Assertion::and(a, b)),
-            (arb_expr(), inner.clone())
-                .prop_map(|(c, a)| Assertion::Implies(c, Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Assertion::and(a, b)),
+            (arb_expr(), inner.clone()).prop_map(|(c, a)| Assertion::Implies(c, Box::new(a))),
         ]
     })
     // The printer round-trips canonical assertions (see
@@ -68,13 +69,11 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
     let recv = prop_oneof![Just("a"), Just("b")].prop_map(Expr::var);
     let leaf = prop_oneof![
         (target.clone(), arb_expr()).prop_map(|(x, e)| Stmt::Assign(x.to_string(), e)),
-        (recv.clone(), arb_expr())
-            .prop_map(|(r, e)| Stmt::FieldWrite(r, "v".to_string(), e)),
+        (recv.clone(), arb_expr()).prop_map(|(r, e)| Stmt::FieldWrite(r, "v".to_string(), e)),
         arb_assertion().prop_map(Stmt::Inhale),
         arb_assertion().prop_map(Stmt::Exhale),
         arb_assertion().prop_map(Stmt::Assert),
-        (target, arb_expr())
-            .prop_map(|(x, e)| Stmt::VarDecl(x.to_string(), Type::Int, e)),
+        (target, arb_expr()).prop_map(|(x, e)| Stmt::VarDecl(x.to_string(), Type::Int, e)),
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
@@ -117,8 +116,97 @@ fn arb_program() -> impl Strategy<Value = Program> {
         })
 }
 
+/// A linear Int term over the symbols `x0..x2`.
+fn arb_lin_term() -> impl Strategy<Value = SymExpr> {
+    let atom = prop_oneof![
+        (0u32..3).prop_map(|i| SymExpr::sym(Sym(i))),
+        (-6i64..=6).prop_map(SymExpr::int),
+        ((-2i64..=2), (0u32..3))
+            .prop_map(|(c, i)| SymExpr::mul(SymExpr::int(c), SymExpr::sym(Sym(i)))),
+    ];
+    (atom.clone(), atom).prop_map(|(a, b)| SymExpr::add(a, b))
+}
+
+/// A boolean query formula: comparisons of linear terms under the
+/// propositional connectives.
+fn arb_formula() -> impl Strategy<Value = SymExpr> {
+    let cmp = (arb_lin_term(), arb_lin_term(), 0u8..3).prop_map(|(a, b, k)| match k {
+        0 => SymExpr::eq(a, b),
+        1 => SymExpr::lt(a, b),
+        _ => SymExpr::le(a, b),
+    });
+    cmp.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SymExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SymExpr::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SymExpr::implies(a, b)),
+            inner.clone().prop_map(SymExpr::not),
+        ]
+    })
+}
+
+/// A stream of entailment queries `(pc, goal)`.
+fn arb_query_stream() -> impl Strategy<Value = Vec<(Vec<SymExpr>, SymExpr)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(arb_formula(), 0..4),
+            arb_formula(),
+        ),
+        1..8,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Differential: the memoizing solver cache never changes an
+    /// answer. The stream is replayed twice so the second pass is
+    /// answered from cache, and every answer must still match a
+    /// cache-less solver run fresh on the same queries.
+    #[test]
+    fn solver_cache_is_answer_transparent(stream in arb_query_stream()) {
+        let mut cached = Solver::new();
+        let mut uncached = Solver::new();
+        uncached.cache_enabled = false;
+        let mut arena_c = TermArena::new();
+        let mut arena_u = TermArena::new();
+        for i in 0..3 {
+            cached.declare(Sym(i), Sort::Int);
+            uncached.declare(Sym(i), Sort::Int);
+        }
+        for (pc, goal) in stream.iter().chain(stream.iter()) {
+            let ac = cached.entails_exprs(&mut arena_c, pc, goal);
+            let au = uncached.entails_exprs(&mut arena_u, pc, goal);
+            prop_assert_eq!(ac, au, "cache changed answer for pc={:?}, goal={:?}", pc, goal);
+        }
+        // The replayed pass must have been served from cache.
+        prop_assert!(cached.cache_hits >= stream.len());
+        prop_assert_eq!(uncached.cache_hits, 0);
+    }
+
+    /// Differential: whole-program verification is unaffected by the
+    /// cache — same verdict, same obligations (descriptions and
+    /// outcomes), same cache-independent statistics.
+    #[test]
+    fn verify_all_is_cache_transparent(p in arb_program()) {
+        let run = |cache: bool| {
+            let mut v = Verifier::with_config(
+                &p,
+                Backend::Destabilized,
+                VerifierConfig { threads: 1, cache },
+            );
+            let verdict = v.verify_all().map(|stats| {
+                stats
+                    .into_iter()
+                    .map(|(name, s)| {
+                        (name, s.obligations, s.solver_queries, s.symbols, s.states)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            (verdict, v.obligations().to_vec())
+        };
+        prop_assert_eq!(run(true), run(false), "cache changed verification of:\n{}", p);
+    }
 
     /// The pretty-printer emits source that parses back to the same AST.
     #[test]

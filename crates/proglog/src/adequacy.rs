@@ -80,18 +80,12 @@ pub fn validate(
         let mut machine = MonMachine::new(t.expr.clone(), w.own.clone(), heap);
         let result = run_with_policy(&mut machine, fuel, fork_policy);
         match result {
-            Err(v) => failures.push(format!(
-                "model own={:?} frame={:?}: {}",
-                w.own, w.frame, v
-            )),
+            Err(v) => failures.push(format!("model own={:?} frame={:?}: {}", w.own, w.frame, v)),
             Ok(()) => {
                 let value: Val = match machine.main_result() {
                     Some(v) => v.clone(),
                     None => {
-                        failures.push(format!(
-                            "model own={:?}: main thread did not finish",
-                            w.own
-                        ));
+                        failures.push(format!("model own={:?}: main thread did not finish", w.own));
                         continue;
                     }
                 };
@@ -118,15 +112,50 @@ pub fn validate(
     AdequacyReport { models, failures }
 }
 
+/// Fixed schedule-prefix fan-out for parallel exhaustive validation.
+/// Each model's schedule tree is expanded breadth-first to (at least)
+/// this many prefixes *before* workers are assigned, so the partition
+/// unit — and therefore the report — is independent of thread count.
+const PREFIX_TARGET: usize = 64;
+
 /// Validates a triple under **every interleaving** (depth-bounded DFS
 /// over scheduler choices) instead of round-robin only. Use for
 /// concurrent triples where the schedule matters.
+///
+/// Schedule exploration fans out across one worker thread per available
+/// CPU; see [`validate_exhaustive_with`] for an explicit width.
 pub fn validate_exhaustive(
     t: &Triple,
     uni: &WorldUniverse,
     depth: usize,
     fork_policy: ForkPolicy,
 ) -> AdequacyReport {
+    validate_exhaustive_with(t, uni, depth, fork_policy, 0)
+}
+
+/// As [`validate_exhaustive`], with an explicit worker-thread count
+/// (`0` = one per available CPU).
+///
+/// Per model, the schedule tree is first expanded breadth-first into a
+/// frontier of schedule prefixes (at least [`PREFIX_TARGET`] when the
+/// tree is that wide); the prefixes are then partitioned round-robin
+/// across the workers and each explored to completion. The frontier and
+/// the merge order do not depend on `threads`, so the report is
+/// identical for every width.
+pub fn validate_exhaustive_with(
+    t: &Triple,
+    uni: &WorldUniverse,
+    depth: usize,
+    fork_policy: ForkPolicy,
+    threads: usize,
+) -> AdequacyReport {
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
     let ctx = EvalCtx::new(uni);
     let env = Env::new();
     let mut models = 0;
@@ -139,52 +168,162 @@ pub fn validate_exhaustive(
         models += 1;
         let heap = heap_of_world(&w);
         let initial = MonMachine::new(t.expr.clone(), w.own.clone(), heap);
-        let mut stack: Vec<(MonMachine, usize)> = vec![(initial, 0)];
-        while let Some((m, d)) = stack.pop() {
-            let runnable = m.runnable();
-            if runnable.is_empty() {
-                // Terminal: check the post.
-                let Some(value) = m.main_result().cloned() else {
-                    failures.push(format!("model own={:?}: no main result", w.own));
-                    continue;
-                };
-                let mut frame = w.frame.clone();
-                for extra in m.threads.iter().skip(1) {
-                    frame = daenerys_algebra::Ra::op(&frame, &extra.own);
-                }
-                let final_world = World {
-                    own: m.main_own().clone(),
-                    frame,
-                };
-                let post = t.post.subst(&t.binder, &value);
-                if !holds(&post, &final_world, &env, 2, &ctx) {
-                    failures.push(format!(
-                        "model own={:?}: post fails on some schedule (result {})",
-                        w.own, value
-                    ));
-                }
-                continue;
-            }
-            if d >= depth {
-                failures.push(format!("model own={:?}: depth bound hit", w.own));
-                continue;
-            }
-            for i in runnable {
-                let mut next = m.clone();
-                if fork_policy == ForkPolicy::GiveAll {
-                    let own = next.threads[i].own.clone();
-                    next.fork_resources.clear();
-                    next.fork_resources.push_back(own);
-                }
-                if let Err(v) = next.step_thread(i) {
-                    failures.push(format!("model own={:?}: {}", w.own, v));
+
+        // Expand breadth-first to the prefix frontier. Terminal and
+        // over-depth prefixes are settled right here, in expansion
+        // order.
+        let mut frontier: Vec<(MonMachine, usize)> = vec![(initial, 0)];
+        while frontier.len() < PREFIX_TARGET {
+            let mut next_frontier = Vec::new();
+            let mut expanded = false;
+            for (m, d) in frontier {
+                let runnable = m.runnable();
+                if runnable.is_empty() {
+                    check_schedule_terminal(t, &w, &m, &env, &ctx, &mut failures);
                     continue;
                 }
-                stack.push((next, d + 1));
+                if d >= depth {
+                    failures.push(format!("model own={:?}: depth bound hit", w.own));
+                    continue;
+                }
+                expanded = true;
+                for i in runnable {
+                    let mut child = m.clone();
+                    if fork_policy == ForkPolicy::GiveAll {
+                        let own = child.threads[i].own.clone();
+                        child.fork_resources.clear();
+                        child.fork_resources.push_back(own);
+                    }
+                    match child.step_thread(i) {
+                        Ok(()) => next_frontier.push((child, d + 1)),
+                        Err(v) => failures.push(format!("model own={:?}: {}", w.own, v)),
+                    }
+                }
             }
+            frontier = next_frontier;
+            if !expanded {
+                break;
+            }
+        }
+
+        // Explore each prefix to completion; merge failures in frontier
+        // order so the outcome is schedule- and thread-count-stable.
+        let width = threads.min(frontier.len()).max(1);
+        let per_prefix: Vec<Vec<String>> = if width <= 1 {
+            frontier
+                .into_iter()
+                .map(|e| explore_prefix(t, &w, e, depth, fork_policy, &env, &ctx))
+                .collect()
+        } else {
+            let frontier_ref = &frontier;
+            let (w_ref, env_ref, ctx_ref) = (&w, &env, &ctx);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..width)
+                    .map(|k| {
+                        scope.spawn(move || {
+                            frontier_ref
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| i % width == k)
+                                .map(|(i, e)| {
+                                    let f = explore_prefix(
+                                        t,
+                                        w_ref,
+                                        e.clone(),
+                                        depth,
+                                        fork_policy,
+                                        env_ref,
+                                        ctx_ref,
+                                    );
+                                    (i, f)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut slots: Vec<Vec<String>> = vec![Vec::new(); frontier_ref.len()];
+                for h in handles {
+                    for (i, f) in h.join().expect("adequacy worker panicked") {
+                        slots[i] = f;
+                    }
+                }
+                slots
+            })
+        };
+        for f in per_prefix {
+            failures.extend(f);
         }
     }
     AdequacyReport { models, failures }
+}
+
+/// Depth-first completion of one schedule prefix.
+fn explore_prefix(
+    t: &Triple,
+    w: &World,
+    entry: (MonMachine, usize),
+    depth: usize,
+    fork_policy: ForkPolicy,
+    env: &Env,
+    ctx: &EvalCtx<'_>,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut stack = vec![entry];
+    while let Some((m, d)) = stack.pop() {
+        let runnable = m.runnable();
+        if runnable.is_empty() {
+            check_schedule_terminal(t, w, &m, env, ctx, &mut failures);
+            continue;
+        }
+        if d >= depth {
+            failures.push(format!("model own={:?}: depth bound hit", w.own));
+            continue;
+        }
+        for i in runnable {
+            let mut next = m.clone();
+            if fork_policy == ForkPolicy::GiveAll {
+                let own = next.threads[i].own.clone();
+                next.fork_resources.clear();
+                next.fork_resources.push_back(own);
+            }
+            if let Err(v) = next.step_thread(i) {
+                failures.push(format!("model own={:?}: {}", w.own, v));
+                continue;
+            }
+            stack.push((next, d + 1));
+        }
+    }
+    failures
+}
+
+/// Checks the postcondition in a terminal machine state.
+fn check_schedule_terminal(
+    t: &Triple,
+    w: &World,
+    m: &MonMachine,
+    env: &Env,
+    ctx: &EvalCtx<'_>,
+    failures: &mut Vec<String>,
+) {
+    let Some(value) = m.main_result().cloned() else {
+        failures.push(format!("model own={:?}: no main result", w.own));
+        return;
+    };
+    let mut frame = w.frame.clone();
+    for extra in m.threads.iter().skip(1) {
+        frame = daenerys_algebra::Ra::op(&frame, &extra.own);
+    }
+    let final_world = World {
+        own: m.main_own().clone(),
+        frame,
+    };
+    let post = t.post.subst(&t.binder, &value);
+    if !holds(&post, &final_world, env, 2, ctx) {
+        failures.push(format!(
+            "model own={:?}: post fails on some schedule (result {})",
+            w.own, value
+        ));
+    }
 }
 
 fn run_with_policy(

@@ -13,6 +13,9 @@ pub mod monitor;
 pub mod rules;
 pub mod triple;
 
-pub use adequacy::{heap_of_world, validate, validate_exhaustive, AdequacyReport, ForkPolicy};
+pub use adequacy::{
+    heap_of_world, validate, validate_exhaustive, validate_exhaustive_with, AdequacyReport,
+    ForkPolicy,
+};
 pub use monitor::{subtract, MonMachine, MonThread, Violation};
 pub use triple::{Triple, TripleProof};

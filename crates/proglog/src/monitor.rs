@@ -224,9 +224,7 @@ impl MonMachine {
             .collect();
         for l in fresh {
             let v = self.heap.get(l).cloned().expect("fresh loc present");
-            self.threads[i].own = self.threads[i]
-                .own
-                .op(&Res::points_to(l, DFrac::FULL, v));
+            self.threads[i].own = self.threads[i].own.op(&Res::points_to(l, DFrac::FULL, v));
         }
         // Write: refresh the agreed value of the touched location.
         if let Some((l, true)) = next_heap_access(before) {
@@ -329,9 +327,9 @@ fn ghost_sub(
 ) -> Option<daenerys_core::GhostVal> {
     use daenerys_core::GhostVal::*;
     match (a, b) {
-        (Frac(x), Frac(y)) if y.amount() < x.amount() => Some(Frac(
-            daenerys_algebra::Frac::new(x.amount() - y.amount()),
-        )),
+        (Frac(x), Frac(y)) if y.amount() < x.amount() => {
+            Some(Frac(daenerys_algebra::Frac::new(x.amount() - y.amount())))
+        }
         (AuthNat(x), AuthNat(y)) => {
             // Subtract fragments; the authority may not be split off.
             if y.authority().is_some() {

@@ -31,11 +31,7 @@ fn reject<T>(rule: &'static str, message: impl Into<String>) -> Result<T, ProofE
 /// `{Q[v/x]} v {x. Q}` — the value rule.
 pub fn wp_value(v: Val, binder: &str, post: Assert) -> TripleProof {
     let pre = post.subst(binder, &v);
-    TripleProof::make(
-        Triple::new(pre, Expr::Val(v), binder, post),
-        "wp-value",
-        1,
-    )
+    TripleProof::make(Triple::new(pre, Expr::Val(v), binder, post), "wp-value", 1)
 }
 
 /// Pure step: if `e` pure-steps to the verified program, the triple
@@ -58,7 +54,11 @@ pub fn wp_pure(premise: &TripleProof, e: Expr) -> Result<TripleProof, ProofError
         )),
         Some(e2) => reject(
             "wp-pure",
-            format!("expression steps to {}, premise is about {}", e2, premise.triple().expr),
+            format!(
+                "expression steps to {}, premise is about {}",
+                e2,
+                premise.triple().expr
+            ),
         ),
         None => reject("wp-pure", "expression does not pure-step"),
     }
@@ -70,7 +70,11 @@ pub fn wp_pure(premise: &TripleProof, e: Expr) -> Result<TripleProof, ProofError
 /// # Errors
 ///
 /// Rejects when the pure normal form differs from the premise's program.
-pub fn wp_pure_steps(premise: &TripleProof, e: Expr, fuel: usize) -> Result<TripleProof, ProofError> {
+pub fn wp_pure_steps(
+    premise: &TripleProof,
+    e: Expr,
+    fuel: usize,
+) -> Result<TripleProof, ProofError> {
     let mut frontier = vec![e.clone()];
     let mut cur = e;
     for _ in 0..fuel {
@@ -190,10 +194,7 @@ pub fn wp_load(
         return reject("wp-load", "permission does not allow reading");
     }
     let pt = Assert::PointsTo(Term::loc(l), dq, Term::Lit(v.clone()));
-    let post = Assert::and(
-        Assert::eq(Term::var(binder), Term::Lit(v)),
-        pt.clone(),
-    );
+    let post = Assert::and(Assert::eq(Term::var(binder), Term::Lit(v)), pt.clone());
     Ok(TripleProof::make(
         Triple::new(pt, Expr::load(Expr::Val(Val::loc(l))), binder, post),
         "wp-load",

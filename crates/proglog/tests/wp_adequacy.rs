@@ -33,7 +33,10 @@ fn axiom_rules_are_adequate() {
                 ForkPolicy::Forbid,
             );
         }
-        assert_adequate(&wp_store(l, v.clone(), Val::int(1), "x"), ForkPolicy::Forbid);
+        assert_adequate(
+            &wp_store(l, v.clone(), Val::int(1), "x"),
+            ForkPolicy::Forbid,
+        );
         assert_adequate(
             &wp_store_hd(l, v.clone(), Val::int(0), "x"),
             ForkPolicy::Forbid,
@@ -156,8 +159,8 @@ fn fork_rule_is_adequate_under_all_interleavings() {
 
 #[test]
 fn exhaustive_validation_refutes_schedule_dependent_posts() {
-    use daenerys_proglog::{validate_exhaustive, Triple};
     use daenerys_heaplang::parse;
+    use daenerys_proglog::{validate_exhaustive, Triple};
     // {l ↦ 0} fork (l <- 1); !l {x. ⌜x = 0⌝} — true round-robin-first,
     // false on the schedule that runs the child before the load.
     let prog = parse("fork (l <- 1); !l")
@@ -173,4 +176,30 @@ fn exhaustive_validation_refutes_schedule_dependent_posts() {
     let report = validate_exhaustive(&t, &uni, 64, ForkPolicy::GiveAll);
     assert!(report.models > 0);
     assert!(!report.ok(), "schedule-dependent post must be refuted");
+}
+
+#[test]
+fn exhaustive_validation_is_thread_count_invariant() {
+    use daenerys_heaplang::parse;
+    use daenerys_proglog::{validate_exhaustive_with, Triple};
+    // A triple with genuine schedule-dependent failures, so the failure
+    // list itself (not just ok()) must agree across fan-out widths.
+    let prog = parse("fork (l <- 1); !l")
+        .unwrap()
+        .subst("l", &Val::loc(Loc(0)));
+    let t = Triple::new(
+        Assert::points_to(Term::loc(Loc(0)), Term::int(0)),
+        prog,
+        "x",
+        Assert::eq(Term::var("x"), Term::int(0)),
+    );
+    let uni = UniverseSpec::tiny().build();
+    let one = validate_exhaustive_with(&t, &uni, 64, ForkPolicy::GiveAll, 1);
+    let two = validate_exhaustive_with(&t, &uni, 64, ForkPolicy::GiveAll, 2);
+    let eight = validate_exhaustive_with(&t, &uni, 64, ForkPolicy::GiveAll, 8);
+    assert!(one.models > 0 && !one.ok());
+    assert_eq!(one.models, two.models);
+    assert_eq!(one.failures, two.failures);
+    assert_eq!(one.models, eight.models);
+    assert_eq!(one.failures, eight.failures);
 }

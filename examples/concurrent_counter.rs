@@ -9,9 +9,9 @@
 //! fork triple through the permission monitor.
 
 use daenerys::heaplang::{explore, parse, Machine, Val};
+use daenerys::logic::UniverseSpec;
 use daenerys::logic::{GhostName, GhostVal};
 use daenerys::proglog::{rules, validate, ForkPolicy};
-use daenerys::logic::UniverseSpec;
 use daenerys_algebra::{Auth, Ra, SumNat};
 use daenerys_heaplang::Loc;
 
@@ -55,9 +55,15 @@ fn main() {
     let contribs = Auth::frag(SumNat(1))
         .op(&Auth::frag(SumNat(1)))
         .op(&Auth::frag(SumNat(1)));
-    println!("  ●3 ⋅ (◯1 ⋅ ◯1 ⋅ ◯1) valid? {}", total.op(&contribs).valid());
+    println!(
+        "  ●3 ⋅ (◯1 ⋅ ◯1 ⋅ ◯1) valid? {}",
+        total.op(&contribs).valid()
+    );
     let overdraw = contribs.op(&Auth::frag(SumNat(1)));
-    println!("  ●3 ⋅ ◯4 valid?             {}", total.op(&overdraw).valid());
+    println!(
+        "  ●3 ⋅ ◯4 valid?             {}",
+        total.op(&overdraw).valid()
+    );
 
     // The corresponding ghost update: contribute one.
     use daenerys::logic::proof::update::ghost_fpu;

@@ -9,10 +9,8 @@
 //!   3. compilation to HeapLang and dynamic contract checking on a
 //!      sweep of concrete inputs.
 
-use daenerys::idf::{
-    alloc_object, parse_program, run_and_check, Backend, ConcreteVal, Verifier,
-};
 use daenerys::heaplang::Heap;
+use daenerys::idf::{alloc_object, parse_program, run_and_check, Backend, ConcreteVal, Verifier};
 
 const BANK: &str = r#"
     field bal: Int

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_verifier.json: release-build the workspace, run the
+# F1 verifier benchmark, and leave the JSON at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p daenerys-bench
+cargo run --release -q -p daenerys-bench --bin tables -- --f1 --json "$@"
+
+echo "baseline written to $(pwd)/BENCH_verifier.json"

@@ -4,7 +4,7 @@
 
 use daenerys::logic::{Assert, Term, UniverseSpec};
 use daenerys::proglog::{rules, validate, ForkPolicy, MonMachine, Triple};
-use daenerys_algebra::{DFrac, Q, Ra};
+use daenerys_algebra::{DFrac, Ra, Q};
 use daenerys_core::Res;
 use daenerys_heaplang::{explore, parse, Expr, Heap, Loc, Machine, Val};
 
@@ -103,9 +103,7 @@ fn concurrent_counter_all_interleavings() {
 fn fork_resource_accounting() {
     // Transfer half to the child for a read; parent keeps reading too.
     let src = "let x = !l in fork (!l); x";
-    let prog = parse(src)
-        .unwrap()
-        .subst("l", &Val::loc(Loc(0)));
+    let prog = parse(src).unwrap().subst("l", &Val::loc(Loc(0)));
     let half = Res::points_to(Loc(0), DFrac::own(Q::HALF), Val::int(9));
     let own = half.op(&half); // full, as two mergeable halves
     let mut heap = Heap::new();

@@ -2,10 +2,10 @@
 //! HeapLang compilation → concrete execution with contract checking,
 //! plus the headline claim that the verdicts of all oracles coincide.
 
+use daenerys::heaplang::Heap;
 use daenerys::idf::{
     alloc_object, parse_program, run_and_check, scaling_program, Backend, ConcreteVal, Verifier,
 };
-use daenerys::heaplang::Heap;
 
 /// One program, four oracles, one verdict.
 #[test]
@@ -125,7 +125,7 @@ fn full_workspace_smoke() {
     // Touch every crate through the facade in one flow: build a camera
     // element, put it in a world, check an entailment, verify a method,
     // compile and run it.
-    use daenerys::algebra::{Frac, Q, Ra};
+    use daenerys::algebra::{Frac, Ra, Q};
     use daenerys::logic::{entails, Assert, Term, UniverseSpec};
     use daenerys_heaplang::Loc;
 

@@ -56,7 +56,10 @@ fn kernel_composition_chains() {
     // full ⊢ half ∗ half  (split)
     let split = heap::points_to_split(l.clone(), Q::HALF, Q::HALF, Term::int(1)).unwrap();
     // half ∗ half ⊢ half ∗ (half ∗ ⊤)   (frame the sep_true_intro)
-    let widen = proof::sep_mono(&proof::refl(half.clone()), &proof::sep_true_intro(half.clone()));
+    let widen = proof::sep_mono(
+        &proof::refl(half.clone()),
+        &proof::sep_true_intro(half.clone()),
+    );
     let chain = proof::trans(&split, &widen).unwrap();
     assert!(entails(chain.lhs(), chain.rhs(), &uni, 1).is_ok());
     assert!(chain.steps() >= 4);

@@ -2,10 +2,10 @@
 //! positive case study verifies statically (both backends), compiles to
 //! HeapLang, and honors its contract on concrete input sweeps.
 
+use daenerys::heaplang::Heap;
 use daenerys::idf::{
     alloc_object, positive_cases, run_and_check, Backend, ConcreteVal, Type, Verifier,
 };
-use daenerys::heaplang::Heap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -96,8 +96,7 @@ fn baseline_overhead_is_systematic() {
                 m
             );
             let method = program.method(m).unwrap();
-            let spec_reads =
-                method.requires.field_reads() + method.ensures.field_reads();
+            let spec_reads = method.requires.field_reads() + method.ensures.field_reads();
             if spec_reads > 0 {
                 assert!(
                     bs.witnesses > 0,

@@ -1,0 +1,164 @@
+//! Offline stub of the `criterion` benchmarking harness.
+//!
+//! Implements just the API surface the workspace benches use:
+//! `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `measurement_time` / `warm_up_time`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, and
+//! `Bencher::iter`. Reports mean wall time per iteration to stdout;
+//! there is no statistical analysis, plotting, or baseline storage.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that defeats constant folding well enough
+/// for these benches (reads/writes through a volatile pointer).
+pub fn black_box<T>(x: T) -> T {
+    // std::hint::black_box is stable since 1.66.
+    std::hint::black_box(x)
+}
+
+/// A benchmark label with an optional parameter, e.g. `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Runs the closure under timing; handed to bench bodies.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub times a fixed number of
+    /// iterations instead of a target duration.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does one untimed
+    /// warm-up iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&name.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark identified by a [`BenchmarkId`], passing `input`
+    /// through to the body.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label, |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut warm = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warm);
+        let mut b = Bencher {
+            iters: self.sample_size.max(1),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos() / u128::from(b.iters);
+        println!(
+            "{}/{}: {} iters, {:.3} ms/iter",
+            self.name,
+            label,
+            b.iters,
+            per_iter as f64 / 1e6
+        );
+    }
+
+    /// Ends the group (stdout reporting happens per-bench, so this is a
+    /// no-op).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a group-runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,90 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors of `element` values with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+fn sample_len(rng: &mut TestRng, size: &Range<usize>) -> usize {
+    if size.start >= size.end {
+        return size.start;
+    }
+    size.start + rng.below(size.end - size.start)
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = sample_len(rng, &self.size);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for `BTreeMap<K::Value, V::Value>`; duplicate keys
+/// collapse, so maps may come out smaller than the drawn size.
+#[derive(Clone, Debug)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+/// Generates maps with up to `size` entries.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy { key, value, size }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = sample_len(rng, &self.size);
+        (0..n)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+/// A strategy for `BTreeSet<S::Value>`; duplicates collapse.
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates sets with up to `size` elements.
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = sample_len(rng, &self.size);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

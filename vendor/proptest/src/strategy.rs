@@ -1,0 +1,220 @@
+//! The [`Strategy`] trait and the core combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of values for property tests.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a
+/// strategy maps an RNG directly to a value.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `depth` levels of `recurse` applied
+    /// over `self` as the leaf strategy. The `_desired_size` and
+    /// `_expected_branch_size` hints are accepted for API compatibility;
+    /// recursion depth alone bounds the generated size here.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            // Bias toward leaves so expected sizes stay small.
+            strat = Union::weighted(vec![(2, leaf.clone()), (1, recurse(strat).boxed())]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe generation, used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoxedStrategy")
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Chooses uniformly (or by weight) among type-erased alternatives;
+/// built by the `prop_oneof!` macro.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u32,
+}
+
+// Manual impl: a derive would demand `V: Clone`, but the arms are
+// `Rc`-backed and clone regardless of `V`.
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<V> Union<V> {
+    /// A uniform union of the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// A weighted union of the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total as usize) as u32;
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights cover the sampled index")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.in_range_i128(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.in_range_i128(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
