@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run -p daenerys-bench --bin tables [--t1] [--t2] [--t3] [--t4] \
-//!     [--f1] [--f2] [--f3] [--json] [--no-cache] [--threads N]
+//!     [--f1] [--f2] [--f3] [--json] [--no-cache] [--threads N] \
+//!     [--timeout-ms N] [--fuel N]
 //! ```
 //!
 //! With no table/figure flags, every table and figure is printed.
@@ -12,6 +13,10 @@
 //! * `--no-cache` disables the solver's memo layers (the pre-cache
 //!   pipeline) and `--threads N` pins the verification fan-out — both
 //!   change cost only, never answers.
+//! * `--timeout-ms N` sets a per-method wall-clock deadline and
+//!   `--fuel N` a per-method DPLL-branch budget; a method that blows
+//!   its budget is reported (and counted in the JSON) as `Unknown`
+//!   instead of hanging the harness.
 //! * `--json` additionally writes `BENCH_verifier.json` (machine-readable
 //!   F1 data: per-case wall time, solver queries, and cache hit rate for
 //!   both backends, plus the cached-vs-uncached chain sweep).
@@ -23,7 +28,7 @@ use daenerys_heaplang::{explore, parse, Machine};
 use daenerys_idf::{chain_program, positive_cases, scaling_program, Backend, VerifierConfig};
 use std::time::Instant;
 
-const KNOWN_FLAGS: [&str; 10] = [
+const KNOWN_FLAGS: [&str; 12] = [
     "--t1",
     "--t2",
     "--t3",
@@ -34,6 +39,8 @@ const KNOWN_FLAGS: [&str; 10] = [
     "--json",
     "--no-cache",
     "--threads",
+    "--timeout-ms",
+    "--fuel",
 ];
 
 /// Parsed command line.
@@ -63,6 +70,30 @@ fn parse_args() -> Opts {
                     Some(n) if n > 0 => opts.config.threads = n,
                     _ => {
                         eprintln!("tables: --threads needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--timeout-ms" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(ms) if ms > 0 => {
+                        opts.config.budget = opts.config.budget.with_deadline_ms(ms);
+                    }
+                    _ => {
+                        eprintln!("tables: --timeout-ms needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--fuel" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(fuel) if fuel > 0 => {
+                        opts.config.budget = opts.config.budget.with_solver_fuel(fuel);
+                    }
+                    _ => {
+                        eprintln!("tables: --fuel needs a positive integer");
                         std::process::exit(2);
                     }
                 }
@@ -122,8 +153,8 @@ fn table_t1(opts: &Opts) {
     let mut sum_d = 0usize;
     let mut sum_s = 0usize;
     for case in positive_cases() {
-        let d = run_backend_with(case.source, Backend::Destabilized, opts.config);
-        let s = run_backend_with(case.source, Backend::StableBaseline, opts.config);
+        let d = run_backend_with(case.source, Backend::Destabilized, opts.config.clone());
+        let s = run_backend_with(case.source, Backend::StableBaseline, opts.config.clone());
         let (od, qd) = (d.total(|x| x.obligations), d.total(|x| x.solver_queries));
         let (os, qs) = (s.total(|x| x.obligations), s.total(|x| x.solver_queries));
         let wit = s.total(|x| x.witnesses);
@@ -299,8 +330,8 @@ fn figure_f1(opts: &Opts) {
     println!("    {}", "-".repeat(66));
     for n in [1usize, 2, 4, 8, 16, 24] {
         let src = scaling_program(n);
-        let d = run_backend_with(&src, Backend::Destabilized, opts.config);
-        let s = run_backend_with(&src, Backend::StableBaseline, opts.config);
+        let d = run_backend_with(&src, Backend::Destabilized, opts.config.clone());
+        let s = run_backend_with(&src, Backend::StableBaseline, opts.config.clone());
         let od = d.total(|x| x.obligations);
         let os = s.total(|x| x.obligations) + s.total(|x| x.rebinds);
         println!(
@@ -316,12 +347,13 @@ fn figure_f1(opts: &Opts) {
     }
 
     let cached = VerifierConfig {
-        threads: opts.config.threads,
         cache: true,
+        ..opts.config.clone()
     };
     let uncached = VerifierConfig {
         threads: 1,
         cache: false,
+        ..opts.config.clone()
     };
     println!("\nF1b. Chain sweep: memoized pipeline vs. pre-cache path (destabilized)\n");
     println!(
@@ -332,10 +364,10 @@ fn figure_f1(opts: &Opts) {
     let mut chain_rows = Vec::new();
     for n in CHAIN_SIZES {
         let src = chain_program(n);
-        let dm = run_backend_with(&src, Backend::Destabilized, cached);
-        let dc = run_backend_with(&src, Backend::Destabilized, uncached);
-        let sm = run_backend_with(&src, Backend::StableBaseline, cached);
-        let sc = run_backend_with(&src, Backend::StableBaseline, uncached);
+        let dm = run_backend_with(&src, Backend::Destabilized, cached.clone());
+        let dc = run_backend_with(&src, Backend::Destabilized, uncached.clone());
+        let sm = run_backend_with(&src, Backend::StableBaseline, cached.clone());
+        let sc = run_backend_with(&src, Backend::StableBaseline, uncached.clone());
         let speedup = dc.time.as_secs_f64() / dm.time.as_secs_f64().max(1e-9);
         println!(
             "    {:>4} | {:>8} {:>8} | {:>6} {:>6} {:>6} | {:>7.2}x",
@@ -355,6 +387,11 @@ fn figure_f1(opts: &Opts) {
     }
 }
 
+/// Renders an optional count as JSON (`null` when unlimited).
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
 /// One measurement as a JSON object.
 fn run_json(run: &BackendRun) -> String {
     let hits = run.total(|x| x.cache_hits);
@@ -365,7 +402,7 @@ fn run_json(run: &BackendRun) -> String {
         hits as f64 / (hits + misses) as f64
     };
     format!(
-        "{{\"wall_micros\": {:.1}, \"solver_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"obligations\": {}, \"interned_terms\": {}}}",
+        "{{\"wall_micros\": {:.1}, \"solver_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"obligations\": {}, \"interned_terms\": {}, \"unknown_methods\": {}, \"budget_exhausted\": {}}}",
         run.time.as_secs_f64() * 1e6,
         run.total(|x| x.solver_queries),
         hits,
@@ -373,6 +410,8 @@ fn run_json(run: &BackendRun) -> String {
         rate,
         run.total(|x| x.obligations),
         run.total(|x| x.interned_terms),
+        run.unknown_methods(),
+        run.budget_exhausted(),
     )
 }
 
@@ -384,8 +423,8 @@ fn write_bench_json(
 ) {
     let mut cases = Vec::new();
     for case in positive_cases() {
-        let d = run_backend_with(case.source, Backend::Destabilized, opts.config);
-        let s = run_backend_with(case.source, Backend::StableBaseline, opts.config);
+        let d = run_backend_with(case.source, Backend::Destabilized, opts.config.clone());
+        let s = run_backend_with(case.source, Backend::StableBaseline, opts.config.clone());
         cases.push(format!(
             "    {{\"name\": \"{}\", \"destabilized\": {}, \"stable_baseline\": {}}}",
             case.name,
@@ -408,9 +447,11 @@ fn write_bench_json(
     }
     let json = format!
         (
-        "{{\n  \"experiment\": \"F1 verifier pipeline\",\n  \"command\": \"cargo run -p daenerys-bench --bin tables -- --f1 --json\",\n  \"config\": {{\"cache\": {}, \"threads\": {}}},\n  \"cases\": [\n{}\n  ],\n  \"chain\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"F1 verifier pipeline\",\n  \"command\": \"cargo run -p daenerys-bench --bin tables -- --f1 --json\",\n  \"config\": {{\"cache\": {}, \"threads\": {}, \"timeout_ms\": {}, \"fuel\": {}}},\n  \"cases\": [\n{}\n  ],\n  \"chain\": [\n{}\n  ]\n}}\n",
         opts.config.cache,
         opts.config.threads,
+        json_opt(opts.config.budget.deadline_ms),
+        json_opt(opts.config.budget.solver_fuel),
         cases.join(",\n"),
         chain.join(",\n"),
     );

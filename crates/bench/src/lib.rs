@@ -5,7 +5,7 @@
 
 #![warn(missing_docs)]
 
-use daenerys_idf::{parse_program, Backend, Verifier, VerifierConfig, VerifyStats};
+use daenerys_idf::{parse_program, Backend, Verdict, Verifier, VerifierConfig, VerifyStats};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -14,14 +14,38 @@ use std::time::{Duration, Instant};
 pub struct BackendRun {
     /// Wall-clock verification time.
     pub time: Duration,
-    /// Per-method statistics.
+    /// Per-method statistics (verified methods only).
     pub stats: BTreeMap<String, VerifyStats>,
+    /// Per-method verdicts, including methods degraded to `Unknown`
+    /// under a finite budget.
+    pub verdicts: BTreeMap<String, Verdict>,
 }
 
 impl BackendRun {
-    /// Sums a statistic across methods.
+    /// Sums a statistic across verified methods.
     pub fn total(&self, f: impl Fn(&VerifyStats) -> usize) -> usize {
         self.stats.values().map(f).sum()
+    }
+
+    /// Methods whose verdict degraded to `Unknown` (budget or
+    /// fragment).
+    pub fn unknown_methods(&self) -> usize {
+        self.verdicts
+            .values()
+            .filter(|v| matches!(v, Verdict::Unknown { .. }))
+            .count()
+    }
+
+    /// Budget-exhaustion events across the run: methods that ended
+    /// `Unknown` on an exhausted budget, plus exhausted first attempts
+    /// absorbed by the retry-with-escalated-budget policy.
+    pub fn budget_exhausted(&self) -> usize {
+        let unknown: usize = self
+            .verdicts
+            .values()
+            .filter(|v| v.is_budget_exhausted())
+            .count();
+        unknown + self.total(|s| s.budget_exhausted)
     }
 }
 
@@ -36,21 +60,33 @@ pub fn run_backend(src: &str, backend: Backend) -> BackendRun {
 }
 
 /// As [`run_backend`], with an explicit pipeline configuration
-/// (caching on/off, worker-thread count).
+/// (caching on/off, worker-thread count, budget).
 ///
 /// # Panics
 ///
-/// Panics when the program does not parse or does not verify.
+/// Panics when the program does not parse, or when any method fails or
+/// crashes. Methods degraded to `Unknown` under a finite budget are
+/// tolerated and reported through [`BackendRun::verdicts`].
 pub fn run_backend_with(src: &str, backend: Backend, config: VerifierConfig) -> BackendRun {
     let program = parse_program(src).expect("harness program parses");
     let start = Instant::now();
     let mut verifier = Verifier::with_config(&program, backend, config);
-    let stats = verifier
-        .verify_all()
-        .unwrap_or_else(|e| panic!("harness program must verify: {}", e));
+    let verdicts = verifier.verify_all_verdicts();
+    let time = start.elapsed();
+    let mut stats = BTreeMap::new();
+    for (name, verdict) in &verdicts {
+        match verdict {
+            Verdict::Verified(s) => {
+                stats.insert(name.clone(), s.clone());
+            }
+            Verdict::Unknown { .. } => {}
+            other => panic!("harness program must verify: {} is {}", name, other),
+        }
+    }
     BackendRun {
-        time: start.elapsed(),
+        time,
         stats,
+        verdicts,
     }
 }
 
@@ -62,6 +98,7 @@ pub fn micros(d: Duration) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use daenerys_idf::Budget;
 
     #[test]
     fn run_backend_measures_something() {
@@ -70,5 +107,21 @@ mod tests {
         let run = run_backend(src, Backend::Destabilized);
         assert_eq!(run.stats.len(), 1);
         assert!(run.total(|s| s.obligations) >= 1);
+        assert_eq!(run.unknown_methods(), 0);
+        assert_eq!(run.budget_exhausted(), 0);
+    }
+
+    #[test]
+    fn budgeted_runs_report_unknowns_instead_of_panicking() {
+        let src = daenerys_idf::diverging_program(10);
+        let config = VerifierConfig {
+            budget: Budget::unlimited().with_solver_fuel(64),
+            retry_unknown: false,
+            ..VerifierConfig::default()
+        };
+        let run = run_backend_with(&src, Backend::Destabilized, config);
+        assert_eq!(run.unknown_methods(), 1);
+        assert_eq!(run.budget_exhausted(), 1);
+        assert_eq!(run.stats.len(), 2, "siblings still measured");
     }
 }

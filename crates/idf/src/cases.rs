@@ -420,6 +420,37 @@ pub fn chain_program(n: usize) -> String {
     )
 }
 
+/// The chaos-suite demo workload: a three-method program whose middle
+/// method `diverge` poses one intentionally diverging solver query,
+/// flanked by two well-behaved siblings (`before`, `after`).
+///
+/// `diverge`'s single obligation asks whether `x0 + … + x{k-1} >= 0`
+/// follows from `xi == 0 || xi == 1` for each `i`. Refuting the
+/// negation forces the DPLL search to close all `2^k` disjunction
+/// branches (every leaf is a distinct theory query, so the caches
+/// cannot collapse them): branch count grows exponentially in `k`.
+/// Under a finite [`crate::Budget::solver_fuel`] smaller than `2^k`
+/// the method degrades to a deterministic `Unknown` while `before` and
+/// `after` verify bit-identically to a fault-free run — at any thread
+/// count.
+pub fn diverging_program(k: usize) -> String {
+    let k = k.max(1);
+    let params: Vec<String> = (0..k).map(|i| format!("x{}: Int", i)).collect();
+    let req: Vec<String> = (0..k)
+        .map(|i| format!("(x{i} == 0 || x{i} == 1)", i = i))
+        .collect();
+    let sum: Vec<String> = (0..k).map(|i| format!("x{}", i)).collect();
+    format!(
+        "field val: Int\n\
+         method before(c: Ref)\n  requires acc(c.val)\n  ensures acc(c.val) && c.val == old(c.val) + 1\n{{\n  c.val := c.val + 1\n}}\n\
+         method diverge({params})\n  requires {req}\n{{\n  assert {sum} >= 0\n}}\n\
+         method after(c: Ref)\n  requires acc(c.val)\n  ensures acc(c.val) && c.val == 0\n{{\n  c.val := 0\n}}\n",
+        params = params.join(", "),
+        req = req.join(" && "),
+        sum = sum.join(" + "),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,7 +529,7 @@ mod tests {
             Backend::Destabilized,
             VerifierConfig {
                 threads: 1,
-                cache: true,
+                ..VerifierConfig::default()
             },
         );
         let stats = v.verify_all().unwrap();

@@ -24,13 +24,15 @@
 //! statistics are bit-identical at any thread count.
 
 use crate::ast::{fraction_literal, Assertion, Expr, Op, Program, Stmt, Type};
+use crate::budget::{Budget, BudgetAxis, FaultKind, FaultPlan};
 use crate::smt::{Answer, Solver};
 use crate::sym::{Sort, Sym, SymSupply, Term, TermArena, TermId};
 use daenerys_algebra::Q;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which verification backend to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -41,10 +43,18 @@ pub enum Backend {
     StableBaseline,
 }
 
-/// Tuning knobs for the verifier pipeline. The knobs change *cost*,
-/// never *answers*: verification outcomes and (normalized) statistics
-/// are identical for every setting.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// Tuning knobs for the verifier pipeline.
+///
+/// The *performance* knobs (`threads`, `cache`) change cost, never
+/// answers: outcomes and normalized statistics are identical for every
+/// setting. The *resilience* knobs (`budget`, `faults`) can degrade a
+/// method's verdict to [`Verdict::Unknown`] or
+/// [`Verdict::CrashedInternal`] — but deterministically (the
+/// wall-clock deadline excepted), and never for sibling methods: each
+/// method is verified in isolation, so a fault or exhausted budget in
+/// one method leaves every other verdict bit-identical at any thread
+/// count.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct VerifierConfig {
     /// Worker threads for [`Verifier::verify_all`]; `0` means one per
     /// available CPU.
@@ -52,6 +62,15 @@ pub struct VerifierConfig {
     /// Whether the solver's memo layers (query + theory cache) are
     /// consulted.
     pub cache: bool,
+    /// Per-method resource budget (default: unlimited on every axis).
+    pub budget: Budget,
+    /// Deterministic fault-injection plan for chaos testing (default:
+    /// empty — no faults).
+    pub faults: FaultPlan,
+    /// Retry a budget-exhausted method once with a doubled
+    /// ([`Budget::escalated`]) budget before settling on `Unknown`
+    /// (default: `true`; a no-op under the unlimited budget).
+    pub retry_unknown: bool,
 }
 
 impl Default for VerifierConfig {
@@ -59,6 +78,9 @@ impl Default for VerifierConfig {
         VerifierConfig {
             threads: 0,
             cache: true,
+            budget: Budget::UNLIMITED,
+            faults: FaultPlan::default(),
+            retry_unknown: true,
         }
     }
 }
@@ -117,6 +139,113 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Why a method's verdict is [`Verdict::Unknown`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UnknownReason {
+    /// A [`Budget`] axis ran out before verification finished.
+    BudgetExhausted {
+        /// The exhausted axis.
+        axis: BudgetAxis,
+        /// Human-readable detail (limit and where it tripped).
+        detail: String,
+    },
+    /// The solver answered `Unknown` on at least one obligation (the
+    /// goal left the decidable fragment) without any budget tripping.
+    OutOfFragment {
+        /// Human-readable detail (how many obligations were unknown).
+        detail: String,
+    },
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownReason::BudgetExhausted { axis, detail } => {
+                write!(f, "budget exhausted ({}): {}", axis, detail)
+            }
+            UnknownReason::OutOfFragment { detail } => {
+                write!(f, "out of fragment: {}", detail)
+            }
+        }
+    }
+}
+
+/// The three-valued (plus crash) outcome of verifying one method.
+///
+/// The lattice is `Verified < Unknown < Failed` in definiteness:
+/// `Verified` and `Failed` are definite answers, `Unknown` means the
+/// pipeline gave up (budget, fragment) without contradicting either,
+/// and `CrashedInternal` records an internal error (a contained panic)
+/// that says nothing about the program.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Verdict {
+    /// Every obligation was proved; the method's statistics.
+    Verified(VerifyStats),
+    /// At least one obligation is definitely violated.
+    Failed {
+        /// The non-valid obligations (invalid and unknown alike).
+        failures: Vec<Obligation>,
+    },
+    /// Verification gave up without a definite answer.
+    Unknown {
+        /// Why the verdict is unknown.
+        reason: UnknownReason,
+        /// The non-valid obligations observed before giving up
+        /// (includes a synthesized budget-exhaustion obligation).
+        failures: Vec<Obligation>,
+    },
+    /// The verifier itself panicked on this method; the panic was
+    /// contained by per-method isolation and siblings are unaffected.
+    CrashedInternal {
+        /// The panic payload.
+        message: String,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Verdict::Verified(_))
+    }
+
+    /// True for an [`Verdict::Unknown`] caused by budget exhaustion
+    /// (the retry-eligible case).
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Unknown {
+                reason: UnknownReason::BudgetExhausted { .. },
+                ..
+            }
+        )
+    }
+
+    /// The verdict with environment-dependent statistics fields zeroed
+    /// (see [`VerifyStats::normalized`]) — the form compared by the
+    /// determinism tests.
+    pub fn normalized(&self) -> Verdict {
+        match self {
+            Verdict::Verified(s) => Verdict::Verified(s.normalized()),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Verified(_) => f.write_str("verified"),
+            Verdict::Failed { failures } => {
+                write!(f, "failed ({} obligation(s))", failures.len())
+            }
+            Verdict::Unknown { reason, .. } => write!(f, "unknown: {}", reason),
+            Verdict::CrashedInternal { message } => {
+                write!(f, "crashed internally: {}", message)
+            }
+        }
+    }
+}
+
 /// Statistics for one method verification — the T1/F1 measurements.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct VerifyStats {
@@ -140,6 +269,10 @@ pub struct VerifyStats {
     pub rebinds: usize,
     /// Symbolic execution states explored.
     pub states: usize,
+    /// Budget-exhausted attempts absorbed before this result (1 when
+    /// the method only verified after the retry-with-escalated-budget
+    /// policy kicked in).
+    pub budget_exhausted: usize,
     /// Wall-clock verification time in nanoseconds.
     pub wall_nanos: u64,
     /// Fan-out width of the `verify_all` run that produced the stats
@@ -184,6 +317,7 @@ impl VerifyStats {
         self.witnesses += other.witnesses;
         self.rebinds += other.rebinds;
         self.states += other.states;
+        self.budget_exhausted += other.budget_exhausted;
         self.wall_nanos += other.wall_nanos;
     }
 }
@@ -209,7 +343,7 @@ struct State {
 
 /// The outcome of verifying one method in isolation.
 struct MethodOutcome {
-    result: Result<VerifyStats, VerifyError>,
+    verdict: Verdict,
     obligations: Vec<Obligation>,
 }
 
@@ -224,6 +358,13 @@ pub struct Verifier<'a> {
     arena: TermArena,
     obligations: Vec<Obligation>,
     stats: VerifyStats,
+    /// Budget bookkeeping for the method currently being verified.
+    method_started: Instant,
+    method_states_base: usize,
+    exhausted: Option<(BudgetAxis, String)>,
+    /// Active injected faults for the current method.
+    fault_exhaust: Option<BudgetAxis>,
+    fault_panic_at_state: Option<usize>,
 }
 
 impl<'a> Verifier<'a> {
@@ -250,6 +391,11 @@ impl<'a> Verifier<'a> {
             arena: TermArena::new(),
             obligations: Vec::new(),
             stats: VerifyStats::default(),
+            method_started: Instant::now(),
+            method_states_base: 0,
+            exhausted: None,
+            fault_exhaust: None,
+            fault_panic_at_state: None,
         }
     }
 
@@ -263,8 +409,55 @@ impl<'a> Verifier<'a> {
     ///
     /// # Errors
     ///
-    /// Returns the combined failures if any obligation does not hold.
+    /// Returns the combined failures if any obligation does not hold;
+    /// a method degraded to [`Verdict::Unknown`] or
+    /// [`Verdict::CrashedInternal`] contributes its failure obligations
+    /// too (so exhaustion is never mistaken for success). Use
+    /// [`Verifier::verify_all_verdicts`] for the per-method
+    /// three-valued view.
     pub fn verify_all(&mut self) -> Result<BTreeMap<String, VerifyStats>, VerifyError> {
+        let mut out = BTreeMap::new();
+        let mut failures = Vec::new();
+        for (name, verdict) in self.run_all() {
+            match verdict {
+                Verdict::Verified(stats) => {
+                    out.insert(name, stats);
+                }
+                Verdict::Failed { failures: f } | Verdict::Unknown { failures: f, .. } => {
+                    failures.extend(f);
+                }
+                Verdict::CrashedInternal { message } => {
+                    failures.push(crash_obligation(&name, &message))
+                }
+            }
+        }
+        if failures.is_empty() {
+            Ok(out)
+        } else {
+            Err(VerifyError { failures })
+        }
+    }
+
+    /// Verifies every method with a body and returns each method's
+    /// three-valued [`Verdict`].
+    ///
+    /// Unlike [`Verifier::verify_all`] this never collapses the run
+    /// into a single `Result`: a method that panicked internally, blew
+    /// its budget, or left the solver's fragment is reported as
+    /// `CrashedInternal`/`Unknown` for *that method only*, with every
+    /// sibling verdict bit-identical to a fault-free run at any thread
+    /// count.
+    pub fn verify_all_verdicts(&mut self) -> BTreeMap<String, Verdict> {
+        self.run_all().into_iter().collect()
+    }
+
+    /// The shared fan-out engine behind [`Verifier::verify_all`] and
+    /// [`Verifier::verify_all_verdicts`]: verify every method with a
+    /// body in isolation (concurrently across
+    /// [`VerifierConfig::effective_threads`] workers, each unit behind
+    /// `catch_unwind`), then merge obligations and statistics in
+    /// program (method-declaration) order.
+    fn run_all(&mut self) -> Vec<(String, Verdict)> {
         let names: Vec<String> = self
             .program
             .methods
@@ -278,12 +471,12 @@ impl<'a> Verifier<'a> {
 
         if threads <= 1 {
             for (i, name) in names.iter().enumerate() {
-                slots[i] = Some(run_isolated(self.program, self.backend, self.config, name));
+                slots[i] = Some(run_isolated(self.program, self.backend, &self.config, name));
             }
         } else {
             let program = self.program;
             let backend = self.backend;
-            let config = self.config;
+            let config = &self.config;
             let names_ref = &names;
             let outcomes = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
@@ -299,6 +492,8 @@ impl<'a> Verifier<'a> {
                         })
                     })
                     .collect();
+                // Workers cannot panic: every per-method unit runs
+                // behind `catch_unwind` inside `run_isolated`.
                 handles
                     .into_iter()
                     .flat_map(|h| h.join().expect("verifier worker panicked"))
@@ -310,25 +505,18 @@ impl<'a> Verifier<'a> {
         }
 
         // Deterministic merge in program (method-declaration) order.
-        let mut out = BTreeMap::new();
-        let mut failures = Vec::new();
+        let mut out = Vec::with_capacity(names.len());
         for (i, slot) in slots.into_iter().enumerate() {
             let outcome = slot.expect("every scheduled method produced an outcome");
             self.obligations.extend(outcome.obligations);
-            match outcome.result {
-                Ok(mut stats) => {
-                    stats.threads = threads;
-                    self.stats.merge(&stats);
-                    out.insert(names[i].clone(), stats);
-                }
-                Err(e) => failures.extend(e.failures),
+            let mut verdict = outcome.verdict;
+            if let Verdict::Verified(stats) = &mut verdict {
+                stats.threads = threads;
+                self.stats.merge(stats);
             }
+            out.push((names[i].clone(), verdict));
         }
-        if failures.is_empty() {
-            Ok(out)
-        } else {
-            Err(VerifyError { failures })
-        }
+        out
     }
 
     /// Verifies one method.
@@ -336,9 +524,74 @@ impl<'a> Verifier<'a> {
     /// # Errors
     ///
     /// Returns the failed obligations; an unknown or bodyless (abstract)
-    /// method is reported as a structural failure, not a panic.
+    /// method is reported as a structural failure, not a panic. Budget
+    /// exhaustion surfaces as a synthesized `Answer::Unknown`
+    /// obligation (see [`Verifier::verify_method_verdict`] for the
+    /// structured view).
     pub fn verify_method(&mut self, name: &str) -> Result<VerifyStats, VerifyError> {
+        self.verify_method_inner(name).0
+    }
+
+    /// Verifies one method and reports the three-valued [`Verdict`].
+    ///
+    /// Budget exhaustion and out-of-fragment solver answers yield
+    /// [`Verdict::Unknown`]; definite violations yield
+    /// [`Verdict::Failed`]. (Panic containment lives one level up, in
+    /// [`Verifier::verify_all_verdicts`], because it requires an
+    /// isolated per-method verifier to discard.)
+    pub fn verify_method_verdict(&mut self, name: &str) -> Verdict {
+        let (result, exhausted) = self.verify_method_inner(name);
+        classify(result, exhausted)
+    }
+
+    /// The shared engine behind [`Verifier::verify_method`] and
+    /// [`Verifier::verify_method_verdict`]: runs the method under the
+    /// configured budget and fault plan, returning the classical result
+    /// plus the budget-exhaustion reason, if any.
+    fn verify_method_inner(
+        &mut self,
+        name: &str,
+    ) -> (
+        Result<VerifyStats, VerifyError>,
+        Option<(BudgetAxis, String)>,
+    ) {
         let started = Instant::now();
+        // Install the per-method budget: refuel the solver, (re)anchor
+        // the deadline and the state/term baselines.
+        self.method_started = started;
+        self.method_states_base = self.stats.states;
+        self.exhausted = None;
+        self.solver.fuel = self.config.budget.solver_fuel;
+        self.solver.fuel_exhausted = false;
+        self.arena.set_limit(self.config.budget.max_terms.map(|m| {
+            self.arena
+                .len()
+                .saturating_add(usize::try_from(m).unwrap_or(usize::MAX))
+        }));
+        // Install the method's injected faults (chaos harness).
+        self.solver.unknown_after = None;
+        self.fault_exhaust = None;
+        self.fault_panic_at_state = None;
+        let faults: Vec<FaultKind> = self.config.faults.for_method(name).collect();
+        for kind in faults {
+            match kind {
+                FaultKind::SolverUnknownAfter(n) => {
+                    self.solver.unknown_after = Some(self.solver.queries + n);
+                }
+                FaultKind::ExhaustBudget(axis) => self.fault_exhaust = Some(axis),
+                FaultKind::PanicAtState(n) => self.fault_panic_at_state = Some(n),
+            }
+        }
+        let outcome = self.verify_method_body(name, started);
+        let exhausted = self.exhausted.take();
+        (outcome, exhausted)
+    }
+
+    fn verify_method_body(
+        &mut self,
+        name: &str,
+        started: Instant,
+    ) -> Result<VerifyStats, VerifyError> {
         let Some(method) = self.program.method(name).cloned() else {
             let failure = self.oblige_failure(format!("cannot verify unknown method {}", name));
             return Err(VerifyError {
@@ -397,6 +650,17 @@ impl<'a> Verifier<'a> {
             let _ = self.consume(s, &method.ensures, "postcondition");
         }
 
+        // Fold any budget exhaustion into the obligation trail *before*
+        // collecting failures: a truncated run prunes states, so an
+        // empty failure list must not read as success.
+        self.budget_ok();
+        if let Some((axis, detail)) = self.exhausted.clone() {
+            self.obligations.push(Obligation {
+                description: format!("budget exhausted ({}) verifying {}: {}", axis, name, detail),
+                outcome: Answer::Unknown,
+            });
+        }
+
         let failed: Vec<Obligation> = self.obligations[before_obligations..]
             .iter()
             .filter(|o| o.outcome != Answer::Valid)
@@ -414,6 +678,7 @@ impl<'a> Verifier<'a> {
             witnesses: self.stats.witnesses - stats_base.witnesses,
             rebinds: self.stats.rebinds - stats_base.rebinds,
             states: self.stats.states - stats_base.states,
+            budget_exhausted: 0,
             wall_nanos: 0,
             threads: 1,
         };
@@ -430,6 +695,57 @@ impl<'a> Verifier<'a> {
     /// All obligations recorded so far.
     pub fn obligations(&self) -> &[Obligation] {
         &self.obligations
+    }
+
+    /// Cooperative budget check, consulted at the symbolic-execution
+    /// loop sites. Returns `false` — recording the reason once — when
+    /// any axis of the configured [`Budget`] (or an injected
+    /// `ExhaustBudget` fault) has tripped; execution then prunes to the
+    /// empty state set and the method's verdict degrades to a
+    /// deterministic [`Verdict::Unknown`]. Under the default unlimited
+    /// budget every check is a no-op.
+    fn budget_ok(&mut self) -> bool {
+        if self.exhausted.is_some() {
+            return false;
+        }
+        if let Some(axis) = self.fault_exhaust.take() {
+            self.exhausted = Some((axis, "injected fault".to_string()));
+            return false;
+        }
+        if self.solver.fuel_exhausted {
+            let limit = self.config.budget.solver_fuel.unwrap_or(0);
+            self.exhausted = Some((
+                BudgetAxis::SolverFuel,
+                format!("DPLL branch fuel of {} ran out", limit),
+            ));
+            return false;
+        }
+        if let Some(max) = self.config.budget.max_states {
+            let used = (self.stats.states - self.method_states_base) as u64;
+            if used > max {
+                self.exhausted =
+                    Some((BudgetAxis::States, format!("state cap of {} exceeded", max)));
+                return false;
+            }
+        }
+        if self.arena.over_limit() {
+            let limit = self.config.budget.max_terms.unwrap_or(0);
+            self.exhausted = Some((
+                BudgetAxis::Terms,
+                format!("interned-term cap of {} exceeded", limit),
+            ));
+            return false;
+        }
+        if let Some(ms) = self.config.budget.deadline_ms {
+            if self.method_started.elapsed() >= Duration::from_millis(ms) {
+                self.exhausted = Some((
+                    BudgetAxis::Deadline,
+                    format!("deadline of {} ms elapsed", ms),
+                ));
+                return false;
+            }
+        }
+        true
     }
 
     fn fresh(&mut self, ty: Type) -> Sym {
@@ -653,6 +969,9 @@ impl<'a> Verifier<'a> {
     // ---- produce (inhale) / consume (exhale, assert) ----
 
     fn produce(&mut self, mut state: State, a: &Assertion) -> Vec<State> {
+        if !self.budget_ok() {
+            return Vec::new();
+        }
         match a {
             Assertion::Expr(e) => {
                 let v = self.eval(&mut state, e, true);
@@ -737,6 +1056,9 @@ impl<'a> Verifier<'a> {
         a: &Assertion,
         ctx: &str,
     ) -> Vec<State> {
+        if !self.budget_ok() {
+            return Vec::new();
+        }
         match a {
             Assertion::Expr(e) => {
                 if self.backend == Backend::StableBaseline && e.reads_heap() {
@@ -803,6 +1125,9 @@ impl<'a> Verifier<'a> {
     fn exec_block(&mut self, state: State, stmts: &[Stmt]) -> Vec<State> {
         let mut states = vec![state];
         for s in stmts {
+            if self.exhausted.is_some() {
+                return Vec::new();
+            }
             let mut next = Vec::new();
             for st in states {
                 next.extend(self.exec_stmt(st, s));
@@ -814,6 +1139,14 @@ impl<'a> Verifier<'a> {
 
     fn exec_stmt(&mut self, mut state: State, s: &Stmt) -> Vec<State> {
         self.stats.states += 1;
+        if let Some(n) = self.fault_panic_at_state {
+            if self.stats.states - self.method_states_base == n {
+                panic!("injected fault: panic at execution state {}", n);
+            }
+        }
+        if !self.budget_ok() {
+            return Vec::new();
+        }
         match s {
             Stmt::VarDecl(x, ty, e) => {
                 let v = self.eval(&mut state, e, false);
@@ -1038,17 +1371,110 @@ impl<'a> Verifier<'a> {
 /// Verifies one method in a verifier of its own — fresh arena, solver,
 /// and symbol supply — so outcomes and statistics do not depend on
 /// which worker (or how many) ran it.
+///
+/// The whole unit runs behind `catch_unwind`: a panic (an internal
+/// verifier error, injected or real) degrades *this* method to
+/// [`Verdict::CrashedInternal`] and cannot take down the sibling
+/// methods or the fan-out. A budget-exhausted `Unknown` is retried
+/// once with an escalated ([`Budget::escalated`]) budget when
+/// [`VerifierConfig::retry_unknown`] is set.
 fn run_isolated(
     program: &Program,
     backend: Backend,
-    config: VerifierConfig,
+    config: &VerifierConfig,
     name: &str,
 ) -> MethodOutcome {
-    let mut v = Verifier::with_config(program, backend, config);
-    let result = v.verify_method(name);
-    MethodOutcome {
-        result,
-        obligations: v.obligations,
+    let attempt = |cfg: VerifierConfig| -> MethodOutcome {
+        match catch_unwind(AssertUnwindSafe(|| {
+            let mut v = Verifier::with_config(program, backend, cfg);
+            let verdict = v.verify_method_verdict(name);
+            (verdict, v.obligations)
+        })) {
+            Ok((verdict, obligations)) => MethodOutcome {
+                verdict,
+                obligations,
+            },
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                let obligations = vec![crash_obligation(name, &message)];
+                MethodOutcome {
+                    verdict: Verdict::CrashedInternal { message },
+                    obligations,
+                }
+            }
+        }
+    };
+
+    let first = attempt(config.clone());
+    let retry = config.retry_unknown
+        && !config.budget.is_unlimited()
+        && first.verdict.is_budget_exhausted();
+    if !retry {
+        return first;
+    }
+    let mut escalated = config.clone();
+    escalated.budget = escalated.budget.escalated();
+    let mut second = attempt(escalated);
+    if let Verdict::Verified(stats) = &mut second.verdict {
+        stats.budget_exhausted += 1;
+    }
+    second
+}
+
+/// Classifies a method run — the classical result plus the
+/// budget-exhaustion reason — into a [`Verdict`]. Exhaustion dominates
+/// (a truncated run proves nothing either way); then a definitely
+/// violated obligation means `Failed`; then any `Unknown` obligation
+/// means the goal left the solver's fragment.
+fn classify(
+    result: Result<VerifyStats, VerifyError>,
+    exhausted: Option<(BudgetAxis, String)>,
+) -> Verdict {
+    if let Some((axis, detail)) = exhausted {
+        let failures = result.err().map(|e| e.failures).unwrap_or_default();
+        return Verdict::Unknown {
+            reason: UnknownReason::BudgetExhausted { axis, detail },
+            failures,
+        };
+    }
+    match result {
+        Ok(stats) => Verdict::Verified(stats),
+        Err(e) => {
+            if e.failures.iter().any(|o| o.outcome == Answer::Invalid) {
+                Verdict::Failed {
+                    failures: e.failures,
+                }
+            } else {
+                let detail = format!(
+                    "{} obligation(s) outside the solver fragment",
+                    e.failures.len()
+                );
+                Verdict::Unknown {
+                    reason: UnknownReason::OutOfFragment { detail },
+                    failures: e.failures,
+                }
+            }
+        }
+    }
+}
+
+/// The obligation recorded (and reported through [`VerifyError`]) for
+/// a method whose verifier panicked.
+fn crash_obligation(name: &str, message: &str) -> Obligation {
+    Obligation {
+        description: format!("internal error verifying {}: {}", name, message),
+        outcome: Answer::Invalid,
+    }
+}
+
+/// Best-effort rendering of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1373,7 +1799,7 @@ mod tests {
                 Backend::Destabilized,
                 VerifierConfig {
                     threads,
-                    cache: true,
+                    ..VerifierConfig::default()
                 },
             );
             let stats = v.verify_all().unwrap();
@@ -1387,5 +1813,102 @@ mod tests {
         let one = run(1);
         assert_eq!(one, run(2));
         assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn failing_method_gets_a_failed_verdict() {
+        let src = r#"
+            field val: Int
+            method bad(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1
+            { c.val := 2 }
+        "#;
+        let p = parse_program(src).unwrap();
+        let mut v = Verifier::new(&p, Backend::Destabilized);
+        match v.verify_method_verdict("bad") {
+            Verdict::Failed { failures } => assert!(!failures.is_empty()),
+            other => panic!("expected Failed, got {}", other),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_dominates_a_would_be_failure() {
+        // Under an exhausted budget the pipeline prunes states, so a
+        // failing method must report Unknown (inconclusive), never a
+        // possibly-spurious Failed or Verified.
+        let src = r#"
+            field val: Int
+            method bad(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1
+            { c.val := 2 }
+        "#;
+        let p = parse_program(src).unwrap();
+        // A zero-state budget trips on the first statement, before the
+        // failing postcondition is ever consumed.
+        let config = VerifierConfig {
+            budget: Budget::unlimited().with_max_states(0),
+            retry_unknown: false,
+            ..VerifierConfig::default()
+        };
+        let mut v = Verifier::with_config(&p, Backend::Destabilized, config);
+        match v.verify_method_verdict("bad") {
+            Verdict::Unknown {
+                reason: UnknownReason::BudgetExhausted { axis, .. },
+                ..
+            } => assert_eq!(axis, crate::budget::BudgetAxis::States),
+            other => panic!("expected budget Unknown, got {}", other),
+        }
+    }
+
+    #[test]
+    fn verdicts_render_for_humans() {
+        let verified = Verdict::Verified(VerifyStats::default());
+        assert_eq!(verified.to_string(), "verified");
+        let failed = Verdict::Failed { failures: vec![] };
+        assert!(failed.to_string().starts_with("failed"));
+        let unknown = Verdict::Unknown {
+            reason: UnknownReason::OutOfFragment {
+                detail: "1 obligation".to_string(),
+            },
+            failures: vec![],
+        };
+        assert!(unknown.to_string().contains("out of fragment"));
+        let crash = Verdict::CrashedInternal {
+            message: "boom".to_string(),
+        };
+        assert!(crash.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn budgets_do_not_leak_across_methods() {
+        // The fuel spent by one method must not starve the next: the
+        // budget is per-method, reinstalled at each entry.
+        let src = r#"
+            field val: Int
+            method a(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1
+            { c.val := 1 }
+            method b(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 2
+            { c.val := 2 }
+        "#;
+        let p = parse_program(src).unwrap();
+        let need = {
+            let mut v = Verifier::new(&p, Backend::Destabilized);
+            match v.verify_method_verdict("a") {
+                Verdict::Verified(s) => s.solver_branches as u64,
+                other => panic!("expected Verified, got {}", other),
+            }
+        };
+        // Enough fuel for one method but not for two, were it shared.
+        let config = VerifierConfig {
+            budget: Budget::unlimited().with_solver_fuel(need + need / 2),
+            retry_unknown: false,
+            ..VerifierConfig::default()
+        };
+        let mut v = Verifier::with_config(&p, Backend::Destabilized, config);
+        let verdicts = v.verify_all_verdicts();
+        assert!(verdicts["a"].is_verified());
+        assert!(
+            verdicts["b"].is_verified(),
+            "b was starved: {}",
+            verdicts["b"]
+        );
     }
 }

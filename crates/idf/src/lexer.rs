@@ -142,11 +142,23 @@ fn keyword(s: &str) -> Option<Kw> {
 ///
 /// Returns [`LexError`] on unknown characters or malformed literals.
 pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    Ok(lex_spanned(src)?.into_iter().map(|(t, _)| t).collect())
+}
+
+/// Tokenizes IDF source keeping each token's starting byte offset —
+/// the spans that let the parser report source positions (line and
+/// column) in its diagnostics.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unknown characters or malformed literals.
+pub fn lex_spanned(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
     let b = src.as_bytes();
     let mut i = 0;
     let mut out = Vec::new();
     while i < b.len() {
         let c = b[i] as char;
+        let tok_start = i;
         match c {
             c if c.is_whitespace() => i += 1,
             '/' if b.get(i + 1) == Some(&b'/') => {
@@ -172,99 +184,99 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                 }
             }
             '(' => {
-                out.push(Tok::Sym(Sy::LParen));
+                out.push((Tok::Sym(Sy::LParen), tok_start));
                 i += 1;
             }
             ')' => {
-                out.push(Tok::Sym(Sy::RParen));
+                out.push((Tok::Sym(Sy::RParen), tok_start));
                 i += 1;
             }
             '{' => {
-                out.push(Tok::Sym(Sy::LBrace));
+                out.push((Tok::Sym(Sy::LBrace), tok_start));
                 i += 1;
             }
             '}' => {
-                out.push(Tok::Sym(Sy::RBrace));
+                out.push((Tok::Sym(Sy::RBrace), tok_start));
                 i += 1;
             }
             ',' => {
-                out.push(Tok::Sym(Sy::Comma));
+                out.push((Tok::Sym(Sy::Comma), tok_start));
                 i += 1;
             }
             ';' => {
-                out.push(Tok::Sym(Sy::Semi));
+                out.push((Tok::Sym(Sy::Semi), tok_start));
                 i += 1;
             }
             '.' => {
-                out.push(Tok::Sym(Sy::Dot));
+                out.push((Tok::Sym(Sy::Dot), tok_start));
                 i += 1;
             }
             '?' => {
-                out.push(Tok::Sym(Sy::Question));
+                out.push((Tok::Sym(Sy::Question), tok_start));
                 i += 1;
             }
             ':' if b.get(i + 1) == Some(&b'=') => {
-                out.push(Tok::Sym(Sy::Assign));
+                out.push((Tok::Sym(Sy::Assign), tok_start));
                 i += 2;
             }
             ':' => {
-                out.push(Tok::Sym(Sy::Colon));
+                out.push((Tok::Sym(Sy::Colon), tok_start));
                 i += 1;
             }
             '=' if b.get(i + 1) == Some(&b'=') && b.get(i + 2) == Some(&b'>') => {
-                out.push(Tok::Sym(Sy::Implies));
+                out.push((Tok::Sym(Sy::Implies), tok_start));
                 i += 3;
             }
             '=' if b.get(i + 1) == Some(&b'=') => {
-                out.push(Tok::Sym(Sy::EqEq));
+                out.push((Tok::Sym(Sy::EqEq), tok_start));
                 i += 2;
             }
             '!' if b.get(i + 1) == Some(&b'=') => {
-                out.push(Tok::Sym(Sy::Ne));
+                out.push((Tok::Sym(Sy::Ne), tok_start));
                 i += 2;
             }
             '!' => {
-                out.push(Tok::Sym(Sy::Bang));
+                out.push((Tok::Sym(Sy::Bang), tok_start));
                 i += 1;
             }
             '<' if b.get(i + 1) == Some(&b'=') => {
-                out.push(Tok::Sym(Sy::Le));
+                out.push((Tok::Sym(Sy::Le), tok_start));
                 i += 2;
             }
             '<' => {
-                out.push(Tok::Sym(Sy::Lt));
+                out.push((Tok::Sym(Sy::Lt), tok_start));
                 i += 1;
             }
             '>' if b.get(i + 1) == Some(&b'=') => {
-                out.push(Tok::Sym(Sy::Ge));
+                out.push((Tok::Sym(Sy::Ge), tok_start));
                 i += 2;
             }
             '>' => {
-                out.push(Tok::Sym(Sy::Gt));
+                out.push((Tok::Sym(Sy::Gt), tok_start));
                 i += 1;
             }
             '+' => {
-                out.push(Tok::Sym(Sy::Plus));
+                out.push((Tok::Sym(Sy::Plus), tok_start));
                 i += 1;
             }
             '-' => {
-                out.push(Tok::Sym(Sy::Minus));
+                out.push((Tok::Sym(Sy::Minus), tok_start));
                 i += 1;
             }
             '*' => {
-                out.push(Tok::Sym(Sy::Star));
+                out.push((Tok::Sym(Sy::Star), tok_start));
                 i += 1;
             }
             '/' => {
-                out.push(Tok::Sym(Sy::Slash));
+                out.push((Tok::Sym(Sy::Slash), tok_start));
                 i += 1;
             }
             '&' if b.get(i + 1) == Some(&b'&') => {
-                out.push(Tok::Sym(Sy::AndAnd));
+                out.push((Tok::Sym(Sy::AndAnd), tok_start));
                 i += 2;
             }
             '|' if b.get(i + 1) == Some(&b'|') => {
-                out.push(Tok::Sym(Sy::OrOr));
+                out.push((Tok::Sym(Sy::OrOr), tok_start));
                 i += 2;
             }
             c if c.is_ascii_digit() => {
@@ -276,7 +288,7 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                     pos: start,
                     message: "integer literal out of range".into(),
                 })?;
-                out.push(Tok::Int(n));
+                out.push((Tok::Int(n), tok_start));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -290,8 +302,8 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                 }
                 let text = &src[start..i];
                 match keyword(text) {
-                    Some(k) => out.push(Tok::Kw(k)),
-                    None => out.push(Tok::Ident(text.to_string())),
+                    Some(k) => out.push((Tok::Kw(k), tok_start)),
+                    None => out.push((Tok::Ident(text.to_string()), tok_start)),
                 }
             }
             other => {

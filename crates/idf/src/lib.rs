@@ -6,6 +6,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ast;
+pub mod budget;
 pub mod cases;
 pub mod compile;
 pub mod exec;
@@ -18,13 +19,20 @@ pub mod translate;
 pub mod wf;
 
 pub use ast::{Assertion, Expr, Method, Op, Program, Stmt, Type};
-pub use cases::{all_cases, chain_program, negative_cases, positive_cases, scaling_program, Case};
+pub use budget::{Budget, BudgetAxis, Fault, FaultKind, FaultPlan};
+pub use cases::{
+    all_cases, chain_program, diverging_program, negative_cases, positive_cases, scaling_program,
+    Case,
+};
 pub use compile::{
     alloc_object, compile_method, compile_program, run_and_check, spec_holds, ConcreteError,
     ConcreteObj, ConcreteVal,
 };
-pub use exec::{Backend, Chunk, Obligation, Verifier, VerifierConfig, VerifyError, VerifyStats};
-pub use parser::{parse_assertion, parse_program, ParseError};
+pub use exec::{
+    Backend, Chunk, Obligation, UnknownReason, Verdict, Verifier, VerifierConfig, VerifyError,
+    VerifyStats,
+};
+pub use parser::{parse_assertion, parse_program, parse_program_with_recovery, ParseError};
 pub use smt::{Answer, Solver};
 pub use sym::{Sort, Sym, SymExpr, SymSupply, Term, TermArena, TermId};
 pub use translate::{

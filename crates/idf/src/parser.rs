@@ -21,22 +21,49 @@
 //! ```
 
 use crate::ast::{Assertion, Expr, Method, Op, Program, Stmt, Type};
-use crate::lexer::{lex, Kw, LexError, Sy, Tok};
+use crate::lexer::{lex_spanned, Kw, LexError, Sy, Tok};
 use daenerys_algebra::Q;
 use std::fmt;
 
-/// A parse error.
+/// A parse error, carrying both the token index and the source
+/// position (1-based line/column) it was raised at.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
     /// Token index.
     pub at: usize,
+    /// 1-based source line (0 when unknown).
+    pub line: usize,
+    /// 1-based source column (0 when unknown).
+    pub col: usize,
     /// Description.
     pub message: String,
 }
 
+impl ParseError {
+    /// Wraps a lexer error, resolving its byte position to a
+    /// line/column pair against `src`.
+    pub fn from_lex(e: LexError, src: &str) -> ParseError {
+        let (line, col) = line_col_of_byte(src, e.pos);
+        ParseError {
+            at: 0,
+            line,
+            col,
+            message: e.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at token {}: {}", self.at, self.message)
+        if self.line > 0 {
+            write!(
+                f,
+                "parse error at {}:{}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(f, "parse error at token {}: {}", self.at, self.message)
+        }
     }
 }
 
@@ -46,33 +73,76 @@ impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
         ParseError {
             at: 0,
+            line: 0,
+            col: 0,
             message: e.to_string(),
         }
     }
 }
 
-/// Parses a full IDF program.
+/// Resolves a byte offset in `src` to a 1-based (line, column) pair.
+fn line_col_of_byte(src: &str, pos: usize) -> (usize, usize) {
+    let pos = pos.min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for &b in &src.as_bytes()[..pos] {
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// Parses a full IDF program, stopping at the first syntax error.
 ///
 /// # Errors
 ///
-/// Returns [`ParseError`] on syntax errors.
+/// Returns [`ParseError`] on syntax errors. Use
+/// [`parse_program_with_recovery`] to collect every diagnostic in one
+/// pass instead of stopping at the first.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
-    let tokens = lex(src)?;
-    let mut p = P { toks: tokens, i: 0 };
+    parse_program_with_recovery(src).map_err(|mut errs| errs.remove(0))
+}
+
+/// Parses a full IDF program with error recovery: on a syntax error
+/// (including one inside a method body) the parser records a
+/// diagnostic, skips to the next top-level `field`/`method`
+/// declaration, and keeps going — so one malformed declaration yields
+/// one positioned diagnostic instead of hiding everything after it.
+///
+/// # Errors
+///
+/// Returns every diagnostic collected, in source order (the list is
+/// never empty on `Err`). A program that parses cleanly is returned
+/// whole; the recovered partial program is discarded on error.
+pub fn parse_program_with_recovery(src: &str) -> Result<Program, Vec<ParseError>> {
+    let mut p = match P::new(src) {
+        Ok(p) => p,
+        Err(e) => return Err(vec![e]),
+    };
     let mut prog = Program::default();
+    let mut errors = Vec::new();
     while p.i < p.toks.len() {
-        if p.eat_kw(Kw::Field) {
-            let name = p.ident()?;
-            p.expect_sym(Sy::Colon)?;
-            let ty = p.ty()?;
-            prog.fields.push((name, ty));
+        let item = if p.eat_kw(Kw::Field) {
+            p.field_rest().map(|f| prog.fields.push(f))
         } else if p.peek_kw(Kw::Method) {
-            prog.methods.push(p.method()?);
+            p.method().map(|m| prog.methods.push(m))
         } else {
-            return Err(p.err("expected `field` or `method`"));
+            Err(p.err("expected `field` or `method`"))
+        };
+        if let Err(e) = item {
+            errors.push(e);
+            p.recover_to_item();
         }
     }
-    Ok(prog)
+    if errors.is_empty() {
+        Ok(prog)
+    } else {
+        Err(errors)
+    }
 }
 
 /// Parses a single assertion (handy for tests and the harness).
@@ -81,8 +151,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 ///
 /// Returns [`ParseError`] on syntax errors or trailing input.
 pub fn parse_assertion(src: &str) -> Result<Assertion, ParseError> {
-    let tokens = lex(src)?;
-    let mut p = P { toks: tokens, i: 0 };
+    let mut p = P::new(src)?;
     let a = p.assertion()?;
     if p.i != p.toks.len() {
         return Err(p.err("trailing input"));
@@ -92,14 +161,64 @@ pub fn parse_assertion(src: &str) -> Result<Assertion, ParseError> {
 
 struct P {
     toks: Vec<Tok>,
+    /// Starting byte offset of each token (parallel to `toks`).
+    spans: Vec<usize>,
     i: usize,
+    /// Byte offset where each source line starts (index 0 = line 1).
+    line_starts: Vec<usize>,
+    src_len: usize,
 }
 
 impl P {
+    fn new(src: &str) -> Result<P, ParseError> {
+        let spanned = lex_spanned(src).map_err(|e| ParseError::from_lex(e, src))?;
+        let mut line_starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let (toks, spans) = spanned.into_iter().unzip();
+        Ok(P {
+            toks,
+            spans,
+            i: 0,
+            line_starts,
+            src_len: src.len(),
+        })
+    }
+
     fn err(&self, m: impl Into<String>) -> ParseError {
+        let pos = self.spans.get(self.i).copied().unwrap_or(self.src_len);
+        // The number of line starts at or before `pos` is the 1-based
+        // line; the column is the offset into that line.
+        let line = self.line_starts.partition_point(|&s| s <= pos);
+        let col = pos - self.line_starts[line - 1] + 1;
         ParseError {
             at: self.i,
+            line,
+            col,
             message: format!("{} (found {:?})", m.into(), self.toks.get(self.i)),
+        }
+    }
+
+    /// The tail of a `field` declaration (the keyword already eaten).
+    fn field_rest(&mut self) -> Result<(String, Type), ParseError> {
+        let name = self.ident()?;
+        self.expect_sym(Sy::Colon)?;
+        let ty = self.ty()?;
+        Ok((name, ty))
+    }
+
+    /// Error recovery: skip past the offending token, then forward to
+    /// the next top-level `field`/`method` keyword (or end of input).
+    fn recover_to_item(&mut self) {
+        self.i += 1;
+        while let Some(t) = self.peek() {
+            if matches!(t, Tok::Kw(Kw::Field) | Tok::Kw(Kw::Method)) {
+                return;
+            }
+            self.i += 1;
         }
     }
 
@@ -713,5 +832,61 @@ mod tests {
         assert!(parse_program("field x").is_err());
         assert!(parse_assertion("acc(x)").is_err());
         assert!(parse_assertion("1 +").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let src = "field val: Int\nmethod m(c: Ref) {\n  c.val := := 1\n}";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(err.line, 3, "error is on the third line: {}", err);
+        assert!(err.col > 1, "column points into the line: {}", err);
+        assert!(err.to_string().contains("parse error at 3:"));
+    }
+
+    #[test]
+    fn lex_errors_carry_line_and_column_too() {
+        let err = parse_program("field val: Int\nmethod m() { § }").unwrap_err();
+        assert_eq!(err.line, 2, "lex error is on the second line: {}", err);
+        assert!(err.to_string().contains("parse error at 2:"));
+    }
+
+    #[test]
+    fn recovery_reports_multiple_diagnostics() {
+        // Two broken method bodies and one good method: recovery skips
+        // to the next top-level declaration after each error, so both
+        // errors are reported and the good method still parses alone.
+        let src = "field val: Int
+method bad1(c: Ref) { c.val := := 1 }
+method good(c: Ref) requires acc(c.val) ensures acc(c.val) { c.val := 0 }
+method bad2(c: Ref) { assert }";
+        let errs = parse_program_with_recovery(src).unwrap_err();
+        assert_eq!(errs.len(), 2, "got: {:?}", errs);
+        assert_eq!(errs[0].line, 2);
+        assert_eq!(errs[1].line, 4);
+        // The eager entry point keeps its first-error behavior.
+        let first = parse_program(src).unwrap_err();
+        assert_eq!(first, errs[0]);
+    }
+
+    #[test]
+    fn recovery_returns_the_surviving_declarations() {
+        let src = "field val: Int
+method bad(c: Ref) { c.val := := 1 }
+method good(c: Ref) requires acc(c.val) ensures acc(c.val) { c.val := 0 }";
+        // A caller that tolerates diagnostics can still see the good
+        // method by re-parsing without the bad one; the recovery API
+        // itself reports errors rather than a partial AST.
+        assert!(parse_program_with_recovery(src).is_err());
+        let good_only = "field val: Int
+method good(c: Ref) requires acc(c.val) ensures acc(c.val) { c.val := 0 }";
+        let p = parse_program_with_recovery(good_only).unwrap();
+        assert!(p.method("good").is_some());
+    }
+
+    #[test]
+    fn recovery_survives_error_in_last_declaration() {
+        let errs = parse_program_with_recovery("field val: Int\nmethod m(c: Ref) {").unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].line >= 1);
     }
 }

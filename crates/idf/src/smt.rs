@@ -185,6 +185,18 @@ pub struct Solver {
     pub theory_hits: usize,
     /// Theory-cache misses.
     pub theory_misses: usize,
+    /// Remaining DPLL-branch fuel; `None` means unlimited. Each `dpll`
+    /// entry consumes one unit; at zero the solver answers `Unknown`
+    /// instead of searching further (cooperative budget exhaustion).
+    pub fuel: Option<u64>,
+    /// Sticky flag: set once any query was truncated by fuel
+    /// exhaustion. Truncated answers are never cached (the caches must
+    /// change cost, never answers).
+    pub fuel_exhausted: bool,
+    /// Fault injection: degrade every answer to `Answer::Unknown` once
+    /// `queries` exceeds this count. Injected answers bypass the caches
+    /// entirely.
+    pub unknown_after: Option<usize>,
     query_cache: HashMap<(Vec<TermId>, TermId), Answer>,
     theory_cache: HashMap<Vec<(Atom, bool)>, SatAnswer>,
 }
@@ -200,6 +212,9 @@ impl Default for Solver {
             cache_misses: 0,
             theory_hits: 0,
             theory_misses: 0,
+            fuel: None,
+            fuel_exhausted: false,
+            unknown_after: None,
             query_cache: HashMap::new(),
             theory_cache: HashMap::new(),
         }
@@ -225,6 +240,11 @@ impl Solver {
     /// one canonical answer.
     pub fn entails(&mut self, arena: &mut TermArena, pc: &[TermId], goal: TermId) -> Answer {
         self.queries += 1;
+        // Fault injection: past the threshold, every answer degrades to
+        // Unknown without consulting or filling the caches.
+        if self.unknown_after.is_some_and(|n| self.queries > n) {
+            return Answer::Unknown;
+        }
         let mut key: Vec<TermId> = pc.to_vec();
         key.sort_unstable();
         key.dedup();
@@ -244,7 +264,11 @@ impl Solver {
             SatAnswer::Sat => Answer::Invalid,
             SatAnswer::Unknown => Answer::Unknown,
         };
-        if self.cache_enabled {
+        // A fuel-truncated answer reflects the budget, not the formula;
+        // caching it would let a later (differently budgeted) run read
+        // it back as the formula's answer. Once fuel is exhausted every
+        // subsequent answer is suspect, so caching stops entirely.
+        if self.cache_enabled && !self.fuel_exhausted {
             self.query_cache.insert((key, goal), answer);
         }
         answer
@@ -452,6 +476,14 @@ impl Solver {
         atoms: &[Atom],
         assignment: &mut Vec<Option<bool>>,
     ) -> SatAnswer {
+        match self.fuel {
+            Some(0) => {
+                self.fuel_exhausted = true;
+                return SatAnswer::Unknown;
+            }
+            Some(f) => self.fuel = Some(f - 1),
+            None => {}
+        }
         self.branches += 1;
         match simplify(skeleton, assignment) {
             BForm::False => SatAnswer::Unsat,

@@ -299,6 +299,11 @@ macro_rules! bin {
 pub struct TermArena {
     nodes: Vec<Term>,
     index: HashMap<Term, TermId>,
+    /// Soft interned-term budget: interning never fails (terms created
+    /// past the limit are still valid), but [`TermArena::over_limit`]
+    /// reports the overrun so the verifier's cooperative budget checks
+    /// can prune the run.
+    limit: Option<usize>,
 }
 
 impl TermArena {
@@ -315,6 +320,18 @@ impl TermArena {
     /// Whether no terms have been interned.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Sets (or clears) the soft interned-term budget. The limit is a
+    /// cooperative signal, not a hard stop: [`TermArena::over_limit`]
+    /// turns true once `len()` exceeds it.
+    pub fn set_limit(&mut self, limit: Option<usize>) {
+        self.limit = limit;
+    }
+
+    /// True when the arena has grown past its soft budget.
+    pub fn over_limit(&self) -> bool {
+        self.limit.is_some_and(|l| self.nodes.len() > l)
     }
 
     /// The node a [`TermId`] denotes.

@@ -286,13 +286,18 @@ pub fn env_of(args: &[(&str, ConcreteVal)]) -> TEnv {
 
 /// Returns the object bound to `x` in the environment.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the variable is unbound or not an object (test helper).
-pub fn obj_of(env: &TEnv, x: &str) -> ConcreteObj {
+/// Returns a [`TranslateError`] when the variable is unbound or not an
+/// object.
+pub fn obj_of(env: &TEnv, x: &str) -> Result<ConcreteObj, TranslateError> {
     match env.get(x) {
-        Some(ConcreteVal::Obj(o)) => o.clone(),
-        other => panic!("{} is not an object: {:?}", x, other),
+        Some(ConcreteVal::Obj(o)) => Ok(o.clone()),
+        Some(other) => Err(TranslateError(format!(
+            "variable {} is not an object: {:?}",
+            x, other
+        ))),
+        None => Err(TranslateError(format!("variable {} is unbound", x))),
     }
 }
 
@@ -368,7 +373,7 @@ mod tests {
             )),
         );
         let p = translate_assertion(&prog, &env, &pre).unwrap();
-        let obj = obj_of(&env, "c");
+        let obj = obj_of(&env, "c").unwrap();
         let own = full_ownership(&heap, &[&obj]);
         let uni = UniverseSpec::tiny().build();
         let ctx = EvalCtx::new(&uni);

@@ -3,10 +3,31 @@
 
 use daenerys_algebra::Q;
 use daenerys_idf::{
-    parse_program, Assertion, Backend, Expr, Method, Op, Program, Solver, Sort, Stmt, Sym, SymExpr,
-    TermArena, Type, Verifier, VerifierConfig,
+    parse_program, Assertion, Backend, Budget, BudgetAxis, Expr, FaultKind, FaultPlan, Method, Op,
+    Program, Solver, Sort, Stmt, Sym, SymExpr, TermArena, Type, Verdict, Verifier, VerifierConfig,
 };
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Once;
+
+/// Quiets the default panic hook for injected-fault payloads so the
+/// chaos property below does not spray backtraces; real panics still
+/// print.
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected fault"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
 
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let var = prop_oneof![Just("a"), Just("b"), Just("n")].prop_map(Expr::var);
@@ -145,6 +166,48 @@ fn arb_formula() -> impl Strategy<Value = SymExpr> {
     })
 }
 
+/// An arbitrary fault aimed at the chaos target method.
+fn arb_fault_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        (0usize..8).prop_map(FaultKind::SolverUnknownAfter),
+        prop_oneof![
+            Just(BudgetAxis::Deadline),
+            Just(BudgetAxis::SolverFuel),
+            Just(BudgetAxis::States),
+            Just(BudgetAxis::Terms),
+        ]
+        .prop_map(FaultKind::ExhaustBudget),
+        (0usize..4).prop_map(FaultKind::PanicAtState),
+    ]
+}
+
+/// A fault plan of 1–3 faults, all aimed at method `b`.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    proptest::collection::vec(arb_fault_kind(), 1..4).prop_map(|kinds| {
+        let mut plan = FaultPlan::none();
+        for kind in kinds {
+            plan.push("b", kind);
+        }
+        plan
+    })
+}
+
+/// A per-method budget over the deterministic axes only (fuel, states,
+/// terms — never the wall clock), each axis possibly unlimited.
+fn arb_budget() -> impl Strategy<Value = Budget> {
+    (
+        proptest::option::of(1u64..64),
+        proptest::option::of(1u64..16),
+        proptest::option::of(1u64..256),
+    )
+        .prop_map(|(fuel, states, terms)| Budget {
+            deadline_ms: None,
+            solver_fuel: fuel,
+            max_states: states,
+            max_terms: terms,
+        })
+}
+
 /// A stream of entailment queries `(pc, goal)`.
 fn arb_query_stream() -> impl Strategy<Value = Vec<(Vec<SymExpr>, SymExpr)>> {
     proptest::collection::vec(
@@ -193,7 +256,11 @@ proptest! {
             let mut v = Verifier::with_config(
                 &p,
                 Backend::Destabilized,
-                VerifierConfig { threads: 1, cache },
+                VerifierConfig {
+                    threads: 1,
+                    cache,
+                    ..VerifierConfig::default()
+                },
             );
             let verdict = v.verify_all().map(|stats| {
                 stats
@@ -224,5 +291,55 @@ proptest! {
         let rd = Verifier::new(&p, Backend::Destabilized).verify_all().is_ok();
         let rb = Verifier::new(&p, Backend::StableBaseline).verify_all().is_ok();
         prop_assert_eq!(rd, rb, "backends disagree on:\n{}", p);
+    }
+
+    /// Chaos isolation: a random fault plan aimed at one method, under
+    /// a random finite budget, always terminates with a full verdict
+    /// map and never changes a sibling's verdict — at one worker or
+    /// many.
+    #[test]
+    fn fault_plans_never_change_sibling_verdicts(
+        plan in arb_fault_plan(),
+        budget in arb_budget(),
+        threads in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        quiet_injected_panics();
+        let program = parse_program(
+            "field val: Int
+             method a(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1
+             { c.val := 1 }
+             method b(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 2
+             { c.val := 1; c.val := c.val + 1 }
+             method c(c: Ref) requires acc(c.val) ensures acc(c.val)
+             { c.val := c.val + 0 }",
+        ).unwrap();
+        let run = |faults: FaultPlan, threads: usize| -> BTreeMap<String, Verdict> {
+            let mut v = Verifier::with_config(
+                &program,
+                Backend::Destabilized,
+                VerifierConfig {
+                    threads,
+                    budget,
+                    faults,
+                    retry_unknown: false,
+                    ..VerifierConfig::default()
+                },
+            );
+            v.verify_all_verdicts()
+                .into_iter()
+                .map(|(name, verdict)| (name, verdict.normalized()))
+                .collect()
+        };
+        let clean = run(FaultPlan::none(), 1);
+        let faulted = run(plan.clone(), threads);
+        prop_assert_eq!(faulted.len(), 3, "verdict map incomplete under {:?}", &plan);
+        for sibling in ["a", "c"] {
+            prop_assert_eq!(
+                &faulted[sibling],
+                &clean[sibling],
+                "fault plan {:?} (budget {:?}, {} threads) leaked into sibling {}",
+                &plan, &budget, threads, sibling
+            );
+        }
     }
 }
