@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run -p daenerys-bench --bin tables [--t1] [--t2] [--t3] [--t4] \
 //!     [--f1] [--f2] [--f3] [--json] [--no-cache] [--threads N] \
-//!     [--timeout-ms N] [--fuel N]
+//!     [--timeout-ms N] [--fuel N] [--repeat N] [--trace-out PATH] \
+//!     [--profile]
 //! ```
 //!
 //! With no table/figure flags, every table and figure is printed.
@@ -17,18 +18,33 @@
 //!   `--fuel N` a per-method DPLL-branch budget; a method that blows
 //!   its budget is reported (and counted in the JSON) as `Unknown`
 //!   instead of hanging the harness.
+//! * `--repeat N` measures each timed row as the median of `N` runs
+//!   after one untimed warmup (default 5); `N` is recorded in the JSON
+//!   config block.
 //! * `--json` additionally writes `BENCH_verifier.json` (machine-readable
-//!   F1 data: per-case wall time, solver queries, and cache hit rate for
-//!   both backends, plus the cached-vs-uncached chain sweep).
+//!   F1 data: per-case wall time, phase attribution, solver queries,
+//!   and cache hit rate for both backends, plus the cached-vs-uncached
+//!   chain sweep).
+//! * `--trace-out PATH` streams the flight-recorder trace (spans,
+//!   solver queries, budget gauges) of every verification as JSONL to
+//!   `PATH`; validate it with the `trace_validate` binary.
+//! * `--profile` prints a phase-attribution profile of the positive
+//!   case studies and writes it to `PROFILE_verifier.txt`; given
+//!   alone, only the profile runs.
 
-use daenerys_bench::{micros, run_backend_with, BackendRun};
+use daenerys_bench::{
+    measure_median, micros, profile_events, render_profile, run_backend_with, BackendRun,
+    ProfileReport,
+};
 use daenerys_core::check::{catalog, corpus, ghost_catalog, verify_catalog};
 use daenerys_core::{check_stable, stabilize_fast, Assert, CameraKind, Term, UniverseSpec};
 use daenerys_heaplang::{explore, parse, Machine};
 use daenerys_idf::{chain_program, positive_cases, scaling_program, Backend, VerifierConfig};
+use daenerys_obs::{ClockKind, JsonlSink, MemorySink, TraceHandle};
+use std::sync::Arc;
 use std::time::Instant;
 
-const KNOWN_FLAGS: [&str; 12] = [
+const KNOWN_FLAGS: [&str; 15] = [
     "--t1",
     "--t2",
     "--t3",
@@ -41,12 +57,18 @@ const KNOWN_FLAGS: [&str; 12] = [
     "--threads",
     "--timeout-ms",
     "--fuel",
+    "--repeat",
+    "--trace-out",
+    "--profile",
 ];
 
 /// Parsed command line.
 struct Opts {
     selected: Vec<String>,
     json: bool,
+    profile: bool,
+    repeat: usize,
+    trace_out: Option<String>,
     config: VerifierConfig,
 }
 
@@ -55,6 +77,9 @@ fn parse_args() -> Opts {
     let mut opts = Opts {
         selected: Vec::new(),
         json: false,
+        profile: false,
+        repeat: 5,
+        trace_out: None,
         config: VerifierConfig::default(),
     };
     let mut i = 0;
@@ -62,7 +87,30 @@ fn parse_args() -> Opts {
         let a = args[i].as_str();
         match a {
             "--json" => opts.json = true,
+            "--profile" => opts.profile = true,
             "--no-cache" => opts.config.cache = false,
+            "--repeat" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => opts.repeat = n,
+                    _ => {
+                        eprintln!("tables: --repeat needs a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) if !path.starts_with("--") => {
+                        opts.trace_out = Some(path.clone());
+                    }
+                    _ => {
+                        eprintln!("tables: --trace-out needs a file path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--threads" => {
                 i += 1;
                 let n = args.get(i).and_then(|v| v.parse::<usize>().ok());
@@ -114,8 +162,20 @@ fn parse_args() -> Opts {
 }
 
 fn main() {
-    let opts = parse_args();
-    let all = opts.selected.is_empty();
+    let mut opts = parse_args();
+    if let Some(path) = &opts.trace_out {
+        let sink = match JsonlSink::create(std::path::Path::new(path)) {
+            Ok(sink) => Arc::new(sink),
+            Err(e) => {
+                eprintln!("tables: cannot open {}: {}", path, e);
+                std::process::exit(1);
+            }
+        };
+        opts.config.trace = TraceHandle::new(sink, ClockKind::Monotonic);
+    }
+    // `--profile` given alone runs only the profile; combined with
+    // table flags it rides along.
+    let all = opts.selected.is_empty() && !opts.profile;
     let want = |flag: &str| all || opts.selected.iter().any(|a| a == flag);
 
     if want("--t1") {
@@ -138,6 +198,50 @@ fn main() {
     }
     if want("--f3") {
         figure_f3();
+    }
+    if opts.profile {
+        run_profile(&opts);
+    }
+    if let Some(path) = &opts.trace_out {
+        opts.config.trace.flush();
+        println!("\n    wrote {}", path);
+    }
+}
+
+/// A traced single run of `src`, reduced to a phase-attribution
+/// profile. Overrides any `--trace-out` handle with a private
+/// in-memory sink so the profile never pollutes the JSONL stream.
+fn phase_profile(src: &str, backend: Backend, base: &VerifierConfig) -> ProfileReport {
+    let sink = Arc::new(MemorySink::new(1 << 16));
+    let config = VerifierConfig {
+        trace: TraceHandle::new(sink.clone(), ClockKind::Monotonic),
+        ..base.clone()
+    };
+    let _ = run_backend_with(src, backend, config);
+    profile_events(&sink.events())
+}
+
+/// `--profile`: phase attribution of the positive case studies on the
+/// destabilized backend, printed and written to `PROFILE_verifier.txt`.
+fn run_profile(opts: &Opts) {
+    println!("\nProfile: phase attribution per case (destabilized backend)");
+    let mut out = String::new();
+    for case in positive_cases() {
+        let report = phase_profile(case.source, Backend::Destabilized, &opts.config);
+        let block = format!("== {} ==\n{}", case.name, render_profile(&report));
+        println!();
+        for line in block.lines() {
+            println!("    {}", line);
+        }
+        out.push_str(&block);
+        out.push('\n');
+    }
+    match std::fs::write("PROFILE_verifier.txt", &out) {
+        Ok(()) => println!("\n    wrote PROFILE_verifier.txt"),
+        Err(e) => {
+            eprintln!("tables: cannot write PROFILE_verifier.txt: {}", e);
+            std::process::exit(1);
+        }
     }
 }
 
@@ -330,8 +434,8 @@ fn figure_f1(opts: &Opts) {
     println!("    {}", "-".repeat(66));
     for n in [1usize, 2, 4, 8, 16, 24] {
         let src = scaling_program(n);
-        let d = run_backend_with(&src, Backend::Destabilized, opts.config.clone());
-        let s = run_backend_with(&src, Backend::StableBaseline, opts.config.clone());
+        let d = measure_median(&src, Backend::Destabilized, &opts.config, opts.repeat);
+        let s = measure_median(&src, Backend::StableBaseline, &opts.config, opts.repeat);
         let od = d.total(|x| x.obligations);
         let os = s.total(|x| x.obligations) + s.total(|x| x.rebinds);
         println!(
@@ -364,10 +468,10 @@ fn figure_f1(opts: &Opts) {
     let mut chain_rows = Vec::new();
     for n in CHAIN_SIZES {
         let src = chain_program(n);
-        let dm = run_backend_with(&src, Backend::Destabilized, cached.clone());
-        let dc = run_backend_with(&src, Backend::Destabilized, uncached.clone());
-        let sm = run_backend_with(&src, Backend::StableBaseline, cached.clone());
-        let sc = run_backend_with(&src, Backend::StableBaseline, uncached.clone());
+        let dm = measure_median(&src, Backend::Destabilized, &cached, opts.repeat);
+        let dc = measure_median(&src, Backend::Destabilized, &uncached, opts.repeat);
+        let sm = measure_median(&src, Backend::StableBaseline, &cached, opts.repeat);
+        let sc = measure_median(&src, Backend::StableBaseline, &uncached, opts.repeat);
         let speedup = dc.time.as_secs_f64() / dm.time.as_secs_f64().max(1e-9);
         println!(
             "    {:>4} | {:>8} {:>8} | {:>6} {:>6} {:>6} | {:>7.2}x",
@@ -415,6 +519,20 @@ fn run_json(run: &BackendRun) -> String {
     )
 }
 
+/// The phase-attribution block of one JSON case: front-end and
+/// symbolic-execution time plus total solver fuel, from one traced run.
+fn phases_json(p: &ProfileReport) -> String {
+    format!(
+        "{{\"parse_micros\": {:.1}, \"exec_micros\": {:.1}, \"pre_micros\": {:.1}, \"body_micros\": {:.1}, \"post_micros\": {:.1}, \"solver_fuel\": {}}}",
+        p.pipeline_micros("parse"),
+        p.exec_micros(),
+        p.method_phase_micros("pre"),
+        p.method_phase_micros("body"),
+        p.method_phase_micros("post"),
+        p.total_fuel(),
+    )
+}
+
 /// Emits `BENCH_verifier.json`: the positive case studies and the chain
 /// sweep, measured on both backends.
 fn write_bench_json(
@@ -423,13 +541,25 @@ fn write_bench_json(
 ) {
     let mut cases = Vec::new();
     for case in positive_cases() {
-        let d = run_backend_with(case.source, Backend::Destabilized, opts.config.clone());
-        let s = run_backend_with(case.source, Backend::StableBaseline, opts.config.clone());
+        let d = measure_median(
+            case.source,
+            Backend::Destabilized,
+            &opts.config,
+            opts.repeat,
+        );
+        let s = measure_median(
+            case.source,
+            Backend::StableBaseline,
+            &opts.config,
+            opts.repeat,
+        );
+        let p = phase_profile(case.source, Backend::Destabilized, &opts.config);
         cases.push(format!(
-            "    {{\"name\": \"{}\", \"destabilized\": {}, \"stable_baseline\": {}}}",
+            "    {{\"name\": \"{}\", \"destabilized\": {}, \"stable_baseline\": {}, \"phases\": {}}}",
             case.name,
             run_json(&d),
-            run_json(&s)
+            run_json(&s),
+            phases_json(&p)
         ));
     }
     let mut chain = Vec::new();
@@ -447,11 +577,12 @@ fn write_bench_json(
     }
     let json = format!
         (
-        "{{\n  \"experiment\": \"F1 verifier pipeline\",\n  \"command\": \"cargo run -p daenerys-bench --bin tables -- --f1 --json\",\n  \"config\": {{\"cache\": {}, \"threads\": {}, \"timeout_ms\": {}, \"fuel\": {}}},\n  \"cases\": [\n{}\n  ],\n  \"chain\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"F1 verifier pipeline\",\n  \"command\": \"cargo run -p daenerys-bench --bin tables -- --f1 --json\",\n  \"config\": {{\"cache\": {}, \"threads\": {}, \"timeout_ms\": {}, \"fuel\": {}, \"repeat\": {}}},\n  \"cases\": [\n{}\n  ],\n  \"chain\": [\n{}\n  ]\n}}\n",
         opts.config.cache,
         opts.config.threads,
         json_opt(opts.config.budget.deadline_ms),
         json_opt(opts.config.budget.solver_fuel),
+        opts.repeat,
         cases.join(",\n"),
         chain.join(",\n"),
     );

@@ -1,0 +1,47 @@
+//! Validates a JSONL trace file against the flight-recorder schema.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p daenerys-bench --bin trace_validate -- trace.jsonl
+//! ```
+//!
+//! Every line must be a JSON object with exactly the keys
+//! `fields`, `kind`, `name`, `seq`, `ts` (see
+//! [`daenerys_obs::validate_event_line`]). Exits nonzero on the first
+//! malformed line, printing its number and the schema violation. The
+//! CI trace-smoke job runs this over the trace produced by
+//! `tables --f1 --trace-out`.
+
+use daenerys_obs::validate_event_line;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: trace_validate <trace.jsonl>");
+        std::process::exit(2);
+    };
+    let contents = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("trace_validate: cannot read {}: {}", path, e);
+            std::process::exit(2);
+        }
+    };
+    let mut lines = 0usize;
+    for (i, line) in contents.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = validate_event_line(line) {
+            eprintln!("trace_validate: {}:{}: {}", path, i + 1, e);
+            std::process::exit(1);
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        eprintln!("trace_validate: {}: no events", path);
+        std::process::exit(1);
+    }
+    println!("trace_validate: {}: {} events ok", path, lines);
+}

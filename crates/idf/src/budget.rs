@@ -28,6 +28,17 @@ pub enum BudgetAxis {
     Terms,
 }
 
+impl BudgetAxis {
+    /// Every axis, in declaration order — used when emitting one
+    /// budget-consumption gauge per axis.
+    pub const ALL: [BudgetAxis; 4] = [
+        BudgetAxis::Deadline,
+        BudgetAxis::SolverFuel,
+        BudgetAxis::States,
+        BudgetAxis::Terms,
+    ];
+}
+
 impl fmt::Display for BudgetAxis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -99,6 +110,17 @@ impl Budget {
     pub fn with_max_terms(mut self, terms: u64) -> Budget {
         self.max_terms = Some(terms);
         self
+    }
+
+    /// The configured limit for one axis (`None` = unlimited) —
+    /// uniform access for budget-consumption gauges.
+    pub fn limit(&self, axis: BudgetAxis) -> Option<u64> {
+        match axis {
+            BudgetAxis::Deadline => self.deadline_ms,
+            BudgetAxis::SolverFuel => self.solver_fuel,
+            BudgetAxis::States => self.max_states,
+            BudgetAxis::Terms => self.max_terms,
+        }
     }
 
     /// True when no axis is bounded.

@@ -25,9 +25,11 @@
 
 use crate::ast::{fraction_literal, Assertion, Expr, Op, Program, Stmt, Type};
 use crate::budget::{Budget, BudgetAxis, FaultKind, FaultPlan};
+use crate::diag::{self, FailureReport, QueryCost, QueryLog};
 use crate::smt::{Answer, Solver};
 use crate::sym::{Sort, Sym, SymSupply, Term, TermArena, TermId};
 use daenerys_algebra::Q;
+use daenerys_obs::{Event, MetricsRegistry, TraceCollector, TraceHandle, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -71,6 +73,11 @@ pub struct VerifierConfig {
     /// ([`Budget::escalated`]) budget before settling on `Unknown`
     /// (default: `true`; a no-op under the unlimited budget).
     pub retry_unknown: bool,
+    /// The flight recorder (default: disabled — zero overhead).
+    /// Workers buffer events per method and [`Verifier::verify_all`]'s
+    /// merge path emits them in program order, so traces are
+    /// deterministic at any thread count.
+    pub trace: TraceHandle,
 }
 
 impl Default for VerifierConfig {
@@ -81,6 +88,7 @@ impl Default for VerifierConfig {
             budget: Budget::UNLIMITED,
             faults: FaultPlan::default(),
             retry_unknown: true,
+            trace: TraceHandle::disabled(),
         }
     }
 }
@@ -185,6 +193,9 @@ pub enum Verdict {
     Failed {
         /// The non-valid obligations (invalid and unknown alike).
         failures: Vec<Obligation>,
+        /// Structured diagnostics: the first failure, the symbolic
+        /// context it happened in, and the hottest solver queries.
+        report: FailureReport,
     },
     /// Verification gave up without a definite answer.
     Unknown {
@@ -193,6 +204,9 @@ pub enum Verdict {
         /// The non-valid obligations observed before giving up
         /// (includes a synthesized budget-exhaustion obligation).
         failures: Vec<Obligation>,
+        /// Structured diagnostics (never empty: at minimum the method
+        /// name and the exhaustion/fragment detail).
+        report: FailureReport,
     },
     /// The verifier itself panicked on this method; the panic was
     /// contained by per-method isolation and siblings are unaffected.
@@ -220,6 +234,14 @@ impl Verdict {
         )
     }
 
+    /// The [`FailureReport`] attached to a `Failed`/`Unknown` verdict.
+    pub fn report(&self) -> Option<&FailureReport> {
+        match self {
+            Verdict::Failed { report, .. } | Verdict::Unknown { report, .. } => Some(report),
+            _ => None,
+        }
+    }
+
     /// The verdict with environment-dependent statistics fields zeroed
     /// (see [`VerifyStats::normalized`]) — the form compared by the
     /// determinism tests.
@@ -235,7 +257,7 @@ impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Verdict::Verified(_) => f.write_str("verified"),
-            Verdict::Failed { failures } => {
+            Verdict::Failed { failures, .. } => {
                 write!(f, "failed ({} obligation(s))", failures.len())
             }
             Verdict::Unknown { reason, .. } => write!(f, "unknown: {}", reason),
@@ -341,10 +363,21 @@ struct State {
     witnesses: Vec<(TermId, String, Sym)>,
 }
 
-/// The outcome of verifying one method in isolation.
+/// The symbolic context captured at the first failing obligation —
+/// the raw material of a [`FailureReport`].
+#[derive(Debug, Default)]
+struct FailureCtx {
+    chunks: Vec<String>,
+    path_condition: Vec<String>,
+}
+
+/// The outcome of verifying one method in isolation. Trace events and
+/// metrics ride along so the fan-out can merge them in program order.
 struct MethodOutcome {
     verdict: Verdict,
     obligations: Vec<Obligation>,
+    events: Vec<Event>,
+    metrics: MetricsRegistry,
 }
 
 /// The verifier for one program.
@@ -365,6 +398,13 @@ pub struct Verifier<'a> {
     /// Active injected faults for the current method.
     fault_exhaust: Option<BudgetAxis>,
     fault_panic_at_state: Option<usize>,
+    /// Per-method trace buffer (disabled unless the config's
+    /// [`TraceHandle`] is enabled).
+    collector: TraceCollector,
+    /// The current method's most expensive solver queries.
+    query_log: QueryLog,
+    /// Context captured at the current method's first failure.
+    failure_ctx: Option<FailureCtx>,
 }
 
 impl<'a> Verifier<'a> {
@@ -382,6 +422,7 @@ impl<'a> Verifier<'a> {
     ) -> Verifier<'a> {
         let mut solver = Solver::new();
         solver.cache_enabled = config.cache;
+        let collector = config.trace.collector();
         Verifier {
             program,
             backend,
@@ -396,6 +437,9 @@ impl<'a> Verifier<'a> {
             exhausted: None,
             fault_exhaust: None,
             fault_panic_at_state: None,
+            collector,
+            query_log: QueryLog::default(),
+            failure_ctx: None,
         }
     }
 
@@ -423,7 +467,7 @@ impl<'a> Verifier<'a> {
                 Verdict::Verified(stats) => {
                     out.insert(name, stats);
                 }
-                Verdict::Failed { failures: f } | Verdict::Unknown { failures: f, .. } => {
+                Verdict::Failed { failures: f, .. } | Verdict::Unknown { failures: f, .. } => {
                     failures.extend(f);
                 }
                 Verdict::CrashedInternal { message } => {
@@ -505,6 +549,9 @@ impl<'a> Verifier<'a> {
         }
 
         // Deterministic merge in program (method-declaration) order.
+        // Trace events are emitted here too — sequence numbers are
+        // stamped on this single-threaded path, so the stream is
+        // identical at any thread count.
         let mut out = Vec::with_capacity(names.len());
         for (i, slot) in slots.into_iter().enumerate() {
             let outcome = slot.expect("every scheduled method produced an outcome");
@@ -514,8 +561,11 @@ impl<'a> Verifier<'a> {
                 stats.threads = threads;
                 self.stats.merge(stats);
             }
+            self.config.trace.emit(outcome.events);
+            self.config.trace.merge_metrics(&outcome.metrics);
             out.push((names[i].clone(), verdict));
         }
+        self.config.trace.flush();
         out
     }
 
@@ -541,7 +591,40 @@ impl<'a> Verifier<'a> {
     /// isolated per-method verifier to discard.)
     pub fn verify_method_verdict(&mut self, name: &str) -> Verdict {
         let (result, exhausted) = self.verify_method_inner(name);
-        classify(result, exhausted)
+        let report = self.build_failure_report(name, &result, &exhausted);
+        classify(result, exhausted, report)
+    }
+
+    /// Assembles the [`FailureReport`] for a just-finished method from
+    /// the captured failure context and the hot-query log. Returns the
+    /// empty report for a clean run (it is dropped by `classify`).
+    fn build_failure_report(
+        &mut self,
+        name: &str,
+        result: &Result<VerifyStats, VerifyError>,
+        exhausted: &Option<(BudgetAxis, String)>,
+    ) -> FailureReport {
+        if exhausted.is_none() && result.is_ok() {
+            self.failure_ctx = None;
+            return FailureReport::default();
+        }
+        let first_failure = match (exhausted, result) {
+            (Some((axis, detail)), _) => format!("budget exhausted ({}): {}", axis, detail),
+            (None, Err(e)) => e
+                .failures
+                .first()
+                .map(|o| format!("[{:?}] {}", o.outcome, o.description))
+                .unwrap_or_else(|| "failure without a recorded obligation".to_string()),
+            (None, Ok(_)) => String::new(),
+        };
+        let ctx = self.failure_ctx.take().unwrap_or_default();
+        FailureReport {
+            method: name.to_string(),
+            first_failure,
+            chunks: ctx.chunks,
+            path_condition: ctx.path_condition,
+            hot_queries: self.query_log.top(),
+        }
     }
 
     /// The shared engine behind [`Verifier::verify_method`] and
@@ -582,9 +665,38 @@ impl<'a> Verifier<'a> {
                 FaultKind::PanicAtState(n) => self.fault_panic_at_state = Some(n),
             }
         }
+        // Reset the per-method diagnostics.
+        self.failure_ctx = None;
+        self.query_log.clear();
+        let span = self.collector.span_start(&format!("exec:{}", name));
         let outcome = self.verify_method_body(name, started);
+        self.emit_budget_gauges();
+        self.collector.span_end(span);
         let exhausted = self.exhausted.take();
         (outcome, exhausted)
+    }
+
+    /// Emits one gauge per consumed budget axis (and the configured
+    /// limits) at method exit. No-op when tracing is disabled.
+    fn emit_budget_gauges(&mut self) {
+        if !self.collector.is_enabled() {
+            return;
+        }
+        let states_used = (self.stats.states - self.method_states_base) as u64;
+        self.collector.gauge("budget.states_used", states_used);
+        self.collector
+            .gauge("budget.terms_interned", self.arena.len() as u64);
+        if let Some(limit) = self.config.budget.limit(BudgetAxis::SolverFuel) {
+            let remaining = self.solver.fuel.unwrap_or(0);
+            self.collector
+                .gauge("budget.fuel_used", limit.saturating_sub(remaining));
+        }
+        for axis in BudgetAxis::ALL {
+            if let Some(limit) = self.config.budget.limit(axis) {
+                self.collector
+                    .gauge(&format!("budget.limit.{}", axis), limit);
+            }
+        }
     }
 
     fn verify_method_body(
@@ -593,16 +705,20 @@ impl<'a> Verifier<'a> {
         started: Instant,
     ) -> Result<VerifyStats, VerifyError> {
         let Some(method) = self.program.method(name).cloned() else {
-            let failure = self.oblige_failure(format!("cannot verify unknown method {}", name));
+            let failure =
+                self.oblige_failure(None, format!("cannot verify unknown method {}", name));
             return Err(VerifyError {
                 failures: vec![failure],
             });
         };
         let Some(body) = method.body.clone() else {
-            let failure = self.oblige_failure(format!(
-                "method {} is abstract (no body) and cannot be verified",
-                name
-            ));
+            let failure = self.oblige_failure(
+                None,
+                format!(
+                    "method {} is abstract (no body) and cannot be verified",
+                    name
+                ),
+            );
             return Err(VerifyError {
                 failures: vec![failure],
             });
@@ -634,21 +750,27 @@ impl<'a> Verifier<'a> {
         }
 
         // Inhale the precondition, snapshot for old().
+        let pre_span = self.collector.span_start("pre");
         let mut states = self.produce(state, &method.requires);
         for s in &mut states {
             s.old = Rc::clone(&s.chunks);
         }
+        self.collector.span_end(pre_span);
 
         // Execute the body.
+        let body_span = self.collector.span_start("body");
         let mut finals = Vec::new();
         for s in states {
             finals.extend(self.exec_block(s, &body));
         }
+        self.collector.span_end(body_span);
 
         // Exhale the postcondition on every path.
+        let post_span = self.collector.span_start("post");
         for s in finals {
             let _ = self.consume(s, &method.ensures, "postcondition");
         }
+        self.collector.span_end(post_span);
 
         // Fold any budget exhaustion into the obligation trail *before*
         // collecting failures: a truncated run prunes states, so an
@@ -684,6 +806,23 @@ impl<'a> Verifier<'a> {
         };
         stats.states += 1;
         stats.wall_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+        if self.collector.is_enabled() {
+            self.collector.counter("verify.methods", 1);
+            self.collector
+                .counter("solver.queries", stats.solver_queries as u64);
+            self.collector
+                .counter("solver.cache_hits", stats.cache_hits as u64);
+            self.collector
+                .counter("solver.cache_misses", stats.cache_misses as u64);
+            self.collector
+                .counter("solver.branches", stats.solver_branches as u64);
+            self.collector.counter("exec.states", stats.states as u64);
+            self.collector
+                .counter("exec.obligations", stats.obligations as u64);
+            self.collector
+                .counter("exec.interned_terms", stats.interned_terms as u64);
+        }
 
         if failed.is_empty() {
             Ok(stats)
@@ -759,21 +898,107 @@ impl<'a> Verifier<'a> {
         s
     }
 
-    fn oblige(&mut self, pc: &[TermId], goal: TermId, description: String) {
-        let outcome = self.solver.entails(&mut self.arena, pc, goal);
+    /// The single entailment gateway: every solver query goes through
+    /// here so the flight recorder sees it (site, answer, cache
+    /// hit/miss, fuel burned, normalized-path-condition hash) and the
+    /// hot-query log can keep the most expensive ones for the
+    /// [`FailureReport`]. With tracing off and the log full of hotter
+    /// entries, the extra cost is two counter snapshots.
+    fn query(&mut self, pc: &[TermId], goal: TermId, site: &str) -> Answer {
+        let hits_before = self.solver.cache_hits;
+        let branches_before = self.solver.branches;
+        let answer = self.solver.entails(&mut self.arena, pc, goal);
+        let fuel = (self.solver.branches - branches_before) as u64;
+        let traced = self.collector.is_enabled();
+        if traced || self.query_log.accepts(fuel) {
+            let cache_hit = self.solver.cache_hits > hits_before;
+            let hash = diag::pc_hash(pc, goal);
+            if self.query_log.accepts(fuel) {
+                self.query_log.offer(QueryCost {
+                    description: site.to_string(),
+                    fuel,
+                    cache_hit,
+                    pc_hash: hash,
+                    answer,
+                });
+            }
+            if traced {
+                self.collector.event(
+                    "solver.query",
+                    vec![
+                        ("site".to_string(), Value::Str(site.to_string())),
+                        ("answer".to_string(), Value::Str(format!("{:?}", answer))),
+                        ("cache_hit".to_string(), Value::Bool(cache_hit)),
+                        ("fuel".to_string(), Value::UInt(fuel)),
+                        ("pc_hash".to_string(), Value::UInt(hash)),
+                    ],
+                );
+                self.collector.histogram("solver.query_fuel", fuel);
+            }
+        }
+        answer
+    }
+
+    /// Branch-feasibility check (`pc ⊭ false`, Unknown kept as
+    /// feasible) — the traced equivalent of [`Solver::consistent`].
+    fn feasible(&mut self, pc: &[TermId]) -> bool {
+        let falsum = self.arena.bool(false);
+        self.query(pc, falsum, "branch feasibility") != Answer::Valid
+    }
+
+    fn oblige(&mut self, state: &State, goal: TermId, description: String) {
+        let outcome = self.query(&state.pc, goal, &description);
+        if outcome != Answer::Valid {
+            self.note_failure_context(Some(state));
+        }
         self.obligations.push(Obligation {
             description,
             outcome,
         });
     }
 
-    fn oblige_failure(&mut self, description: String) -> Obligation {
+    fn oblige_failure(&mut self, state: Option<&State>, description: String) -> Obligation {
+        self.note_failure_context(state);
         let o = Obligation {
             description,
             outcome: Answer::Invalid,
         };
         self.obligations.push(o.clone());
         o
+    }
+
+    /// Snapshots the symbolic context (heap chunks, path condition) at
+    /// the method's *first* failure; later failures keep the original
+    /// snapshot. A stateless failure site still marks the context as
+    /// captured so the report points at the true first failure.
+    fn note_failure_context(&mut self, state: Option<&State>) {
+        if self.failure_ctx.is_some() {
+            return;
+        }
+        let ctx = match state {
+            Some(s) => FailureCtx {
+                chunks: s
+                    .chunks
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "acc({}.{}, {}) ↦ {}",
+                            self.arena.to_expr(c.recv),
+                            c.field,
+                            c.perm,
+                            self.arena.to_expr(c.value)
+                        )
+                    })
+                    .collect(),
+                path_condition: s
+                    .pc
+                    .iter()
+                    .map(|&id| self.arena.to_expr(id).to_string())
+                    .collect(),
+            },
+            None => FailureCtx::default(),
+        };
+        self.failure_ctx = Some(ctx);
     }
 
     // ---- chunk management ----
@@ -793,7 +1018,7 @@ impl<'a> Verifier<'a> {
                 continue;
             }
             let goal = self.arena.eq(state.chunks[i].recv, recv);
-            if self.solver.entails(&mut self.arena, &state.pc, goal) == Answer::Valid {
+            if self.query(&state.pc, goal, "chunk lookup: receiver equality") == Answer::Valid {
                 return Some(i);
             }
         }
@@ -821,7 +1046,7 @@ impl<'a> Verifier<'a> {
             Expr::Var(x) => match state.store.get(x) {
                 Some(v) => *v,
                 None => {
-                    self.oblige_failure(format!("use of undeclared variable {}", x));
+                    self.oblige_failure(Some(&*state), format!("use of undeclared variable {}", x));
                     self.arena.bool(false)
                 }
             },
@@ -851,7 +1076,10 @@ impl<'a> Verifier<'a> {
                         }
                     }
                     None => {
-                        self.oblige_failure(format!("read of {} without permission", e));
+                        self.oblige_failure(
+                            Some(&*state),
+                            format!("read of {} without permission", e),
+                        );
                         self.arena.bool(false)
                     }
                 }
@@ -1016,13 +1244,13 @@ impl<'a> Verifier<'a> {
                 let mut then_state = state.clone();
                 then_state.pc.push(v);
                 let mut out = Vec::new();
-                if self.solver.consistent(&mut self.arena, &then_state.pc) {
+                if self.feasible(&then_state.pc) {
                     out.extend(self.produce(then_state, body));
                 }
                 let mut else_state = state;
                 let nv = self.arena.not(v);
                 else_state.pc.push(nv);
-                if self.solver.consistent(&mut self.arena, &else_state.pc) {
+                if self.feasible(&else_state.pc) {
                     out.push(else_state);
                 }
                 out
@@ -1067,7 +1295,7 @@ impl<'a> Verifier<'a> {
                     self.stats.rebinds += e.field_reads();
                 }
                 let v = self.eval_snap(&mut state, snap, e);
-                self.oblige(&state.pc.clone(), v, format!("{}: {}", ctx, e));
+                self.oblige(&state, v, format!("{}: {}", ctx, e));
                 vec![state]
             }
             Assertion::Acc(recv, field, q) => {
@@ -1086,10 +1314,13 @@ impl<'a> Verifier<'a> {
                         }
                     }
                     _ => {
-                        self.oblige_failure(format!(
-                            "{}: insufficient permission for acc({}.{}, {})",
-                            ctx, recv, field, q
-                        ));
+                        self.oblige_failure(
+                            Some(&state),
+                            format!(
+                                "{}: insufficient permission for acc({}.{}, {})",
+                                ctx, recv, field, q
+                            ),
+                        );
                     }
                 }
                 vec![state]
@@ -1106,13 +1337,13 @@ impl<'a> Verifier<'a> {
                 let mut then_state = state.clone();
                 then_state.pc.push(v);
                 let mut out = Vec::new();
-                if self.solver.consistent(&mut self.arena, &then_state.pc) {
+                if self.feasible(&then_state.pc) {
                     out.extend(self.consume_with(then_state, snap, body, ctx));
                 }
                 let mut else_state = state;
                 let nv = self.arena.not(v);
                 else_state.pc.push(nv);
-                if self.solver.consistent(&mut self.arena, &else_state.pc) {
+                if self.feasible(&else_state.pc) {
                     out.push(else_state);
                 }
                 out
@@ -1171,10 +1402,10 @@ impl<'a> Verifier<'a> {
                         Rc::make_mut(&mut state.chunks)[i].value = v;
                     }
                     _ => {
-                        self.oblige_failure(format!(
-                            "write to {}.{} without full permission",
-                            recv, field
-                        ));
+                        self.oblige_failure(
+                            Some(&state),
+                            format!("write to {}.{} without full permission", recv, field),
+                        );
                     }
                 }
                 // The stable baseline scans live witnesses for
@@ -1188,7 +1419,7 @@ impl<'a> Verifier<'a> {
                         .collect();
                     for wrecv in scan {
                         let goal = self.arena.eq(wrecv, r);
-                        let _ = self.solver.entails(&mut self.arena, &state.pc, goal);
+                        let _ = self.query(&state.pc, goal, "witness invalidation scan");
                         self.stats.rebinds += 1;
                     }
                 }
@@ -1235,14 +1466,27 @@ impl<'a> Verifier<'a> {
                 let mut out = Vec::new();
                 let mut then_state = state.clone();
                 then_state.pc.push(v);
-                if self.solver.consistent(&mut self.arena, &then_state.pc) {
+                if self.feasible(&then_state.pc) {
+                    let span = self.collector.span_start("branch:then");
                     out.extend(self.exec_block(then_state, then_b));
+                    self.collector.span_end(span);
                 }
                 let mut else_state = state;
                 let nv = self.arena.not(v);
                 else_state.pc.push(nv);
-                if self.solver.consistent(&mut self.arena, &else_state.pc) {
+                if self.feasible(&else_state.pc) {
+                    let span = self.collector.span_start("branch:else");
                     out.extend(self.exec_block(else_state, else_b));
+                    self.collector.span_end(span);
+                }
+                if self.collector.is_enabled() {
+                    self.collector.event(
+                        "fork.join",
+                        vec![
+                            ("stmt".to_string(), Value::Str("if".to_string())),
+                            ("states".to_string(), Value::UInt(out.len() as u64)),
+                        ],
+                    );
                 }
                 out
             }
@@ -1255,6 +1499,7 @@ impl<'a> Verifier<'a> {
                 // 2. Check the body preserves it: fresh state with inv
                 //    and the condition, execute, exhale inv.
                 {
+                    let span = self.collector.span_start("loop:body");
                     let mut body_state = State {
                         store: after_entry
                             .first()
@@ -1283,15 +1528,17 @@ impl<'a> Verifier<'a> {
                     }
                     let mut after_body = Vec::new();
                     for st in produced {
-                        if self.solver.consistent(&mut self.arena, &st.pc) {
+                        if self.feasible(&st.pc) {
                             after_body.extend(self.exec_block(st, body));
                         }
                     }
                     for st in after_body {
                         let _ = self.consume(st, inv, "loop invariant (preservation)");
                     }
+                    self.collector.span_end(span);
                 }
                 // 3. Continue after the loop: havoc, inhale inv ∧ ¬c.
+                let after_span = self.collector.span_start("loop:after");
                 let mut out = Vec::new();
                 for mut cont in after_entry {
                     for x in assigned_vars(body) {
@@ -1304,10 +1551,20 @@ impl<'a> Verifier<'a> {
                         let v = self.eval(&mut st, c, false);
                         let nv = self.arena.not(v);
                         st.pc.push(nv);
-                        if self.solver.consistent(&mut self.arena, &st.pc) {
+                        if self.feasible(&st.pc) {
                             out.push(st);
                         }
                     }
+                }
+                self.collector.span_end(after_span);
+                if self.collector.is_enabled() {
+                    self.collector.event(
+                        "fork.join",
+                        vec![
+                            ("stmt".to_string(), Value::Str("while".to_string())),
+                            ("states".to_string(), Value::UInt(out.len() as u64)),
+                        ],
+                    );
                 }
                 out
             }
@@ -1315,12 +1572,15 @@ impl<'a> Verifier<'a> {
                 let callee = match self.program.method(mname) {
                     Some(m) => m.clone(),
                     None => {
-                        self.oblige_failure(format!("call to unknown method {}", mname));
+                        self.oblige_failure(
+                            Some(&state),
+                            format!("call to unknown method {}", mname),
+                        );
                         return vec![state];
                     }
                 };
                 if callee.params.len() != args.len() || callee.returns.len() != targets.len() {
-                    self.oblige_failure(format!("arity mismatch calling {}", mname));
+                    self.oblige_failure(Some(&state), format!("arity mismatch calling {}", mname));
                     return vec![state];
                 }
                 // Bind formals.
@@ -1388,18 +1648,27 @@ fn run_isolated(
         match catch_unwind(AssertUnwindSafe(|| {
             let mut v = Verifier::with_config(program, backend, cfg);
             let verdict = v.verify_method_verdict(name);
-            (verdict, v.obligations)
+            let (events, metrics) = v.collector.take();
+            (verdict, v.obligations, events, metrics)
         })) {
-            Ok((verdict, obligations)) => MethodOutcome {
+            Ok((verdict, obligations, events, metrics)) => MethodOutcome {
                 verdict,
                 obligations,
+                events,
+                metrics,
             },
             Err(payload) => {
                 let message = panic_message(payload.as_ref());
                 let obligations = vec![crash_obligation(name, &message)];
+                // A crashed method contributes no events: the partial
+                // buffer died with its verifier, which keeps the merged
+                // stream deterministic (a panic mid-method would
+                // otherwise expose scheduling-dependent progress).
                 MethodOutcome {
                     verdict: Verdict::CrashedInternal { message },
                     obligations,
+                    events: Vec::new(),
+                    metrics: MetricsRegistry::new(),
                 }
             }
         }
@@ -1429,12 +1698,14 @@ fn run_isolated(
 fn classify(
     result: Result<VerifyStats, VerifyError>,
     exhausted: Option<(BudgetAxis, String)>,
+    report: FailureReport,
 ) -> Verdict {
     if let Some((axis, detail)) = exhausted {
         let failures = result.err().map(|e| e.failures).unwrap_or_default();
         return Verdict::Unknown {
             reason: UnknownReason::BudgetExhausted { axis, detail },
             failures,
+            report,
         };
     }
     match result {
@@ -1443,6 +1714,7 @@ fn classify(
             if e.failures.iter().any(|o| o.outcome == Answer::Invalid) {
                 Verdict::Failed {
                     failures: e.failures,
+                    report,
                 }
             } else {
                 let detail = format!(
@@ -1452,6 +1724,7 @@ fn classify(
                 Verdict::Unknown {
                     reason: UnknownReason::OutOfFragment { detail },
                     failures: e.failures,
+                    report,
                 }
             }
         }
@@ -1825,7 +2098,24 @@ mod tests {
         let p = parse_program(src).unwrap();
         let mut v = Verifier::new(&p, Backend::Destabilized);
         match v.verify_method_verdict("bad") {
-            Verdict::Failed { failures } => assert!(!failures.is_empty()),
+            Verdict::Failed { failures, report } => {
+                assert!(!failures.is_empty());
+                assert!(!report.is_empty(), "Failed verdicts carry diagnostics");
+                assert_eq!(report.method, "bad");
+                assert!(report.first_failure.contains("postcondition"));
+                // The acc conjunct is consumed before the pure
+                // conjunct fails, so no chunk is in scope — but the
+                // path condition (the non-null receiver) is.
+                assert!(report.chunks.is_empty());
+                assert!(
+                    !report.path_condition.is_empty(),
+                    "the failing obligation had a path condition"
+                );
+                assert!(
+                    report.hot_queries.iter().any(|q| q.fuel > 0),
+                    "at least one logged query did real work"
+                );
+            }
             other => panic!("expected Failed, got {}", other),
         }
     }
@@ -1862,13 +2152,17 @@ mod tests {
     fn verdicts_render_for_humans() {
         let verified = Verdict::Verified(VerifyStats::default());
         assert_eq!(verified.to_string(), "verified");
-        let failed = Verdict::Failed { failures: vec![] };
+        let failed = Verdict::Failed {
+            failures: vec![],
+            report: FailureReport::default(),
+        };
         assert!(failed.to_string().starts_with("failed"));
         let unknown = Verdict::Unknown {
             reason: UnknownReason::OutOfFragment {
                 detail: "1 obligation".to_string(),
             },
             failures: vec![],
+            report: FailureReport::default(),
         };
         assert!(unknown.to_string().contains("out of fragment"));
         let crash = Verdict::CrashedInternal {

@@ -9,6 +9,7 @@ pub mod ast;
 pub mod budget;
 pub mod cases;
 pub mod compile;
+pub mod diag;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
@@ -28,18 +29,21 @@ pub use compile::{
     alloc_object, compile_method, compile_program, run_and_check, spec_holds, ConcreteError,
     ConcreteObj, ConcreteVal,
 };
+pub use diag::{pc_hash, FailureReport, QueryCost, HOT_QUERY_LIMIT};
 pub use exec::{
     Backend, Chunk, Obligation, UnknownReason, Verdict, Verifier, VerifierConfig, VerifyError,
     VerifyStats,
 };
-pub use parser::{parse_assertion, parse_program, parse_program_with_recovery, ParseError};
+pub use parser::{
+    parse_assertion, parse_program, parse_program_traced, parse_program_with_recovery, ParseError,
+};
 pub use smt::{Answer, Solver};
 pub use sym::{Sort, Sym, SymExpr, SymSupply, Term, TermArena, TermId};
 pub use translate::{
-    env_of, full_ownership, obj_of, strip_old, translate_assertion, translate_expr, TEnv,
-    TranslateError,
+    env_of, full_ownership, obj_of, strip_old, translate_assertion, translate_assertion_traced,
+    translate_expr, TEnv, TranslateError,
 };
-pub use wf::{check_program, WfError};
+pub use wf::{check_program, check_program_traced, WfError};
 
 /// One-call pipeline: parse → well-formedness check → verify.
 ///
@@ -74,5 +78,33 @@ pub fn verify_source(
             .join("\n")
     })?;
     let mut verifier = Verifier::new(&program, backend);
+    verifier.verify_all().map_err(|e| e.to_string())
+}
+
+/// [`verify_source`] with an explicit [`VerifierConfig`]. When the
+/// config's [`daenerys_obs::TraceHandle`] is enabled, the front-end
+/// phases (`parse`, `wf`) are spanned and emitted ahead of the
+/// per-method `exec:<name>` spans the verifier produces.
+///
+/// # Errors
+///
+/// Same as [`verify_source`].
+pub fn verify_source_with(
+    src: &str,
+    backend: Backend,
+    config: VerifierConfig,
+) -> Result<std::collections::BTreeMap<String, VerifyStats>, String> {
+    let mut collector = config.trace.collector();
+    let program = parse_program_traced(src, &mut collector).map_err(|e| e.to_string())?;
+    check_program_traced(&program, &mut collector).map_err(|es| {
+        es.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
+    let (events, metrics) = collector.take();
+    config.trace.emit(events);
+    config.trace.merge_metrics(&metrics);
+    let mut verifier = Verifier::with_config(&program, backend, config);
     verifier.verify_all().map_err(|e| e.to_string())
 }

@@ -178,7 +178,9 @@ pub struct Solver {
     pub cache_enabled: bool,
     /// Query-cache hits (whole entailments answered from memory).
     pub cache_hits: usize,
-    /// Query-cache misses (entailments actually solved).
+    /// Query-cache misses (entailments actually solved). With the
+    /// cache disabled every query counts as a miss, so
+    /// `hits + misses == queries` holds in either mode.
     pub cache_misses: usize,
     /// Theory-cache hits (ground-theory checks reused across branches
     /// and across queries sharing a path-condition prefix).
@@ -253,8 +255,11 @@ impl Solver {
                 self.cache_hits += 1;
                 return cached;
             }
-            self.cache_misses += 1;
         }
+        // With the cache disabled every query is a miss by definition —
+        // counting it keeps reported hit rates honest (misses == queries
+        // instead of a misleading 0/0).
+        self.cache_misses += 1;
         let mut formula = arena.not(goal);
         for &c in &key {
             formula = arena.and(formula, c);

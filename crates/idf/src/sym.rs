@@ -243,6 +243,14 @@ impl fmt::Display for SymExpr {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TermId(u32);
 
+impl TermId {
+    /// The raw arena index — stable within one arena, used for
+    /// order-insensitive path-condition hashing in trace events.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
 /// One hash-consed term node. Children are [`TermId`]s, so the node is
 /// small and `Copy`; `Implies` is desugared to `¬a ∨ b` at interning
 /// time and has no node of its own.

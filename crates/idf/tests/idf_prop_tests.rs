@@ -6,9 +6,10 @@ use daenerys_idf::{
     parse_program, Assertion, Backend, Budget, BudgetAxis, Expr, FaultKind, FaultPlan, Method, Op,
     Program, Solver, Sort, Stmt, Sym, SymExpr, TermArena, Type, Verdict, Verifier, VerifierConfig,
 };
+use daenerys_obs::{ClockKind, Event, MemorySink, TraceHandle};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use std::sync::Once;
+use std::sync::{Arc, Once};
 
 /// Quiets the default panic hook for injected-fault payloads so the
 /// chaos property below does not spray backtraces; real panics still
@@ -339,6 +340,66 @@ proptest! {
                 &clean[sibling],
                 "fault plan {:?} (budget {:?}, {} threads) leaked into sibling {}",
                 &plan, &budget, threads, sibling
+            );
+        }
+    }
+
+    /// Flight-recorder determinism: under the logical clock, the
+    /// merged trace (after timestamp normalization) and the verdict
+    /// map are identical at 1, 2, and 8 worker threads, with the
+    /// solver cache on or off, even under injected faults and finite
+    /// budgets. The merge path buffers per worker and replays in
+    /// program order, so thread scheduling must never show through.
+    #[test]
+    fn traces_are_deterministic_across_threads_and_cache(
+        plan in arb_fault_plan(),
+        budget in arb_budget(),
+        cache in any::<bool>(),
+    ) {
+        quiet_injected_panics();
+        let program = parse_program(
+            "field val: Int
+             method a(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1
+             { c.val := 1 }
+             method b(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 2
+             { c.val := 1; c.val := c.val + 1 }
+             method c(c: Ref) requires acc(c.val) ensures acc(c.val)
+             { c.val := c.val + 0 }",
+        ).unwrap();
+        let run = |threads: usize| -> (BTreeMap<String, Verdict>, Vec<Event>) {
+            let sink = Arc::new(MemorySink::new(1 << 14));
+            let mut v = Verifier::with_config(
+                &program,
+                Backend::Destabilized,
+                VerifierConfig {
+                    threads,
+                    budget,
+                    cache,
+                    faults: plan.clone(),
+                    retry_unknown: false,
+                    trace: TraceHandle::new(sink.clone(), ClockKind::Logical),
+                },
+            );
+            let verdicts = v
+                .verify_all_verdicts()
+                .into_iter()
+                .map(|(name, verdict)| (name, verdict.normalized()))
+                .collect();
+            let events = sink.events().iter().map(Event::normalized).collect();
+            (verdicts, events)
+        };
+        let (verdicts_1, trace_1) = run(1);
+        prop_assert!(!trace_1.is_empty(), "enabled trace produced no events");
+        for threads in [2usize, 8] {
+            let (verdicts_n, trace_n) = run(threads);
+            prop_assert_eq!(
+                &verdicts_1, &verdicts_n,
+                "verdicts diverge at {} threads under {:?}", threads, &plan
+            );
+            prop_assert_eq!(
+                &trace_1, &trace_n,
+                "trace diverges at {} threads (cache={}, budget {:?}) under {:?}",
+                threads, cache, &budget, &plan
             );
         }
     }

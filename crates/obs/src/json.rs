@@ -1,0 +1,376 @@
+//! A minimal JSON reader used to validate trace lines against the
+//! event schema — deliberately dependency-free (the build environment
+//! is offline) and small: it supports exactly the JSON subset the
+//! JSONL sink emits, plus arrays/null for forward compatibility.
+
+use crate::event::EventKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A schema violation or parse error in a trace line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JsonError {
+    /// Byte offset where the problem was detected (0 for whole-line
+    /// schema violations).
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A parsed JSON value.
+#[derive(Clone, PartialEq, Debug)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected byte '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{}'", lit)))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number '{}'", text)))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("non-scalar \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("nonempty");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            if map.insert(key.clone(), val).is_some() {
+                return Err(self.err(&format!("duplicate key '{}'", key)));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+fn parse(line: &str) -> Result<Json, JsonError> {
+    let mut p = Parser::new(line);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after JSON value"));
+    }
+    Ok(v)
+}
+
+fn schema_err(message: String) -> JsonError {
+    JsonError { at: 0, message }
+}
+
+/// Validates one JSONL trace line against the event schema: a JSON
+/// object with exactly the keys `seq` (non-negative integer), `ts`
+/// (non-negative integer), `kind` (one of the
+/// [`EventKind::WIRE_NAMES`]), `name` (non-empty string), and `fields`
+/// (an object whose values are numbers, booleans, or strings).
+///
+/// # Errors
+///
+/// Returns a positioned [`JsonError`] for malformed JSON and an
+/// `at: 0` one for schema violations.
+pub fn validate_event_line(line: &str) -> Result<(), JsonError> {
+    let Json::Obj(map) = parse(line)? else {
+        return Err(schema_err("top-level value must be an object".to_string()));
+    };
+    const KEYS: [&str; 5] = ["fields", "kind", "name", "seq", "ts"];
+    let keys: Vec<&str> = map.keys().map(String::as_str).collect();
+    if keys != KEYS {
+        return Err(schema_err(format!(
+            "expected exactly the keys {:?}, got {:?}",
+            KEYS, keys
+        )));
+    }
+    for int_key in ["seq", "ts"] {
+        match &map[int_key] {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => {}
+            other => {
+                return Err(schema_err(format!(
+                    "'{}' must be a non-negative integer, got {:?}",
+                    int_key, other
+                )))
+            }
+        }
+    }
+    match &map["kind"] {
+        Json::Str(k) if EventKind::WIRE_NAMES.contains(&k.as_str()) => {}
+        other => {
+            return Err(schema_err(format!(
+                "'kind' must be one of {:?}, got {:?}",
+                EventKind::WIRE_NAMES,
+                other
+            )))
+        }
+    }
+    match &map["name"] {
+        Json::Str(n) if !n.is_empty() => {}
+        other => {
+            return Err(schema_err(format!(
+                "'name' must be a non-empty string, got {:?}",
+                other
+            )))
+        }
+    }
+    let Json::Obj(fields) = &map["fields"] else {
+        return Err(schema_err("'fields' must be an object".to_string()));
+    };
+    for (k, v) in fields {
+        match v {
+            Json::Num(_) | Json::Bool(_) | Json::Str(_) => {}
+            other => {
+                return Err(schema_err(format!(
+                    "field '{}' must be a number, boolean, or string, got {:?}",
+                    k, other
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Value};
+
+    #[test]
+    fn emitted_events_validate() {
+        let e = Event {
+            seq: 0,
+            ts: 7,
+            kind: EventKind::Point,
+            name: "solver.query".to_string(),
+            fields: vec![
+                ("fuel".to_string(), Value::UInt(3)),
+                ("cache_hit".to_string(), Value::Bool(false)),
+                (
+                    "site".to_string(),
+                    Value::Str("postcondition: \"x\"".to_string()),
+                ),
+            ],
+        };
+        validate_event_line(&e.to_jsonl()).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(validate_event_line("{\"seq\":").is_err());
+        assert!(validate_event_line("[]").is_err());
+        assert!(validate_event_line("{} trailing").is_err());
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        // Missing keys.
+        assert!(validate_event_line("{}").is_err());
+        // Wrong kind.
+        assert!(validate_event_line(
+            "{\"seq\":0,\"ts\":0,\"kind\":\"nope\",\"name\":\"x\",\"fields\":{}}"
+        )
+        .is_err());
+        // Negative seq.
+        assert!(validate_event_line(
+            "{\"seq\":-1,\"ts\":0,\"kind\":\"point\",\"name\":\"x\",\"fields\":{}}"
+        )
+        .is_err());
+        // Empty name.
+        assert!(validate_event_line(
+            "{\"seq\":0,\"ts\":0,\"kind\":\"point\",\"name\":\"\",\"fields\":{}}"
+        )
+        .is_err());
+        // Nested field value.
+        assert!(validate_event_line(
+            "{\"seq\":0,\"ts\":0,\"kind\":\"point\",\"name\":\"x\",\"fields\":{\"a\":[1]}}"
+        )
+        .is_err());
+        // Extra key.
+        assert!(validate_event_line(
+            "{\"seq\":0,\"ts\":0,\"kind\":\"point\",\"name\":\"x\",\"fields\":{},\"extra\":1}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accepts_escapes_and_unicode() {
+        validate_event_line(
+            "{\"seq\":0,\"ts\":0,\"kind\":\"point\",\"name\":\"a\\u0041π\",\"fields\":{\"s\":\"\\n\\t\\\\\"}}",
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,197 @@
+//! Counters and log₂ histograms.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of log₂ buckets in a [`Histogram`]: bucket 0 holds zeros,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, and the last
+/// bucket absorbs everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 17;
+
+/// A fixed-bucket log₂ histogram of `u64` samples.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (meaningless when `count == 0`).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Log₂ bucket counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value.
+    fn bucket_of(value: u64) -> usize {
+        let significant = (64 - value.leading_zeros()) as usize;
+        significant.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Histogram::bucket_of(value)] += 1;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// Per-method registries are filled worker-side and merged on the
+/// deterministic program-order path, mirroring the event stream.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Folds another registry into this one (counters add, histograms
+    /// merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// A human-readable dump, one metric per line, in name order.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter   {:<28} {}", k, v);
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {:<28} count={} sum={} min={} max={} mean={:.1}",
+                k,
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                h.mean()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1 << 20] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 8);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1 << 20);
+        assert_eq!(h.buckets[0], 1, "zeros");
+        assert_eq!(h.buckets[1], 1, "1");
+        assert_eq!(h.buckets[2], 2, "2..4");
+        assert_eq!(h.buckets[3], 2, "4..8");
+        assert_eq!(h.buckets[4], 1, "8..16");
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1, "overflow bucket");
+    }
+
+    #[test]
+    fn registry_merge_is_additive() {
+        let mut a = MetricsRegistry::new();
+        a.add("queries", 2);
+        a.record("fuel", 5);
+        let mut b = MetricsRegistry::new();
+        b.add("queries", 3);
+        b.add("states", 1);
+        b.record("fuel", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("queries"), 5);
+        assert_eq!(a.counter("states"), 1);
+        let h = a.histogram("fuel").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 12);
+        let text = a.render_text();
+        assert!(text.contains("queries"));
+        assert!(text.contains("histogram"));
+    }
+}

@@ -1,0 +1,397 @@
+//! The trace handle and per-worker collectors.
+
+use crate::event::{Event, EventKind, Value};
+use crate::metrics::MetricsRegistry;
+use crate::sink::Sink;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Where timestamps come from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ClockKind {
+    /// Wall-clock nanoseconds from a monotonic anchor — production.
+    #[default]
+    Monotonic,
+    /// A per-collector tick counter — fully deterministic, for tests
+    /// and trace-equality assertions.
+    Logical,
+}
+
+/// A collector-local clock instance.
+#[derive(Debug)]
+enum Clock {
+    Monotonic(Instant),
+    Logical(u64),
+}
+
+impl Clock {
+    fn new(kind: ClockKind) -> Clock {
+        match kind {
+            ClockKind::Monotonic => Clock::Monotonic(Instant::now()),
+            ClockKind::Logical => Clock::Logical(0),
+        }
+    }
+
+    fn now(&mut self) -> u64 {
+        match self {
+            Clock::Monotonic(anchor) => {
+                u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+            Clock::Logical(tick) => {
+                *tick += 1;
+                *tick
+            }
+        }
+    }
+}
+
+/// An open span returned by [`TraceCollector::span_start`]; pass it
+/// back to [`TraceCollector::span_end`] to close the span.
+#[derive(Debug)]
+#[must_use = "close the span with TraceCollector::span_end"]
+pub struct SpanToken {
+    name_index: usize,
+    started: u64,
+    live: bool,
+}
+
+impl SpanToken {
+    /// The token handed out by a disabled collector — closing it is a
+    /// no-op.
+    fn dead() -> SpanToken {
+        SpanToken {
+            name_index: 0,
+            started: 0,
+            live: false,
+        }
+    }
+}
+
+/// A per-worker (per-method) event buffer.
+///
+/// Collectors are thread-local and lock-free: workers record into
+/// their own collector and the fan-out's merge path hands the buffers
+/// to [`TraceHandle::emit`] in program order. A collector created from
+/// a disabled handle records nothing, and every recording method
+/// early-returns behind one `enabled` branch.
+#[derive(Debug)]
+pub struct TraceCollector {
+    enabled: bool,
+    clock: Clock,
+    events: Vec<Event>,
+    metrics: MetricsRegistry,
+}
+
+impl TraceCollector {
+    /// A collector that records nothing.
+    pub fn disabled() -> TraceCollector {
+        TraceCollector {
+            enabled: false,
+            clock: Clock::Logical(0),
+            events: Vec::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    fn enabled_with(kind: ClockKind) -> TraceCollector {
+        TraceCollector {
+            enabled: true,
+            clock: Clock::new(kind),
+            events: Vec::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// True when this collector records events — check before building
+    /// expensive payloads.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn push(&mut self, kind: EventKind, name: String, fields: Vec<(String, Value)>) {
+        let ts = self.clock.now();
+        // Local sequence numbers are re-stamped globally at emit time.
+        let seq = self.events.len() as u64;
+        self.events.push(Event {
+            seq,
+            ts,
+            kind,
+            name,
+            fields,
+        });
+    }
+
+    /// Opens a span.
+    pub fn span_start(&mut self, name: &str) -> SpanToken {
+        if !self.enabled {
+            return SpanToken::dead();
+        }
+        self.push(EventKind::SpanStart, name.to_string(), Vec::new());
+        SpanToken {
+            name_index: self.events.len() - 1,
+            started: self.events.last().expect("just pushed").ts,
+            live: true,
+        }
+    }
+
+    /// Closes a span, recording its duration in clock units.
+    pub fn span_end(&mut self, token: SpanToken) {
+        if !token.live {
+            return;
+        }
+        let name = self.events[token.name_index].name.clone();
+        let ts = self.clock.now();
+        let duration = ts.saturating_sub(token.started);
+        self.push(
+            EventKind::SpanEnd,
+            name,
+            vec![("duration_nanos".to_string(), Value::UInt(duration))],
+        );
+    }
+
+    /// Records a point event with a structured payload.
+    pub fn event(&mut self, name: &str, fields: Vec<(String, Value)>) {
+        if !self.enabled {
+            return;
+        }
+        self.push(EventKind::Point, name.to_string(), fields);
+    }
+
+    /// Records a gauge sample (emitted as an event *and* folded into
+    /// the metrics registry).
+    pub fn gauge(&mut self, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push(
+            EventKind::Gauge,
+            name.to_string(),
+            vec![("value".to_string(), Value::UInt(value))],
+        );
+        self.metrics.record(name, value);
+    }
+
+    /// Adds to a named counter (metrics only, no event).
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.add(name, delta);
+    }
+
+    /// Records a histogram sample (metrics only, no event).
+    pub fn histogram(&mut self, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.record(name, value);
+    }
+
+    /// Drains the collector into its buffered events and metrics.
+    pub fn take(&mut self) -> (Vec<Event>, MetricsRegistry) {
+        (
+            std::mem::take(&mut self.events),
+            std::mem::take(&mut self.metrics),
+        )
+    }
+}
+
+/// The shared state behind an enabled [`TraceHandle`].
+struct Shared {
+    sink: Arc<dyn Sink>,
+    clock: ClockKind,
+    next_seq: AtomicU64,
+    metrics: Mutex<MetricsRegistry>,
+}
+
+/// A cheap, cloneable handle to the trace pipeline, threaded through
+/// `VerifierConfig`.
+///
+/// The default handle is disabled: collectors it hands out record
+/// nothing and `emit` is a no-op, so instrumented code pays one branch
+/// per trace point. An enabled handle stamps globally unique, dense
+/// sequence numbers at emit time — callers must emit buffers from a
+/// single thread in program order to keep traces deterministic (the
+/// verifier's merge path does).
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Arc<Shared>>);
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            None => f.write_str("TraceHandle(disabled)"),
+            Some(s) => write!(f, "TraceHandle(enabled, clock: {:?})", s.clock),
+        }
+    }
+}
+
+/// Handles compare by identity: two handles are equal when they feed
+/// the same underlying sink (or are both disabled). This keeps
+/// `VerifierConfig`'s structural equality meaningful without requiring
+/// sinks to be comparable.
+impl PartialEq for TraceHandle {
+    fn eq(&self, other: &TraceHandle) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for TraceHandle {}
+
+impl TraceHandle {
+    /// The no-op handle (the `VerifierConfig` default).
+    pub fn disabled() -> TraceHandle {
+        TraceHandle(None)
+    }
+
+    /// A handle feeding `sink`, timestamping with `clock`.
+    pub fn new(sink: Arc<dyn Sink>, clock: ClockKind) -> TraceHandle {
+        TraceHandle(Some(Arc::new(Shared {
+            sink,
+            clock,
+            next_seq: AtomicU64::new(0),
+            metrics: Mutex::new(MetricsRegistry::new()),
+        })))
+    }
+
+    /// True when events actually go somewhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// A fresh collector for one worker/method.
+    pub fn collector(&self) -> TraceCollector {
+        match &self.0 {
+            None => TraceCollector::disabled(),
+            Some(s) => TraceCollector::enabled_with(s.clock),
+        }
+    }
+
+    /// Stamps global sequence numbers onto `events` and forwards them
+    /// to the sink. Call from the deterministic merge path only.
+    pub fn emit(&self, mut events: Vec<Event>) {
+        let Some(s) = &self.0 else { return };
+        if events.is_empty() {
+            return;
+        }
+        let base = s.next_seq.fetch_add(events.len() as u64, Ordering::Relaxed);
+        for (i, e) in events.iter_mut().enumerate() {
+            e.seq = base + i as u64;
+        }
+        s.sink.write(&events);
+    }
+
+    /// Folds a per-method registry into the run-wide one.
+    pub fn merge_metrics(&self, m: &MetricsRegistry) {
+        if let Some(s) = &self.0 {
+            s.metrics.lock().expect("metrics poisoned").merge(m);
+        }
+    }
+
+    /// A snapshot of the run-wide metrics.
+    pub fn metrics(&self) -> MetricsRegistry {
+        match &self.0 {
+            None => MetricsRegistry::new(),
+            Some(s) => s.metrics.lock().expect("metrics poisoned").clone(),
+        }
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        if let Some(s) = &self.0 {
+            s.sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let handle = TraceHandle::disabled();
+        assert!(!handle.is_enabled());
+        let mut c = handle.collector();
+        assert!(!c.is_enabled());
+        let t = c.span_start("phase");
+        c.event("x", vec![]);
+        c.gauge("g", 1);
+        c.counter("n", 1);
+        c.span_end(t);
+        let (events, metrics) = c.take();
+        assert!(events.is_empty());
+        assert!(metrics.is_empty());
+        handle.emit(Vec::new());
+        assert!(handle.metrics().is_empty());
+    }
+
+    #[test]
+    fn logical_clock_traces_are_reproducible() {
+        let run = || {
+            let sink = Arc::new(MemorySink::new(64));
+            let handle = TraceHandle::new(sink.clone(), ClockKind::Logical);
+            let mut c = handle.collector();
+            let t = c.span_start("exec:m");
+            c.event("solver.query", vec![("fuel".to_string(), Value::UInt(3))]);
+            c.gauge("budget.states", 2);
+            c.span_end(t);
+            let (events, metrics) = c.take();
+            handle.emit(events);
+            handle.merge_metrics(&metrics);
+            (sink.events(), handle.metrics())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "logical-clock traces must be byte-identical");
+        // Dense, zero-based sequence numbers; span durations recorded.
+        let events = &a.0;
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (0..events.len() as u64).collect::<Vec<_>>()
+        );
+        let end = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanEnd)
+            .unwrap();
+        assert!(end.field_u64("duration_nanos").unwrap() > 0);
+        assert_eq!(
+            a.1.counter("budget.states"),
+            0,
+            "gauge is a histogram, not a counter"
+        );
+        assert!(a.1.histogram("budget.states").is_some());
+    }
+
+    #[test]
+    fn emit_stamps_sequence_across_batches() {
+        let sink = Arc::new(MemorySink::new(64));
+        let handle = TraceHandle::new(sink.clone(), ClockKind::Logical);
+        for _ in 0..2 {
+            let mut c = handle.collector();
+            c.event("a", vec![]);
+            c.event("b", vec![]);
+            let (events, _) = c.take();
+            handle.emit(events);
+        }
+        let seqs: Vec<u64> = sink.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn handles_compare_by_identity() {
+        let sink = Arc::new(MemorySink::new(4));
+        let h1 = TraceHandle::new(sink.clone(), ClockKind::Logical);
+        let h2 = h1.clone();
+        let h3 = TraceHandle::new(sink, ClockKind::Logical);
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+        assert_eq!(TraceHandle::disabled(), TraceHandle::default());
+    }
+}

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_verifier.json: release-build the workspace, run the
-# F1 verifier benchmark, and leave the JSON at the repo root.
+# F1 verifier benchmark, and leave the JSON at the repo root — plus a
+# phase-attribution profile (PROFILE_verifier.txt) next to it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p daenerys-bench
 cargo run --release -q -p daenerys-bench --bin tables -- --f1 --json "$@"
+cargo run --release -q -p daenerys-bench --bin tables -- --profile > /dev/null
 
 echo "baseline written to $(pwd)/BENCH_verifier.json"
+echo "profile  written to $(pwd)/PROFILE_verifier.txt"

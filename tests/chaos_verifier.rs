@@ -444,8 +444,10 @@ fn bodyless_method_is_skipped_by_verify_all_and_definite_alone() {
         },
     );
     match v.verify_method_verdict("spec_only") {
-        Verdict::Failed { failures } => {
+        Verdict::Failed { failures, report } => {
             assert!(failures[0].description.contains("abstract"));
+            assert!(!report.is_empty(), "even stateless failures get a report");
+            assert!(report.first_failure.contains("abstract"));
         }
         other => panic!("abstract method should fail definitely, got {}", other),
     }
@@ -465,4 +467,87 @@ fn empty_program_yields_empty_verdict_map() {
         ..VerifierConfig::default()
     };
     assert!(verdicts_with(&program, config).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Proof-failure diagnostics: no undiagnosed failure leaves the pipeline.
+// ---------------------------------------------------------------------
+
+/// Every `Failed` or `Unknown` verdict — across the negative corpus,
+/// under exhausted budgets, and under injected faults — carries a
+/// non-empty `FailureReport` naming the method and its first failure.
+#[test]
+fn failed_and_unknown_verdicts_always_carry_a_failure_report() {
+    quiet_injected_panics();
+    fn check(label: &str, verdicts: &BTreeMap<String, Verdict>) -> usize {
+        let mut diagnosable = 0;
+        for (name, verdict) in verdicts {
+            if matches!(verdict, Verdict::Failed { .. } | Verdict::Unknown { .. }) {
+                diagnosable += 1;
+                let report = verdict.report().expect("Failed/Unknown carry a report");
+                assert!(!report.is_empty(), "{}: empty report for {}", label, name);
+                assert_eq!(&report.method, name, "{}: report names wrong method", label);
+                assert!(
+                    !report.first_failure.is_empty(),
+                    "{}: blank first failure for {}",
+                    label,
+                    name
+                );
+            }
+        }
+        diagnosable
+    }
+
+    // The negative corpus: every case fails at least one method, and
+    // every failure is diagnosed.
+    for case in daenerys::idf::negative_cases() {
+        let program = parse_program(case.source).expect("negative case parses");
+        let verdicts = verdicts_with(&program, VerifierConfig::default());
+        assert!(
+            check(case.name, &verdicts) > 0,
+            "{}: negative case produced no diagnosable verdict",
+            case.name
+        );
+    }
+
+    // Budget exhaustion: the diverging method degrades to `Unknown`
+    // and its report names the exhausted budget.
+    let verdicts = verdicts_with(
+        &diverging(),
+        VerifierConfig {
+            budget: Budget::unlimited().with_solver_fuel(64),
+            retry_unknown: false,
+            ..VerifierConfig::default()
+        },
+    );
+    assert!(check("fuel budget", &verdicts) > 0);
+    let report = verdicts["diverge"]
+        .report()
+        .expect("exhausted method reports");
+    assert!(
+        report.first_failure.contains("budget exhausted"),
+        "budget report should name the exhaustion, got: {}",
+        report.first_failure
+    );
+
+    // Injected faults: solver degradation and forced exhaustion on one
+    // method are both diagnosed (a contained panic is `CrashedInternal`
+    // and intentionally carries no report — the buffer died with it).
+    for kind in [
+        FaultKind::SolverUnknownAfter(0),
+        FaultKind::ExhaustBudget(BudgetAxis::States),
+        FaultKind::ExhaustBudget(BudgetAxis::SolverFuel),
+    ] {
+        let config = VerifierConfig {
+            faults: FaultPlan::none().inject("diverge", kind),
+            retry_unknown: false,
+            ..VerifierConfig::default()
+        };
+        let verdicts = verdicts_with(&diverging(), config);
+        assert!(
+            check("injected fault", &verdicts) > 0,
+            "{:?}: fault produced no diagnosable verdict",
+            kind
+        );
+    }
 }
