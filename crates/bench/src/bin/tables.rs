@@ -4,9 +4,10 @@
 //!
 //! ```text
 //! cargo run -p daenerys-bench --bin tables [--t1] [--t2] [--t3] [--t4] \
-//!     [--f1] [--f2] [--f3] [--json] [--no-cache] [--threads N] \
-//!     [--timeout-ms N] [--fuel N] [--repeat N] [--trace-out PATH] \
-//!     [--profile]
+//!     [--f1] [--f2] [--f3] [--json] [--no-cache] [--no-simplify] \
+//!     [--no-learn] [--threads N] [--timeout-ms N] [--fuel N] \
+//!     [--repeat N] [--trace-out PATH] [--profile] [--incremental] \
+//!     [--cache-dir PATH] [--expect-reverified N] [--out-dir PATH]
 //! ```
 //!
 //! With no table/figure flags, every table and figure is printed.
@@ -14,6 +15,18 @@
 //! * `--no-cache` disables the solver's memo layers (the pre-cache
 //!   pipeline) and `--threads N` pins the verification fan-out — both
 //!   change cost only, never answers.
+//! * `--no-simplify` disables intern-time canonicalization and
+//!   `--no-learn` the clause-learning solver core, isolating each
+//!   query-avoidance layer for A/B measurement.
+//! * `--incremental` adds the F1 incremental section: each case is
+//!   verified against the persistent verdict store under `--cache-dir`
+//!   (default `target/ivc`), its restored verdicts are checked
+//!   bit-identical against a from-scratch run, and the number of
+//!   re-verified methods is reported. `--expect-reverified N` turns
+//!   that report into a hard assertion (exit 1 on mismatch) for CI.
+//! * `--out-dir PATH` places generated artifacts (`BENCH_verifier.json`,
+//!   `PROFILE_verifier.txt`) under `PATH` instead of the working
+//!   directory.
 //! * `--timeout-ms N` sets a per-method wall-clock deadline and
 //!   `--fuel N` a per-method DPLL-branch budget; a method that blows
 //!   its budget is reported (and counted in the JSON) as `Unknown`
@@ -39,12 +52,15 @@ use daenerys_bench::{
 use daenerys_core::check::{catalog, corpus, ghost_catalog, verify_catalog};
 use daenerys_core::{check_stable, stabilize_fast, Assert, CameraKind, Term, UniverseSpec};
 use daenerys_heaplang::{explore, parse, Machine};
-use daenerys_idf::{chain_program, positive_cases, scaling_program, Backend, VerifierConfig};
+use daenerys_idf::{
+    chain_program, diverging_program, positive_cases, scaling_program, Backend, VerifierConfig,
+};
 use daenerys_obs::{ClockKind, JsonlSink, MemorySink, TraceHandle};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-const KNOWN_FLAGS: [&str; 15] = [
+const KNOWN_FLAGS: [&str; 21] = [
     "--t1",
     "--t2",
     "--t3",
@@ -54,12 +70,18 @@ const KNOWN_FLAGS: [&str; 15] = [
     "--f3",
     "--json",
     "--no-cache",
+    "--no-simplify",
+    "--no-learn",
     "--threads",
     "--timeout-ms",
     "--fuel",
     "--repeat",
     "--trace-out",
     "--profile",
+    "--incremental",
+    "--cache-dir",
+    "--expect-reverified",
+    "--out-dir",
 ];
 
 /// Parsed command line.
@@ -69,6 +91,14 @@ struct Opts {
     profile: bool,
     repeat: usize,
     trace_out: Option<String>,
+    /// Verdict-store root for the incremental section (`Some` when
+    /// `--incremental` or `--cache-dir` is given). Kept out of
+    /// `config` so the timed rows never measure the restore path.
+    cache_dir: Option<std::path::PathBuf>,
+    /// Hard assertion on the incremental section's re-verified total.
+    expect_reverified: Option<usize>,
+    /// Where generated artifacts are written (default: working dir).
+    out_dir: std::path::PathBuf,
     config: VerifierConfig,
 }
 
@@ -80,6 +110,9 @@ fn parse_args() -> Opts {
         profile: false,
         repeat: 5,
         trace_out: None,
+        cache_dir: None,
+        expect_reverified: None,
+        out_dir: std::path::PathBuf::from("."),
         config: VerifierConfig::default(),
     };
     let mut i = 0;
@@ -89,6 +122,47 @@ fn parse_args() -> Opts {
             "--json" => opts.json = true,
             "--profile" => opts.profile = true,
             "--no-cache" => opts.config.cache = false,
+            "--no-simplify" => opts.config.simplify = false,
+            "--no-learn" => opts.config.learn = false,
+            "--incremental" => {
+                if opts.cache_dir.is_none() {
+                    opts.cache_dir = Some(std::path::PathBuf::from("target/ivc"));
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) if !path.starts_with("--") => {
+                        opts.cache_dir = Some(std::path::PathBuf::from(path));
+                    }
+                    _ => {
+                        eprintln!("tables: --cache-dir needs a directory path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--expect-reverified" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => opts.expect_reverified = Some(n),
+                    None => {
+                        eprintln!("tables: --expect-reverified needs an integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) if !path.starts_with("--") => {
+                        opts.out_dir = std::path::PathBuf::from(path);
+                    }
+                    _ => {
+                        eprintln!("tables: --out-dir needs a directory path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--repeat" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
@@ -177,6 +251,10 @@ fn main() {
     // table flags it rides along.
     let all = opts.selected.is_empty() && !opts.profile;
     let want = |flag: &str| all || opts.selected.iter().any(|a| a == flag);
+    if opts.expect_reverified.is_some() && (opts.cache_dir.is_none() || !want("--f1")) {
+        eprintln!("tables: --expect-reverified requires --f1 and --incremental/--cache-dir");
+        std::process::exit(2);
+    }
 
     if want("--t1") {
         table_t1(&opts);
@@ -221,14 +299,37 @@ fn phase_profile(src: &str, backend: Backend, base: &VerifierConfig) -> ProfileR
     profile_events(&sink.events())
 }
 
-/// `--profile`: phase attribution of the positive case studies on the
-/// destabilized backend, printed and written to `PROFILE_verifier.txt`.
+/// `--profile`: phase attribution of the positive case studies (plus
+/// the exponential diverging case) on the destabilized backend, each
+/// with its release-over-release counters (`dpll_branches`,
+/// `learned_clauses`, `methods_reverified`), printed and written to
+/// `PROFILE_verifier.txt` under `--out-dir`.
 fn run_profile(opts: &Opts) {
     println!("\nProfile: phase attribution per case (destabilized backend)");
+    let mut cases: Vec<(String, String)> = positive_cases()
+        .iter()
+        .map(|c| (c.name.to_string(), c.source.to_string()))
+        .collect();
+    cases.push(("diverging_6".to_string(), diverging_program(6)));
     let mut out = String::new();
-    for case in positive_cases() {
-        let report = phase_profile(case.source, Backend::Destabilized, &opts.config);
-        let block = format!("== {} ==\n{}", case.name, render_profile(&report));
+    for (name, src) in &cases {
+        let report = phase_profile(src, Backend::Destabilized, &opts.config);
+        // Counters come from an untraced run (through the verdict
+        // store when `--incremental` is active, so the re-verified
+        // count is meaningful).
+        let config = VerifierConfig {
+            cache_dir: opts.cache_dir.as_ref().map(|d| d.join(name)),
+            ..opts.config.clone()
+        };
+        let run = run_backend_with(src, Backend::Destabilized, config);
+        let counters = format!(
+            "counters: dpll_branches={} learned_clauses={} methods_reverified={}\n",
+            run.total(|s| s.solver_branches),
+            run.total(|s| s.learned_clauses),
+            run.reverified
+                .map_or_else(|| "n/a".to_string(), |n| n.to_string()),
+        );
+        let block = format!("== {} ==\n{}{}", name, render_profile(&report), counters);
         println!();
         for line in block.lines() {
             println!("    {}", line);
@@ -236,10 +337,11 @@ fn run_profile(opts: &Opts) {
         out.push_str(&block);
         out.push('\n');
     }
-    match std::fs::write("PROFILE_verifier.txt", &out) {
-        Ok(()) => println!("\n    wrote PROFILE_verifier.txt"),
+    let path = artifact_path(opts, "PROFILE_verifier.txt");
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("\n    wrote {}", path.display()),
         Err(e) => {
-            eprintln!("tables: cannot write PROFILE_verifier.txt: {}", e);
+            eprintln!("tables: cannot write {}: {}", path.display(), e);
             std::process::exit(1);
         }
     }
@@ -486,9 +588,129 @@ fn figure_f1(opts: &Opts) {
         chain_rows.push((n, dm, dc, sm, sc));
     }
 
-    if opts.json {
-        write_bench_json(opts, &chain_rows);
+    // F1c: the exponential case — clause learning + propagation vs.
+    // the naive DPLL core, A/B'd regardless of the session's
+    // `--no-learn` setting so the branch counters stay comparable
+    // release over release.
+    let learn_on = VerifierConfig {
+        learn: true,
+        ..opts.config.clone()
+    };
+    let learn_off = VerifierConfig {
+        learn: false,
+        ..opts.config.clone()
+    };
+    println!("\nF1c. Diverging sweep: clause-learning core vs. naive DPLL (destabilized)\n");
+    println!(
+        "    {:>4} | {:>8} {:>8} | {:>8} {:>8} | {:>7} | {:>8}",
+        "k", "µs_cdcl", "µs_dpll", "br_cdcl", "br_dpll", "learned", "br_ratio"
+    );
+    println!("    {}", "-".repeat(68));
+    let mut diverging_rows = Vec::new();
+    for k in DIVERGING_SIZES {
+        let src = diverging_program(k);
+        let dl = measure_median(&src, Backend::Destabilized, &learn_on, opts.repeat);
+        let dn = measure_median(&src, Backend::Destabilized, &learn_off, opts.repeat);
+        let (bl, bn) = (
+            dl.total(|x| x.solver_branches),
+            dn.total(|x| x.solver_branches),
+        );
+        println!(
+            "    {:>4} | {:>8} {:>8} | {:>8} {:>8} | {:>7} | {:>7.2}x",
+            k,
+            micros(dl.time),
+            micros(dn.time),
+            bl,
+            bn,
+            dl.total(|x| x.learned_clauses),
+            bn as f64 / bl.max(1) as f64,
+        );
+        diverging_rows.push((k, dl, dn));
     }
+
+    let incremental_rows = incremental_section(opts);
+
+    if opts.json {
+        write_bench_json(opts, &chain_rows, &diverging_rows, &incremental_rows);
+    }
+}
+
+/// Sizes of the F1 diverging sweep (`2^k` raw DPLL branches each).
+const DIVERGING_SIZES: [usize; 4] = [2, 4, 6, 8];
+
+/// One row of the F1 incremental section: case name, method count,
+/// methods actually re-verified, and wall time of the incremental run.
+type IncrementalRow = (String, usize, usize, std::time::Duration);
+
+/// F1d (only with `--incremental`/`--cache-dir`): verifies each case
+/// against a per-case persistent verdict store, checks the outcome
+/// bit-identical to a from-scratch run, and reports how many methods
+/// the store could not absorb. Exits nonzero when the total disagrees
+/// with `--expect-reverified`.
+fn incremental_section(opts: &Opts) -> Vec<IncrementalRow> {
+    let Some(dir) = &opts.cache_dir else {
+        return Vec::new();
+    };
+    println!(
+        "\nF1d. Incremental verification (verdict store under {})\n",
+        dir.display()
+    );
+    println!(
+        "    {:<18} {:>7} {:>10} {:>9}",
+        "case", "methods", "reverified", "µs"
+    );
+    println!("    {}", "-".repeat(48));
+    let mut corpus: Vec<(String, String)> = positive_cases()
+        .iter()
+        .map(|c| (c.name.to_string(), c.source.to_string()))
+        .collect();
+    corpus.push(("chain_32".to_string(), chain_program(32)));
+    corpus.push(("diverging_6".to_string(), diverging_program(6)));
+    let mut rows = Vec::new();
+    let mut total = 0usize;
+    for (name, src) in &corpus {
+        let config = VerifierConfig {
+            cache_dir: Some(dir.join(name)),
+            ..opts.config.clone()
+        };
+        let inc = run_backend_with(src, Backend::Destabilized, config);
+        let direct = run_backend_with(src, Backend::Destabilized, opts.config.clone());
+        let normalize = |run: &BackendRun| -> BTreeMap<String, _> {
+            run.verdicts
+                .iter()
+                .map(|(m, v)| (m.clone(), v.normalized()))
+                .collect()
+        };
+        assert_eq!(
+            normalize(&inc),
+            normalize(&direct),
+            "incremental verdicts for {} are not bit-identical to a fresh run",
+            name
+        );
+        let reverified = inc.reverified.expect("incremental run reports a count");
+        total += reverified;
+        println!(
+            "    {:<18} {:>7} {:>10} {:>9}",
+            name,
+            inc.verdicts.len(),
+            reverified,
+            micros(inc.time)
+        );
+        rows.push((name.clone(), inc.verdicts.len(), reverified, inc.time));
+    }
+    println!("    {}", "-".repeat(48));
+    println!("    total methods re-verified: {}", total);
+    if let Some(expect) = opts.expect_reverified {
+        if total != expect {
+            eprintln!(
+                "tables: expected {} re-verified methods, got {}",
+                expect, total
+            );
+            std::process::exit(1);
+        }
+        println!("    matches --expect-reverified {}", expect);
+    }
+    rows
 }
 
 /// Renders an optional count as JSON (`null` when unlimited).
@@ -497,7 +719,13 @@ fn json_opt(v: Option<u64>) -> String {
 }
 
 /// One measurement as a JSON object.
+///
+/// # Panics
+///
+/// Panics when the counter invariant `hits + misses == queries` is
+/// broken — the harness refuses to emit inconsistent numbers.
 fn run_json(run: &BackendRun) -> String {
+    run.check_cache_accounting();
     let hits = run.total(|x| x.cache_hits);
     let misses = run.total(|x| x.cache_misses);
     let rate = if hits + misses == 0 {
@@ -506,16 +734,19 @@ fn run_json(run: &BackendRun) -> String {
         hits as f64 / (hits + misses) as f64
     };
     format!(
-        "{{\"wall_micros\": {:.1}, \"solver_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"obligations\": {}, \"interned_terms\": {}, \"unknown_methods\": {}, \"budget_exhausted\": {}}}",
+        "{{\"wall_micros\": {:.1}, \"solver_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"dpll_branches\": {}, \"learned_clauses\": {}, \"obligations\": {}, \"interned_terms\": {}, \"unknown_methods\": {}, \"budget_exhausted\": {}, \"methods_reverified\": {}}}",
         run.time.as_secs_f64() * 1e6,
         run.total(|x| x.solver_queries),
         hits,
         misses,
         rate,
+        run.total(|x| x.solver_branches),
+        run.total(|x| x.learned_clauses),
         run.total(|x| x.obligations),
         run.total(|x| x.interned_terms),
         run.unknown_methods(),
         run.budget_exhausted(),
+        json_opt(run.reverified.map(|n| n as u64)),
     )
 }
 
@@ -533,11 +764,14 @@ fn phases_json(p: &ProfileReport) -> String {
     )
 }
 
-/// Emits `BENCH_verifier.json`: the positive case studies and the chain
-/// sweep, measured on both backends.
+/// Emits `BENCH_verifier.json`: the positive case studies, the chain
+/// sweep, the diverging (clause-learning) sweep, and — when enabled —
+/// the incremental section.
 fn write_bench_json(
     opts: &Opts,
     chain_rows: &[(usize, BackendRun, BackendRun, BackendRun, BackendRun)],
+    diverging_rows: &[(usize, BackendRun, BackendRun)],
+    incremental_rows: &[IncrementalRow],
 ) {
     let mut cases = Vec::new();
     for case in positive_cases() {
@@ -575,24 +809,58 @@ fn write_bench_json(
             run_json(sc)
         ));
     }
+    let mut diverging = Vec::new();
+    for (k, dl, dn) in diverging_rows {
+        diverging.push(format!(
+            "    {{\"k\": {}, \"learn\": {}, \"no_learn\": {}}}",
+            k,
+            run_json(dl),
+            run_json(dn)
+        ));
+    }
+    let mut incremental = Vec::new();
+    for (name, methods, reverified, time) in incremental_rows {
+        incremental.push(format!(
+            "    {{\"name\": \"{}\", \"methods\": {}, \"methods_reverified\": {}, \"wall_micros\": {:.1}}}",
+            name,
+            methods,
+            reverified,
+            time.as_secs_f64() * 1e6
+        ));
+    }
     let json = format!
         (
-        "{{\n  \"experiment\": \"F1 verifier pipeline\",\n  \"command\": \"cargo run -p daenerys-bench --bin tables -- --f1 --json\",\n  \"config\": {{\"cache\": {}, \"threads\": {}, \"timeout_ms\": {}, \"fuel\": {}, \"repeat\": {}}},\n  \"cases\": [\n{}\n  ],\n  \"chain\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"F1 verifier pipeline\",\n  \"command\": \"cargo run -p daenerys-bench --bin tables -- --f1 --json\",\n  \"config\": {{\"cache\": {}, \"simplify\": {}, \"learn\": {}, \"incremental\": {}, \"threads\": {}, \"timeout_ms\": {}, \"fuel\": {}, \"repeat\": {}}},\n  \"cases\": [\n{}\n  ],\n  \"chain\": [\n{}\n  ],\n  \"diverging\": [\n{}\n  ],\n  \"incremental\": [\n{}\n  ]\n}}\n",
         opts.config.cache,
+        opts.config.simplify,
+        opts.config.learn,
+        opts.cache_dir.is_some(),
         opts.config.threads,
         json_opt(opts.config.budget.deadline_ms),
         json_opt(opts.config.budget.solver_fuel),
         opts.repeat,
         cases.join(",\n"),
         chain.join(",\n"),
+        diverging.join(",\n"),
+        incremental.join(",\n"),
     );
-    match std::fs::write("BENCH_verifier.json", &json) {
-        Ok(()) => println!("\n    wrote BENCH_verifier.json"),
+    let path = artifact_path(opts, "BENCH_verifier.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\n    wrote {}", path.display()),
         Err(e) => {
-            eprintln!("tables: cannot write BENCH_verifier.json: {}", e);
+            eprintln!("tables: cannot write {}: {}", path.display(), e);
             std::process::exit(1);
         }
     }
+}
+
+/// Joins `name` onto `--out-dir`, creating the directory first.
+fn artifact_path(opts: &Opts, name: &str) -> std::path::PathBuf {
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("tables: cannot create {}: {}", opts.out_dir.display(), e);
+        std::process::exit(1);
+    }
+    opts.out_dir.join(name)
 }
 
 /// F2: stabilization cost — semantic ⌊·⌋ vs. the syntactic stabilizer.

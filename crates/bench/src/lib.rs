@@ -22,6 +22,10 @@ pub struct BackendRun {
     /// Per-method verdicts, including methods degraded to `Unknown`
     /// under a finite budget.
     pub verdicts: BTreeMap<String, Verdict>,
+    /// How many methods were actually re-verified (`Some` only for
+    /// incremental runs, i.e. when the config has a `cache_dir`; the
+    /// rest were restored from the persistent verdict store).
+    pub reverified: Option<usize>,
 }
 
 impl BackendRun {
@@ -37,6 +41,29 @@ impl BackendRun {
             .values()
             .filter(|v| matches!(v, Verdict::Unknown { .. }))
             .count()
+    }
+
+    /// Hard counter invariant: every solver query is answered either
+    /// by the memo table or by a fresh decision, in *every* mode —
+    /// cached, uncached, single- or multi-threaded, incremental. A
+    /// violation means a counting path regressed (the pre-PR-4
+    /// baseline reported `cache_misses: 0` for uncached chain runs),
+    /// so the harness refuses to emit numbers built on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cache_hits + cache_misses != solver_queries`.
+    pub fn check_cache_accounting(&self) {
+        let (hits, misses) = (self.total(|s| s.cache_hits), self.total(|s| s.cache_misses));
+        let queries = self.total(|s| s.solver_queries);
+        assert_eq!(
+            hits + misses,
+            queries,
+            "cache accounting invariant broken: hits({}) + misses({}) != queries({})",
+            hits,
+            misses,
+            queries
+        );
     }
 
     /// Budget-exhaustion events across the run: methods that ended
@@ -85,6 +112,7 @@ pub fn run_backend_with(src: &str, backend: Backend, config: VerifierConfig) -> 
     let mut verifier = Verifier::with_config(&program, backend, config);
     let verdicts = verifier.verify_all_verdicts();
     let time = start.elapsed();
+    let reverified = verifier.methods_reverified();
     let mut stats = BTreeMap::new();
     for (name, verdict) in &verdicts {
         match verdict {
@@ -95,11 +123,14 @@ pub fn run_backend_with(src: &str, backend: Backend, config: VerifierConfig) -> 
             other => panic!("harness program must verify: {} is {}", name, other),
         }
     }
-    BackendRun {
+    let run = BackendRun {
         time,
         stats,
         verdicts,
-    }
+        reverified,
+    };
+    run.check_cache_accounting();
+    run
 }
 
 /// Formats a duration in microseconds for table cells.
@@ -155,6 +186,8 @@ pub struct MethodProfile {
     pub fuel: u64,
     /// Queries answered from the memo table.
     pub cache_hits: u64,
+    /// Conflict clauses learned while answering those queries.
+    pub learned: u64,
 }
 
 /// One expensive solver query surfaced by the profile.
@@ -253,6 +286,7 @@ pub fn profile_events(events: &[Event]) -> ProfileReport {
                 let profile = report.methods.entry(method.clone()).or_default();
                 profile.queries += 1;
                 profile.fuel += fuel;
+                profile.learned += e.field_u64("learned").unwrap_or(0);
                 if cache_hit {
                     profile.cache_hits += 1;
                 }
@@ -285,12 +319,13 @@ pub fn render_profile(report: &ProfileReport) -> String {
     }
     for (name, m) in &report.methods {
         out.push_str(&format!(
-            "  exec:{:<21} {:>10.1}   q={} fuel={} hits={}\n",
+            "  exec:{:<21} {:>10.1}   q={} fuel={} hits={} learned={}\n",
             name,
             m.total_nanos as f64 / 1e3,
             m.queries,
             m.fuel,
-            m.cache_hits
+            m.cache_hits,
+            m.learned
         ));
         for (phase, nanos) in &m.phase_nanos {
             out.push_str(&format!(

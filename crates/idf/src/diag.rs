@@ -24,6 +24,9 @@ pub struct QueryCost {
     pub fuel: u64,
     /// Whether the query-cache answered it.
     pub cache_hit: bool,
+    /// Conflict clauses the solver learned during this query (0 for
+    /// cache hits and satisfiable leaves).
+    pub learned: u64,
     /// Order-insensitive hash of the normalized path condition + goal
     /// (see [`pc_hash`]) — correlates the record with trace events.
     pub pc_hash: u64,
@@ -86,8 +89,8 @@ impl fmt::Display for FailureReport {
             for q in &self.hot_queries {
                 writeln!(
                     f,
-                    "    fuel={:<6} cache_hit={:<5} [{:?}] {} (pc#{:016x})",
-                    q.fuel, q.cache_hit, q.answer, q.description, q.pc_hash
+                    "    fuel={:<6} learned={:<3} cache_hit={:<5} [{:?}] {} (pc#{:016x})",
+                    q.fuel, q.learned, q.cache_hit, q.answer, q.description, q.pc_hash
                 )?;
             }
         }
@@ -148,7 +151,7 @@ impl QueryLog {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -177,6 +180,7 @@ mod tests {
             description: tag.to_string(),
             fuel,
             cache_hit: false,
+            learned: 0,
             pc_hash: 0,
             answer: Answer::Valid,
         }

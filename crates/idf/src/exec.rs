@@ -73,6 +73,20 @@ pub struct VerifierConfig {
     /// ([`Budget::escalated`]) budget before settling on `Unknown`
     /// (default: `true`; a no-op under the unlimited budget).
     pub retry_unknown: bool,
+    /// Canonicalize terms at intern time (constant folding, commuted
+    /// argument ordering, neutral/absorbing-element elimination) so
+    /// equal obligations hash-cons to the same term (default: `true`).
+    pub simplify: bool,
+    /// Enable the clause-learning solver core: unit propagation,
+    /// pure-literal elimination, and conflict clauses retained across
+    /// queries within a method (default: `true`). Off reproduces the
+    /// naive DPLL bit for bit.
+    pub learn: bool,
+    /// Directory of the persistent incremental verdict store. `Some`
+    /// turns on incremental verification: methods whose semantic
+    /// fingerprint matches a prior `Verified`/`Failed` entry are not
+    /// re-verified (default: `None` — every method is verified).
+    pub cache_dir: Option<std::path::PathBuf>,
     /// The flight recorder (default: disabled — zero overhead).
     /// Workers buffer events per method and [`Verifier::verify_all`]'s
     /// merge path emits them in program order, so traces are
@@ -88,6 +102,9 @@ impl Default for VerifierConfig {
             budget: Budget::UNLIMITED,
             faults: FaultPlan::default(),
             retry_unknown: true,
+            simplify: true,
+            learn: true,
+            cache_dir: None,
             trace: TraceHandle::disabled(),
         }
     }
@@ -281,6 +298,9 @@ pub struct VerifyStats {
     pub cache_hits: usize,
     /// Solver query-cache misses.
     pub cache_misses: usize,
+    /// Conflict clauses learned by the solver while verifying the
+    /// method (the monotone [`Solver::learned_clauses`] delta).
+    pub learned_clauses: usize,
     /// Distinct terms interned while verifying the method.
     pub interned_terms: usize,
     /// Symbols minted (includes baseline witnesses).
@@ -334,6 +354,7 @@ impl VerifyStats {
         self.solver_branches += other.solver_branches;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.learned_clauses += other.learned_clauses;
         self.interned_terms += other.interned_terms;
         self.symbols += other.symbols;
         self.witnesses += other.witnesses;
@@ -405,6 +426,10 @@ pub struct Verifier<'a> {
     query_log: QueryLog,
     /// Context captured at the current method's first failure.
     failure_ctx: Option<FailureCtx>,
+    /// How many methods the last `verify_all`/`verify_all_verdicts`
+    /// run actually re-verified (`None` before any run, or when the
+    /// run was not incremental).
+    reverified: Option<usize>,
 }
 
 impl<'a> Verifier<'a> {
@@ -422,6 +447,9 @@ impl<'a> Verifier<'a> {
     ) -> Verifier<'a> {
         let mut solver = Solver::new();
         solver.cache_enabled = config.cache;
+        solver.learn_enabled = config.learn;
+        let mut arena = TermArena::new();
+        arena.set_simplify(config.simplify);
         let collector = config.trace.collector();
         Verifier {
             program,
@@ -429,7 +457,7 @@ impl<'a> Verifier<'a> {
             config,
             solver,
             supply: SymSupply::new(),
-            arena: TermArena::new(),
+            arena,
             obligations: Vec::new(),
             stats: VerifyStats::default(),
             method_started: Instant::now(),
@@ -440,7 +468,17 @@ impl<'a> Verifier<'a> {
             collector,
             query_log: QueryLog::default(),
             failure_ctx: None,
+            reverified: None,
         }
+    }
+
+    /// How many methods the last `verify_all`/`verify_all_verdicts`
+    /// run re-verified, when it was incremental
+    /// ([`VerifierConfig::cache_dir`] set): methods restored from the
+    /// verdict store are not counted. `None` before any run or for
+    /// non-incremental runs (which always re-verify everything).
+    pub fn methods_reverified(&self) -> Option<usize> {
+        self.reverified
     }
 
     /// Verifies every method with a body; returns per-method stats.
@@ -509,27 +547,69 @@ impl<'a> Verifier<'a> {
             .filter(|m| m.body.is_some())
             .map(|m| m.name.clone())
             .collect();
-        let threads = self.config.effective_threads().min(names.len()).max(1);
+
+        // Incremental mode: restore every method whose semantic
+        // fingerprint matches a stored *definite* verdict; only the
+        // rest are scheduled. Fingerprints cover bodies, contracts,
+        // direct-callee contracts, and the answer-affecting config
+        // knobs (see `fingerprint`), so a restored verdict is the one
+        // re-verification would produce.
+        let mut store = self
+            .config
+            .cache_dir
+            .as_deref()
+            .map(crate::store::VerdictStore::open);
+        let mut fingerprints: Vec<Option<crate::fingerprint::Fingerprint>> =
+            vec![None; names.len()];
+        let mut restored: Vec<Option<Verdict>> = vec![None; names.len()];
+        if let Some(store) = &store {
+            for (i, name) in names.iter().enumerate() {
+                let method = self.program.method(name).expect("scheduled methods exist");
+                let fp = crate::fingerprint::method_fingerprint(
+                    self.program,
+                    method,
+                    self.backend,
+                    &self.config,
+                );
+                fingerprints[i] = Some(fp);
+                restored[i] = store.lookup(name, fp).cloned();
+            }
+        }
+        let pending: Vec<usize> = (0..names.len())
+            .filter(|&i| restored[i].is_none())
+            .collect();
+        self.reverified = store.as_ref().map(|_| pending.len());
+
+        let threads = self.config.effective_threads().min(pending.len()).max(1);
         let mut slots: Vec<Option<MethodOutcome>> = Vec::new();
         slots.resize_with(names.len(), || None);
 
         if threads <= 1 {
-            for (i, name) in names.iter().enumerate() {
-                slots[i] = Some(run_isolated(self.program, self.backend, &self.config, name));
+            for &i in &pending {
+                slots[i] = Some(run_isolated(
+                    self.program,
+                    self.backend,
+                    &self.config,
+                    &names[i],
+                ));
             }
         } else {
             let program = self.program;
             let backend = self.backend;
             let config = &self.config;
             let names_ref = &names;
+            let pending_ref = &pending;
             let outcomes = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|t| {
                         scope.spawn(move || {
                             let mut partial = Vec::new();
-                            for (i, name) in names_ref.iter().enumerate() {
-                                if i % threads == t {
-                                    partial.push((i, run_isolated(program, backend, config, name)));
+                            for (slot, &i) in pending_ref.iter().enumerate() {
+                                if slot % threads == t {
+                                    partial.push((
+                                        i,
+                                        run_isolated(program, backend, config, &names_ref[i]),
+                                    ));
                                 }
                             }
                             partial
@@ -553,7 +633,13 @@ impl<'a> Verifier<'a> {
         // stamped on this single-threaded path, so the stream is
         // identical at any thread count.
         let mut out = Vec::with_capacity(names.len());
-        for (i, slot) in slots.into_iter().enumerate() {
+        for (i, (slot, restored)) in slots.into_iter().zip(restored).enumerate() {
+            if let Some(verdict) = restored {
+                // Restored methods did no work: nothing merges into the
+                // run's aggregate statistics and no trace is emitted.
+                out.push((names[i].clone(), verdict));
+                continue;
+            }
             let outcome = slot.expect("every scheduled method produced an outcome");
             self.obligations.extend(outcome.obligations);
             let mut verdict = outcome.verdict;
@@ -563,7 +649,15 @@ impl<'a> Verifier<'a> {
             }
             self.config.trace.emit(outcome.events);
             self.config.trace.merge_metrics(&outcome.metrics);
+            if let (Some(store), Some(fp)) = (store.as_mut(), fingerprints[i]) {
+                store.record(&names[i], fp, &verdict);
+            }
             out.push((names[i].clone(), verdict));
+        }
+        if let Some(store) = &store {
+            // Best-effort persistence: an unwritable cache directory
+            // costs future reuse, never correctness.
+            let _ = store.save();
         }
         self.config.trace.flush();
         out
@@ -646,6 +740,11 @@ impl<'a> Verifier<'a> {
         self.exhausted = None;
         self.solver.fuel = self.config.budget.solver_fuel;
         self.solver.fuel_exhausted = false;
+        // Learned clauses never outlive the method that produced them:
+        // clearing here keeps every method's solver behavior a function
+        // of that method alone, preserving the per-method determinism
+        // contract at any thread count and under retries.
+        self.solver.clear_learned();
         self.arena.set_limit(self.config.budget.max_terms.map(|m| {
             self.arena
                 .len()
@@ -728,6 +827,7 @@ impl<'a> Verifier<'a> {
         let before_branches = self.solver.branches;
         let before_hits = self.solver.cache_hits;
         let before_misses = self.solver.cache_misses;
+        let before_learned = self.solver.learned_clauses;
         let before_terms = self.arena.len();
         let before_symbols = self.supply.minted();
         let before_obligations = self.obligations.len();
@@ -795,6 +895,7 @@ impl<'a> Verifier<'a> {
             solver_branches: self.solver.branches - before_branches,
             cache_hits: self.solver.cache_hits - before_hits,
             cache_misses: self.solver.cache_misses - before_misses,
+            learned_clauses: self.solver.learned_clauses - before_learned,
             interned_terms: self.arena.len() - before_terms,
             symbols: self.supply.minted() - before_symbols,
             witnesses: self.stats.witnesses - stats_base.witnesses,
@@ -817,6 +918,8 @@ impl<'a> Verifier<'a> {
                 .counter("solver.cache_misses", stats.cache_misses as u64);
             self.collector
                 .counter("solver.branches", stats.solver_branches as u64);
+            self.collector
+                .counter("solver.learned_clauses", stats.learned_clauses as u64);
             self.collector.counter("exec.states", stats.states as u64);
             self.collector
                 .counter("exec.obligations", stats.obligations as u64);
@@ -907,8 +1010,10 @@ impl<'a> Verifier<'a> {
     fn query(&mut self, pc: &[TermId], goal: TermId, site: &str) -> Answer {
         let hits_before = self.solver.cache_hits;
         let branches_before = self.solver.branches;
+        let learned_before = self.solver.learned_clauses;
         let answer = self.solver.entails(&mut self.arena, pc, goal);
         let fuel = (self.solver.branches - branches_before) as u64;
+        let learned = (self.solver.learned_clauses - learned_before) as u64;
         let traced = self.collector.is_enabled();
         if traced || self.query_log.accepts(fuel) {
             let cache_hit = self.solver.cache_hits > hits_before;
@@ -918,6 +1023,7 @@ impl<'a> Verifier<'a> {
                     description: site.to_string(),
                     fuel,
                     cache_hit,
+                    learned,
                     pc_hash: hash,
                     answer,
                 });
@@ -930,6 +1036,7 @@ impl<'a> Verifier<'a> {
                         ("answer".to_string(), Value::Str(format!("{:?}", answer))),
                         ("cache_hit".to_string(), Value::Bool(cache_hit)),
                         ("fuel".to_string(), Value::UInt(fuel)),
+                        ("learned".to_string(), Value::UInt(learned)),
                         ("pc_hash".to_string(), Value::UInt(hash)),
                     ],
                 );

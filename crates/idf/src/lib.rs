@@ -11,10 +11,12 @@ pub mod cases;
 pub mod compile;
 pub mod diag;
 pub mod exec;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
 pub mod smt;
+pub mod store;
 pub mod sym;
 pub mod translate;
 pub mod wf;
@@ -34,10 +36,12 @@ pub use exec::{
     Backend, Chunk, Obligation, UnknownReason, Verdict, Verifier, VerifierConfig, VerifyError,
     VerifyStats,
 };
+pub use fingerprint::{direct_callees, method_fingerprint, Fingerprint};
 pub use parser::{
     parse_assertion, parse_program, parse_program_traced, parse_program_with_recovery, ParseError,
 };
 pub use smt::{Answer, Solver};
+pub use store::{StoredVerdict, VerdictStore};
 pub use sym::{Sort, Sym, SymExpr, SymSupply, Term, TermArena, TermId};
 pub use translate::{
     env_of, full_ownership, obj_of, strip_old, translate_assertion, translate_assertion_traced,

@@ -32,7 +32,31 @@
 //! `cache_enabled` exists to measure the difference, not to change it.
 
 use crate::sym::{Sort, Sym, SymExpr, Term, TermArena, TermId};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Largest theory-conflict core the solver will try to minimize.
+/// Minimization costs one (memoized) theory check per literal, so huge
+/// leaf assignments are learned from only when they are worth the scan.
+const MINIMIZE_LIMIT: usize = 64;
+
+/// Widest clause retained after minimization. Wide clauses almost never
+/// propagate (every literal must be falsified first) but are scanned on
+/// every propagation round, so they cost more than they prune.
+const MAX_LEARN_WIDTH: usize = 8;
+
+/// Cap on retained learned clauses (a runaway backstop; the per-method
+/// clearing keeps real runs far below it).
+const MAX_LEARNED_CLAUSES: usize = 512;
+
+/// Per-method budget of theory checks spent on conflict analysis
+/// (core re-verification + minimization trials). Structured corpora
+/// learn their few useful lemmas within it; pathological corpora whose
+/// every leaf conflicts on a *distinct* core (e.g. the diverging
+/// sweep) exhaust it quickly and fall back to plain search instead of
+/// paying a Fourier–Motzkin run per literal per conflict. Refilled by
+/// [`Solver::clear_learned`] at method boundaries, so it is
+/// deterministic per method and thread-count independent.
+const LEARN_FUEL_PER_METHOD: u64 = 256;
 
 /// The answer to an entailment query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -199,8 +223,21 @@ pub struct Solver {
     /// `queries` exceeds this count. Injected answers bypass the caches
     /// entirely.
     pub unknown_after: Option<usize>,
+    /// Whether the clause-learning search core runs: unit propagation,
+    /// pure-literal elimination on boolean symbols, and conflict-driven
+    /// clause learning with lemmas retained across queries (cleared at
+    /// method boundaries by the verifier). Learned clauses are valid
+    /// theory lemmas, so they change cost, never answers; off
+    /// reproduces the plain case-splitting DPLL for measurement.
+    pub learn_enabled: bool,
+    /// Total theory-conflict clauses learned across all queries
+    /// (monotone; clearing retained clauses does not reset it).
+    pub learned_clauses: usize,
     query_cache: HashMap<(Vec<TermId>, TermId), Answer>,
     theory_cache: HashMap<Vec<(Atom, bool)>, SatAnswer>,
+    learned: Vec<Vec<(Atom, bool)>>,
+    learned_index: HashSet<Vec<(Atom, bool)>>,
+    learn_fuel: u64,
 }
 
 impl Default for Solver {
@@ -217,8 +254,13 @@ impl Default for Solver {
             fuel: None,
             fuel_exhausted: false,
             unknown_after: None,
+            learn_enabled: true,
+            learned_clauses: 0,
             query_cache: HashMap::new(),
             theory_cache: HashMap::new(),
+            learned: Vec::new(),
+            learned_index: HashSet::new(),
+            learn_fuel: LEARN_FUEL_PER_METHOD,
         }
     }
 }
@@ -301,11 +343,40 @@ impl Solver {
         self.entails(arena, &pc_ids, g)
     }
 
+    /// Forgets the learned clauses and refills the conflict-analysis
+    /// fuel. The verifier calls this at every method boundary: each
+    /// method's lemma set is then a function of that method's own query
+    /// sequence, which is what keeps verdicts, stats, and traces
+    /// bit-identical at any worker count.
+    pub fn clear_learned(&mut self) {
+        self.learned.clear();
+        self.learned_index.clear();
+        self.learn_fuel = LEARN_FUEL_PER_METHOD;
+    }
+
     fn sat(&mut self, arena: &mut TermArena, f: TermId) -> SatAnswer {
         let mut atoms = AtomTable::default();
         let skeleton = self.abstract_bool(arena, f, true, &mut atoms);
         let mut assignment: Vec<Option<bool>> = vec![None; atoms.list.len()];
-        self.dpll(&skeleton, &atoms.list, &mut assignment)
+        if !self.learn_enabled {
+            return self.dpll(&skeleton, &atoms.list, &mut assignment);
+        }
+        // Instantiate retained lemmas over this query's atom table. A
+        // clause applies only when every one of its atoms occurs in the
+        // formula — so propagation never assigns atoms the formula does
+        // not mention, and the leaf theory keys stay comparable to the
+        // naive search's.
+        let clauses: Vec<Vec<(usize, bool)>> = self
+            .learned
+            .iter()
+            .filter_map(|clause| {
+                clause
+                    .iter()
+                    .map(|(a, pol)| atoms.index.get(a).map(|&i| (i, *pol)))
+                    .collect()
+            })
+            .collect();
+        self.cdpll(&skeleton, &atoms.list, &clauses, &mut assignment)
     }
 
     /// Converts a boolean term to a skeleton, interning atoms.
@@ -513,6 +584,225 @@ impl Solver {
         }
     }
 
+    /// The clause-learning search: [`Solver::dpll`] extended with unit
+    /// propagation (formula conjuncts and learned-clause units),
+    /// pure-literal elimination on boolean symbols, and pruning by the
+    /// retained lemmas. Fuel and branch accounting are identical to the
+    /// naive search — one unit of each per entry — so budgets compare
+    /// the two cores on equal terms.
+    fn cdpll(
+        &mut self,
+        skeleton: &BForm,
+        atoms: &[Atom],
+        clauses: &[Vec<(usize, bool)>],
+        assignment: &mut Vec<Option<bool>>,
+    ) -> SatAnswer {
+        match self.fuel {
+            Some(0) => {
+                self.fuel_exhausted = true;
+                return SatAnswer::Unknown;
+            }
+            Some(f) => self.fuel = Some(f - 1),
+            None => {}
+        }
+        self.branches += 1;
+        // Only boolean symbols are ever purified, so the whole
+        // pure-literal pass (a formula walk plus a polarity map per
+        // propagation round) is skipped on the many queries that are
+        // pure arithmetic.
+        let has_bool_syms = atoms.iter().any(|a| matches!(a, Atom::BoolSym(_)));
+        // Literals assigned by propagation in this frame, unwound on
+        // every exit path.
+        let mut trail: Vec<usize> = Vec::new();
+        let verdict = 'search: loop {
+            let current = simplify(skeleton, assignment);
+            if matches!(current, BForm::False) {
+                break 'search SatAnswer::Unsat;
+            }
+            // A falsified lemma refutes the branch before any theory
+            // work: the clause is valid in every theory model.
+            let mut unit: Option<(usize, bool)> = None;
+            for clause in clauses {
+                let mut satisfied = false;
+                let mut open = None;
+                let mut open_count = 0;
+                for &(i, pol) in clause {
+                    match assignment[i] {
+                        Some(v) if v == pol => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            open_count += 1;
+                            open = Some((i, pol));
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                if open_count == 0 {
+                    break 'search SatAnswer::Unsat;
+                }
+                if open_count == 1 && unit.is_none() {
+                    unit = open;
+                }
+            }
+            if matches!(current, BForm::True) {
+                break 'search self.decide_leaf(atoms, assignment);
+            }
+            if let Some((i, pol)) = unit {
+                assignment[i] = Some(pol);
+                trail.push(i);
+                continue;
+            }
+            // Unit propagation from the formula: bare literals on the
+            // reduced conjunction spine are forced.
+            let mut units: Vec<(usize, bool)> = Vec::new();
+            collect_units(&current, &mut units);
+            let mut forced = false;
+            for (i, pol) in units {
+                match assignment[i] {
+                    None => {
+                        assignment[i] = Some(pol);
+                        trail.push(i);
+                        forced = true;
+                    }
+                    Some(v) if v != pol => break 'search SatAnswer::Unsat,
+                    Some(_) => {}
+                }
+            }
+            if forced {
+                continue;
+            }
+            // Pure-literal elimination, boolean symbols only. A
+            // BoolSym atom has no theory meaning, so committing its
+            // unique polarity preserves satisfiability exactly. Theory
+            // atoms are NOT safe to purify: assigning a pure `x ≤ 0`
+            // true strengthens the constraint set a leaf hands the
+            // theories and could flip a satisfiable leaf to conflict.
+            if has_bool_syms {
+                let mut polarity: BTreeMap<usize, (bool, bool)> = BTreeMap::new();
+                collect_polarities(&current, &mut polarity);
+                for clause in clauses {
+                    if clause.iter().any(|&(i, pol)| assignment[i] == Some(pol)) {
+                        continue;
+                    }
+                    for &(i, pol) in clause {
+                        if assignment[i].is_none() {
+                            let e = polarity.entry(i).or_insert((false, false));
+                            if pol {
+                                e.0 = true;
+                            } else {
+                                e.1 = true;
+                            }
+                        }
+                    }
+                }
+                let mut purified = false;
+                for (i, (pos, neg)) in &polarity {
+                    if pos != neg
+                        && assignment[*i].is_none()
+                        && matches!(atoms[*i], Atom::BoolSym(_))
+                    {
+                        assignment[*i] = Some(*pos);
+                        trail.push(*i);
+                        purified = true;
+                    }
+                }
+                if purified {
+                    continue;
+                }
+            }
+            // Branch, deterministically, on the first open literal.
+            let pick = first_lit(&current).expect("non-constant form has a literal");
+            assignment[pick] = Some(true);
+            let r1 = self.cdpll(&current, atoms, clauses, assignment);
+            if r1 == SatAnswer::Sat {
+                assignment[pick] = None;
+                break 'search SatAnswer::Sat;
+            }
+            assignment[pick] = Some(false);
+            let r2 = self.cdpll(&current, atoms, clauses, assignment);
+            assignment[pick] = None;
+            break 'search match (r1, r2) {
+                (_, SatAnswer::Sat) => SatAnswer::Sat,
+                (SatAnswer::Unsat, SatAnswer::Unsat) => SatAnswer::Unsat,
+                _ => SatAnswer::Unknown,
+            };
+        };
+        for i in trail {
+            assignment[i] = None;
+        }
+        verdict
+    }
+
+    /// Theory-checks a leaf of the clause-learning search and, on
+    /// conflict, learns a minimized refutation clause.
+    fn decide_leaf(&mut self, atoms: &[Atom], assignment: &[Option<bool>]) -> SatAnswer {
+        let key = theory_key(atoms, assignment);
+        let verdict = self.theory_decide(key.clone());
+        if verdict == SatAnswer::Unsat {
+            self.learn_conflict(&key);
+        }
+        verdict
+    }
+
+    /// Learns the negation of a minimized theory-conflict core as a
+    /// clause. Cores are LinLe/RefEq literals only — boolean symbols
+    /// never feed the theories, and `Opaque` atoms can only degrade a
+    /// verdict toward `Unknown`, so a conflict never depends on either.
+    fn learn_conflict(&mut self, key: &[(Atom, bool)]) {
+        if self.learned.len() >= MAX_LEARNED_CLAUSES {
+            return;
+        }
+        let mut core: Vec<(Atom, bool)> = key
+            .iter()
+            .filter(|(a, _)| matches!(a, Atom::LinLe(_) | Atom::RefEq(..)))
+            .cloned()
+            .collect();
+        if core.is_empty() || core.len() > MINIMIZE_LIMIT {
+            return;
+        }
+        // Conflict analysis costs one theory check to re-verify the
+        // filtered core plus up to one minimization trial per literal.
+        // Charge the worst case against the per-method fuel up front:
+        // once it runs dry, conflicts stop being analyzed and search
+        // proceeds at plain-DPLL cost (answers are unaffected — lemmas
+        // only ever prune).
+        let needed = 1 + core.len() as u64;
+        if self.learn_fuel < needed {
+            return;
+        }
+        self.learn_fuel -= needed;
+        if self.theory_decide(core.clone()) != SatAnswer::Unsat {
+            return;
+        }
+        // Greedy single-pass minimization: drop every literal whose
+        // removal keeps the core in conflict (each trial is a memoized
+        // theory check). Literals whose removal degrades the verdict to
+        // Unknown are kept — a lemma must be certain.
+        let mut i = 0;
+        while i < core.len() && core.len() > 1 {
+            let mut trial = core.clone();
+            trial.remove(i);
+            if self.theory_decide(trial) == SatAnswer::Unsat {
+                core.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if core.len() > MAX_LEARN_WIDTH {
+            return;
+        }
+        let clause: Vec<(Atom, bool)> = core.into_iter().map(|(a, pol)| (a, !pol)).collect();
+        if self.learned_index.insert(clause.clone()) {
+            self.learned.push(clause);
+            self.learned_clauses += 1;
+        }
+    }
+
     /// Checks a full propositional assignment against the theories.
     ///
     /// The verdict is a function of the *set* of assigned theory
@@ -521,13 +811,14 @@ impl Solver {
     /// DPLL leaves within one query, and across queries whose path
     /// conditions share a prefix, reuse each other's ground work.
     fn theory_check(&mut self, atoms: &[Atom], assignment: &[Option<bool>]) -> SatAnswer {
-        let mut key: Vec<(Atom, bool)> = atoms
-            .iter()
-            .zip(assignment.iter())
-            .filter_map(|(a, v)| v.map(|pol| (a.clone(), pol)))
-            .collect();
-        key.sort_unstable();
-        key.dedup();
+        let key = theory_key(atoms, assignment);
+        self.theory_decide(key)
+    }
+
+    /// Decides a sorted, deduplicated theory-literal set (the memoized
+    /// core of [`Solver::theory_check`], also driven directly by
+    /// conflict-core minimization).
+    fn theory_decide(&mut self, key: Vec<(Atom, bool)>) -> SatAnswer {
         if self.cache_enabled {
             if let Some(&cached) = self.theory_cache.get(&key) {
                 self.theory_hits += 1;
@@ -699,6 +990,53 @@ fn first_lit(f: &BForm) -> Option<usize> {
         BForm::True | BForm::False => None,
         BForm::Lit(i, _) => Some(*i),
         BForm::And(a, b) | BForm::Or(a, b) => first_lit(a).or_else(|| first_lit(b)),
+    }
+}
+
+/// The sorted, deduplicated assigned-literal set — the memoization key
+/// of a theory check and the raw material of a conflict core.
+fn theory_key(atoms: &[Atom], assignment: &[Option<bool>]) -> Vec<(Atom, bool)> {
+    let mut key: Vec<(Atom, bool)> = atoms
+        .iter()
+        .zip(assignment.iter())
+        .filter_map(|(a, v)| v.map(|pol| (a.clone(), pol)))
+        .collect();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+/// Collects the forced literals on the conjunction spine of a reduced
+/// formula: every bare literal conjoined at the top level must hold.
+fn collect_units(f: &BForm, out: &mut Vec<(usize, bool)>) {
+    match f {
+        BForm::Lit(i, pol) => out.push((*i, *pol)),
+        BForm::And(a, b) => {
+            collect_units(a, out);
+            collect_units(b, out);
+        }
+        _ => {}
+    }
+}
+
+/// Records which polarities each atom occurs with in a reduced formula
+/// (`.0` = positive seen, `.1` = negative seen). A `BTreeMap` keeps the
+/// subsequent pure-literal sweep deterministic.
+fn collect_polarities(f: &BForm, out: &mut BTreeMap<usize, (bool, bool)>) {
+    match f {
+        BForm::Lit(i, pol) => {
+            let e = out.entry(*i).or_insert((false, false));
+            if *pol {
+                e.0 = true;
+            } else {
+                e.1 = true;
+            }
+        }
+        BForm::And(a, b) | BForm::Or(a, b) => {
+            collect_polarities(a, out);
+            collect_polarities(b, out);
+        }
+        _ => {}
     }
 }
 
@@ -1116,5 +1454,99 @@ mod tests {
                 .collect::<Vec<Answer>>()
         };
         assert_eq!(build(true), build(false));
+    }
+
+    /// A diverging-style query set: each variable is pinned to `{0, 1}`
+    /// by a disjunction, and the goal bounds their sum from below.
+    fn diverging_queries(s: &[SymExpr]) -> (Vec<SymExpr>, SymExpr) {
+        let pc: Vec<SymExpr> = s
+            .iter()
+            .map(|x| {
+                SymExpr::or(
+                    SymExpr::eq(x.clone(), SymExpr::int(0)),
+                    SymExpr::eq(x.clone(), SymExpr::int(1)),
+                )
+            })
+            .collect();
+        let sum = s
+            .iter()
+            .cloned()
+            .reduce(SymExpr::add)
+            .expect("at least one symbol");
+        (pc, SymExpr::le(SymExpr::int(0), sum))
+    }
+
+    #[test]
+    fn learning_gives_identical_answers() {
+        let build = |learn: bool| {
+            let (mut cx, s) = int_solver(3);
+            cx.solver.learn_enabled = learn;
+            let x = s[0].clone();
+            let y = s[1].clone();
+            let (dpc, dgoal) = diverging_queries(&s);
+            let queries: Vec<(Vec<SymExpr>, SymExpr)> = vec![
+                (
+                    vec![SymExpr::le(x.clone(), y.clone())],
+                    SymExpr::lt(x.clone(), y.clone()),
+                ),
+                (
+                    vec![SymExpr::lt(x.clone(), y.clone())],
+                    SymExpr::le(x.clone(), y.clone()),
+                ),
+                (vec![], SymExpr::eq(x.clone(), x.clone())),
+                (
+                    vec![
+                        SymExpr::lt(x.clone(), SymExpr::int(0)),
+                        SymExpr::lt(SymExpr::int(0), x.clone()),
+                    ],
+                    SymExpr::bool(false),
+                ),
+                (dpc.clone(), dgoal.clone()),
+                (dpc, dgoal),
+            ];
+            queries
+                .into_iter()
+                .map(|(pc, g)| cx.entails(&pc, &g))
+                .collect::<Vec<Answer>>()
+        };
+        assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn learned_clauses_prune_repeated_branching() {
+        let branches_of_second_run = |learn: bool| {
+            let (mut cx, s) = int_solver(3);
+            cx.solver.learn_enabled = learn;
+            // Disable memoization so the second run actually re-solves.
+            cx.solver.cache_enabled = false;
+            let (pc, goal) = diverging_queries(&s);
+            assert_eq!(cx.entails(&pc, &goal), Answer::Valid);
+            let after_first = cx.solver.branches;
+            assert_eq!(cx.entails(&pc, &goal), Answer::Valid);
+            cx.solver.branches - after_first
+        };
+        let naive = branches_of_second_run(false);
+        let learned = branches_of_second_run(true);
+        assert!(
+            learned < naive,
+            "learned clauses should prune the re-solved search: {learned} vs {naive}"
+        );
+    }
+
+    #[test]
+    fn clear_learned_resets_clauses_but_not_the_counter() {
+        let (mut cx, s) = int_solver(2);
+        let (pc, goal) = diverging_queries(&s);
+        assert_eq!(cx.entails(&pc, &goal), Answer::Valid);
+        let learned = cx.solver.learned_clauses;
+        assert!(learned >= 1, "a theory conflict should learn a clause");
+        cx.solver.clear_learned();
+        cx.solver.cache_enabled = false;
+        assert_eq!(cx.entails(&pc, &goal), Answer::Valid);
+        assert!(
+            cx.solver.learned_clauses > learned,
+            "after clearing, the same conflicts are relearned and the \
+             monotone total keeps growing"
+        );
     }
 }

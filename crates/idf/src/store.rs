@@ -1,0 +1,538 @@
+//! The persistent incremental verdict store (`--cache-dir`).
+//!
+//! One JSONL file (`verdicts.jsonl`) maps method names to the
+//! [`Fingerprint`] they were last verified under and the resulting
+//! [`Verdict`]. Only *definite* verdicts are persisted — `Verified`
+//! (with [`VerifyStats::normalized`] statistics) and `Failed` — never
+//! `Unknown` or `CrashedInternal`: an indefinite answer must be retried
+//! on the next run, not replayed from disk.
+//!
+//! The format is zero-dependency (read back with
+//! [`daenerys_obs::parse_json`]) and deliberately forgiving: corrupt or
+//! unrecognized lines are skipped on load, later lines win over earlier
+//! ones for the same method, and saving rewrites the file compacted
+//! through a temp-file rename.
+
+use crate::diag::FailureReport;
+use crate::exec::{Obligation, Verdict, VerifyStats};
+use crate::fingerprint::Fingerprint;
+use crate::smt::Answer;
+use daenerys_obs::{parse_json, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One stored method verdict.
+#[derive(Clone, PartialEq, Debug)]
+pub struct StoredVerdict {
+    /// The fingerprint the verdict was computed under.
+    pub fingerprint: Fingerprint,
+    /// The verdict (`Verified` with normalized stats, or `Failed`).
+    pub verdict: Verdict,
+}
+
+/// The persistent verdict store backing `--cache-dir`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VerdictStore {
+    path: PathBuf,
+    entries: BTreeMap<String, StoredVerdict>,
+}
+
+impl VerdictStore {
+    /// The store file name within the cache directory.
+    pub const FILE_NAME: &'static str = "verdicts.jsonl";
+
+    /// Opens (or initializes) the store under `dir`. Missing files and
+    /// unreadable/corrupt lines load as absent entries — a damaged
+    /// store costs re-verification, never a wrong verdict.
+    pub fn open(dir: &Path) -> VerdictStore {
+        let path = dir.join(Self::FILE_NAME);
+        let mut entries = BTreeMap::new();
+        if let Ok(text) = fs::read_to_string(&path) {
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if let Some((name, stored)) = decode_line(line) {
+                    entries.insert(name, stored);
+                }
+            }
+        }
+        VerdictStore { path, entries }
+    }
+
+    /// The stored verdict for `method`, iff it was recorded under
+    /// exactly this fingerprint.
+    pub fn lookup(&self, method: &str, fingerprint: Fingerprint) -> Option<&Verdict> {
+        let stored = self.entries.get(method)?;
+        (stored.fingerprint == fingerprint).then_some(&stored.verdict)
+    }
+
+    /// Records a verdict. Definite verdicts (`Verified`/`Failed`)
+    /// replace the method's entry and return `true`; `Unknown` and
+    /// `CrashedInternal` *remove* any stale entry (its fingerprint can
+    /// no longer be trusted to describe the outcome) and return
+    /// `false`.
+    pub fn record(&mut self, method: &str, fingerprint: Fingerprint, verdict: &Verdict) -> bool {
+        match verdict {
+            Verdict::Verified(stats) => {
+                self.entries.insert(
+                    method.to_string(),
+                    StoredVerdict {
+                        fingerprint,
+                        verdict: Verdict::Verified(stats.normalized()),
+                    },
+                );
+                true
+            }
+            Verdict::Failed { .. } => {
+                self.entries.insert(
+                    method.to_string(),
+                    StoredVerdict {
+                        fingerprint,
+                        verdict: verdict.clone(),
+                    },
+                );
+                true
+            }
+            Verdict::Unknown { .. } | Verdict::CrashedInternal { .. } => {
+                self.entries.remove(method);
+                false
+            }
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Writes the store back to disk, compacted (one line per method),
+    /// atomically via a temp-file rename.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating the directory or writing the
+    /// file.
+    pub fn save(&self) -> io::Result<()> {
+        if let Some(dir) = self.path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut out = String::new();
+        for (name, stored) in &self.entries {
+            encode_line(&mut out, name, stored);
+            out.push('\n');
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        fs::write(&tmp, out)?;
+        fs::rename(&tmp, &self.path)
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn answer_name(a: Answer) -> &'static str {
+    match a {
+        Answer::Valid => "valid",
+        Answer::Invalid => "invalid",
+        Answer::Unknown => "unknown",
+    }
+}
+
+fn parse_answer(s: &str) -> Option<Answer> {
+    match s {
+        "valid" => Some(Answer::Valid),
+        "invalid" => Some(Answer::Invalid),
+        "unknown" => Some(Answer::Unknown),
+        _ => None,
+    }
+}
+
+/// The `(key, usize)` stat fields, in serialization order (wall time
+/// and thread count are normalized away before persisting).
+const STAT_KEYS: [&str; 12] = [
+    "obligations",
+    "solver_queries",
+    "solver_branches",
+    "cache_hits",
+    "cache_misses",
+    "learned_clauses",
+    "interned_terms",
+    "symbols",
+    "witnesses",
+    "rebinds",
+    "states",
+    "budget_exhausted",
+];
+
+fn stat_values(s: &VerifyStats) -> [usize; 12] {
+    [
+        s.obligations,
+        s.solver_queries,
+        s.solver_branches,
+        s.cache_hits,
+        s.cache_misses,
+        s.learned_clauses,
+        s.interned_terms,
+        s.symbols,
+        s.witnesses,
+        s.rebinds,
+        s.states,
+        s.budget_exhausted,
+    ]
+}
+
+fn encode_stats(out: &mut String, s: &VerifyStats) {
+    out.push('{');
+    for (i, (key, v)) in STAT_KEYS.iter().zip(stat_values(s)).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", key, v);
+    }
+    out.push('}');
+}
+
+fn decode_stats(obj: &BTreeMap<String, Json>) -> Option<VerifyStats> {
+    let get = |key: &str| -> Option<usize> {
+        let n = obj.get(key)?.as_num()?;
+        (n >= 0.0 && n.fract() == 0.0).then_some(n as usize)
+    };
+    let mut s = VerifyStats {
+        obligations: get("obligations")?,
+        solver_queries: get("solver_queries")?,
+        solver_branches: get("solver_branches")?,
+        cache_hits: get("cache_hits")?,
+        cache_misses: get("cache_misses")?,
+        learned_clauses: get("learned_clauses")?,
+        interned_terms: get("interned_terms")?,
+        symbols: get("symbols")?,
+        witnesses: get("witnesses")?,
+        rebinds: get("rebinds")?,
+        states: get("states")?,
+        budget_exhausted: get("budget_exhausted")?,
+        ..VerifyStats::default()
+    };
+    s.wall_nanos = 0;
+    s.threads = 0;
+    Some(s)
+}
+
+fn encode_strings(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", esc(s));
+    }
+    out.push(']');
+}
+
+fn decode_strings(json: &Json) -> Option<Vec<String>> {
+    json.as_arr()?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect()
+}
+
+fn encode_line(out: &mut String, name: &str, stored: &StoredVerdict) {
+    let _ = write!(
+        out,
+        "{{\"method\":\"{}\",\"fp\":\"{}\",",
+        esc(name),
+        stored.fingerprint
+    );
+    match &stored.verdict {
+        Verdict::Verified(stats) => {
+            out.push_str("\"verdict\":\"verified\",\"stats\":");
+            encode_stats(out, stats);
+        }
+        Verdict::Failed { failures, report } => {
+            out.push_str("\"verdict\":\"failed\",\"failures\":[");
+            for (i, o) in failures.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"description\":\"{}\",\"outcome\":\"{}\"}}",
+                    esc(&o.description),
+                    answer_name(o.outcome)
+                );
+            }
+            let _ = write!(
+                out,
+                "],\"report\":{{\"first_failure\":\"{}\",\"chunks\":",
+                esc(&report.first_failure)
+            );
+            encode_strings(out, &report.chunks);
+            out.push_str(",\"path_condition\":");
+            encode_strings(out, &report.path_condition);
+            out.push_str(",\"hot_queries\":[");
+            for (i, q) in report.hot_queries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"description\":\"{}\",\"fuel\":{},\"cache_hit\":{},\"learned\":{},\
+                     \"pc_hash\":\"{:016x}\",\"answer\":\"{}\"}}",
+                    esc(&q.description),
+                    q.fuel,
+                    q.cache_hit,
+                    q.learned,
+                    q.pc_hash,
+                    answer_name(q.answer)
+                );
+            }
+            out.push_str("]}");
+        }
+        // `record` never admits these; encode defensively as a line
+        // `decode_line` will reject.
+        Verdict::Unknown { .. } | Verdict::CrashedInternal { .. } => {
+            out.push_str("\"verdict\":\"unpersistable\"");
+        }
+    }
+    out.push('}');
+}
+
+fn decode_line(line: &str) -> Option<(String, StoredVerdict)> {
+    let json = parse_json(line).ok()?;
+    let obj = json.as_obj()?;
+    let name = obj.get("method")?.as_str()?.to_string();
+    let fingerprint = Fingerprint::parse(obj.get("fp")?.as_str()?)?;
+    let verdict = match obj.get("verdict")?.as_str()? {
+        "verified" => Verdict::Verified(decode_stats(obj.get("stats")?.as_obj()?)?),
+        "failed" => {
+            let failures = obj
+                .get("failures")?
+                .as_arr()?
+                .iter()
+                .map(|f| {
+                    let f = f.as_obj()?;
+                    Some(Obligation {
+                        description: f.get("description")?.as_str()?.to_string(),
+                        outcome: parse_answer(f.get("outcome")?.as_str()?)?,
+                    })
+                })
+                .collect::<Option<Vec<Obligation>>>()?;
+            let r = obj.get("report")?.as_obj()?;
+            let hot_queries = r
+                .get("hot_queries")?
+                .as_arr()?
+                .iter()
+                .map(|q| {
+                    let q = q.as_obj()?;
+                    Some(crate::diag::QueryCost {
+                        description: q.get("description")?.as_str()?.to_string(),
+                        fuel: q.get("fuel")?.as_num()? as u64,
+                        cache_hit: matches!(q.get("cache_hit")?, Json::Bool(true)),
+                        learned: q.get("learned")?.as_num()? as u64,
+                        pc_hash: u64::from_str_radix(q.get("pc_hash")?.as_str()?, 16).ok()?,
+                        answer: parse_answer(q.get("answer")?.as_str()?)?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Verdict::Failed {
+                failures,
+                report: FailureReport {
+                    method: name.clone(),
+                    first_failure: r.get("first_failure")?.as_str()?.to_string(),
+                    chunks: decode_strings(r.get("chunks")?)?,
+                    path_condition: decode_strings(r.get("path_condition")?)?,
+                    hot_queries,
+                },
+            }
+        }
+        _ => return None,
+    };
+    Some((
+        name,
+        StoredVerdict {
+            fingerprint,
+            verdict,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::QueryCost;
+    use crate::exec::UnknownReason;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint { hi: n, lo: !n }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("daenerys-store-{}-{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_failed() -> Verdict {
+        Verdict::Failed {
+            failures: vec![Obligation {
+                description: "postcondition: \"tricky\\path\"\n".to_string(),
+                outcome: Answer::Invalid,
+            }],
+            report: FailureReport {
+                // Matches the key the test stores the verdict under:
+                // `decode_line` rebuilds `report.method` from the
+                // entry's method name rather than persisting it twice.
+                method: "bad".to_string(),
+                first_failure: "[Invalid] postcondition".to_string(),
+                chunks: vec!["acc(c.val, 1) ↦ $v0".to_string()],
+                path_condition: vec!["0 < $n".to_string()],
+                hot_queries: vec![QueryCost {
+                    description: "postcondition".to_string(),
+                    fuel: 3,
+                    cache_hit: false,
+                    learned: 1,
+                    pc_hash: u64::MAX,
+                    answer: Answer::Invalid,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrips_verified_and_failed() {
+        let dir = temp_dir("roundtrip");
+        let mut store = VerdictStore::open(&dir);
+        let stats = VerifyStats {
+            obligations: 2,
+            solver_queries: 5,
+            learned_clauses: 1,
+            wall_nanos: 999,
+            threads: 4,
+            ..VerifyStats::default()
+        };
+        assert!(store.record("ok", fp(1), &Verdict::Verified(stats.clone())));
+        assert!(store.record("bad", fp(2), &sample_failed()));
+        store.save().unwrap();
+
+        let reloaded = VerdictStore::open(&dir);
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(
+            reloaded.lookup("ok", fp(1)),
+            Some(&Verdict::Verified(stats.normalized())),
+            "stats are persisted normalized"
+        );
+        assert_eq!(reloaded.lookup("bad", fp(2)), Some(&sample_failed()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_misses() {
+        let dir = temp_dir("mismatch");
+        let mut store = VerdictStore::open(&dir);
+        store.record("m", fp(1), &Verdict::Verified(VerifyStats::default()));
+        assert!(store.lookup("m", fp(1)).is_some());
+        assert!(store.lookup("m", fp(9)).is_none());
+        assert!(store.lookup("other", fp(1)).is_none());
+    }
+
+    #[test]
+    fn indefinite_verdicts_are_never_persisted_and_evict() {
+        let dir = temp_dir("indefinite");
+        let mut store = VerdictStore::open(&dir);
+        store.record("m", fp(1), &Verdict::Verified(VerifyStats::default()));
+        assert!(!store.record(
+            "m",
+            fp(1),
+            &Verdict::Unknown {
+                reason: UnknownReason::OutOfFragment {
+                    detail: "x".to_string()
+                },
+                failures: Vec::new(),
+                report: FailureReport::default(),
+            },
+        ));
+        assert!(
+            store.lookup("m", fp(1)).is_none(),
+            "an indefinite outcome evicts the stale definite entry"
+        );
+        assert!(!store.record(
+            "m",
+            fp(1),
+            &Verdict::CrashedInternal {
+                message: "boom".to_string()
+            },
+        ));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn corrupt_lines_are_tolerated() {
+        let dir = temp_dir("corrupt");
+        let mut store = VerdictStore::open(&dir);
+        store.record("keep", fp(7), &Verdict::Verified(VerifyStats::default()));
+        store.save().unwrap();
+        let path = dir.join(VerdictStore::FILE_NAME);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.insert_str(0, "not json at all\n{\"method\":\"half\"\n\n");
+        text.push_str("{\"method\":\"x\",\"fp\":\"zz\",\"verdict\":\"verified\"}\n");
+        fs::write(&path, text).unwrap();
+        let reloaded = VerdictStore::open(&dir);
+        assert_eq!(reloaded.len(), 1);
+        assert!(reloaded.lookup("keep", fp(7)).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn later_lines_win() {
+        let dir = temp_dir("lastwins");
+        fs::create_dir_all(&dir).unwrap();
+        let mut text = String::new();
+        encode_line(
+            &mut text,
+            "m",
+            &StoredVerdict {
+                fingerprint: fp(1),
+                verdict: Verdict::Verified(VerifyStats::default()),
+            },
+        );
+        text.push('\n');
+        encode_line(
+            &mut text,
+            "m",
+            &StoredVerdict {
+                fingerprint: fp(2),
+                verdict: Verdict::Verified(VerifyStats::default()),
+            },
+        );
+        text.push('\n');
+        fs::write(dir.join(VerdictStore::FILE_NAME), text).unwrap();
+        let store = VerdictStore::open(&dir);
+        assert!(store.lookup("m", fp(1)).is_none());
+        assert!(store.lookup("m", fp(2)).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

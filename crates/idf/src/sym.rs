@@ -303,7 +303,17 @@ macro_rules! bin {
 /// terms always receive the same [`TermId`]. The arena only ever
 /// grows; [`TermArena::len`] is the interned-term metric reported by
 /// the evaluation harness.
-#[derive(Clone, Debug, Default)]
+///
+/// With simplification enabled (the default), the constructors
+/// additionally *canonicalize* at intern time — commutative arguments
+/// are ordered by id, idempotent and complementary boolean pairs
+/// collapse, self-comparisons fold (`x ≤ x`, `a − a`), and boolean
+/// `ite` shells reduce — so syntactically different but equal terms
+/// hash-cons to the same [`TermId`]. All the extra rules are semantic
+/// equivalences, so they change term counts and solver cost, never
+/// answers; [`TermArena::set_simplify`] turns them off to measure the
+/// difference.
+#[derive(Clone, Debug)]
 pub struct TermArena {
     nodes: Vec<Term>,
     index: HashMap<Term, TermId>,
@@ -312,10 +322,24 @@ pub struct TermArena {
     /// reports the overrun so the verifier's cooperative budget checks
     /// can prune the run.
     limit: Option<usize>,
+    /// Whether the canonicalizing rewrite rules (beyond plain constant
+    /// folding) run at intern time.
+    simplify: bool,
+}
+
+impl Default for TermArena {
+    fn default() -> TermArena {
+        TermArena {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            limit: None,
+            simplify: true,
+        }
+    }
 }
 
 impl TermArena {
-    /// An empty arena.
+    /// An empty arena (simplification on).
     pub fn new() -> TermArena {
         TermArena::default()
     }
@@ -340,6 +364,30 @@ impl TermArena {
     /// True when the arena has grown past its soft budget.
     pub fn over_limit(&self) -> bool {
         self.limit.is_some_and(|l| self.nodes.len() > l)
+    }
+
+    /// Enables or disables the canonicalizing rewrite rules. Plain
+    /// constant folding always runs; the toggle covers only the
+    /// canonicalization layer (commutative ordering, idempotence,
+    /// complements, self-comparisons, boolean `ite` shells), so `off`
+    /// reproduces the pre-canonicalization pipeline for measurement.
+    pub fn set_simplify(&mut self, on: bool) {
+        self.simplify = on;
+    }
+
+    /// Whether the canonicalizing rewrite rules are enabled.
+    pub fn simplify_enabled(&self) -> bool {
+        self.simplify
+    }
+
+    /// Orders a commutative argument pair by id (canonicalization on
+    /// only), so `x ⊕ y` and `y ⊕ x` intern to one node.
+    fn commute(&self, a: TermId, b: TermId) -> (TermId, TermId) {
+        if self.simplify && a.raw() > b.raw() {
+            (b, a)
+        } else {
+            (a, b)
+        }
     }
 
     /// The node a [`TermId`] denotes.
@@ -377,18 +425,26 @@ impl TermArena {
         self.intern(Term::Null)
     }
 
-    /// `a + b` with constant folding.
+    /// `a + b` with constant folding; canonicalization orders the
+    /// commutative arguments by id.
     pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
         match (self.node(a), self.node(b)) {
             (Term::Int(x), Term::Int(y)) => self.int(x.wrapping_add(y)),
             (Term::Int(0), _) => b,
             (_, Term::Int(0)) => a,
-            _ => self.intern(Term::Add(a, b)),
+            _ => {
+                let (a, b) = self.commute(a, b);
+                self.intern(Term::Add(a, b))
+            }
         }
     }
 
-    /// `a - b` with constant folding.
+    /// `a - b` with constant folding; canonicalization folds `a − a`
+    /// to `0`.
     pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        if self.simplify && a == b {
+            return self.int(0);
+        }
         match (self.node(a), self.node(b)) {
             (Term::Int(x), Term::Int(y)) => self.int(x.wrapping_sub(y)),
             (_, Term::Int(0)) => a,
@@ -396,18 +452,23 @@ impl TermArena {
         }
     }
 
-    /// `a * b` with constant folding.
+    /// `a * b` with constant folding; canonicalization orders the
+    /// commutative arguments by id.
     pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
         match (self.node(a), self.node(b)) {
             (Term::Int(x), Term::Int(y)) => self.int(x.wrapping_mul(y)),
             (Term::Int(1), _) => b,
             (_, Term::Int(1)) => a,
             (Term::Int(0), _) | (_, Term::Int(0)) => self.int(0),
-            _ => self.intern(Term::Mul(a, b)),
+            _ => {
+                let (a, b) = self.commute(a, b);
+                self.intern(Term::Mul(a, b))
+            }
         }
     }
 
-    /// `a = b` with folding; structural equality is the id check.
+    /// `a = b` with folding; structural equality is the id check, and
+    /// canonicalization orients the symmetric arguments by id.
     pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
         if a == b {
             return self.bool(true);
@@ -415,20 +476,31 @@ impl TermArena {
         match (self.node(a), self.node(b)) {
             (Term::Int(x), Term::Int(y)) => self.bool(x == y),
             (Term::Bool(x), Term::Bool(y)) => self.bool(x == y),
-            _ => self.intern(Term::Eq(a, b)),
+            _ => {
+                let (a, b) = self.commute(a, b);
+                self.intern(Term::Eq(a, b))
+            }
         }
     }
 
-    /// `a < b` with folding.
+    /// `a < b` with folding; canonicalization folds the irreflexive
+    /// self-comparison `a < a` to `false`.
     pub fn lt(&mut self, a: TermId, b: TermId) -> TermId {
+        if self.simplify && a == b {
+            return self.bool(false);
+        }
         match (self.node(a), self.node(b)) {
             (Term::Int(x), Term::Int(y)) => self.bool(x < y),
             _ => self.intern(Term::Lt(a, b)),
         }
     }
 
-    /// `a <= b` with folding.
+    /// `a <= b` with folding; canonicalization folds the reflexive
+    /// self-comparison `a ≤ a` to `true`.
     pub fn le(&mut self, a: TermId, b: TermId) -> TermId {
+        if self.simplify && a == b {
+            return self.bool(true);
+        }
         match (self.node(a), self.node(b)) {
             (Term::Int(x), Term::Int(y)) => self.bool(x <= y),
             _ => self.intern(Term::Le(a, b)),
@@ -444,23 +516,49 @@ impl TermArena {
         }
     }
 
-    /// `a ∧ b` with folding.
+    /// `a ∧ b` with folding; canonicalization collapses idempotent
+    /// (`a ∧ a`) and complementary (`a ∧ ¬a`) pairs. Argument order is
+    /// preserved — conjunction order determines the deterministic DPLL
+    /// branching order and the rendering of path conditions in failure
+    /// reports.
     pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
         match (self.node(a), self.node(b)) {
             (Term::Bool(true), _) => b,
             (_, Term::Bool(true)) => a,
             (Term::Bool(false), _) | (_, Term::Bool(false)) => self.bool(false),
-            _ => self.intern(Term::And(a, b)),
+            (na, nb) => {
+                if self.simplify {
+                    if a == b {
+                        return a;
+                    }
+                    if na == Term::Not(b) || nb == Term::Not(a) {
+                        return self.bool(false);
+                    }
+                }
+                self.intern(Term::And(a, b))
+            }
         }
     }
 
-    /// `a ∨ b` with folding.
+    /// `a ∨ b` with folding; canonicalization collapses idempotent
+    /// (`a ∨ a`) and complementary (`a ∨ ¬a`) pairs. Argument order is
+    /// preserved for the same determinism reasons as [`TermArena::and`].
     pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
         match (self.node(a), self.node(b)) {
             (Term::Bool(false), _) => b,
             (_, Term::Bool(false)) => a,
             (Term::Bool(true), _) | (_, Term::Bool(true)) => self.bool(true),
-            _ => self.intern(Term::Or(a, b)),
+            (na, nb) => {
+                if self.simplify {
+                    if a == b {
+                        return a;
+                    }
+                    if na == Term::Not(b) || nb == Term::Not(a) {
+                        return self.bool(true);
+                    }
+                }
+                self.intern(Term::Or(a, b))
+            }
         }
     }
 
@@ -470,7 +568,9 @@ impl TermArena {
         self.or(na, b)
     }
 
-    /// `ite(c, t, e)` with folding on a literal condition.
+    /// `ite(c, t, e)` with folding on a literal condition;
+    /// canonicalization reduces the boolean shells `ite(c, true,
+    /// false)` to `c` and `ite(c, false, true)` to `¬c`.
     pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
         if t == e {
             return t;
@@ -478,7 +578,16 @@ impl TermArena {
         match self.node(c) {
             Term::Bool(true) => t,
             Term::Bool(false) => e,
-            _ => self.intern(Term::Ite(c, t, e)),
+            _ => {
+                if self.simplify {
+                    match (self.node(t), self.node(e)) {
+                        (Term::Bool(true), Term::Bool(false)) => return c,
+                        (Term::Bool(false), Term::Bool(true)) => return self.not(c),
+                        _ => {}
+                    }
+                }
+                self.intern(Term::Ite(c, t, e))
+            }
         }
     }
 
@@ -669,6 +778,62 @@ mod tests {
         let mut syms = Vec::new();
         a.symbols(id, &mut syms);
         assert_eq!(syms, vec![Sym(0), Sym(1)]);
+    }
+
+    #[test]
+    fn canonicalization_merges_commuted_terms() {
+        let mut a = TermArena::new();
+        let x = a.sym(Sym(0));
+        let y = a.sym(Sym(1));
+        assert_eq!(a.add(x, y), a.add(y, x), "x + y ≡ y + x");
+        assert_eq!(a.mul(x, y), a.mul(y, x), "x * y ≡ y * x");
+        assert_eq!(a.eq(x, y), a.eq(y, x), "x == y ≡ y == x");
+    }
+
+    #[test]
+    fn canonicalization_folds_self_comparisons() {
+        let mut a = TermArena::new();
+        let x = a.sym(Sym(0));
+        let t = a.bool(true);
+        let f = a.bool(false);
+        let zero = a.int(0);
+        assert_eq!(a.le(x, x), t, "x <= x");
+        assert_eq!(a.lt(x, x), f, "x < x");
+        assert_eq!(a.sub(x, x), zero, "x - x");
+    }
+
+    #[test]
+    fn canonicalization_collapses_boolean_pairs() {
+        let mut a = TermArena::new();
+        let p = a.sym(Sym(0));
+        let np = a.not(p);
+        let t = a.bool(true);
+        let f = a.bool(false);
+        assert_eq!(a.and(p, p), p, "p && p");
+        assert_eq!(a.or(p, p), p, "p || p");
+        assert_eq!(a.and(p, np), f, "p && !p");
+        assert_eq!(a.and(np, p), f, "!p && p");
+        assert_eq!(a.or(p, np), t, "p || !p");
+        assert_eq!(a.or(np, p), t, "!p || p");
+        assert_eq!(a.ite(p, t, f), p, "ite(p, true, false)");
+        assert_eq!(a.ite(p, f, t), np, "ite(p, false, true)");
+    }
+
+    #[test]
+    fn simplify_off_reproduces_plain_interning() {
+        let mut a = TermArena::new();
+        a.set_simplify(false);
+        assert!(!a.simplify_enabled());
+        let x = a.sym(Sym(0));
+        let y = a.sym(Sym(1));
+        assert_ne!(a.add(x, y), a.add(y, x), "no commutative ordering");
+        let le = a.le(x, x);
+        assert_eq!(a.to_expr(le).to_string(), "(s0 <= s0)");
+        // Constant folding is not part of the toggle.
+        let two = a.int(2);
+        let three = a.int(3);
+        let five = a.int(5);
+        assert_eq!(a.add(two, three), five);
     }
 
     #[test]

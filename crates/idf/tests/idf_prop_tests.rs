@@ -220,6 +220,87 @@ fn arb_query_stream() -> impl Strategy<Value = Vec<(Vec<SymExpr>, SymExpr)>> {
     )
 }
 
+/// Verifies `p` under the given solver toggles, projected to what must
+/// be invariant: each method's definite verdict (`Some(true)` verified,
+/// `Some(false)` failed, `None` indefinite) and its failed obligations.
+/// Failure *reports* render arena terms (canonicalization legitimately
+/// reshapes those spellings) and stats count branches/terms/learned
+/// clauses (both knobs change those costs), so neither is compared.
+fn toggled_verdicts(
+    p: &Program,
+    simplify: bool,
+    learn: bool,
+    threads: usize,
+) -> Vec<(String, Option<bool>, Vec<daenerys_idf::Obligation>)> {
+    let mut v = Verifier::with_config(
+        p,
+        Backend::Destabilized,
+        VerifierConfig {
+            threads,
+            simplify,
+            learn,
+            ..VerifierConfig::default()
+        },
+    );
+    v.verify_all_verdicts()
+        .into_iter()
+        .map(|(name, verdict)| {
+            let definite = match &verdict {
+                Verdict::Verified(_) => Some(true),
+                Verdict::Failed { .. } => Some(false),
+                _ => None,
+            };
+            let failures = match &verdict {
+                Verdict::Failed { failures, .. } | Verdict::Unknown { failures, .. } => {
+                    failures.clone()
+                }
+                _ => Vec::new(),
+            };
+            (name, definite, failures)
+        })
+        .collect()
+}
+
+/// On a program entirely inside the linear fragment — where every
+/// canonical rewrite is a logical equivalence — the full toggle matrix
+/// (canonicalization × clause learning) is verdict-transparent at 1, 2,
+/// and 8 threads, including for a method that definitely fails.
+#[test]
+fn toggle_matrix_is_verdict_transparent_on_linear_programs() {
+    let p = parse_program(
+        "field val: Int
+         method ok(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1
+         { c.val := 1 }
+         method bad(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 2
+         { c.val := 3 }
+         method gap(x: Int, y: Int) returns (r: Int)
+           requires x < y ensures r >= 1
+         { if (x + 1 < y) { r := y - x } else { r := 1 } }",
+    )
+    .unwrap();
+    let baseline = toggled_verdicts(&p, true, true, 1);
+    assert!(
+        baseline
+            .iter()
+            .any(|(name, _, failures)| name == "bad" && !failures.is_empty()),
+        "the failing method must fail, or the matrix compares nothing"
+    );
+    for simplify in [true, false] {
+        for learn in [true, false] {
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    baseline,
+                    toggled_verdicts(&p, simplify, learn, threads),
+                    "verdicts diverge at simplify={}, learn={}, threads={}",
+                    simplify,
+                    learn,
+                    threads
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -246,6 +327,105 @@ proptest! {
         // The replayed pass must have been served from cache.
         prop_assert!(cached.cache_hits >= stream.len());
         prop_assert_eq!(uncached.cache_hits, 0);
+    }
+
+    /// Differential: intern-time canonicalization never changes an
+    /// answer. The generated fragment is linear arithmetic, where every
+    /// canonical rewrite is a logical equivalence, so the comparison is
+    /// bit-exact.
+    #[test]
+    fn canonicalization_is_answer_transparent(stream in arb_query_stream()) {
+        let mut canon = Solver::new();
+        let mut plain = Solver::new();
+        let mut arena_c = TermArena::new();
+        let mut arena_p = TermArena::new();
+        arena_p.set_simplify(false);
+        for i in 0..3 {
+            canon.declare(Sym(i), Sort::Int);
+            plain.declare(Sym(i), Sort::Int);
+        }
+        for (pc, goal) in &stream {
+            let ac = canon.entails_exprs(&mut arena_c, pc, goal);
+            let ap = plain.entails_exprs(&mut arena_p, pc, goal);
+            prop_assert_eq!(
+                ac, ap,
+                "canonicalization changed answer for pc={:?}, goal={:?}", pc, goal
+            );
+        }
+    }
+
+    /// Differential: clause learning never changes an answer. Learned
+    /// clauses are negations of theory-conflict cores — valid lemmas —
+    /// so they may only prune work. The stream is replayed with
+    /// memoization off so the second pass actually re-solves against
+    /// the accumulated clauses.
+    #[test]
+    fn clause_learning_is_answer_transparent(stream in arb_query_stream()) {
+        let mut learning = Solver::new();
+        let mut naive = Solver::new();
+        learning.cache_enabled = false;
+        naive.cache_enabled = false;
+        naive.learn_enabled = false;
+        let mut arena_l = TermArena::new();
+        let mut arena_n = TermArena::new();
+        for i in 0..3 {
+            learning.declare(Sym(i), Sort::Int);
+            naive.declare(Sym(i), Sort::Int);
+        }
+        for (pc, goal) in stream.iter().chain(stream.iter()) {
+            let al = learning.entails_exprs(&mut arena_l, pc, goal);
+            let an = naive.entails_exprs(&mut arena_n, pc, goal);
+            prop_assert_eq!(
+                al, an,
+                "clause learning changed answer for pc={:?}, goal={:?}", pc, goal
+            );
+        }
+        prop_assert!(
+            learning.branches <= naive.branches,
+            "learning explored more branches ({} vs {})",
+            learning.branches, naive.branches
+        );
+    }
+
+    /// Differential (program level): on arbitrary programs, each
+    /// (canonicalization, learning) setting is exactly thread-
+    /// transparent, and across the learning toggle *definite* verdicts
+    /// always agree. On nonlinear programs the CDCL core may decide an
+    /// obligation naive DPLL leaves Unknown (propagation skips a
+    /// theory-Unknown leaf), and canonicalization may merge commuted
+    /// opaque atoms — both are precision improvements, so bit-exact
+    /// toggle equality is asserted only on the linear fragment (see
+    /// `canonicalization_is_answer_transparent` and
+    /// `toggle_matrix_is_verdict_transparent_on_linear_programs`).
+    #[test]
+    fn toggles_are_thread_transparent_and_sound(
+        simplify in any::<bool>(),
+        p in arb_program(),
+    ) {
+        let mut per_learn = Vec::new();
+        for learn in [true, false] {
+            let baseline = toggled_verdicts(&p, simplify, learn, 1);
+            for threads in [2usize, 8] {
+                prop_assert_eq!(
+                    &baseline,
+                    &toggled_verdicts(&p, simplify, learn, threads),
+                    "thread count changed verdicts (simplify={}, learn={}, threads={}) on:\n{}",
+                    simplify, learn, threads, p
+                );
+            }
+            per_learn.push(baseline);
+        }
+        // Across the learning toggle, a method definitely verified by
+        // one core must never be definitely failed by the other.
+        for ((name, with, _), (_, without, _)) in per_learn[0].iter().zip(&per_learn[1]) {
+            if let (Some(a), Some(b)) = (with, without) {
+                prop_assert_eq!(
+                    a, b,
+                    "cores give contradictory definite verdicts for {} (simplify={}) on:\n{}",
+                    name, simplify, p
+                );
+            }
+        }
     }
 
     /// Differential: whole-program verification is unaffected by the
@@ -378,6 +558,7 @@ proptest! {
                     faults: plan.clone(),
                     retry_unknown: false,
                     trace: TraceHandle::new(sink.clone(), ClockKind::Logical),
+                    ..VerifierConfig::default()
                 },
             );
             let verdicts = v

@@ -27,13 +27,54 @@ impl std::error::Error for JsonError {}
 
 /// A parsed JSON value.
 #[derive(Clone, PartialEq, Debug)]
-enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// A number (stored as `f64`; integers above 2⁵³ lose precision, so
+    /// writers of large integers should emit strings instead).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object (keys sorted).
     Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a `Num`.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an `Obj`.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -221,7 +262,12 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn parse(line: &str) -> Result<Json, JsonError> {
+/// Parses one complete JSON value (rejecting trailing garbage).
+///
+/// # Errors
+///
+/// Returns a positioned [`JsonError`] for malformed input.
+pub fn parse(line: &str) -> Result<Json, JsonError> {
     let mut p = Parser::new(line);
     let v = p.value()?;
     p.skip_ws();

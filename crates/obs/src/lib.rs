@@ -33,7 +33,7 @@ pub mod sink;
 pub mod trace;
 
 pub use event::{Event, EventKind, Value};
-pub use json::{validate_event_line, JsonError};
+pub use json::{parse as parse_json, validate_event_line, Json, JsonError};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink, TextSink};
 pub use trace::{ClockKind, SpanToken, TraceCollector, TraceHandle};

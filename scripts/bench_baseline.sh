@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_verifier.json: release-build the workspace, run the
-# F1 verifier benchmark, and leave the JSON at the repo root — plus a
-# phase-attribution profile (PROFILE_verifier.txt) next to it.
+# Regenerates the F1 verifier baseline: release-build the workspace,
+# run the benchmark, and leave BENCH_verifier.json plus a
+# phase-attribution profile (PROFILE_verifier.txt) under target/bench/.
+# To refresh the committed baseline, copy target/bench/BENCH_verifier.json
+# over the repo-root copy and commit it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p daenerys-bench
-cargo run --release -q -p daenerys-bench --bin tables -- --f1 --json "$@"
-cargo run --release -q -p daenerys-bench --bin tables -- --profile > /dev/null
+OUT_DIR=target/bench
+mkdir -p "$OUT_DIR"
 
-echo "baseline written to $(pwd)/BENCH_verifier.json"
-echo "profile  written to $(pwd)/PROFILE_verifier.txt"
+cargo build --release -p daenerys-bench
+cargo run --release -q -p daenerys-bench --bin tables -- \
+    --f1 --json --out-dir "$OUT_DIR" "$@"
+cargo run --release -q -p daenerys-bench --bin tables -- \
+    --profile --out-dir "$OUT_DIR" > /dev/null
+
+echo "baseline written to $(pwd)/$OUT_DIR/BENCH_verifier.json"
+echo "profile  written to $(pwd)/$OUT_DIR/PROFILE_verifier.txt"
