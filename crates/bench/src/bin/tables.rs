@@ -7,7 +7,8 @@
 //!     [--f1] [--f2] [--f3] [--json] [--no-cache] [--no-simplify] \
 //!     [--no-learn] [--threads N] [--timeout-ms N] [--fuel N] \
 //!     [--repeat N] [--trace-out PATH] [--profile] [--incremental] \
-//!     [--cache-dir PATH] [--expect-reverified N] [--out-dir PATH]
+//!     [--cache-dir PATH] [--expect-reverified N] [--out-dir PATH] \
+//!     [--deny-unstable] [--explain-stability]
 //! ```
 //!
 //! With no table/figure flags, every table and figure is printed.
@@ -44,6 +45,12 @@
 //! * `--profile` prints a phase-attribution profile of the positive
 //!   case studies and writes it to `PROFILE_verifier.txt`; given
 //!   alone, only the profile runs.
+//! * `--deny-unstable` makes every run fail methods whose contracts the
+//!   static stability analyzer classifies unstable (answer-affecting,
+//!   part of the incremental fingerprint); `--explain-stability` prints
+//!   the analyzer's lints for the examples corpus — classification,
+//!   spans, and fix hints — and enriches `stability.classify` trace
+//!   events with finding details (cost only).
 
 use daenerys_bench::{
     measure_median, micros, profile_events, render_profile, run_backend_with, BackendRun,
@@ -53,14 +60,15 @@ use daenerys_core::check::{catalog, corpus, ghost_catalog, verify_catalog};
 use daenerys_core::{check_stable, stabilize_fast, Assert, CameraKind, Term, UniverseSpec};
 use daenerys_heaplang::{explore, parse, Machine};
 use daenerys_idf::{
-    chain_program, diverging_program, positive_cases, scaling_program, Backend, VerifierConfig,
+    all_cases, analyze_program, chain_program, diverging_program, parse_program, positive_cases,
+    scaling_program, Backend, StabilityClass, VerifierConfig,
 };
 use daenerys_obs::{ClockKind, JsonlSink, MemorySink, TraceHandle};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-const KNOWN_FLAGS: [&str; 21] = [
+const KNOWN_FLAGS: [&str; 23] = [
     "--t1",
     "--t2",
     "--t3",
@@ -82,6 +90,8 @@ const KNOWN_FLAGS: [&str; 21] = [
     "--cache-dir",
     "--expect-reverified",
     "--out-dir",
+    "--deny-unstable",
+    "--explain-stability",
 ];
 
 /// Parsed command line.
@@ -121,6 +131,8 @@ fn parse_args() -> Opts {
         match a {
             "--json" => opts.json = true,
             "--profile" => opts.profile = true,
+            "--deny-unstable" => opts.config.deny_unstable = true,
+            "--explain-stability" => opts.config.explain_stability = true,
             "--no-cache" => opts.config.cache = false,
             "--no-simplify" => opts.config.simplify = false,
             "--no-learn" => opts.config.learn = false,
@@ -256,6 +268,9 @@ fn main() {
         std::process::exit(2);
     }
 
+    if opts.config.explain_stability {
+        explain_stability(&opts);
+    }
     if want("--t1") {
         table_t1(&opts);
     }
@@ -283,6 +298,54 @@ fn main() {
     if let Some(path) = &opts.trace_out {
         opts.config.trace.flush();
         println!("\n    wrote {}", path);
+    }
+}
+
+/// `--explain-stability`: prints the static stability analyzer's
+/// verdict for every spec assertion of the examples corpus —
+/// classification, provenance findings with spans, and fix hints —
+/// then a summary count per class. Purely static: no verification runs.
+fn explain_stability(opts: &Opts) {
+    println!("\nStability lints: static classification of the examples corpus");
+    println!("    (stable < framed-stable < unstable; see DESIGN.md §11)\n");
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut unstable = 0usize;
+    for case in all_cases() {
+        let prog = match parse_program(case.source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("tables: case {} does not parse: {}", case.name, e);
+                std::process::exit(1);
+            }
+        };
+        for v in analyze_program(&prog) {
+            let class = match v.class {
+                StabilityClass::Stable => "stable",
+                StabilityClass::FramedStable => "framed-stable",
+                StabilityClass::Unstable => "unstable",
+            };
+            *counts.entry(class).or_default() += 1;
+            if v.class == StabilityClass::Unstable {
+                unstable += 1;
+            }
+            // Findings only for the noisy classes: stable assertions
+            // with no findings are summarized by the count line.
+            if v.class != StabilityClass::Stable || !v.findings.is_empty() {
+                for line in format!("[{}] {}", case.name, v.lint()).lines() {
+                    println!("    {}", line);
+                }
+            }
+        }
+    }
+    println!();
+    for (class, n) in &counts {
+        println!("    {:>14}: {}", class, n);
+    }
+    if opts.config.deny_unstable && unstable > 0 {
+        println!(
+            "    --deny-unstable: {} assertion(s) above would fail verification",
+            unstable
+        );
     }
 }
 
@@ -734,7 +797,7 @@ fn run_json(run: &BackendRun) -> String {
         hits as f64 / (hits + misses) as f64
     };
     format!(
-        "{{\"wall_micros\": {:.1}, \"solver_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"dpll_branches\": {}, \"learned_clauses\": {}, \"obligations\": {}, \"interned_terms\": {}, \"unknown_methods\": {}, \"budget_exhausted\": {}, \"methods_reverified\": {}}}",
+        "{{\"wall_micros\": {:.1}, \"solver_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"dpll_branches\": {}, \"learned_clauses\": {}, \"obligations\": {}, \"interned_terms\": {}, \"stability_skips\": {}, \"unknown_methods\": {}, \"budget_exhausted\": {}, \"methods_reverified\": {}}}",
         run.time.as_secs_f64() * 1e6,
         run.total(|x| x.solver_queries),
         hits,
@@ -744,6 +807,7 @@ fn run_json(run: &BackendRun) -> String {
         run.total(|x| x.learned_clauses),
         run.total(|x| x.obligations),
         run.total(|x| x.interned_terms),
+        run.total(|x| x.stability_skips),
         run.unknown_methods(),
         run.budget_exhausted(),
         json_opt(run.reverified.map(|n| n as u64)),
@@ -830,10 +894,11 @@ fn write_bench_json(
     }
     let json = format!
         (
-        "{{\n  \"experiment\": \"F1 verifier pipeline\",\n  \"command\": \"cargo run -p daenerys-bench --bin tables -- --f1 --json\",\n  \"config\": {{\"cache\": {}, \"simplify\": {}, \"learn\": {}, \"incremental\": {}, \"threads\": {}, \"timeout_ms\": {}, \"fuel\": {}, \"repeat\": {}}},\n  \"cases\": [\n{}\n  ],\n  \"chain\": [\n{}\n  ],\n  \"diverging\": [\n{}\n  ],\n  \"incremental\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"F1 verifier pipeline\",\n  \"command\": \"cargo run -p daenerys-bench --bin tables -- --f1 --json\",\n  \"config\": {{\"cache\": {}, \"simplify\": {}, \"learn\": {}, \"deny_unstable\": {}, \"incremental\": {}, \"threads\": {}, \"timeout_ms\": {}, \"fuel\": {}, \"repeat\": {}}},\n  \"cases\": [\n{}\n  ],\n  \"chain\": [\n{}\n  ],\n  \"diverging\": [\n{}\n  ],\n  \"incremental\": [\n{}\n  ]\n}}\n",
         opts.config.cache,
         opts.config.simplify,
         opts.config.learn,
+        opts.config.deny_unstable,
         opts.cache_dir.is_some(),
         opts.config.threads,
         json_opt(opts.config.budget.deadline_ms),

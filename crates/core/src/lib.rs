@@ -37,6 +37,7 @@ pub use ghost::{ContribCounter, ExclToken, MonoCounter};
 pub use proof::auto::auto_entails;
 pub use stability::{
     stabilize_fast, syntactically_elim_persistent, syntactically_persistent, syntactically_stable,
+    unstable_atoms,
 };
 pub use term::{eval_term, term_framed, Env, Term, TermError, TermOutcome};
 pub use universe::{UniverseSpec, WorldUniverse};

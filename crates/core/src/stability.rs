@@ -53,6 +53,50 @@ pub fn syntactically_stable(p: &Assert) -> bool {
     }
 }
 
+/// The atomic subassertions outside the syntactic stable fragment — the
+/// *provenance* of a `false` answer from [`syntactically_stable`].
+///
+/// Returns the offending leaves in left-to-right order: heap-reading
+/// pure/well-definedness/points-to/introspection atoms and whole wands
+/// (wands are opaque to the judgment). Connectives never appear
+/// themselves; modalities that restore stability (`⌊·⌋`, `⌈·⌉`)
+/// contribute nothing. The list is empty iff the assertion is
+/// syntactically stable.
+pub fn unstable_atoms(p: &Assert) -> Vec<Assert> {
+    fn walk(p: &Assert, out: &mut Vec<Assert>) {
+        use Assert::*;
+        match p {
+            Pure(t) | WellDef(t) => {
+                if t.has_read() {
+                    out.push(p.clone());
+                }
+            }
+            Framed(_) | Emp | Own(..) | Stabilize(_) | Destab(_) => {}
+            PointsTo(l, _, v) => {
+                if l.has_read() || v.has_read() {
+                    out.push(p.clone());
+                }
+            }
+            PermGe(l, _) | PermEq(l, _) => {
+                if l.has_read() {
+                    out.push(p.clone());
+                }
+            }
+            And(a, b) | Or(a, b) | Sep(a, b) | Impl(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Forall(_, _, a) | Exists(_, _, a) | Later(a) | Persistently(a) | BUpd(a) => {
+                walk(a, out)
+            }
+            Wand(..) => out.push(p.clone()),
+        }
+    }
+    let mut out = Vec::new();
+    walk(p, &mut out);
+    out
+}
+
 /// Whether the assertion is syntactically *persistent* (entails its own
 /// `□`): it describes only core (duplicable) resources.
 pub fn syntactically_persistent(p: &Assert) -> bool {
@@ -234,6 +278,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// `unstable_atoms` is exactly the provenance of the syntactic
+    /// judgment: empty iff stable, and every reported atom is itself
+    /// syntactically unstable.
+    #[test]
+    fn unstable_atoms_explain_the_judgment() {
+        for p in corpus() {
+            let atoms = unstable_atoms(&p);
+            assert_eq!(
+                atoms.is_empty(),
+                syntactically_stable(&p),
+                "provenance disagrees with the judgment on {p}"
+            );
+            for a in &atoms {
+                assert!(
+                    !syntactically_stable(a),
+                    "reported atom {a} of {p} is stable"
+                );
+            }
+        }
+        // Provenance points at the leaf, not the connective.
+        let l = Term::loc(Loc(0));
+        let p = Assert::sep(Assert::points_to_frac(l, Q::HALF, Term::int(1)), read01());
+        assert_eq!(unstable_atoms(&p), vec![read01()]);
     }
 
     #[test]

@@ -49,6 +49,50 @@ pub enum Op {
     Or,
 }
 
+/// A source position: 1-based line and column, with `0:0` meaning
+/// "unknown" (synthesized nodes). Spans are *metadata*: they compare
+/// equal to every other span, so derived equality on AST nodes ignores
+/// positions — two programs that print the same are equal, and
+/// fingerprints/round-trip tests are unaffected by where a node came
+/// from.
+#[derive(Clone, Copy, Debug)]
+pub struct Span {
+    /// 1-based line (0 = unknown).
+    pub line: u32,
+    /// 1-based column (0 = unknown).
+    pub col: u32,
+}
+
+impl Span {
+    /// The unknown position.
+    pub const NONE: Span = Span { line: 0, col: 0 };
+
+    /// A known position.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+
+    /// Whether the span carries a real position.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl PartialEq for Span {
+    /// Always true: spans never participate in structural equality.
+    fn eq(&self, _other: &Span) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// Expressions (program and specification level).
 #[derive(Clone, PartialEq, Debug)]
 pub enum Expr {
@@ -61,11 +105,11 @@ pub enum Expr {
     /// A local variable or parameter.
     Var(String),
     /// Heap read `e.f` — the heap-dependent expression.
-    Field(Box<Expr>, String),
+    Field(Box<Expr>, String, Span),
     /// `old(e)`: `e` evaluated in the method's pre-state (spec only).
-    Old(Box<Expr>),
+    Old(Box<Expr>, Span),
     /// `perm(e.f)`: the currently-held permission amount (spec only).
-    Perm(Box<Expr>, String),
+    Perm(Box<Expr>, String, Span),
     /// Binary operation.
     Bin(Op, Box<Expr>, Box<Expr>),
     /// Boolean negation.
@@ -82,9 +126,14 @@ impl Expr {
         Expr::Var(x.to_string())
     }
 
-    /// Field access shorthand.
+    /// Field access shorthand (unknown span).
     pub fn field(e: Expr, f: &str) -> Expr {
-        Expr::Field(Box::new(e), f.to_string())
+        Expr::Field(Box::new(e), f.to_string(), Span::NONE)
+    }
+
+    /// Field access shorthand with a known span.
+    pub fn field_at(e: Expr, f: &str, span: Span) -> Expr {
+        Expr::Field(Box::new(e), f.to_string(), span)
     }
 
     /// Binary-op shorthand.
@@ -96,7 +145,7 @@ impl Expr {
     pub fn reads_heap(&self) -> bool {
         match self {
             Expr::Int(_) | Expr::Bool(_) | Expr::Null | Expr::Var(_) => false,
-            Expr::Field(..) | Expr::Old(_) | Expr::Perm(..) => true,
+            Expr::Field(..) | Expr::Old(..) | Expr::Perm(..) => true,
             Expr::Bin(_, a, b) => a.reads_heap() || b.reads_heap(),
             Expr::Not(a) | Expr::Neg(a) => a.reads_heap(),
             Expr::Cond(c, t, e) => c.reads_heap() || t.reads_heap() || e.reads_heap(),
@@ -108,9 +157,9 @@ impl Expr {
     pub fn field_reads(&self) -> usize {
         match self {
             Expr::Int(_) | Expr::Bool(_) | Expr::Null | Expr::Var(_) => 0,
-            Expr::Field(e, _) => 1 + e.field_reads(),
-            Expr::Old(e) => e.field_reads(),
-            Expr::Perm(e, _) => e.field_reads(),
+            Expr::Field(e, _, _) => 1 + e.field_reads(),
+            Expr::Old(e, _) => e.field_reads(),
+            Expr::Perm(e, _, _) => e.field_reads(),
             Expr::Bin(_, a, b) => a.field_reads() + b.field_reads(),
             Expr::Not(a) | Expr::Neg(a) => a.field_reads(),
             Expr::Cond(c, t, e) => c.field_reads() + t.field_reads() + e.field_reads(),
@@ -304,7 +353,7 @@ mod tests {
     #[test]
     fn reads_heap_detection() {
         assert!(Expr::field(Expr::var("x"), "f").reads_heap());
-        assert!(Expr::Old(Box::new(Expr::var("x"))).reads_heap());
+        assert!(Expr::Old(Box::new(Expr::var("x")), Span::NONE).reads_heap());
         assert!(!Expr::bin(Op::Add, Expr::var("x"), Expr::Int(1)).reads_heap());
     }
 

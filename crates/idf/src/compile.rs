@@ -83,7 +83,7 @@ fn compile_expr(prog: &Program, e: &IExpr) -> Result<Expr, ConcreteError> {
         // and overwritten but never dereferenced or compared at runtime.
         IExpr::Null => Expr::unit(),
         IExpr::Var(x) => Expr::load(Expr::var(x)),
-        IExpr::Field(recv, f) => {
+        IExpr::Field(recv, f, _) => {
             let i = match field_index(prog, f) {
                 Some(i) => i,
                 None => return err(format!("unknown field {}", f)),
@@ -91,7 +91,7 @@ fn compile_expr(prog: &Program, e: &IExpr) -> Result<Expr, ConcreteError> {
             let obj = compile_expr(prog, recv)?;
             Expr::load(project(obj, i, prog.fields.len()))
         }
-        IExpr::Old(_) => return err("old() is specification-only"),
+        IExpr::Old(..) => return err("old() is specification-only"),
         IExpr::Perm(..) => return err("perm() is specification-only"),
         IExpr::Bin(op, a, b) => {
             let ca = compile_expr(prog, a)?;
@@ -343,7 +343,7 @@ pub fn eval_spec(
             .get(x)
             .cloned()
             .ok_or_else(|| ConcreteError(format!("unbound {}", x)))?,
-        IExpr::Field(recv, f) => {
+        IExpr::Field(recv, f, _) => {
             let obj = match eval_spec(prog, recv, env, heap, old_heap)? {
                 ConcreteVal::Obj(o) => o,
                 v => return err(format!("field read on non-object {:?}", v)),
@@ -357,7 +357,7 @@ pub fn eval_spec(
                 other => return err(format!("unexpected cell content {:?}", other)),
             }
         }
-        IExpr::Old(inner) => eval_spec(prog, inner, env, old_heap, old_heap)?,
+        IExpr::Old(inner, _) => eval_spec(prog, inner, env, old_heap, old_heap)?,
         IExpr::Perm(..) => return err("perm() has no concrete value"),
         IExpr::Bin(op, a, b) => {
             let va = eval_spec(prog, a, env, heap, old_heap)?;
@@ -444,7 +444,9 @@ fn contains_perm(e: &IExpr) -> bool {
     match e {
         IExpr::Perm(..) => true,
         IExpr::Int(_) | IExpr::Bool(_) | IExpr::Null | IExpr::Var(_) => false,
-        IExpr::Field(a, _) | IExpr::Old(a) | IExpr::Not(a) | IExpr::Neg(a) => contains_perm(a),
+        IExpr::Field(a, _, _) | IExpr::Old(a, _) | IExpr::Not(a) | IExpr::Neg(a) => {
+            contains_perm(a)
+        }
         IExpr::Bin(_, a, b) => contains_perm(a) || contains_perm(b),
         IExpr::Cond(c, t, e2) => contains_perm(c) || contains_perm(t) || contains_perm(e2),
     }

@@ -27,7 +27,8 @@ use crate::ast::{fraction_literal, Assertion, Expr, Op, Program, Stmt, Type};
 use crate::budget::{Budget, BudgetAxis, FaultKind, FaultPlan};
 use crate::diag::{self, FailureReport, QueryCost, QueryLog};
 use crate::smt::{Answer, Solver};
-use crate::sym::{Sort, Sym, SymSupply, Term, TermArena, TermId};
+use crate::stability::{self, StabilityClass};
+use crate::sym::{Sort, Sym, SymSupply, Term, TermArena, TermId, Witness};
 use daenerys_algebra::Q;
 use daenerys_obs::{Event, MetricsRegistry, TraceCollector, TraceHandle, Value};
 use std::collections::BTreeMap;
@@ -82,6 +83,15 @@ pub struct VerifierConfig {
     /// queries within a method (default: `true`). Off reproduces the
     /// naive DPLL bit for bit.
     pub learn: bool,
+    /// Fail any method whose specification contains an assertion the
+    /// static stability analyzer classifies
+    /// [`StabilityClass::Unstable`] (default: `false`). This is an
+    /// *answer-affecting* knob and is part of the incremental
+    /// fingerprint.
+    pub deny_unstable: bool,
+    /// Attach rendered per-finding provenance to `stability.classify`
+    /// trace events (default: `false`). Cost only, never answers.
+    pub explain_stability: bool,
     /// Directory of the persistent incremental verdict store. `Some`
     /// turns on incremental verification: methods whose semantic
     /// fingerprint matches a prior `Verified`/`Failed` entry are not
@@ -104,6 +114,8 @@ impl Default for VerifierConfig {
             retry_unknown: true,
             simplify: true,
             learn: true,
+            deny_unstable: false,
+            explain_stability: false,
             cache_dir: None,
             trace: TraceHandle::disabled(),
         }
@@ -309,6 +321,11 @@ pub struct VerifyStats {
     pub witnesses: usize,
     /// Witness re-derivations/invalidation scans (baseline only).
     pub rebinds: usize,
+    /// Invalidation-scan solver queries the baseline *skipped* because
+    /// the assertion that minted the witness was statically classified
+    /// stable (see [`crate::stability`]) — the scan's answer is
+    /// discarded either way, so skipping is answer-transparent.
+    pub stability_skips: usize,
     /// Symbolic execution states explored.
     pub states: usize,
     /// Budget-exhausted attempts absorbed before this result (1 when
@@ -359,6 +376,7 @@ impl VerifyStats {
         self.symbols += other.symbols;
         self.witnesses += other.witnesses;
         self.rebinds += other.rebinds;
+        self.stability_skips += other.stability_skips;
         self.states += other.states;
         self.budget_exhausted += other.budget_exhausted;
         self.wall_nanos += other.wall_nanos;
@@ -380,8 +398,8 @@ struct State {
     chunks: Rc<Vec<Chunk>>,
     /// Pre-state chunks for `old(…)` (method entry or call site).
     old: Rc<Vec<Chunk>>,
-    /// Baseline: live witnesses (receiver, field, witness symbol).
-    witnesses: Vec<(TermId, String, Sym)>,
+    /// Baseline: live witnesses minted for spec-level field reads.
+    witnesses: Vec<Witness>,
 }
 
 /// The symbolic context captured at the first failing obligation —
@@ -426,6 +444,12 @@ pub struct Verifier<'a> {
     query_log: QueryLog,
     /// Context captured at the current method's first failure.
     failure_ctx: Option<FailureCtx>,
+    /// Whether the top-level spec assertion currently being produced or
+    /// consumed was classified stable by the static analyzer — baseline
+    /// witnesses minted under it are exempt from FieldWrite
+    /// invalidation scans (set at each spec boundary, see
+    /// [`Verifier::enter_spec`]).
+    spec_scan_exempt: bool,
     /// How many methods the last `verify_all`/`verify_all_verdicts`
     /// run actually re-verified (`None` before any run, or when the
     /// run was not incremental).
@@ -468,6 +492,7 @@ impl<'a> Verifier<'a> {
             collector,
             query_log: QueryLog::default(),
             failure_ctx: None,
+            spec_scan_exempt: false,
             reverified: None,
         }
     }
@@ -833,6 +858,42 @@ impl<'a> Verifier<'a> {
         let before_obligations = self.obligations.len();
         let stats_base = self.stats.clone();
 
+        // Static stability analysis of the method's spec assertions
+        // (pre, post, loop invariants), run before execution so the
+        // verdicts can be traced and can gate `deny_unstable`.
+        let spec_verdicts = stability::analyze_method(&method);
+        if self.collector.is_enabled() {
+            for v in &spec_verdicts {
+                let mut fields = vec![
+                    ("site".to_string(), Value::Str(v.site.to_string())),
+                    ("class".to_string(), Value::Str(v.class.to_string())),
+                    ("findings".to_string(), Value::UInt(v.findings.len() as u64)),
+                ];
+                if self.config.explain_stability {
+                    let detail = v
+                        .findings
+                        .iter()
+                        .map(|f| f.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    fields.push(("detail".to_string(), Value::Str(detail)));
+                }
+                self.collector.event("stability.classify", fields);
+            }
+        }
+        if self.config.deny_unstable {
+            let failures: Vec<Obligation> = spec_verdicts
+                .iter()
+                .filter(|v| v.class == StabilityClass::Unstable)
+                .map(|v| {
+                    self.oblige_failure(None, format!("unstable assertion denied: {}", v.lint()))
+                })
+                .collect();
+            if !failures.is_empty() {
+                return Err(VerifyError { failures });
+            }
+        }
+
         // Fresh symbols for parameters and returns.
         let mut state = State {
             store: BTreeMap::new(),
@@ -851,7 +912,7 @@ impl<'a> Verifier<'a> {
 
         // Inhale the precondition, snapshot for old().
         let pre_span = self.collector.span_start("pre");
-        let mut states = self.produce(state, &method.requires);
+        let mut states = self.produce_spec(state, &method.requires);
         for s in &mut states {
             s.old = Rc::clone(&s.chunks);
         }
@@ -868,7 +929,7 @@ impl<'a> Verifier<'a> {
         // Exhale the postcondition on every path.
         let post_span = self.collector.span_start("post");
         for s in finals {
-            let _ = self.consume(s, &method.ensures, "postcondition");
+            let _ = self.consume_spec(s, &method.ensures, "postcondition");
         }
         self.collector.span_end(post_span);
 
@@ -900,6 +961,7 @@ impl<'a> Verifier<'a> {
             symbols: self.supply.minted() - before_symbols,
             witnesses: self.stats.witnesses - stats_base.witnesses,
             rebinds: self.stats.rebinds - stats_base.rebinds,
+            stability_skips: self.stats.stability_skips - stats_base.stability_skips,
             states: self.stats.states - stats_base.states,
             budget_exhausted: 0,
             wall_nanos: 0,
@@ -921,6 +983,8 @@ impl<'a> Verifier<'a> {
             self.collector
                 .counter("solver.learned_clauses", stats.learned_clauses as u64);
             self.collector.counter("exec.states", stats.states as u64);
+            self.collector
+                .counter("stability.skips", stats.stability_skips as u64);
             self.collector
                 .counter("exec.obligations", stats.obligations as u64);
             self.collector
@@ -1157,7 +1221,7 @@ impl<'a> Verifier<'a> {
                     self.arena.bool(false)
                 }
             },
-            Expr::Field(recv, f) => {
+            Expr::Field(recv, f, _) => {
                 let r = self.eval(state, recv, in_spec);
                 match self.find_chunk(state, r, f) {
                     Some(i) => {
@@ -1169,7 +1233,12 @@ impl<'a> Verifier<'a> {
                             let ws = self.arena.sym(w);
                             let bind = self.arena.eq(ws, value);
                             state.pc.push(bind);
-                            state.witnesses.push((r, f.clone(), w));
+                            state.witnesses.push(Witness {
+                                recv: r,
+                                field: f.clone(),
+                                sym: w,
+                                scan_exempt: self.spec_scan_exempt,
+                            });
                             self.stats.witnesses += 1;
                             // Deriving the binding is an obligation of
                             // its own in the stable encoding.
@@ -1191,14 +1260,14 @@ impl<'a> Verifier<'a> {
                     }
                 }
             }
-            Expr::Old(inner) => {
+            Expr::Old(inner, _) => {
                 // Evaluate against the snapshot (an Rc swap, not a copy).
                 let saved = std::mem::replace(&mut state.chunks, Rc::clone(&state.old));
                 let v = self.eval(state, inner, in_spec);
                 state.chunks = saved;
                 v
             }
-            Expr::Perm(recv, f) => {
+            Expr::Perm(recv, f, _) => {
                 // Permission amounts are resolved statically by the
                 // verifier; encode as an exact integer pair via scaling
                 // — the surrounding comparison handles it (see
@@ -1273,8 +1342,8 @@ impl<'a> Verifier<'a> {
         in_spec: bool,
     ) -> Option<TermId> {
         let (perm_side, lit_side, flipped) = match (a, b) {
-            (Expr::Perm(r, f), rhs) => ((r, f), rhs, false),
-            (lhs, Expr::Perm(r, f)) => ((r, f), lhs, true),
+            (Expr::Perm(r, f, _), rhs) => ((r, f), rhs, false),
+            (lhs, Expr::Perm(r, f, _)) => ((r, f), lhs, true),
             _ => return None,
         };
         let q_lit = fraction_literal(lit_side)?;
@@ -1302,6 +1371,30 @@ impl<'a> Verifier<'a> {
     }
 
     // ---- produce (inhale) / consume (exhale, assert) ----
+
+    /// Marks the start of a *top-level* spec assertion (contract
+    /// conjunct, invariant, inhale/exhale/assert operand): witnesses
+    /// minted while it is produced or consumed are exempt from
+    /// FieldWrite invalidation scans iff the static analyzer classifies
+    /// the whole assertion stable. Classification is a pure AST walk,
+    /// so the flag — and with it every skip decision — is deterministic
+    /// at any thread count.
+    fn enter_spec(&mut self, a: &Assertion) {
+        self.spec_scan_exempt = self.backend == Backend::StableBaseline
+            && stability::classify(a).class != StabilityClass::Unstable;
+    }
+
+    /// [`Verifier::produce`] at a top-level spec boundary.
+    fn produce_spec(&mut self, state: State, a: &Assertion) -> Vec<State> {
+        self.enter_spec(a);
+        self.produce(state, a)
+    }
+
+    /// [`Verifier::consume`] at a top-level spec boundary.
+    fn consume_spec(&mut self, state: State, a: &Assertion, ctx: &str) -> Vec<State> {
+        self.enter_spec(a);
+        self.consume(state, a, ctx)
+    }
 
     fn produce(&mut self, mut state: State, a: &Assertion) -> Vec<State> {
         if !self.budget_ok() {
@@ -1516,17 +1609,25 @@ impl<'a> Verifier<'a> {
                     }
                 }
                 // The stable baseline scans live witnesses for
-                // invalidation on every write.
+                // invalidation on every write. The scan's answer is
+                // discarded either way, so for witnesses minted by an
+                // assertion the static analyzer proved stable the
+                // solver query is skipped outright (counted as a
+                // stability skip; the rebind still happened).
                 if self.backend == Backend::StableBaseline {
-                    let scan: Vec<TermId> = state
+                    let scan: Vec<(TermId, bool)> = state
                         .witnesses
                         .iter()
-                        .filter(|(_, f, _)| f == field)
-                        .map(|(wr, _, _)| *wr)
+                        .filter(|w| w.field == *field)
+                        .map(|w| (w.recv, w.scan_exempt))
                         .collect();
-                    for wrecv in scan {
-                        let goal = self.arena.eq(wrecv, r);
-                        let _ = self.query(&state.pc, goal, "witness invalidation scan");
+                    for (wrecv, exempt) in scan {
+                        if exempt {
+                            self.stats.stability_skips += 1;
+                        } else {
+                            let goal = self.arena.eq(wrecv, r);
+                            let _ = self.query(&state.pc, goal, "witness invalidation scan");
+                        }
                         self.stats.rebinds += 1;
                     }
                 }
@@ -1559,13 +1660,13 @@ impl<'a> Verifier<'a> {
                 state.var_types.insert(x.clone(), Type::Ref);
                 vec![state]
             }
-            Stmt::Inhale(a) => self.produce(state, a),
-            Stmt::Exhale(a) => self.consume(state, a, "exhale"),
+            Stmt::Inhale(a) => self.produce_spec(state, a),
+            Stmt::Exhale(a) => self.consume_spec(state, a, "exhale"),
             Stmt::Assert(a) => {
                 // Assert consumes nothing: check on a copy, keep going
                 // with the original chunks.
                 let kept = state.clone();
-                let _ = self.consume(state, a, "assert");
+                let _ = self.consume_spec(state, a, "assert");
                 vec![kept]
             }
             Stmt::If(c, then_b, else_b) => {
@@ -1602,7 +1703,7 @@ impl<'a> Verifier<'a> {
                 // in Viper — including inside loop invariants.
                 let entry_old = Rc::clone(&state.old);
                 // 1. Exhale the invariant on entry.
-                let after_entry = self.consume(state, inv, "loop invariant (entry)");
+                let after_entry = self.consume_spec(state, inv, "loop invariant (entry)");
                 // 2. Check the body preserves it: fresh state with inv
                 //    and the condition, execute, exhale inv.
                 {
@@ -1628,7 +1729,7 @@ impl<'a> Verifier<'a> {
                         let v = self.arena.sym(s);
                         body_state.store.insert(x, v);
                     }
-                    let mut produced = self.produce(body_state, inv);
+                    let mut produced = self.produce_spec(body_state, inv);
                     for st in &mut produced {
                         let v = self.eval(st, c, false);
                         st.pc.push(v);
@@ -1640,7 +1741,7 @@ impl<'a> Verifier<'a> {
                         }
                     }
                     for st in after_body {
-                        let _ = self.consume(st, inv, "loop invariant (preservation)");
+                        let _ = self.consume_spec(st, inv, "loop invariant (preservation)");
                     }
                     self.collector.span_end(span);
                 }
@@ -1654,7 +1755,7 @@ impl<'a> Verifier<'a> {
                         let v = self.arena.sym(s);
                         cont.store.insert(x, v);
                     }
-                    for mut st in self.produce(cont, inv) {
+                    for mut st in self.produce_spec(cont, inv) {
                         let v = self.eval(&mut st, c, false);
                         let nv = self.arena.not(v);
                         st.pc.push(nv);
@@ -1701,7 +1802,7 @@ impl<'a> Verifier<'a> {
                 let caller_store = state.store.clone();
                 let call_snapshot = Rc::clone(&state.chunks);
                 state.store = bound.clone();
-                let mut after_pre = self.consume(
+                let mut after_pre = self.consume_spec(
                     state,
                     &callee.requires,
                     &format!("precondition of {}", mname),
@@ -1717,7 +1818,7 @@ impl<'a> Verifier<'a> {
                     }
                     // old() in the callee post refers to the call point.
                     let saved_old = std::mem::replace(&mut st.old, Rc::clone(&call_snapshot));
-                    for mut done in self.produce(st, &callee.ensures) {
+                    for mut done in self.produce_spec(st, &callee.ensures) {
                         // Restore the caller view.
                         let mut store = caller_store.clone();
                         for ((r, _), t) in callee.returns.iter().zip(targets.iter()) {
@@ -1934,6 +2035,90 @@ mod tests {
         assert_eq!(ds.witnesses, 0);
         assert!(bs.witnesses > 0, "baseline should mint witnesses");
         assert!(bs.obligations > ds.obligations);
+    }
+
+    /// The stable spec `requires acc(c.val) && c.val >= 0` mints a
+    /// witness whose invalidation scan at the body's field write is
+    /// skipped (the static analyzer classified the precondition
+    /// framed-stable), while an uncovered read in a statement-level
+    /// spec keeps paying the scan query.
+    #[test]
+    fn stable_specs_skip_invalidation_scans() {
+        let stable = r#"
+            field val: Int
+            method bump(c: Ref)
+              requires acc(c.val) && c.val >= 0
+              ensures acc(c.val) && c.val == old(c.val) + 1
+            {
+              c.val := c.val + 1
+            }
+        "#;
+        let b = verify(stable, Backend::StableBaseline).unwrap();
+        let bs = &b["bump"];
+        assert!(bs.stability_skips > 0, "framed-stable spec should skip");
+        assert!(
+            bs.rebinds >= bs.stability_skips,
+            "skips still count as rebinds"
+        );
+        // The destabilized backend never scans, hence never skips.
+        let d = verify(stable, Backend::Destabilized).unwrap();
+        assert_eq!(d["bump"].stability_skips, 0);
+        // `inhale c.val >= 0` has no covering acc *within the
+        // assertion*: its witness is not exempt and the scan query is
+        // still posed.
+        let unstable = r#"
+            field val: Int
+            method bump(c: Ref)
+              requires acc(c.val)
+              ensures acc(c.val) && c.val == old(c.val) + 1
+            {
+              inhale c.val >= 0;
+              c.val := c.val + 1
+            }
+        "#;
+        let u = verify(unstable, Backend::StableBaseline).unwrap();
+        assert_eq!(u["bump"].stability_skips, 0);
+        assert!(u["bump"].rebinds > 0);
+    }
+
+    #[test]
+    fn deny_unstable_gates_unstable_contracts_only() {
+        let p = parse_program(
+            "field val: Int
+             method ok(c: Ref)
+               requires acc(c.val) && c.val >= 0
+               ensures acc(c.val)
+             { c.val := 0 }
+             method shaky(c: Ref)
+               requires c.val >= 0
+               ensures true
+             { }",
+        )
+        .unwrap();
+        let config = VerifierConfig {
+            deny_unstable: true,
+            ..VerifierConfig::default()
+        };
+        let mut v = Verifier::with_config(&p, Backend::Destabilized, config);
+        let verdicts = v.verify_all_verdicts();
+        assert!(verdicts["ok"].is_verified());
+        match &verdicts["shaky"] {
+            Verdict::Failed { failures, .. } => {
+                assert!(
+                    failures[0]
+                        .description
+                        .contains("unstable assertion denied"),
+                    "{}",
+                    failures[0].description
+                );
+                assert!(
+                    failures[0].description.contains("precondition"),
+                    "{}",
+                    failures[0].description
+                );
+            }
+            other => panic!("expected Failed, got {}", other),
+        }
     }
 
     #[test]

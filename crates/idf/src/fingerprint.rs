@@ -111,7 +111,7 @@ pub fn direct_callees(method: &Method) -> Vec<String> {
 
 /// The canonical text of the configuration knobs that can change
 /// `method`'s verdict. Cost-only knobs (`threads`, `cache`, tracing,
-/// `cache_dir`) are excluded: they are property-tested to be
+/// `cache_dir`, `explain_stability`) are excluded: they are property-tested to be
 /// answer-transparent, so a verdict cached under one setting is valid
 /// under any other.
 pub fn config_text(backend: Backend, config: &VerifierConfig, method: &str) -> String {
@@ -121,8 +121,14 @@ pub fn config_text(backend: Backend, config: &VerifierConfig, method: &str) -> S
         .map(|k| format!("{:?}", k))
         .collect();
     format!(
-        "backend={:?};budget={:?};faults={:?};retry_unknown={};simplify={};learn={}",
-        backend, config.budget, faults, config.retry_unknown, config.simplify, config.learn
+        "backend={:?};budget={:?};faults={:?};retry_unknown={};simplify={};learn={};deny_unstable={}",
+        backend,
+        config.budget,
+        faults,
+        config.retry_unknown,
+        config.simplify,
+        config.learn,
+        config.deny_unstable
     )
 }
 
@@ -254,11 +260,19 @@ mod tests {
                 budget: crate::budget::Budget::unlimited().with_solver_fuel(7),
                 ..base.clone()
             },
+            VerifierConfig {
+                deny_unstable: true,
+                ..base.clone()
+            },
         ] {
             assert_ne!(a, fp(SRC, "get", &cfg));
         }
         // Cost-only knobs leave it unchanged.
         for cfg in [
+            VerifierConfig {
+                explain_stability: true,
+                ..base.clone()
+            },
             VerifierConfig {
                 threads: 8,
                 ..base.clone()

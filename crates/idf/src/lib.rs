@@ -16,12 +16,13 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 pub mod smt;
+pub mod stability;
 pub mod store;
 pub mod sym;
 pub mod translate;
 pub mod wf;
 
-pub use ast::{Assertion, Expr, Method, Op, Program, Stmt, Type};
+pub use ast::{Assertion, Expr, Method, Op, Program, Span, Stmt, Type};
 pub use budget::{Budget, BudgetAxis, Fault, FaultKind, FaultPlan};
 pub use cases::{
     all_cases, chain_program, diverging_program, negative_cases, positive_cases, scaling_program,
@@ -31,7 +32,7 @@ pub use compile::{
     alloc_object, compile_method, compile_program, run_and_check, spec_holds, ConcreteError,
     ConcreteObj, ConcreteVal,
 };
-pub use diag::{pc_hash, FailureReport, QueryCost, HOT_QUERY_LIMIT};
+pub use diag::{pc_hash, FailureReport, QueryCost, StabilityLint, HOT_QUERY_LIMIT};
 pub use exec::{
     Backend, Chunk, Obligation, UnknownReason, Verdict, Verifier, VerifierConfig, VerifyError,
     VerifyStats,
@@ -41,8 +42,12 @@ pub use parser::{
     parse_assertion, parse_program, parse_program_traced, parse_program_with_recovery, ParseError,
 };
 pub use smt::{Answer, Solver};
+pub use stability::{
+    agrees_with_oracle, analyze_method, analyze_program, classify, Classification, Finding,
+    FindingKind, SpecSite, SpecVerdict, StabilityClass,
+};
 pub use store::{StoredVerdict, VerdictStore};
-pub use sym::{Sort, Sym, SymExpr, SymSupply, Term, TermArena, TermId};
+pub use sym::{Sort, Sym, SymExpr, SymSupply, Term, TermArena, TermId, Witness};
 pub use translate::{
     env_of, full_ownership, obj_of, strip_old, translate_assertion, translate_assertion_traced,
     translate_expr, TEnv, TranslateError,

@@ -20,7 +20,7 @@
 //!            | "call" (ident,+ ":=")? ident "(" expr,* ")"
 //! ```
 
-use crate::ast::{Assertion, Expr, Method, Op, Program, Stmt, Type};
+use crate::ast::{Assertion, Expr, Method, Op, Program, Span, Stmt, Type};
 use crate::lexer::{lex_spanned, Kw, LexError, Sy, Tok};
 use daenerys_algebra::Q;
 use std::fmt;
@@ -203,6 +203,15 @@ impl P {
             line_starts,
             src_len: src.len(),
         })
+    }
+
+    /// The source position of token `tok_idx` (end of input when out
+    /// of range) as an AST [`Span`].
+    fn span_at(&self, tok_idx: usize) -> Span {
+        let pos = self.spans.get(tok_idx).copied().unwrap_or(self.src_len);
+        let line = self.line_starts.partition_point(|&s| s <= pos);
+        let col = pos - self.line_starts[line - 1] + 1;
+        Span::new(line as u32, col as u32)
     }
 
     fn err(&self, m: impl Into<String>) -> ParseError {
@@ -461,7 +470,7 @@ impl P {
         // Field write: expr.f := e.
         let lhs = self.expr()?;
         match lhs {
-            Expr::Field(recv, f) => {
+            Expr::Field(recv, f, _) => {
                 self.expect_sym(Sy::Assign)?;
                 let rhs = self.expr()?;
                 Ok(Stmt::FieldWrite(*recv, f, rhs))
@@ -501,7 +510,7 @@ impl P {
             self.expect_sym(Sy::LParen)?;
             let recv = self.expr()?;
             let (recv, field) = match recv {
-                Expr::Field(r, f) => (*r, f),
+                Expr::Field(r, f, _) => (*r, f),
                 _ => return Err(self.err("acc expects a field location e.f")),
             };
             let q = if self.eat_sym(Sy::Comma) {
@@ -694,10 +703,13 @@ impl P {
     }
 
     fn expr_postfix(&mut self) -> Result<Expr, ParseError> {
+        // Anchor field-read spans at the start of the receiver, so a
+        // diagnostic about `x.f` points at the `x`.
+        let start = self.i;
         let mut e = self.atom()?;
         while self.eat_sym(Sy::Dot) {
             let f = self.ident()?;
-            e = Expr::field(e, &f);
+            e = Expr::field_at(e, &f, self.span_at(start));
         }
         Ok(e)
     }
@@ -721,19 +733,21 @@ impl P {
                 Ok(Expr::Null)
             }
             Some(Tok::Kw(Kw::Old)) => {
+                let at = self.span_at(self.i);
                 self.i += 1;
                 self.expect_sym(Sy::LParen)?;
                 let e = self.expr()?;
                 self.expect_sym(Sy::RParen)?;
-                Ok(Expr::Old(Box::new(e)))
+                Ok(Expr::Old(Box::new(e), at))
             }
             Some(Tok::Kw(Kw::Perm)) => {
+                let at = self.span_at(self.i);
                 self.i += 1;
                 self.expect_sym(Sy::LParen)?;
                 let e = self.expr()?;
                 self.expect_sym(Sy::RParen)?;
                 match e {
-                    Expr::Field(r, f) => Ok(Expr::Perm(r, f)),
+                    Expr::Field(r, f, _) => Ok(Expr::Perm(r, f, at)),
                     _ => Err(self.err("perm expects a field location e.f")),
                 }
             }

@@ -89,18 +89,18 @@ fn write_expr(e: &Expr, min: u8, spec: bool, f: &mut fmt::Formatter<'_>) -> fmt:
         Expr::Bool(b) => write!(f, "{}", b)?,
         Expr::Null => write!(f, "null")?,
         Expr::Var(x) => write!(f, "{}", x)?,
-        Expr::Field(r, fld) => {
+        Expr::Field(r, fld, _) => {
             write_expr(r, 7, spec, f)?;
             write!(f, ".{}", fld)?;
         }
-        Expr::Old(inner) => {
+        Expr::Old(inner, _) => {
             // Parenthesized contents re-enter the full expression
             // grammar, so spec mode is dropped.
             write!(f, "old(")?;
             write_expr(inner, 0, false, f)?;
             write!(f, ")")?;
         }
-        Expr::Perm(r, fld) => {
+        Expr::Perm(r, fld, _) => {
             write!(f, "perm(")?;
             write_expr(r, 7, false, f)?;
             write!(f, ".{})", fld)?;

@@ -173,7 +173,7 @@ fn parse_answer(s: &str) -> Option<Answer> {
 
 /// The `(key, usize)` stat fields, in serialization order (wall time
 /// and thread count are normalized away before persisting).
-const STAT_KEYS: [&str; 12] = [
+const STAT_KEYS: [&str; 13] = [
     "obligations",
     "solver_queries",
     "solver_branches",
@@ -184,11 +184,12 @@ const STAT_KEYS: [&str; 12] = [
     "symbols",
     "witnesses",
     "rebinds",
+    "stability_skips",
     "states",
     "budget_exhausted",
 ];
 
-fn stat_values(s: &VerifyStats) -> [usize; 12] {
+fn stat_values(s: &VerifyStats) -> [usize; 13] {
     [
         s.obligations,
         s.solver_queries,
@@ -200,6 +201,7 @@ fn stat_values(s: &VerifyStats) -> [usize; 12] {
         s.symbols,
         s.witnesses,
         s.rebinds,
+        s.stability_skips,
         s.states,
         s.budget_exhausted,
     ]
@@ -232,6 +234,7 @@ fn decode_stats(obj: &BTreeMap<String, Json>) -> Option<VerifyStats> {
         symbols: get("symbols")?,
         witnesses: get("witnesses")?,
         rebinds: get("rebinds")?,
+        stability_skips: get("stability_skips")?,
         states: get("states")?,
         budget_exhausted: get("budget_exhausted")?,
         ..VerifyStats::default()

@@ -37,6 +37,25 @@ pub enum Sort {
     Ref,
 }
 
+/// A stable-baseline witness: one spec-level field read that was
+/// rendered as a fresh symbol instead of a direct heap read. The
+/// baseline scans live witnesses at every field write to decide which
+/// must be invalidated; `scan_exempt` marks witnesses minted under an
+/// assertion the static analysis ([`crate::stability`]) proved
+/// (framed-)stable, whose scans the executor skips without posing a
+/// solver query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Witness {
+    /// The receiver the read was taken from.
+    pub recv: TermId,
+    /// The field that was read.
+    pub field: String,
+    /// The fresh symbol standing in for the read value.
+    pub sym: Sym,
+    /// Whether invalidation scans may skip this witness.
+    pub scan_exempt: bool,
+}
+
 /// A symbolic expression.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum SymExpr {

@@ -92,11 +92,11 @@ pub fn translate_expr(prog: &Program, env: &TEnv, e: &Expr) -> Result<Term, Tran
             }
             None => return err(format!("unbound variable {}", x)),
         },
-        Expr::Field(recv, f) => {
+        Expr::Field(recv, f, _) => {
             let l = field_loc(prog, env, recv, f)?;
             Term::read(Term::loc(l))
         }
-        Expr::Old(_) => return err("old(…) must be substituted before translation"),
+        Expr::Old(..) => return err("old(…) must be substituted before translation"),
         Expr::Perm(..) => return err("perm(…) translates at the assertion level"),
         Expr::Bin(op, a, b) => {
             let ta = translate_expr(prog, env, a)?;
@@ -199,8 +199,8 @@ fn translate_perm_comparison(
         return Ok(None);
     };
     let (perm, lit, flipped) = match (&**a, &**b) {
-        (Expr::Perm(r, f), rhs) => ((r, f), rhs, false),
-        (lhs, Expr::Perm(r, f)) => ((r, f), lhs, true),
+        (Expr::Perm(r, f, _), rhs) => ((r, f), rhs, false),
+        (lhs, Expr::Perm(r, f, _)) => ((r, f), lhs, true),
         _ => return Ok(None),
     };
     let q = match crate::ast::fraction_literal(lit) {
@@ -266,7 +266,7 @@ fn strip_old_expr(
     e: &Expr,
 ) -> Result<Expr, TranslateError> {
     Ok(match e {
-        Expr::Old(inner) => {
+        Expr::Old(inner, _) => {
             let v = crate::compile::eval_spec(prog, inner, env, old_heap, old_heap)
                 .map_err(|e| TranslateError(e.0))?;
             match v {
@@ -275,9 +275,11 @@ fn strip_old_expr(
                 ConcreteVal::Obj(_) => return err("old(…) of an object"),
             }
         }
-        Expr::Field(r, f) => {
-            Expr::Field(Box::new(strip_old_expr(prog, env, old_heap, r)?), f.clone())
-        }
+        Expr::Field(r, f, at) => Expr::Field(
+            Box::new(strip_old_expr(prog, env, old_heap, r)?),
+            f.clone(),
+            *at,
+        ),
         Expr::Bin(op, a, b) => Expr::Bin(
             *op,
             Box::new(strip_old_expr(prog, env, old_heap, a)?),
@@ -419,7 +421,11 @@ mod tests {
     fn parse_perm(prog: &Program, env: &TEnv, op: Op) -> Assert {
         let e = Expr::Bin(
             op,
-            Box::new(Expr::Perm(Box::new(Expr::var("c")), "val".into())),
+            Box::new(Expr::Perm(
+                Box::new(Expr::var("c")),
+                "val".into(),
+                crate::ast::Span::NONE,
+            )),
             Box::new(Expr::Bin(
                 Op::Div,
                 Box::new(Expr::Int(1)),
@@ -435,7 +441,10 @@ mod tests {
         let a = Assertion::Expr(Expr::bin(
             Op::Eq,
             Expr::field(Expr::var("c"), "val"),
-            Expr::Old(Box::new(Expr::field(Expr::var("c"), "val"))),
+            Expr::Old(
+                Box::new(Expr::field(Expr::var("c"), "val")),
+                crate::ast::Span::NONE,
+            ),
         ));
         let stripped = strip_old(&prog, &env, &heap, &a).unwrap();
         match stripped {
@@ -450,7 +459,12 @@ mod tests {
     fn untranslatable_constructs_are_reported() {
         let (prog, _, env) = setup();
         assert!(translate_expr(&prog, &env, &Expr::Null).is_err());
-        assert!(translate_expr(&prog, &env, &Expr::Old(Box::new(Expr::Int(1)))).is_err());
+        assert!(translate_expr(
+            &prog,
+            &env,
+            &Expr::Old(Box::new(Expr::Int(1)), crate::ast::Span::NONE)
+        )
+        .is_err());
         assert!(translate_expr(&prog, &env, &Expr::var("zz")).is_err());
     }
 }

@@ -5,21 +5,29 @@
 //! constructs (`old`, `perm`) in code positions, and arity errors —
 //! so the symbolic executor can assume a well-formed program.
 
-use crate::ast::{Assertion, Expr, Method, Op, Program, Stmt, Type};
+use crate::ast::{Assertion, Expr, Method, Op, Program, Span, Stmt, Type};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A well-formedness diagnosis.
+/// A well-formedness diagnosis. Diagnoses raised at an AST node that
+/// carries a source position (`old`, `perm`, field reads) report it via
+/// `span`, like [`crate::parser::ParseError`] does; structural errors
+/// (duplicates, arity) stay method-level with [`Span::NONE`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct WfError {
     /// The method the error is in (empty for program-level errors).
     pub method: String,
     /// Description.
     pub message: String,
+    /// Source position (`Span::NONE` when unknown).
+    pub span: Span,
 }
 
 impl fmt::Display for WfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.span.is_known() {
+            write!(f, "at {}: ", self.span)?;
+        }
         if self.method.is_empty() {
             write!(f, "{}", self.message)
         } else {
@@ -58,9 +66,14 @@ struct Checker<'a> {
 
 impl<'a> Checker<'a> {
     fn error(&mut self, message: impl Into<String>) {
+        self.error_at(message, Span::NONE);
+    }
+
+    fn error_at(&mut self, message: impl Into<String>, span: Span) {
         self.errors.push(WfError {
             method: self.method.clone(),
             message: message.into(),
+            span,
         });
     }
 
@@ -77,36 +90,39 @@ impl<'a> Checker<'a> {
                     None
                 }
             },
-            Expr::Field(recv, f) => {
+            Expr::Field(recv, f, at) => {
                 let rt = self.infer(recv, pos)?;
                 if rt != Type::Ref {
-                    self.error(format!("field access on non-reference {}", recv));
+                    self.error_at(format!("field access on non-reference {}", recv), *at);
                     return None;
                 }
                 match self.program.field_type(f) {
                     Some(t) => Some(t),
                     None => {
-                        self.error(format!("unknown field {}", f));
+                        self.error_at(format!("unknown field {}", f), *at);
                         None
                     }
                 }
             }
-            Expr::Old(inner) => {
+            Expr::Old(inner, at) => {
                 if !pos.allows_old() {
-                    self.error(format!("old({}) outside a postcondition/invariant", inner));
+                    self.error_at(
+                        format!("old({}) outside a postcondition/invariant", inner),
+                        *at,
+                    );
                 }
                 self.infer(inner, pos)
             }
-            Expr::Perm(recv, f) => {
+            Expr::Perm(recv, f, at) => {
                 if !pos.allows_perm() {
-                    self.error("perm(…) in code position".to_string());
+                    self.error_at("perm(…) in code position".to_string(), *at);
                 }
                 let rt = self.infer(recv, pos)?;
                 if rt != Type::Ref {
-                    self.error(format!("perm on non-reference {}", recv));
+                    self.error_at(format!("perm on non-reference {}", recv), *at);
                 }
                 if self.program.field_type(f).is_none() {
-                    self.error(format!("unknown field {}", f));
+                    self.error_at(format!("unknown field {}", f), *at);
                 }
                 // Permission amounts live at the spec level; comparisons
                 // against fraction literals are resolved statically.
@@ -368,6 +384,7 @@ pub fn check_program(program: &Program) -> Result<(), Vec<WfError>> {
             errors.push(WfError {
                 method: String::new(),
                 message: format!("duplicate field {}", f),
+                span: Span::NONE,
             });
         }
     }
@@ -376,6 +393,7 @@ pub fn check_program(program: &Program) -> Result<(), Vec<WfError>> {
             errors.push(WfError {
                 method: String::new(),
                 message: format!("duplicate method {}", m.name),
+                span: Span::NONE,
             });
         }
         errors.extend(check_method(program, m));
@@ -436,6 +454,41 @@ mod tests {
     fn spec_only_constructs_in_code_are_caught() {
         let es = errors_of("field v: Int method m(c: Ref) { var t: Int := old(c.v) }");
         assert!(es.iter().any(|e| e.contains("old(")));
+    }
+
+    #[test]
+    fn spec_only_diagnostics_carry_line_and_column() {
+        // `old` in a code position on line 3, `perm` on line 4: each
+        // diagnostic must point at its own keyword, not just the method.
+        let src = "field v: Int
+method m(c: Ref) {
+  var t: Int := old(c.v);
+  var u: Int := perm(c.v)
+}";
+        let errs = check_program(&parse_program(src).unwrap()).unwrap_err();
+        let old_err = errs
+            .iter()
+            .find(|e| e.message.contains("old("))
+            .expect("old diagnostic");
+        assert_eq!((old_err.span.line, old_err.span.col), (3, 17));
+        assert!(old_err.to_string().starts_with("at 3:17:"), "{}", old_err);
+        let perm_err = errs
+            .iter()
+            .find(|e| e.message.contains("perm("))
+            .expect("perm diagnostic");
+        assert_eq!((perm_err.span.line, perm_err.span.col), (4, 17));
+        // Unknown fields in specs are positioned too.
+        let errs = check_program(
+            &parse_program("field v: Int\nmethod m(c: Ref)\n  requires acc(c.v) && c.w == 1\n{ }")
+                .unwrap(),
+        )
+        .unwrap_err();
+        let fld = errs
+            .iter()
+            .find(|e| e.message.contains("unknown field w"))
+            .expect("field diagnostic");
+        assert_eq!(fld.span.line, 3);
+        assert!(fld.span.col > 1);
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         var.clone(),
         var.clone().prop_map(|v| Expr::field(v, "v")),
         var.clone()
-            .prop_map(|v| Expr::Old(Box::new(Expr::field(v, "v")))),
+            .prop_map(|v| Expr::Old(Box::new(Expr::field(v, "v")), daenerys_idf::Span::NONE)),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![

@@ -67,7 +67,10 @@ pub struct Event {
     pub ts: u64,
     /// What happened.
     pub kind: EventKind,
-    /// Span or event name (e.g. `exec:inc`, `solver.query`).
+    /// Span or event name (e.g. `exec:inc`, `solver.query`,
+    /// `stability.classify` — the verifier's per-spec classification
+    /// point event, whose fields carry the spec site, its stability
+    /// class, and rendered findings).
     pub name: String,
     /// Structured payload, in insertion order.
     pub fields: Vec<(String, Value)>,
