@@ -5,10 +5,10 @@
 //! ```text
 //! cargo run -p daenerys-bench --bin tables [--t1] [--t2] [--t3] [--t4] \
 //!     [--f1] [--f2] [--f3] [--json] [--no-cache] [--no-simplify] \
-//!     [--no-learn] [--threads N] [--timeout-ms N] [--fuel N] \
-//!     [--repeat N] [--trace-out PATH] [--profile] [--incremental] \
-//!     [--cache-dir PATH] [--expect-reverified N] [--out-dir PATH] \
-//!     [--deny-unstable] [--explain-stability]
+//!     [--no-learn] [--solver CORE] [--threads N] [--timeout-ms N] \
+//!     [--fuel N] [--repeat N] [--trace-out PATH] [--profile] \
+//!     [--incremental] [--cache-dir PATH] [--expect-reverified N] \
+//!     [--out-dir PATH] [--deny-unstable] [--explain-stability]
 //! ```
 //!
 //! With no table/figure flags, every table and figure is printed.
@@ -17,8 +17,13 @@
 //!   pipeline) and `--threads N` pins the verification fan-out — both
 //!   change cost only, never answers.
 //! * `--no-simplify` disables intern-time canonicalization and
-//!   `--no-learn` the clause-learning solver core, isolating each
+//!   `--no-learn` conflict-clause learning, isolating each
 //!   query-avoidance layer for A/B measurement.
+//! * `--solver CORE` selects the SAT core: `cdcl` (default; watched
+//!   literals, first-UIP learning, theory propagation) or `dpll` (the
+//!   legacy recursive core). Answer-transparent by construction but
+//!   answer-affecting for the incremental fingerprint, so verdicts
+//!   cached under one core are never reused under the other.
 //! * `--incremental` adds the F1 incremental section: each case is
 //!   verified against the persistent verdict store under `--cache-dir`
 //!   (default `target/ivc`), its restored verdicts are checked
@@ -29,9 +34,10 @@
 //!   `PROFILE_verifier.txt`) under `PATH` instead of the working
 //!   directory.
 //! * `--timeout-ms N` sets a per-method wall-clock deadline and
-//!   `--fuel N` a per-method DPLL-branch budget; a method that blows
-//!   its budget is reported (and counted in the JSON) as `Unknown`
-//!   instead of hanging the harness.
+//!   `--fuel N` a per-method solver-fuel budget (conflicts +
+//!   propagations under CDCL, search nodes under `--solver dpll`); a
+//!   method that blows its budget is reported (and counted in the
+//!   JSON) as `Unknown` instead of hanging the harness.
 //! * `--repeat N` measures each timed row as the median of `N` runs
 //!   after one untimed warmup (default 5); `N` is recorded in the JSON
 //!   config block.
@@ -61,14 +67,14 @@ use daenerys_core::{check_stable, stabilize_fast, Assert, CameraKind, Term, Univ
 use daenerys_heaplang::{explore, parse, Machine};
 use daenerys_idf::{
     all_cases, analyze_program, chain_program, diverging_program, parse_program, positive_cases,
-    scaling_program, Backend, StabilityClass, VerifierConfig,
+    scaling_program, Backend, SolverCore, StabilityClass, VerifierConfig,
 };
 use daenerys_obs::{ClockKind, JsonlSink, MemorySink, TraceHandle};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-const KNOWN_FLAGS: [&str; 23] = [
+const KNOWN_FLAGS: [&str; 24] = [
     "--t1",
     "--t2",
     "--t3",
@@ -80,6 +86,7 @@ const KNOWN_FLAGS: [&str; 23] = [
     "--no-cache",
     "--no-simplify",
     "--no-learn",
+    "--solver",
     "--threads",
     "--timeout-ms",
     "--fuel",
@@ -136,6 +143,16 @@ fn parse_args() -> Opts {
             "--no-cache" => opts.config.cache = false,
             "--no-simplify" => opts.config.simplify = false,
             "--no-learn" => opts.config.learn = false,
+            "--solver" => {
+                i += 1;
+                match args.get(i).and_then(|v| SolverCore::parse(v)) {
+                    Some(core) => opts.config.solver = core,
+                    None => {
+                        eprintln!("tables: --solver needs `dpll` or `cdcl`");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--incremental" => {
                 if opts.cache_dir.is_none() {
                     opts.cache_dir = Some(std::path::PathBuf::from("target/ivc"));
@@ -386,8 +403,10 @@ fn run_profile(opts: &Opts) {
         };
         let run = run_backend_with(src, Backend::Destabilized, config);
         let counters = format!(
-            "counters: dpll_branches={} learned_clauses={} methods_reverified={}\n",
+            "counters: dpll_branches={} conflicts={} theory_props={} learned_clauses={} methods_reverified={}\n",
             run.total(|s| s.solver_branches),
+            run.total(|s| s.solver_conflicts),
+            run.total(|s| s.theory_props),
             run.total(|s| s.learned_clauses),
             run.reverified
                 .map_or_else(|| "n/a".to_string(), |n| n.to_string()),
@@ -651,9 +670,9 @@ fn figure_f1(opts: &Opts) {
         chain_rows.push((n, dm, dc, sm, sc));
     }
 
-    // F1c: the exponential case — clause learning + propagation vs.
-    // the naive DPLL core, A/B'd regardless of the session's
-    // `--no-learn` setting so the branch counters stay comparable
+    // F1c: the exponential case — conflict-clause learning on vs. off
+    // on the selected core, A/B'd regardless of the session's
+    // `--no-learn` setting so the work counters stay comparable
     // release over release.
     let learn_on = VerifierConfig {
         learn: true,
@@ -663,12 +682,24 @@ fn figure_f1(opts: &Opts) {
         learn: false,
         ..opts.config.clone()
     };
-    println!("\nF1c. Diverging sweep: clause-learning core vs. naive DPLL (destabilized)\n");
     println!(
-        "    {:>4} | {:>8} {:>8} | {:>8} {:>8} | {:>7} | {:>8}",
-        "k", "µs_cdcl", "µs_dpll", "br_cdcl", "br_dpll", "learned", "br_ratio"
+        "\nF1c. Diverging sweep: clause learning on vs. off ({} core, destabilized)\n",
+        opts.config.solver.name()
     );
-    println!("    {}", "-".repeat(68));
+    println!(
+        "    {:>4} | {:>8} {:>8} | {:>7} {:>7} | {:>6} {:>5} {:>6} {:>7} | {:>8}",
+        "k",
+        "µs_lrn",
+        "µs_none",
+        "br_lrn",
+        "br_none",
+        "confl",
+        "rst",
+        "tprops",
+        "learned",
+        "br_ratio"
+    );
+    println!("    {}", "-".repeat(86));
     let mut diverging_rows = Vec::new();
     for k in DIVERGING_SIZES {
         let src = diverging_program(k);
@@ -679,12 +710,15 @@ fn figure_f1(opts: &Opts) {
             dn.total(|x| x.solver_branches),
         );
         println!(
-            "    {:>4} | {:>8} {:>8} | {:>8} {:>8} | {:>7} | {:>7.2}x",
+            "    {:>4} | {:>8} {:>8} | {:>7} {:>7} | {:>6} {:>5} {:>6} {:>7} | {:>7.2}x",
             k,
             micros(dl.time),
             micros(dn.time),
             bl,
             bn,
+            dl.total(|x| x.solver_conflicts),
+            dl.total(|x| x.solver_restarts),
+            dl.total(|x| x.theory_props),
             dl.total(|x| x.learned_clauses),
             bn as f64 / bl.max(1) as f64,
         );
@@ -797,13 +831,16 @@ fn run_json(run: &BackendRun) -> String {
         hits as f64 / (hits + misses) as f64
     };
     format!(
-        "{{\"wall_micros\": {:.1}, \"solver_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"dpll_branches\": {}, \"learned_clauses\": {}, \"obligations\": {}, \"interned_terms\": {}, \"stability_skips\": {}, \"unknown_methods\": {}, \"budget_exhausted\": {}, \"methods_reverified\": {}}}",
+        "{{\"wall_micros\": {:.1}, \"solver_queries\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"dpll_branches\": {}, \"conflicts\": {}, \"restarts\": {}, \"theory_props\": {}, \"learned_clauses\": {}, \"obligations\": {}, \"interned_terms\": {}, \"stability_skips\": {}, \"unknown_methods\": {}, \"budget_exhausted\": {}, \"methods_reverified\": {}}}",
         run.time.as_secs_f64() * 1e6,
         run.total(|x| x.solver_queries),
         hits,
         misses,
         rate,
         run.total(|x| x.solver_branches),
+        run.total(|x| x.solver_conflicts),
+        run.total(|x| x.solver_restarts),
+        run.total(|x| x.theory_props),
         run.total(|x| x.learned_clauses),
         run.total(|x| x.obligations),
         run.total(|x| x.interned_terms),
@@ -839,12 +876,28 @@ fn write_bench_json(
 ) {
     let mut cases = Vec::new();
     for case in positive_cases() {
-        let d = measure_median(
+        let mut d = measure_median(
             case.source,
             Backend::Destabilized,
             &opts.config,
             opts.repeat,
         );
+        // With `--incremental`/`--cache-dir` active, graft the
+        // warm-rerun restore count onto the timed measurement: the
+        // per-case verdict store was populated by the F1d section, so
+        // this run reports how many methods the store could not
+        // absorb instead of a `methods_reverified: null`.
+        if let Some(dir) = &opts.cache_dir {
+            let warm = run_backend_with(
+                case.source,
+                Backend::Destabilized,
+                VerifierConfig {
+                    cache_dir: Some(dir.join(case.name)),
+                    ..opts.config.clone()
+                },
+            );
+            d.reverified = warm.reverified;
+        }
         let s = measure_median(
             case.source,
             Backend::StableBaseline,
@@ -894,10 +947,11 @@ fn write_bench_json(
     }
     let json = format!
         (
-        "{{\n  \"experiment\": \"F1 verifier pipeline\",\n  \"command\": \"cargo run -p daenerys-bench --bin tables -- --f1 --json\",\n  \"config\": {{\"cache\": {}, \"simplify\": {}, \"learn\": {}, \"deny_unstable\": {}, \"incremental\": {}, \"threads\": {}, \"timeout_ms\": {}, \"fuel\": {}, \"repeat\": {}}},\n  \"cases\": [\n{}\n  ],\n  \"chain\": [\n{}\n  ],\n  \"diverging\": [\n{}\n  ],\n  \"incremental\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"F1 verifier pipeline\",\n  \"command\": \"cargo run -p daenerys-bench --bin tables -- --f1 --json\",\n  \"config\": {{\"cache\": {}, \"simplify\": {}, \"learn\": {}, \"solver\": \"{}\", \"deny_unstable\": {}, \"incremental\": {}, \"threads\": {}, \"timeout_ms\": {}, \"fuel\": {}, \"repeat\": {}}},\n  \"cases\": [\n{}\n  ],\n  \"chain\": [\n{}\n  ],\n  \"diverging\": [\n{}\n  ],\n  \"incremental\": [\n{}\n  ]\n}}\n",
         opts.config.cache,
         opts.config.simplify,
         opts.config.learn,
+        opts.config.solver.name(),
         opts.config.deny_unstable,
         opts.cache_dir.is_some(),
         opts.config.threads,

@@ -182,7 +182,8 @@ pub struct MethodProfile {
     pub phase_nanos: BTreeMap<String, u64>,
     /// Solver queries issued while verifying the method.
     pub queries: u64,
-    /// Total DPLL-branch fuel burned by those queries.
+    /// Total solver fuel burned by those queries
+    /// (conflicts + propagations under CDCL; branches under DPLL).
     pub fuel: u64,
     /// Queries answered from the memo table.
     pub cache_hits: u64,
@@ -197,7 +198,8 @@ pub struct HotQuery {
     pub method: String,
     /// The call site label (`postcondition: ...`, `branch feasibility`, …).
     pub site: String,
-    /// DPLL branches the query cost.
+    /// Solver fuel the query cost (conflicts + propagations
+    /// under CDCL; branches under DPLL).
     pub fuel: u64,
     /// Whether the memo table answered it.
     pub cache_hit: bool,
@@ -336,7 +338,7 @@ pub fn render_profile(report: &ProfileReport) -> String {
         }
     }
     if !report.hottest.is_empty() {
-        out.push_str("hottest solver queries (by DPLL-branch fuel)\n");
+        out.push_str("hottest solver queries (by solver fuel)\n");
         for q in &report.hottest {
             out.push_str(&format!(
                 "  fuel {:>6}  {:<16} {}  pc#{:016x}{}\n",

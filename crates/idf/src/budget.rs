@@ -1,7 +1,9 @@
 //! Resource budgets and deterministic fault injection for the verifier.
 //!
 //! A [`Budget`] bounds each axis of verification work — wall-clock
-//! deadline, solver fuel (DPLL branches), symbolic-execution states,
+//! deadline, solver fuel (conflicts + propagated literals under the
+//! CDCL core, search nodes under the legacy DPLL core),
+//! symbolic-execution states,
 //! and interned terms. Budgets are checked *cooperatively* at the
 //! existing loop sites in `exec`/`smt`, so exhaustion prunes the run
 //! and surfaces as a deterministic `Verdict::Unknown { reason }`
@@ -20,7 +22,8 @@ use std::fmt;
 pub enum BudgetAxis {
     /// Wall-clock deadline per method ([`Budget::deadline_ms`]).
     Deadline,
-    /// DPLL branch fuel per method ([`Budget::solver_fuel`]).
+    /// Solver fuel per method ([`Budget::solver_fuel`]): conflicts +
+    /// propagations under CDCL, search nodes under legacy DPLL.
     SolverFuel,
     /// Symbolic-execution states per method ([`Budget::max_states`]).
     States,
@@ -66,7 +69,9 @@ impl fmt::Display for BudgetAxis {
 pub struct Budget {
     /// Wall-clock deadline in milliseconds per method.
     pub deadline_ms: Option<u64>,
-    /// DPLL branches the solver may explore per method.
+    /// Solver fuel units the solver may spend per method: one unit
+    /// per conflict and per propagated literal under the CDCL core,
+    /// one per search-node entry under the legacy DPLL core.
     pub solver_fuel: Option<u64>,
     /// Symbolic-execution states explored per method.
     pub max_states: Option<u64>,

@@ -26,7 +26,7 @@
 use crate::ast::{fraction_literal, Assertion, Expr, Op, Program, Stmt, Type};
 use crate::budget::{Budget, BudgetAxis, FaultKind, FaultPlan};
 use crate::diag::{self, FailureReport, QueryCost, QueryLog};
-use crate::smt::{Answer, Solver};
+use crate::smt::{Answer, Solver, SolverCore};
 use crate::stability::{self, StabilityClass};
 use crate::sym::{Sort, Sym, SymSupply, Term, TermArena, TermId, Witness};
 use daenerys_algebra::Q;
@@ -89,6 +89,12 @@ pub struct VerifierConfig {
     /// *answer-affecting* knob and is part of the incremental
     /// fingerprint.
     pub deny_unstable: bool,
+    /// Which search core the solver runs (default: [`SolverCore::Cdcl`];
+    /// `--solver=dpll` selects the legacy case-splitting core). Both
+    /// cores answer identically on the supported fragment, but the
+    /// selector is answer-affecting in principle and is part of the
+    /// incremental fingerprint.
+    pub solver: SolverCore,
     /// Attach rendered per-finding provenance to `stability.classify`
     /// trace events (default: `false`). Cost only, never answers.
     pub explain_stability: bool,
@@ -115,6 +121,7 @@ impl Default for VerifierConfig {
             simplify: true,
             learn: true,
             deny_unstable: false,
+            solver: SolverCore::default(),
             explain_stability: false,
             cache_dir: None,
             trace: TraceHandle::disabled(),
@@ -304,8 +311,18 @@ pub struct VerifyStats {
     pub obligations: usize,
     /// Solver entailment/consistency queries.
     pub solver_queries: usize,
-    /// DPLL branches explored.
+    /// Search branches explored: DPLL search-node entries under the
+    /// legacy core, decisions under CDCL.
     pub solver_branches: usize,
+    /// CDCL conflicts (0 under the legacy core).
+    pub solver_conflicts: usize,
+    /// CDCL restarts (Luby schedule; 0 under the legacy core).
+    pub solver_restarts: usize,
+    /// Literals assigned by unit propagation (0 under the legacy core).
+    pub solver_propagations: usize,
+    /// Literals assigned by theory propagation (congruence closure and
+    /// difference-bound strengthening; 0 under the legacy core).
+    pub theory_props: usize,
     /// Solver query-cache hits (whole queries answered from memory).
     pub cache_hits: usize,
     /// Solver query-cache misses.
@@ -369,6 +386,10 @@ impl VerifyStats {
         self.obligations += other.obligations;
         self.solver_queries += other.solver_queries;
         self.solver_branches += other.solver_branches;
+        self.solver_conflicts += other.solver_conflicts;
+        self.solver_restarts += other.solver_restarts;
+        self.solver_propagations += other.solver_propagations;
+        self.theory_props += other.theory_props;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.learned_clauses += other.learned_clauses;
@@ -472,6 +493,7 @@ impl<'a> Verifier<'a> {
         let mut solver = Solver::new();
         solver.cache_enabled = config.cache;
         solver.learn_enabled = config.learn;
+        solver.core = config.solver;
         let mut arena = TermArena::new();
         arena.set_simplify(config.simplify);
         let collector = config.trace.collector();
@@ -850,6 +872,10 @@ impl<'a> Verifier<'a> {
 
         let before_queries = self.solver.queries;
         let before_branches = self.solver.branches;
+        let before_conflicts = self.solver.conflicts;
+        let before_restarts = self.solver.restarts;
+        let before_propagations = self.solver.propagations;
+        let before_theory_props = self.solver.theory_props;
         let before_hits = self.solver.cache_hits;
         let before_misses = self.solver.cache_misses;
         let before_learned = self.solver.learned_clauses;
@@ -954,6 +980,10 @@ impl<'a> Verifier<'a> {
             obligations: self.obligations.len() - before_obligations,
             solver_queries: self.solver.queries - before_queries,
             solver_branches: self.solver.branches - before_branches,
+            solver_conflicts: self.solver.conflicts - before_conflicts,
+            solver_restarts: self.solver.restarts - before_restarts,
+            solver_propagations: self.solver.propagations - before_propagations,
+            theory_props: self.solver.theory_props - before_theory_props,
             cache_hits: self.solver.cache_hits - before_hits,
             cache_misses: self.solver.cache_misses - before_misses,
             learned_clauses: self.solver.learned_clauses - before_learned,
@@ -980,6 +1010,12 @@ impl<'a> Verifier<'a> {
                 .counter("solver.cache_misses", stats.cache_misses as u64);
             self.collector
                 .counter("solver.branches", stats.solver_branches as u64);
+            self.collector
+                .counter("solver.conflict", stats.solver_conflicts as u64);
+            self.collector
+                .counter("solver.restart", stats.solver_restarts as u64);
+            self.collector
+                .counter("theory.propagate", stats.theory_props as u64);
             self.collector
                 .counter("solver.learned_clauses", stats.learned_clauses as u64);
             self.collector.counter("exec.states", stats.states as u64);
@@ -1020,9 +1056,13 @@ impl<'a> Verifier<'a> {
         }
         if self.solver.fuel_exhausted {
             let limit = self.config.budget.solver_fuel.unwrap_or(0);
+            let unit = match self.config.solver {
+                SolverCore::Cdcl => "conflict+propagation",
+                SolverCore::Dpll => "DPLL branch",
+            };
             self.exhausted = Some((
                 BudgetAxis::SolverFuel,
-                format!("DPLL branch fuel of {} ran out", limit),
+                format!("{} fuel of {} ran out", unit, limit),
             ));
             return false;
         }
@@ -1074,9 +1114,20 @@ impl<'a> Verifier<'a> {
     fn query(&mut self, pc: &[TermId], goal: TermId, site: &str) -> Answer {
         let hits_before = self.solver.cache_hits;
         let branches_before = self.solver.branches;
+        let conflicts_before = self.solver.conflicts;
+        let propagations_before = self.solver.propagations;
         let learned_before = self.solver.learned_clauses;
         let answer = self.solver.entails(&mut self.arena, pc, goal);
-        let fuel = (self.solver.branches - branches_before) as u64;
+        // Per-query fuel mirrors the budget's unit: conflicts +
+        // propagations under CDCL, search-node entries under the
+        // legacy DPLL core.
+        let fuel = match self.config.solver {
+            SolverCore::Cdcl => {
+                (self.solver.conflicts - conflicts_before) as u64
+                    + (self.solver.propagations - propagations_before) as u64
+            }
+            SolverCore::Dpll => (self.solver.branches - branches_before) as u64,
+        };
         let learned = (self.solver.learned_clauses - learned_before) as u64;
         let traced = self.collector.is_enabled();
         if traced || self.query_log.accepts(fuel) {
@@ -2478,7 +2529,9 @@ mod tests {
         let need = {
             let mut v = Verifier::new(&p, Backend::Destabilized);
             match v.verify_method_verdict("a") {
-                Verdict::Verified(s) => s.solver_branches as u64,
+                // Fuel units: conflicts+propagations under the
+                // (default) CDCL core.
+                Verdict::Verified(s) => (s.solver_conflicts + s.solver_propagations) as u64,
                 other => panic!("expected Verified, got {}", other),
             }
         };

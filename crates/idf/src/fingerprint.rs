@@ -121,14 +121,15 @@ pub fn config_text(backend: Backend, config: &VerifierConfig, method: &str) -> S
         .map(|k| format!("{:?}", k))
         .collect();
     format!(
-        "backend={:?};budget={:?};faults={:?};retry_unknown={};simplify={};learn={};deny_unstable={}",
+        "backend={:?};budget={:?};faults={:?};retry_unknown={};simplify={};learn={};deny_unstable={};solver={:?}",
         backend,
         config.budget,
         faults,
         config.retry_unknown,
         config.simplify,
         config.learn,
-        config.deny_unstable
+        config.deny_unstable,
+        config.solver
     )
 }
 
@@ -262,6 +263,10 @@ mod tests {
             },
             VerifierConfig {
                 deny_unstable: true,
+                ..base.clone()
+            },
+            VerifierConfig {
+                solver: crate::smt::SolverCore::Dpll,
                 ..base.clone()
             },
         ] {

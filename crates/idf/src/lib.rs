@@ -41,7 +41,7 @@ pub use fingerprint::{direct_callees, method_fingerprint, Fingerprint};
 pub use parser::{
     parse_assertion, parse_program, parse_program_traced, parse_program_with_recovery, ParseError,
 };
-pub use smt::{Answer, Solver};
+pub use smt::{Answer, Solver, SolverCore};
 pub use stability::{
     agrees_with_oracle, analyze_method, analyze_program, classify, Classification, Finding,
     FindingKind, SpecSite, SpecVerdict, StabilityClass,

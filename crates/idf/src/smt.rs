@@ -58,6 +58,46 @@ const MAX_LEARNED_CLAUSES: usize = 512;
 /// deterministic per method and thread-count independent.
 const LEARN_FUEL_PER_METHOD: u64 = 256;
 
+/// Which search core answers satisfiability queries.
+///
+/// Both cores decide the same fragment and return identical answers on
+/// every query (the differential proptests pin this); they differ only
+/// in cost. The selector is answer-affecting *in principle* (a future
+/// core could change Unknown frontiers), so it is part of the verdict
+/// fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum SolverCore {
+    /// The legacy recursive case-splitting DPLL, with the optional
+    /// clause-learning extension ([`Solver::learn_enabled`]).
+    Dpll,
+    /// Conflict-driven clause learning: two-watched-literal
+    /// propagation, first-UIP analysis with clause minimization,
+    /// deterministic VSIDS ordering, LBD-based clause deletion on a
+    /// fixed cadence, Luby restarts, and a theory-propagation layer
+    /// (congruence closure + difference bounds).
+    #[default]
+    Cdcl,
+}
+
+impl SolverCore {
+    /// Parses the `--solver` flag value.
+    pub fn parse(s: &str) -> Option<SolverCore> {
+        match s {
+            "dpll" => Some(SolverCore::Dpll),
+            "cdcl" => Some(SolverCore::Cdcl),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (`dpll`/`cdcl`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverCore::Dpll => "dpll",
+            SolverCore::Cdcl => "cdcl",
+        }
+    }
+}
+
 /// The answer to an entailment query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Answer {
@@ -211,9 +251,11 @@ pub struct Solver {
     pub theory_hits: usize,
     /// Theory-cache misses.
     pub theory_misses: usize,
-    /// Remaining DPLL-branch fuel; `None` means unlimited. Each `dpll`
-    /// entry consumes one unit; at zero the solver answers `Unknown`
-    /// instead of searching further (cooperative budget exhaustion).
+    /// Remaining solver fuel; `None` means unlimited. Under the CDCL
+    /// core one unit is charged per conflict and per propagated
+    /// literal; under the legacy DPLL core each search-node entry
+    /// consumes one unit. At zero the solver answers `Unknown` instead
+    /// of searching further (cooperative budget exhaustion).
     pub fuel: Option<u64>,
     /// Sticky flag: set once any query was truncated by fuel
     /// exhaustion. Truncated answers are never cached (the caches must
@@ -233,6 +275,18 @@ pub struct Solver {
     /// Total theory-conflict clauses learned across all queries
     /// (monotone; clearing retained clauses does not reset it).
     pub learned_clauses: usize,
+    /// Which search core answers queries (CDCL by default; the legacy
+    /// DPLL stays selectable via `--solver=dpll`).
+    pub core: SolverCore,
+    /// CDCL conflicts across all queries (0 under the legacy core).
+    pub conflicts: usize,
+    /// CDCL restarts across all queries (Luby schedule).
+    pub restarts: usize,
+    /// Literals assigned by unit propagation across all queries.
+    pub propagations: usize,
+    /// Literals assigned by theory propagation (congruence closure and
+    /// difference-bound strengthening) across all queries.
+    pub theory_props: usize,
     query_cache: HashMap<(Vec<TermId>, TermId), Answer>,
     theory_cache: HashMap<Vec<(Atom, bool)>, SatAnswer>,
     learned: Vec<Vec<(Atom, bool)>>,
@@ -256,6 +310,11 @@ impl Default for Solver {
             unknown_after: None,
             learn_enabled: true,
             learned_clauses: 0,
+            core: SolverCore::default(),
+            conflicts: 0,
+            restarts: 0,
+            propagations: 0,
+            theory_props: 0,
             query_cache: HashMap::new(),
             theory_cache: HashMap::new(),
             learned: Vec::new(),
@@ -357,6 +416,9 @@ impl Solver {
     fn sat(&mut self, arena: &mut TermArena, f: TermId) -> SatAnswer {
         let mut atoms = AtomTable::default();
         let skeleton = self.abstract_bool(arena, f, true, &mut atoms);
+        if self.core == SolverCore::Cdcl {
+            return self.cdcl_sat(&skeleton, &atoms);
+        }
         let mut assignment: Vec<Option<bool>> = vec![None; atoms.list.len()];
         if !self.learn_enabled {
             return self.dpll(&skeleton, &atoms.list, &mut assignment);
@@ -377,6 +439,67 @@ impl Solver {
             })
             .collect();
         self.cdpll(&skeleton, &atoms.list, &clauses, &mut assignment)
+    }
+
+    /// Answers one satisfiability query with the CDCL core.
+    ///
+    /// The skeleton is Tseitin-encoded to CNF (atom indices become the
+    /// first variables, auxiliary definition variables follow), the
+    /// retained cross-query lemmas are instantiated as initial clauses,
+    /// and the engine runs to a verdict. Afterwards the engine's
+    /// untainted conflict lemmas over pure atom variables are exported
+    /// back into the cross-query store, exactly like the legacy
+    /// clause-learning core, and the engine's counters and remaining
+    /// fuel fold into the solver's.
+    fn cdcl_sat(&mut self, skeleton: &BForm, atoms: &AtomTable) -> SatAnswer {
+        let mut eng = CdclEngine::new(atoms.list.clone(), self.learn_enabled, self.fuel);
+        if !eng.encode(skeleton) {
+            // Propositionally false at the root: no search, no fuel.
+            return SatAnswer::Unsat;
+        }
+        if self.learn_enabled {
+            // Instantiate retained lemmas whose atoms all occur in this
+            // query (same applicability rule as the legacy core).
+            let instantiated: Vec<Vec<(usize, bool)>> = self
+                .learned
+                .iter()
+                .filter_map(|clause| {
+                    clause
+                        .iter()
+                        .map(|(a, pol)| atoms.index.get(a).map(|&i| (i, *pol)))
+                        .collect()
+                })
+                .collect();
+            for c in instantiated {
+                eng.add_lemma(&c);
+            }
+        }
+        let verdict = eng.solve(self);
+        self.fuel = eng.fuel;
+        self.fuel_exhausted |= eng.fuel_exhausted;
+        self.branches += eng.decisions as usize;
+        self.conflicts += eng.conflicts as usize;
+        self.restarts += eng.restarts as usize;
+        self.propagations += eng.propagations as usize;
+        self.theory_props += eng.theory_props as usize;
+        self.learned_clauses += eng.learned_total as usize;
+        if self.learn_enabled {
+            for clause in eng.exported() {
+                if self.learned.len() >= MAX_LEARNED_CLAUSES {
+                    break;
+                }
+                let mut lemma: Vec<(Atom, bool)> = clause
+                    .iter()
+                    .map(|&(i, pol)| (atoms.list[i].clone(), pol))
+                    .collect();
+                lemma.sort_unstable();
+                lemma.dedup();
+                if self.learned_index.insert(lemma.clone()) {
+                    self.learned.push(lemma);
+                }
+            }
+        }
+        verdict
     }
 
     /// Converts a boolean term to a skeleton, interning atoms.
@@ -883,6 +1006,1109 @@ impl Solver {
     }
 }
 
+// ===================== CDCL core =====================
+
+/// Conflicts before the first Luby restart; later intervals are this
+/// times the Luby sequence (1, 1, 2, 1, 1, 2, 4, …).
+const LUBY_UNIT: u64 = 64;
+
+/// Conflicts between learned-clause reductions — the fixed deletion
+/// cadence (deterministic: a function of the conflict count alone).
+const REDUCE_CADENCE: u64 = 2000;
+
+/// VSIDS decay: the bump increment grows by `1/VSIDS_DECAY` per
+/// conflict, which is equivalent to decaying every variable's activity.
+const VSIDS_DECAY: f64 = 0.95;
+
+/// Activity magnitude that triggers a rescale of all activities.
+const VSIDS_RESCALE: f64 = 1e100;
+
+#[inline]
+fn mk_lit(var: usize, pol: bool) -> usize {
+    var * 2 + usize::from(!pol)
+}
+
+#[inline]
+fn lit_var(l: usize) -> usize {
+    l >> 1
+}
+
+#[inline]
+fn lit_pol(l: usize) -> bool {
+    l & 1 == 0
+}
+
+#[inline]
+fn lit_neg(l: usize) -> usize {
+    l ^ 1
+}
+
+/// An exact rational variable bound `num/den` (`den > 0`), tagged with
+/// the literal that imposed it. Bounds stay rational — never rounded to
+/// integers — so the propagation layer proves exactly what the legacy
+/// core's (rational) Fourier–Motzkin leaf check proves, keeping the two
+/// cores answer-identical.
+type RatBound = (i128, i128, usize);
+
+/// The result of a Tseitin encoding step.
+enum TLit {
+    True,
+    False,
+    Lit(usize),
+}
+
+/// One CNF clause of the CDCL engine.
+#[derive(Debug)]
+struct CClause {
+    lits: Vec<usize>,
+    /// Deletable by the LBD policy (conflict-learned clauses).
+    learned: bool,
+    /// Never deleted: theory-explanation and blocking clauses, whose
+    /// indices live in caches or must keep cubes blocked.
+    protect: bool,
+    /// Derived (transitively) from a blocking clause — sound for
+    /// in-query pruning under the taint flag, but never exported as a
+    /// theory lemma.
+    tainted: bool,
+    /// A conflict-learned theory lemma over pure atom variables —
+    /// eligible for cross-query retention.
+    export: bool,
+    lbd: u32,
+    deleted: bool,
+}
+
+/// The outcome of one theory-propagation pass.
+enum TheoryResult {
+    /// Nothing new.
+    Quiet,
+    /// Propagated at least one literal; run BCP again.
+    Progress,
+    /// Theory conflict. Carries the conflict clause index when clause
+    /// learning is on; `None` under the chronological (no-learn) search.
+    Conflict(Option<usize>),
+}
+
+/// The outcome of checking a total assignment against the theories.
+enum LeafOutcome {
+    /// Theory-consistent: the query is satisfiable.
+    Sat,
+    /// Search space exhausted (conflict or blocking at the root).
+    Done,
+    /// Conflict or blocking handled; resume the search loop.
+    Continue,
+}
+
+/// The Luby sequence (1, 1, 2, 1, 1, 2, 4, …) at index `x ≥ 0`.
+fn luby(x: u64) -> u64 {
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = x;
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// One query's CDCL search state. Variables `0..natoms` are the atom
+/// indices of the query's [`AtomTable`]; Tseitin auxiliary variables
+/// follow. Everything is indexed `Vec`s and fixed iteration orders, so
+/// a query's search — decisions, conflicts, learned clauses, restarts —
+/// is a pure function of the query and the retained lemma set, which is
+/// what keeps verdicts and stats bit-identical at any thread count.
+struct CdclEngine {
+    atoms: Vec<Atom>,
+    natoms: usize,
+    nvars: usize,
+    clauses: Vec<CClause>,
+    /// `watches[lit]` — clauses currently watching `lit`.
+    watches: Vec<Vec<usize>>,
+    /// Canonical-lits → clause index for theory-explanation clauses, so
+    /// the recomputing theory pass reuses rather than re-adds them.
+    expl_index: HashMap<Vec<usize>, usize>,
+    assign: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<usize>,
+    trail_lim: Vec<usize>,
+    /// Per-level "second phase tried" flags for the chronological
+    /// (no-learn) search.
+    flipped: Vec<bool>,
+    qhead: usize,
+    /// Variables occurring in the problem clauses — the only ones the
+    /// search decides, so unconstrained atoms stay unassigned exactly
+    /// as in the legacy core (their theory meaning is existential).
+    decidable: Vec<bool>,
+    activity: Vec<f64>,
+    act_inc: f64,
+    seen: Vec<bool>,
+    learn: bool,
+    fuel: Option<u64>,
+    fuel_exhausted: bool,
+    /// Set when a theory-Unknown leaf was blocked; a final Unsat then
+    /// degrades to Unknown (the blocked cube might have been a model).
+    taint: bool,
+    decisions: u64,
+    conflicts: u64,
+    restarts: u64,
+    propagations: u64,
+    theory_props: u64,
+    learned_total: u64,
+    conflicts_since_restart: u64,
+    conflicts_since_reduce: u64,
+    root_unsat: bool,
+}
+
+impl CdclEngine {
+    fn new(atoms: Vec<Atom>, learn: bool, fuel: Option<u64>) -> CdclEngine {
+        let natoms = atoms.len();
+        CdclEngine {
+            atoms,
+            natoms,
+            nvars: natoms,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); natoms * 2],
+            expl_index: HashMap::new(),
+            assign: vec![None; natoms],
+            level: vec![0; natoms],
+            reason: vec![None; natoms],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            flipped: Vec::new(),
+            qhead: 0,
+            decidable: vec![false; natoms],
+            activity: vec![0.0; natoms],
+            act_inc: 1.0,
+            seen: vec![false; natoms],
+            learn,
+            fuel,
+            fuel_exhausted: false,
+            taint: false,
+            decisions: 0,
+            conflicts: 0,
+            restarts: 0,
+            propagations: 0,
+            theory_props: 0,
+            learned_total: 0,
+            conflicts_since_restart: 0,
+            conflicts_since_reduce: 0,
+            root_unsat: false,
+        }
+    }
+
+    fn new_var(&mut self) -> usize {
+        let v = self.nvars;
+        self.nvars += 1;
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.assign.push(None);
+        self.level.push(0);
+        self.reason.push(None);
+        self.decidable.push(false);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        v
+    }
+
+    fn current_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn value(&self, l: usize) -> Option<bool> {
+        self.assign[lit_var(l)].map(|v| v == lit_pol(l))
+    }
+
+    fn charge_fuel(&mut self, n: u64) {
+        if let Some(f) = self.fuel {
+            if f < n {
+                self.fuel = Some(0);
+                self.fuel_exhausted = true;
+            } else {
+                self.fuel = Some(f - n);
+            }
+        }
+    }
+
+    /// Assigns a literal. `counted` distinguishes propagations (which
+    /// are fuel-charged) from decisions. Returns false on a conflicting
+    /// existing assignment.
+    fn assign_lit(&mut self, l: usize, why: Option<usize>, counted: bool) -> bool {
+        let v = lit_var(l);
+        match self.assign[v] {
+            Some(val) => val == lit_pol(l),
+            None => {
+                self.assign[v] = Some(lit_pol(l));
+                self.level[v] = self.current_level();
+                self.reason[v] = why;
+                self.trail.push(l);
+                if counted {
+                    self.propagations += 1;
+                    self.charge_fuel(1);
+                }
+                true
+            }
+        }
+    }
+
+    /// Tseitin-encodes the skeleton; returns false when the root is
+    /// propositionally false (no search needed).
+    fn encode(&mut self, f: &BForm) -> bool {
+        match self.tseitin(f) {
+            TLit::True => true,
+            TLit::False => false,
+            TLit::Lit(l) => {
+                self.add_problem_clause(vec![l]);
+                !self.root_unsat
+            }
+        }
+    }
+
+    fn tseitin(&mut self, f: &BForm) -> TLit {
+        match f {
+            BForm::True => TLit::True,
+            BForm::False => TLit::False,
+            BForm::Lit(i, pol) => TLit::Lit(mk_lit(*i, *pol)),
+            BForm::And(a, b) | BForm::Or(a, b) => {
+                let conj = matches!(f, BForm::And(..));
+                let la = self.tseitin(a);
+                let lb = self.tseitin(b);
+                let (x, y) = match (la, lb) {
+                    (TLit::True, o) | (o, TLit::True) => {
+                        return if conj { o } else { TLit::True };
+                    }
+                    (TLit::False, o) | (o, TLit::False) => {
+                        return if conj { TLit::False } else { o };
+                    }
+                    (TLit::Lit(x), TLit::Lit(y)) => (x, y),
+                };
+                if x == y {
+                    return TLit::Lit(x);
+                }
+                if x == lit_neg(y) {
+                    return if conj { TLit::False } else { TLit::True };
+                }
+                let v = self.new_var();
+                let vl = mk_lit(v, true);
+                if conj {
+                    // v ↔ x ∧ y.
+                    self.add_problem_clause(vec![lit_neg(vl), x]);
+                    self.add_problem_clause(vec![lit_neg(vl), y]);
+                    self.add_problem_clause(vec![vl, lit_neg(x), lit_neg(y)]);
+                } else {
+                    // v ↔ x ∨ y.
+                    self.add_problem_clause(vec![vl, lit_neg(x)]);
+                    self.add_problem_clause(vec![vl, lit_neg(y)]);
+                    self.add_problem_clause(vec![lit_neg(vl), x, y]);
+                }
+                TLit::Lit(vl)
+            }
+        }
+    }
+
+    /// Adds a problem clause (Tseitin definition or root assertion),
+    /// marking its variables decidable.
+    fn add_problem_clause(&mut self, mut lits: Vec<usize>) {
+        lits.sort_unstable();
+        lits.dedup();
+        if lits.windows(2).any(|w| w[1] == lit_neg(w[0])) {
+            return; // tautology
+        }
+        for &l in &lits {
+            self.decidable[lit_var(l)] = true;
+        }
+        match lits.len() {
+            0 => self.root_unsat = true,
+            1 => {
+                if !self.assign_lit(lits[0], None, true) {
+                    self.root_unsat = true;
+                }
+            }
+            _ => {
+                let ci = self.push_clause(lits, false, false, false, false, 0);
+                self.attach_watches(ci);
+            }
+        }
+    }
+
+    /// Instantiates one retained cross-query lemma as an initial
+    /// (protected, exportable-again) clause.
+    fn add_lemma(&mut self, lemma: &[(usize, bool)]) {
+        let lits: Vec<usize> = lemma.iter().map(|&(i, pol)| mk_lit(i, pol)).collect();
+        self.add_problem_clause(lits);
+    }
+
+    fn push_clause(
+        &mut self,
+        lits: Vec<usize>,
+        learned: bool,
+        protect: bool,
+        tainted: bool,
+        export: bool,
+        lbd: u32,
+    ) -> usize {
+        let ci = self.clauses.len();
+        self.clauses.push(CClause {
+            lits,
+            learned,
+            protect,
+            tainted,
+            export,
+            lbd,
+            deleted: false,
+        });
+        ci
+    }
+
+    fn attach_watches(&mut self, ci: usize) {
+        debug_assert!(self.clauses[ci].lits.len() >= 2);
+        let l0 = self.clauses[ci].lits[0];
+        let l1 = self.clauses[ci].lits[1];
+        self.watches[l0].push(ci);
+        self.watches[l1].push(ci);
+    }
+
+    /// Two-watched-literal boolean constraint propagation. Returns the
+    /// conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let fl = lit_neg(p); // this literal just became false
+            let mut ws = std::mem::take(&mut self.watches[fl]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                if self.clauses[ci].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                if self.clauses[ci].lits[0] == fl {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                let first = self.clauses[ci].lits[0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a non-false literal to watch instead.
+                let len = self.clauses[ci].lits.len();
+                let mut moved = false;
+                for k in 2..len {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.value(lk) != Some(false) {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[lk].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                if self.value(first) == Some(false) {
+                    // Conflict: restore the watch list and halt BCP.
+                    self.watches[fl] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                // Unit: propagate `first` with this clause as reason.
+                self.assign_lit(first, Some(ci), true);
+                i += 1;
+            }
+            self.watches[fl] = ws;
+        }
+        None
+    }
+
+    fn backtrack(&mut self, lvl: u32) {
+        while self.current_level() > lvl {
+            let start = self.trail_lim.pop().expect("level exists");
+            self.flipped.pop();
+            while self.trail.len() > start {
+                let l = self.trail.pop().expect("trail non-empty");
+                let v = lit_var(l);
+                self.assign[v] = None;
+                self.reason[v] = None;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.act_inc;
+        if self.activity[v] > VSIDS_RESCALE {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// The deterministic VSIDS pick: the unassigned decidable variable
+    /// of maximal activity, ties broken toward the smallest index.
+    fn pick_branch(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for v in 0..self.nvars {
+            if !self.decidable[v] || self.assign[v].is_some() {
+                continue;
+            }
+            match best {
+                None => best = Some(v),
+                Some(b) if self.activity[v] > self.activity[b] => best = Some(v),
+                Some(_) => {}
+            }
+        }
+        best
+    }
+
+    /// Gets (or creates) the theory-explanation clause asserting `lit`
+    /// under the already-true `expl` literals: `lit ∨ ¬e₁ ∨ … ∨ ¬eₙ`.
+    /// Explanation clauses are protected from deletion because the
+    /// recomputing theory pass holds their indices in `expl_index`.
+    fn explanation_clause(&mut self, lit: usize, expl: &[usize]) -> usize {
+        let mut lits: Vec<usize> = Vec::with_capacity(expl.len() + 1);
+        lits.push(lit);
+        lits.extend(expl.iter().map(|&e| lit_neg(e)));
+        lits.sort_unstable();
+        lits.dedup();
+        if let Some(&ci) = self.expl_index.get(&lits) {
+            return ci;
+        }
+        let key = lits.clone();
+        // Order for watching: the asserted literal first, then the
+        // falsified explanation literals by descending level.
+        let mut ordered = lits;
+        ordered.sort_by_key(|&l| {
+            if l == lit {
+                (0, 0, l)
+            } else {
+                (1, u32::MAX - self.level[lit_var(l)], l)
+            }
+        });
+        let ci = self.push_clause(ordered, true, true, false, false, 2);
+        if self.clauses[ci].lits.len() >= 2 {
+            self.attach_watches(ci);
+        }
+        self.expl_index.insert(key, ci);
+        ci
+    }
+
+    /// Theory-propagates `lit` with the given explanation (a set of
+    /// currently-true literals that imply it in the theory).
+    fn theory_enqueue(&mut self, lit: usize, expl: &[usize]) {
+        self.theory_props += 1;
+        let why = if self.learn {
+            Some(self.explanation_clause(lit, expl))
+        } else {
+            None
+        };
+        self.assign_lit(lit, why, true);
+    }
+
+    /// Builds a theory-conflict clause from a set of currently-true
+    /// literals that are jointly theory-inconsistent.
+    fn theory_conflict(&mut self, expl: Vec<usize>) -> TheoryResult {
+        if !self.learn {
+            return TheoryResult::Conflict(None);
+        }
+        let mut lits: Vec<usize> = expl.iter().map(|&e| lit_neg(e)).collect();
+        lits.sort_unstable();
+        lits.dedup();
+        if let Some(&ci) = self.expl_index.get(&lits) {
+            return TheoryResult::Conflict(Some(ci));
+        }
+        let key = lits.clone();
+        let mut ordered = lits;
+        ordered.sort_by_key(|&l| (u32::MAX - self.level[lit_var(l)], l));
+        let ci = self.push_clause(ordered, true, true, false, false, 2);
+        if self.clauses[ci].lits.len() >= 2 {
+            self.attach_watches(ci);
+        }
+        self.expl_index.insert(key, ci);
+        TheoryResult::Conflict(Some(ci))
+    }
+
+    /// One theory-propagation pass, recomputed from the assigned atom
+    /// literals: congruence closure over reference equalities, and
+    /// difference-bound reasoning (per-variable bounds from single-
+    /// variable atoms, bound strengthening of unassigned atoms, and
+    /// bounds-conflict detection for multi-variable atoms).
+    fn theory_pass(&mut self) -> TheoryResult {
+        let mut uf = UnionFind::new();
+        let mut eq_lits: Vec<usize> = Vec::new();
+        let mut diseqs: Vec<(RefTerm, RefTerm, usize)> = Vec::new();
+        let mut lower: BTreeMap<Sym, RatBound> = BTreeMap::new();
+        let mut upper: BTreeMap<Sym, RatBound> = BTreeMap::new();
+        let mut multi: Vec<(LinTerm, usize)> = Vec::new();
+
+        // Trail order keeps the tightest-bound tie-breaks deterministic.
+        for t in 0..self.trail.len() {
+            let l = self.trail[t];
+            let v = lit_var(l);
+            if v >= self.natoms {
+                continue;
+            }
+            match &self.atoms[v] {
+                Atom::RefEq(a, b) => {
+                    if lit_pol(l) {
+                        uf.union(*a, *b);
+                        eq_lits.push(l);
+                    } else {
+                        diseqs.push((*a, *b, l));
+                    }
+                }
+                Atom::LinLe(lin) => {
+                    // The effective constraint `c·x + k ≤ 0` this
+                    // literal imposes.
+                    let eff = if lit_pol(l) {
+                        lin.clone()
+                    } else {
+                        lin.scale(-1).add(&LinTerm::constant(1))
+                    };
+                    if eff.coeffs.len() == 1 {
+                        let (&x, &c) = eff.coeffs.iter().next().expect("one var");
+                        if c > 0 {
+                            // x ≤ -k/c, kept exact.
+                            let (n, d) = (-eff.konst, c);
+                            match upper.get(&x) {
+                                Some(&(un, ud, _)) if un * d <= n * ud => {}
+                                _ => {
+                                    upper.insert(x, (n, d, l));
+                                }
+                            }
+                        } else {
+                            // x ≥ -k/c = k/(-c), kept exact.
+                            let (n, d) = (eff.konst, -c);
+                            match lower.get(&x) {
+                                Some(&(ln2, ld, _)) if ln2 * d >= n * ld => {}
+                                _ => {
+                                    lower.insert(x, (n, d, l));
+                                }
+                            }
+                        }
+                    } else if !eff.coeffs.is_empty() {
+                        multi.push((eff, l));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Conflicts first: crossed bounds on one variable, …
+        for (x, &(ln2, ld, ll)) in &lower {
+            if let Some(&(un, ud, ul)) = upper.get(x) {
+                if ln2 * ud > un * ld {
+                    return self.theory_conflict(vec![ll, ul]);
+                }
+            }
+        }
+        // … a disequality inside one congruence class, …
+        for &(a, b, l) in &diseqs {
+            if uf.find(a) == uf.find(b) {
+                let mut expl = eq_lits.clone();
+                expl.push(l);
+                return self.theory_conflict(expl);
+            }
+        }
+        // … or a multi-variable constraint whose minimum under the
+        // current bounds is already positive.
+        for (eff, l) in &multi {
+            if let Some((min, used)) = bound_sum(eff, &lower, &upper, true) {
+                if min > 0 {
+                    let mut expl = used;
+                    expl.push(*l);
+                    return self.theory_conflict(expl);
+                }
+            }
+        }
+
+        // Propagation of unassigned atoms, in atom-index order.
+        let mut progress = false;
+        for v in 0..self.natoms {
+            if !self.decidable[v] || self.assign[v].is_some() {
+                continue;
+            }
+            match self.atoms[v].clone() {
+                Atom::RefEq(a, b) => {
+                    let (ra, rb) = (uf.find(a), uf.find(b));
+                    if ra == rb {
+                        let expl = eq_lits.clone();
+                        self.theory_enqueue(mk_lit(v, true), &expl);
+                        progress = true;
+                    } else {
+                        let hit = diseqs.iter().find(|&&(c, d, _)| {
+                            let (rc, rd) = (uf.find(c), uf.find(d));
+                            (rc == ra && rd == rb) || (rc == rb && rd == ra)
+                        });
+                        if let Some(&(_, _, dl)) = hit {
+                            let mut expl = eq_lits.clone();
+                            expl.push(dl);
+                            self.theory_enqueue(mk_lit(v, false), &expl);
+                            progress = true;
+                        }
+                    }
+                }
+                Atom::LinLe(lin) => {
+                    if lin.coeffs.len() == 1 {
+                        let (&x, &c) = lin.coeffs.iter().next().expect("one var");
+                        if c > 0 {
+                            // Atom ⇔ x ≤ -k/c, compared exactly.
+                            if let Some(&(un, ud, ul)) = upper.get(&x) {
+                                if un * c <= -lin.konst * ud {
+                                    self.theory_enqueue(mk_lit(v, true), &[ul]);
+                                    progress = true;
+                                    continue;
+                                }
+                            }
+                            if let Some(&(ln2, ld, ll)) = lower.get(&x) {
+                                if ln2 * c > -lin.konst * ld {
+                                    self.theory_enqueue(mk_lit(v, false), &[ll]);
+                                    progress = true;
+                                }
+                            }
+                        } else {
+                            // Atom ⇔ x ≥ k/(-c), compared exactly.
+                            let m = -c;
+                            if let Some(&(ln2, ld, ll)) = lower.get(&x) {
+                                if ln2 * m >= lin.konst * ld {
+                                    self.theory_enqueue(mk_lit(v, true), &[ll]);
+                                    progress = true;
+                                    continue;
+                                }
+                            }
+                            if let Some(&(un, ud, ul)) = upper.get(&x) {
+                                if un * m < lin.konst * ud {
+                                    self.theory_enqueue(mk_lit(v, false), &[ul]);
+                                    progress = true;
+                                }
+                            }
+                        }
+                    } else if !lin.coeffs.is_empty() {
+                        if let Some((max, used)) = bound_sum(&lin, &lower, &upper, false) {
+                            if max <= 0 {
+                                self.theory_enqueue(mk_lit(v, true), &used);
+                                progress = true;
+                                continue;
+                            }
+                        }
+                        if let Some((min, used)) = bound_sum(&lin, &lower, &upper, true) {
+                            if min > 0 {
+                                self.theory_enqueue(mk_lit(v, false), &used);
+                                progress = true;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if self.fuel_exhausted {
+                break;
+            }
+        }
+        if progress {
+            TheoryResult::Progress
+        } else {
+            TheoryResult::Quiet
+        }
+    }
+
+    /// First-UIP conflict analysis with local clause minimization.
+    /// Returns the learnt clause (asserting literal first) and whether
+    /// it resolved through a tainted (blocking-derived) clause.
+    fn analyze(&mut self, confl: usize) -> (Vec<usize>, bool) {
+        let current = self.current_level();
+        let mut learnt: Vec<usize> = vec![0];
+        let mut tainted = false;
+        let mut counter = 0usize;
+        let mut idx = self.trail.len();
+        let mut p: Option<usize> = None;
+        let mut ci = confl;
+        let mut touched: Vec<usize> = Vec::new();
+        loop {
+            tainted |= self.clauses[ci].tainted;
+            let lits = self.clauses[ci].lits.clone();
+            for q in lits {
+                if p == Some(q) {
+                    continue; // the literal this reason asserted
+                }
+                let v = lit_var(q);
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    touched.push(v);
+                    self.bump(v);
+                    if self.level[v] == current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk back to the newest seen literal at the conflict level.
+            loop {
+                idx -= 1;
+                let v = lit_var(self.trail[idx]);
+                if self.seen[v] && self.level[v] == current {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            let v = lit_var(pl);
+            counter -= 1;
+            self.seen[v] = false;
+            if counter == 0 {
+                learnt[0] = lit_neg(pl);
+                break;
+            }
+            ci = self.reason[v].expect("non-UIP literal at the conflict level has a reason");
+            p = Some(pl);
+        }
+        // Local minimization: a tail literal is redundant when its
+        // reason's other literals are all seen or at level 0 (never
+        // minimized through tainted reasons, which would taint the
+        // clause).
+        let uip_var = lit_var(learnt[0]);
+        self.seen[uip_var] = true;
+        touched.push(uip_var);
+        let mut kept: Vec<usize> = vec![learnt[0]];
+        for &q in &learnt[1..] {
+            let v = lit_var(q);
+            let redundant = match self.reason[v] {
+                Some(rc) if !self.clauses[rc].tainted => self.clauses[rc].lits.iter().all(|&r| {
+                    lit_var(r) == v || self.seen[lit_var(r)] || self.level[lit_var(r)] == 0
+                }),
+                _ => false,
+            };
+            if !redundant {
+                kept.push(q);
+            }
+        }
+        for v in touched {
+            self.seen[v] = false;
+        }
+        (kept, tainted)
+    }
+
+    /// Handles one conflict under clause learning: re-anchor late
+    /// theory conflicts, analyze to the first UIP, backjump, attach and
+    /// assert the learnt clause, then apply the decay/reduction/restart
+    /// cadences. Returns false when the conflict is terminal (root).
+    fn resolve_conflict(&mut self, ci: usize) -> bool {
+        let maxl = self.clauses[ci]
+            .lits
+            .iter()
+            .map(|&l| self.level[lit_var(l)])
+            .max()
+            .unwrap_or(0);
+        if maxl == 0 {
+            return false;
+        }
+        if maxl < self.current_level() {
+            // A theory conflict discovered only at the leaf can be
+            // falsified entirely below the current level; re-anchor.
+            self.backtrack(maxl);
+        }
+        let (learnt, tainted) = self.analyze(ci);
+        let bj = learnt[1..]
+            .iter()
+            .map(|&l| self.level[lit_var(l)])
+            .max()
+            .unwrap_or(0);
+        self.backtrack(bj);
+        self.learned_total += 1;
+        let export = !tainted && learnt.iter().all(|&l| lit_var(l) < self.natoms);
+        if learnt.len() == 1 {
+            let lc = self.push_clause(learnt.clone(), true, true, tainted, export, 1);
+            if !self.assign_lit(learnt[0], Some(lc), true) {
+                return false;
+            }
+        } else {
+            // Distinct decision levels of the clause = its LBD.
+            let mut levels: Vec<u32> = learnt.iter().map(|&l| self.level[lit_var(l)]).collect();
+            levels.sort_unstable();
+            levels.dedup();
+            let lbd = levels.len() as u32;
+            let mut lits = learnt;
+            // lits[1] must sit at the backjump level for safe watching.
+            let pos = lits[1..]
+                .iter()
+                .position(|&l| self.level[lit_var(l)] == bj)
+                .expect("a literal at the backjump level")
+                + 1;
+            lits.swap(1, pos);
+            let asserting = lits[0];
+            let lc = self.push_clause(lits, true, false, tainted, export, lbd);
+            self.attach_watches(lc);
+            if !self.assign_lit(asserting, Some(lc), true) {
+                return false;
+            }
+        }
+        self.act_inc /= VSIDS_DECAY;
+        self.conflicts_since_restart += 1;
+        self.conflicts_since_reduce += 1;
+        if self.conflicts_since_reduce >= REDUCE_CADENCE {
+            self.reduce_db();
+            self.conflicts_since_reduce = 0;
+        }
+        if self.conflicts_since_restart >= LUBY_UNIT * luby(self.restarts) {
+            self.restarts += 1;
+            self.conflicts_since_restart = 0;
+            self.backtrack(0);
+        }
+        true
+    }
+
+    /// Chronological backtracking for the no-learn search: flip the
+    /// deepest not-yet-flipped decision. Returns false when the tree is
+    /// exhausted.
+    fn chrono_backtrack(&mut self) -> bool {
+        loop {
+            if self.trail_lim.is_empty() {
+                return false;
+            }
+            let lvl = self.trail_lim.len();
+            let dlit = self.trail[self.trail_lim[lvl - 1]];
+            let was_flipped = self.flipped[lvl - 1];
+            self.backtrack(lvl as u32 - 1);
+            if !was_flipped {
+                self.trail_lim.push(self.trail.len());
+                self.flipped.push(true);
+                self.assign_lit(lit_neg(dlit), None, false);
+                return true;
+            }
+        }
+    }
+
+    /// LBD-based clause deletion at the fixed cadence: among deletable
+    /// learned clauses (LBD > 2, not protected, not currently a
+    /// reason), the worse half — by (LBD, length, age) — is dropped.
+    fn reduce_db(&mut self) {
+        let mut cands: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learned && !c.deleted && !c.protect && c.lbd > 2 && !self.is_reason(i)
+            })
+            .collect();
+        cands.sort_by_key(|&i| (self.clauses[i].lbd, self.clauses[i].lits.len(), i));
+        let keep = cands.len() / 2;
+        for &i in &cands[keep..] {
+            self.clauses[i].deleted = true;
+        }
+    }
+
+    fn is_reason(&self, ci: usize) -> bool {
+        self.clauses[ci]
+            .lits
+            .iter()
+            .any(|&l| self.reason[lit_var(l)] == Some(ci))
+    }
+
+    /// Checks a total assignment (over the constrained variables)
+    /// against the full theory solver, handling Unsat as a conflict and
+    /// Unknown by blocking the current decision cube under taint.
+    fn leaf(&mut self, solver: &mut Solver) -> LeafOutcome {
+        let mut key: Vec<(Atom, bool)> = (0..self.natoms)
+            .filter_map(|v| self.assign[v].map(|pol| (self.atoms[v].clone(), pol)))
+            .collect();
+        key.sort_unstable();
+        key.dedup();
+        match solver.theory_decide(key) {
+            SatAnswer::Sat => LeafOutcome::Sat,
+            SatAnswer::Unsat => {
+                self.conflicts += 1;
+                self.charge_fuel(1);
+                // The inconsistency lives in the theory literals alone
+                // (boolean symbols have no theory meaning; opaque atoms
+                // only ever degrade toward Unknown).
+                let expl: Vec<usize> = self
+                    .trail
+                    .iter()
+                    .copied()
+                    .filter(|&l| {
+                        let v = lit_var(l);
+                        v < self.natoms && matches!(self.atoms[v], Atom::LinLe(_) | Atom::RefEq(..))
+                    })
+                    .collect();
+                if expl.is_empty() || expl.iter().all(|&l| self.level[lit_var(l)] == 0) {
+                    return LeafOutcome::Done;
+                }
+                if self.learn {
+                    match self.theory_conflict(expl) {
+                        TheoryResult::Conflict(Some(ci)) => {
+                            if !self.resolve_conflict(ci) {
+                                return LeafOutcome::Done;
+                            }
+                        }
+                        _ => unreachable!("learning conflicts carry a clause"),
+                    }
+                } else if !self.chrono_backtrack() {
+                    return LeafOutcome::Done;
+                }
+                LeafOutcome::Continue
+            }
+            SatAnswer::Unknown => {
+                // This total assignment is out of fragment. Block the
+                // decision cube (it has exactly one BCP-closed total
+                // assignment — this one) and remember that a final
+                // Unsat must degrade to Unknown.
+                self.taint = true;
+                if self.trail_lim.is_empty() {
+                    return LeafOutcome::Done;
+                }
+                self.conflicts += 1;
+                self.charge_fuel(1);
+                if self.learn {
+                    let dlits: Vec<usize> = self.trail_lim.iter().map(|&s| self.trail[s]).collect();
+                    // Deepest decision first, so lits[0] is asserting
+                    // after the backjump and lits[1] is the watch at
+                    // the new level.
+                    let lits: Vec<usize> = dlits.iter().rev().map(|&l| lit_neg(l)).collect();
+                    let deepest = lits[0];
+                    let lbd = lits.len() as u32;
+                    let ci = self.push_clause(lits, true, true, true, false, lbd);
+                    if self.clauses[ci].lits.len() >= 2 {
+                        self.attach_watches(ci);
+                    }
+                    let bj = self.current_level() - 1;
+                    self.backtrack(bj);
+                    if !self.assign_lit(deepest, Some(ci), true) {
+                        return LeafOutcome::Done;
+                    }
+                } else if !self.chrono_backtrack() {
+                    return LeafOutcome::Done;
+                }
+                LeafOutcome::Continue
+            }
+        }
+    }
+
+    fn final_verdict(&self) -> SatAnswer {
+        if self.taint {
+            SatAnswer::Unknown
+        } else {
+            SatAnswer::Unsat
+        }
+    }
+
+    /// The CDCL main loop: propagate (boolean then theory) to fixpoint,
+    /// resolve conflicts, otherwise decide; a conflict-free total
+    /// assignment is referred to the theory solver.
+    fn solve(&mut self, solver: &mut Solver) -> SatAnswer {
+        if self.root_unsat {
+            return SatAnswer::Unsat;
+        }
+        if self.fuel == Some(0) {
+            self.fuel_exhausted = true;
+            return SatAnswer::Unknown;
+        }
+        loop {
+            if self.fuel_exhausted {
+                return SatAnswer::Unknown;
+            }
+            let conflict: Option<Option<usize>> = loop {
+                if let Some(ci) = self.propagate() {
+                    break Some(Some(ci));
+                }
+                if self.fuel_exhausted {
+                    return SatAnswer::Unknown;
+                }
+                match self.theory_pass() {
+                    TheoryResult::Conflict(c) => break Some(c),
+                    TheoryResult::Progress => continue,
+                    TheoryResult::Quiet => break None,
+                }
+            };
+            if self.fuel_exhausted {
+                return SatAnswer::Unknown;
+            }
+            match conflict {
+                Some(c) => {
+                    self.conflicts += 1;
+                    self.charge_fuel(1);
+                    if self.fuel_exhausted {
+                        return SatAnswer::Unknown;
+                    }
+                    if self.current_level() == 0 {
+                        return self.final_verdict();
+                    }
+                    if self.learn {
+                        let ci = c.expect("learning conflicts carry a clause");
+                        if !self.resolve_conflict(ci) {
+                            return self.final_verdict();
+                        }
+                    } else if !self.chrono_backtrack() {
+                        return self.final_verdict();
+                    }
+                }
+                None => match self.pick_branch() {
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.flipped.push(false);
+                        self.assign_lit(mk_lit(v, true), None, false);
+                    }
+                    None => match self.leaf(solver) {
+                        LeafOutcome::Sat => return SatAnswer::Sat,
+                        LeafOutcome::Done => return self.final_verdict(),
+                        LeafOutcome::Continue => {}
+                    },
+                },
+            }
+        }
+    }
+
+    /// The untainted conflict lemmas over pure atom variables, for
+    /// cross-query retention (same width cap as the legacy core).
+    fn exported(&self) -> Vec<Vec<(usize, bool)>> {
+        self.clauses
+            .iter()
+            .filter(|c| {
+                c.export
+                    && !c.deleted
+                    && c.lits.len() <= MAX_LEARN_WIDTH
+                    && c.lits.iter().all(|&l| lit_var(l) < self.natoms)
+            })
+            .map(|c| c.lits.iter().map(|&l| (lit_var(l), lit_pol(l))).collect())
+            .collect()
+    }
+}
+
+/// The extremal value of a multi-variable linear term under the current
+/// exact rational per-variable bounds: the minimum when `want_min`,
+/// else the maximum. Returns the value as a numerator over a positive
+/// denominator — so existing `> 0` / `≤ 0` sign tests stay valid — plus
+/// the bound literals it used. `None` when some needed bound is missing
+/// or the cross-multiplied arithmetic would overflow.
+fn bound_sum(
+    lin: &LinTerm,
+    lower: &BTreeMap<Sym, RatBound>,
+    upper: &BTreeMap<Sym, RatBound>,
+    want_min: bool,
+) -> Option<(i128, Vec<usize>)> {
+    let (mut n, mut d) = (0i128, 1i128);
+    let mut used = Vec::with_capacity(lin.coeffs.len());
+    for (x, &c) in &lin.coeffs {
+        let from_lower = (c > 0) == want_min;
+        let &(bn, bd, l) = if from_lower {
+            lower.get(x)?
+        } else {
+            upper.get(x)?
+        };
+        // n/d += c * bn/bd, exactly.
+        n = n
+            .checked_mul(bd)?
+            .checked_add(c.checked_mul(bn)?.checked_mul(d)?)?;
+        d = d.checked_mul(bd)?;
+        used.push(l);
+    }
+    Some((n.checked_add(lin.konst.checked_mul(d)?)?, used))
+}
+
 /// Finds the first integer `Ite` inside an arithmetic term and returns
 /// (condition, term-with-then, term-with-else).
 fn split_ite(arena: &mut TermArena, id: TermId) -> Option<(TermId, TermId, TermId)> {
@@ -1386,11 +2612,20 @@ mod tests {
 
     #[test]
     fn query_stats_accumulate() {
-        let (mut cx, s) = int_solver(1);
+        let (mut cx, s) = int_solver(2);
         let x = s[0].clone();
-        let _ = cx.entails(&[], &SymExpr::eq(x.clone(), x));
+        let y = s[1].clone();
+        let pc = vec![SymExpr::lt(x.clone(), y.clone())];
+        let _ = cx.entails(&pc, &SymExpr::le(x, y));
         assert_eq!(cx.solver.queries, 1);
-        assert!(cx.solver.branches >= 1);
+        // Fuel-unit counters must move: search nodes under the legacy
+        // DPLL core, conflicts+propagations under CDCL.
+        match cx.solver.core {
+            SolverCore::Dpll => assert!(cx.solver.branches >= 1),
+            SolverCore::Cdcl => {
+                assert!(cx.solver.conflicts + cx.solver.propagations >= 1)
+            }
+        }
     }
 
     #[test]
@@ -1547,6 +2782,155 @@ mod tests {
             cx.solver.learned_clauses > learned,
             "after clearing, the same conflicts are relearned and the \
              monotone total keeps growing"
+        );
+    }
+
+    // --------------------------------------------------------------
+    // CDCL core: differential vs. legacy DPLL, theory layer, fuel.
+    // --------------------------------------------------------------
+
+    #[test]
+    fn cdcl_and_dpll_cores_agree() {
+        let run = |core: SolverCore| {
+            let (mut cx, s) = int_solver(3);
+            cx.solver.core = core;
+            cx.solver.cache_enabled = false;
+            let x = s[0].clone();
+            let y = s[1].clone();
+            let (dpc, dgoal) = diverging_queries(&s);
+            let queries: Vec<(Vec<SymExpr>, SymExpr)> = vec![
+                (
+                    vec![SymExpr::le(x.clone(), y.clone())],
+                    SymExpr::lt(x.clone(), y.clone()),
+                ),
+                (
+                    vec![SymExpr::lt(x.clone(), y.clone())],
+                    SymExpr::le(x.clone(), y.clone()),
+                ),
+                (vec![], SymExpr::eq(x.clone(), x.clone())),
+                (
+                    vec![
+                        SymExpr::lt(x.clone(), SymExpr::int(0)),
+                        SymExpr::lt(SymExpr::int(0), x.clone()),
+                    ],
+                    SymExpr::bool(false),
+                ),
+                (
+                    vec![],
+                    SymExpr::eq(
+                        SymExpr::Mul(Box::new(x.clone()), Box::new(y.clone())),
+                        SymExpr::int(3),
+                    ),
+                ),
+                (dpc.clone(), dgoal.clone()),
+                (dpc, dgoal),
+            ];
+            queries
+                .into_iter()
+                .map(|(pc, g)| cx.entails(&pc, &g))
+                .collect::<Vec<Answer>>()
+        };
+        assert_eq!(run(SolverCore::Cdcl), run(SolverCore::Dpll));
+    }
+
+    #[test]
+    fn congruence_closure_merges_chains() {
+        let mut supply = SymSupply::new();
+        let mut solver = Solver::new();
+        let syms: Vec<Sym> = (0..4).map(|_| supply.fresh()).collect();
+        for s in &syms {
+            solver.declare(*s, Sort::Ref);
+        }
+        let mut cx = Ctx {
+            solver,
+            arena: TermArena::new(),
+        };
+        let e: Vec<SymExpr> = syms.iter().map(|s| SymExpr::sym(*s)).collect();
+        // A chain of equalities merges into one class: a=b ∧ b=c ∧ c=d
+        // entails a=d through two intermediate merges.
+        let pc = vec![
+            SymExpr::eq(e[0].clone(), e[1].clone()),
+            SymExpr::eq(e[1].clone(), e[2].clone()),
+            SymExpr::eq(e[2].clone(), e[3].clone()),
+        ];
+        assert_eq!(
+            cx.entails(&pc, &SymExpr::eq(e[0].clone(), e[3].clone())),
+            Answer::Valid
+        );
+        // A disequality across the merged class is a theory conflict.
+        let mut pc = pc;
+        pc.push(SymExpr::not(SymExpr::eq(e[3].clone(), e[0].clone())));
+        assert!(!cx.consistent(&pc));
+        if cx.solver.core == SolverCore::Cdcl {
+            assert!(
+                cx.solver.conflicts >= 1,
+                "the diseq-in-class conflict should be counted"
+            );
+        }
+    }
+
+    #[test]
+    fn difference_bound_cycle_is_detected() {
+        let (mut cx, s) = int_solver(3);
+        let x = s[0].clone();
+        let y = s[1].clone();
+        let z = s[2].clone();
+        // x < y ∧ y < z entails x < z; closing the cycle with z < x is
+        // a negative-weight loop and must be inconsistent.
+        let chain = vec![
+            SymExpr::lt(x.clone(), y.clone()),
+            SymExpr::lt(y.clone(), z.clone()),
+        ];
+        assert_eq!(
+            cx.entails(&chain, &SymExpr::lt(x.clone(), z.clone())),
+            Answer::Valid
+        );
+        let mut cycle = chain;
+        cycle.push(SymExpr::lt(z, x));
+        assert!(!cx.consistent(&cycle));
+    }
+
+    #[test]
+    fn theory_propagation_prunes_diverging_search() {
+        let (mut cx, s) = int_solver(4);
+        cx.solver.cache_enabled = false;
+        if cx.solver.core != SolverCore::Cdcl {
+            return;
+        }
+        let (pc, goal) = diverging_queries(&s);
+        assert_eq!(cx.entails(&pc, &goal), Answer::Valid);
+        assert!(
+            cx.solver.theory_props >= 1,
+            "bound strengthening should propagate sum atoms"
+        );
+        // Theory propagation must collapse the 2^4 assignment space to
+        // a handful of decisions.
+        assert!(
+            cx.solver.branches < 16,
+            "CDCL explored {} decisions on a 4-var diverging query",
+            cx.solver.branches
+        );
+    }
+
+    #[test]
+    fn fuel_exhausted_cdcl_answers_are_not_cached() {
+        let (mut cx, s) = int_solver(3);
+        let (pc, goal) = diverging_queries(&s);
+        cx.solver.fuel = Some(1);
+        assert_eq!(
+            cx.entails(&pc, &goal),
+            Answer::Unknown,
+            "a starved run must degrade to Unknown"
+        );
+        assert!(cx.solver.fuel_exhausted);
+        // Un-starve the solver: the truncated Unknown must not have
+        // been memoized, so the same query now re-solves to Valid.
+        cx.solver.fuel = None;
+        cx.solver.fuel_exhausted = false;
+        assert_eq!(cx.entails(&pc, &goal), Answer::Valid);
+        assert_eq!(
+            cx.solver.cache_hits, 0,
+            "the truncated answer leaked into the memo table"
         );
     }
 }

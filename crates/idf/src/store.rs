@@ -173,10 +173,14 @@ fn parse_answer(s: &str) -> Option<Answer> {
 
 /// The `(key, usize)` stat fields, in serialization order (wall time
 /// and thread count are normalized away before persisting).
-const STAT_KEYS: [&str; 13] = [
+const STAT_KEYS: [&str; 17] = [
     "obligations",
     "solver_queries",
     "solver_branches",
+    "solver_conflicts",
+    "solver_restarts",
+    "solver_propagations",
+    "theory_props",
     "cache_hits",
     "cache_misses",
     "learned_clauses",
@@ -189,11 +193,15 @@ const STAT_KEYS: [&str; 13] = [
     "budget_exhausted",
 ];
 
-fn stat_values(s: &VerifyStats) -> [usize; 13] {
+fn stat_values(s: &VerifyStats) -> [usize; 17] {
     [
         s.obligations,
         s.solver_queries,
         s.solver_branches,
+        s.solver_conflicts,
+        s.solver_restarts,
+        s.solver_propagations,
+        s.theory_props,
         s.cache_hits,
         s.cache_misses,
         s.learned_clauses,
@@ -227,6 +235,10 @@ fn decode_stats(obj: &BTreeMap<String, Json>) -> Option<VerifyStats> {
         obligations: get("obligations")?,
         solver_queries: get("solver_queries")?,
         solver_branches: get("solver_branches")?,
+        solver_conflicts: get("solver_conflicts")?,
+        solver_restarts: get("solver_restarts")?,
+        solver_propagations: get("solver_propagations")?,
+        theory_props: get("theory_props")?,
         cache_hits: get("cache_hits")?,
         cache_misses: get("cache_misses")?,
         learned_clauses: get("learned_clauses")?,

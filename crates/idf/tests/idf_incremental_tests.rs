@@ -170,6 +170,35 @@ fn corrupt_store_costs_reverification_not_correctness() {
 }
 
 #[test]
+fn solver_core_switch_invalidates_the_store() {
+    // The SAT core is answer-affecting for the fingerprint: verdicts
+    // cached under CDCL must never be replayed for a DPLL run (and
+    // vice versa), even though the cores agree on every answer.
+    let dir = temp_dir("core-switch");
+    let cfg = config(&dir);
+    let program = parse_program(SRC).unwrap();
+    let (first, cold) = run(&program, &cfg);
+    assert_eq!(cold, 3);
+    let dpll = VerifierConfig {
+        solver: daenerys_idf::SolverCore::Dpll,
+        ..cfg.clone()
+    };
+    let (second, switched) = run(&program, &dpll);
+    assert_eq!(switched, 3, "a core switch re-verifies everything");
+    // Outcomes agree; cost statistics (branches vs. propagations)
+    // legitimately differ between the cores.
+    assert!(
+        second.values().all(Verdict::is_verified) && first.len() == second.len(),
+        "the cores agree on every verdict"
+    );
+    // Back on the original core the store is stale again — the DPLL
+    // pass overwrote the entries with its own fingerprints.
+    let (_, back) = run(&program, &cfg);
+    assert_eq!(back, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn non_incremental_runs_report_no_reverified_count() {
     let program = parse_program(SRC).unwrap();
     let mut v = Verifier::new(&program, Backend::Destabilized);

@@ -3,8 +3,9 @@
 
 use daenerys_algebra::Q;
 use daenerys_idf::{
-    parse_program, Assertion, Backend, Budget, BudgetAxis, Expr, FaultKind, FaultPlan, Method, Op,
-    Program, Solver, Sort, Stmt, Sym, SymExpr, TermArena, Type, Verdict, Verifier, VerifierConfig,
+    diverging_program, parse_program, Assertion, Backend, Budget, BudgetAxis, Expr, FaultKind,
+    FaultPlan, Method, Op, Program, Solver, SolverCore, Sort, Stmt, Sym, SymExpr, TermArena, Type,
+    Verdict, Verifier, VerifierConfig,
 };
 use daenerys_obs::{ClockKind, Event, MemorySink, TraceHandle};
 use proptest::prelude::*;
@@ -232,6 +233,17 @@ fn toggled_verdicts(
     learn: bool,
     threads: usize,
 ) -> Vec<(String, Option<bool>, Vec<daenerys_idf::Obligation>)> {
+    toggled_verdicts_core(p, simplify, learn, threads, SolverCore::default())
+}
+
+/// As [`toggled_verdicts`], with an explicit SAT core.
+fn toggled_verdicts_core(
+    p: &Program,
+    simplify: bool,
+    learn: bool,
+    threads: usize,
+    solver: SolverCore,
+) -> Vec<(String, Option<bool>, Vec<daenerys_idf::Obligation>)> {
     let mut v = Verifier::with_config(
         p,
         Backend::Destabilized,
@@ -239,6 +251,7 @@ fn toggled_verdicts(
             threads,
             simplify,
             learn,
+            solver,
             ..VerifierConfig::default()
         },
     );
@@ -288,14 +301,44 @@ fn toggle_matrix_is_verdict_transparent_on_linear_programs() {
     for simplify in [true, false] {
         for learn in [true, false] {
             for threads in [1usize, 2, 8] {
-                assert_eq!(
-                    baseline,
-                    toggled_verdicts(&p, simplify, learn, threads),
-                    "verdicts diverge at simplify={}, learn={}, threads={}",
-                    simplify,
-                    learn,
-                    threads
-                );
+                for solver in [SolverCore::Cdcl, SolverCore::Dpll] {
+                    assert_eq!(
+                        baseline,
+                        toggled_verdicts_core(&p, simplify, learn, threads, solver),
+                        "verdicts diverge at simplify={}, learn={}, threads={}, solver={:?}",
+                        simplify,
+                        learn,
+                        threads,
+                        solver
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Differential (program level): the CDCL and legacy DPLL cores give
+/// bit-identical verdicts on the exponential diverging family — the
+/// workload the CDCL core was built to collapse — at every thread
+/// count and learning setting.
+#[test]
+fn cdcl_matches_dpll_on_diverging_programs() {
+    for k in [1usize, 2, 4, 6] {
+        let p = parse_program(&diverging_program(k)).unwrap();
+        let baseline = toggled_verdicts_core(&p, true, true, 1, SolverCore::Cdcl);
+        for learn in [true, false] {
+            for threads in [1usize, 2, 8] {
+                for solver in [SolverCore::Cdcl, SolverCore::Dpll] {
+                    assert_eq!(
+                        baseline,
+                        toggled_verdicts_core(&p, true, learn, threads, solver),
+                        "verdicts diverge at k={}, learn={}, threads={}, solver={:?}",
+                        k,
+                        learn,
+                        threads,
+                        solver
+                    );
+                }
             }
         }
     }
@@ -385,6 +428,36 @@ proptest! {
             "learning explored more branches ({} vs {})",
             learning.branches, naive.branches
         );
+    }
+
+    /// Differential: the CDCL core and the legacy recursive DPLL core
+    /// answer every query identically on random linear streams. The
+    /// generated fragment is linear arithmetic under the propositional
+    /// connectives — exactly the domain of the CDCL theory layer — and
+    /// the stream is replayed so cross-query lemma retention is
+    /// exercised on both sides.
+    #[test]
+    fn cdcl_core_matches_dpll_on_query_streams(stream in arb_query_stream()) {
+        let mut cdcl = Solver::new();
+        let mut dpll = Solver::new();
+        cdcl.core = SolverCore::Cdcl;
+        dpll.core = SolverCore::Dpll;
+        cdcl.cache_enabled = false;
+        dpll.cache_enabled = false;
+        let mut arena_c = TermArena::new();
+        let mut arena_d = TermArena::new();
+        for i in 0..3 {
+            cdcl.declare(Sym(i), Sort::Int);
+            dpll.declare(Sym(i), Sort::Int);
+        }
+        for (pc, goal) in stream.iter().chain(stream.iter()) {
+            let ac = cdcl.entails_exprs(&mut arena_c, pc, goal);
+            let ad = dpll.entails_exprs(&mut arena_d, pc, goal);
+            prop_assert_eq!(
+                ac, ad,
+                "cores disagree for pc={:?}, goal={:?}", pc, goal
+            );
+        }
     }
 
     /// Differential (program level): on arbitrary programs, each

@@ -77,9 +77,12 @@ impl Histogram {
 /// Per-method registries are filled worker-side and merged on the
 /// deterministic program-order path, mirroring the event stream.
 /// Counter names are dotted paths owned by the emitting subsystem
-/// (e.g. `solver.queries`, `stability.skips` — invalidation scans the
+/// (e.g. `solver.queries`; `stability.skips` — invalidation scans the
 /// baseline backend elided because the static stability analyzer
-/// proved the governing spec (framed-)stable).
+/// proved the governing spec (framed-)stable; and the CDCL core's
+/// search counters `solver.conflict`, `solver.restart`, and
+/// `theory.propagate` — one bump per learnt conflict, per Luby
+/// restart, and per theory-layer propagation respectively).
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,

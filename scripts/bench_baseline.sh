@@ -8,11 +8,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT_DIR=target/bench
+IVC_DIR=$OUT_DIR/ivc
 mkdir -p "$OUT_DIR"
+rm -rf "$IVC_DIR"
 
 cargo build --release -p daenerys-bench
+# Incremental warm-rerun sweep: a cold pass populates the per-case
+# verdict stores, then the measured pass restores from them, so the
+# baseline's "incremental" section and per-case methods_reverified
+# report the warm restore path instead of null.
 cargo run --release -q -p daenerys-bench --bin tables -- \
-    --f1 --json --out-dir "$OUT_DIR" "$@"
+    --f1 --cache-dir "$IVC_DIR" --repeat 1 --out-dir "$OUT_DIR" > /dev/null
+cargo run --release -q -p daenerys-bench --bin tables -- \
+    --f1 --json --cache-dir "$IVC_DIR" --out-dir "$OUT_DIR" "$@"
 cargo run --release -q -p daenerys-bench --bin tables -- \
     --profile --out-dir "$OUT_DIR" > /dev/null
 

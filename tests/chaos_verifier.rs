@@ -368,7 +368,9 @@ fn retry_with_escalated_budget_recovers_verified() {
     let need = {
         let mut v = Verifier::new(&program, Backend::Destabilized);
         match v.verify_method_verdict("diverge") {
-            Verdict::Verified(s) => s.solver_branches as u64,
+            // Fuel units under the default CDCL core:
+            // conflicts + propagated literals.
+            Verdict::Verified(s) => (s.solver_conflicts + s.solver_propagations) as u64,
             other => panic!("unlimited run should verify, got {}", other),
         }
     };
