@@ -1,0 +1,412 @@
+//! Replay driver: hammers a `daenerysd` daemon with the F1 corpus at
+//! high concurrency, with and without the full wire-fault matrix, and
+//! emits `BENCH_server.json`.
+//!
+//!     server_replay [--addr HOST:PORT] [--requests N] [--concurrency N]
+//!                   [--chaos-seed SEED] [--out FILE] [--keep-store]
+//!
+//! Two passes over the same request corpus:
+//!
+//! 1. **fault-free** — clean wire, measuring baseline throughput and
+//!    latency percentiles;
+//! 2. **chaos** — [`WireFaultPlan::full`] on the client send path
+//!    (torn frames, garbage headers, mid-request disconnects,
+//!    slow-loris), with retry + exponential backoff + deterministic
+//!    jitter.
+//!
+//! The run then enforces the chaos gate and exits non-zero if any leg
+//! fails: every request completes in both passes, completed chaos
+//! verdicts are bit-identical to the fault-free pass, and (when the
+//! daemon runs in-process) zero leaked sessions, zero contained
+//! panics, and an uncorrupted verdict store on reload.
+//!
+//! With `--addr` the driver replays against an externally started
+//! daemon (the CI smoke job does this, asserting the daemon-side
+//! invariants itself via `--metrics-out` and SIGTERM); without it the
+//! driver embeds a fresh daemon per pass on an ephemeral port.
+
+use daenerys_idf::{chain_program, scaling_program, VerdictStore};
+use daenerysd::chaos::WireFaultPlan;
+use daenerysd::client::{Client, RetryPolicy};
+use daenerysd::protocol::{Request, Response};
+use daenerysd::server::{MetricsSnapshot, Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Opts {
+    addr: Option<SocketAddr>,
+    requests: u64,
+    concurrency: usize,
+    chaos_seed: u64,
+    out: PathBuf,
+    keep_store: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: None,
+        requests: 96,
+        // The default admission policy allows 4 in-flight per tenant
+        // over 4 tenants; 48 lanes is 3x that aggregate width.
+        concurrency: 48,
+        chaos_seed: 42,
+        out: PathBuf::from("BENCH_server.json"),
+        keep_store: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{} needs a value", name));
+        match flag.as_str() {
+            "--addr" => {
+                opts.addr = Some(
+                    value("--addr")?
+                        .parse()
+                        .map_err(|e| format!("--addr: {}", e))?,
+                );
+            }
+            "--requests" => {
+                opts.requests = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests: not a number".to_string())?;
+            }
+            "--concurrency" => {
+                opts.concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|_| "--concurrency: not a number".to_string())?;
+            }
+            "--chaos-seed" => {
+                opts.chaos_seed = value("--chaos-seed")?
+                    .parse()
+                    .map_err(|_| "--chaos-seed: not a number".to_string())?;
+            }
+            "--out" => opts.out = PathBuf::from(value("--out")?),
+            "--keep-store" => opts.keep_store = true,
+            other => return Err(format!("unknown flag {:?}", other)),
+        }
+    }
+    opts.requests = opts.requests.max(1);
+    opts.concurrency = opts.concurrency.max(1);
+    Ok(opts)
+}
+
+/// The F1 corpus, cycled by request id: the scaling family (field
+/// reads vs. object count) and the chain sweep (memoization depth).
+fn source_for(id: u64) -> String {
+    match id % 6 {
+        0 => scaling_program(8),
+        1 => scaling_program(2),
+        2 => chain_program(8),
+        3 => chain_program(16),
+        4 => scaling_program(4),
+        _ => chain_program(4),
+    }
+}
+
+/// The comparable core of a response for the bit-identical gate.
+fn comparable(resp: &Response) -> String {
+    match resp {
+        Response::Ok { verdicts, .. } => {
+            let kinds: Vec<String> = verdicts
+                .iter()
+                .map(|(name, v)| format!("{}={}:{}", name, v.kind, v.detail))
+                .collect();
+            format!("ok[{}]", kinds.join(","))
+        }
+        Response::Refused { detail, .. } => format!("refused[{}]", detail),
+        Response::Err { code, message, .. } => format!("err[{}:{}]", code.name(), message),
+    }
+}
+
+#[derive(Default)]
+struct PassResult {
+    /// id → comparable verdict string, for completed requests only.
+    completed: BTreeMap<u64, String>,
+    /// id → failure rendering, for exhausted requests.
+    failed: BTreeMap<u64, String>,
+    latencies_ms: Vec<f64>,
+    retries_total: u64,
+    wall: Duration,
+}
+
+fn run_pass(addr: SocketAddr, opts: &Opts, faults: WireFaultPlan) -> PassResult {
+    let retry = RetryPolicy {
+        max_attempts: 8,
+        base_backoff_ms: 10,
+        max_backoff_ms: 500,
+        seed: opts.chaos_seed ^ 0x5eed,
+    };
+    let client = Client::new(addr)
+        .with_retry(retry)
+        .with_faults(faults)
+        .with_read_timeout(Duration::from_secs(60));
+    let next = AtomicU64::new(1);
+    let shared: Mutex<PassResult> = Mutex::new(PassResult::default());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.concurrency {
+            scope.spawn(|| loop {
+                let id = next.fetch_add(1, Ordering::Relaxed);
+                if id > opts.requests {
+                    return;
+                }
+                let mut req = Request::new(id, format!("tenant-{}", id % 4), source_for(id));
+                req.deadline_ms = Some(10_000);
+                let t0 = Instant::now();
+                let outcome = client.request_with_retry(&req);
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                let mut result = shared.lock().unwrap();
+                result.latencies_ms.push(ms);
+                match outcome {
+                    Ok((resp, attempts)) => {
+                        result.retries_total += u64::from(attempts - 1);
+                        result.completed.insert(id, comparable(&resp));
+                    }
+                    Err(e) => {
+                        result.failed.insert(id, e.to_string());
+                    }
+                }
+            });
+        }
+    });
+    let mut result = shared.into_inner().unwrap();
+    result.wall = started.elapsed();
+    result
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    result
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn pass_json(label: &str, pass: &PassResult) -> String {
+    let mut out = String::new();
+    let wall_s = pass.wall.as_secs_f64().max(1e-9);
+    let _ = write!(
+        out,
+        "\"{}\":{{\"completed\":{},\"failed\":{},\"retries\":{},\"wall_ms\":{:.1},\
+         \"throughput_rps\":{:.2},\"p50_ms\":{:.2},\"p95_ms\":{:.2},\"p99_ms\":{:.2}}}",
+        label,
+        pass.completed.len(),
+        pass.failed.len(),
+        pass.retries_total,
+        wall_s * 1e3,
+        pass.completed.len() as f64 / wall_s,
+        percentile(&pass.latencies_ms, 50.0),
+        percentile(&pass.latencies_ms, 95.0),
+        percentile(&pass.latencies_ms, 99.0),
+    );
+    out
+}
+
+/// An embedded daemon for one pass (used when `--addr` is absent).
+struct Embedded {
+    addr: SocketAddr,
+    flag: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<MetricsSnapshot>,
+    store_dir: PathBuf,
+}
+
+fn embed(tag: &str) -> Result<Embedded, String> {
+    let store_dir =
+        std::env::temp_dir().join(format!("daenerysd-replay-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut config = ServerConfig::default();
+    config.base.cache_dir = Some(store_dir.clone());
+    config.read_poll_ms = 5;
+    let server = Server::bind(config).map_err(|e| format!("bind: {}", e))?;
+    let addr = server.local_addr().map_err(|e| format!("addr: {}", e))?;
+    let flag = server.shutdown_flag();
+    Ok(Embedded {
+        addr,
+        flag,
+        handle: std::thread::spawn(move || server.run()),
+        store_dir,
+    })
+}
+
+impl Embedded {
+    fn stop(self, keep_store: bool) -> Result<MetricsSnapshot, String> {
+        self.flag.store(true, Ordering::SeqCst);
+        let snapshot = self
+            .handle
+            .join()
+            .map_err(|_| "daemon thread panicked".to_string())?;
+        // The gate's store-integrity leg: the flushed store reloads
+        // with zero corrupt lines.
+        let store = VerdictStore::open(&self.store_dir);
+        if store.corrupt_lines() > 0 || store.truncated_tail() {
+            return Err(format!(
+                "store corrupted: {} corrupt line(s), truncated_tail={}",
+                store.corrupt_lines(),
+                store.truncated_tail()
+            ));
+        }
+        if !keep_store {
+            let _ = std::fs::remove_dir_all(&self.store_dir);
+        }
+        Ok(snapshot)
+    }
+}
+
+fn check_snapshot(label: &str, snap: &MetricsSnapshot, gate_failures: &mut Vec<String>) {
+    if snap.leaked_sessions != 0 {
+        gate_failures.push(format!(
+            "{}: {} leaked session(s)",
+            label, snap.leaked_sessions
+        ));
+    }
+    if snap.internal_crashes != 0 {
+        gate_failures.push(format!(
+            "{}: {} contained panic(s)",
+            label, snap.internal_crashes
+        ));
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("server_replay: {}", msg);
+            return ExitCode::FAILURE;
+        }
+    };
+    let chaos_plan = WireFaultPlan::full(opts.chaos_seed);
+    let mut gate_failures: Vec<String> = Vec::new();
+    let mut snapshots = String::new();
+
+    let (clean, chaos) = match opts.addr {
+        Some(addr) => {
+            // External daemon: both passes against it; daemon-side
+            // invariants are the smoke script's job.
+            let clean = run_pass(addr, &opts, WireFaultPlan::none());
+            let chaos = run_pass(addr, &opts, chaos_plan);
+            (clean, chaos)
+        }
+        None => {
+            let daemon = match embed("clean") {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("server_replay: {}", e);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let clean = run_pass(daemon.addr, &opts, WireFaultPlan::none());
+            match daemon.stop(opts.keep_store) {
+                Ok(snap) => {
+                    check_snapshot("fault_free", &snap, &mut gate_failures);
+                    let _ = write!(snapshots, ",\"fault_free_daemon\":{}", snap.to_json());
+                }
+                Err(e) => gate_failures.push(format!("fault_free: {}", e)),
+            }
+            let daemon = match embed("chaos") {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("server_replay: {}", e);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let chaos = run_pass(daemon.addr, &opts, chaos_plan);
+            match daemon.stop(opts.keep_store) {
+                Ok(snap) => {
+                    check_snapshot("chaos", &snap, &mut gate_failures);
+                    let _ = write!(snapshots, ",\"chaos_daemon\":{}", snap.to_json());
+                }
+                Err(e) => gate_failures.push(format!("chaos: {}", e)),
+            }
+            (clean, chaos)
+        }
+    };
+
+    // Gate: both passes complete the whole corpus (retry absorbs every
+    // injected fault), and completed chaos verdicts are bit-identical.
+    if !clean.failed.is_empty() {
+        gate_failures.push(format!(
+            "fault-free pass failed {} request(s): {:?}",
+            clean.failed.len(),
+            clean.failed.iter().next()
+        ));
+    }
+    if !chaos.failed.is_empty() {
+        gate_failures.push(format!(
+            "chaos pass failed {} request(s): {:?}",
+            chaos.failed.len(),
+            chaos.failed.iter().next()
+        ));
+    }
+    let mut diverged = 0usize;
+    for (id, verdict) in &chaos.completed {
+        if let Some(reference) = clean.completed.get(id) {
+            if reference != verdict {
+                diverged += 1;
+                if diverged == 1 {
+                    gate_failures.push(format!(
+                        "request {} diverged under chaos: {} vs {}",
+                        id, verdict, reference
+                    ));
+                }
+            }
+        }
+    }
+    if diverged > 1 {
+        gate_failures.push(format!("{} request(s) diverged under chaos", diverged));
+    }
+
+    let affected = (1..=opts.requests)
+        .filter(|id| (0..8u64).any(|attempt| !chaos_plan.fault_for(*id, attempt).is_none()))
+        .count();
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"config\":{{\"requests\":{},\"concurrency\":{},\"chaos_seed\":{},\
+         \"affected_requests\":{},\"external_daemon\":{}}},",
+        opts.requests,
+        opts.concurrency,
+        opts.chaos_seed,
+        affected,
+        opts.addr.is_some(),
+    );
+    json.push_str(&pass_json("fault_free", &clean));
+    json.push(',');
+    json.push_str(&pass_json("chaos", &chaos));
+    let _ = write!(
+        json,
+        ",\"gate\":{{\"passed\":{},\"bit_identical\":{},\"failures\":{}}}",
+        gate_failures.is_empty(),
+        diverged == 0,
+        gate_failures.len(),
+    );
+    json.push_str(&snapshots);
+    json.push('}');
+
+    if let Err(e) = std::fs::write(&opts.out, format!("{}\n", json)) {
+        eprintln!("server_replay: writing {}: {}", opts.out.display(), e);
+        return ExitCode::FAILURE;
+    }
+    println!("{}", json);
+    if gate_failures.is_empty() {
+        println!(
+            "server_replay: gate PASSED ({} requests, {} affected by chaos, {} retries absorbed)",
+            opts.requests, affected, chaos.retries_total
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in &gate_failures {
+            eprintln!("server_replay: gate FAILED: {}", failure);
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,252 @@
+//! Per-tenant admission control.
+//!
+//! Each session names a tenant; the tenant maps to a policy envelope:
+//! a cap on concurrently in-flight requests and on the aggregate
+//! solver fuel those requests may hold, plus per-request budget
+//! ceilings. A request over any limit is *refused immediately* —
+//! answered `Unknown(admission)` and never queued — so one abusive
+//! tenant degrades to refusals while every other tenant's latency is
+//! untouched. Refusal is the wire-level face of the paper's
+//! degradation lattice: an indefinite answer, never an error that
+//! kills the session and never unbounded queueing.
+
+use daenerys_idf::Budget;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The per-tenant envelope (one policy applies to every tenant;
+/// tenants are isolated by *accounting*, not by bespoke limits).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TenantPolicy {
+    /// Concurrently admitted requests per tenant.
+    pub max_in_flight: usize,
+    /// Aggregate solver fuel the tenant's in-flight requests may hold
+    /// (`None` = unlimited). Requests without an explicit fuel ask are
+    /// accounted at [`TenantPolicy::default_fuel`].
+    pub max_fuel_in_flight: Option<u64>,
+    /// Per-request ceiling on the solver-fuel ask (`None` =
+    /// unlimited); larger asks are clamped, not refused.
+    pub max_fuel_per_request: Option<u64>,
+    /// Per-request ceiling on the deadline ask, milliseconds; larger
+    /// asks are clamped. Also the default when a request asks for
+    /// nothing — the server never runs a method without a deadline.
+    pub max_deadline_ms: u64,
+    /// Fuel accounted for a request that asks for none.
+    pub default_fuel: u64,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> TenantPolicy {
+        TenantPolicy {
+            max_in_flight: 4,
+            max_fuel_in_flight: None,
+            max_fuel_per_request: None,
+            max_deadline_ms: 10_000,
+            default_fuel: 1_000_000,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// The effective per-method [`Budget`] for a request asking for
+    /// `deadline_ms`/`solver_fuel`: asks are clamped to the policy
+    /// ceilings, and a missing deadline ask gets the ceiling itself.
+    pub fn effective_budget(&self, deadline_ms: Option<u64>, solver_fuel: Option<u64>) -> Budget {
+        let deadline = deadline_ms
+            .map(|ms| ms.min(self.max_deadline_ms))
+            .unwrap_or(self.max_deadline_ms);
+        let mut budget = Budget::unlimited().with_deadline_ms(deadline);
+        budget.solver_fuel = match (solver_fuel, self.max_fuel_per_request) {
+            (Some(ask), Some(cap)) => Some(ask.min(cap)),
+            (Some(ask), None) => Some(ask),
+            (None, cap) => cap,
+        };
+        budget
+    }
+
+    /// The fuel a request bills against the aggregate envelope.
+    fn billed_fuel(&self, solver_fuel: Option<u64>) -> u64 {
+        let ask = solver_fuel.unwrap_or(self.default_fuel);
+        match self.max_fuel_per_request {
+            Some(cap) => ask.min(cap),
+            None => ask,
+        }
+    }
+}
+
+/// Live accounting for one tenant.
+#[derive(Default, Debug)]
+struct TenantState {
+    in_flight: usize,
+    fuel_in_flight: u64,
+}
+
+/// The admission controller: one policy, per-tenant accounting.
+#[derive(Debug)]
+pub struct Admission {
+    policy: TenantPolicy,
+    tenants: Mutex<HashMap<String, TenantState>>,
+}
+
+impl Admission {
+    /// A controller enforcing `policy` for every tenant.
+    pub fn new(policy: TenantPolicy) -> Arc<Admission> {
+        Arc::new(Admission {
+            policy,
+            tenants: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The enforced policy.
+    pub fn policy(&self) -> TenantPolicy {
+        self.policy
+    }
+
+    /// Admits or refuses a request for `tenant` asking for
+    /// `solver_fuel`. On refusal the reason names the tripped limit;
+    /// nothing is recorded, so refusal is free and unqueued. On
+    /// admission the returned ticket holds the tenant's slot and fuel
+    /// until dropped.
+    ///
+    /// # Errors
+    ///
+    /// The human-readable admission-refusal detail.
+    pub fn try_admit(
+        self: &Arc<Admission>,
+        tenant: &str,
+        solver_fuel: Option<u64>,
+    ) -> Result<AdmitTicket, String> {
+        let fuel = self.policy.billed_fuel(solver_fuel);
+        let mut tenants = lock(&self.tenants);
+        let state = tenants.entry(tenant.to_string()).or_default();
+        if state.in_flight >= self.policy.max_in_flight {
+            return Err(format!(
+                "tenant {:?} is over its in-flight cap ({})",
+                tenant, self.policy.max_in_flight
+            ));
+        }
+        if let Some(cap) = self.policy.max_fuel_in_flight {
+            if state.fuel_in_flight.saturating_add(fuel) > cap {
+                return Err(format!(
+                    "tenant {:?} is over its aggregate fuel envelope ({} + {} > {})",
+                    tenant, state.fuel_in_flight, fuel, cap
+                ));
+            }
+        }
+        state.in_flight += 1;
+        state.fuel_in_flight += fuel;
+        Ok(AdmitTicket {
+            admission: Arc::clone(self),
+            tenant: tenant.to_string(),
+            fuel,
+        })
+    }
+
+    /// Requests currently in flight for `tenant`.
+    pub fn in_flight(&self, tenant: &str) -> usize {
+        lock(&self.tenants).get(tenant).map_or(0, |s| s.in_flight)
+    }
+
+    /// Requests currently in flight across every tenant.
+    pub fn total_in_flight(&self) -> usize {
+        lock(&self.tenants).values().map(|s| s.in_flight).sum()
+    }
+
+    fn release(&self, tenant: &str, fuel: u64) {
+        let mut tenants = lock(&self.tenants);
+        if let Some(state) = tenants.get_mut(tenant) {
+            state.in_flight = state.in_flight.saturating_sub(1);
+            state.fuel_in_flight = state.fuel_in_flight.saturating_sub(fuel);
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// An admitted request's hold on its tenant's envelope; releases on
+/// drop, so a panicking request (or an unwound worker) can never leak
+/// an in-flight slot.
+#[derive(Debug)]
+pub struct AdmitTicket {
+    admission: Arc<Admission>,
+    tenant: String,
+    fuel: u64,
+}
+
+impl Drop for AdmitTicket {
+    fn drop(&mut self) {
+        self.admission.release(&self.tenant, self.fuel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_flight_cap_refuses_and_releases() {
+        let adm = Admission::new(TenantPolicy {
+            max_in_flight: 2,
+            ..TenantPolicy::default()
+        });
+        let t1 = adm.try_admit("a", None).unwrap();
+        let _t2 = adm.try_admit("a", None).unwrap();
+        let refused = adm.try_admit("a", None).unwrap_err();
+        assert!(refused.contains("in-flight cap"), "{}", refused);
+        // A different tenant is untouched by tenant a's saturation.
+        let _other = adm.try_admit("b", None).unwrap();
+        assert_eq!(adm.in_flight("a"), 2);
+        drop(t1);
+        assert_eq!(adm.in_flight("a"), 1);
+        let _t3 = adm.try_admit("a", None).unwrap();
+        assert_eq!(adm.total_in_flight(), 3);
+    }
+
+    #[test]
+    fn aggregate_fuel_envelope_refuses() {
+        let adm = Admission::new(TenantPolicy {
+            max_in_flight: 10,
+            max_fuel_in_flight: Some(1000),
+            ..TenantPolicy::default()
+        });
+        let _a = adm.try_admit("t", Some(600)).unwrap();
+        let refused = adm.try_admit("t", Some(600)).unwrap_err();
+        assert!(refused.contains("fuel envelope"), "{}", refused);
+        let _b = adm.try_admit("t", Some(400)).unwrap();
+    }
+
+    #[test]
+    fn budgets_are_clamped_not_refused() {
+        let policy = TenantPolicy {
+            max_deadline_ms: 500,
+            max_fuel_per_request: Some(100),
+            ..TenantPolicy::default()
+        };
+        let b = policy.effective_budget(Some(10_000), Some(1_000_000));
+        assert_eq!(b.deadline_ms, Some(500));
+        assert_eq!(b.solver_fuel, Some(100));
+        let b = policy.effective_budget(None, None);
+        assert_eq!(b.deadline_ms, Some(500), "no ask → the ceiling applies");
+        assert_eq!(b.solver_fuel, Some(100));
+        let b = policy.effective_budget(Some(100), Some(7));
+        assert_eq!(b.deadline_ms, Some(100));
+        assert_eq!(b.solver_fuel, Some(7));
+    }
+
+    #[test]
+    fn ticket_drop_is_panic_safe() {
+        let adm = Admission::new(TenantPolicy {
+            max_in_flight: 1,
+            ..TenantPolicy::default()
+        });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ticket = adm.try_admit("t", None).unwrap();
+            panic!("request blew up");
+        }));
+        assert!(result.is_err());
+        assert_eq!(adm.in_flight("t"), 0, "the ticket released on unwind");
+        let _again = adm.try_admit("t", None).unwrap();
+    }
+}

@@ -1,0 +1,218 @@
+//! Deterministic wire-level fault injection.
+//!
+//! The in-process chaos layer (`daenerys_idf::FaultPlan`) proves one
+//! faulted *method* never perturbs its siblings; [`WireFaultPlan`]
+//! lifts the same discipline to the socket: torn frames, truncated
+//! payloads, garbage headers, mid-request disconnects, and slow-loris
+//! trickle, each fired at points that depend only on `(seed, stream,
+//! frame)` — so a chaos replay is exactly reproducible and the set of
+//! affected requests is known in advance.
+//!
+//! The plan is consulted by the replay client when *sending* (the
+//! corruption really crosses the wire) and can also be applied
+//! directly to encoded bytes ([`WireFaultPlan::corrupt`]) for
+//! in-memory protocol tests.
+
+use std::fmt;
+
+/// One wire fault to apply to one outgoing frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireFault {
+    /// Deliver the frame intact.
+    None,
+    /// Send only a prefix of the frame, then disconnect — a torn
+    /// frame/mid-request disconnect. The fraction (per mille of the
+    /// full frame length) is derived deterministically.
+    Torn {
+        /// Prefix length to send, per mille of the frame.
+        keep_per_mille: u16,
+    },
+    /// Scramble the magic so the header is garbage.
+    GarbageHeader,
+    /// Disconnect before sending anything at all.
+    Disconnect,
+    /// Trickle the frame a few bytes at a time with delays — the
+    /// slow-loris probe. The server's frame deadline must cut it off.
+    SlowLoris {
+        /// Bytes sent per trickle step.
+        chunk: usize,
+    },
+}
+
+impl WireFault {
+    /// True when the frame is delivered unmodified (the request is
+    /// *unaffected* for the bit-identical chaos gate).
+    pub fn is_none(self) -> bool {
+        self == WireFault::None
+    }
+}
+
+impl fmt::Display for WireFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireFault::None => f.write_str("none"),
+            WireFault::Torn { keep_per_mille } => write!(f, "torn({}‰)", keep_per_mille),
+            WireFault::GarbageHeader => f.write_str("garbage-header"),
+            WireFault::Disconnect => f.write_str("disconnect"),
+            WireFault::SlowLoris { chunk } => write!(f, "slow-loris({}B)", chunk),
+        }
+    }
+}
+
+/// A deterministic wire-fault plan: per-mille rates for each fault
+/// class, fired by hashing `(seed, stream, frame)`. The empty plan
+/// (rate 0 everywhere) injects nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WireFaultPlan {
+    /// Mixes into every decision; two plans with different seeds fault
+    /// different frames.
+    pub seed: u64,
+    /// Torn-frame rate, per mille of frames.
+    pub torn_per_mille: u16,
+    /// Garbage-header rate, per mille.
+    pub garbage_per_mille: u16,
+    /// Pre-send disconnect rate, per mille.
+    pub disconnect_per_mille: u16,
+    /// Slow-loris rate, per mille.
+    pub slowloris_per_mille: u16,
+}
+
+impl WireFaultPlan {
+    /// The plan that injects nothing.
+    pub fn none() -> WireFaultPlan {
+        WireFaultPlan::default()
+    }
+
+    /// The full fault matrix at moderate rates — the chaos-gate
+    /// configuration (roughly one frame in four affected).
+    pub fn full(seed: u64) -> WireFaultPlan {
+        WireFaultPlan {
+            seed,
+            torn_per_mille: 80,
+            garbage_per_mille: 60,
+            disconnect_per_mille: 60,
+            slowloris_per_mille: 50,
+        }
+    }
+
+    /// True when no fault class has a non-zero rate.
+    pub fn is_none(&self) -> bool {
+        self.torn_per_mille == 0
+            && self.garbage_per_mille == 0
+            && self.disconnect_per_mille == 0
+            && self.slowloris_per_mille == 0
+    }
+
+    /// The fault (if any) for frame `frame` of stream `stream`.
+    /// Depends only on `(self.seed, stream, frame)`.
+    pub fn fault_for(&self, stream: u64, frame: u64) -> WireFault {
+        if self.is_none() {
+            return WireFault::None;
+        }
+        let h =
+            splitmix64(self.seed ^ stream.wrapping_mul(0x9e3779b97f4a7c15) ^ frame.rotate_left(17));
+        let roll = (h % 1000) as u16;
+        let torn = self.torn_per_mille;
+        let garbage = torn + self.garbage_per_mille;
+        let disconnect = garbage + self.disconnect_per_mille;
+        let loris = disconnect + self.slowloris_per_mille;
+        if roll < torn {
+            // A second independent draw picks how much survives.
+            WireFault::Torn {
+                keep_per_mille: (splitmix64(h) % 999) as u16,
+            }
+        } else if roll < garbage {
+            WireFault::GarbageHeader
+        } else if roll < disconnect {
+            WireFault::Disconnect
+        } else if roll < loris {
+            WireFault::SlowLoris {
+                chunk: 16 + (splitmix64(h) % 48) as usize,
+            }
+        } else {
+            WireFault::None
+        }
+    }
+
+    /// Applies a fault to an already-encoded frame, returning the
+    /// bytes that would actually cross the wire (`None` for a
+    /// pre-send disconnect). Slow-loris delivers the same bytes, only
+    /// slower, so here it is identity.
+    pub fn corrupt(fault: WireFault, frame: &[u8]) -> Option<Vec<u8>> {
+        match fault {
+            WireFault::None | WireFault::SlowLoris { .. } => Some(frame.to_vec()),
+            WireFault::Torn { keep_per_mille } => {
+                let keep = (frame.len() * keep_per_mille as usize) / 1000;
+                Some(frame[..keep].to_vec())
+            }
+            WireFault::GarbageHeader => {
+                let mut out = frame.to_vec();
+                for (i, b) in out.iter_mut().take(4).enumerate() {
+                    *b = b'!' + i as u8;
+                }
+                Some(out)
+            }
+            WireFault::Disconnect => None,
+        }
+    }
+}
+
+/// SplitMix64 — the repo-standard deterministic mixer (no external
+/// RNG crates; the vendored `rand` is a test-only stand-in).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_seed_sensitive() {
+        let plan = WireFaultPlan::full(7);
+        let a: Vec<WireFault> = (0..64).map(|f| plan.fault_for(3, f)).collect();
+        let b: Vec<WireFault> = (0..64).map(|f| plan.fault_for(3, f)).collect();
+        assert_eq!(a, b, "same (seed, stream, frame) → same fault");
+        let other = WireFaultPlan::full(8);
+        let c: Vec<WireFault> = (0..64).map(|f| other.fault_for(3, f)).collect();
+        assert_ne!(a, c, "a different seed faults different frames");
+        assert!(
+            a.iter().any(|f| !f.is_none()) && a.iter().any(|f| f.is_none()),
+            "moderate rates hit some frames and spare others: {:?}",
+            a
+        );
+    }
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let plan = WireFaultPlan::none();
+        assert!(plan.is_none());
+        assert!((0..256).all(|f| plan.fault_for(f, f).is_none()));
+    }
+
+    #[test]
+    fn corruption_shapes() {
+        let frame = b"DAE1 5\nhello\n";
+        assert_eq!(
+            WireFaultPlan::corrupt(WireFault::None, frame).unwrap(),
+            frame
+        );
+        let torn = WireFaultPlan::corrupt(
+            WireFault::Torn {
+                keep_per_mille: 500,
+            },
+            frame,
+        )
+        .unwrap();
+        assert!(torn.len() < frame.len());
+        assert_eq!(&torn[..], &frame[..torn.len()]);
+        let garbage = WireFaultPlan::corrupt(WireFault::GarbageHeader, frame).unwrap();
+        assert_eq!(garbage.len(), frame.len());
+        assert_ne!(&garbage[..4], b"DAE1");
+        assert!(WireFaultPlan::corrupt(WireFault::Disconnect, frame).is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! `daenerysd` — the long-running, fault-tolerant verification daemon.
+//!
+//! The bench CLI pays the full cold-start price (arena build, store
+//! open, solver warm-up) on every invocation. The daemon pays it once:
+//! a [`daenerys_idf::SessionHost`] keeps the verifier configuration
+//! and the persistent verdict store warm across requests, and TCP
+//! sessions multiplex concurrent tenants onto it. The wire protocol is
+//! length-delimited JSONL frames with a versioned header
+//! ([`protocol`]); robustness is load-bearing, not best-effort —
+//! admission control ([`admission`]), per-request panic containment,
+//! bounded queues, a graceful SIGTERM drain ([`server`]), and a
+//! deterministic wire-level chaos plan ([`chaos`]) that the test suite
+//! and the replay client ([`client`]) drive against the full fault
+//! matrix.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod admission;
+pub mod chaos;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, AdmitTicket, TenantPolicy};
+pub use chaos::{splitmix64, WireFault, WireFaultPlan};
+pub use client::{Client, RetryPolicy};
+pub use protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, WireVerdict,
+};
+pub use server::{MetricsSnapshot, Server, ServerConfig};

@@ -1,0 +1,691 @@
+//! The wire protocol: length-delimited, versioned JSONL frames.
+//!
+//! One frame is `DAE1 <decimal-payload-length>\n` followed by exactly
+//! that many payload bytes and a trailing `\n`. The magic doubles as
+//! the protocol version (`DAE2` would be a new framing); the header is
+//! capped at [`MAX_HEADER_LEN`] bytes and the payload at
+//! [`MAX_PAYLOAD_LEN`], so garbage headers and hostile lengths are
+//! rejected before any allocation trusts them.
+//!
+//! Payloads are single-line JSON ([`Request`]/[`Response`]), encoded
+//! by hand and decoded with [`daenerys_obs::parse_json`] — the daemon
+//! stays zero-dependency. Every decode failure maps to a typed
+//! [`FrameError`]/[`ErrorCode`], never a panic: the chaos suite feeds
+//! this module torn, truncated, and scrambled bytes and asserts a
+//! clean per-session error each time.
+
+use daenerys_idf::exec::Verdict;
+use daenerys_obs::parse_json;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+
+/// Protocol magic and version tag, first on every frame.
+pub const MAGIC: &[u8; 4] = b"DAE1";
+/// Longest accepted frame header (`DAE1 <len>\n`), bytes.
+pub const MAX_HEADER_LEN: usize = 32;
+/// Largest accepted payload, bytes (8 MiB).
+pub const MAX_PAYLOAD_LEN: usize = 8 * 1024 * 1024;
+
+/// Why a frame could not be read. Every variant is a *per-session*
+/// failure: the server answers (when the stream still works) and/or
+/// closes this session, and no other session observes anything.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream at a frame boundary — a clean end.
+    Closed,
+    /// The stream ended mid-frame (torn write or mid-request
+    /// disconnect).
+    Torn {
+        /// Bytes expected to finish the frame.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// The header was not `DAE1 <decimal>\n` within
+    /// [`MAX_HEADER_LEN`] bytes.
+    BadHeader(String),
+    /// The declared payload length exceeds [`MAX_PAYLOAD_LEN`].
+    Oversized(usize),
+    /// The wait callback gave up — shutdown requested, or the
+    /// slow-loris frame deadline elapsed mid-frame.
+    Aborted {
+        /// True when frame bytes had already arrived (the slow-loris
+        /// signature); false for an idle abort between frames.
+        mid_frame: bool,
+    },
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => f.write_str("peer closed the stream"),
+            FrameError::Torn { expected, got } => {
+                write!(f, "stream ended mid-frame ({}/{} bytes)", got, expected)
+            }
+            FrameError::BadHeader(detail) => write!(f, "bad frame header: {}", detail),
+            FrameError::Oversized(len) => {
+                write!(f, "payload of {} bytes exceeds {}", len, MAX_PAYLOAD_LEN)
+            }
+            FrameError::Aborted { mid_frame: true } => {
+                f.write_str("frame did not complete before its deadline")
+            }
+            FrameError::Aborted { mid_frame: false } => f.write_str("read aborted"),
+            FrameError::Io(e) => write!(f, "i/o error: {}", e),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame: header, payload, trailing newline.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut header = Vec::with_capacity(MAX_HEADER_LEN);
+    header.extend_from_slice(MAGIC);
+    header.push(b' ');
+    header.extend_from_slice(payload.len().to_string().as_bytes());
+    header.push(b'\n');
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads one frame's payload.
+///
+/// `keep_waiting(mid_frame)` is consulted every time the reader would
+/// block (`WouldBlock`/`TimedOut` on a stream with a read timeout):
+/// return `false` to abort — the server's shutdown poll between
+/// frames, and its slow-loris frame deadline once bytes have started
+/// arriving. Blocking readers (tests over in-memory cursors) never
+/// invoke it.
+///
+/// # Errors
+///
+/// See [`FrameError`]; no variant panics and none is reachable more
+/// than [`MAX_HEADER_LEN`]+[`MAX_PAYLOAD_LEN`] bytes into a stream.
+pub fn read_frame<R: Read>(
+    r: &mut R,
+    mut keep_waiting: impl FnMut(bool) -> bool,
+) -> Result<Vec<u8>, FrameError> {
+    // Header: byte-at-a-time until '\n', capped.
+    let mut header = Vec::with_capacity(MAX_HEADER_LEN);
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if header.is_empty() {
+                    Err(FrameError::Closed)
+                } else {
+                    Err(FrameError::Torn {
+                        expected: header.len() + 1,
+                        got: header.len(),
+                    })
+                };
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                header.push(byte[0]);
+                if header.len() > MAX_HEADER_LEN {
+                    return Err(FrameError::BadHeader(format!(
+                        "no newline within {} bytes",
+                        MAX_HEADER_LEN
+                    )));
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !keep_waiting(!header.is_empty()) {
+                    return Err(FrameError::Aborted {
+                        mid_frame: !header.is_empty(),
+                    });
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = parse_header(&header)?;
+    if len > MAX_PAYLOAD_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+
+    // Payload plus the trailing newline.
+    let mut payload = vec![0u8; len + 1];
+    let mut got = 0;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(FrameError::Torn {
+                    expected: payload.len(),
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !keep_waiting(true) {
+                    return Err(FrameError::Aborted { mid_frame: true });
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if payload.pop() != Some(b'\n') {
+        return Err(FrameError::BadHeader(
+            "frame not terminated by newline".to_string(),
+        ));
+    }
+    Ok(payload)
+}
+
+fn parse_header(header: &[u8]) -> Result<usize, FrameError> {
+    let bad = |detail: &str| FrameError::BadHeader(detail.to_string());
+    if header.len() < MAGIC.len() + 2 || &header[..MAGIC.len()] != MAGIC {
+        return Err(bad("unknown magic/version"));
+    }
+    if header[MAGIC.len()] != b' ' {
+        return Err(bad("missing separator"));
+    }
+    let digits = &header[MAGIC.len() + 1..];
+    if digits.is_empty() || !digits.iter().all(u8::is_ascii_digit) {
+        return Err(bad("non-decimal payload length"));
+    }
+    std::str::from_utf8(digits)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| bad("unparsable payload length"))
+}
+
+/// One verification request, as carried in a frame payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Request {
+    /// Client-chosen id echoed on the response.
+    pub id: u64,
+    /// The tenant this session bills work to.
+    pub tenant: String,
+    /// The IDF program to verify.
+    pub source: String,
+    /// Requested per-method deadline (clamped by tenant policy).
+    pub deadline_ms: Option<u64>,
+    /// Requested per-method solver fuel (clamped by tenant policy).
+    pub solver_fuel: Option<u64>,
+    /// Requested diagnostic cap for recovery parsing.
+    pub max_errors: Option<usize>,
+}
+
+impl Request {
+    /// A minimal request (no budget overrides).
+    pub fn new(id: u64, tenant: impl Into<String>, source: impl Into<String>) -> Request {
+        Request {
+            id,
+            tenant: tenant.into(),
+            source: source.into(),
+            deadline_ms: None,
+            solver_fuel: None,
+            max_errors: None,
+        }
+    }
+
+    /// Encodes the request as single-line JSON.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"tenant\":\"{}\",\"source\":\"{}\"",
+            self.id,
+            esc(&self.tenant),
+            esc(&self.source)
+        );
+        if let Some(ms) = self.deadline_ms {
+            let _ = write!(out, ",\"deadline_ms\":{}", ms);
+        }
+        if let Some(fuel) = self.solver_fuel {
+            let _ = write!(out, ",\"solver_fuel\":{}", fuel);
+        }
+        if let Some(cap) = self.max_errors {
+            let _ = write!(out, ",\"max_errors\":{}", cap);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem.
+    pub fn decode(payload: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let json = parse_json(text).map_err(|e| format!("payload is not JSON: {}", e))?;
+        let obj = json.as_obj().ok_or("payload is not a JSON object")?;
+        let num = |key: &str| -> Option<u64> {
+            let n = obj.get(key)?.as_num()?;
+            (n >= 0.0 && n.fract() == 0.0).then_some(n as u64)
+        };
+        Ok(Request {
+            id: num("id").ok_or("missing/invalid \"id\"")?,
+            tenant: obj
+                .get("tenant")
+                .and_then(|t| t.as_str())
+                .ok_or("missing \"tenant\"")?
+                .to_string(),
+            source: obj
+                .get("source")
+                .and_then(|s| s.as_str())
+                .ok_or("missing \"source\"")?
+                .to_string(),
+            deadline_ms: num("deadline_ms"),
+            solver_fuel: num("solver_fuel"),
+            max_errors: num("max_errors").map(|n| n as usize),
+        })
+    }
+}
+
+/// Machine-readable error class on an error response.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorCode {
+    /// The program source did not parse (diagnostics in the message).
+    Parse,
+    /// The frame payload was not a well-formed request.
+    BadRequest,
+    /// The request panicked the verifier; contained, this request
+    /// only.
+    Internal,
+    /// The server is draining and no longer accepts new requests.
+    Shutdown,
+}
+
+impl ErrorCode {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Shutdown => "shutdown",
+        }
+    }
+
+    fn parse(s: &str) -> Option<ErrorCode> {
+        match s {
+            "parse" => Some(ErrorCode::Parse),
+            "bad_request" => Some(ErrorCode::BadRequest),
+            "internal" => Some(ErrorCode::Internal),
+            "shutdown" => Some(ErrorCode::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// One method's verdict, reduced to its deterministic wire form (the
+/// chaos gate compares these byte-for-byte across runs, so no
+/// wall-clock statistics ride along).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireVerdict {
+    /// `verified`, `failed`, `unknown`, or `crashed`.
+    pub kind: String,
+    /// Deterministic detail: failure counts, unknown reason, or panic
+    /// message.
+    pub detail: String,
+}
+
+impl WireVerdict {
+    /// Reduces a full [`Verdict`] to the wire form.
+    pub fn from_verdict(v: &Verdict) -> WireVerdict {
+        match v {
+            Verdict::Verified(_) => WireVerdict {
+                kind: "verified".to_string(),
+                detail: String::new(),
+            },
+            Verdict::Failed { failures, .. } => WireVerdict {
+                kind: "failed".to_string(),
+                detail: format!("{} obligation(s)", failures.len()),
+            },
+            Verdict::Unknown { reason, .. } => WireVerdict {
+                kind: "unknown".to_string(),
+                detail: reason.to_string(),
+            },
+            Verdict::CrashedInternal { message } => WireVerdict {
+                kind: "crashed".to_string(),
+                detail: message.clone(),
+            },
+        }
+    }
+}
+
+/// One response frame payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// The request was verified (possibly to per-method `Unknown`s).
+    Ok {
+        /// Echo of the request id.
+        id: u64,
+        /// Per-method wire verdicts, method-name order.
+        verdicts: BTreeMap<String, WireVerdict>,
+        /// Methods re-verified rather than restored from the warm
+        /// store (`None` when the daemon runs storeless).
+        reverified: Option<u64>,
+    },
+    /// Admission control refused the request before any work ran —
+    /// the whole-request `Unknown(admission)` of the paper's
+    /// degradation story. Retryable after backoff.
+    Refused {
+        /// Echo of the request id.
+        id: u64,
+        /// Which admission limit tripped.
+        detail: String,
+    },
+    /// The request failed without verdicts.
+    Err {
+        /// Echo of the request id (0 when the request was too damaged
+        /// to carry one).
+        id: u64,
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Ok { id, .. } | Response::Refused { id, .. } | Response::Err { id, .. } => {
+                *id
+            }
+        }
+    }
+
+    /// Encodes the response as single-line JSON.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Response::Ok {
+                id,
+                verdicts,
+                reverified,
+            } => {
+                let _ = write!(out, "{{\"id\":{},\"status\":\"ok\",\"verdicts\":{{", id);
+                for (i, (name, v)) in verdicts.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "\"{}\":{{\"verdict\":\"{}\",\"detail\":\"{}\"}}",
+                        esc(name),
+                        esc(&v.kind),
+                        esc(&v.detail)
+                    );
+                }
+                out.push('}');
+                if let Some(n) = reverified {
+                    let _ = write!(out, ",\"reverified\":{}", n);
+                }
+                out.push('}');
+            }
+            Response::Refused { id, detail } => {
+                let _ = write!(
+                    out,
+                    "{{\"id\":{},\"status\":\"refused\",\"detail\":\"{}\"}}",
+                    id,
+                    esc(detail)
+                );
+            }
+            Response::Err { id, code, message } => {
+                let _ = write!(
+                    out,
+                    "{{\"id\":{},\"status\":\"error\",\"code\":\"{}\",\"message\":\"{}\"}}",
+                    id,
+                    code.name(),
+                    esc(message)
+                );
+            }
+        }
+        out
+    }
+
+    /// Decodes a response payload.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem.
+    pub fn decode(payload: &[u8]) -> Result<Response, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let json = parse_json(text).map_err(|e| format!("payload is not JSON: {}", e))?;
+        let obj = json.as_obj().ok_or("payload is not a JSON object")?;
+        let id = obj
+            .get("id")
+            .and_then(|n| n.as_num())
+            .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+            .ok_or("missing/invalid \"id\"")? as u64;
+        match obj
+            .get("status")
+            .and_then(|s| s.as_str())
+            .ok_or("missing \"status\"")?
+        {
+            "ok" => {
+                let raw = obj
+                    .get("verdicts")
+                    .and_then(|v| v.as_obj())
+                    .ok_or("missing \"verdicts\"")?;
+                let mut verdicts = BTreeMap::new();
+                for (name, v) in raw {
+                    let v = v.as_obj().ok_or("verdict is not an object")?;
+                    verdicts.insert(
+                        name.clone(),
+                        WireVerdict {
+                            kind: v
+                                .get("verdict")
+                                .and_then(|k| k.as_str())
+                                .ok_or("verdict missing kind")?
+                                .to_string(),
+                            detail: v
+                                .get("detail")
+                                .and_then(|d| d.as_str())
+                                .unwrap_or_default()
+                                .to_string(),
+                        },
+                    );
+                }
+                let reverified = obj
+                    .get("reverified")
+                    .and_then(|n| n.as_num())
+                    .map(|n| n as u64);
+                Ok(Response::Ok {
+                    id,
+                    verdicts,
+                    reverified,
+                })
+            }
+            "refused" => Ok(Response::Refused {
+                id,
+                detail: obj
+                    .get("detail")
+                    .and_then(|d| d.as_str())
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            "error" => Ok(Response::Err {
+                id,
+                code: obj
+                    .get("code")
+                    .and_then(|c| c.as_str())
+                    .and_then(ErrorCode::parse)
+                    .ok_or("missing/unknown error code")?,
+                message: obj
+                    .get("message")
+                    .and_then(|m| m.as_str())
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            other => Err(format!("unknown status {:?}", other)),
+        }
+    }
+}
+
+/// JSON string escaping (mirrors the store's encoder).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(payload: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, payload).unwrap();
+        read_frame(&mut Cursor::new(wire), |_| true).unwrap()
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        assert_eq!(roundtrip(b""), b"");
+        assert_eq!(roundtrip(b"{\"id\":1}"), b"{\"id\":1}");
+        let big = vec![b'x'; 70_000];
+        assert_eq!(roundtrip(&big), big);
+        // Payloads may contain newlines and even fake headers.
+        assert_eq!(roundtrip(b"a\nDAE1 3\nb"), b"a\nDAE1 3\nb");
+    }
+
+    #[test]
+    fn torn_and_garbage_frames_are_typed_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello world").unwrap();
+        wire.truncate(wire.len() - 4);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(wire), |_| true),
+            Err(FrameError::Torn { .. })
+        ));
+
+        let cases: &[&[u8]] = &[
+            b"XXXX 5\nhello\n",
+            b"DAE2 5\nhello\n",
+            b"DAE1 -5\nhello\n",
+            b"DAE1 5x\nhello\n",
+            b"DAE1\n",
+            b"DAE1 99999999999999999999\n",
+        ];
+        for case in cases {
+            assert!(
+                matches!(
+                    read_frame(&mut Cursor::new(case.to_vec()), |_| true),
+                    Err(FrameError::BadHeader(_))
+                ),
+                "case {:?}",
+                String::from_utf8_lossy(case)
+            );
+        }
+        assert!(matches!(
+            read_frame(
+                &mut Cursor::new(format!("DAE1 {}\n", MAX_PAYLOAD_LEN + 1).into_bytes()),
+                |_| true
+            ),
+            Err(FrameError::Oversized(_))
+        ));
+        assert!(matches!(
+            read_frame(&mut Cursor::new(Vec::new()), |_| true),
+            Err(FrameError::Closed)
+        ));
+        // A frame whose trailing byte is not '\n' desyncs — rejected.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(b"DAE1 2\nabX".to_vec()), |_| true),
+            Err(FrameError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn requests_and_responses_roundtrip() {
+        let req = Request {
+            id: 42,
+            tenant: "acme\"co".to_string(),
+            source: "method m() { }\n".to_string(),
+            deadline_ms: Some(250),
+            solver_fuel: None,
+            max_errors: Some(8),
+        };
+        assert_eq!(Request::decode(req.encode().as_bytes()).unwrap(), req);
+
+        let mut verdicts = BTreeMap::new();
+        verdicts.insert(
+            "m".to_string(),
+            WireVerdict {
+                kind: "unknown".to_string(),
+                detail: "budget exhausted (deadline): 250 ms".to_string(),
+            },
+        );
+        let ok = Response::Ok {
+            id: 42,
+            verdicts,
+            reverified: Some(1),
+        };
+        assert_eq!(Response::decode(ok.encode().as_bytes()).unwrap(), ok);
+
+        let refused = Response::Refused {
+            id: 7,
+            detail: "tenant over in-flight cap".to_string(),
+        };
+        assert_eq!(
+            Response::decode(refused.encode().as_bytes()).unwrap(),
+            refused
+        );
+
+        let err = Response::Err {
+            id: 0,
+            code: ErrorCode::BadRequest,
+            message: "payload is not JSON: ...".to_string(),
+        };
+        assert_eq!(Response::decode(err.encode().as_bytes()).unwrap(), err);
+    }
+
+    #[test]
+    fn request_decode_rejects_garbage_without_panicking() {
+        for bad in [
+            &b"\xff\xfe"[..],
+            b"not json",
+            b"[]",
+            b"{}",
+            b"{\"id\":-1,\"tenant\":\"t\",\"source\":\"\"}",
+            b"{\"id\":1.5,\"tenant\":\"t\",\"source\":\"\"}",
+            b"{\"id\":1,\"tenant\":7,\"source\":\"\"}",
+        ] {
+            assert!(Request::decode(bad).is_err());
+        }
+    }
+}

@@ -199,6 +199,14 @@ pub enum UnknownReason {
         /// Human-readable detail (how many obligations were unknown).
         detail: String,
     },
+    /// The request was refused before any verification work ran — the
+    /// daemon's per-tenant admission control rejected it (over its
+    /// in-flight cap or aggregate envelope). Never produced by the
+    /// in-process verifier itself.
+    Admission {
+        /// Human-readable detail (which admission limit tripped).
+        detail: String,
+    },
 }
 
 impl fmt::Display for UnknownReason {
@@ -209,6 +217,9 @@ impl fmt::Display for UnknownReason {
             }
             UnknownReason::OutOfFragment { detail } => {
                 write!(f, "out of fragment: {}", detail)
+            }
+            UnknownReason::Admission { detail } => {
+                write!(f, "admission refused: {}", detail)
             }
         }
     }
@@ -431,6 +442,69 @@ struct FailureCtx {
     path_condition: Vec<String>,
 }
 
+/// How the fan-out engine reaches the persistent verdict store.
+enum StoreAccess<'a> {
+    /// No [`VerifierConfig::cache_dir`]: verdicts are not persisted.
+    None,
+    /// The CLI path: this run owns the store, records in memory, and
+    /// compacts to disk once at the end.
+    Owned(crate::store::VerdictStore),
+    /// The daemon path: a warm store shared across concurrent
+    /// sessions. The lock is held only per-lookup and per-record;
+    /// records append durably so a killed daemon loses at most one
+    /// verdict.
+    Shared(&'a std::sync::Mutex<crate::store::VerdictStore>),
+}
+
+/// Locks a shared store, tolerating poisoning: the store's file format
+/// is valid line-by-line, so a panic mid-record cannot leave the map
+/// in a state worth refusing.
+fn lock_store(
+    m: &std::sync::Mutex<crate::store::VerdictStore>,
+) -> std::sync::MutexGuard<'_, crate::store::VerdictStore> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl StoreAccess<'_> {
+    /// True when verdicts are being restored/recorded at all.
+    fn is_present(&self) -> bool {
+        !matches!(self, StoreAccess::None)
+    }
+
+    /// The stored verdict for `method` under exactly `fp`, cloned out
+    /// so no lock outlives the call.
+    fn lookup(&self, method: &str, fp: crate::fingerprint::Fingerprint) -> Option<Verdict> {
+        match self {
+            StoreAccess::None => None,
+            StoreAccess::Owned(s) => s.lookup(method, fp).cloned(),
+            StoreAccess::Shared(m) => lock_store(m).lookup(method, fp).cloned(),
+        }
+    }
+
+    /// Records a verdict (best-effort on the durable path: an
+    /// unwritable cache directory costs future reuse, never
+    /// correctness).
+    fn record(&mut self, method: &str, fp: crate::fingerprint::Fingerprint, verdict: &Verdict) {
+        match self {
+            StoreAccess::None => {}
+            StoreAccess::Owned(s) => {
+                s.record(method, fp, verdict);
+            }
+            StoreAccess::Shared(m) => {
+                let _ = lock_store(m).record_durable(method, fp, verdict);
+            }
+        }
+    }
+
+    /// End-of-run persistence: the owned path compacts to disk; the
+    /// shared path already appended durably.
+    fn finish(self) {
+        if let StoreAccess::Owned(s) = self {
+            let _ = s.save();
+        }
+    }
+}
+
 /// The outcome of verifying one method in isolation. Trace events and
 /// metrics ride along so the fan-out can merge them in program order.
 struct MethodOutcome {
@@ -580,6 +654,26 @@ impl<'a> Verifier<'a> {
         self.run_all().into_iter().collect()
     }
 
+    /// [`Verifier::verify_all_verdicts`] against a *shared* persistent
+    /// [`crate::store::VerdictStore`] — the daemon path, where many
+    /// concurrent sessions reuse one warm store instead of each
+    /// opening [`VerifierConfig::cache_dir`].
+    ///
+    /// The store lock is held only briefly: once per method at plan
+    /// time (fingerprint lookup) and once per definite verdict at
+    /// record time, where the verdict is appended durably
+    /// ([`crate::store::VerdictStore::record_durable`]) so a killed
+    /// daemon loses at most one verdict. A poisoned lock is tolerated
+    /// (the store's invariants hold line-by-line).
+    pub fn verify_all_verdicts_shared(
+        &mut self,
+        store: &std::sync::Mutex<crate::store::VerdictStore>,
+    ) -> BTreeMap<String, Verdict> {
+        self.run_all_with(StoreAccess::Shared(store))
+            .into_iter()
+            .collect()
+    }
+
     /// The shared fan-out engine behind [`Verifier::verify_all`] and
     /// [`Verifier::verify_all_verdicts`]: verify every method with a
     /// body in isolation (concurrently across
@@ -587,6 +681,34 @@ impl<'a> Verifier<'a> {
     /// `catch_unwind`), then merge obligations and statistics in
     /// program (method-declaration) order.
     fn run_all(&mut self) -> Vec<(String, Verdict)> {
+        let store = self
+            .config
+            .cache_dir
+            .as_deref()
+            .map(crate::store::VerdictStore::open);
+        if let Some(store) = &store {
+            // Surface crash-mid-append damage as counters: a truncated
+            // final line costs one verdict, never the store.
+            if store.corrupt_lines() > 0 {
+                let mut m = daenerys_obs::MetricsRegistry::new();
+                m.add("store.corrupt_lines", store.corrupt_lines() as u64);
+                if store.truncated_tail() {
+                    m.add("store.truncated_tail", 1);
+                }
+                self.config.trace.merge_metrics(&m);
+            }
+        }
+        let access = match store {
+            Some(s) => StoreAccess::Owned(s),
+            None => StoreAccess::None,
+        };
+        self.run_all_with(access)
+    }
+
+    /// [`Verifier::run_all`] with the verdict store already resolved:
+    /// owned (opened from [`VerifierConfig::cache_dir`]), shared (the
+    /// daemon's warm `Mutex`-guarded store), or absent.
+    fn run_all_with(&mut self, mut store: StoreAccess<'_>) -> Vec<(String, Verdict)> {
         let names: Vec<String> = self
             .program
             .methods
@@ -601,15 +723,10 @@ impl<'a> Verifier<'a> {
         // direct-callee contracts, and the answer-affecting config
         // knobs (see `fingerprint`), so a restored verdict is the one
         // re-verification would produce.
-        let mut store = self
-            .config
-            .cache_dir
-            .as_deref()
-            .map(crate::store::VerdictStore::open);
         let mut fingerprints: Vec<Option<crate::fingerprint::Fingerprint>> =
             vec![None; names.len()];
         let mut restored: Vec<Option<Verdict>> = vec![None; names.len()];
-        if let Some(store) = &store {
+        if store.is_present() {
             for (i, name) in names.iter().enumerate() {
                 let method = self.program.method(name).expect("scheduled methods exist");
                 let fp = crate::fingerprint::method_fingerprint(
@@ -619,13 +736,13 @@ impl<'a> Verifier<'a> {
                     &self.config,
                 );
                 fingerprints[i] = Some(fp);
-                restored[i] = store.lookup(name, fp).cloned();
+                restored[i] = store.lookup(name, fp);
             }
         }
         let pending: Vec<usize> = (0..names.len())
             .filter(|&i| restored[i].is_none())
             .collect();
-        self.reverified = store.as_ref().map(|_| pending.len());
+        self.reverified = store.is_present().then_some(pending.len());
 
         let threads = self.config.effective_threads().min(pending.len()).max(1);
         let mut slots: Vec<Option<MethodOutcome>> = Vec::new();
@@ -696,16 +813,12 @@ impl<'a> Verifier<'a> {
             }
             self.config.trace.emit(outcome.events);
             self.config.trace.merge_metrics(&outcome.metrics);
-            if let (Some(store), Some(fp)) = (store.as_mut(), fingerprints[i]) {
+            if let Some(fp) = fingerprints[i] {
                 store.record(&names[i], fp, &verdict);
             }
             out.push((names[i].clone(), verdict));
         }
-        if let Some(store) = &store {
-            // Best-effort persistence: an unwritable cache directory
-            // costs future reuse, never correctness.
-            let _ = store.save();
-        }
+        store.finish();
         self.config.trace.flush();
         out
     }
@@ -787,6 +900,16 @@ impl<'a> Verifier<'a> {
         self.exhausted = None;
         self.solver.fuel = self.config.budget.solver_fuel;
         self.solver.fuel_exhausted = false;
+        // The deadline is also handed to the solver, which polls it
+        // inside its conflict loop: a single hard query then returns
+        // `Unknown` within a small multiple of the deadline instead of
+        // only noticing the overrun at the next statement boundary.
+        self.solver.deadline = self
+            .config
+            .budget
+            .deadline_ms
+            .map(|ms| started + Duration::from_millis(ms));
+        self.solver.deadline_exhausted = false;
         // Learned clauses never outlive the method that produced them:
         // clearing here keeps every method's solver behavior a function
         // of that method alone, preserving the per-method determinism
@@ -1063,6 +1186,14 @@ impl<'a> Verifier<'a> {
             self.exhausted = Some((
                 BudgetAxis::SolverFuel,
                 format!("{} fuel of {} ran out", unit, limit),
+            ));
+            return false;
+        }
+        if self.solver.deadline_exhausted {
+            let ms = self.config.budget.deadline_ms.unwrap_or(0);
+            self.exhausted = Some((
+                BudgetAxis::Deadline,
+                format!("deadline of {} ms elapsed mid-query", ms),
             ));
             return false;
         }

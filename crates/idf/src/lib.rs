@@ -15,6 +15,7 @@ pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod session;
 pub mod smt;
 pub mod stability;
 pub mod store;
@@ -39,8 +40,10 @@ pub use exec::{
 };
 pub use fingerprint::{direct_callees, method_fingerprint, Fingerprint};
 pub use parser::{
-    parse_assertion, parse_program, parse_program_traced, parse_program_with_recovery, ParseError,
+    parse_assertion, parse_program, parse_program_traced, parse_program_with_recovery,
+    parse_program_with_recovery_capped, ParseError, DEFAULT_MAX_ERRORS,
 };
+pub use session::{Session, SessionError, SessionHost, VerifyOutcome, VerifyRequest};
 pub use smt::{Answer, Solver, SolverCore};
 pub use stability::{
     agrees_with_oracle, analyze_method, analyze_program, classify, Classification, Finding,

@@ -133,9 +133,34 @@ pub fn parse_program_traced(
 /// # Errors
 ///
 /// Returns every diagnostic collected, in source order (the list is
-/// never empty on `Err`). A program that parses cleanly is returned
-/// whole; the recovered partial program is discarded on error.
+/// never empty on `Err`), capped at [`DEFAULT_MAX_ERRORS`] — see
+/// [`parse_program_with_recovery_capped`] for a custom cap. A program
+/// that parses cleanly is returned whole; the recovered partial
+/// program is discarded on error.
 pub fn parse_program_with_recovery(src: &str) -> Result<Program, Vec<ParseError>> {
+    parse_program_with_recovery_capped(src, DEFAULT_MAX_ERRORS)
+}
+
+/// Default diagnostic cap for [`parse_program_with_recovery`]
+/// (overridable via [`parse_program_with_recovery_capped`], e.g. the
+/// daemon's `--max-errors` flag).
+pub const DEFAULT_MAX_ERRORS: usize = 32;
+
+/// [`parse_program_with_recovery`] with an explicit diagnostic cap: a
+/// pathological payload stops after `max_errors` real diagnostics plus
+/// one sentinel (`"too many syntax errors"`) instead of flooding the
+/// response or churning the recovery loop unboundedly. A cap of 0 is
+/// treated as 1 — the error list is never empty on `Err`.
+///
+/// # Errors
+///
+/// As [`parse_program_with_recovery`], truncated to `max_errors`
+/// diagnostics (plus the sentinel when truncation happened).
+pub fn parse_program_with_recovery_capped(
+    src: &str,
+    max_errors: usize,
+) -> Result<Program, Vec<ParseError>> {
+    let max_errors = max_errors.max(1);
     let mut p = match P::new(src) {
         Ok(p) => p,
         Err(e) => return Err(vec![e]),
@@ -152,6 +177,14 @@ pub fn parse_program_with_recovery(src: &str) -> Result<Program, Vec<ParseError>
         };
         if let Err(e) = item {
             errors.push(e);
+            if errors.len() >= max_errors {
+                // The sentinel marks abandonment, not a token, so its
+                // message skips the found-token suffix `err` appends.
+                let mut sentinel = p.err("");
+                sentinel.message = format!("too many syntax errors; stopping after {}", max_errors);
+                errors.push(sentinel);
+                break;
+            }
             p.recover_to_item();
         }
     }
@@ -919,5 +952,32 @@ method good(c: Ref) requires acc(c.val) ensures acc(c.val) { c.val := 0 }";
         let errs = parse_program_with_recovery("field val: Int\nmethod m(c: Ref) {").unwrap_err();
         assert_eq!(errs.len(), 1);
         assert!(errs[0].line >= 1);
+    }
+
+    #[test]
+    fn recovery_caps_pathological_diagnostic_floods() {
+        // 100 broken declarations: the default cap stops after 32 real
+        // diagnostics plus one sentinel instead of reporting all 100.
+        let src = "method bad(c: Ref) { assert }\n".repeat(100);
+        let errs = parse_program_with_recovery(&src).unwrap_err();
+        assert_eq!(errs.len(), DEFAULT_MAX_ERRORS + 1, "got: {:?}", errs.len());
+        assert!(errs[DEFAULT_MAX_ERRORS]
+            .message
+            .contains("too many syntax errors; stopping after 32"));
+
+        let errs = parse_program_with_recovery_capped(&src, 5).unwrap_err();
+        assert_eq!(errs.len(), 6);
+        assert!(errs[5].message.contains("stopping after 5"));
+
+        // A cap of 0 still reports the first error (list never empty).
+        let errs = parse_program_with_recovery_capped(&src, 0).unwrap_err();
+        assert_eq!(errs.len(), 2, "one real diagnostic plus the sentinel");
+    }
+
+    #[test]
+    fn recovery_under_the_cap_is_unchanged() {
+        let src = "method bad(c: Ref) { assert }\nmethod bad2(c: Ref) { assert }";
+        let errs = parse_program_with_recovery_capped(src, 32).unwrap_err();
+        assert_eq!(errs.len(), 2, "no sentinel when the cap is not hit");
     }
 }

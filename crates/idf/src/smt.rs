@@ -33,6 +33,7 @@
 
 use crate::sym::{Sort, Sym, SymExpr, Term, TermArena, TermId};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
 
 /// Largest theory-conflict core the solver will try to minimize.
 /// Minimization costs one (memoized) theory check per literal, so huge
@@ -57,6 +58,14 @@ const MAX_LEARNED_CLAUSES: usize = 512;
 /// [`Solver::clear_learned`] at method boundaries, so it is
 /// deterministic per method and thread-count independent.
 const LEARN_FUEL_PER_METHOD: u64 = 256;
+
+/// Search-loop iterations between wall-clock deadline polls (a power of
+/// two; the check is a masked counter increment on the off iterations).
+/// The first iteration of every search polls immediately, so an
+/// already-expired deadline aborts before any work; thereafter at most
+/// 64 conflicts/branches run between polls, which bounds how far a hard
+/// query can overshoot its deadline.
+const DEADLINE_POLL_MASK: u32 = 63;
 
 /// Which search core answers satisfiability queries.
 ///
@@ -261,6 +270,20 @@ pub struct Solver {
     /// exhaustion. Truncated answers are never cached (the caches must
     /// change cost, never answers).
     pub fuel_exhausted: bool,
+    /// Wall-clock deadline for the current method's queries; `None`
+    /// means unlimited. Unlike the per-method deadline check at
+    /// statement boundaries, this one is polled *inside* the search
+    /// loops (every [`DEADLINE_POLL_MASK`]+1 conflicts/branches), so a
+    /// single pathologically hard query still returns `Unknown` within
+    /// a small multiple of its deadline instead of running to
+    /// completion.
+    pub deadline: Option<Instant>,
+    /// Sticky flag: set once any query was truncated by the deadline.
+    /// Like fuel truncation, a deadline-truncated answer reflects the
+    /// budget, not the formula, and is never cached.
+    pub deadline_exhausted: bool,
+    /// Poll counter for the deadline check in the non-CDCL search loops.
+    deadline_poll: u32,
     /// Fault injection: degrade every answer to `Answer::Unknown` once
     /// `queries` exceeds this count. Injected answers bypass the caches
     /// entirely.
@@ -307,6 +330,9 @@ impl Default for Solver {
             theory_misses: 0,
             fuel: None,
             fuel_exhausted: false,
+            deadline: None,
+            deadline_exhausted: false,
+            deadline_poll: 0,
             unknown_after: None,
             learn_enabled: true,
             learned_clauses: 0,
@@ -370,14 +396,39 @@ impl Solver {
             SatAnswer::Sat => Answer::Invalid,
             SatAnswer::Unknown => Answer::Unknown,
         };
-        // A fuel-truncated answer reflects the budget, not the formula;
-        // caching it would let a later (differently budgeted) run read
-        // it back as the formula's answer. Once fuel is exhausted every
-        // subsequent answer is suspect, so caching stops entirely.
-        if self.cache_enabled && !self.fuel_exhausted {
+        // A fuel- or deadline-truncated answer reflects the budget, not
+        // the formula; caching it would let a later (differently
+        // budgeted) run read it back as the formula's answer. Once
+        // either axis is exhausted every subsequent answer is suspect,
+        // so caching stops entirely.
+        if self.cache_enabled && !self.fuel_exhausted && !self.deadline_exhausted {
             self.query_cache.insert((key, goal), answer);
         }
         answer
+    }
+
+    /// Polls the wall-clock deadline (every [`DEADLINE_POLL_MASK`]+1
+    /// calls; the first call always checks). Returns `true` — setting
+    /// the sticky `deadline_exhausted` flag — once the deadline has
+    /// passed; the search loops then abandon the query with
+    /// `SatAnswer::Unknown`.
+    fn deadline_tripped(&mut self) -> bool {
+        if self.deadline_exhausted {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        self.deadline_poll = self.deadline_poll.wrapping_add(1);
+        if self.deadline_poll & DEADLINE_POLL_MASK != 1 {
+            return false;
+        }
+        if Instant::now() >= deadline {
+            self.deadline_exhausted = true;
+            true
+        } else {
+            false
+        }
     }
 
     /// Checks whether the path condition is consistent (used to prune
@@ -452,7 +503,12 @@ impl Solver {
     /// clause-learning core, and the engine's counters and remaining
     /// fuel fold into the solver's.
     fn cdcl_sat(&mut self, skeleton: &BForm, atoms: &AtomTable) -> SatAnswer {
-        let mut eng = CdclEngine::new(atoms.list.clone(), self.learn_enabled, self.fuel);
+        let mut eng = CdclEngine::new(
+            atoms.list.clone(),
+            self.learn_enabled,
+            self.fuel,
+            self.deadline,
+        );
         if !eng.encode(skeleton) {
             // Propositionally false at the root: no search, no fuel.
             return SatAnswer::Unsat;
@@ -477,6 +533,7 @@ impl Solver {
         let verdict = eng.solve(self);
         self.fuel = eng.fuel;
         self.fuel_exhausted |= eng.fuel_exhausted;
+        self.deadline_exhausted |= eng.deadline_exhausted;
         self.branches += eng.decisions as usize;
         self.conflicts += eng.conflicts as usize;
         self.restarts += eng.restarts as usize;
@@ -683,6 +740,9 @@ impl Solver {
             Some(f) => self.fuel = Some(f - 1),
             None => {}
         }
+        if self.deadline_tripped() {
+            return SatAnswer::Unknown;
+        }
         self.branches += 1;
         match simplify(skeleton, assignment) {
             BForm::False => SatAnswer::Unsat,
@@ -727,6 +787,9 @@ impl Solver {
             }
             Some(f) => self.fuel = Some(f - 1),
             None => {}
+        }
+        if self.deadline_tripped() {
+            return SatAnswer::Unknown;
         }
         self.branches += 1;
         // Only boolean symbols are ever purified, so the whole
@@ -1150,6 +1213,9 @@ struct CdclEngine {
     learn: bool,
     fuel: Option<u64>,
     fuel_exhausted: bool,
+    deadline: Option<Instant>,
+    deadline_exhausted: bool,
+    deadline_poll: u32,
     /// Set when a theory-Unknown leaf was blocked; a final Unsat then
     /// degrades to Unknown (the blocked cube might have been a model).
     taint: bool,
@@ -1165,7 +1231,12 @@ struct CdclEngine {
 }
 
 impl CdclEngine {
-    fn new(atoms: Vec<Atom>, learn: bool, fuel: Option<u64>) -> CdclEngine {
+    fn new(
+        atoms: Vec<Atom>,
+        learn: bool,
+        fuel: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> CdclEngine {
         let natoms = atoms.len();
         CdclEngine {
             atoms,
@@ -1188,6 +1259,9 @@ impl CdclEngine {
             learn,
             fuel,
             fuel_exhausted: false,
+            deadline,
+            deadline_exhausted: false,
+            deadline_poll: 0,
             taint: false,
             decisions: 0,
             conflicts: 0,
@@ -1231,6 +1305,30 @@ impl CdclEngine {
             } else {
                 self.fuel = Some(f - n);
             }
+        }
+    }
+
+    /// Engine-side twin of [`Solver::deadline_tripped`]: polls the
+    /// wall-clock deadline once per conflict/decision iteration of the
+    /// CDCL main loop (masked to one `Instant::now()` every
+    /// [`DEADLINE_POLL_MASK`]+1 iterations, with the first iteration
+    /// always checked).
+    fn deadline_tripped(&mut self) -> bool {
+        if self.deadline_exhausted {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        self.deadline_poll = self.deadline_poll.wrapping_add(1);
+        if self.deadline_poll & DEADLINE_POLL_MASK != 1 {
+            return false;
+        }
+        if Instant::now() >= deadline {
+            self.deadline_exhausted = true;
+            true
+        } else {
+            false
         }
     }
 
@@ -2008,6 +2106,11 @@ impl CdclEngine {
         }
         loop {
             if self.fuel_exhausted {
+                return SatAnswer::Unknown;
+            }
+            // Poll the wall-clock deadline inside the conflict loop:
+            // one hard query must not run arbitrarily past its budget.
+            if self.deadline_tripped() {
                 return SatAnswer::Unknown;
             }
             let conflict: Option<Option<usize>> = loop {
@@ -2931,6 +3034,32 @@ mod tests {
         assert_eq!(
             cx.solver.cache_hits, 0,
             "the truncated answer leaked into the memo table"
+        );
+    }
+
+    #[test]
+    fn deadline_exhausted_answers_are_not_cached() {
+        let (mut cx, s) = int_solver(3);
+        let (pc, goal) = diverging_queries(&s);
+        // A deadline already in the past trips on the search's first
+        // poll (the poll mask always checks the first iteration), in
+        // either core.
+        cx.solver.deadline = Some(Instant::now() - std::time::Duration::from_millis(1));
+        assert_eq!(
+            cx.entails(&pc, &goal),
+            Answer::Unknown,
+            "an expired deadline must degrade to Unknown"
+        );
+        assert!(cx.solver.deadline_exhausted);
+        // Lift the deadline: the truncated Unknown must not have been
+        // memoized, so the same query now re-solves to Valid.
+        cx.solver.deadline = None;
+        cx.solver.deadline_exhausted = false;
+        cx.solver.deadline_poll = 0;
+        assert_eq!(cx.entails(&pc, &goal), Answer::Valid);
+        assert_eq!(
+            cx.solver.cache_hits, 0,
+            "the deadline-truncated answer leaked into the memo table"
         );
     }
 }

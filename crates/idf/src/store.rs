@@ -38,6 +38,17 @@ pub struct StoredVerdict {
 pub struct VerdictStore {
     path: PathBuf,
     entries: BTreeMap<String, StoredVerdict>,
+    /// Undecodable lines skipped during the last [`VerdictStore::open`]
+    /// (surfaced as the `store.corrupt_lines` obs counter and in the
+    /// daemon's metrics snapshot). A truncated final line — the
+    /// signature of a crash mid-append — counts here too, but is
+    /// additionally flagged by `truncated_tail`.
+    corrupt_lines: usize,
+    /// True when the file's final line was cut off mid-write (no
+    /// trailing newline and undecodable): the expected wreckage of a
+    /// SIGKILL between `write` and completion, worth a warning but
+    /// never grounds to poison the rest of the store.
+    truncated_tail: bool,
 }
 
 impl VerdictStore {
@@ -50,17 +61,52 @@ impl VerdictStore {
     pub fn open(dir: &Path) -> VerdictStore {
         let path = dir.join(Self::FILE_NAME);
         let mut entries = BTreeMap::new();
+        let mut corrupt_lines = 0;
+        let mut truncated_tail = false;
         if let Ok(text) = fs::read_to_string(&path) {
-            for line in text.lines() {
+            let complete_tail = text.is_empty() || text.ends_with('\n');
+            let last = text.lines().count().saturating_sub(1);
+            for (i, line) in text.lines().enumerate() {
                 if line.trim().is_empty() {
                     continue;
                 }
-                if let Some((name, stored)) = decode_line(line) {
-                    entries.insert(name, stored);
+                match decode_any_line(line) {
+                    Some(Line::Put(name, stored)) => {
+                        entries.insert(name, stored);
+                    }
+                    Some(Line::Evict(name)) => {
+                        entries.remove(&name);
+                    }
+                    None => {
+                        corrupt_lines += 1;
+                        // A final line with no newline that fails to
+                        // decode is a crash mid-append: skip it with a
+                        // counted warning instead of treating the
+                        // store as damaged.
+                        if i == last && !complete_tail {
+                            truncated_tail = true;
+                        }
+                    }
                 }
             }
         }
-        VerdictStore { path, entries }
+        VerdictStore {
+            path,
+            entries,
+            corrupt_lines,
+            truncated_tail,
+        }
+    }
+
+    /// Undecodable lines skipped by the last [`VerdictStore::open`].
+    pub fn corrupt_lines(&self) -> usize {
+        self.corrupt_lines
+    }
+
+    /// True when the file ended in a line cut off mid-write (crash
+    /// mid-append) that was skipped on load.
+    pub fn truncated_tail(&self) -> bool {
+        self.truncated_tail
     }
 
     /// The stored verdict for `method`, iff it was recorded under
@@ -112,6 +158,52 @@ impl VerdictStore {
     /// True when nothing is stored.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Records a verdict (exactly as [`VerdictStore::record`]) *and*
+    /// appends the change to the store file immediately, flushed, so a
+    /// SIGKILL'd process loses at most the verdict currently being
+    /// written. Definite verdicts append their entry line; indefinite
+    /// verdicts append an evict tombstone (`"verdict":"evict"`) that
+    /// [`VerdictStore::open`] replays last-wins. [`VerdictStore::save`]
+    /// still compacts the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating the directory or appending
+    /// to the file; the in-memory entry is updated regardless.
+    pub fn record_durable(
+        &mut self,
+        method: &str,
+        fingerprint: Fingerprint,
+        verdict: &Verdict,
+    ) -> io::Result<bool> {
+        let definite = self.record(method, fingerprint, verdict);
+        let mut line = String::new();
+        if definite {
+            let stored = self
+                .entries
+                .get(method)
+                .expect("record returned true, entry present");
+            encode_line(&mut line, method, stored);
+        } else {
+            let _ = write!(
+                line,
+                "{{\"method\":\"{}\",\"verdict\":\"evict\"}}",
+                esc(method)
+            );
+        }
+        line.push('\n');
+        if let Some(dir) = self.path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        io::Write::write_all(&mut file, line.as_bytes())?;
+        io::Write::flush(&mut file)?;
+        Ok(definite)
     }
 
     /// Writes the store back to disk, compacted (one line per method),
@@ -335,6 +427,24 @@ fn encode_line(out: &mut String, name: &str, stored: &StoredVerdict) {
     out.push('}');
 }
 
+/// One decoded store line: an entry upsert or an evict tombstone
+/// (appended by [`VerdictStore::record_durable`] for indefinite
+/// verdicts).
+enum Line {
+    Put(String, StoredVerdict),
+    Evict(String),
+}
+
+fn decode_any_line(line: &str) -> Option<Line> {
+    let json = parse_json(line).ok()?;
+    let obj = json.as_obj()?;
+    if obj.get("verdict")?.as_str()? == "evict" {
+        return Some(Line::Evict(obj.get("method")?.as_str()?.to_string()));
+    }
+    let (name, stored) = decode_line(line)?;
+    Some(Line::Put(name, stored))
+}
+
 fn decode_line(line: &str) -> Option<(String, StoredVerdict)> {
     let json = parse_json(line).ok()?;
     let obj = json.as_obj()?;
@@ -518,6 +628,78 @@ mod tests {
         let reloaded = VerdictStore::open(&dir);
         assert_eq!(reloaded.len(), 1);
         assert!(reloaded.lookup("keep", fp(7)).is_some());
+        assert_eq!(reloaded.corrupt_lines(), 3);
+        assert!(
+            !reloaded.truncated_tail(),
+            "file ends in a newline, so the tail is complete"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_skipped_and_counted() {
+        let dir = temp_dir("truncated");
+        let mut store = VerdictStore::open(&dir);
+        store.record("keep", fp(7), &Verdict::Verified(VerifyStats::default()));
+        store.save().unwrap();
+        let path = dir.join(VerdictStore::FILE_NAME);
+        let mut text = fs::read_to_string(&path).unwrap();
+        // A crash mid-append: the final line is cut off with no newline.
+        text.push_str("{\"method\":\"half\",\"fp\":\"dead");
+        fs::write(&path, text).unwrap();
+        let reloaded = VerdictStore::open(&dir);
+        assert!(reloaded.lookup("keep", fp(7)).is_some());
+        assert_eq!(reloaded.corrupt_lines(), 1);
+        assert!(reloaded.truncated_tail());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_appends_survive_reopen_without_save() {
+        let dir = temp_dir("durable");
+        let mut store = VerdictStore::open(&dir);
+        assert!(store
+            .record_durable("ok", fp(1), &Verdict::Verified(VerifyStats::default()))
+            .unwrap());
+        assert!(store
+            .record_durable("bad", fp(2), &sample_failed())
+            .unwrap());
+        drop(store); // no save(): the appends alone must persist
+        let reloaded = VerdictStore::open(&dir);
+        assert_eq!(reloaded.len(), 2);
+        assert!(reloaded.lookup("ok", fp(1)).is_some());
+        assert_eq!(reloaded.lookup("bad", fp(2)), Some(&sample_failed()));
+        assert_eq!(reloaded.corrupt_lines(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_evict_tombstones_replay_last_wins() {
+        let dir = temp_dir("tombstone");
+        let mut store = VerdictStore::open(&dir);
+        store
+            .record_durable("m", fp(1), &Verdict::Verified(VerifyStats::default()))
+            .unwrap();
+        assert!(!store
+            .record_durable(
+                "m",
+                fp(1),
+                &Verdict::CrashedInternal {
+                    message: "boom".to_string(),
+                },
+            )
+            .unwrap());
+        drop(store);
+        let reloaded = VerdictStore::open(&dir);
+        assert!(
+            reloaded.lookup("m", fp(1)).is_none(),
+            "the appended tombstone evicts the earlier entry on replay"
+        );
+        assert_eq!(
+            reloaded.corrupt_lines(),
+            0,
+            "a tombstone is a decodable line, not corruption"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -215,29 +215,49 @@ struct Shared {
 /// sequence numbers at emit time — callers must emit buffers from a
 /// single thread in program order to keep traces deterministic (the
 /// verifier's merge path does).
+///
+/// [`TraceHandle::with_context`] derives a handle that additionally
+/// stamps fixed attribution fields (tenant/session/request ids) onto
+/// every event it emits — the daemon's per-request trace plumbing.
+/// Derived handles share the parent's sink, sequence counter, and
+/// metrics registry, so interleaved requests still produce one densely
+/// numbered stream.
 #[derive(Clone, Default)]
-pub struct TraceHandle(Option<Arc<Shared>>);
+pub struct TraceHandle {
+    shared: Option<Arc<Shared>>,
+    /// Fields appended to every emitted event (empty for the root
+    /// handle). Shared so cloning a handle is still two pointer
+    /// copies.
+    context: Arc<Vec<(String, Value)>>,
+}
 
 impl fmt::Debug for TraceHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.0 {
+        match &self.shared {
             None => f.write_str("TraceHandle(disabled)"),
-            Some(s) => write!(f, "TraceHandle(enabled, clock: {:?})", s.clock),
+            Some(s) => write!(
+                f,
+                "TraceHandle(enabled, clock: {:?}, context: {} field(s))",
+                s.clock,
+                self.context.len()
+            ),
         }
     }
 }
 
-/// Handles compare by identity: two handles are equal when they feed
-/// the same underlying sink (or are both disabled). This keeps
-/// `VerifierConfig`'s structural equality meaningful without requiring
-/// sinks to be comparable.
+/// Handles compare by identity of the underlying pipeline plus
+/// structural equality of the stamped context: two handles are equal
+/// when they feed the same sink (or are both disabled) and attribute
+/// events identically. This keeps `VerifierConfig`'s structural
+/// equality meaningful without requiring sinks to be comparable.
 impl PartialEq for TraceHandle {
     fn eq(&self, other: &TraceHandle) -> bool {
-        match (&self.0, &other.0) {
+        let same_pipe = match (&self.shared, &other.shared) {
             (None, None) => true,
             (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
-        }
+        };
+        same_pipe && self.context == other.context
     }
 }
 
@@ -246,56 +266,84 @@ impl Eq for TraceHandle {}
 impl TraceHandle {
     /// The no-op handle (the `VerifierConfig` default).
     pub fn disabled() -> TraceHandle {
-        TraceHandle(None)
+        TraceHandle::default()
     }
 
     /// A handle feeding `sink`, timestamping with `clock`.
     pub fn new(sink: Arc<dyn Sink>, clock: ClockKind) -> TraceHandle {
-        TraceHandle(Some(Arc::new(Shared {
-            sink,
-            clock,
-            next_seq: AtomicU64::new(0),
-            metrics: Mutex::new(MetricsRegistry::new()),
-        })))
+        TraceHandle {
+            shared: Some(Arc::new(Shared {
+                sink,
+                clock,
+                next_seq: AtomicU64::new(0),
+                metrics: Mutex::new(MetricsRegistry::new()),
+            })),
+            context: Arc::new(Vec::new()),
+        }
+    }
+
+    /// A derived handle that stamps `fields` (after any fields this
+    /// handle already stamps) onto every event it emits. Deriving from
+    /// a disabled handle stays disabled and free.
+    pub fn with_context(&self, fields: Vec<(String, Value)>) -> TraceHandle {
+        if self.shared.is_none() || fields.is_empty() {
+            return TraceHandle {
+                shared: self.shared.clone(),
+                context: self.context.clone(),
+            };
+        }
+        let mut context = (*self.context).clone();
+        context.extend(fields);
+        TraceHandle {
+            shared: self.shared.clone(),
+            context: Arc::new(context),
+        }
+    }
+
+    /// The fields this handle stamps onto every emitted event.
+    pub fn context(&self) -> &[(String, Value)] {
+        &self.context
     }
 
     /// True when events actually go somewhere.
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.shared.is_some()
     }
 
     /// A fresh collector for one worker/method.
     pub fn collector(&self) -> TraceCollector {
-        match &self.0 {
+        match &self.shared {
             None => TraceCollector::disabled(),
             Some(s) => TraceCollector::enabled_with(s.clock),
         }
     }
 
-    /// Stamps global sequence numbers onto `events` and forwards them
-    /// to the sink. Call from the deterministic merge path only.
+    /// Stamps global sequence numbers (and this handle's context
+    /// fields) onto `events` and forwards them to the sink. Call from
+    /// the deterministic merge path only.
     pub fn emit(&self, mut events: Vec<Event>) {
-        let Some(s) = &self.0 else { return };
+        let Some(s) = &self.shared else { return };
         if events.is_empty() {
             return;
         }
         let base = s.next_seq.fetch_add(events.len() as u64, Ordering::Relaxed);
         for (i, e) in events.iter_mut().enumerate() {
             e.seq = base + i as u64;
+            e.fields.extend(self.context.iter().cloned());
         }
         s.sink.write(&events);
     }
 
     /// Folds a per-method registry into the run-wide one.
     pub fn merge_metrics(&self, m: &MetricsRegistry) {
-        if let Some(s) = &self.0 {
+        if let Some(s) = &self.shared {
             s.metrics.lock().expect("metrics poisoned").merge(m);
         }
     }
 
     /// A snapshot of the run-wide metrics.
     pub fn metrics(&self) -> MetricsRegistry {
-        match &self.0 {
+        match &self.shared {
             None => MetricsRegistry::new(),
             Some(s) => s.metrics.lock().expect("metrics poisoned").clone(),
         }
@@ -303,7 +351,7 @@ impl TraceHandle {
 
     /// Flushes the sink.
     pub fn flush(&self) {
-        if let Some(s) = &self.0 {
+        if let Some(s) = &self.shared {
             s.sink.flush();
         }
     }
@@ -393,5 +441,45 @@ mod tests {
         assert_eq!(h1, h2);
         assert_ne!(h1, h3);
         assert_eq!(TraceHandle::disabled(), TraceHandle::default());
+    }
+
+    #[test]
+    fn context_is_stamped_on_every_event() {
+        let sink = Arc::new(MemorySink::new(16));
+        let root = TraceHandle::new(sink.clone(), ClockKind::Logical);
+        let request = root.with_context(vec![
+            ("tenant".to_string(), Value::Str("acme".to_string())),
+            ("request".to_string(), Value::UInt(7)),
+        ]);
+        assert_ne!(root, request, "context participates in handle equality");
+
+        // Interleaved emits from the root and a derived handle share
+        // one dense sequence stream; only the derived handle's events
+        // carry the attribution fields.
+        let mut c = root.collector();
+        c.event("plain", vec![]);
+        root.emit(c.take().0);
+        let mut c = request.collector();
+        c.event("attributed", vec![("own".to_string(), Value::UInt(1))]);
+        request.emit(c.take().0);
+
+        let events = sink.events();
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1]);
+        assert!(events[0].fields.is_empty());
+        assert_eq!(events[1].field_u64("own"), Some(1));
+        assert_eq!(events[1].field_u64("request"), Some(7));
+        assert!(events[1]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "tenant" && *v == Value::Str("acme".to_string())));
+
+        // Nested derivation appends, never replaces.
+        let session = request.with_context(vec![("session".to_string(), Value::UInt(3))]);
+        assert_eq!(session.context().len(), 3);
+
+        // Deriving from a disabled handle stays disabled.
+        let dead = TraceHandle::disabled().with_context(vec![("k".to_string(), Value::UInt(0))]);
+        assert!(!dead.is_enabled());
+        assert!(dead.context().is_empty());
     }
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Server smoke: start the daemon, chaos-replay the F1 corpus over it
+# (full wire-fault matrix + a fault-free reference pass), SIGTERM, and
+# assert a graceful drain — the daemon exits 0 on its own, reports
+# zero leaked sessions, and leaves a flushed, uncorrupted verdict
+# store. The replay driver enforces the bit-identical chaos gate via
+# its own exit code. Artifacts: BENCH_server.json and the daemon's
+# final metrics snapshot under the output directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR=${1:-target/server-smoke}
+STORE_DIR="$OUT_DIR/store"
+mkdir -p "$OUT_DIR"
+rm -rf "$STORE_DIR"
+
+cargo build --release -p daenerysd -p daenerys-bench
+
+LOG="$OUT_DIR/daenerysd.log"
+./target/release/daenerysd \
+    --cache-dir "$STORE_DIR" \
+    --metrics-out "$OUT_DIR/metrics.json" > "$LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Scrape the ephemeral port from the startup line.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^daenerysd listening on //p' "$LOG" | head -1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "daemon died during startup"; cat "$LOG"; exit 1;
+    }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "daemon never reported an address"; cat "$LOG"; exit 1; }
+
+# Chaos replay against the live daemon; non-zero exit = gate failure
+# (a lost request, a verdict that diverged under chaos, ...).
+./target/release/server_replay --addr "$ADDR" --requests 96 \
+    --out "$OUT_DIR/BENCH_server.json"
+
+# Graceful drain: on SIGTERM the daemon must finish in-flight work,
+# flush the store, write its snapshot, and exit 0 by itself.
+kill -TERM "$DAEMON_PID"
+DAEMON_STATUS=0
+wait "$DAEMON_PID" || DAEMON_STATUS=$?
+[ "$DAEMON_STATUS" -eq 0 ] || {
+    echo "daemon exited $DAEMON_STATUS after SIGTERM"; cat "$LOG"; exit 1;
+}
+
+# Zero leaked sessions, store flushed and clean.
+grep -q '"leaked_sessions":0' "$OUT_DIR/metrics.json"
+grep -q '"store_corrupt_lines":0' "$OUT_DIR/metrics.json"
+test -s "$STORE_DIR/verdicts.jsonl"
+
+echo "server smoke PASSED ($ADDR)"
+cat "$OUT_DIR/metrics.json"

@@ -160,6 +160,45 @@ fn zero_deadline_yields_unknown_not_hang() {
     }
 }
 
+/// Deadline promptness under the CDCL core: a deliberately hard query
+/// (`diverging_program(18)` with clause learning off runs for tens of
+/// seconds unbudgeted) must come back `Unknown` within a small multiple
+/// of its deadline. This only holds because the solver polls the
+/// deadline *inside* its conflict loop — a check at query boundaries
+/// alone would run the full search before noticing the overrun.
+#[test]
+fn deadline_is_enforced_inside_the_conflict_loop() {
+    const DEADLINE_MS: u64 = 100;
+    // Far below the unpolled runtime in either build profile, far above
+    // the deadline plus poll granularity (one wall-clock read per 64
+    // conflicts).
+    const PROMPTNESS_BOUND_MS: u128 = 3_000;
+    let program = parse_program(&diverging_program(18)).expect("diverging program parses");
+    let config = VerifierConfig {
+        learn: false,
+        budget: Budget::unlimited().with_deadline_ms(DEADLINE_MS),
+        retry_unknown: false,
+        threads: 1,
+        ..VerifierConfig::default()
+    };
+    let mut v = Verifier::with_config(&program, Backend::Destabilized, config);
+    let started = std::time::Instant::now();
+    let verdict = v.verify_method_verdict("diverge");
+    let elapsed = started.elapsed();
+    assert_eq!(
+        exhausted_axis(&verdict),
+        Some(BudgetAxis::Deadline),
+        "hard query should exhaust the deadline, got {}",
+        verdict
+    );
+    assert!(
+        elapsed.as_millis() < PROMPTNESS_BOUND_MS,
+        "deadline of {} ms took {:?} to surface — the conflict loop is not polling",
+        DEADLINE_MS,
+        elapsed
+    );
+}
+
 #[test]
 fn unlimited_budget_still_verifies_everything() {
     let program = trio();
@@ -550,6 +589,130 @@ fn failed_and_unknown_verdicts_always_carry_a_failure_report() {
             check("injected fault", &verdicts) > 0,
             "{:?}: fault produced no diagnosable verdict",
             kind
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Daemon sessions: the sibling-invariance contract survives the wire.
+// A method-level fault injected inside the daemon, plus wire chaos on
+// *other* concurrent sessions, never changes a sibling method's
+// verdict — the clean session's response is bit-identical to a
+// fault-free daemon run.
+// ---------------------------------------------------------------------
+
+#[test]
+fn daemon_sessions_preserve_sibling_invariance() {
+    use daenerysd::chaos::WireFaultPlan;
+    use daenerysd::client::{Client, RetryPolicy};
+    use daenerysd::protocol::{Request, Response};
+    use daenerysd::server::{MetricsSnapshot, Server, ServerConfig};
+    use std::sync::atomic::Ordering;
+
+    quiet_injected_panics();
+
+    const TRIO: &str = "field val: Int
+         method a(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1
+         { c.val := 1 }
+         method b(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 2
+         { c.val := 1; c.val := c.val + 1 }
+         method c(c: Ref) requires acc(c.val) ensures acc(c.val)
+         { c.val := c.val + 0 }";
+    const NOISE: &str = "field val: Int
+method noisy(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 9 { c.val := 9 }";
+
+    fn serve(
+        faults: FaultPlan,
+    ) -> (
+        std::net::SocketAddr,
+        std::sync::Arc<std::sync::atomic::AtomicBool>,
+        std::thread::JoinHandle<MetricsSnapshot>,
+    ) {
+        let defaults = ServerConfig::default();
+        let config = ServerConfig {
+            read_poll_ms: 5,
+            frame_deadline_ms: 250,
+            base: daenerys::idf::exec::VerifierConfig {
+                faults,
+                retry_unknown: false,
+                ..defaults.base
+            },
+            ..defaults
+        };
+        let server = Server::bind(config).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let flag = server.shutdown_flag();
+        (addr, flag, std::thread::spawn(move || server.run()))
+    }
+
+    fn wire_verdicts(resp: &Response) -> BTreeMap<String, (String, String)> {
+        match resp {
+            Response::Ok { verdicts, .. } => verdicts
+                .iter()
+                .map(|(name, v)| (name.clone(), (v.kind.clone(), v.detail.clone())))
+                .collect(),
+            other => panic!("expected an ok response, got id {}", other.id()),
+        }
+    }
+
+    let quick_retry = RetryPolicy {
+        max_attempts: 6,
+        base_backoff_ms: 5,
+        max_backoff_ms: 50,
+        seed: 4,
+    };
+
+    // Fault-free reference run over the wire.
+    let (addr, flag, handle) = serve(FaultPlan::none());
+    let clean = Client::new(addr).with_retry(quick_retry);
+    let (resp, _) = clean
+        .request_with_retry(&Request::new(1, "clean", TRIO))
+        .expect("reference request");
+    let reference = wire_verdicts(&resp);
+    flag.store(true, Ordering::SeqCst);
+    assert_eq!(handle.join().expect("server").leaked_sessions, 0);
+    assert_eq!(reference["a"].0, "verified");
+    assert_eq!(reference["c"].0, "verified");
+
+    // Chaos run: method `b` panics inside the daemon, while a sibling
+    // tenant hammers the same daemon through the full wire-fault
+    // matrix.
+    let (addr, flag, handle) = serve(FaultPlan::none().inject("b", FaultKind::PanicAtState(1)));
+    let noisy = Client::new(addr)
+        .with_faults(WireFaultPlan::full(5))
+        .with_retry(quick_retry);
+    let noise_thread = std::thread::spawn(move || {
+        for id in 10..18u64 {
+            // Outcome irrelevant: this lane exists to stress the
+            // daemon's framing and admission while the clean session
+            // runs.
+            let _ = noisy.request_with_retry(&Request::new(id, "noisy", NOISE));
+        }
+    });
+    let clean = Client::new(addr).with_retry(quick_retry);
+    let (resp, _) = clean
+        .request_with_retry(&Request::new(2, "clean", TRIO))
+        .expect("chaos-run request");
+    let under_chaos = wire_verdicts(&resp);
+    noise_thread.join().expect("noise lane");
+    flag.store(true, Ordering::SeqCst);
+    let snap = handle.join().expect("server");
+    assert_eq!(
+        snap.leaked_sessions, 0,
+        "daemon leaked sessions: {:?}",
+        snap
+    );
+
+    assert_eq!(
+        under_chaos["b"].0, "crashed",
+        "the injected panic should degrade b: {:?}",
+        under_chaos
+    );
+    for sibling in ["a", "c"] {
+        assert_eq!(
+            under_chaos[sibling], reference[sibling],
+            "sibling {} changed across the wire under chaos",
+            sibling
         );
     }
 }
