@@ -1,0 +1,394 @@
+//! `daenerys-top` — a live, `top(1)`-style view of a running
+//! `daenerysd`, built entirely from admin-frame scrapes.
+//!
+//!     daenerys-top --addr HOST:PORT [--interval-ms MS] [--frames N]
+//!                  [--raw] [--no-clear]
+//!     daenerys-top --addr HOST:PORT --health
+//!     daenerys-top --addr HOST:PORT --tail [--after-seq K] [--max M]
+//!
+//! The default mode scrapes the `metrics` and `health` frames every
+//! `--interval-ms` (500ms) and renders a per-tenant table: request
+//! throughput (from counter deltas between consecutive scrapes),
+//! p50/p95/p99 request latency, fuel spend per second, query-cache hit
+//! rate, solver conflict/restart rates, and live in-flight — plus a
+//! per-phase time-attribution table from `daenerysd.phase_nanos`.
+//! `--frames N` exits after N renders (0 = run until killed), which is
+//! how the smoke script uses it; `--raw` prints the raw scrape JSON
+//! instead of the table.
+//!
+//! `--health` prints one health body and exits non-zero when the
+//! admission ledger does not conserve — a one-shot liveness probe.
+//! `--tail` prints the trace tail as JSONL, one event per line, in
+//! exactly the schema `trace_validate` accepts:
+//!
+//!     daenerys-top --addr H:P --tail | trace_validate /dev/stdin
+
+use daenerys_obs::{parse_json, Json};
+use daenerysd::client::Client;
+use daenerysd::protocol::{AdminRequest, Response};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Top,
+    Health,
+    Tail,
+}
+
+struct Opts {
+    addr: SocketAddr,
+    interval: Duration,
+    frames: u64,
+    mode: Mode,
+    after_seq: u64,
+    max: u64,
+    raw: bool,
+    clear: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: daenerys-top --addr HOST:PORT [--interval-ms MS] [--frames N]\n\
+     \x20                 [--raw] [--no-clear] [--health]\n\
+     \x20                 [--tail [--after-seq K] [--max M]]"
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut opts = Opts {
+        addr: "127.0.0.1:0".parse().unwrap(),
+        interval: Duration::from_millis(500),
+        frames: 0,
+        mode: Mode::Top,
+        after_seq: 0,
+        max: u64::MAX,
+        raw: false,
+        clear: true,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{} needs a value\n{}", name, usage()))
+        };
+        let num = |s: String| {
+            s.parse::<u64>()
+                .map_err(|_| format!("expected a number, got {:?}", s))
+        };
+        match flag.as_str() {
+            "--addr" => {
+                addr = Some(
+                    value("--addr")?
+                        .parse()
+                        .map_err(|e| format!("--addr: {}", e))?,
+                );
+            }
+            "--interval-ms" => {
+                opts.interval = Duration::from_millis(num(value("--interval-ms")?)?.max(1));
+            }
+            "--frames" => opts.frames = num(value("--frames")?)?,
+            "--health" => opts.mode = Mode::Health,
+            "--tail" => opts.mode = Mode::Tail,
+            "--after-seq" => opts.after_seq = num(value("--after-seq")?)?,
+            "--max" => opts.max = num(value("--max")?)?,
+            "--raw" => opts.raw = true,
+            "--no-clear" => opts.clear = false,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {:?}\n{}", other, usage())),
+        }
+    }
+    opts.addr = addr.ok_or_else(|| format!("--addr is required\n{}", usage()))?;
+    Ok(opts)
+}
+
+fn scrape(client: &Client, req: &AdminRequest) -> Result<Json, String> {
+    match client.admin_once(req) {
+        Ok(Response::Admin { body, .. }) => {
+            parse_json(&body).map_err(|e| format!("scrape body did not parse: {}", e))
+        }
+        Ok(Response::Err { message, .. }) => Err(format!("daemon refused the scrape: {}", message)),
+        Ok(other) => Err(format!("unexpected response: {:?}", other)),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// One tenant's cumulative counters/quantiles as of a scrape.
+#[derive(Default, Clone)]
+struct TenantRow {
+    requests: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    conflicts: u64,
+    restarts: u64,
+    fuel: u64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    in_flight: u64,
+}
+
+fn obj_num(obj: &BTreeMap<String, Json>, key: &str) -> f64 {
+    obj.get(key).and_then(Json::as_num).unwrap_or(0.0)
+}
+
+fn tenant_label(entry: &BTreeMap<String, Json>) -> Option<String> {
+    entry
+        .get("labels")
+        .and_then(Json::as_obj)
+        .and_then(|l| l.get("tenant"))
+        .and_then(Json::as_str)
+        .map(str::to_string)
+}
+
+/// Folds a `metrics` scrape into per-tenant rows and per-phase totals.
+fn digest(
+    metrics: &Json,
+    health: Option<&Json>,
+) -> (BTreeMap<String, TenantRow>, BTreeMap<String, (u64, u64)>) {
+    let mut rows: BTreeMap<String, TenantRow> = BTreeMap::new();
+    let mut phases: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let obj = metrics.as_obj();
+    let counters = obj
+        .and_then(|o| o.get("counters"))
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    for c in counters.iter().filter_map(Json::as_obj) {
+        let Some(tenant) = tenant_label(c) else {
+            continue;
+        };
+        let row = rows.entry(tenant).or_default();
+        let value = obj_num(c, "value") as u64;
+        match c.get("name").and_then(Json::as_str).unwrap_or("") {
+            "daenerysd.requests" => row.requests = value,
+            "daenerysd.cache_hits" => row.cache_hits = value,
+            "daenerysd.cache_misses" => row.cache_misses = value,
+            "daenerysd.solver_conflicts" => row.conflicts = value,
+            "daenerysd.solver_restarts" => row.restarts = value,
+            _ => {}
+        }
+    }
+    let histograms = obj
+        .and_then(|o| o.get("histograms"))
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    for h in histograms.iter().filter_map(Json::as_obj) {
+        match h.get("name").and_then(Json::as_str).unwrap_or("") {
+            "daenerysd.latency_us" => {
+                if let Some(tenant) = tenant_label(h) {
+                    let row = rows.entry(tenant).or_default();
+                    row.p50_us = obj_num(h, "p50");
+                    row.p95_us = obj_num(h, "p95");
+                    row.p99_us = obj_num(h, "p99");
+                }
+            }
+            "daenerysd.fuel" => {
+                if let Some(tenant) = tenant_label(h) {
+                    rows.entry(tenant).or_default().fuel = obj_num(h, "sum") as u64;
+                }
+            }
+            "daenerysd.phase_nanos" => {
+                if let Some(phase) = h
+                    .get("labels")
+                    .and_then(Json::as_obj)
+                    .and_then(|l| l.get("phase"))
+                    .and_then(Json::as_str)
+                {
+                    let slot = phases.entry(phase.to_string()).or_insert((0, 0));
+                    slot.0 += obj_num(h, "count") as u64;
+                    slot.1 += obj_num(h, "sum") as u64;
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(tenants) = health
+        .and_then(Json::as_obj)
+        .and_then(|o| o.get("tenants"))
+        .and_then(Json::as_obj)
+    {
+        for (tenant, row) in tenants {
+            if let Some(r) = row.as_obj() {
+                rows.entry(tenant.clone()).or_default().in_flight = obj_num(r, "in_flight") as u64;
+            }
+        }
+    }
+    (rows, phases)
+}
+
+fn rate(now: u64, before: u64, dt_s: f64) -> f64 {
+    now.saturating_sub(before) as f64 / dt_s.max(1e-9)
+}
+
+fn render(
+    opts: &Opts,
+    frame: u64,
+    health: Option<&Json>,
+    rows: &BTreeMap<String, TenantRow>,
+    phases: &BTreeMap<String, (u64, u64)>,
+    prev: Option<&BTreeMap<String, TenantRow>>,
+) {
+    let dt_s = opts.interval.as_secs_f64();
+    if opts.clear {
+        print!("\x1b[2J\x1b[H");
+    }
+    let (uptime_ms, conserved, draining) = health
+        .and_then(Json::as_obj)
+        .map(|h| {
+            (
+                obj_num(h, "uptime_ms") as u64,
+                h.get("conserved") == Some(&Json::Bool(true)),
+                h.get("draining") == Some(&Json::Bool(true)),
+            )
+        })
+        .unwrap_or((0, false, false));
+    println!(
+        "daenerys-top — {} — frame {} — up {:.1}s — conserved {}{}",
+        opts.addr,
+        frame,
+        uptime_ms as f64 / 1e3,
+        if conserved { "yes" } else { "NO" },
+        if draining { " — DRAINING" } else { "" },
+    );
+    println!(
+        "{:<14} {:>8} {:>7} {:>8} {:>8} {:>8} {:>9} {:>6} {:>7} {:>6} {:>5}",
+        "TENANT", "REQS", "RPS", "P50ms", "P95ms", "P99ms", "FUEL/s", "HIT%", "CONF/s", "RST/s",
+        "INFL"
+    );
+    for (tenant, row) in rows {
+        let before = prev.and_then(|p| p.get(tenant)).cloned().unwrap_or_default();
+        let lookups = row.cache_hits + row.cache_misses;
+        let hit_pct = if lookups == 0 {
+            0.0
+        } else {
+            100.0 * row.cache_hits as f64 / lookups as f64
+        };
+        println!(
+            "{:<14} {:>8} {:>7.1} {:>8.2} {:>8.2} {:>8.2} {:>9.0} {:>6.1} {:>7.1} {:>6.1} {:>5}",
+            tenant,
+            row.requests,
+            rate(row.requests, before.requests, dt_s),
+            row.p50_us / 1e3,
+            row.p95_us / 1e3,
+            row.p99_us / 1e3,
+            rate(row.fuel, before.fuel, dt_s),
+            hit_pct,
+            rate(row.conflicts, before.conflicts, dt_s),
+            rate(row.restarts, before.restarts, dt_s),
+            row.in_flight,
+        );
+    }
+    if rows.is_empty() {
+        println!("(no tenant traffic yet)");
+    }
+    if !phases.is_empty() {
+        println!();
+        println!("{:<14} {:>10} {:>12} {:>10}", "PHASE", "SPANS", "TOTAL ms", "AVG µs");
+        for (phase, (count, nanos)) in phases {
+            let avg_us = if *count == 0 {
+                0.0
+            } else {
+                *nanos as f64 / *count as f64 / 1e3
+            };
+            println!(
+                "{:<14} {:>10} {:>12.1} {:>10.1}",
+                phase,
+                count,
+                *nanos as f64 / 1e6,
+                avg_us
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{}", msg);
+            return ExitCode::FAILURE;
+        }
+    };
+    let client = Client::new(opts.addr).with_read_timeout(Duration::from_secs(10));
+    match opts.mode {
+        Mode::Health => match scrape(&client, &AdminRequest::Health { id: 1 }) {
+            Ok(body) => {
+                println!("{}", body.render());
+                let conserved = body.as_obj().map(|h| {
+                    h.get("conserved") == Some(&Json::Bool(true))
+                });
+                if conserved == Some(true) {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("daenerys-top: admission ledger does NOT conserve");
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("daenerys-top: {}", e);
+                ExitCode::FAILURE
+            }
+        },
+        Mode::Tail => {
+            let req = AdminRequest::TraceTail {
+                id: 1,
+                after_seq: opts.after_seq,
+                max: opts.max,
+            };
+            match scrape(&client, &req) {
+                Ok(body) => {
+                    let obj = body.as_obj();
+                    let events = obj
+                        .and_then(|o| o.get("events"))
+                        .and_then(Json::as_arr)
+                        .unwrap_or(&[]);
+                    // One event per line: the output *is* a trace
+                    // stream trace_validate accepts.
+                    for event in events {
+                        println!("{}", event.render());
+                    }
+                    if let Some(dropped) = obj.and_then(|o| o.get("dropped")) {
+                        eprintln!(
+                            "daenerys-top: {} event(s), dropped {}, latest_seq {}",
+                            events.len(),
+                            dropped.render(),
+                            obj.map_or(0.0, |o| obj_num(o, "latest_seq")),
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("daenerys-top: {}", e);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::Top => {
+            let mut prev: Option<BTreeMap<String, TenantRow>> = None;
+            let mut frame = 0u64;
+            loop {
+                frame += 1;
+                let metrics = match scrape(&client, &AdminRequest::Metrics { id: frame }) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("daenerys-top: {}", e);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let health = scrape(&client, &AdminRequest::Health { id: frame }).ok();
+                if opts.raw {
+                    println!("{}", metrics.render());
+                } else {
+                    let (rows, phases) = digest(&metrics, health.as_ref());
+                    render(&opts, frame, health.as_ref(), &rows, &phases, prev.as_ref());
+                    prev = Some(rows);
+                }
+                if opts.frames != 0 && frame >= opts.frames {
+                    return ExitCode::SUCCESS;
+                }
+                std::thread::sleep(opts.interval);
+            }
+        }
+    }
+}

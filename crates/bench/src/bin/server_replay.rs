@@ -24,11 +24,21 @@
 //! daemon (the CI smoke job does this, asserting the daemon-side
 //! invariants itself via `--metrics-out` and SIGTERM); without it the
 //! driver embeds a fresh daemon per pass on an ephemeral port.
+//!
+//! Each pass also runs a **mid-run scraper**: a side thread polling the
+//! `health` admin frame while the replay lanes hammer the daemon. Every
+//! scrape must satisfy the admission conservation invariant
+//! `admitted == completed + refused + in_flight` — a single violating
+//! observation fails the gate. After the lanes drain, one final
+//! `metrics` + `health` scrape records server-side phase attribution
+//! (`daenerysd.phase_nanos`) and the per-tenant ledger into the
+//! `server` block of `BENCH_server.json`.
 
 use daenerys_idf::{chain_program, scaling_program, VerdictStore};
+use daenerys_obs::{parse_json, Json};
 use daenerysd::chaos::WireFaultPlan;
 use daenerysd::client::{Client, RetryPolicy};
-use daenerysd::protocol::{Request, Response};
+use daenerysd::protocol::{AdminRequest, Request, Response};
 use daenerysd::server::{MetricsSnapshot, Server, ServerConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -120,7 +130,57 @@ fn comparable(resp: &Response) -> String {
         }
         Response::Refused { detail, .. } => format!("refused[{}]", detail),
         Response::Err { code, message, .. } => format!("err[{}:{}]", code.name(), message),
+        Response::Admin { kind, .. } => format!("admin[{}]", kind),
     }
+}
+
+/// What the mid-run scraper and the final scrape observed of one
+/// pass's server-side telemetry.
+#[derive(Default)]
+struct ServerObs {
+    /// Successful mid-run `health` scrapes.
+    scrapes: u64,
+    /// Scrapes that failed at the transport/decode layer (tolerated —
+    /// the daemon may briefly saturate its accept backlog).
+    scrape_errors: u64,
+    /// Mid-run scrapes whose ledger did **not** conserve (gate-fatal).
+    conserved_failures: u64,
+    /// Peak aggregate in-flight seen across scrapes.
+    max_in_flight: u64,
+    /// Final `metrics` body (raw JSON), when the plane answered.
+    final_metrics: Option<String>,
+    /// Final `health` body (raw JSON), when the plane answered.
+    final_health: Option<String>,
+}
+
+fn admin_body(client: &Client, req: &AdminRequest) -> Option<String> {
+    match client.admin_once(req) {
+        Ok(Response::Admin { body, .. }) => Some(body),
+        _ => None,
+    }
+}
+
+/// One mid-run health observation folded into `obs`.
+fn observe_health(body: &str, obs: &mut ServerObs) {
+    let Ok(parsed) = parse_json(body) else {
+        obs.scrape_errors += 1;
+        return;
+    };
+    let Some(health) = parsed.as_obj() else {
+        obs.scrape_errors += 1;
+        return;
+    };
+    obs.scrapes += 1;
+    if health.get("conserved") != Some(&Json::Bool(true)) {
+        obs.conserved_failures += 1;
+    }
+    let in_flight = health
+        .get("total")
+        .and_then(Json::as_obj)
+        .and_then(|t| t.get("in_flight"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0) as u64;
+    obs.max_in_flight = obs.max_in_flight.max(in_flight);
 }
 
 #[derive(Default)]
@@ -134,7 +194,7 @@ struct PassResult {
     wall: Duration,
 }
 
-fn run_pass(addr: SocketAddr, opts: &Opts, faults: WireFaultPlan) -> PassResult {
+fn run_pass(addr: SocketAddr, opts: &Opts, faults: WireFaultPlan) -> (PassResult, ServerObs) {
     let retry = RetryPolicy {
         max_attempts: 8,
         base_backoff_ms: 10,
@@ -145,41 +205,71 @@ fn run_pass(addr: SocketAddr, opts: &Opts, faults: WireFaultPlan) -> PassResult 
         .with_retry(retry)
         .with_faults(faults)
         .with_read_timeout(Duration::from_secs(60));
+    // The scraper's client is chaos-free by construction (`admin_once`
+    // never consults the fault plan): the observer must not perturb
+    // what it observes.
+    let scrape_client = Client::new(addr).with_read_timeout(Duration::from_secs(10));
     let next = AtomicU64::new(1);
+    let lanes_done = AtomicBool::new(false);
     let shared: Mutex<PassResult> = Mutex::new(PassResult::default());
     let started = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..opts.concurrency {
-            scope.spawn(|| loop {
-                let id = next.fetch_add(1, Ordering::Relaxed);
-                if id > opts.requests {
-                    return;
+    let mut obs = std::thread::scope(|scope| {
+        let scraper = scope.spawn(|| {
+            let mut obs = ServerObs::default();
+            while !lanes_done.load(Ordering::SeqCst) {
+                match admin_body(&scrape_client, &AdminRequest::Health { id: 0 }) {
+                    Some(body) => observe_health(&body, &mut obs),
+                    None => obs.scrape_errors += 1,
                 }
-                let mut req = Request::new(id, format!("tenant-{}", id % 4), source_for(id));
-                req.deadline_ms = Some(10_000);
-                let t0 = Instant::now();
-                let outcome = client.request_with_retry(&req);
-                let ms = t0.elapsed().as_secs_f64() * 1e3;
-                let mut result = shared.lock().unwrap();
-                result.latencies_ms.push(ms);
-                match outcome {
-                    Ok((resp, attempts)) => {
-                        result.retries_total += u64::from(attempts - 1);
-                        result.completed.insert(id, comparable(&resp));
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            obs
+        });
+        let lanes: Vec<_> = (0..opts.concurrency)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let id = next.fetch_add(1, Ordering::Relaxed);
+                    if id > opts.requests {
+                        return;
                     }
-                    Err(e) => {
-                        result.failed.insert(id, e.to_string());
+                    let mut req = Request::new(id, format!("tenant-{}", id % 4), source_for(id));
+                    req.deadline_ms = Some(10_000);
+                    let t0 = Instant::now();
+                    let outcome = client.request_with_retry(&req);
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let mut result = shared.lock().unwrap();
+                    result.latencies_ms.push(ms);
+                    match outcome {
+                        Ok((resp, attempts)) => {
+                            result.retries_total += u64::from(attempts - 1);
+                            result.completed.insert(id, comparable(&resp));
+                        }
+                        Err(e) => {
+                            result.failed.insert(id, e.to_string());
+                        }
                     }
-                }
-            });
+                })
+            })
+            .collect();
+        for lane in lanes {
+            let _ = lane.join();
         }
+        lanes_done.store(true, Ordering::SeqCst);
+        scraper.join().unwrap_or_default()
     });
     let mut result = shared.into_inner().unwrap();
     result.wall = started.elapsed();
     result
         .latencies_ms
         .sort_by(|a, b| a.partial_cmp(b).unwrap());
-    result
+    // The final observation: with the lanes drained, record phase
+    // attribution and the settled per-tenant ledger.
+    obs.final_metrics = admin_body(&scrape_client, &AdminRequest::Metrics { id: 0 });
+    obs.final_health = admin_body(&scrape_client, &AdminRequest::Health { id: 0 });
+    if let Some(body) = obs.final_health.clone() {
+        observe_health(&body, &mut obs);
+    }
+    (result, obs)
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -260,6 +350,106 @@ impl Embedded {
     }
 }
 
+/// The gate's conservation leg: at least one successful mid-run
+/// observation, zero violating observations, and a conserved final
+/// ledger.
+fn check_obs(label: &str, obs: &ServerObs, gate_failures: &mut Vec<String>) {
+    if obs.scrapes == 0 {
+        gate_failures.push(format!(
+            "{}: telemetry plane never answered a health scrape ({} error(s))",
+            label, obs.scrape_errors
+        ));
+        return;
+    }
+    if obs.conserved_failures > 0 {
+        gate_failures.push(format!(
+            "{}: {} of {} health scrape(s) violated admitted == completed + refused + in_flight",
+            label, obs.conserved_failures, obs.scrapes
+        ));
+    }
+    if obs.final_metrics.is_none() || obs.final_health.is_none() {
+        gate_failures.push(format!("{}: final telemetry scrape failed", label));
+    }
+}
+
+/// The `server` block for one pass: scrape accounting, per-phase time
+/// attribution (count + total nanoseconds per `daenerysd.phase_nanos`
+/// phase label, summed over tenants), and the settled per-tenant
+/// ledger rows.
+fn server_json(label: &str, obs: &ServerObs) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "\"{}\":{{\"scrapes\":{},\"scrape_errors\":{},\"conserved_failures\":{},\
+         \"max_in_flight\":{},\"phases\":{{",
+        label, obs.scrapes, obs.scrape_errors, obs.conserved_failures, obs.max_in_flight,
+    );
+    let mut phases: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    if let Some(parsed) = obs.final_metrics.as_deref().and_then(|b| parse_json(b).ok()) {
+        let histograms = parsed
+            .as_obj()
+            .and_then(|o| o.get("histograms"))
+            .and_then(Json::as_arr)
+            .unwrap_or(&[]);
+        for h in histograms.iter().filter_map(Json::as_obj) {
+            if h.get("name").and_then(Json::as_str) != Some("daenerysd.phase_nanos") {
+                continue;
+            }
+            let Some(phase) = h
+                .get("labels")
+                .and_then(Json::as_obj)
+                .and_then(|l| l.get("phase"))
+                .and_then(Json::as_str)
+            else {
+                continue;
+            };
+            let count = h.get("count").and_then(Json::as_num).unwrap_or(0.0) as u64;
+            let nanos = h.get("sum").and_then(Json::as_num).unwrap_or(0.0) as u64;
+            let slot = phases.entry(phase.to_string()).or_insert((0, 0));
+            slot.0 += count;
+            slot.1 += nanos;
+        }
+    }
+    for (i, (phase, (count, nanos))) in phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{{\"count\":{},\"nanos\":{}}}",
+            daenerys_obs::json::escape(phase),
+            count,
+            nanos
+        );
+    }
+    out.push_str("},\"tenants\":{");
+    let tenants = obs
+        .final_health
+        .as_deref()
+        .and_then(|b| parse_json(b).ok())
+        .and_then(|parsed| {
+            parsed
+                .as_obj()
+                .and_then(|o| o.get("tenants"))
+                .and_then(Json::as_obj)
+                .cloned()
+        })
+        .unwrap_or_default();
+    for (i, (tenant, row)) in tenants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{}",
+            daenerys_obs::json::escape(tenant),
+            row.render()
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
 fn check_snapshot(label: &str, snap: &MetricsSnapshot, gate_failures: &mut Vec<String>) {
     if snap.leaked_sessions != 0 {
         gate_failures.push(format!(
@@ -287,13 +477,14 @@ fn main() -> ExitCode {
     let mut gate_failures: Vec<String> = Vec::new();
     let mut snapshots = String::new();
 
-    let (clean, chaos) = match opts.addr {
+    let (clean, clean_obs, chaos, chaos_obs) = match opts.addr {
         Some(addr) => {
             // External daemon: both passes against it; daemon-side
-            // invariants are the smoke script's job.
-            let clean = run_pass(addr, &opts, WireFaultPlan::none());
-            let chaos = run_pass(addr, &opts, chaos_plan);
-            (clean, chaos)
+            // invariants are the smoke script's job (conservation is
+            // still gated here, via the scrapes).
+            let (clean, clean_obs) = run_pass(addr, &opts, WireFaultPlan::none());
+            let (chaos, chaos_obs) = run_pass(addr, &opts, chaos_plan);
+            (clean, clean_obs, chaos, chaos_obs)
         }
         None => {
             let daemon = match embed("clean") {
@@ -303,7 +494,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let clean = run_pass(daemon.addr, &opts, WireFaultPlan::none());
+            let (clean, clean_obs) = run_pass(daemon.addr, &opts, WireFaultPlan::none());
             match daemon.stop(opts.keep_store) {
                 Ok(snap) => {
                     check_snapshot("fault_free", &snap, &mut gate_failures);
@@ -318,7 +509,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let chaos = run_pass(daemon.addr, &opts, chaos_plan);
+            let (chaos, chaos_obs) = run_pass(daemon.addr, &opts, chaos_plan);
             match daemon.stop(opts.keep_store) {
                 Ok(snap) => {
                     check_snapshot("chaos", &snap, &mut gate_failures);
@@ -326,9 +517,11 @@ fn main() -> ExitCode {
                 }
                 Err(e) => gate_failures.push(format!("chaos: {}", e)),
             }
-            (clean, chaos)
+            (clean, clean_obs, chaos, chaos_obs)
         }
     };
+    check_obs("fault_free", &clean_obs, &mut gate_failures);
+    check_obs("chaos", &chaos_obs, &mut gate_failures);
 
     // Gate: both passes complete the whole corpus (retry absorbs every
     // injected fault), and completed chaos verdicts are bit-identical.
@@ -382,6 +575,12 @@ fn main() -> ExitCode {
     json.push_str(&pass_json("fault_free", &clean));
     json.push(',');
     json.push_str(&pass_json("chaos", &chaos));
+    let _ = write!(
+        json,
+        ",\"server\":{{{},{}}}",
+        server_json("fault_free", &clean_obs),
+        server_json("chaos", &chaos_obs),
+    );
     let _ = write!(
         json,
         ",\"gate\":{{\"passed\":{},\"bit_identical\":{},\"failures\":{}}}",

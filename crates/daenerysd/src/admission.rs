@@ -75,10 +75,20 @@ impl TenantPolicy {
 }
 
 /// Live accounting for one tenant.
+///
+/// Beyond the envelope counters the state carries a *conservation
+/// ledger*: `admitted` (requests presented to admission control),
+/// `refused`, and `completed` (tickets released). All three live under
+/// the same mutex as the envelope, so at any instant the invariant
+/// `admitted == completed + refused + in_flight` holds exactly — the
+/// telemetry plane scrapes and CI gates on it.
 #[derive(Default, Debug)]
 struct TenantState {
     in_flight: usize,
     fuel_in_flight: u64,
+    admitted: u64,
+    refused: u64,
+    completed: u64,
 }
 
 /// The admission controller: one policy, per-tenant accounting.
@@ -119,7 +129,9 @@ impl Admission {
         let fuel = self.policy.billed_fuel(solver_fuel);
         let mut tenants = lock(&self.tenants);
         let state = tenants.entry(tenant.to_string()).or_default();
+        state.admitted = state.admitted.saturating_add(1);
         if state.in_flight >= self.policy.max_in_flight {
+            state.refused = state.refused.saturating_add(1);
             return Err(format!(
                 "tenant {:?} is over its in-flight cap ({})",
                 tenant, self.policy.max_in_flight
@@ -127,6 +139,7 @@ impl Admission {
         }
         if let Some(cap) = self.policy.max_fuel_in_flight {
             if state.fuel_in_flight.saturating_add(fuel) > cap {
+                state.refused = state.refused.saturating_add(1);
                 return Err(format!(
                     "tenant {:?} is over its aggregate fuel envelope ({} + {} > {})",
                     tenant, state.fuel_in_flight, fuel, cap
@@ -157,7 +170,84 @@ impl Admission {
         if let Some(state) = tenants.get_mut(tenant) {
             state.in_flight = state.in_flight.saturating_sub(1);
             state.fuel_in_flight = state.fuel_in_flight.saturating_sub(fuel);
+            state.completed = state.completed.saturating_add(1);
         }
+    }
+
+    /// A point-in-time snapshot of the conservation ledger, taken
+    /// under the one accounting lock so the invariant
+    /// `admitted == completed + refused + in_flight` holds exactly for
+    /// every tenant (and therefore in aggregate).
+    pub fn stats(&self) -> AdmissionStats {
+        let tenants = lock(&self.tenants);
+        let mut per_tenant: Vec<TenantStats> = tenants
+            .iter()
+            .map(|(name, s)| TenantStats {
+                tenant: name.clone(),
+                admitted: s.admitted,
+                refused: s.refused,
+                completed: s.completed,
+                in_flight: s.in_flight as u64,
+                fuel_in_flight: s.fuel_in_flight,
+            })
+            .collect();
+        per_tenant.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        let mut total = TenantStats {
+            tenant: String::new(),
+            ..TenantStats::default()
+        };
+        for t in &per_tenant {
+            total.admitted = total.admitted.saturating_add(t.admitted);
+            total.refused = total.refused.saturating_add(t.refused);
+            total.completed = total.completed.saturating_add(t.completed);
+            total.in_flight = total.in_flight.saturating_add(t.in_flight);
+            total.fuel_in_flight = total.fuel_in_flight.saturating_add(t.fuel_in_flight);
+        }
+        AdmissionStats { total, per_tenant }
+    }
+}
+
+/// One tenant's row in the conservation ledger.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TenantStats {
+    /// The tenant name (empty for the aggregate row).
+    pub tenant: String,
+    /// Requests presented to admission control (admitted or refused).
+    pub admitted: u64,
+    /// Requests refused at admission.
+    pub refused: u64,
+    /// Admitted requests whose ticket has been released.
+    pub completed: u64,
+    /// Admitted requests still holding their ticket.
+    pub in_flight: u64,
+    /// Aggregate solver fuel held by in-flight requests.
+    pub fuel_in_flight: u64,
+}
+
+impl TenantStats {
+    /// The conservation invariant for this row.
+    pub fn conserved(&self) -> bool {
+        self.admitted
+            == self
+                .completed
+                .saturating_add(self.refused)
+                .saturating_add(self.in_flight)
+    }
+}
+
+/// A consistent snapshot of the whole conservation ledger.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AdmissionStats {
+    /// The aggregate row (tenant name empty).
+    pub total: TenantStats,
+    /// Per-tenant rows, tenant-name order.
+    pub per_tenant: Vec<TenantStats>,
+}
+
+impl AdmissionStats {
+    /// True when every row (aggregate and per-tenant) conserves.
+    pub fn conserved(&self) -> bool {
+        self.total.conserved() && self.per_tenant.iter().all(TenantStats::conserved)
     }
 }
 
@@ -233,6 +323,43 @@ mod tests {
         let b = policy.effective_budget(Some(100), Some(7));
         assert_eq!(b.deadline_ms, Some(100));
         assert_eq!(b.solver_fuel, Some(7));
+    }
+
+    #[test]
+    fn ledger_conserves_under_concurrent_churn() {
+        let adm = Admission::new(TenantPolicy {
+            max_in_flight: 2,
+            ..TenantPolicy::default()
+        });
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let adm = Arc::clone(&adm);
+            handles.push(std::thread::spawn(move || {
+                let tenant = if i % 2 == 0 { "even" } else { "odd" };
+                for _ in 0..200 {
+                    let ticket = adm.try_admit(tenant, None);
+                    // Scrapes racing admits/releases must still see a
+                    // conserved ledger: the snapshot is atomic.
+                    let stats = adm.stats();
+                    assert!(stats.conserved(), "mid-churn: {:?}", stats);
+                    drop(ticket);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = adm.stats();
+        assert!(stats.conserved());
+        assert_eq!(stats.total.admitted, 800);
+        assert_eq!(stats.total.in_flight, 0);
+        assert_eq!(
+            stats.total.completed + stats.total.refused,
+            800,
+            "every presented request ended refused or completed"
+        );
+        assert_eq!(stats.per_tenant.len(), 2);
+        assert!(stats.per_tenant.iter().all(|t| t.admitted == 400));
     }
 
     #[test]

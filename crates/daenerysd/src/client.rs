@@ -8,7 +8,9 @@
 //! unaffected requests' verdicts against a fault-free run.
 
 use crate::chaos::{splitmix64, WireFault, WireFaultPlan};
-use crate::protocol::{read_frame, write_frame, ErrorCode, FrameError, Request, Response};
+use crate::protocol::{
+    read_frame, write_frame, AdminRequest, ErrorCode, FrameError, Request, Response,
+};
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
@@ -222,6 +224,25 @@ impl Client {
         }
     }
 
+    /// One admin-plane request on a fresh connection, chaos-free (the
+    /// telemetry plane is the observer — scrapes are never faulted).
+    ///
+    /// # Errors
+    ///
+    /// Any transport/decode failure.
+    pub fn admin_once(&self, req: &AdminRequest) -> Result<Response, ClientError> {
+        let stream = TcpStream::connect(self.addr).map_err(ClientError::Io)?;
+        stream
+            .set_read_timeout(Some(self.read_timeout))
+            .map_err(ClientError::Io)?;
+        let _ = stream.set_nodelay(true);
+        let mut w = &stream;
+        write_frame(&mut w, req.encode().as_bytes()).map_err(ClientError::Io)?;
+        let mut reader = stream;
+        let payload = read_frame(&mut reader, |_| true).map_err(ClientError::Frame)?;
+        Response::decode(&payload).map_err(ClientError::Decode)
+    }
+
     /// Sends with retry: failed transports, chaos-faulted sends,
     /// transient error responses, and admission refusals all back off
     /// and retry until a definitive response or the attempt budget
@@ -252,6 +273,12 @@ impl Client {
                 }
                 Ok(Response::Err { code, message, .. }) => {
                     last = format!("{}: {}", code.name(), message);
+                }
+                // A verify request can never legitimately be answered
+                // with an admin frame; treat it as a transient wire
+                // mixup and retry.
+                Ok(Response::Admin { kind, .. }) => {
+                    last = format!("unexpected admin response ({})", kind);
                 }
                 Err(e) => last = e.to_string(),
             }

@@ -11,7 +11,11 @@
 //! bounded queues, a graceful SIGTERM drain ([`server`]), and a
 //! deterministic wire-level chaos plan ([`chaos`]) that the test suite
 //! and the replay client ([`client`]) drive against the full fault
-//! matrix.
+//! matrix. A live telemetry plane ([`telemetry`]) serves labeled
+//! metrics, health (with the admission conservation ledger), and a
+//! bounded per-tenant trace tail over admin frames on the same
+//! listener — exempt from admission, so observability survives
+//! saturation.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -21,11 +25,14 @@ pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
-pub use admission::{Admission, AdmitTicket, TenantPolicy};
+pub use admission::{Admission, AdmissionStats, AdmitTicket, TenantPolicy, TenantStats};
 pub use chaos::{splitmix64, WireFault, WireFaultPlan};
 pub use client::{Client, RetryPolicy};
 pub use protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, Request, Response, WireVerdict,
+    read_frame, write_frame, AdminRequest, ErrorCode, Frame, FrameError, Request, Response,
+    WireVerdict,
 };
 pub use server::{MetricsSnapshot, Server, ServerConfig};
+pub use telemetry::{Telemetry, TelemetrySink, TraceRing, TraceTailPage};

@@ -8,17 +8,23 @@ use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
-/// SIGTERM/SIGINT land here via the raw `signal(2)` shim — no libc
-/// crate in the image, and the handler body is just an atomic store,
-/// which is async-signal-safe.
+/// SIGTERM/SIGINT/SIGUSR1 land here via the raw `signal(2)` shim — no
+/// libc crate in the image, and each handler body is just an atomic
+/// store, which is async-signal-safe. SIGUSR1 requests a live metrics
+/// snapshot (printed by the accept loop) without stopping the daemon.
 #[cfg(unix)]
 mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     pub static TERM: AtomicBool = AtomicBool::new(false);
+    pub static USR1: AtomicBool = AtomicBool::new(false);
 
     extern "C" fn on_term(_signum: i32) {
         TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_usr1(_signum: i32) {
+        USR1.store(true, Ordering::SeqCst);
     }
 
     extern "C" {
@@ -26,12 +32,15 @@ mod sig {
     }
 
     const SIGINT: i32 = 2;
+    // Linux numbering; this shim only compiles on the unix image.
+    const SIGUSR1: i32 = 10;
     const SIGTERM: i32 = 15;
 
     pub fn install() {
         unsafe {
             signal(SIGTERM, on_term);
             signal(SIGINT, on_term);
+            signal(SIGUSR1, on_usr1);
         }
     }
 }
@@ -41,6 +50,7 @@ mod sig {
     use std::sync::atomic::AtomicBool;
 
     pub static TERM: AtomicBool = AtomicBool::new(false);
+    pub static USR1: AtomicBool = AtomicBool::new(false);
 
     pub fn install() {}
 }
@@ -129,7 +139,11 @@ fn main() -> ExitCode {
     }
     sig::install();
     let shutdown = server.shutdown_flag();
+    let snapshot_flag = server.snapshot_flag();
     std::thread::spawn(move || loop {
+        if sig::USR1.swap(false, Ordering::SeqCst) {
+            snapshot_flag.store(true, Ordering::SeqCst);
+        }
         if sig::TERM.load(Ordering::SeqCst) {
             shutdown.store(true, Ordering::SeqCst);
             return;

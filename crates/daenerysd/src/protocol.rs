@@ -300,6 +300,115 @@ impl Request {
     }
 }
 
+/// One admin-plane request, as carried in a frame payload.
+///
+/// Admin frames share the DAE1 framing and listener with verification
+/// requests but are distinguished by an `"admin"` key in the payload
+/// (see [`Frame::decode`]). They are answered directly by the session
+/// reader — never queued behind verification work and **exempt from
+/// tenant admission** — so the telemetry plane stays responsive
+/// exactly when every tenant budget is saturated.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AdminRequest {
+    /// Scrape the labeled metrics registry (JSON snapshot).
+    Metrics {
+        /// Client-chosen id echoed on the response.
+        id: u64,
+    },
+    /// Liveness/health: uptime, per-tenant in-flight, refusals, drain
+    /// state, and the admission conservation ledger.
+    Health {
+        /// Client-chosen id echoed on the response.
+        id: u64,
+    },
+    /// Tail the bounded ring of recent trace events.
+    TraceTail {
+        /// Client-chosen id echoed on the response.
+        id: u64,
+        /// Only events with `seq > after_seq` are returned (0 tails
+        /// from the oldest retained event).
+        after_seq: u64,
+        /// At most this many events (server-clamped).
+        max: u64,
+    },
+}
+
+impl AdminRequest {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            AdminRequest::Metrics { id }
+            | AdminRequest::Health { id }
+            | AdminRequest::TraceTail { id, .. } => *id,
+        }
+    }
+
+    /// The wire name of this admin request kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdminRequest::Metrics { .. } => "metrics",
+            AdminRequest::Health { .. } => "health",
+            AdminRequest::TraceTail { .. } => "trace_tail",
+        }
+    }
+
+    /// Encodes the admin request as single-line JSON.
+    pub fn encode(&self) -> String {
+        match self {
+            AdminRequest::Metrics { id } => format!("{{\"id\":{},\"admin\":\"metrics\"}}", id),
+            AdminRequest::Health { id } => format!("{{\"id\":{},\"admin\":\"health\"}}", id),
+            AdminRequest::TraceTail { id, after_seq, max } => format!(
+                "{{\"id\":{},\"admin\":\"trace_tail\",\"after_seq\":{},\"max\":{}}}",
+                id, after_seq, max
+            ),
+        }
+    }
+}
+
+/// Any decoded inbound frame: a verification request or an admin
+/// request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Frame {
+    /// A verification request (admission-controlled, queued to a
+    /// worker).
+    Verify(Request),
+    /// An admin-plane request (answered inline by the reader).
+    Admin(AdminRequest),
+}
+
+impl Frame {
+    /// Decodes an inbound payload, branching on the `"admin"` key:
+    /// payloads carrying one decode as [`AdminRequest`], everything
+    /// else decodes as a verification [`Request`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem.
+    pub fn decode(payload: &[u8]) -> Result<Frame, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let json = parse_json(text).map_err(|e| format!("payload is not JSON: {}", e))?;
+        let obj = json.as_obj().ok_or("payload is not a JSON object")?;
+        let Some(admin) = obj.get("admin") else {
+            return Request::decode(payload).map(Frame::Verify);
+        };
+        let num = |key: &str| -> Option<u64> {
+            let n = obj.get(key)?.as_num()?;
+            (n >= 0.0 && n.fract() == 0.0).then_some(n as u64)
+        };
+        let id = num("id").ok_or("missing/invalid \"id\"")?;
+        match admin.as_str().ok_or("\"admin\" must be a string")? {
+            "metrics" => Ok(Frame::Admin(AdminRequest::Metrics { id })),
+            "health" => Ok(Frame::Admin(AdminRequest::Health { id })),
+            "trace_tail" => Ok(Frame::Admin(AdminRequest::TraceTail {
+                id,
+                after_seq: num("after_seq").unwrap_or(0),
+                max: num("max").unwrap_or(u64::MAX),
+            })),
+            other => Err(format!("unknown admin request {:?}", other)),
+        }
+    }
+}
+
 /// Machine-readable error class on an error response.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ErrorCode {
@@ -404,15 +513,29 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// An admin-plane answer. The body is a self-contained JSON
+    /// document carried as a *string* value on the wire, so the frame
+    /// roundtrips losslessly regardless of what the body contains
+    /// (clients re-parse it with [`daenerys_obs::parse_json`]).
+    Admin {
+        /// Echo of the admin request id.
+        id: u64,
+        /// Which admin request this answers (`metrics`, `health`,
+        /// `trace_tail`).
+        kind: String,
+        /// The JSON document answering the request.
+        body: String,
+    },
 }
 
 impl Response {
     /// The echoed request id.
     pub fn id(&self) -> u64 {
         match self {
-            Response::Ok { id, .. } | Response::Refused { id, .. } | Response::Err { id, .. } => {
-                *id
-            }
+            Response::Ok { id, .. }
+            | Response::Refused { id, .. }
+            | Response::Err { id, .. }
+            | Response::Admin { id, .. } => *id,
         }
     }
 
@@ -459,6 +582,15 @@ impl Response {
                     id,
                     code.name(),
                     esc(message)
+                );
+            }
+            Response::Admin { id, kind, body } => {
+                let _ = write!(
+                    out,
+                    "{{\"id\":{},\"status\":\"admin\",\"kind\":\"{}\",\"body\":\"{}\"}}",
+                    id,
+                    esc(kind),
+                    esc(body)
                 );
             }
         }
@@ -537,6 +669,19 @@ impl Response {
                     .get("message")
                     .and_then(|m| m.as_str())
                     .unwrap_or_default()
+                    .to_string(),
+            }),
+            "admin" => Ok(Response::Admin {
+                id,
+                kind: obj
+                    .get("kind")
+                    .and_then(|k| k.as_str())
+                    .ok_or("missing admin \"kind\"")?
+                    .to_string(),
+                body: obj
+                    .get("body")
+                    .and_then(|b| b.as_str())
+                    .ok_or("missing admin \"body\"")?
                     .to_string(),
             }),
             other => Err(format!("unknown status {:?}", other)),
@@ -672,6 +817,45 @@ mod tests {
             message: "payload is not JSON: ...".to_string(),
         };
         assert_eq!(Response::decode(err.encode().as_bytes()).unwrap(), err);
+    }
+
+    #[test]
+    fn admin_frames_roundtrip_and_branch() {
+        for req in [
+            AdminRequest::Metrics { id: 1 },
+            AdminRequest::Health { id: 2 },
+            AdminRequest::TraceTail {
+                id: 3,
+                after_seq: 17,
+                max: 64,
+            },
+        ] {
+            match Frame::decode(req.encode().as_bytes()).unwrap() {
+                Frame::Admin(decoded) => assert_eq!(decoded, req),
+                Frame::Verify(_) => panic!("admin payload decoded as verify"),
+            }
+        }
+        // A plain verification request still branches to Verify.
+        let verify = Request::new(9, "t", "method m() {}");
+        match Frame::decode(verify.encode().as_bytes()).unwrap() {
+            Frame::Verify(decoded) => assert_eq!(decoded, verify),
+            Frame::Admin(_) => panic!("verify payload decoded as admin"),
+        }
+        assert!(Frame::decode(b"{\"id\":1,\"admin\":\"nope\"}").is_err());
+        assert!(Frame::decode(b"{\"admin\":\"metrics\"}").is_err(), "no id");
+
+        // The admin response carries an arbitrary JSON body losslessly.
+        let admin = Response::Admin {
+            id: 5,
+            kind: "metrics".to_string(),
+            body: "{\"counters\":[{\"name\":\"a\\\"b\",\"value\":1}]}".to_string(),
+        };
+        let decoded = Response::decode(admin.encode().as_bytes()).unwrap();
+        assert_eq!(decoded, admin);
+        let Response::Admin { body, .. } = decoded else {
+            unreachable!()
+        };
+        daenerys_obs::parse_json(&body).expect("body re-parses as JSON");
     }
 
     #[test]

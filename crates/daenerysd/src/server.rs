@@ -24,13 +24,15 @@
 use crate::admission::{Admission, AdmitTicket, TenantPolicy};
 use crate::chaos::{WireFault, WireFaultPlan};
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, Request, Response, WireVerdict,
+    read_frame, write_frame, AdminRequest, ErrorCode, Frame, FrameError, Request, Response,
+    WireVerdict,
 };
+use crate::telemetry::{Telemetry, DEFAULT_RING_CAP};
 use daenerys_idf::exec::Backend;
 use daenerys_idf::exec::VerifierConfig;
 use daenerys_idf::parser::DEFAULT_MAX_ERRORS;
 use daenerys_idf::session::{SessionError, SessionHost, VerifyRequest};
-use daenerys_obs::{TraceHandle, Value};
+use daenerys_obs::{ClockKind, Labels, TraceHandle, Value};
 use std::fmt::Write as _;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -64,6 +66,15 @@ pub struct ServerConfig {
     /// Server-side wire-fault injection (tests): synthesizes framing
     /// faults at deterministic `(session, frame)` points.
     pub wire_faults: WireFaultPlan,
+    /// Serve the live telemetry plane (labeled metrics, trace ring,
+    /// admin frames). When on and `base.trace` is disabled, the daemon
+    /// installs its own monotonic trace pipeline feeding the telemetry
+    /// sink; an explicitly configured `base.trace` is left untouched
+    /// (its sink wins, and `metrics` scrapes still serve the labeled
+    /// registry).
+    pub telemetry: bool,
+    /// Per-tenant trace-ring capacity (events) for `trace_tail`.
+    pub trace_ring_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +88,8 @@ impl Default for ServerConfig {
             frame_deadline_ms: 2_000,
             read_poll_ms: 25,
             wire_faults: WireFaultPlan::none(),
+            telemetry: true,
+            trace_ring_cap: DEFAULT_RING_CAP,
         }
     }
 }
@@ -92,6 +105,7 @@ struct Counters {
     requests_errored: AtomicU64,
     internal_crashes: AtomicU64,
     frame_errors: AtomicU64,
+    admin_frames: AtomicU64,
 }
 
 /// The final state of a drained daemon, emitted at shutdown (and, for
@@ -118,6 +132,10 @@ pub struct MetricsSnapshot {
     /// Framing failures (torn/garbage/oversized/slow-loris), each
     /// costing one session.
     pub frame_errors: u64,
+    /// Admin-plane frames answered (metrics/health/trace_tail) —
+    /// counted separately from `requests_received`, which stays a
+    /// verification-traffic measure.
+    pub admin_frames: u64,
     /// Entries in the verdict store after the final flush.
     pub store_entries: u64,
     /// Undecodable store lines skipped when the store was opened.
@@ -138,6 +156,7 @@ impl MetricsSnapshot {
             ("requests_errored", self.requests_errored),
             ("internal_crashes", self.internal_crashes),
             ("frame_errors", self.frame_errors),
+            ("admin_frames", self.admin_frames),
             ("store_entries", self.store_entries),
             ("store_corrupt_lines", self.store_corrupt_lines),
         ];
@@ -158,7 +177,11 @@ struct Shared {
     host: SessionHost,
     admission: Arc<Admission>,
     trace: TraceHandle,
+    telemetry: Option<Arc<Telemetry>>,
     shutdown: Arc<AtomicBool>,
+    /// Set (by SIGUSR1 or a test) to make the accept loop print one
+    /// [`MetricsSnapshot`] without stopping.
+    snapshot_flag: Arc<AtomicBool>,
     counters: Counters,
     queue_cap: usize,
     frame_deadline: Duration,
@@ -188,15 +211,28 @@ impl Server {
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
-        let trace = config.base.trace.clone();
-        let host = SessionHost::new(config.backend, config.base);
+        let telemetry = config
+            .telemetry
+            .then(|| Telemetry::new(config.trace_ring_cap));
+        let mut base = config.base;
+        if let Some(t) = &telemetry {
+            // Tee the trace pipeline into the telemetry plane — but
+            // only when the operator didn't wire their own sink.
+            if !base.trace.is_enabled() {
+                base.trace = TraceHandle::new(Arc::new(t.sink()), ClockKind::Monotonic);
+            }
+        }
+        let trace = base.trace.clone();
+        let host = SessionHost::new(config.backend, base);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 host,
                 admission: Admission::new(config.policy),
                 trace,
+                telemetry,
                 shutdown: Arc::new(AtomicBool::new(false)),
+                snapshot_flag: Arc::new(AtomicBool::new(false)),
                 counters: Counters::default(),
                 queue_cap: config.queue_cap.max(1),
                 frame_deadline: Duration::from_millis(config.frame_deadline_ms.max(1)),
@@ -219,6 +255,19 @@ impl Server {
     /// test) and [`Server::run`] drains and returns.
     pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shared.shutdown)
+    }
+
+    /// The snapshot flag: set it (the SIGUSR1 bridge, or a test) and
+    /// the accept loop prints one `daenerysd snapshot {…}` line to
+    /// stdout without stopping, then clears the flag.
+    pub fn snapshot_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shared.snapshot_flag)
+    }
+
+    /// The live telemetry plane, when enabled (embedded harnesses
+    /// scrape it in-process instead of over the wire).
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.shared.telemetry.clone()
     }
 
     /// Serves until shutdown, then drains in-flight sessions, flushes
@@ -260,6 +309,9 @@ impl Server {
                 // descriptor pressure) must not kill the daemon.
                 Err(_) => std::thread::sleep(self.shared.read_poll),
             }
+            if self.shared.snapshot_flag.swap(false, Ordering::SeqCst) {
+                println!("daenerysd snapshot {}", self.snapshot().to_json());
+            }
             sessions.retain(|h| !h.is_finished());
         }
         // Drain: the flag stops readers at the next frame boundary;
@@ -286,6 +338,7 @@ impl Server {
             requests_errored: c.requests_errored.load(Ordering::SeqCst),
             internal_crashes: c.internal_crashes.load(Ordering::SeqCst),
             frame_errors: c.frame_errors.load(Ordering::SeqCst),
+            admin_frames: c.admin_frames.load(Ordering::SeqCst),
             store_entries: self.shared.host.store_len() as u64,
             store_corrupt_lines: self.shared.host.store_corrupt_lines() as u64,
         }
@@ -353,12 +406,21 @@ fn session_loop(shared: &Arc<Shared>, stream: TcpStream, sid: u64) {
         match result {
             Ok(payload) => {
                 frames += 1;
-                shared
-                    .counters
-                    .requests_received
-                    .fetch_add(1, Ordering::Relaxed);
-                match Request::decode(&payload) {
+                match Frame::decode(&payload) {
+                    // Admin frames are answered inline by the reader:
+                    // never queued behind verification work, never
+                    // admission-controlled — the telemetry plane keeps
+                    // answering while every tenant budget is saturated
+                    // and while the worker queue is full.
+                    Ok(Frame::Admin(areq)) => {
+                        shared.counters.admin_frames.fetch_add(1, Ordering::Relaxed);
+                        respond(&writer, &admin_response(shared, &areq));
+                    }
                     Err(message) => {
+                        shared
+                            .counters
+                            .requests_received
+                            .fetch_add(1, Ordering::Relaxed);
                         shared
                             .counters
                             .requests_errored
@@ -374,7 +436,11 @@ fn session_loop(shared: &Arc<Shared>, stream: TcpStream, sid: u64) {
                             },
                         );
                     }
-                    Ok(req) => {
+                    Ok(Frame::Verify(req)) => {
+                        shared
+                            .counters
+                            .requests_received
+                            .fetch_add(1, Ordering::Relaxed);
                         if shared.shutdown.load(Ordering::SeqCst) {
                             shared
                                 .counters
@@ -396,6 +462,13 @@ fn session_loop(shared: &Arc<Shared>, stream: TcpStream, sid: u64) {
                                     .counters
                                     .requests_refused
                                     .fetch_add(1, Ordering::Relaxed);
+                                if let Some(t) = &shared.telemetry {
+                                    t.registry().add(
+                                        "daenerysd.refused",
+                                        &Labels::none().with("tenant", &req.tenant),
+                                        1,
+                                    );
+                                }
                                 // Refused immediately — never queued.
                                 respond(&writer, &Response::Refused { id: req.id, detail });
                             }
@@ -443,15 +516,23 @@ fn worker_loop(shared: &Arc<Shared>, rx: Receiver<Job>, writer: &Arc<Mutex<TcpSt
         reqno += 1;
         let response = process(shared, &job.req, sid, reqno);
         match &response {
-            Response::Ok { .. } => shared.counters.responses_ok.fetch_add(1, Ordering::Relaxed),
-            Response::Refused { .. } => shared
-                .counters
-                .requests_refused
-                .fetch_add(1, Ordering::Relaxed),
-            Response::Err { .. } => shared
-                .counters
-                .requests_errored
-                .fetch_add(1, Ordering::Relaxed),
+            Response::Ok { .. } => {
+                shared.counters.responses_ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Refused { .. } => {
+                shared
+                    .counters
+                    .requests_refused
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Err { .. } => {
+                shared
+                    .counters
+                    .requests_errored
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            // Admin responses are written by the reader, never queued.
+            Response::Admin { .. } => {}
         };
         // The ticket is released only now — after the verify — so the
         // tenant's envelope covered the whole run.
@@ -467,10 +548,36 @@ fn worker_loop(shared: &Arc<Shared>, rx: Receiver<Job>, writer: &Arc<Mutex<TcpSt
     }
 }
 
+/// Answers one admin frame from the telemetry plane (reader-side, see
+/// [`session_loop`]).
+fn admin_response(shared: &Arc<Shared>, req: &AdminRequest) -> Response {
+    let Some(t) = &shared.telemetry else {
+        return Response::Err {
+            id: req.id(),
+            code: ErrorCode::BadRequest,
+            message: "telemetry plane is disabled".to_string(),
+        };
+    };
+    let body = match req {
+        AdminRequest::Metrics { .. } => t.metrics_json(&shared.trace.metrics()),
+        AdminRequest::Health { .. } => t.health_json(
+            &shared.admission.stats(),
+            shared.shutdown.load(Ordering::SeqCst),
+        ),
+        AdminRequest::TraceTail { after_seq, max, .. } => t.ring().tail(*after_seq, *max).to_json(),
+    };
+    Response::Admin {
+        id: req.id(),
+        kind: req.kind().to_string(),
+        body,
+    }
+}
+
 /// Verifies one admitted request. Never panics: the whole request is
 /// behind `catch_unwind` (on top of the verifier's own per-method
 /// isolation), so the worst outcome is an `internal` error response.
 fn process(shared: &Arc<Shared>, req: &Request, sid: u64, reqno: u64) -> Response {
+    let started = Instant::now();
     let budget = shared
         .admission
         .policy()
@@ -488,16 +595,32 @@ fn process(shared: &Arc<Shared>, req: &Request, sid: u64, reqno: u64) -> Respons
         trace: Some(trace),
     };
     let session = shared.host.session();
-    match catch_unwind(AssertUnwindSafe(|| session.verify(&vreq))) {
-        Ok(Ok(outcome)) => Response::Ok {
-            id: req.id,
-            verdicts: outcome
-                .verdicts
-                .iter()
-                .map(|(name, v)| (name.clone(), WireVerdict::from_verdict(v)))
-                .collect(),
-            reverified: outcome.reverified.map(|n| n as u64),
-        },
+    let labels = Labels::none().with("tenant", &req.tenant);
+    let response = match catch_unwind(AssertUnwindSafe(|| session.verify(&vreq))) {
+        Ok(Ok(outcome)) => {
+            if let Some(t) = &shared.telemetry {
+                let reg = t.registry();
+                let s = &outcome.stats;
+                // Fuel proxy: the budget units both solver cores
+                // meter (CDCL conflicts/propagations, DPLL branches).
+                let fuel =
+                    (s.solver_conflicts + s.solver_propagations + s.solver_branches) as u64;
+                reg.record("daenerysd.fuel", &labels, fuel);
+                reg.add("daenerysd.cache_hits", &labels, s.cache_hits as u64);
+                reg.add("daenerysd.cache_misses", &labels, s.cache_misses as u64);
+                reg.add("daenerysd.solver_conflicts", &labels, s.solver_conflicts as u64);
+                reg.add("daenerysd.solver_restarts", &labels, s.solver_restarts as u64);
+            }
+            Response::Ok {
+                id: req.id,
+                verdicts: outcome
+                    .verdicts
+                    .iter()
+                    .map(|(name, v)| (name.clone(), WireVerdict::from_verdict(v)))
+                    .collect(),
+                reverified: outcome.reverified.map(|n| n as u64),
+            }
+        }
         Ok(Err(SessionError::Parse(errs))) => Response::Err {
             id: req.id,
             code: ErrorCode::Parse,
@@ -514,7 +637,26 @@ fn process(shared: &Arc<Shared>, req: &Request, sid: u64, reqno: u64) -> Respons
                 message: panic_message(&panic),
             }
         }
+    };
+    if let Some(t) = &shared.telemetry {
+        let reg = t.registry();
+        reg.add("daenerysd.requests", &labels, 1);
+        reg.record(
+            "daenerysd.latency_us",
+            &labels,
+            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
+        match &response {
+            Response::Ok { verdicts, .. } => {
+                for v in verdicts.values() {
+                    reg.add(&format!("daenerysd.verdict.{}", v.kind), &labels, 1);
+                }
+            }
+            Response::Err { .. } => reg.add("daenerysd.errors", &labels, 1),
+            Response::Refused { .. } | Response::Admin { .. } => {}
+        }
     }
+    response
 }
 
 /// Writes one response frame under the writer lock; false when the

@@ -1,0 +1,282 @@
+//! The telemetry plane, over real sockets: admin frames must answer
+//! while every tenant budget is saturated, scrapes must carry labeled
+//! per-tenant metrics with coherent quantiles, and the trace tail must
+//! stream events `trace_validate` accepts — all while the conservation
+//! ledger `admitted == completed + refused + in_flight` holds at every
+//! observation point.
+
+use daenerysd::client::{Client, ClientError, RetryPolicy};
+use daenerysd::protocol::{AdminRequest, Request, Response};
+use daenerysd::server::{MetricsSnapshot, Server, ServerConfig};
+use daenerys_obs::Json;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const GOOD: &str = "field val: Int
+method set(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1 { c.val := 1 }";
+
+fn test_config() -> ServerConfig {
+    let mut config = ServerConfig::default();
+    config.read_poll_ms = 5;
+    config
+}
+
+fn start(
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<MetricsSnapshot>,
+) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let flag = server.shutdown_flag();
+    (addr, flag, std::thread::spawn(move || server.run()))
+}
+
+fn stop(
+    flag: &Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<MetricsSnapshot>,
+) -> MetricsSnapshot {
+    flag.store(true, Ordering::SeqCst);
+    handle.join().expect("server thread")
+}
+
+/// Sends one admin frame and returns its parsed body.
+fn scrape(client: &Client, req: &AdminRequest) -> Json {
+    match client.admin_once(req).expect("admin frame answered") {
+        Response::Admin { id, kind, body } => {
+            assert_eq!(id, req.id(), "admin id echoes");
+            assert_eq!(kind, req.kind(), "admin kind echoes");
+            daenerys_obs::parse_json(&body).expect("admin body is JSON")
+        }
+        other => panic!("expected an admin response, got {:?}", other),
+    }
+}
+
+fn num(obj: &std::collections::BTreeMap<String, Json>, key: &str) -> f64 {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("missing numeric {:?} in {:?}", key, obj))
+}
+
+/// The headline acceptance property: with `max_in_flight = 0` every
+/// verification request is refused at admission — the tenant plane is
+/// fully saturated — yet all three admin frames keep answering on the
+/// same listener, and the ledger still conserves (refusals are counted,
+/// nothing leaks in flight).
+#[test]
+fn admin_frames_answer_while_tenant_budgets_saturated() {
+    let mut config = test_config();
+    config.policy.max_in_flight = 0;
+    let (addr, flag, handle) = start(config);
+    let client = Client::new(addr).with_retry(RetryPolicy {
+        max_attempts: 1,
+        ..RetryPolicy::default()
+    });
+
+    for id in 1..=4u64 {
+        match client.request_once(&Request::new(id, "acme", GOOD), 0) {
+            Ok(Response::Refused { id: rid, .. }) => assert_eq!(rid, id),
+            other => panic!("expected refusal under zero budget, got {:?}", other),
+        }
+    }
+    // And the retry path gives up without ever being admitted.
+    match client.request_with_retry(&Request::new(99, "acme", GOOD)) {
+        Err(ClientError::Exhausted { last, .. }) => {
+            assert!(last.contains("refused"), "last failure was a refusal: {}", last);
+        }
+        other => panic!("expected exhaustion, got {:?}", other),
+    }
+
+    // The telemetry plane still answers — admission never saw it.
+    let metrics = scrape(&client, &AdminRequest::Metrics { id: 7 });
+    let counters = metrics.as_obj().unwrap()["counters"].as_arr().unwrap();
+    let refused = counters
+        .iter()
+        .filter_map(Json::as_obj)
+        .find(|c| {
+            c["name"].as_str() == Some("daenerysd.refused")
+                && c["labels"].as_obj().and_then(|l| l["tenant"].as_str()) == Some("acme")
+        })
+        .expect("daenerysd.refused{tenant=acme} is stamped");
+    assert_eq!(num(refused, "value"), 5.0, "one bump per refusal");
+
+    let health = scrape(&client, &AdminRequest::Health { id: 8 });
+    let health = health.as_obj().unwrap();
+    assert_eq!(health["conserved"], Json::Bool(true));
+    assert_eq!(health["draining"], Json::Bool(false));
+    let acme = health["tenants"].as_obj().unwrap()["acme"].as_obj().unwrap();
+    assert_eq!(num(acme, "admitted"), 5.0, "refusals still count as presented");
+    assert_eq!(num(acme, "refused"), 5.0);
+    assert_eq!(num(acme, "completed"), 0.0);
+    assert_eq!(num(acme, "in_flight"), 0.0);
+
+    let tail = scrape(
+        &client,
+        &AdminRequest::TraceTail {
+            id: 9,
+            after_seq: 0,
+            max: u64::MAX,
+        },
+    );
+    assert!(tail.as_obj().unwrap().contains_key("latest_seq"));
+
+    let snapshot = stop(&flag, handle);
+    assert_eq!(snapshot.requests_refused, 5);
+    assert_eq!(
+        snapshot.admin_frames, 3,
+        "admin frames counted on their own channel"
+    );
+    assert_eq!(
+        snapshot.requests_received, 5,
+        "scrapes never inflate the verification-traffic measure"
+    );
+    assert_eq!(snapshot.leaked_sessions, 0);
+}
+
+/// A real workload leaves per-tenant labels on every metric family and
+/// quantiles that are coherent (p50 ≤ p95 ≤ p99, count matches the
+/// traffic we actually sent).
+#[test]
+fn metrics_scrape_carries_tenant_labels_and_monotone_quantiles() {
+    let (addr, flag, handle) = start(test_config());
+    let client = Client::new(addr);
+
+    const N: u64 = 6;
+    for id in 1..=N {
+        let tenant = if id % 2 == 0 { "even" } else { "odd" };
+        let (resp, _) = client
+            .request_with_retry(&Request::new(id, tenant, GOOD))
+            .expect("verify succeeds");
+        assert!(matches!(resp, Response::Ok { .. }));
+    }
+
+    let metrics = scrape(&client, &AdminRequest::Metrics { id: 1 });
+    let obj = metrics.as_obj().unwrap();
+    let counters = obj["counters"].as_arr().unwrap();
+    let histograms = obj["histograms"].as_arr().unwrap();
+
+    let counter = |name: &str, tenant: &str| -> f64 {
+        counters
+            .iter()
+            .filter_map(Json::as_obj)
+            .find(|c| {
+                c["name"].as_str() == Some(name)
+                    && c["labels"].as_obj().and_then(|l| l["tenant"].as_str()) == Some(tenant)
+            })
+            .map(|c| num(c, "value"))
+            .unwrap_or_else(|| panic!("missing {}{{tenant={}}}", name, tenant))
+    };
+    assert_eq!(counter("daenerysd.requests", "even") as u64, N / 2);
+    assert_eq!(counter("daenerysd.requests", "odd") as u64, N.div_ceil(2));
+    assert_eq!(counter("daenerysd.verdict.verified", "even") as u64, N / 2);
+
+    for tenant in ["even", "odd"] {
+        let lat = histograms
+            .iter()
+            .filter_map(Json::as_obj)
+            .find(|h| {
+                h["name"].as_str() == Some("daenerysd.latency_us")
+                    && h["labels"].as_obj().and_then(|l| l["tenant"].as_str()) == Some(tenant)
+            })
+            .unwrap_or_else(|| panic!("missing latency histogram for {}", tenant));
+        let (p50, p95, p99) = (num(lat, "p50"), num(lat, "p95"), num(lat, "p99"));
+        assert!(p50 <= p95 && p95 <= p99, "{} ≤ {} ≤ {}", p50, p95, p99);
+        assert!(num(lat, "min") <= p50, "quantiles clamp to the observed range");
+        assert!(p99 <= num(lat, "max"), "quantiles clamp to the observed range");
+    }
+
+    // The run-global trace registry folds in under empty labels.
+    assert!(
+        counters
+            .iter()
+            .filter_map(Json::as_obj)
+            .any(|c| c["labels"].as_obj().is_some_and(std::collections::BTreeMap::is_empty)),
+        "unlabeled trace-layer counters fold into the scrape"
+    );
+
+    let snapshot = stop(&flag, handle);
+    assert_eq!(snapshot.responses_ok, N);
+}
+
+/// The trace tail pages events in seq order and every element is a
+/// standalone line the JSONL validator accepts — the scrape *is* a
+/// trace stream.
+#[test]
+fn trace_tail_streams_validatable_jsonl() {
+    let (addr, flag, handle) = start(test_config());
+    let client = Client::new(addr);
+    for id in 1..=3u64 {
+        client
+            .request_with_retry(&Request::new(id, "acme", GOOD))
+            .expect("verify succeeds");
+    }
+
+    let tail = scrape(
+        &client,
+        &AdminRequest::TraceTail {
+            id: 2,
+            after_seq: 0,
+            max: u64::MAX,
+        },
+    );
+    let obj = tail.as_obj().unwrap();
+    let events = obj["events"].as_arr().unwrap();
+    assert!(!events.is_empty(), "verification traffic leaves a trace");
+    let mut last_seq = 0.0;
+    let mut saw_tenant = false;
+    for event in events {
+        daenerys_obs::validate_event_line(&event.render())
+            .expect("tail element revalidates as one JSONL line");
+        let e = event.as_obj().unwrap();
+        let seq = num(e, "seq");
+        assert!(seq >= last_seq, "tail is seq-ordered");
+        last_seq = seq;
+        saw_tenant |= e["fields"].as_obj().and_then(|f| f.get("tenant")).is_some()
+            && e["fields"].as_obj().unwrap()["tenant"].as_str() == Some("acme");
+    }
+    assert!(saw_tenant, "request context stamps the tenant onto events");
+    assert!(num(obj, "latest_seq") >= last_seq);
+
+    // Cursor semantics: paging from the last seq returns only newer
+    // events (none, if the daemon is idle).
+    let after = scrape(
+        &client,
+        &AdminRequest::TraceTail {
+            id: 3,
+            after_seq: last_seq as u64,
+            max: u64::MAX,
+        },
+    );
+    for event in after.as_obj().unwrap()["events"].as_arr().unwrap() {
+        assert!(num(event.as_obj().unwrap(), "seq") > last_seq);
+    }
+
+    let snapshot = stop(&flag, handle);
+    assert_eq!(snapshot.leaked_sessions, 0);
+}
+
+/// Turning the plane off degrades scrapes to a typed error, not a hang
+/// or a protocol desync.
+#[test]
+fn disabled_telemetry_answers_with_a_typed_error() {
+    let mut config = test_config();
+    config.telemetry = false;
+    let (addr, flag, handle) = start(config);
+    let client = Client::new(addr);
+    match client.admin_once(&AdminRequest::Metrics { id: 4 }) {
+        Ok(Response::Err { id, message, .. }) => {
+            assert_eq!(id, 4);
+            assert!(message.contains("telemetry"), "{}", message);
+        }
+        other => panic!("expected a typed error, got {:?}", other),
+    }
+    // The session survives the rejected scrape: verify still works.
+    let (resp, _) = client
+        .request_with_retry(&Request::new(5, "acme", GOOD))
+        .expect("verify succeeds after rejected scrape");
+    assert!(matches!(resp, Response::Ok { .. }));
+    stop(&flag, handle);
+}

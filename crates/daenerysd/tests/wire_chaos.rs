@@ -131,6 +131,8 @@ fn comparable(resp: &Response) -> String {
         }
         Response::Refused { detail, .. } => format!("refused[{}]", detail),
         Response::Err { code, message, .. } => format!("err[{}:{}]", code.name(), message),
+        // Admin answers never flow through the verify replay lanes.
+        Response::Admin { kind, .. } => format!("admin[{}]", kind),
     }
 }
 

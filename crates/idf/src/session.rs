@@ -15,7 +15,7 @@
 //! concurrently, serializing only the brief store lookups/appends.
 
 use crate::budget::Budget;
-use crate::exec::{Backend, Verdict, Verifier, VerifierConfig};
+use crate::exec::{Backend, Verdict, Verifier, VerifierConfig, VerifyStats};
 use crate::parser::{parse_program_with_recovery_capped, ParseError, DEFAULT_MAX_ERRORS};
 use crate::store::VerdictStore;
 use std::collections::BTreeMap;
@@ -144,6 +144,12 @@ pub struct VerifyOutcome {
     /// Methods actually re-verified (not restored from the warm
     /// store); `None` when the host has no store.
     pub reverified: Option<usize>,
+    /// Request-wide aggregate of the per-method statistics (only
+    /// [`Verdict::Verified`] carries stats, so failed/unknown methods
+    /// contribute nothing) — the daemon's telemetry plane attributes
+    /// fuel/cache/solver rates per tenant from this without reaching
+    /// into individual verdicts.
+    pub stats: VerifyStats,
 }
 
 /// Why a request produced no verdicts at all.
@@ -203,9 +209,16 @@ impl Session<'_> {
             Some(store) => verifier.verify_all_verdicts_shared(store),
             None => verifier.verify_all_verdicts(),
         };
+        let mut stats = VerifyStats::default();
+        for v in verdicts.values() {
+            if let Verdict::Verified(s) = v {
+                stats.merge(s);
+            }
+        }
         Ok(VerifyOutcome {
             verdicts,
             reverified: verifier.methods_reverified(),
+            stats,
         })
     }
 }
@@ -236,6 +249,10 @@ method set(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1 { c.val 
         assert_eq!(out.verdicts.len(), 1);
         assert!(out.verdicts["set"].is_verified());
         assert_eq!(out.reverified, None);
+        assert!(
+            out.stats.obligations > 0,
+            "the aggregate carries the verified method's stats"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use crate::event::EventKind;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A schema violation or parse error in a trace line.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -75,6 +76,82 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Renders this value back to compact JSON (object keys in sorted
+    /// order, numbers with integral value printed without a fraction).
+    /// `render` ∘ [`parse`] is lossless for every value the obs layer
+    /// emits; non-finite numbers (unrepresentable in JSON) render as
+    /// `null`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{}", n);
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub(crate) fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Escapes `s` as a quoted JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::new();
+    escape_into(s, &mut out);
+    out
 }
 
 struct Parser<'a> {
@@ -410,6 +487,22 @@ mod tests {
             "{\"seq\":0,\"ts\":0,\"kind\":\"point\",\"name\":\"x\",\"fields\":{},\"extra\":1}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        for src in [
+            "{\"a\":1,\"b\":[true,null,\"x\\n\"],\"c\":{\"d\":-2.5}}",
+            "[0,9007199254740991,\"π \\u0007\"]",
+            "\"plain\"",
+        ] {
+            let v = parse(src).unwrap();
+            let rendered = v.render();
+            assert_eq!(parse(&rendered).unwrap(), v, "roundtrip of {}", src);
+            // Integers render without a fraction.
+            assert!(!Json::Num(3.0).render().contains('.'));
+        }
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
     }
 
     #[test]

@@ -28,12 +28,14 @@
 
 pub mod event;
 pub mod json;
+pub mod labels;
 pub mod metrics;
 pub mod sink;
 pub mod trace;
 
 pub use event::{Event, EventKind, Value};
 pub use json::{parse as parse_json, validate_event_line, Json, JsonError};
+pub use labels::{LabeledRegistry, Labels, SharedRegistry};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink, TextSink};
 pub use trace::{ClockKind, SpanToken, TraceCollector, TraceHandle};

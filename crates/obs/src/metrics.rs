@@ -42,23 +42,26 @@ impl Histogram {
         significant.min(HISTOGRAM_BUCKETS - 1)
     }
 
-    /// Records one sample.
+    /// Records one sample. All arithmetic saturates: a long-lived
+    /// daemon's histogram can pin at `u64::MAX` but never panic.
     pub fn record(&mut self, value: u64) {
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
-        self.buckets[Histogram::bucket_of(value)] += 1;
+        let b = &mut self.buckets[Histogram::bucket_of(value)];
+        *b = b.saturating_add(1);
     }
 
-    /// Folds another histogram into this one.
+    /// Folds another histogram into this one (saturating, never
+    /// panicking — see [`Histogram::record`]).
     pub fn merge(&mut self, other: &Histogram) {
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *b += o;
+            *b = b.saturating_add(*o);
         }
     }
 
@@ -69,6 +72,41 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) from the log₂ buckets.
+    ///
+    /// The estimate is the **bucket upper bound** of the bucket holding
+    /// the sample of rank `⌈q·count⌉`, clamped to `[min, max]`:
+    /// bucket 0 reports 0, bucket `i ≥ 1` reports `2^i − 1`, and the
+    /// overflow bucket reports `max`. The estimate therefore never errs
+    /// low and overshoots by strictly less than one bucket's width
+    /// (< 2×); it is exact for zeros, for the overflow bucket, and for
+    /// any single-valued histogram (the `[min, max]` clamp collapses
+    /// it). Because the rank, the bucket scan, and the clamp are all
+    /// monotone in `q`, `quantile(p) ≤ quantile(q)` whenever `p ≤ q`.
+    /// Returns 0 when the histogram is empty; a NaN `q` reads as 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen: u64 = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*b);
+            if seen >= rank {
+                let upper = if i == 0 {
+                    0
+                } else if i == HISTOGRAM_BUCKETS - 1 {
+                    self.max
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -100,9 +138,11 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.histograms.is_empty()
     }
 
-    /// Adds `delta` to the named counter.
+    /// Adds `delta` to the named counter (saturating — a long-lived
+    /// daemon pins at `u64::MAX` rather than panicking on overflow).
     pub fn add(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        let c = self.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(delta);
     }
 
     /// Records one sample into the named histogram.
@@ -128,11 +168,17 @@ impl MetricsRegistry {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
     /// Folds another registry into this one (counters add, histograms
-    /// merge).
+    /// merge; both saturating).
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+            let c = self.counters.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
         }
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
@@ -180,6 +226,83 @@ mod tests {
         assert_eq!(h.buckets[3], 2, "4..8");
         assert_eq!(h.buckets[4], 1, "8..16");
         assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1, "overflow bucket");
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_single_bucket_is_exact() {
+        // All samples equal: the [min, max] clamp makes every quantile
+        // exactly the sample value even mid-bucket.
+        let mut h = Histogram::default();
+        for _ in 0..10 {
+            h.record(5);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 5, "q={}", q);
+        }
+    }
+
+    #[test]
+    fn quantile_all_zeros_reports_zero() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.record(0);
+        }
+        assert_eq!(h.buckets[0], 100);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.95), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 3, 7, 12, 100, 1000, 65_000, 1 << 30, u64::MAX] {
+            h.record(v);
+        }
+        let qs: Vec<u64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "p ≤ q must give quantile(p) ≤ quantile(q)");
+        }
+        assert!(qs.iter().all(|v| *v >= h.min && *v <= h.max));
+        assert_eq!(h.quantile(1.0), h.max, "overflow bucket reports max");
+        // The bucket-upper-bound estimate never errs low: p50 of this
+        // set (true value 12) reports its bucket's upper bound 15.
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0), "NaN reads as 0");
+    }
+
+    #[test]
+    fn merges_saturate_instead_of_panicking() {
+        let mut a = MetricsRegistry::new();
+        a.add("c", u64::MAX - 1);
+        let mut b = MetricsRegistry::new();
+        b.add("c", u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), u64::MAX);
+        a.add("c", 7);
+        assert_eq!(a.counter("c"), u64::MAX);
+
+        let mut h = Histogram {
+            count: u64::MAX,
+            sum: u64::MAX,
+            min: 0,
+            max: 1,
+            buckets: [u64::MAX; HISTOGRAM_BUCKETS],
+        };
+        let other = h.clone();
+        h.merge(&other);
+        h.record(1);
+        assert_eq!(h.count, u64::MAX);
+        assert_eq!(h.buckets[1], u64::MAX);
     }
 
     #[test]

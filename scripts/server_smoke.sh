@@ -3,9 +3,17 @@
 # (full wire-fault matrix + a fault-free reference pass), SIGTERM, and
 # assert a graceful drain — the daemon exits 0 on its own, reports
 # zero leaked sessions, and leaves a flushed, uncorrupted verdict
-# store. The replay driver enforces the bit-identical chaos gate via
-# its own exit code. Artifacts: BENCH_server.json and the daemon's
-# final metrics snapshot under the output directory.
+# store. The replay driver enforces the bit-identical chaos gate AND
+# the admission conservation invariant (its mid-run health scrapes)
+# via its own exit code.
+#
+# The admin plane is smoked alongside: daenerys-top scrapes live
+# metrics/health while the chaos replay hammers the daemon, the trace
+# tail must revalidate through trace_validate, SIGUSR1 must produce a
+# live snapshot line without stopping the daemon, and the final health
+# scrape must conserve. Artifacts: BENCH_server.json, the daemon's
+# final metrics snapshot, the mid-run daenerys-top frames, the health
+# body, and the streamed trace tail.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,9 +43,51 @@ done
 [ -n "$ADDR" ] || { echo "daemon never reported an address"; cat "$LOG"; exit 1; }
 
 # Chaos replay against the live daemon; non-zero exit = gate failure
-# (a lost request, a verdict that diverged under chaos, ...).
+# (a lost request, a verdict that diverged under chaos, a mid-run
+# health scrape that violated the conservation ledger, ...). The admin
+# plane is scraped concurrently: daenerys-top renders live frames off
+# the same listener while the replay saturates it.
+./target/release/daenerys-top --addr "$ADDR" --interval-ms 500 \
+    --frames 8 --no-clear > "$OUT_DIR/daenerys-top.txt" 2>&1 &
+TOP_PID=$!
 ./target/release/server_replay --addr "$ADDR" --requests 96 \
     --out "$OUT_DIR/BENCH_server.json"
+TOP_STATUS=0
+wait "$TOP_PID" || TOP_STATUS=$?
+[ "$TOP_STATUS" -eq 0 ] || {
+    echo "daenerys-top exited $TOP_STATUS under load"
+    cat "$OUT_DIR/daenerys-top.txt"; exit 1;
+}
+grep -q 'conserved yes' "$OUT_DIR/daenerys-top.txt"
+grep -q '^tenant-' "$OUT_DIR/daenerys-top.txt"
+
+# The replay's own conservation gate ran mid-chaos; the final ledger
+# must conserve too (daenerys-top --health exits non-zero otherwise).
+./target/release/daenerys-top --addr "$ADDR" --health \
+    > "$OUT_DIR/health.json"
+
+# The trace tail is a stream: every tailed event must revalidate as
+# JSONL through the same validator the bench traces use.
+./target/release/daenerys-top --addr "$ADDR" --tail \
+    > "$OUT_DIR/trace_tail.jsonl" 2> "$OUT_DIR/trace_tail.summary"
+test -s "$OUT_DIR/trace_tail.jsonl"
+./target/release/trace_validate "$OUT_DIR/trace_tail.jsonl"
+
+# SIGUSR1: a live snapshot line on stdout, daemon keeps serving.
+kill -USR1 "$DAEMON_PID"
+SNAPSHOT_SEEN=""
+for _ in $(seq 1 100); do
+    if grep -q '^daenerysd snapshot {' "$LOG"; then SNAPSHOT_SEEN=1; break; fi
+    sleep 0.1
+done
+[ -n "$SNAPSHOT_SEEN" ] || { echo "no snapshot after SIGUSR1"; cat "$LOG"; exit 1; }
+./target/release/daenerys-top --addr "$ADDR" --health > /dev/null \
+    || { echo "daemon stopped answering after SIGUSR1"; exit 1; }
+
+# The BENCH server block carries the phase attribution the scrapes saw.
+grep -q '"server":{' "$OUT_DIR/BENCH_server.json"
+grep -q '"phases":{' "$OUT_DIR/BENCH_server.json"
+grep -q '"conserved_failures":0' "$OUT_DIR/BENCH_server.json"
 
 # Graceful drain: on SIGTERM the daemon must finish in-flight work,
 # flush the store, write its snapshot, and exit 0 by itself.
