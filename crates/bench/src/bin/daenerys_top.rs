@@ -253,11 +253,23 @@ fn render(
     );
     println!(
         "{:<14} {:>8} {:>7} {:>8} {:>8} {:>8} {:>9} {:>6} {:>7} {:>6} {:>5}",
-        "TENANT", "REQS", "RPS", "P50ms", "P95ms", "P99ms", "FUEL/s", "HIT%", "CONF/s", "RST/s",
+        "TENANT",
+        "REQS",
+        "RPS",
+        "P50ms",
+        "P95ms",
+        "P99ms",
+        "FUEL/s",
+        "HIT%",
+        "CONF/s",
+        "RST/s",
         "INFL"
     );
     for (tenant, row) in rows {
-        let before = prev.and_then(|p| p.get(tenant)).cloned().unwrap_or_default();
+        let before = prev
+            .and_then(|p| p.get(tenant))
+            .cloned()
+            .unwrap_or_default();
         let lookups = row.cache_hits + row.cache_misses;
         let hit_pct = if lookups == 0 {
             0.0
@@ -284,7 +296,10 @@ fn render(
     }
     if !phases.is_empty() {
         println!();
-        println!("{:<14} {:>10} {:>12} {:>10}", "PHASE", "SPANS", "TOTAL ms", "AVG µs");
+        println!(
+            "{:<14} {:>10} {:>12} {:>10}",
+            "PHASE", "SPANS", "TOTAL ms", "AVG µs"
+        );
         for (phase, (count, nanos)) in phases {
             let avg_us = if *count == 0 {
                 0.0
@@ -315,9 +330,9 @@ fn main() -> ExitCode {
         Mode::Health => match scrape(&client, &AdminRequest::Health { id: 1 }) {
             Ok(body) => {
                 println!("{}", body.render());
-                let conserved = body.as_obj().map(|h| {
-                    h.get("conserved") == Some(&Json::Bool(true))
-                });
+                let conserved = body
+                    .as_obj()
+                    .map(|h| h.get("conserved") == Some(&Json::Bool(true)));
                 if conserved == Some(true) {
                     ExitCode::SUCCESS
                 } else {

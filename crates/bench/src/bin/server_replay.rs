@@ -385,7 +385,11 @@ fn server_json(label: &str, obs: &ServerObs) -> String {
         label, obs.scrapes, obs.scrape_errors, obs.conserved_failures, obs.max_in_flight,
     );
     let mut phases: BTreeMap<String, (u64, u64)> = BTreeMap::new();
-    if let Some(parsed) = obs.final_metrics.as_deref().and_then(|b| parse_json(b).ok()) {
+    if let Some(parsed) = obs
+        .final_metrics
+        .as_deref()
+        .and_then(|b| parse_json(b).ok())
+    {
         let histograms = parsed
             .as_obj()
             .and_then(|o| o.get("histograms"))

@@ -8,7 +8,9 @@
 //!     [--no-learn] [--solver CORE] [--threads N] [--timeout-ms N] \
 //!     [--fuel N] [--repeat N] [--trace-out PATH] [--profile] \
 //!     [--incremental] [--cache-dir PATH] [--expect-reverified N] \
-//!     [--out-dir PATH] [--deny-unstable] [--explain-stability]
+//!     [--out-dir PATH] [--deny-unstable] [--explain-stability] \
+//!     [--store-format FMT]
+//! cargo run -p daenerys-bench --bin tables store migrate <dir> <daes1|jsonl>
 //! ```
 //!
 //! With no table/figure flags, every table and figure is printed.
@@ -33,6 +35,12 @@
 //! * `--out-dir PATH` places generated artifacts (`BENCH_verifier.json`,
 //!   `PROFILE_verifier.txt`) under `PATH` instead of the working
 //!   directory.
+//! * `--store-format FMT` forces the verdict store's on-disk encoding
+//!   (`daes1`, the sharded binary default, or `jsonl`, the legacy
+//!   line-JSON import/export format); without it the format is
+//!   auto-detected from the cache directory. Cost only, never answers.
+//! * `store migrate <dir> <daes1|jsonl>` (subcommand) rewrites an
+//!   existing store in the other format with bit-identical verdicts.
 //! * `--timeout-ms N` sets a per-method wall-clock deadline and
 //!   `--fuel N` a per-method solver-fuel budget (conflicts +
 //!   propagations under CDCL, search nodes under `--solver dpll`); a
@@ -74,7 +82,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-const KNOWN_FLAGS: [&str; 24] = [
+const KNOWN_FLAGS: [&str; 25] = [
     "--t1",
     "--t2",
     "--t3",
@@ -99,6 +107,7 @@ const KNOWN_FLAGS: [&str; 24] = [
     "--out-dir",
     "--deny-unstable",
     "--explain-stability",
+    "--store-format",
 ];
 
 /// Parsed command line.
@@ -156,6 +165,19 @@ fn parse_args() -> Opts {
             "--incremental" => {
                 if opts.cache_dir.is_none() {
                     opts.cache_dir = Some(std::path::PathBuf::from("target/ivc"));
+                }
+            }
+            "--store-format" => {
+                i += 1;
+                match args
+                    .get(i)
+                    .and_then(|v| daenerys_idf::StoreFormat::parse(v))
+                {
+                    Some(format) => opts.config.store_format = Some(format),
+                    None => {
+                        eprintln!("tables: --store-format needs `daes1` or `jsonl`");
+                        std::process::exit(2);
+                    }
                 }
             }
             "--cache-dir" => {
@@ -264,7 +286,49 @@ fn parse_args() -> Opts {
     opts
 }
 
+/// The `store` subcommand: offline verdict-store maintenance.
+///
+/// `tables store migrate <dir> <daes1|jsonl>` rewrites the store under
+/// `<dir>` in the requested format (verdicts bit-identical, source
+/// files removed) — the JSONL import/export path for the default
+/// sharded binary stores.
+fn store_command(args: &[String]) -> ! {
+    match args {
+        [op, dir, format] if op == "migrate" => {
+            let Some(to) = daenerys_idf::StoreFormat::parse(format) else {
+                eprintln!("tables: store migrate needs a target format `daes1` or `jsonl`");
+                std::process::exit(2);
+            };
+            let dir = std::path::Path::new(dir);
+            match daenerys_idf::VerdictStore::migrate(dir, to) {
+                Ok(store) => {
+                    println!(
+                        "migrated {} to {}: {} entries, {} corrupt records skipped",
+                        dir.display(),
+                        to.name(),
+                        store.len(),
+                        store.corrupt_lines()
+                    );
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("tables: store migrate failed: {}", e);
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            eprintln!("tables: usage: tables store migrate <dir> <daes1|jsonl>");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("store") {
+        store_command(&raw[1..]);
+    }
     let mut opts = parse_args();
     if let Some(path) = &opts.trace_out {
         let sink = match JsonlSink::create(std::path::Path::new(path)) {

@@ -5,6 +5,8 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
+
 use daenerys_idf::{
     parse_program, parse_program_traced, Backend, Verdict, Verifier, VerifierConfig, VerifyStats,
 };

@@ -1,0 +1,122 @@
+//! Integration gates for the edit-replay sweep at CI-friendly scale:
+//! the same invariants `store_replay` enforces at 10k methods, here on
+//! a ~200-method corpus so they run on every `cargo test`.
+
+use daenerys_bench::corpus::{Corpus, CorpusSpec, Edit};
+use daenerys_idf::{parse_program, Backend, StoreFormat, Verdict, Verifier, VerifierConfig};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "daenerys-store-replay-test-{}-{}",
+        tag,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(
+    src: &str,
+    dir: &Path,
+    threads: usize,
+    format: Option<StoreFormat>,
+) -> (BTreeMap<String, Verdict>, usize) {
+    let program = parse_program(src).unwrap();
+    let config = VerifierConfig {
+        threads,
+        cache_dir: Some(dir.to_path_buf()),
+        store_format: format,
+        ..VerifierConfig::default()
+    };
+    let mut verifier = Verifier::with_config(&program, Backend::Destabilized, config);
+    let verdicts = verifier
+        .verify_all_verdicts()
+        .into_iter()
+        .map(|(name, verdict)| (name, verdict.normalized()))
+        .collect();
+    (verdicts, verifier.methods_reverified().unwrap())
+}
+
+fn snapshot(from: &Path, to: &Path) {
+    let _ = std::fs::remove_dir_all(to);
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+        }
+    }
+}
+
+fn sweep(format: Option<StoreFormat>, tag: &str) {
+    let corpus = Corpus::generate(CorpusSpec {
+        methods: 200,
+        depth: 8,
+        ..CorpusSpec::default()
+    });
+    let base = corpus.source(None);
+    let root = temp_dir(tag);
+    let cold_dir = root.join("cold");
+
+    // Cold: everything verifies.
+    let (cold, reverified) = run(&base, &cold_dir, 1, format);
+    assert_eq!(reverified, corpus.len());
+    assert!(cold.values().all(Verdict::is_verified));
+
+    // Warm: nothing re-verifies, verdicts restore bit-identically —
+    // at one, two, and eight worker threads.
+    for threads in [1usize, 2, 8] {
+        let dir = root.join(format!("warm-{}", threads));
+        snapshot(&cold_dir, &dir);
+        let (warm, reverified) = run(&base, &dir, threads, format);
+        assert_eq!(reverified, 0, "warm no-edit run at {} threads", threads);
+        assert_eq!(
+            warm, cold,
+            "restored verdicts differ at {} threads",
+            threads
+        );
+    }
+
+    // Scripted edits re-verify exactly what the generator's ground
+    // truth says they must.
+    for edit in [Edit::TouchLeafBody, Edit::TouchHubSpec, Edit::TouchSpecNoop] {
+        let dir = root.join(edit.name());
+        snapshot(&cold_dir, &dir);
+        let (verdicts, reverified) = run(&corpus.source(Some(edit)), &dir, 2, format);
+        assert_eq!(
+            reverified,
+            corpus.expected_reverified(edit),
+            "edit {:?}",
+            edit
+        );
+        assert!(verdicts.values().all(Verdict::is_verified));
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn daes1_sweep_replays_edits_against_ground_truth() {
+    sweep(Some(StoreFormat::Daes1), "daes1");
+}
+
+#[test]
+fn jsonl_sweep_replays_edits_against_ground_truth() {
+    sweep(Some(StoreFormat::Jsonl), "jsonl");
+}
+
+/// The hub-edit cone is a real monorepo shape: strictly bigger than
+/// the edited method alone, strictly smaller than the corpus.
+#[test]
+fn hub_cone_is_a_proper_subset() {
+    let corpus = Corpus::generate(CorpusSpec {
+        methods: 200,
+        depth: 8,
+        ..CorpusSpec::default()
+    });
+    let cone = corpus.expected_reverified(Edit::TouchHubSpec);
+    assert!(cone > 1, "hub has transitive callers");
+    assert!(cone < corpus.len(), "hub edit never dirties everything");
+}

@@ -603,13 +603,35 @@ fn process(shared: &Arc<Shared>, req: &Request, sid: u64, reqno: u64) -> Respons
                 let s = &outcome.stats;
                 // Fuel proxy: the budget units both solver cores
                 // meter (CDCL conflicts/propagations, DPLL branches).
-                let fuel =
-                    (s.solver_conflicts + s.solver_propagations + s.solver_branches) as u64;
+                let fuel = (s.solver_conflicts + s.solver_propagations + s.solver_branches) as u64;
                 reg.record("daenerysd.fuel", &labels, fuel);
                 reg.add("daenerysd.cache_hits", &labels, s.cache_hits as u64);
                 reg.add("daenerysd.cache_misses", &labels, s.cache_misses as u64);
-                reg.add("daenerysd.solver_conflicts", &labels, s.solver_conflicts as u64);
-                reg.add("daenerysd.solver_restarts", &labels, s.solver_restarts as u64);
+                reg.add(
+                    "daenerysd.solver_conflicts",
+                    &labels,
+                    s.solver_conflicts as u64,
+                );
+                reg.add(
+                    "daenerysd.solver_restarts",
+                    &labels,
+                    s.solver_restarts as u64,
+                );
+                // The incremental store plane, per tenant: verdicts
+                // served warm, genuine fingerprint misses, and warm
+                // hits discarded by transitive spec dirtiness.
+                // Tenants with identical answer-affecting config share
+                // store entries, so one tenant's writes surface as
+                // another's hits here.
+                if let Some(hits) = outcome.store_hits {
+                    reg.add("daenerysd.store_hits", &labels, hits as u64);
+                }
+                if let Some(misses) = outcome.store_misses {
+                    reg.add("daenerysd.store_misses", &labels, misses as u64);
+                }
+                if let Some(dirty) = outcome.store_dirty_transitive {
+                    reg.add("daenerysd.store_dirty_transitive", &labels, dirty as u64);
+                }
             }
             Response::Ok {
                 id: req.id,

@@ -29,6 +29,12 @@
 //!   — solver query-cache traffic
 //! * `daenerysd.solver_conflicts{tenant}` /
 //!   `daenerysd.solver_restarts{tenant}` — CDCL search rates
+//! * `daenerysd.store_hits{tenant}` / `daenerysd.store_misses{tenant}`
+//!   / `daenerysd.store_dirty_transitive{tenant}` — incremental verdict
+//!   store traffic: methods served warm, genuine fingerprint misses,
+//!   and warm hits discarded because a transitive callee's spec
+//!   changed (tenants with identical answer-affecting config share
+//!   entries, so one tenant's writes surface as another's hits)
 //! * `daenerysd.phase_nanos{phase,tenant}` — span durations by phase
 //!   (the span-name prefix before `:`, e.g. `exec:m` → `exec`),
 //!   recorded by the sink tee (histogram)
@@ -48,7 +54,7 @@
 //! attribution land in `_server`.
 
 use crate::admission::AdmissionStats;
-use daenerys_obs::{Event, Labels, LabeledRegistry, MetricsRegistry, SharedRegistry, Sink};
+use daenerys_obs::{Event, LabeledRegistry, Labels, MetricsRegistry, SharedRegistry, Sink};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, PoisonError};

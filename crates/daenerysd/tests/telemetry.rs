@@ -5,10 +5,10 @@
 //! ledger `admitted == completed + refused + in_flight` holds at every
 //! observation point.
 
+use daenerys_obs::Json;
 use daenerysd::client::{Client, ClientError, RetryPolicy};
 use daenerysd::protocol::{AdminRequest, Request, Response};
 use daenerysd::server::{MetricsSnapshot, Server, ServerConfig};
-use daenerys_obs::Json;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -17,9 +17,10 @@ const GOOD: &str = "field val: Int
 method set(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1 { c.val := 1 }";
 
 fn test_config() -> ServerConfig {
-    let mut config = ServerConfig::default();
-    config.read_poll_ms = 5;
-    config
+    ServerConfig {
+        read_poll_ms: 5,
+        ..ServerConfig::default()
+    }
 }
 
 fn start(
@@ -85,7 +86,11 @@ fn admin_frames_answer_while_tenant_budgets_saturated() {
     // And the retry path gives up without ever being admitted.
     match client.request_with_retry(&Request::new(99, "acme", GOOD)) {
         Err(ClientError::Exhausted { last, .. }) => {
-            assert!(last.contains("refused"), "last failure was a refusal: {}", last);
+            assert!(
+                last.contains("refused"),
+                "last failure was a refusal: {}",
+                last
+            );
         }
         other => panic!("expected exhaustion, got {:?}", other),
     }
@@ -107,8 +112,14 @@ fn admin_frames_answer_while_tenant_budgets_saturated() {
     let health = health.as_obj().unwrap();
     assert_eq!(health["conserved"], Json::Bool(true));
     assert_eq!(health["draining"], Json::Bool(false));
-    let acme = health["tenants"].as_obj().unwrap()["acme"].as_obj().unwrap();
-    assert_eq!(num(acme, "admitted"), 5.0, "refusals still count as presented");
+    let acme = health["tenants"].as_obj().unwrap()["acme"]
+        .as_obj()
+        .unwrap();
+    assert_eq!(
+        num(acme, "admitted"),
+        5.0,
+        "refusals still count as presented"
+    );
     assert_eq!(num(acme, "refused"), 5.0);
     assert_eq!(num(acme, "completed"), 0.0);
     assert_eq!(num(acme, "in_flight"), 0.0);
@@ -184,16 +195,21 @@ fn metrics_scrape_carries_tenant_labels_and_monotone_quantiles() {
             .unwrap_or_else(|| panic!("missing latency histogram for {}", tenant));
         let (p50, p95, p99) = (num(lat, "p50"), num(lat, "p95"), num(lat, "p99"));
         assert!(p50 <= p95 && p95 <= p99, "{} ≤ {} ≤ {}", p50, p95, p99);
-        assert!(num(lat, "min") <= p50, "quantiles clamp to the observed range");
-        assert!(p99 <= num(lat, "max"), "quantiles clamp to the observed range");
+        assert!(
+            num(lat, "min") <= p50,
+            "quantiles clamp to the observed range"
+        );
+        assert!(
+            p99 <= num(lat, "max"),
+            "quantiles clamp to the observed range"
+        );
     }
 
     // The run-global trace registry folds in under empty labels.
     assert!(
-        counters
-            .iter()
-            .filter_map(Json::as_obj)
-            .any(|c| c["labels"].as_obj().is_some_and(std::collections::BTreeMap::is_empty)),
+        counters.iter().filter_map(Json::as_obj).any(|c| c["labels"]
+            .as_obj()
+            .is_some_and(std::collections::BTreeMap::is_empty)),
         "unlabeled trace-layer counters fold into the scrape"
     );
 

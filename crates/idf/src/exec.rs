@@ -103,6 +103,12 @@ pub struct VerifierConfig {
     /// fingerprint matches a prior `Verified`/`Failed` entry are not
     /// re-verified (default: `None` — every method is verified).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// On-disk encoding for the verdict store (default: `None` —
+    /// auto-detect whatever [`VerifierConfig::cache_dir`] already
+    /// holds, with fresh directories starting in the sharded `DAES1`
+    /// binary format). Cost only: the encoding never changes answers
+    /// and is excluded from the incremental fingerprint.
+    pub store_format: Option<crate::store::StoreFormat>,
     /// The flight recorder (default: disabled — zero overhead).
     /// Workers buffer events per method and [`Verifier::verify_all`]'s
     /// merge path emits them in program order, so traces are
@@ -124,6 +130,7 @@ impl Default for VerifierConfig {
             solver: SolverCore::default(),
             explain_stability: false,
             cache_dir: None,
+            store_format: None,
             trace: TraceHandle::disabled(),
         }
     }
@@ -496,11 +503,40 @@ impl StoreAccess<'_> {
         }
     }
 
-    /// End-of-run persistence: the owned path compacts to disk; the
-    /// shared path already appended durably.
+    /// A clone of the persisted dependency graph as of the last run
+    /// (the "previous" side of spec-dirtiness planning), taken before
+    /// this run's nodes are absorbed.
+    fn graph_snapshot(&self) -> Option<crate::depgraph::DepGraph> {
+        match self {
+            StoreAccess::None => None,
+            StoreAccess::Owned(s) => Some(s.graph().clone()),
+            StoreAccess::Shared(m) => Some(lock_store(m).graph().clone()),
+        }
+    }
+
+    /// Upserts the current program's dependency nodes into the store's
+    /// graph (in memory; persisted at [`StoreAccess::finish`] so a run
+    /// killed mid-verify re-plans from the *old* interfaces).
+    fn absorb_graph(&mut self, cur: &crate::depgraph::DepGraph) {
+        match self {
+            StoreAccess::None => {}
+            StoreAccess::Owned(s) => s.absorb_graph(cur),
+            StoreAccess::Shared(m) => lock_store(m).absorb_graph(cur),
+        }
+    }
+
+    /// End-of-run persistence: the owned path compacts to disk (graph
+    /// included); the shared path already appended verdicts durably
+    /// and only flushes the graph here.
     fn finish(self) {
-        if let StoreAccess::Owned(s) = self {
-            let _ = s.save();
+        match self {
+            StoreAccess::None => {}
+            StoreAccess::Owned(s) => {
+                let _ = s.save();
+            }
+            StoreAccess::Shared(m) => {
+                let _ = lock_store(m).persist_graph();
+            }
         }
     }
 }
@@ -549,6 +585,13 @@ pub struct Verifier<'a> {
     /// run actually re-verified (`None` before any run, or when the
     /// run was not incremental).
     reverified: Option<usize>,
+    /// Store-plane accounting for the last incremental run (`None`
+    /// for non-incremental runs): verdicts served from the store,
+    /// genuine fingerprint misses, and matching entries discarded
+    /// because a transitive callee's spec changed.
+    store_hits: Option<usize>,
+    store_misses: Option<usize>,
+    store_dirty_transitive: Option<usize>,
 }
 
 impl<'a> Verifier<'a> {
@@ -590,6 +633,9 @@ impl<'a> Verifier<'a> {
             failure_ctx: None,
             spec_scan_exempt: false,
             reverified: None,
+            store_hits: None,
+            store_misses: None,
+            store_dirty_transitive: None,
         }
     }
 
@@ -600,6 +646,29 @@ impl<'a> Verifier<'a> {
     /// non-incremental runs (which always re-verify everything).
     pub fn methods_reverified(&self) -> Option<usize> {
         self.reverified
+    }
+
+    /// Methods whose verdict the last incremental run served straight
+    /// from the store (fingerprint matched and the dependency graph
+    /// had no objection). `None` for non-incremental runs.
+    pub fn store_hits(&self) -> Option<usize> {
+        self.store_hits
+    }
+
+    /// Methods the last incremental run found no matching store entry
+    /// for (first sight, an edit, or an answer-affecting config
+    /// change). `None` for non-incremental runs.
+    pub fn store_misses(&self) -> Option<usize> {
+        self.store_misses
+    }
+
+    /// Methods whose stored verdict *matched* but was discarded
+    /// because a transitive callee's specification changed — the
+    /// dependency graph's conservative dirtiness cone beyond what
+    /// direct-callee fingerprints already catch. `None` for
+    /// non-incremental runs.
+    pub fn store_dirty_transitive(&self) -> Option<usize> {
+        self.store_dirty_transitive
     }
 
     /// Verifies every method with a body; returns per-method stats.
@@ -685,7 +754,10 @@ impl<'a> Verifier<'a> {
             .config
             .cache_dir
             .as_deref()
-            .map(crate::store::VerdictStore::open);
+            .map(|dir| match self.config.store_format {
+                Some(format) => crate::store::VerdictStore::open_with(dir, format),
+                None => crate::store::VerdictStore::open(dir),
+            });
         if let Some(store) = &store {
             // Surface crash-mid-append damage as counters: a truncated
             // final line costs one verdict, never the store.
@@ -720,13 +792,28 @@ impl<'a> Verifier<'a> {
         // Incremental mode: restore every method whose semantic
         // fingerprint matches a stored *definite* verdict; only the
         // rest are scheduled. Fingerprints cover bodies, contracts,
-        // direct-callee contracts, and the answer-affecting config
-        // knobs (see `fingerprint`), so a restored verdict is the one
-        // re-verification would produce.
+        // direct-callee *normalized interfaces*, and the
+        // answer-affecting config knobs (see `fingerprint`), so a
+        // restored verdict is the one re-verification would produce.
+        //
+        // Entries are keyed `{method}@{config-fingerprint}` so runs
+        // under different answer-affecting configs (daemon tenants
+        // with different budgets, a `--solver` flip) coexist in one
+        // store instead of thrashing each other's entries — and
+        // tenants with *identical* config share one warm read side.
         let mut fingerprints: Vec<Option<crate::fingerprint::Fingerprint>> =
             vec![None; names.len()];
+        let mut keys: Vec<String> = Vec::new();
         let mut restored: Vec<Option<Verdict>> = vec![None; names.len()];
-        if store.is_present() {
+        let mut hits = 0usize;
+        let mut misses = 0usize;
+        let mut dirty_transitive = 0usize;
+        let cur_graph = store
+            .is_present()
+            .then(|| crate::depgraph::DepGraph::of_program(self.program));
+        if let Some(cur) = &cur_graph {
+            let cfg_fp = crate::fingerprint::config_fingerprint(self.backend, &self.config);
+            keys = names.iter().map(|n| format!("{}@{}", n, cfg_fp)).collect();
             for (i, name) in names.iter().enumerate() {
                 let method = self.program.method(name).expect("scheduled methods exist");
                 let fp = crate::fingerprint::method_fingerprint(
@@ -736,13 +823,66 @@ impl<'a> Verifier<'a> {
                     &self.config,
                 );
                 fingerprints[i] = Some(fp);
-                restored[i] = store.lookup(name, fp);
+                restored[i] = store.lookup(&keys[i], fp);
+                if restored[i].is_none() {
+                    misses += 1;
+                }
+            }
+            // Transitive spec dirtiness: a changed (or new, or
+            // deleted) callee *interface* forces every reverse-
+            // reachable caller to re-verify, even where its own
+            // fingerprint still matches — build-system-grade
+            // conservatism on top of the fingerprint plane. The
+            // verifier is deterministic, so forced re-verification
+            // reproduces the stored verdict bit for bit; a missing or
+            // damaged graph only widens this cone (absent nodes are
+            // roots), never narrows it.
+            if let Some(prev) = store.graph_snapshot() {
+                let roots = crate::depgraph::DepGraph::spec_dirty_roots(&prev, cur);
+                if !roots.is_empty() {
+                    let dirty = cur.reverse_reachable(&roots);
+                    for (i, name) in names.iter().enumerate() {
+                        if restored[i].is_some() && dirty.contains(name) {
+                            restored[i] = None;
+                            dirty_transitive += 1;
+                        }
+                    }
+                }
+            }
+            store.absorb_graph(cur);
+            for (i, r) in restored.iter_mut().enumerate() {
+                if let Some(v) = r {
+                    // Stored failure reports carry the store key;
+                    // restore the bare method name so a warm verdict
+                    // is bit-identical to a cold one.
+                    if let Verdict::Failed { report, .. } = v {
+                        report.method = names[i].clone();
+                    }
+                    hits += 1;
+                }
             }
         }
-        let pending: Vec<usize> = (0..names.len())
+        let mut pending: Vec<usize> = (0..names.len())
             .filter(|&i| restored[i].is_none())
             .collect();
+        if let Some(cur) = &cur_graph {
+            // Callee-first scheduling: warms the solver's cross-method
+            // lemma locality bottom-up. Purely a dispatch order — the
+            // program-order merge below keeps results and traces
+            // identical whatever the schedule.
+            pending = cur.topo_order(&names, &pending);
+        }
         self.reverified = store.is_present().then_some(pending.len());
+        self.store_hits = store.is_present().then_some(hits);
+        self.store_misses = store.is_present().then_some(misses);
+        self.store_dirty_transitive = store.is_present().then_some(dirty_transitive);
+        if store.is_present() {
+            let mut m = daenerys_obs::MetricsRegistry::new();
+            m.add("store.hits", hits as u64);
+            m.add("store.misses", misses as u64);
+            m.add("store.dirty_transitive", dirty_transitive as u64);
+            self.config.trace.merge_metrics(&m);
+        }
 
         let threads = self.config.effective_threads().min(pending.len()).max(1);
         let mut slots: Vec<Option<MethodOutcome>> = Vec::new();
@@ -814,7 +954,7 @@ impl<'a> Verifier<'a> {
             self.config.trace.emit(outcome.events);
             self.config.trace.merge_metrics(&outcome.metrics);
             if let Some(fp) = fingerprints[i] {
-                store.record(&names[i], fp, &verdict);
+                store.record(&keys[i], fp, &verdict);
             }
             out.push((names[i].clone(), verdict));
         }

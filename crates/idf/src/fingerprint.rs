@@ -109,6 +109,30 @@ pub fn direct_callees(method: &Method) -> Vec<String> {
     out
 }
 
+/// The canonical, *normalized* interface of a method: its signature and
+/// contract pretty-printed from the AST with the body dropped. Parsing
+/// already discards whitespace and comments, so two spec texts that
+/// differ only in formatting normalize to the same string — callers are
+/// invalidated by what a spec *means*, never by how it was typed.
+pub fn normalized_interface(method: &Method) -> String {
+    Method {
+        body: None,
+        ..method.clone()
+    }
+    .to_string()
+}
+
+/// Fingerprint of a method's [`normalized_interface`] alone — the value
+/// the dependency graph ([`crate::depgraph`]) persists per node so a
+/// later run can tell *which* specs changed (and dirty their transitive
+/// callers) without rehashing caller bodies.
+pub fn interface_fingerprint(method: &Method) -> Fingerprint {
+    let mut h = Hasher::new();
+    h.write("interface");
+    h.write(&normalized_interface(method));
+    h.finish()
+}
+
 /// The canonical text of the configuration knobs that can change
 /// `method`'s verdict. Cost-only knobs (`threads`, `cache`, tracing,
 /// `cache_dir`, `explain_stability`) are excluded: they are property-tested to be
@@ -133,6 +157,20 @@ pub fn config_text(backend: Backend, config: &VerifierConfig, method: &str) -> S
     )
 }
 
+/// Fingerprint of the whole answer-affecting configuration for a run
+/// (every knob in [`config_text`], with the full fault plan instead of
+/// one method's slice). Two daemon tenants whose configs agree here can
+/// share one verdict-store read side; two that disagree must not
+/// thrash each other's entries.
+pub fn config_fingerprint(backend: Backend, config: &VerifierConfig) -> Fingerprint {
+    let mut h = Hasher::new();
+    h.write("config");
+    h.write(&config_text(backend, config, ""));
+    h.write("faults");
+    h.write(&format!("{:?}", config.faults));
+    h.finish()
+}
+
 /// Computes `method`'s semantic fingerprint within `program`.
 ///
 /// A callee with no declaration in `program` is hashed by name with an
@@ -155,13 +193,12 @@ pub fn method_fingerprint(
     for callee in direct_callees(method) {
         match program.method(&callee) {
             Some(m) => {
-                // The callee's *interface*: its signature and contract,
-                // never its body (calls are verified against specs).
-                let spec_only = Method {
-                    body: None,
-                    ..m.clone()
-                };
-                h.write(&spec_only.to_string());
+                // The callee's *normalized interface*: its signature
+                // and contract pretty-printed from the AST, never its
+                // body (calls are verified against specs) and never the
+                // raw source text (formatting-only spec edits must not
+                // invalidate callers).
+                h.write(&normalized_interface(m));
             }
             None => h.write(&format!("missing:{}", callee)),
         }
@@ -238,6 +275,85 @@ mod tests {
         // A callee *body* edit does not touch the caller.
         let body_only = SRC.replace("{ r := c.val }", "{ r := c.val + 0 }");
         assert_eq!(fp(SRC, "double", &cfg), fp(&body_only, "double", &cfg));
+    }
+
+    #[test]
+    fn formatting_only_spec_edits_do_not_invalidate_anyone() {
+        let cfg = VerifierConfig::default();
+        // Same program with gratuitous whitespace and comments inside
+        // the specs: parses to the same AST, so every fingerprint —
+        // interface and full — is identical.
+        let noisy = SRC
+            .replace(
+                "requires acc(c.val, 1/2)",
+                "requires /* half */ acc( c.val ,\n 1/2 ) // read share",
+            )
+            .replace("ensures r >= 0", "ensures\n// comment\n   r  >=  0");
+        let p = parse_program(SRC).unwrap();
+        let q = parse_program(&noisy).unwrap();
+        for name in ["get", "double", "free"] {
+            assert_eq!(
+                normalized_interface(p.method(name).unwrap()),
+                normalized_interface(q.method(name).unwrap()),
+                "normalized interface of {} ignores formatting",
+                name
+            );
+            assert_eq!(
+                interface_fingerprint(p.method(name).unwrap()),
+                interface_fingerprint(q.method(name).unwrap()),
+            );
+            assert_eq!(fp(SRC, name, &cfg), fp(&noisy, name, &cfg));
+        }
+    }
+
+    #[test]
+    fn interface_fingerprint_tracks_specs_not_bodies() {
+        let spec_edit = SRC.replace("r == c.val", "r == c.val && r >= 0");
+        let body_edit = SRC.replace("{ r := c.val }", "{ r := c.val + 0 }");
+        let p = parse_program(SRC).unwrap();
+        let s = parse_program(&spec_edit).unwrap();
+        let b = parse_program(&body_edit).unwrap();
+        assert_ne!(
+            interface_fingerprint(p.method("get").unwrap()),
+            interface_fingerprint(s.method("get").unwrap()),
+            "a contract edit changes the interface fingerprint"
+        );
+        assert_eq!(
+            interface_fingerprint(p.method("get").unwrap()),
+            interface_fingerprint(b.method("get").unwrap()),
+            "a body edit leaves the interface fingerprint alone"
+        );
+    }
+
+    #[test]
+    fn config_fingerprint_covers_answer_affecting_knobs_only() {
+        let base = VerifierConfig::default();
+        let a = config_fingerprint(Backend::Destabilized, &base);
+        assert_eq!(a, config_fingerprint(Backend::Destabilized, &base));
+        assert_ne!(a, config_fingerprint(Backend::StableBaseline, &base));
+        assert_ne!(
+            a,
+            config_fingerprint(
+                Backend::Destabilized,
+                &VerifierConfig {
+                    budget: crate::budget::Budget::unlimited().with_solver_fuel(7),
+                    ..base.clone()
+                }
+            )
+        );
+        assert_eq!(
+            a,
+            config_fingerprint(
+                Backend::Destabilized,
+                &VerifierConfig {
+                    threads: 8,
+                    cache: false,
+                    store_format: Some(crate::store::StoreFormat::Jsonl),
+                    ..base.clone()
+                }
+            ),
+            "cost-only knobs do not split the shared store"
+        );
     }
 
     #[test]

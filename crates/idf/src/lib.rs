@@ -9,6 +9,7 @@ pub mod ast;
 pub mod budget;
 pub mod cases;
 pub mod compile;
+pub mod depgraph;
 pub mod diag;
 pub mod exec;
 pub mod fingerprint;
@@ -33,12 +34,16 @@ pub use compile::{
     alloc_object, compile_method, compile_program, run_and_check, spec_holds, ConcreteError,
     ConcreteObj, ConcreteVal,
 };
+pub use depgraph::{DepGraph, DepNode};
 pub use diag::{pc_hash, FailureReport, QueryCost, StabilityLint, HOT_QUERY_LIMIT};
 pub use exec::{
     Backend, Chunk, Obligation, UnknownReason, Verdict, Verifier, VerifierConfig, VerifyError,
     VerifyStats,
 };
-pub use fingerprint::{direct_callees, method_fingerprint, Fingerprint};
+pub use fingerprint::{
+    config_fingerprint, direct_callees, interface_fingerprint, method_fingerprint,
+    normalized_interface, Fingerprint,
+};
 pub use parser::{
     parse_assertion, parse_program, parse_program_traced, parse_program_with_recovery,
     parse_program_with_recovery_capped, ParseError, DEFAULT_MAX_ERRORS,
@@ -49,7 +54,7 @@ pub use stability::{
     agrees_with_oracle, analyze_method, analyze_program, classify, Classification, Finding,
     FindingKind, SpecSite, SpecVerdict, StabilityClass,
 };
-pub use store::{StoredVerdict, VerdictStore};
+pub use store::{StoreFormat, StoredVerdict, VerdictStore};
 pub use sym::{Sort, Sym, SymExpr, SymSupply, Term, TermArena, TermId, Witness};
 pub use translate::{
     env_of, full_ownership, obj_of, strip_old, translate_assertion, translate_assertion_traced,

@@ -40,7 +40,13 @@ impl SessionHost {
     /// opened once here and shared (warm) across every session; the
     /// per-request config never reopens it.
     pub fn new(backend: Backend, base: VerifierConfig) -> SessionHost {
-        let store = base.cache_dir.as_deref().map(VerdictStore::open);
+        let store = base
+            .cache_dir
+            .as_deref()
+            .map(|dir| match base.store_format {
+                Some(format) => VerdictStore::open_with(dir, format),
+                None => VerdictStore::open(dir),
+            });
         let store_corrupt_lines = store.as_ref().map_or(0, VerdictStore::corrupt_lines);
         SessionHost {
             backend,
@@ -144,6 +150,17 @@ pub struct VerifyOutcome {
     /// Methods actually re-verified (not restored from the warm
     /// store); `None` when the host has no store.
     pub reverified: Option<usize>,
+    /// Methods served straight from the warm store (see
+    /// [`crate::exec::Verifier::store_hits`]); `None` without a store.
+    pub store_hits: Option<usize>,
+    /// Methods with no matching store entry (see
+    /// [`crate::exec::Verifier::store_misses`]); `None` without a
+    /// store.
+    pub store_misses: Option<usize>,
+    /// Matching entries discarded because a transitive callee's spec
+    /// changed (see [`crate::exec::Verifier::store_dirty_transitive`]);
+    /// `None` without a store.
+    pub store_dirty_transitive: Option<usize>,
     /// Request-wide aggregate of the per-method statistics (only
     /// [`Verdict::Verified`] carries stats, so failed/unknown methods
     /// contribute nothing) — the daemon's telemetry plane attributes
@@ -218,6 +235,9 @@ impl Session<'_> {
         Ok(VerifyOutcome {
             verdicts,
             reverified: verifier.methods_reverified(),
+            store_hits: verifier.store_hits(),
+            store_misses: verifier.store_misses(),
+            store_dirty_transitive: verifier.store_dirty_transitive(),
             stats,
         })
     }
@@ -279,6 +299,10 @@ method set(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1 { c.val 
             Some(0),
             "warm store: the sibling session restores the verdict"
         );
+        assert_eq!(first.store_misses, Some(1), "cold run misses everything");
+        assert_eq!(second.store_hits, Some(1), "warm run is served from store");
+        assert_eq!(second.store_misses, Some(0));
+        assert_eq!(second.store_dirty_transitive, Some(0), "nothing was edited");
         assert_eq!(
             first.verdicts["set"].normalized(),
             second.verdicts["set"].normalized(),

@@ -147,23 +147,25 @@ impl LabeledRegistry {
 
     /// One histogram cell, if any sample was recorded.
     pub fn histogram(&self, name: &str, labels: &Labels) -> Option<&Histogram> {
-        self.histograms.get(name).and_then(|cells| cells.get(labels))
+        self.histograms
+            .get(name)
+            .and_then(|cells| cells.get(labels))
     }
 
     /// All counter cells, `(name, labels, value)`, in (name, labels)
     /// order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, &Labels, u64)> {
-        self.counters.iter().flat_map(|(name, cells)| {
-            cells.iter().map(move |(l, v)| (name.as_str(), l, *v))
-        })
+        self.counters
+            .iter()
+            .flat_map(|(name, cells)| cells.iter().map(move |(l, v)| (name.as_str(), l, *v)))
     }
 
     /// All histogram cells, `(name, labels, histogram)`, in
     /// (name, labels) order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Labels, &Histogram)> {
-        self.histograms.iter().flat_map(|(name, cells)| {
-            cells.iter().map(move |(l, h)| (name.as_str(), l, h))
-        })
+        self.histograms
+            .iter()
+            .flat_map(|(name, cells)| cells.iter().map(move |(l, h)| (name.as_str(), l, h)))
     }
 
     /// Folds another labeled registry into this one (cell-wise

@@ -24,5 +24,13 @@ cargo run --release -q -p daenerys-bench --bin tables -- \
 cargo run --release -q -p daenerys-bench --bin tables -- \
     --profile --out-dir "$OUT_DIR" > /dev/null
 
+# Monorepo-scale edit-replay sweep (DESIGN.md §15): generated 10k-method
+# DAG, cold → warm → scripted edits, every phase gated against the
+# generator's ground truth, warm store load gated at 50 ms.
+cargo run --release -q -p daenerys-bench --bin store_replay -- \
+    --methods 10000 --depth 20 --max-load-ms 50 \
+    --out "$OUT_DIR/BENCH_incremental.json"
+
 echo "baseline written to $(pwd)/$OUT_DIR/BENCH_verifier.json"
 echo "profile  written to $(pwd)/$OUT_DIR/PROFILE_verifier.txt"
+echo "replay   written to $(pwd)/$OUT_DIR/BENCH_incremental.json"
