@@ -1,0 +1,170 @@
+//! Writes a generated monorepo-scale corpus (see
+//! `daenerys_bench::corpus`) to a source file, optionally with one
+//! scripted edit applied — the driver the `cli-smoke` CI lane uses to
+//! stage `daenerys watch --once` runs: emit the base corpus, verify it
+//! cold, overwrite the file with `--edit leaf-body`, and assert the
+//! warm pass re-verifies exactly the ground-truth cone.
+//!
+//! ```text
+//! corpus_gen --out FILE [--methods N] [--depth N] [--fan-out N]
+//!            [--diamond PCT] [--seed N]
+//!            [--edit leaf-body|hub-spec|spec-noop] [--print-expected]
+//! corpus_gen --f1-dir DIR
+//! ```
+//!
+//! With `--print-expected`, the ground-truth re-verification count for
+//! the chosen edit (vs. the unedited corpus) is printed to stdout —
+//! CI scripts capture it instead of hard-coding cone sizes.
+//!
+//! With `--f1-dir DIR`, the F1 evaluation corpus (the case-study suite
+//! plus scaling/chain/diverging workloads) is written as `.idf` files
+//! under `DIR/pos` (programs that verify) and `DIR/neg` (programs that
+//! must be rejected) for front ends that consume files.
+
+use daenerys_bench::corpus::{Corpus, CorpusSpec, Edit};
+use daenerys_idf::{
+    chain_program, diverging_program, negative_cases, positive_cases, scaling_program,
+};
+use std::path::{Path, PathBuf};
+
+struct Options {
+    spec: CorpusSpec,
+    edit: Option<Edit>,
+    out: Option<PathBuf>,
+    f1_dir: Option<PathBuf>,
+    print_expected: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: corpus_gen --out FILE [--methods N] [--depth N] [--fan-out N]\n\
+         \x20                 [--diamond PCT] [--seed N]\n\
+         \x20                 [--edit leaf-body|hub-spec|spec-noop] [--print-expected]\n\
+         \x20      corpus_gen --f1-dir DIR"
+    );
+    std::process::exit(2);
+}
+
+/// Writes the F1 case-study and workload corpus as `.idf` files.
+fn emit_f1(dir: &Path) {
+    let pos = dir.join("pos");
+    let neg = dir.join("neg");
+    for d in [&pos, &neg] {
+        std::fs::create_dir_all(d).unwrap_or_else(|e| {
+            eprintln!("corpus_gen: cannot create {}: {}", d.display(), e);
+            std::process::exit(1);
+        });
+    }
+    let write = |dir: &Path, name: &str, src: &str| {
+        let path = dir.join(format!("{name}.idf"));
+        std::fs::write(&path, src).unwrap_or_else(|e| {
+            eprintln!("corpus_gen: cannot write {}: {}", path.display(), e);
+            std::process::exit(1);
+        });
+    };
+    for case in positive_cases() {
+        write(&pos, case.name, case.source);
+    }
+    for case in negative_cases() {
+        write(&neg, case.name, case.source);
+    }
+    for n in [1usize, 8, 24] {
+        write(&pos, &format!("scaling_{n}"), &scaling_program(n));
+    }
+    write(&pos, "chain_8", &chain_program(8));
+    write(&pos, "diverging_6", &diverging_program(6));
+    eprintln!("corpus_gen: wrote F1 corpus under {}", dir.display());
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        spec: CorpusSpec::default(),
+        edit: None,
+        out: None,
+        f1_dir: None,
+        print_expected: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--print-expected" {
+            opts.print_expected = true;
+            i += 1;
+            continue;
+        }
+        let value = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("corpus_gen: {} needs a value", flag);
+            usage();
+        });
+        let num = |what: &str| -> usize {
+            value.parse().unwrap_or_else(|_| {
+                eprintln!("corpus_gen: {} wants {}, got {:?}", flag, what, value);
+                usage();
+            })
+        };
+        match flag {
+            "--methods" => opts.spec.methods = num("a count"),
+            "--depth" => opts.spec.depth = num("a layer count"),
+            "--fan-out" => opts.spec.fan_out = num("a count"),
+            "--diamond" => opts.spec.diamond_pct = num("a percentage") as u32,
+            "--seed" => opts.spec.seed = num("a seed") as u64,
+            "--out" => opts.out = Some(PathBuf::from(&value)),
+            "--f1-dir" => opts.f1_dir = Some(PathBuf::from(&value)),
+            "--edit" => {
+                opts.edit = Some(match value.as_str() {
+                    "leaf-body" => Edit::TouchLeafBody,
+                    "hub-spec" => Edit::TouchHubSpec,
+                    "spec-noop" => Edit::TouchSpecNoop,
+                    other => {
+                        eprintln!("corpus_gen: unknown edit {:?}", other);
+                        usage();
+                    }
+                })
+            }
+            _ => {
+                eprintln!("corpus_gen: unknown flag {:?}", flag);
+                usage();
+            }
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_options();
+    if let Some(dir) = &opts.f1_dir {
+        emit_f1(dir);
+        return;
+    }
+    let Some(out) = opts.out else {
+        eprintln!("corpus_gen: --out is required");
+        usage();
+    };
+    let corpus = Corpus::generate(opts.spec);
+    let src = corpus.source(opts.edit);
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    std::fs::write(&out, &src).unwrap_or_else(|e| {
+        eprintln!("corpus_gen: cannot write {}: {}", out.display(), e);
+        std::process::exit(1);
+    });
+    if opts.print_expected {
+        match opts.edit {
+            Some(edit) => println!("{}", corpus.expected_reverified(edit)),
+            None => println!("{}", corpus.len()),
+        }
+    }
+    eprintln!(
+        "corpus_gen: wrote {} methods{} to {}",
+        corpus.len(),
+        opts.edit
+            .map(|e| format!(" (edit: {})", e.name()))
+            .unwrap_or_default(),
+        out.display()
+    );
+}

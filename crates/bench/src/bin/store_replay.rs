@@ -17,8 +17,8 @@
 //! A differential pass re-runs the warm restore at `--threads`
 //! (default `1,2,8`) and asserts the restored verdicts are
 //! bit-identical to the cold run's. Results land in
-//! `BENCH_incremental.json`; any gate failure exits non-zero, so CI
-//! can call this binary directly.
+//! `target/bench/BENCH_incremental.json` (override with `--out`); any
+//! gate failure exits non-zero, so CI can call this binary directly.
 //!
 //! ```text
 //! store_replay [--methods N] [--depth N] [--fan-out N] [--diamond PCT]
@@ -28,7 +28,7 @@
 
 use daenerys_bench::corpus::{Corpus, CorpusSpec, Edit};
 use daenerys_idf::{
-    parse_program, Backend, StoreFormat, Verdict, VerdictStore, Verifier, VerifierConfig,
+    parse_program, Backend, SessionHost, StoreFormat, Verdict, VerdictStore, VerifierConfig,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -69,7 +69,7 @@ fn parse_options() -> Options {
         threads: vec![1, 2, 8],
         max_load_ms: 50.0,
         expect_reverified: None,
-        out: PathBuf::from("BENCH_incremental.json"),
+        out: PathBuf::from("target/bench/BENCH_incremental.json"),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -143,15 +143,16 @@ fn run(
         ..VerifierConfig::default()
     };
     let start = Instant::now();
-    let mut verifier = Verifier::with_config(&program, Backend::Destabilized, config);
-    let verdicts: BTreeMap<String, Verdict> = verifier
-        .verify_all_verdicts()
+    let host = SessionHost::new(Backend::Destabilized, config);
+    let outcome = host.session().verify_program(&program);
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let verdicts: BTreeMap<String, Verdict> = outcome
+        .verdicts
         .into_iter()
         .map(|(name, verdict)| (name, verdict.normalized()))
         .collect();
-    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-    let reverified = verifier
-        .methods_reverified()
+    let reverified = outcome
+        .reverified
         .expect("cache_dir is set, so the run is incremental");
     (verdicts, reverified, wall_ms)
 }
@@ -363,6 +364,11 @@ fn main() {
         "  ],\n  \"gates_passed\": {}\n}}",
         failures.is_empty()
     );
+    if let Some(parent) = opts.out.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
     std::fs::write(&opts.out, &json).unwrap_or_else(|e| {
         eprintln!("store_replay: cannot write {}: {}", opts.out.display(), e);
         std::process::exit(1);

@@ -33,8 +33,9 @@
 //!   re-verified methods is reported. `--expect-reverified N` turns
 //!   that report into a hard assertion (exit 1 on mismatch) for CI.
 //! * `--out-dir PATH` places generated artifacts (`BENCH_verifier.json`,
-//!   `PROFILE_verifier.txt`) under `PATH` instead of the working
-//!   directory.
+//!   `PROFILE_verifier.txt`) under `PATH` (default `target/bench`, so
+//!   casual runs never litter the repo root; pass `--out-dir .` to
+//!   refresh a committed baseline in place).
 //! * `--store-format FMT` forces the verdict store's on-disk encoding
 //!   (`daes1`, the sharded binary default, or `jsonl`, the legacy
 //!   line-JSON import/export format); without it the format is
@@ -123,7 +124,7 @@ struct Opts {
     cache_dir: Option<std::path::PathBuf>,
     /// Hard assertion on the incremental section's re-verified total.
     expect_reverified: Option<usize>,
-    /// Where generated artifacts are written (default: working dir).
+    /// Where generated artifacts are written (default: `target/bench`).
     out_dir: std::path::PathBuf,
     config: VerifierConfig,
 }
@@ -138,7 +139,7 @@ fn parse_args() -> Opts {
         trace_out: None,
         cache_dir: None,
         expect_reverified: None,
-        out_dir: std::path::PathBuf::from("."),
+        out_dir: std::path::PathBuf::from("target/bench"),
         config: VerifierConfig::default(),
     };
     let mut i = 0;
@@ -331,6 +332,11 @@ fn main() {
     }
     let mut opts = parse_args();
     if let Some(path) = &opts.trace_out {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
         let sink = match JsonlSink::create(std::path::Path::new(path)) {
             Ok(sink) => Arc::new(sink),
             Err(e) => {

@@ -8,7 +8,7 @@
 pub mod corpus;
 
 use daenerys_idf::{
-    parse_program, parse_program_traced, Backend, Verdict, Verifier, VerifierConfig, VerifyStats,
+    parse_program, parse_program_traced, Backend, SessionHost, Verdict, VerifierConfig, VerifyStats,
 };
 use daenerys_obs::{Event, EventKind, Value};
 use std::collections::BTreeMap;
@@ -110,11 +110,16 @@ pub fn run_backend_with(src: &str, backend: Backend, config: VerifierConfig) -> 
     } else {
         parse_program(src).expect("harness program parses")
     };
+    // The harness is a Session client like every other front end (the
+    // CLI, the daemon): the host owns the warm store when the config
+    // has a `cache_dir`, and the timed region covers store open +
+    // verification, exactly as the owned-verifier path did.
     let start = Instant::now();
-    let mut verifier = Verifier::with_config(&program, backend, config);
-    let verdicts = verifier.verify_all_verdicts();
+    let host = SessionHost::new(backend, config);
+    let outcome = host.session().verify_program(&program);
     let time = start.elapsed();
-    let reverified = verifier.methods_reverified();
+    let verdicts = outcome.verdicts;
+    let reverified = outcome.reverified;
     let mut stats = BTreeMap::new();
     for (name, verdict) in &verdicts {
         match verdict {

@@ -1,0 +1,323 @@
+//! Pretty terminal diagnostics: source excerpts with caret underlines
+//! for every span-carrying diagnostic the pipeline produces — parse
+//! errors (with multi-error recovery), well-formedness errors,
+//! stability lints with fix hints, and the structured
+//! [`FailureReport`] attached to failed verdicts.
+//!
+//! Rendering is deterministic and color-transparent: the text is
+//! byte-identical under [`ColorMode::Never`] whatever the thread
+//! count, and color mode only wraps escape sequences around the same
+//! bytes (see `daenerys_obs::render`).
+
+use daenerys_idf::{FailureReport, ParseError, SpecVerdict, StabilityClass, Verdict, WfError};
+use daenerys_obs::{caret_line, gutter, ColorMode, Style};
+use std::fmt::Write as _;
+
+/// A loaded source file: display name plus its lines, the substrate
+/// every excerpt is cut from.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Name shown in `--> name:line:col` location lines.
+    pub name: String,
+    lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Wraps already-read source text.
+    pub fn new(name: impl Into<String>, text: &str) -> SourceFile {
+        SourceFile {
+            name: name.into(),
+            lines: text.lines().map(str::to_string).collect(),
+        }
+    }
+
+    /// The 1-based source line, when it exists.
+    fn line(&self, line: u32) -> Option<&str> {
+        (line >= 1)
+            .then(|| self.lines.get(line as usize - 1).map(String::as_str))
+            .flatten()
+    }
+}
+
+/// Renders diagnostics against one source file.
+#[derive(Debug)]
+pub struct Renderer {
+    /// Color mode for every `paint` call.
+    pub color: ColorMode,
+}
+
+impl Renderer {
+    /// A renderer in the given color mode.
+    pub fn new(color: ColorMode) -> Renderer {
+        Renderer { color }
+    }
+
+    fn paint(&self, style: Style, text: &str) -> String {
+        style.paint(self.color, text)
+    }
+
+    /// One source excerpt: location line, gutter, the source line, and
+    /// a caret underline of `width` starting at `col`. Lines the file
+    /// does not contain (synthesized spans) render location-only.
+    fn excerpt(&self, out: &mut String, file: &SourceFile, line: u32, col: u32, width: usize) {
+        let _ = writeln!(
+            out,
+            "  {} {}:{}:{}",
+            self.paint(Style::GUTTER, "-->"),
+            file.name,
+            line,
+            col
+        );
+        let Some(text) = file.line(line) else {
+            return;
+        };
+        let gut = gutter(line, 4);
+        let pad = " ".repeat(gut.len());
+        // Clamp the underline to what the line actually holds so long
+        // subjects never overshoot the text.
+        let avail = text.len().saturating_sub(col.max(1) as usize - 1).max(1);
+        let _ = writeln!(out, "{} {}", pad, self.paint(Style::GUTTER, "|"));
+        let _ = writeln!(
+            out,
+            "{} {} {}",
+            self.paint(Style::GUTTER, &gut),
+            self.paint(Style::GUTTER, "|"),
+            text
+        );
+        let _ = writeln!(
+            out,
+            "{} {} {}",
+            pad,
+            self.paint(Style::GUTTER, "|"),
+            self.paint(Style::ERROR, &caret_line(col, width.min(avail)))
+        );
+    }
+
+    /// Renders every parse error the recovery parser collected.
+    pub fn parse_errors(&self, file: &SourceFile, errors: &[ParseError]) -> String {
+        let mut out = String::new();
+        for e in errors {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                self.paint(Style::ERROR, "error"),
+                self.paint(Style::BOLD, ":"),
+                self.paint(Style::BOLD, &e.message)
+            );
+            if e.line > 0 {
+                self.excerpt(&mut out, file, e.line as u32, e.col as u32, 1);
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{}: {} parse error(s) in {}",
+            self.paint(Style::ERROR, "error"),
+            errors.len(),
+            file.name
+        );
+        out
+    }
+
+    /// Renders well-formedness errors.
+    pub fn wf_errors(&self, file: &SourceFile, errors: &[WfError]) -> String {
+        let mut out = String::new();
+        for e in errors {
+            let method = if e.method.is_empty() {
+                String::new()
+            } else {
+                format!(" in method `{}`", e.method)
+            };
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                self.paint(Style::ERROR, "error"),
+                self.paint(Style::BOLD, ":"),
+                self.paint(Style::BOLD, &format!("{}{}", e.message, method))
+            );
+            if e.span.is_known() {
+                self.excerpt(&mut out, file, e.span.line, e.span.col, 1);
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{}: {} well-formedness error(s) in {}",
+            self.paint(Style::ERROR, "error"),
+            errors.len(),
+            file.name
+        );
+        out
+    }
+
+    /// Renders one stability verdict as a lint: classification header,
+    /// per-finding excerpts with caret underlines, and fix hints.
+    /// Stable sites render nothing (they are the quiet default);
+    /// `verbose` renders them too (the `explain` subcommand).
+    pub fn stability_verdict(&self, file: &SourceFile, v: &SpecVerdict, verbose: bool) -> String {
+        let mut out = String::new();
+        if v.class == StabilityClass::Stable && !verbose {
+            return out;
+        }
+        let (label, style) = match v.class {
+            StabilityClass::Stable => ("stable", Style::OK),
+            StabilityClass::FramedStable => ("framed-stable", Style::HEAD),
+            StabilityClass::Unstable => ("unstable", Style::WARN),
+        };
+        let severity = if v.class == StabilityClass::Unstable {
+            self.paint(Style::WARN, "warning")
+        } else {
+            self.paint(Style::HEAD, "note")
+        };
+        let _ = writeln!(
+            out,
+            "{}{} {} of method `{}` is {}",
+            severity,
+            self.paint(Style::BOLD, ":"),
+            v.site,
+            v.method,
+            self.paint(style, label)
+        );
+        for f in &v.findings {
+            if f.span.is_known() {
+                self.excerpt(
+                    &mut out,
+                    file,
+                    f.span.line,
+                    f.span.col,
+                    f.subject.len().max(1),
+                );
+            }
+            let _ = writeln!(out, "  {} {}", self.paint(Style::GUTTER, "= help:"), f);
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Renders a method's failed/unknown verdict: headline plus the
+    /// structured failure report (first failure, path condition, heap
+    /// chunks, hottest queries).
+    pub fn verdict(&self, method: &str, verdict: &Verdict) -> String {
+        let mut out = String::new();
+        match verdict {
+            Verdict::Verified(stats) => {
+                let _ = writeln!(
+                    out,
+                    "  {} {} ({} obligation(s))",
+                    self.paint(Style::OK, "verified"),
+                    self.paint(Style::BOLD, method),
+                    stats.obligations
+                );
+            }
+            Verdict::Failed { failures, report } => {
+                let _ = writeln!(
+                    out,
+                    "{}{} method `{}` failed {} obligation(s)",
+                    self.paint(Style::ERROR, "error"),
+                    self.paint(Style::BOLD, ":"),
+                    method,
+                    failures.len()
+                );
+                self.report(&mut out, report);
+            }
+            Verdict::Unknown { reason, report, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{}{} method `{}` is unknown: {}",
+                    self.paint(Style::WARN, "warning"),
+                    self.paint(Style::BOLD, ":"),
+                    method,
+                    reason
+                );
+                self.report(&mut out, report);
+            }
+            Verdict::CrashedInternal { message } => {
+                let _ = writeln!(
+                    out,
+                    "{}{} method `{}` crashed the verifier internally: {}",
+                    self.paint(Style::ERROR, "error"),
+                    self.paint(Style::BOLD, ":"),
+                    method,
+                    message
+                );
+            }
+        }
+        out
+    }
+
+    fn report(&self, out: &mut String, report: &FailureReport) {
+        if report.is_empty() {
+            return;
+        }
+        let _ = writeln!(
+            out,
+            "  {} {}",
+            self.paint(Style::HEAD, "first failure:"),
+            report.first_failure
+        );
+        if !report.path_condition.is_empty() {
+            let _ = writeln!(out, "  {}", self.paint(Style::HEAD, "path condition:"));
+            for c in &report.path_condition {
+                let _ = writeln!(out, "    {}", c);
+            }
+        }
+        if !report.chunks.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {}",
+                self.paint(Style::HEAD, "heap chunks in scope:")
+            );
+            for c in &report.chunks {
+                let _ = writeln!(out, "    {}", c);
+            }
+        }
+        if !report.hot_queries.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {}",
+                self.paint(Style::HEAD, "hottest solver queries:")
+            );
+            for q in &report.hot_queries {
+                let _ = writeln!(
+                    out,
+                    "    fuel={:<6} {} {}",
+                    q.fuel,
+                    if q.cache_hit { "[cache]" } else { "[fresh]" },
+                    q.description
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daenerys_idf::analyze_program;
+
+    #[test]
+    fn excerpt_clamps_underline_to_line_end() {
+        let file = SourceFile::new("t.idf", "short\n");
+        let r = Renderer::new(ColorMode::Never);
+        let mut out = String::new();
+        r.excerpt(&mut out, &file, 1, 4, 80);
+        assert!(out.contains("   ^^"), "caret clamped to 2 columns: {out}");
+        assert!(!out.contains("^^^"), "never overshoots the line");
+    }
+
+    #[test]
+    fn unstable_lint_carries_fix_hint_and_caret() {
+        let src = "field val: Int\nmethod get(c: Ref) requires true ensures c.val == 1 { }\n";
+        let prog = daenerys_idf::parse_program(src).unwrap();
+        let verdicts = analyze_program(&prog);
+        let v = verdicts
+            .iter()
+            .find(|v| v.class == StabilityClass::Unstable)
+            .expect("the postcondition is unstable");
+        let file = SourceFile::new("t.idf", src);
+        let out = Renderer::new(ColorMode::Never).stability_verdict(&file, v, false);
+        assert!(out.contains("unstable"), "{out}");
+        assert!(out.contains("^^^^^"), "caret spans `c.val`: {out}");
+        assert!(out.contains("acc("), "fix hint suggests acc: {out}");
+    }
+}

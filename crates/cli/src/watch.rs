@@ -1,0 +1,104 @@
+//! The watch engine: content-hash polling with a deterministic
+//! debounce.
+//!
+//! Watch mode never trusts mtimes alone — editors truncate-then-write,
+//! build tools touch without changing bytes, clocks skew. The engine
+//! hashes file contents on every poll and re-verifies only when a
+//! *changed* hash has held still for two consecutive polls (the
+//! debounce): a save observed mid-write produces a different hash next
+//! poll and keeps settling, while a byte-identical touch never fires
+//! at all. The rule is a pure function of the observed hash sequence —
+//! no timers, no racy "quiet period" — so tests drive it with
+//! synthetic sequences and get the same decisions the CLI makes.
+
+/// FNV-1a 64-bit content hash — stable, dependency-free, and fast
+/// enough to run per poll on monorepo-scale sources.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The debounce state machine over observed content hashes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Debounce {
+    verified: u64,
+    pending: Option<u64>,
+}
+
+impl Debounce {
+    /// A debouncer considering `initial` already verified.
+    pub fn new(initial: u64) -> Debounce {
+        Debounce {
+            verified: initial,
+            pending: None,
+        }
+    }
+
+    /// Feeds one observed hash; `true` means "re-verify now" (the
+    /// changed hash held for two consecutive polls). The fired hash
+    /// becomes the new verified baseline.
+    pub fn observe(&mut self, hash: u64) -> bool {
+        if hash == self.verified {
+            // Reverted (or never really changed): cancel any pending
+            // edit.
+            self.pending = None;
+            return false;
+        }
+        match self.pending {
+            Some(p) if p == hash => {
+                self.verified = hash;
+                self.pending = None;
+                true
+            }
+            _ => {
+                // First sight of this hash — wait one poll for the
+                // write to settle.
+                self.pending = Some(hash);
+                false
+            }
+        }
+    }
+
+    /// The hash of the content last re-verified.
+    pub fn verified(&self) -> u64 {
+        self.verified
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_hash_is_stable_and_distinguishes() {
+        assert_eq!(content_hash(b"abc"), content_hash(b"abc"));
+        assert_ne!(content_hash(b"abc"), content_hash(b"abd"));
+        assert_ne!(content_hash(b""), content_hash(b"\0"));
+    }
+
+    #[test]
+    fn debounce_fires_only_after_a_settled_change() {
+        let a = content_hash(b"a");
+        let b = content_hash(b"b");
+        let c = content_hash(b"c");
+        let mut d = Debounce::new(a);
+        assert!(!d.observe(a), "unchanged never fires");
+        assert!(!d.observe(b), "first sight of an edit settles");
+        assert!(d.observe(b), "second consecutive sight fires");
+        assert!(!d.observe(b), "fired hash is the new baseline");
+        // A write captured mid-save keeps settling until stable.
+        assert!(!d.observe(c));
+        assert!(!d.observe(a), "bytes moved again: still settling");
+        assert!(d.observe(a), "settled on the final content");
+        // Revert-before-settle cancels the pending edit.
+        let mut d = Debounce::new(a);
+        assert!(!d.observe(b));
+        assert!(!d.observe(a), "revert cancels");
+        assert!(!d.observe(b), "the edit must settle again from scratch");
+        assert!(d.observe(b));
+    }
+}

@@ -1,0 +1,416 @@
+//! Static per-method cost prediction — the `daenerys cost` report.
+//!
+//! Verifying a spec costs solver work long before the solver runs: the
+//! body's branching structure multiplies paths, every exhaled conjunct
+//! becomes a query, and (on the stable baseline) every heap read a
+//! spec makes outside `old(..)` mints a witness the backend must
+//! re-scan at each interfering write. This module predicts those
+//! costs from the AST and the stability lattice alone — no solver, no
+//! symbolic execution — so users see *hot specs* before paying for
+//! them.
+//!
+//! The model is deliberately simple and fully deterministic:
+//!
+//! * **paths** — `2^branches`, saturating at [`PATH_CAP`]: the symbolic
+//!   executor forks at every `if` and the diverging corpus really is
+//!   exponential (see `diverging_program`).
+//! * **queries** — obligations per path (exhaled conjuncts of asserts,
+//!   exhales, call pre/posts, the postcondition; loop entry +
+//!   preservation; branch feasibility) times the path count.
+//! * **fuel** — queries times an atom-count proxy for per-query search
+//!   effort (spec reads + conjuncts + locals touched).
+//! * **invalidation scans** — the stable baseline's witness re-scan
+//!   volume: heap reads of *unstable* spec assertions times the body's
+//!   field writes. `Stable`/`FramedStable` specs predict 0 here
+//!   because the verifier's scan-exempt fast path (see
+//!   [`crate::stability`]) skips their invalidation queries outright.
+//!
+//! Predictions are upper-bound-shaped, not exact counts: the point is
+//! the *ordering* (which methods will hurt) and the *shape* (why), both
+//! of which are stable under the model. The report sorts by predicted
+//! fuel, descending — the first rows are the specs to destabilize,
+//! simplify, or budget first.
+
+use crate::ast::{Assertion, Expr, Method, Op, Program, Stmt};
+use crate::stability::{analyze_method, StabilityClass};
+
+/// Cap on the predicted path count (`2^branches` saturates here) so
+/// pathological inputs cannot overflow the arithmetic below.
+pub const PATH_CAP: u64 = 1 << 20;
+
+/// The predicted static cost of verifying one method.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MethodCost {
+    /// The method the prediction is for.
+    pub method: String,
+    /// Predicted solver queries across all paths.
+    pub queries: u64,
+    /// Predicted solver fuel (queries × per-query atom proxy) — the
+    /// report's sort key.
+    pub fuel: u64,
+    /// Predicted witness invalidation-scan volume on the stable
+    /// baseline (0 when every spec assertion is statically stable or
+    /// framed-stable — the scan-exempt fast path skips them).
+    pub invalidation_scans: u64,
+    /// Symbolic execution paths (`2^branches`, capped).
+    pub paths: u64,
+    /// Predicted solver case splits per query (`2^disjunctions`,
+    /// capped): each `||` in a hypothesis the solver must refute
+    /// doubles its search space — the diverging corpus is exponential
+    /// here, not in its (absent) `if` statements.
+    pub splits: u64,
+    /// `if` statements in the body (each forks the executor).
+    pub branches: u64,
+    /// `while` loops in the body.
+    pub loops: u64,
+    /// Method calls in the body (each exhales the callee pre and
+    /// inhales the callee post).
+    pub calls: u64,
+    /// Field writes in the body (each triggers baseline invalidation
+    /// scans against live witnesses).
+    pub writes: u64,
+    /// Heap reads across the method's spec assertions (witness mints
+    /// on the stable baseline).
+    pub spec_reads: u64,
+    /// `acc` conjuncts across the spec (permission bookkeeping).
+    pub accs: u64,
+    /// The worst stability class across the method's spec assertions —
+    /// the lattice position that decides the invalidation prediction.
+    pub worst_class: StabilityClass,
+}
+
+impl MethodCost {
+    /// True when the model predicts baseline invalidation traffic —
+    /// exactly the methods `--deny-unstable` would reject.
+    pub fn is_hot_unstable(&self) -> bool {
+        self.worst_class == StabilityClass::Unstable && self.invalidation_scans > 0
+    }
+}
+
+/// Leaf conjuncts of an assertion (each exhale of the assertion costs
+/// about one solver query per conjunct).
+fn conjuncts(a: &Assertion) -> u64 {
+    match a {
+        Assertion::Expr(_) | Assertion::Acc(..) => 1,
+        Assertion::And(p, q) => conjuncts(p) + conjuncts(q),
+        Assertion::Implies(_, body) => 1 + conjuncts(body),
+    }
+}
+
+/// `acc` conjuncts of an assertion.
+fn accs(a: &Assertion) -> u64 {
+    a.acc_count() as u64
+}
+
+/// Disjunctions in an expression: each `||` in a hypothesis the solver
+/// must refute doubles the case-split space.
+fn expr_disjunctions(e: &Expr) -> u64 {
+    match e {
+        Expr::Int(_) | Expr::Bool(_) | Expr::Null | Expr::Var(_) => 0,
+        Expr::Field(r, _, _) => expr_disjunctions(r),
+        Expr::Old(i, _) => expr_disjunctions(i),
+        Expr::Perm(r, _, _) => expr_disjunctions(r),
+        Expr::Bin(op, a, b) => {
+            u64::from(*op == Op::Or) + expr_disjunctions(a) + expr_disjunctions(b)
+        }
+        Expr::Not(a) | Expr::Neg(a) => expr_disjunctions(a),
+        Expr::Cond(c, t, e) => {
+            // A conditional expression splits like a disjunction.
+            1 + expr_disjunctions(c) + expr_disjunctions(t) + expr_disjunctions(e)
+        }
+    }
+}
+
+/// Disjunctions across an assertion's pure parts.
+fn disjunctions(a: &Assertion) -> u64 {
+    match a {
+        Assertion::Expr(e) => expr_disjunctions(e),
+        Assertion::Acc(r, _, _) => expr_disjunctions(r),
+        Assertion::And(p, q) => disjunctions(p) + disjunctions(q),
+        Assertion::Implies(c, body) => expr_disjunctions(c) + disjunctions(body),
+    }
+}
+
+/// Body-shape counters, accumulated over nested statements.
+#[derive(Default)]
+struct Shape {
+    branches: u64,
+    loops: u64,
+    calls: u64,
+    writes: u64,
+    asserts_conjuncts: u64,
+    exhale_conjuncts: u64,
+    invariant_conjuncts: u64,
+    disjunctions: u64,
+}
+
+fn walk(stmts: &[Stmt], shape: &mut Shape) {
+    for s in stmts {
+        match s {
+            Stmt::If(_, t, e) => {
+                shape.branches += 1;
+                walk(t, shape);
+                walk(e, shape);
+            }
+            Stmt::While(_, inv, body) => {
+                shape.loops += 1;
+                shape.invariant_conjuncts += conjuncts(inv);
+                shape.disjunctions += disjunctions(inv);
+                walk(body, shape);
+            }
+            Stmt::Call(..) => shape.calls += 1,
+            Stmt::FieldWrite(..) => shape.writes += 1,
+            Stmt::Assert(a) => {
+                shape.asserts_conjuncts += conjuncts(a);
+                shape.disjunctions += disjunctions(a);
+            }
+            Stmt::Exhale(a) => {
+                shape.exhale_conjuncts += conjuncts(a);
+                shape.disjunctions += disjunctions(a);
+            }
+            Stmt::Inhale(_) | Stmt::VarDecl(..) | Stmt::Assign(..) | Stmt::New(..) => {}
+        }
+    }
+}
+
+/// Predicts the static cost of one method against its program (the
+/// program supplies callee contracts for `call` sites).
+pub fn estimate_method(program: &Program, method: &Method) -> MethodCost {
+    let mut shape = Shape::default();
+    if let Some(body) = &method.body {
+        walk(body, &mut shape);
+    }
+
+    // Callee contract volume: each call exhales the callee's
+    // precondition and inhales (then must eventually justify) its
+    // postcondition. Calls to unknown methods charge 1.
+    let mut call_conjuncts = 0u64;
+    if let Some(body) = &method.body {
+        fn calls_of<'p>(stmts: &[Stmt], program: &'p Program, out: &mut Vec<&'p Method>) {
+            for s in stmts {
+                match s {
+                    Stmt::Call(_, callee, _) => {
+                        if let Some(m) = program.method(callee) {
+                            out.push(m);
+                        }
+                    }
+                    Stmt::If(_, t, e) => {
+                        calls_of(t, program, out);
+                        calls_of(e, program, out);
+                    }
+                    Stmt::While(_, _, b) => calls_of(b, program, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut callees = Vec::new();
+        calls_of(body, program, &mut callees);
+        for callee in callees {
+            call_conjuncts += conjuncts(&callee.requires) + conjuncts(&callee.ensures);
+        }
+        call_conjuncts = call_conjuncts.max(shape.calls);
+    }
+
+    let paths = 1u64
+        .checked_shl(u32::try_from(shape.branches).unwrap_or(u32::MAX))
+        .unwrap_or(PATH_CAP)
+        .min(PATH_CAP);
+
+    // Per-path obligations: the postcondition exhale, asserts/exhales,
+    // call contracts, loop entry + preservation (2× invariant), and 2
+    // feasibility probes per branch.
+    let per_path = conjuncts(&method.ensures)
+        + shape.asserts_conjuncts
+        + shape.exhale_conjuncts
+        + call_conjuncts
+        + 2 * shape.invariant_conjuncts
+        + shape.loops;
+    let queries = paths
+        .saturating_mul(per_path)
+        .saturating_add(2 * shape.branches);
+
+    // Spec-side metrics from the stability lattice.
+    let verdicts = analyze_method(method);
+    let worst_class = verdicts
+        .iter()
+        .map(|v| v.class)
+        .max()
+        .unwrap_or(StabilityClass::Stable);
+    let spec_reads = (method.requires.field_reads() + method.ensures.field_reads()) as u64 + {
+        let mut inv_reads = 0u64;
+        if let Some(body) = &method.body {
+            fn invariant_reads(stmts: &[Stmt], out: &mut u64) {
+                for s in stmts {
+                    match s {
+                        Stmt::While(_, inv, b) => {
+                            *out += inv.field_reads() as u64;
+                            invariant_reads(b, out);
+                        }
+                        Stmt::If(_, t, e) => {
+                            invariant_reads(t, out);
+                            invariant_reads(e, out);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            invariant_reads(body, &mut inv_reads);
+        }
+        inv_reads
+    };
+    let acc_total = accs(&method.requires) + accs(&method.ensures);
+
+    // Baseline invalidation volume: only *unstable* assertions keep
+    // their witnesses under live re-scan (stable/framed-stable specs
+    // are scan-exempt), and each body field write triggers one scan
+    // per live unstable witness.
+    let unstable_reads: u64 = verdicts
+        .iter()
+        .filter(|v| v.class == StabilityClass::Unstable)
+        .map(|v| {
+            v.findings
+                .iter()
+                .filter(|f| f.kind == crate::stability::FindingKind::UncoveredRead)
+                .count() as u64
+        })
+        .sum();
+    let invalidation_scans = unstable_reads.saturating_mul(shape.writes);
+
+    // Case splits: every `||` among the facts the solver assumes
+    // (requires, invariants, asserted hypotheses) doubles the search
+    // space per query — this is where the diverging corpus blows up.
+    let split_sources =
+        disjunctions(&method.requires) + disjunctions(&method.ensures) + shape.disjunctions;
+    let splits = 1u64
+        .checked_shl(u32::try_from(split_sources).unwrap_or(u32::MAX))
+        .unwrap_or(PATH_CAP)
+        .min(PATH_CAP);
+
+    // Fuel proxy: per-query search effort grows with the number of
+    // distinct atoms the solver must decide over, amplified by the
+    // predicted case-split factor.
+    let atoms = 1
+        + spec_reads
+        + conjuncts(&method.requires)
+        + conjuncts(&method.ensures)
+        + method.params.len() as u64
+        + method.returns.len() as u64;
+    let fuel = queries.saturating_mul(atoms).saturating_mul(splits);
+
+    MethodCost {
+        method: method.name.clone(),
+        queries,
+        fuel,
+        invalidation_scans,
+        paths,
+        splits,
+        branches: shape.branches,
+        loops: shape.loops,
+        calls: shape.calls,
+        writes: shape.writes,
+        spec_reads,
+        accs: acc_total,
+        worst_class,
+    }
+}
+
+/// [`estimate_method`] over every method with a body, sorted by
+/// predicted fuel descending (ties broken by method name, so the
+/// report is deterministic).
+pub fn estimate_program(program: &Program) -> Vec<MethodCost> {
+    let mut out: Vec<MethodCost> = program
+        .methods
+        .iter()
+        .filter(|m| m.body.is_some())
+        .map(|m| estimate_method(program, m))
+        .collect();
+    out.sort_by(|a, b| b.fuel.cmp(&a.fuel).then_with(|| a.method.cmp(&b.method)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::{chain_program, diverging_program};
+    use crate::parser::parse_program;
+
+    #[test]
+    fn diverging_cost_is_exponential_in_k() {
+        // `diverge`'s blow-up lives in its precondition's `||`
+        // conjuncts, not in body branching — the splits column (not
+        // paths) must carry the prediction.
+        let costs_of = |k: usize| {
+            let prog = parse_program(&diverging_program(k)).unwrap();
+            estimate_program(&prog)
+                .into_iter()
+                .find(|c| c.method == "diverge")
+                .expect("diverging corpus has a diverge method")
+        };
+        let c4 = costs_of(4);
+        let c6 = costs_of(6);
+        assert_eq!(c4.splits, 16);
+        assert_eq!(c6.splits, 64);
+        assert!(c6.fuel > c4.fuel, "deeper diverging predicts more fuel");
+    }
+
+    #[test]
+    fn chain_cost_counts_branch_paths_and_sorts_by_fuel() {
+        // `chain` is a single method whose n `if` blocks fork the
+        // executor: paths = 2^n.
+        let prog = parse_program(&chain_program(8)).unwrap();
+        let costs = estimate_program(&prog);
+        let chain = costs.iter().find(|c| c.method == "chain").unwrap();
+        assert_eq!(chain.branches, 8);
+        assert_eq!(chain.paths, 256);
+
+        // The report order (fuel desc, name asc) holds across a
+        // multi-method program.
+        let prog = parse_program(&diverging_program(5)).unwrap();
+        let costs = estimate_program(&prog);
+        assert!(costs.len() > 1);
+        for w in costs.windows(2) {
+            assert!(
+                w[0].fuel > w[1].fuel || (w[0].fuel == w[1].fuel && w[0].method < w[1].method),
+                "report is sorted by fuel desc, name asc"
+            );
+        }
+        assert_eq!(costs[0].method, "diverge", "diverge dominates the report");
+    }
+
+    #[test]
+    fn stable_specs_predict_zero_invalidation_scans() {
+        let src = "field val: Int
+method stable_m(c: Ref) requires acc(c.val) ensures acc(c.val) && c.val == 1 { c.val := 1 }
+method unstable_m(c: Ref) requires true ensures c.val == 1 { }";
+        let prog = parse_program(src).unwrap();
+        let costs = estimate_program(&prog);
+        let stable = costs.iter().find(|c| c.method == "stable_m").unwrap();
+        let unstable = costs.iter().find(|c| c.method == "unstable_m").unwrap();
+        assert_eq!(stable.worst_class, StabilityClass::FramedStable);
+        assert_eq!(
+            stable.invalidation_scans, 0,
+            "framed-stable specs are scan-exempt"
+        );
+        assert_eq!(unstable.worst_class, StabilityClass::Unstable);
+        // No writes in the unstable body, so no scan volume either —
+        // but the class still flags it.
+        assert_eq!(unstable.invalidation_scans, 0);
+
+        let src_writes = "field val: Int
+method w(c: Ref, d: Ref) requires acc(c.val) && d.val > 0 ensures acc(c.val) { c.val := 1; c.val := 2 }";
+        let prog = parse_program(src_writes).unwrap();
+        let cost = &estimate_program(&prog)[0];
+        assert_eq!(cost.worst_class, StabilityClass::Unstable);
+        assert_eq!(
+            cost.invalidation_scans, 2,
+            "one uncovered read times two writes"
+        );
+    }
+
+    #[test]
+    fn bodyless_methods_are_skipped() {
+        let src = "method abs(n: Int) returns (r: Int) requires n >= 0 ensures r >= n";
+        let prog = parse_program(src).unwrap();
+        assert!(estimate_program(&prog).is_empty());
+    }
+}

@@ -592,6 +592,9 @@ pub struct Verifier<'a> {
     store_hits: Option<usize>,
     store_misses: Option<usize>,
     store_dirty_transitive: Option<usize>,
+    /// Names of the methods the last incremental run re-verified, in
+    /// program order — the dirty cone a front end (watch mode) prints.
+    reverified_names: Option<Vec<String>>,
 }
 
 impl<'a> Verifier<'a> {
@@ -636,6 +639,7 @@ impl<'a> Verifier<'a> {
             store_hits: None,
             store_misses: None,
             store_dirty_transitive: None,
+            reverified_names: None,
         }
     }
 
@@ -669,6 +673,13 @@ impl<'a> Verifier<'a> {
     /// non-incremental runs.
     pub fn store_dirty_transitive(&self) -> Option<usize> {
         self.store_dirty_transitive
+    }
+
+    /// The names of the methods the last incremental run re-verified
+    /// (the dirty cone), in program order. `None` for non-incremental
+    /// runs; empty when the warm store absorbed everything.
+    pub fn reverified_methods(&self) -> Option<&[String]> {
+        self.reverified_names.as_deref()
     }
 
     /// Verifies every method with a body; returns per-method stats.
@@ -873,6 +884,13 @@ impl<'a> Verifier<'a> {
             pending = cur.topo_order(&names, &pending);
         }
         self.reverified = store.is_present().then_some(pending.len());
+        self.reverified_names = store.is_present().then(|| {
+            // Program order, not dispatch order: the cone reads the
+            // same at any thread count or schedule.
+            let mut sorted = pending.clone();
+            sorted.sort_unstable();
+            sorted.iter().map(|&i| names[i].clone()).collect()
+        });
         self.store_hits = store.is_present().then_some(hits);
         self.store_misses = store.is_present().then_some(misses);
         self.store_dirty_transitive = store.is_present().then_some(dirty_transitive);

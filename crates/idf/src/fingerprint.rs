@@ -4,7 +4,7 @@
 //! contract, (b) the *contracts* of the methods it calls directly
 //! (calls are verified against specs, never inlined, so callee bodies
 //! are irrelevant), (c) the program's field declarations, and (d) the
-//! answer-affecting [`VerifierConfig`](crate::exec::VerifierConfig)
+//! answer-affecting [`VerifierConfig`]
 //! knobs: backend, budget, the faults aimed at the method,
 //! `retry_unknown`, `simplify`, and `learn`. The [`Fingerprint`] hashes
 //! exactly those inputs, so a stored verdict may be reused iff the

@@ -9,6 +9,7 @@ pub mod ast;
 pub mod budget;
 pub mod cases;
 pub mod compile;
+pub mod cost;
 pub mod depgraph;
 pub mod diag;
 pub mod exec;
@@ -34,6 +35,7 @@ pub use compile::{
     alloc_object, compile_method, compile_program, run_and_check, spec_holds, ConcreteError,
     ConcreteObj, ConcreteVal,
 };
+pub use cost::{estimate_method, estimate_program, MethodCost, PATH_CAP};
 pub use depgraph::{DepGraph, DepNode};
 pub use diag::{pc_hash, FailureReport, QueryCost, StabilityLint, HOT_QUERY_LIMIT};
 pub use exec::{

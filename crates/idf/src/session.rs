@@ -150,6 +150,10 @@ pub struct VerifyOutcome {
     /// Methods actually re-verified (not restored from the warm
     /// store); `None` when the host has no store.
     pub reverified: Option<usize>,
+    /// Names of the re-verified methods (the dirty cone), in program
+    /// order; `None` when the host has no store. Watch-mode front ends
+    /// print exactly this set.
+    pub reverified_methods: Option<Vec<String>>,
     /// Methods served straight from the warm store (see
     /// [`crate::exec::Verifier::store_hits`]); `None` without a store.
     pub store_hits: Option<usize>,
@@ -210,18 +214,39 @@ impl Session<'_> {
     pub fn verify(&self, req: &VerifyRequest) -> Result<VerifyOutcome, SessionError> {
         let program = parse_program_with_recovery_capped(&req.source, req.max_errors)
             .map_err(SessionError::Parse)?;
+        Ok(self.verify_program_with(&program, req.budget, req.trace.clone()))
+    }
+
+    /// Verifies an already-parsed program with the session's budget and
+    /// default knobs — the parse-free entry point for clients that own
+    /// the front end (the `daenerys` CLI re-rendering parse diagnostics
+    /// itself, the bench harness keeping parsing out of timed regions).
+    ///
+    /// Every method still flows through the host's warm store, so
+    /// incremental counts ([`VerifyOutcome::reverified`] and friends)
+    /// behave exactly as for [`Session::verify`].
+    pub fn verify_program(&self, program: &crate::ast::Program) -> VerifyOutcome {
+        self.verify_program_with(program, None, None)
+    }
+
+    /// [`Session::verify_program`] with an explicit budget override
+    /// and/or a request-scoped trace handle (see
+    /// [`VerifyRequest::budget`] and [`VerifyRequest::trace`]).
+    pub fn verify_program_with(
+        &self,
+        program: &crate::ast::Program,
+        budget: Option<Budget>,
+        trace: Option<daenerys_obs::TraceHandle>,
+    ) -> VerifyOutcome {
         let config = VerifierConfig {
-            budget: req.budget.unwrap_or(self.budget),
+            budget: budget.unwrap_or(self.budget),
             // The host's store is reached via the shared path below;
             // a per-request open would race the warm copy.
             cache_dir: None,
-            trace: req
-                .trace
-                .clone()
-                .unwrap_or_else(|| self.host.base.trace.clone()),
+            trace: trace.unwrap_or_else(|| self.host.base.trace.clone()),
             ..self.host.base.clone()
         };
-        let mut verifier = Verifier::with_config(&program, self.host.backend, config);
+        let mut verifier = Verifier::with_config(program, self.host.backend, config);
         let verdicts = match self.host.store() {
             Some(store) => verifier.verify_all_verdicts_shared(store),
             None => verifier.verify_all_verdicts(),
@@ -232,14 +257,15 @@ impl Session<'_> {
                 stats.merge(s);
             }
         }
-        Ok(VerifyOutcome {
+        VerifyOutcome {
             verdicts,
             reverified: verifier.methods_reverified(),
+            reverified_methods: verifier.reverified_methods().map(<[String]>::to_vec),
             store_hits: verifier.store_hits(),
             store_misses: verifier.store_misses(),
             store_dirty_transitive: verifier.store_dirty_transitive(),
             stats,
-        })
+        }
     }
 }
 

@@ -273,7 +273,7 @@ pub struct Solver {
     /// Wall-clock deadline for the current method's queries; `None`
     /// means unlimited. Unlike the per-method deadline check at
     /// statement boundaries, this one is polled *inside* the search
-    /// loops (every [`DEADLINE_POLL_MASK`]+1 conflicts/branches), so a
+    /// loops (every `DEADLINE_POLL_MASK + 1` conflicts/branches), so a
     /// single pathologically hard query still returns `Unknown` within
     /// a small multiple of its deadline instead of running to
     /// completion.

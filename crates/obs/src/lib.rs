@@ -30,6 +30,7 @@ pub mod event;
 pub mod json;
 pub mod labels;
 pub mod metrics;
+pub mod render;
 pub mod sink;
 pub mod trace;
 
@@ -37,5 +38,6 @@ pub use event::{Event, EventKind, Value};
 pub use json::{parse as parse_json, validate_event_line, Json, JsonError};
 pub use labels::{LabeledRegistry, Labels, SharedRegistry};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use render::{caret_line, fmt_count, fmt_nanos, gutter, ColorMode, Style, TextTable};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink, TextSink};
 pub use trace::{ClockKind, SpanToken, TraceCollector, TraceHandle};

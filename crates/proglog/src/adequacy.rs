@@ -137,7 +137,7 @@ pub fn validate_exhaustive(
 /// (`0` = one per available CPU).
 ///
 /// Per model, the schedule tree is first expanded breadth-first into a
-/// frontier of schedule prefixes (at least [`PREFIX_TARGET`] when the
+/// frontier of schedule prefixes (at least `PREFIX_TARGET` when the
 /// tree is that wide); the prefixes are then partitioned round-robin
 /// across the workers and each explored to completion. The frontier and
 /// the merge order do not depend on `threads`, so the report is

@@ -4,7 +4,8 @@
 //! `proptest` dev-dependency is replaced by this local property-testing
 //! engine implementing the API subset the workspace's test suites use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive`,
+//!   `boxed`;
 //! * strategies for integer ranges, tuples, [`strategy::Just`],
 //!   [`arbitrary::any`], [`collection`] (`vec`/`btree_map`/`btree_set`)
 //!   and [`option::of`];
